@@ -1,0 +1,174 @@
+//! Ablation: the execution-policy design choices DESIGN.md §5 calls out.
+//!
+//! A: batching-threshold ablation on the LinnOS predictor — always-CPU vs
+//!    the Fig 3 threshold (8) vs batch-eager GPU (threshold 1).
+//! B: contention-policy ablation — no policy vs exec thresholds 40/80 on
+//!    the Fig 13 scenario.
+
+use criterion::Criterion;
+use lake_bench::{banner, fmt_us, quick_criterion};
+use lake_block::{replay, NoPredictor, NvmeDevice, NvmeSpec, ReplayConfig, TraceSpec};
+use lake_core::Lake;
+use lake_ml::serialize;
+use lake_sim::{Duration, Instant, SimRng};
+use lake_workloads::contention::{run, ContentionConfig, PolicySettings};
+use lake_workloads::linnos::{self, LinnosConfig, LinnosMode, LinnosPredictor};
+use lake_workloads::mlgate::{MlGate, MlGateConfig};
+
+fn devices(rng: &mut SimRng) -> Vec<NvmeDevice> {
+    (0..3)
+        .map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork()))
+        .collect()
+}
+
+fn ablation_a() {
+    banner("Ablation A", "LinnOS batch-threshold policy (pressured workload)");
+    let mut rng = SimRng::seed(31);
+    let horizon = Duration::from_millis(300);
+    let heavy = TraceSpec::cosmos().rerate(3.0).generate(horizon, &mut rng);
+    let light = TraceSpec::azure().rerate(4.0).generate(horizon, &mut rng);
+    let traces = vec![(0usize, heavy), (0usize, light)];
+
+    let mut devs = devices(&mut rng);
+    let baseline = replay(
+        &mut devs,
+        &traces,
+        &mut NoPredictor,
+        &ReplayConfig { collect_samples: true, ..ReplayConfig::default() },
+    );
+    let samples: Vec<_> = baseline.samples.iter().step_by(4).cloned().collect();
+    let model = linnos::train(&samples, &LinnosConfig { epochs: 3, ..LinnosConfig::default() });
+
+    println!("{:<26} {:>12} {:>10} {:>10}", "policy", "avg read", "reroutes", "gpu dec.");
+    println!(
+        "{:<26} {:>12} {:>10} {:>10}",
+        "baseline (no prediction)",
+        fmt_us(baseline.avg_read_latency.as_micros_f64()),
+        baseline.reroutes,
+        "-"
+    );
+
+    for (name, threshold) in [
+        ("always-CPU (thr = inf)", usize::MAX),
+        ("fig3 threshold = 8", 8usize),
+        ("batch-eager (thr = 1)", 1usize),
+    ] {
+        let lake = Lake::builder().build();
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_mlp(&model.mlp)).expect("loads");
+        let mut pred = LinnosPredictor::new(
+            model.clone(),
+            LinnosMode::Lake {
+                ml,
+                clock: lake.clock().clone(),
+                model_id: id,
+                quantum: Duration::from_micros(150),
+                batch_threshold: threshold,
+            },
+        );
+        let mut devs = devices(&mut rng);
+        let report = replay(&mut devs, &traces, &mut pred, &ReplayConfig::default());
+        let (_, gpu) = pred.decisions();
+        println!(
+            "{:<26} {:>12} {:>10} {:>10}",
+            name,
+            fmt_us(report.avg_read_latency.as_micros_f64()),
+            report.reroutes,
+            gpu
+        );
+    }
+    // The §7.1 future-work feature: adaptive ML gating wrapped around the
+    // fig3-threshold predictor.
+    {
+        let lake = Lake::builder().build();
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_mlp(&model.mlp)).expect("loads");
+        let pred = LinnosPredictor::new(
+            model.clone(),
+            LinnosMode::Lake {
+                ml,
+                clock: lake.clock().clone(),
+                model_id: id,
+                quantum: Duration::from_micros(150),
+                batch_threshold: 8,
+            },
+        );
+        let mut gate = MlGate::with_config(
+            pred,
+            MlGateConfig { epoch_reads: 512, epochs_between_probes: 6, margin: 0.02 },
+        );
+        let mut devs = devices(&mut rng);
+        let report = replay(&mut devs, &traces, &mut gate, &ReplayConfig::default());
+        let (on, off) = gate.epoch_counts();
+        println!(
+            "{:<26} {:>12} {:>10} {:>10}",
+            "ml-gate (adaptive)",
+            fmt_us(report.avg_read_latency.as_micros_f64()),
+            report.reroutes,
+            format!("{on}on/{off}off")
+        );
+    }
+    println!("(threshold=inf pays full CPU inference; threshold=1 batches everything;");
+    println!(" the fig3 threshold picks GPU only when the formed batch is profitable;");
+    println!(" ml-gate keeps ML enabled here because the workload is pressured)");
+}
+
+fn ablation_b() {
+    banner("Ablation B", "contention policy thresholds (Fig 13 scenario)");
+    println!(
+        "{:<22} {:>16} {:>18} {:>14}",
+        "policy", "user tp (12-20s)", "kernel gpu share", "kernel tp"
+    );
+    let configs: Vec<(&str, Option<PolicySettings>)> = vec![
+        ("none (Fig 1 mode)", None),
+        ("exec threshold 40", Some(PolicySettings::default())),
+        (
+            // Above 100% the policy never fires — the knob's other extreme.
+            "exec threshold 101",
+            Some(PolicySettings { exec_threshold: 101.0, ..PolicySettings::default() }),
+        ),
+    ];
+    for (name, policy) in configs {
+        let cfg = ContentionConfig { policy, ..ContentionConfig::fig13() };
+        let result = run(&cfg);
+        let window = |points: &[(Instant, f64)]| {
+            let v: Vec<f64> = points
+                .iter()
+                .filter(|&&(t, _)| {
+                    t >= Instant::from_nanos(12_000_000_000)
+                        && t < Instant::from_nanos(20_000_000_000)
+                })
+                .map(|&(_, x)| x)
+                .collect();
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        let user = window(result.user_throughput.points()) / result.user_peak;
+        let share = if result.kernel_target.is_empty() {
+            1.0
+        } else {
+            window(result.kernel_target.points())
+        };
+        let ktp = window(result.kernel_io.points());
+        println!("{name:<22} {user:>15.2}x {share:>18.2} {ktp:>14.2}");
+    }
+    println!("(no policy keeps the kernel on the GPU and tanks user QoS; a lax");
+    println!(" threshold trades user throughput for kernel throughput)");
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig13_policy_sweep_run", |b| {
+        b.iter(|| run(&ContentionConfig::fig13()))
+    });
+}
+
+fn main() {
+    ablation_a();
+    ablation_b();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,53 @@
+//! Fig 1: throughput of a GPU-accelerated user-space hashing application
+//! with and without kernel-space contention for the device.
+
+use criterion::Criterion;
+use lake_bench::{banner, quick_criterion, sparkline};
+use lake_sim::Duration;
+use lake_workloads::contention::{run, summarize_fig1, ContentionConfig};
+
+fn print_fig1() {
+    banner("Fig 1", "user throughput under unmediated kernel contention");
+
+    // Uncontended control: user app alone.
+    let solo_cfg = ContentionConfig {
+        warmth_start: None,
+        io_start: None,
+        ..ContentionConfig::fig1()
+    };
+    let solo = run(&solo_cfg);
+    let solo_buckets = solo.user_throughput.bucket_mean(Duration::from_millis(250));
+    let solo_mean: f64 =
+        solo_buckets.iter().map(|&(_, v)| v).sum::<f64>() / solo_buckets.len() as f64;
+
+    let cfg = ContentionConfig::fig1();
+    let result = run(&cfg);
+    let summary = summarize_fig1(&cfg, &result);
+
+    println!("uncontended:            {:>12.3e} pages/s", solo_mean);
+    println!("T0..T1 (user only):     {:>12.3e} pages/s", summary.solo);
+    println!("T1..T2 (+page warmth):  {:>12.3e} pages/s", summary.one_contender);
+    println!("T2..    (+I/O pred.):   {:>12.3e} pages/s", summary.two_contenders);
+    println!(
+        "max degradation:        {:>11.1}%   (paper: up to 68%)",
+        summary.max_degradation * 100.0
+    );
+
+    let buckets = result.user_throughput.bucket_mean(Duration::from_millis(250));
+    let series: Vec<f64> = buckets.iter().map(|&(_, v)| v).collect();
+    println!("timeline (250ms buckets, T1=4s, T2=7s):");
+    println!("  {}", sparkline(&series, result.user_peak));
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("contention_sim_10s", |b| {
+        b.iter(|| run(&ContentionConfig::fig1()))
+    });
+}
+
+fn main() {
+    print_fig1();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,82 @@
+//! Fig 6: Netlink round-trip cost vs message size, plus the zero-copy
+//! lakeShm alternative and real wire encode/decode throughput.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use lake_bench::{banner, fmt_us, quick_criterion};
+use lake_core::Lake;
+use lake_rpc::{Command, Decoder, Encoder};
+use lake_transport::Mechanism;
+
+const SIZES: &[usize] = &[128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+
+fn print_fig6() {
+    banner("Fig 6", "Netlink round trip by command size");
+    println!("{:>10} {:>14} {:>20}", "size (B)", "netlink rt", "paper (us)");
+    let paper = [28.37, 30.82, 31.98, 31.77, 30.65, 33.16, 67.80, 127.79, 256.88];
+    for (i, &size) in SIZES.iter().enumerate() {
+        let rt = Mechanism::Netlink.round_trip(size).as_micros_f64();
+        println!("{size:>10} {:>14} {:>20.2}", fmt_us(rt), paper[i]);
+    }
+
+    banner("Fig 6b", "inline payload vs lakeShm zero-copy (virtual time)");
+    println!("{:>10} {:>14} {:>14} {:>8}", "size (B)", "inline", "shm path", "ratio");
+    for &size in SIZES {
+        let payload = vec![0xA5u8; size];
+
+        let inline_lake = Lake::builder().build();
+        let cuda = inline_lake.cuda();
+        let dev = cuda.cu_mem_alloc(size).expect("alloc");
+        let t0 = inline_lake.clock().now();
+        cuda.cu_memcpy_htod(dev, &payload).expect("copy");
+        let inline_us = (inline_lake.clock().now() - t0).as_micros_f64();
+
+        let shm_lake = Lake::builder().build();
+        let cuda = shm_lake.cuda();
+        let dev = cuda.cu_mem_alloc(size).expect("alloc");
+        let buf = shm_lake.shm().alloc(size).expect("shm alloc");
+        shm_lake.shm().write(&buf, 0, &payload).expect("stage");
+        let t0 = shm_lake.clock().now();
+        cuda.cu_memcpy_htod_shm(dev, &buf, size).expect("copy");
+        let shm_us = (shm_lake.clock().now() - t0).as_micros_f64();
+
+        println!(
+            "{size:>10} {:>14} {:>14} {:>7.1}x",
+            fmt_us(inline_us),
+            fmt_us(shm_us),
+            inline_us / shm_us
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_encode_decode");
+    for &size in &[128usize, 4096, 32768] {
+        let payload = vec![7u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("roundtrip", size), &payload, |b, payload| {
+            b.iter(|| {
+                let mut e = Encoder::new();
+                e.put_u64(0xfeed).put_bytes(payload);
+                let cmd = Command {
+                    api: lake_rpc::ApiId(7),
+                    seq: 1,
+                    payload: e.finish(),
+                };
+                let frame = cmd.encode();
+                let back = Command::decode(&frame).expect("decodes");
+                let mut d = Decoder::new(&back.payload);
+                let _ = d.get_u64().expect("u64");
+                let body = d.get_bytes().expect("bytes");
+                assert_eq!(body.len(), payload.len());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_fig6();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,147 @@
+//! Fig 7: end-to-end average read latency per workload — no rerouting
+//! (baseline) vs the LinnOS network on CPU vs through LAKE, for the base
+//! model and the `+1`/`+2` variants.
+//!
+//! Workloads: the three Table 4 traces replayed alone (each on its own
+//! device), `Mixed` (different traces pinned to different default devices
+//! with reissue round-robin) and `Mixed+` (all traces rerated 3×).
+
+use criterion::Criterion;
+use lake_bench::{banner, fmt_us, quick_criterion};
+use lake_block::replay::IoSample;
+use lake_block::{replay, NoPredictor, NvmeDevice, NvmeSpec, ReplayConfig, TraceEvent, TraceSpec};
+use lake_core::Lake;
+use lake_ml::serialize;
+use lake_sim::{Duration, SimRng};
+use lake_workloads::linnos::{self, LinnosConfig, LinnosMode, LinnosPredictor};
+
+const HORIZON_MS: u64 = 400;
+const TRAIN_SUBSAMPLE: usize = 6_000;
+
+struct Scenario {
+    name: &'static str,
+    /// (default device, trace events)
+    traces: Vec<(usize, Vec<TraceEvent>)>,
+}
+
+fn scenarios(rng: &mut SimRng) -> Vec<Scenario> {
+    let horizon = Duration::from_millis(HORIZON_MS);
+    let single = |spec: TraceSpec, rng: &mut SimRng| {
+        vec![
+            (0usize, spec.generate(horizon, rng)),
+        ]
+    };
+    let mixed = |factor: f64, rng: &mut SimRng| {
+        vec![
+            (0usize, TraceSpec::azure().rerate(factor).generate(horizon, rng)),
+            (1usize, TraceSpec::bing_i().rerate(factor).generate(horizon, rng)),
+            (2usize, TraceSpec::cosmos().rerate(factor).generate(horizon, rng)),
+        ]
+    };
+    vec![
+        Scenario { name: "Azure*", traces: single(TraceSpec::azure(), rng) },
+        Scenario { name: "Cosmos*", traces: single(TraceSpec::cosmos(), rng) },
+        Scenario { name: "Bing-I*", traces: single(TraceSpec::bing_i(), rng) },
+        Scenario { name: "Mixed", traces: mixed(1.0, rng) },
+        Scenario { name: "Mixed+", traces: mixed(3.0, rng) },
+    ]
+}
+
+fn devices(rng: &mut SimRng) -> Vec<NvmeDevice> {
+    (0..3)
+        .map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork()))
+        .collect()
+}
+
+fn subsample(samples: Vec<IoSample>, n: usize) -> Vec<IoSample> {
+    if samples.len() <= n {
+        return samples;
+    }
+    let step = samples.len() / n;
+    samples.into_iter().step_by(step.max(1)).take(n).collect()
+}
+
+fn print_fig7() {
+    banner("Fig 7", "avg read latency: baseline vs NN cpu vs NN LAKE (+1/+2)");
+    let mut rng = SimRng::seed(20_26);
+    let scens = scenarios(&mut rng);
+
+    println!(
+        "{:<9} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "workload", "baseline", "NN cpu", "NN LAKE", "NN+1 cpu", "NN+1 LAKE", "NN+2 cpu", "NN+2 LAKE"
+    );
+
+    for scen in &scens {
+        // Baseline + training data.
+        let mut devs = devices(&mut rng);
+        let baseline = replay(
+            &mut devs,
+            &scen.traces,
+            &mut NoPredictor,
+            &ReplayConfig { collect_samples: true, ..ReplayConfig::default() },
+        );
+        let samples = subsample(baseline.samples, TRAIN_SUBSAMPLE);
+
+        let mut row = format!(
+            "{:<9} {:>11}",
+            scen.name,
+            fmt_us(baseline.avg_read_latency.as_micros_f64())
+        );
+
+        for extra in 0..=2usize {
+            let model = linnos::train(
+                &samples,
+                &LinnosConfig { extra_layers: extra, epochs: 3, ..LinnosConfig::default() },
+            );
+
+            // CPU series.
+            let mut devs = devices(&mut rng);
+            let mut pred = LinnosPredictor::new(model.clone(), LinnosMode::Cpu);
+            let cpu = replay(&mut devs, &scen.traces, &mut pred, &ReplayConfig::default());
+
+            // LAKE series: remoted model, dynamic batch formation.
+            let lake = Lake::builder().build();
+            let ml = lake.ml();
+            let id = ml.load_model(&serialize::encode_mlp(&model.mlp)).expect("loads");
+            let mut pred = LinnosPredictor::new(
+                model,
+                LinnosMode::Lake {
+                    ml,
+                    clock: lake.clock().clone(),
+                    model_id: id,
+                    quantum: Duration::from_micros(100),
+                    batch_threshold: 8,
+                },
+            );
+            let mut devs = devices(&mut rng);
+            let lake_rep = replay(&mut devs, &scen.traces, &mut pred, &ReplayConfig::default());
+
+            row.push_str(&format!(
+                " {:>11} {:>11}",
+                fmt_us(cpu.avg_read_latency.as_micros_f64()),
+                fmt_us(lake_rep.avg_read_latency.as_micros_f64())
+            ));
+        }
+        println!("{row}");
+    }
+    println!("(paper shape: single traces see no benefit — the NN cost can even hurt;");
+    println!(" Mixed/Mixed+ improve over baseline; deeper models favor LAKE over cpu)");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SimRng::seed(5);
+    let trace = TraceSpec::azure().generate(Duration::from_millis(20), &mut rng);
+    c.bench_function("replay_azure_20ms_baseline", |b| {
+        b.iter(|| {
+            let mut devs = devices(&mut rng);
+            replay(&mut devs, &[(0, trace.clone())], &mut NoPredictor, &ReplayConfig::default())
+        })
+    });
+}
+
+fn main() {
+    print_fig7();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

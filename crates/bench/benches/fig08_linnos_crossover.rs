@@ -1,0 +1,67 @@
+//! Fig 8: I/O latency-prediction inference time vs batch size on CPU and
+//! through LAKE, for the base model and the `+1`/`+2` variants, with the
+//! crossover points they imply (Table 3 row 1).
+
+use criterion::Criterion;
+use lake_bench::{banner, fmt_us, quick_criterion};
+use lake_core::Lake;
+use lake_ml::{Activation, Matrix, Mlp};
+use lake_workloads::{crossover_batch, linnos};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BATCHES: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+fn print_fig8() {
+    banner("Fig 8", "inference time vs batch size (CPU vs LAKE)");
+    let mut all = Vec::new();
+    for extra in 0..=2usize {
+        let lake = Lake::builder().build();
+        let (cpu, gpu) = linnos::inference_timings(&lake, extra, BATCHES);
+        all.push((extra, cpu, gpu));
+    }
+
+    print!("{:>7}", "batch");
+    for (extra, _, _) in &all {
+        let suffix = if *extra == 0 { String::new() } else { format!("+{extra}") };
+        print!("{:>12} {:>12}", format!("CPU{suffix}"), format!("LAKE{suffix}"));
+    }
+    println!();
+    for (i, &batch) in BATCHES.iter().enumerate() {
+        print!("{batch:>7}");
+        for (_, cpu, gpu) in &all {
+            print!("{:>12} {:>12}", fmt_us(cpu[i].micros), fmt_us(gpu[i].micros));
+        }
+        println!();
+    }
+    for (extra, cpu, gpu) in &all {
+        let x = crossover_batch(cpu, gpu);
+        let paper = match extra {
+            0 => "paper: >8",
+            1 => "paper: >3",
+            _ => "paper: >2",
+        };
+        println!("crossover NN+{extra}: {x:?} ({paper})");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Real forward-pass throughput of the LinnOS model.
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = Mlp::new(&[31, 256, 2], Activation::Relu, &mut rng);
+    let mut group = c.benchmark_group("linnos_forward");
+    for &batch in &[1usize, 64, 1024] {
+        let x = Matrix::from_vec(batch, 31, vec![0.3; batch * 31]);
+        group.bench_function(format!("batch_{batch}"), |b| {
+            b.iter(|| model.classify(&x))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_fig8();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

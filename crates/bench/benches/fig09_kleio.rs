@@ -1,0 +1,52 @@
+//! Fig 9: Kleio page-warmth inference time for variable batch sizes
+//! through LAKE's high-level (TensorFlow-style) API. Data movement is
+//! synchronous, so only the "LAKE (sync.)" series exists.
+
+use criterion::Criterion;
+use lake_bench::{banner, fmt_us, quick_criterion};
+use lake_core::{ExecMode, Lake};
+use lake_sim::SimRng;
+use lake_workloads::kleio::{self, KleioConfig};
+
+fn print_fig9() {
+    banner("Fig 9", "Kleio LSTM inference time vs pages classified (LAKE sync.)");
+    let lake = Lake::builder().build();
+    // Paper-scale model; timing-only on the device (EXPERIMENTS.md).
+    lake.gpu().set_exec_mode(ExecMode::TimingOnly);
+    let cfg = KleioConfig::paper();
+    let batches: Vec<usize> = (0..20).map(|i| 20 + i * 60).collect(); // 20..=1160
+    let series = kleio::inference_timings(&lake, &cfg, &batches).expect("timings");
+    println!("{:>8} {:>14} {:>16}", "pages", "LAKE (sync.)", "per-page (us)");
+    for t in &series {
+        println!(
+            "{:>8} {:>14} {:>16.1}",
+            t.batch,
+            fmt_us(t.micros),
+            t.micros / t.batch as f64
+        );
+    }
+    println!("(paper: ~100-300 ms across 20-1160 pages, roughly linear; crossover 1)");
+}
+
+fn bench(c: &mut Criterion) {
+    // Real LSTM training + inference on the small config.
+    let cfg = KleioConfig::small();
+    let mut rng = SimRng::seed(3);
+    let pages = kleio::generate_pages(&cfg, 32, &mut rng);
+    let model = kleio::train(&cfg, &pages, 2);
+    c.bench_function("kleio_lstm_classify_32pages", |b| {
+        b.iter(|| {
+            pages
+                .iter()
+                .map(|p| model.classify(&p.to_sequence()))
+                .sum::<usize>()
+        })
+    });
+}
+
+fn main() {
+    print_fig9();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

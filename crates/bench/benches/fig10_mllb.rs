@@ -1,0 +1,51 @@
+//! Fig 10: MLLB load-balancing inference time vs number of tasks
+//! classified, on CPU, through LAKE (pre-copied inputs), and LAKE (sync.).
+
+use criterion::Criterion;
+use lake_bench::{banner, fmt_us, quick_criterion};
+use lake_core::Lake;
+use lake_sim::SimRng;
+use lake_workloads::{crossover_batch, mllb};
+
+const BATCHES: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+fn print_fig10() {
+    banner("Fig 10", "MLLB inference time vs tasks classified");
+    let lake = Lake::builder().build();
+    let (cpu, lake_async, lake_sync) = mllb::inference_timings(&lake, BATCHES).expect("timings");
+    println!("{:>7} {:>12} {:>12} {:>14}", "tasks", "CPU", "LAKE", "LAKE (sync.)");
+    for i in 0..BATCHES.len() {
+        println!(
+            "{:>7} {:>12} {:>12} {:>14}",
+            BATCHES[i],
+            fmt_us(cpu[i].micros),
+            fmt_us(lake_async[i].micros),
+            fmt_us(lake_sync[i].micros)
+        );
+    }
+    println!(
+        "crossover: {:?} (paper Table 3: 256)",
+        crossover_batch(&cpu, &lake_async)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    // Real scheduler-sim featurization + model training cost.
+    let mut rng = SimRng::seed(4);
+    c.bench_function("mllb_scenario_featurize", |b| {
+        b.iter(|| {
+            let sc = mllb::generate_scenario(16, 32, &mut rng);
+            sc.candidates
+                .iter()
+                .map(|cand| mllb::featurize(&sc, cand).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn main() {
+    print_fig10();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

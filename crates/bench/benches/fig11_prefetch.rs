@@ -1,0 +1,65 @@
+//! Fig 11: readahead-classification time vs batch size, plus the
+//! KML-style end-benefit (readahead speedups per pattern).
+
+use criterion::Criterion;
+use lake_bench::{banner, fmt_us, quick_criterion};
+use lake_core::Lake;
+use lake_sim::SimRng;
+use lake_workloads::{crossover_batch, prefetch};
+
+const BATCHES: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+fn print_fig11() {
+    banner("Fig 11", "readahead classification time vs batch size");
+    let lake = Lake::builder().build();
+    let (cpu, lake_async, lake_sync) =
+        prefetch::inference_timings(&lake, BATCHES).expect("timings");
+    println!("{:>7} {:>12} {:>12} {:>14}", "batch", "CPU", "LAKE", "LAKE (sync.)");
+    for i in 0..BATCHES.len() {
+        println!(
+            "{:>7} {:>12} {:>12} {:>14}",
+            BATCHES[i],
+            fmt_us(cpu[i].micros),
+            fmt_us(lake_async[i].micros),
+            fmt_us(lake_sync[i].micros)
+        );
+    }
+    println!(
+        "crossover: {:?} (paper Table 3: 64)",
+        crossover_batch(&cpu, &lake_async)
+    );
+
+    banner("Fig 11b", "pattern-aware readahead benefit (KML claim: up to 2.3x)");
+    let (model, acc) = prefetch::train(11, 40, 200);
+    println!("classifier holdout accuracy: {:.1}%", acc * 100.0);
+    let mut rng = SimRng::seed(11);
+    for pattern in prefetch::AccessPattern::ALL {
+        let stream = prefetch::generate_stream(pattern, 64, &mut rng);
+        let feats = lake_ml::Matrix::row_vector(&prefetch::featurize(&stream));
+        let class = model.classify(&feats)[0];
+        let chosen = prefetch::AccessPattern::ALL[class.min(2)].readahead_pages();
+        let tuned = prefetch::readahead_speedup(pattern, chosen);
+        let fixed = prefetch::readahead_speedup(pattern, 32);
+        println!(
+            "{:>12?}: classified -> readahead {:>3} pages, speedup {:.2}x (fixed default: {:.2}x)",
+            pattern, chosen, tuned, fixed
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SimRng::seed(12);
+    c.bench_function("prefetch_featurize_64", |b| {
+        b.iter(|| {
+            let s = prefetch::generate_stream(prefetch::AccessPattern::Strided, 64, &mut rng);
+            prefetch::featurize(&s)
+        })
+    });
+}
+
+fn main() {
+    print_fig11();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,74 @@
+//! Fig 13: kernel and user throughput under the adaptive
+//! contention-averse policy.
+
+use criterion::Criterion;
+use lake_bench::{banner, quick_criterion, sparkline};
+use lake_sim::{Duration, Instant};
+use lake_workloads::contention::{run, ContentionConfig};
+
+fn mean_between(points: &[(Instant, f64)], a_s: u64, b_s: u64) -> f64 {
+    let a = Instant::from_nanos(a_s * 1_000_000_000);
+    let b = Instant::from_nanos(b_s * 1_000_000_000);
+    let v: Vec<f64> = points
+        .iter()
+        .filter(|&&(t, _)| t >= a && t < b)
+        .map(|&(_, x)| x)
+        .collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn print_fig13() {
+    banner("Fig 13", "adaptive contention policy (normalized throughput)");
+    let cfg = ContentionConfig::fig13();
+    let result = run(&cfg);
+
+    let user: Vec<(Instant, f64)> = result
+        .user_throughput
+        .bucket_mean(Duration::from_millis(500))
+        .into_iter()
+        .map(|(t, v)| (t, v / result.user_peak))
+        .collect();
+    let kernel = result.kernel_io.bucket_mean(Duration::from_millis(500));
+    let target = result.kernel_target.bucket_mean(Duration::from_millis(500));
+
+    println!("timeline (0.5s buckets; T1=10s user enters GPU, T3=22s exits):");
+    println!("  user (u):           {}", sparkline(&user.iter().map(|&(_, v)| v).collect::<Vec<_>>(), 1.0));
+    println!("  I/O predictor (k):  {}", sparkline(&kernel.iter().map(|&(_, v)| v).collect::<Vec<_>>(), 1.0));
+    println!("  kernel on GPU?:     {}", sparkline(&target.iter().map(|&(_, v)| v).collect::<Vec<_>>(), 1.0));
+
+    println!("\nphase means:");
+    println!(
+        "  kernel normalized tp:  before {:.2}  during {:.2}  after {:.2}",
+        mean_between(result.kernel_io.points(), 1, 9),
+        mean_between(result.kernel_io.points(), 12, 21),
+        mean_between(result.kernel_io.points(), 24, 29)
+    );
+    println!(
+        "  user normalized tp during contention: {:.2} (policy protects QoS)",
+        mean_between(result.user_throughput.points(), 12, 21) / result.user_peak
+    );
+    println!(
+        "  kernel GPU share:      before {:.2}  during {:.2}  after {:.2}",
+        mean_between(result.kernel_target.points(), 1, 9),
+        mean_between(result.kernel_target.points(), 12, 21),
+        mean_between(result.kernel_target.points(), 24, 29)
+    );
+    println!("(paper: kernel falls back to CPU at T2, reclaims the GPU at T3)");
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("contention_sim_30s_with_policy", |b| {
+        b.iter(|| run(&ContentionConfig::fig13()))
+    });
+}
+
+fn main() {
+    print_fig13();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

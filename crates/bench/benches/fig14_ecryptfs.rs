@@ -1,0 +1,100 @@
+//! Fig 14: eCryptfs sequential read/write throughput vs block size on
+//! the four crypto paths, plus real AES-GCM throughput measurements.
+
+use criterion::{Criterion, Throughput};
+use lake_bench::{banner, quick_criterion};
+use lake_block::{NvmeDevice, NvmeSpec};
+use lake_core::{ExecMode, Lake};
+use lake_crypto::AesGcm;
+use lake_fs::{CryptoPath, Ecryptfs, EcryptfsConfig};
+use lake_sim::SimRng;
+
+const BLOCKS: &[usize] = &[
+    4 << 10,
+    8 << 10,
+    16 << 10,
+    32 << 10,
+    64 << 10,
+    128 << 10,
+    256 << 10,
+    512 << 10,
+    1 << 20,
+    2 << 20,
+    4 << 20,
+];
+const PATHS: &[&str] = &["CPU", "AES-NI", "LAKE", "GPU+AES-NI"];
+
+fn mount(which: &str, block: usize, key: &[u8; 32]) -> Ecryptfs {
+    let lake = Lake::builder().build();
+    Ecryptfs::install_gpu_kernels(&lake, key);
+    lake.gpu().set_exec_mode(ExecMode::TimingOnly);
+    let path = match which {
+        "CPU" => CryptoPath::Cpu,
+        "AES-NI" => CryptoPath::AesNi,
+        "LAKE" => CryptoPath::LakeGpu(lake.cuda()),
+        _ => CryptoPath::GpuPlusAesNi(lake.cuda()),
+    };
+    let device = NvmeDevice::new(NvmeSpec::samsung_980pro(), SimRng::seed(7));
+    Ecryptfs::new(
+        key,
+        path,
+        device,
+        lake.clock().clone(),
+        EcryptfsConfig { extent_size: block, timing_only: true, ..EcryptfsConfig::default() },
+    )
+}
+
+fn print_fig14() {
+    let key = [0x42u8; 32];
+    // Keep file size proportional to block size so every run is quick but
+    // long enough to reach steady state.
+    let total_for = |block: usize| (block * 24).max(4 << 20);
+
+    for (label, read) in [("sequential read", true), ("sequential write", false)] {
+        banner("Fig 14", &format!("eCryptfs {label} throughput (MB/s)"));
+        print!("{:>9}", "block");
+        for p in PATHS {
+            print!("{p:>12}");
+        }
+        println!();
+        for &block in BLOCKS {
+            print!("{:>8}K", block / 1024);
+            for p in PATHS {
+                let mut fs = mount(p, block, &key);
+                let total = total_for(block);
+                fs.write(0, &vec![0u8; total]).expect("prefill");
+                let mbps = if read {
+                    fs.measure_sequential_read(total).expect("read")
+                } else {
+                    fs.measure_sequential_write(total).expect("write")
+                };
+                print!("{mbps:>12.0}");
+            }
+            println!();
+        }
+    }
+    println!("(paper: CPU ~142 R / 136 W; AES-NI peaks ~670 R / 560 W; LAKE reaches");
+    println!(" ~840 R / 836 W at large blocks; LAKE passes AES-NI at 16K reads /");
+    println!(" 128K writes; GPU+AES-NI adds concurrent CPU cipher work)");
+}
+
+fn bench(c: &mut Criterion) {
+    // Real from-scratch AES-256-GCM throughput.
+    let gcm = AesGcm::new_256(&[7u8; 32]);
+    let mut group = c.benchmark_group("aes256gcm_real");
+    for &size in &[4096usize, 65536] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("seal_{size}"), |b| {
+            b.iter(|| gcm.seal(&[1u8; 12], &data, b""))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_fig14();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

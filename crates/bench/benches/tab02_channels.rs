@@ -1,0 +1,64 @@
+//! Table 2: average call time and doorbell latency per kernel↔user
+//! communication mechanism, plus real cross-thread Link round trips.
+
+use criterion::Criterion;
+use lake_bench::{banner, quick_criterion};
+use lake_rpc::{serve, ApiHandler, CallEngine};
+use lake_sim::SharedClock;
+use lake_transport::{Link, Mechanism};
+
+fn print_table2() {
+    banner("Table 2", "call time / doorbell latency per mechanism");
+    print!("{:<14}", "");
+    for m in Mechanism::ALL {
+        print!("{:>12}", m.name());
+    }
+    println!();
+    print!("{:<14}", "Call time (us)");
+    for m in Mechanism::ALL {
+        print!("{:>12}", m.call_time().as_micros());
+    }
+    println!();
+    print!("{:<14}", "Latency (us)");
+    for m in Mechanism::ALL {
+        print!("{:>12}", m.doorbell_latency().as_micros());
+    }
+    println!();
+    print!("{:<14}", "Spins CPU");
+    for m in Mechanism::ALL {
+        print!("{:>12}", if m.spins_cpu() { "yes" } else { "no" });
+    }
+    println!();
+    println!("(paper Table 2: Signal 56/56, Device R/W 6/57, Netlink 11/54, Mmap 6/6)");
+}
+
+fn bench(c: &mut Criterion) {
+    // Real wall-clock round trip across a daemon thread, per mechanism.
+    let mut group = c.benchmark_group("link_roundtrip");
+    for mech in Mechanism::ALL {
+        let clock = SharedClock::new();
+        let (kernel, user) = Link::pair(mech, clock);
+        let daemon = std::thread::spawn(move || {
+            let echo = |_api, payload: &[u8]| Ok(bytes::Bytes::copy_from_slice(payload));
+            serve(&user, &echo as &dyn ApiHandler);
+        });
+        let engine = CallEngine::linked(kernel);
+        group.bench_function(mech.name(), |b| {
+            b.iter(|| {
+                engine
+                    .call(lake_rpc::ApiId(1), bytes::Bytes::from_static(b"doorbell"))
+                    .expect("echo")
+            })
+        });
+        drop(engine);
+        daemon.join().expect("daemon exits");
+    }
+    group.finish();
+}
+
+fn main() {
+    print_table2();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

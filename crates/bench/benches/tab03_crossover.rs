@@ -1,0 +1,179 @@
+//! Table 3: measured crossover points — the batch size (or block size,
+//! for encryption) at which the GPU through LAKE becomes profitable —
+//! for all six identified applications.
+
+use criterion::Criterion;
+use lake_bench::{banner, quick_criterion};
+use lake_block::{NvmeDevice, NvmeSpec};
+use lake_core::{ExecMode, Lake};
+use lake_fs::{CryptoPath, Ecryptfs, EcryptfsConfig};
+use lake_ml::CpuCostModel;
+use lake_sim::SimRng;
+use lake_workloads::{crossover_batch, kleio, linnos, malware, mllb, prefetch, BatchTiming};
+
+const BATCHES: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+fn kleio_crossover() -> Option<usize> {
+    // Coarse-grained LSTM batches: CPU series derived from the model's
+    // FLOPs through the standard CPU cost model.
+    let lake = Lake::builder().build();
+    lake.gpu().set_exec_mode(ExecMode::TimingOnly);
+    let cfg = kleio::KleioConfig { history_epochs: 32, hidden: 64, layers: 2, seed: 1 };
+    let batches: Vec<usize> = BATCHES.to_vec();
+    let gpu = kleio::inference_timings(&lake, &cfg, &batches).expect("timings");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    use rand::SeedableRng;
+    let model = lake_ml::LstmClassifier::new(1, cfg.hidden, cfg.layers, 2, &mut rng);
+    let cpu_model = CpuCostModel::default();
+    let cpu: Vec<BatchTiming> = batches
+        .iter()
+        .map(|&b| BatchTiming {
+            batch: b,
+            micros: cpu_model
+                .time_for_flops(model.flops_per_sequence(cfg.history_epochs) * b as f64)
+                .as_micros_f64(),
+        })
+        .collect();
+    crossover_batch(&cpu, &gpu)
+}
+
+fn knn_crossover() -> Option<usize> {
+    // Queries batched against a 16,384-point reference database: how many
+    // queries before the GPU wins.
+    let lake = Lake::builder().build();
+    lake.gpu().set_exec_mode(ExecMode::TimingOnly);
+    let refs = 16_384usize;
+    let dims = 8usize;
+    let cpu_model = CpuCostModel::default();
+    let ml = lake.ml();
+    let mut rng = SimRng::seed(2);
+    let db = malware::build_database(dims, 256, 16, &mut rng);
+    let id = ml.load_model(&lake_ml::serialize::encode_knn(&db)).expect("loads");
+    let mut cpu = Vec::new();
+    let mut gpu = Vec::new();
+    for &b in BATCHES {
+        cpu.push(BatchTiming {
+            batch: b,
+            micros: cpu_model
+                .time_for_flops(3.0 * refs as f64 * dims as f64 * b as f64)
+                .as_micros_f64(),
+        });
+        let feats = vec![0.3f32; b * dims];
+        let t0 = lake.clock().now();
+        ml.infer_knn(id, b, dims, &feats).expect("infers");
+        let mut us = (lake.clock().now() - t0).as_micros_f64();
+        // scale compute from the 256-ref stand-in database to 16,384 refs
+        let spec = lake.gpu().spec();
+        let small = spec.launch_time(3.0 * dims as f64 * (b * 256) as f64, (b * 256) as u64);
+        let full = spec.launch_time(3.0 * dims as f64 * (b * refs) as f64, (b * refs) as u64);
+        us += full.as_micros_f64() - small.as_micros_f64();
+        gpu.push(BatchTiming { batch: b, micros: us });
+    }
+    crossover_batch(&cpu, &gpu)
+}
+
+fn encryption_crossovers() -> (Option<usize>, Option<usize>) {
+    // Block size at which the LAKE path beats AES-NI, for reads and
+    // writes (Fig 14's crossover column: 16K / 128K).
+    let key = [0x42u8; 32];
+    let blocks = [4usize << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10];
+    let mut read_x = None;
+    let mut write_x = None;
+    for &block in &blocks {
+        let total = (block * 24).max(2 << 20);
+        let run = |path_name: &str, read: bool| {
+            let lake = Lake::builder().build();
+            Ecryptfs::install_gpu_kernels(&lake, &key);
+            lake.gpu().set_exec_mode(ExecMode::TimingOnly);
+            let path = match path_name {
+                "AES-NI" => CryptoPath::AesNi,
+                _ => CryptoPath::LakeGpu(lake.cuda()),
+            };
+            let device = NvmeDevice::new(NvmeSpec::samsung_980pro(), SimRng::seed(7));
+            let mut fs = Ecryptfs::new(
+                &key,
+                path,
+                device,
+                lake.clock().clone(),
+                EcryptfsConfig { extent_size: block, timing_only: true, ..EcryptfsConfig::default() },
+            );
+            fs.write(0, &vec![0u8; total]).expect("prefill");
+            if read {
+                fs.measure_sequential_read(total).expect("read")
+            } else {
+                fs.measure_sequential_write(total).expect("write")
+            }
+        };
+        if read_x.is_none() && run("LAKE", true) > run("AES-NI", true) {
+            read_x = Some(block);
+        }
+        if write_x.is_none() && run("LAKE", false) > run("AES-NI", false) {
+            write_x = Some(block);
+        }
+    }
+    (read_x, write_x)
+}
+
+fn print_table3() {
+    banner("Table 3", "crossover points (GPU profitable beyond this batch)");
+    println!("{:<24} {:>12} {:>10}", "application", "measured", "paper");
+
+    let lake = Lake::builder().build();
+    let (cpu, gpu) = linnos::inference_timings(&lake, 0, BATCHES);
+    println!(
+        "{:<24} {:>12?} {:>10}",
+        "I/O latency prediction",
+        crossover_batch(&cpu, &gpu),
+        "8"
+    );
+    println!("{:<24} {:>12?} {:>10}", "Page warmth (LSTM)", kleio_crossover(), "1");
+
+    let lake = Lake::builder().build();
+    let (cpu, gpu, _) = mllb::inference_timings(&lake, BATCHES).expect("timings");
+    println!(
+        "{:<24} {:>12?} {:>10}",
+        "Load balancing",
+        crossover_batch(&cpu, &gpu),
+        "256"
+    );
+
+    let lake = Lake::builder().build();
+    let (cpu, gpu, _) = prefetch::inference_timings(&lake, BATCHES).expect("timings");
+    println!(
+        "{:<24} {:>12?} {:>10}",
+        "Filesystem prefetching",
+        crossover_batch(&cpu, &gpu),
+        "64"
+    );
+
+    println!("{:<24} {:>12?} {:>10}", "Malware detection (kNN)", knn_crossover(), "128");
+
+    let (r, w) = encryption_crossovers();
+    println!(
+        "{:<24} {:>12} {:>10}",
+        "Filesystem encryption",
+        format!(
+            "{}K/{}K",
+            r.map_or(0, |b| b / 1024),
+            w.map_or(0, |b| b / 1024)
+        ),
+        "16K/128K"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("crossover_search_linnos", |b| {
+        b.iter(|| {
+            let lake = Lake::builder().build();
+            let (cpu, gpu) = linnos::inference_timings(&lake, 0, &[1, 8, 64]);
+            crossover_batch(&cpu, &gpu)
+        })
+    });
+}
+
+fn main() {
+    print_table3();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,46 @@
+//! Table 4: characteristics of the generated traces (the paper's own
+//! substitution for LinnOS's private traces), measured from actual
+//! generated event streams.
+
+use criterion::Criterion;
+use lake_bench::{banner, quick_criterion};
+use lake_block::{TraceSpec, TraceStats};
+use lake_sim::{Duration, SimRng};
+
+fn print_table4() {
+    banner("Table 4", "generated trace characteristics (2s horizon)");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>14} {:>14}",
+        "trace", "avg IOPS", "avg R (KB)", "avg W (KB)", "min arrival", "max arrival"
+    );
+    let mut rng = SimRng::seed(4242);
+    for spec in TraceSpec::table4() {
+        let events = spec.generate(Duration::from_secs(2), &mut rng);
+        let stats = TraceStats::measure(&events);
+        println!(
+            "{:<8} {:>10.0} {:>12.0} {:>12.0} {:>14} {:>14}",
+            spec.name,
+            stats.avg_iops,
+            stats.avg_read_bytes / 1024.0,
+            stats.avg_write_bytes / 1024.0,
+            format!("{}", stats.min_arrival),
+            format!("{}", stats.max_arrival)
+        );
+    }
+    println!("(paper: Azure 26k IOPS 30/19KB 0/324us; Bing-I 4.8k 73/59KB 0/1.8ms;");
+    println!(" Cosmos 2.5k 657/609KB 0/1.6ms — min/max arrivals vary with the horizon)");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = SimRng::seed(1);
+    c.bench_function("generate_azure_100ms", |b| {
+        b.iter(|| TraceSpec::azure().generate(Duration::from_millis(100), &mut rng).len())
+    });
+}
+
+fn main() {
+    print_table4();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

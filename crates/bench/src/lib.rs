@@ -1,0 +1,68 @@
+//! Shared helpers for the figure/table reproduction benches.
+//!
+//! Every bench target in `benches/` does two things:
+//!
+//! 1. prints the paper-style rows/series for its table or figure
+//!    (deterministic, from the calibrated simulator), and
+//! 2. runs a small criterion group measuring the *real* wall-clock
+//!    performance of the underlying component.
+//!
+//! `EXPERIMENTS.md` records the printed outputs against the paper.
+
+use criterion::Criterion;
+
+/// Criterion tuned for a large suite: small samples, short windows.
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .configure_from_args()
+}
+
+/// Prints a figure/table banner.
+pub fn banner(tag: &str, title: &str) {
+    println!("\n==== {tag}: {title} ====");
+}
+
+/// Formats microseconds compactly.
+pub fn fmt_us(us: f64) -> String {
+    if us >= 1.0e6 {
+        format!("{:.2}s", us / 1.0e6)
+    } else if us >= 1.0e3 {
+        format!("{:.2}ms", us / 1.0e3)
+    } else {
+        format!("{us:.2}us")
+    }
+}
+
+/// Renders a one-line unicode sparkline for a series normalized to
+/// `max`.
+pub fn sparkline(values: &[f64], max: f64) -> String {
+    const BARS: &[char] = &[' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max).clamp(0.0, 1.0) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_us_scales() {
+        assert_eq!(fmt_us(5.0), "5.00us");
+        assert_eq!(fmt_us(5_000.0), "5.00ms");
+        assert_eq!(fmt_us(5_000_000.0), "5.00s");
+    }
+
+    #[test]
+    fn sparkline_length_and_bounds() {
+        let s = sparkline(&[0.0, 0.5, 1.0, 2.0], 1.0);
+        assert_eq!(s.chars().count(), 4);
+    }
+}

@@ -1,0 +1,27 @@
+//! Block-I/O substrate for the LAKE reproduction.
+//!
+//! The paper's end-to-end study (§7.1) replays storage traces against
+//! three Samsung 980 Pro NVMes, predicting per-I/O latency with a neural
+//! network and reissuing predicted-slow reads to another device (the
+//! LinnOS approach). This crate provides the pieces that study needs:
+//!
+//! * [`trace`] — the synthetic trace generator the paper itself uses
+//!   ("the traces used by LinnOS are not available publicly, so we
+//!   generate traces with similar characteristics"): exponential
+//!   inter-arrival, lognormal size, uniform offset, with Table 4's
+//!   parameters and the "rerating" technique.
+//! * [`device`] — an NVMe device model with channel-level queueing, a
+//!   DRAM read cache, and an optional write-buffer/GC model; modern-device
+//!   behaviour (low variance until pressured) emerges from the queueing.
+//! * [`mod@replay`] — the multi-device replay engine with pluggable slow-I/O
+//!   prediction and round-robin reissue.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod replay;
+pub mod trace;
+
+pub use device::{GcModel, IoCompletion, NvmeDevice, NvmeSpec};
+pub use replay::{replay, NoPredictor, ReplayConfig, ReplayReport, SlowIoPredictor};
+pub use trace::{IoKind, TraceEvent, TraceSpec, TraceStats};

@@ -1,0 +1,366 @@
+//! Multi-device trace replay with predictive I/O reissue (§7.1).
+//!
+//! "If a system predicts an I/O will be slow, the latency penalty can be
+//! mitigated by issuing a duplicate I/O request to another storage node."
+//! The replay engine runs each trace against its default device; a
+//! pluggable [`SlowIoPredictor`] (the LinnOS neural network in the
+//! workloads crate, through CPU or LAKE/GPU) classifies each read, and
+//! predicted-slow reads are reissued "in round-robin fashion" to the
+//! other devices. The predictor's own inference latency is charged onto
+//! the I/O — that is precisely the cost Fig 7 weighs against the benefit.
+
+use std::collections::VecDeque;
+
+use lake_sim::{Duration, Histogram, Instant};
+
+use crate::device::NvmeDevice;
+use crate::trace::{IoKind, TraceEvent};
+
+/// Per-read features observed at issue time — the §5.5 feature vector
+/// (number of pending I/Os + completion latency of recent I/Os).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoFeatures {
+    /// Device the read would be issued to.
+    pub device: usize,
+    /// In-flight I/Os on that device.
+    pub pending: usize,
+    /// Most recent completion latencies on that device, in µs, newest
+    /// first (zero-padded).
+    pub recent_latencies_us: Vec<f32>,
+}
+
+/// A labeled observation collected during replay (for training).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoSample {
+    /// Features at issue time.
+    pub features: IoFeatures,
+    /// The latency the read actually experienced on that device.
+    pub latency: Duration,
+}
+
+/// Decides whether a read would be slow; returns the verdict and the
+/// inference latency to charge.
+pub trait SlowIoPredictor {
+    /// Predicts for one read.
+    fn predict(&mut self, now: Instant, features: &IoFeatures) -> (bool, Duration);
+
+    /// Feedback: the application-observed latency of the read that was
+    /// just predicted (including any charged inference time). Lets
+    /// adaptive wrappers (e.g. the ML-gate of `lake-workloads`) learn
+    /// whether prediction is paying off. Default: ignored.
+    fn observe(&mut self, latency: Duration) {
+        let _ = latency;
+    }
+
+    /// Name for reports.
+    fn name(&self) -> &str {
+        "predictor"
+    }
+}
+
+/// The baseline: never predicts slow, charges nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoPredictor;
+
+impl SlowIoPredictor for NoPredictor {
+    fn predict(&mut self, _now: Instant, _features: &IoFeatures) -> (bool, Duration) {
+        (false, Duration::ZERO)
+    }
+
+    fn name(&self) -> &str {
+        "baseline"
+    }
+}
+
+/// Replay options.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Reissue predicted-slow reads to other devices.
+    pub reissue: bool,
+    /// Latency-history depth per device (LinnOS uses the last 4).
+    pub history: usize,
+    /// Collect labeled samples for training.
+    pub collect_samples: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig { reissue: true, history: 4, collect_samples: false }
+    }
+}
+
+/// Replay results.
+#[derive(Debug)]
+pub struct ReplayReport {
+    /// Mean read latency (including charged inference time).
+    pub avg_read_latency: Duration,
+    /// 95th/99th percentile read latencies.
+    pub p95_read_latency: Duration,
+    /// 99th percentile read latency.
+    pub p99_read_latency: Duration,
+    /// Reads replayed.
+    pub reads: usize,
+    /// Writes replayed.
+    pub writes: usize,
+    /// Reads reissued away from their default device.
+    pub reroutes: usize,
+    /// Total virtual time spent in prediction.
+    pub inference_time: Duration,
+    /// Labeled observations (if collection was enabled).
+    pub samples: Vec<IoSample>,
+}
+
+/// Replays `traces` (each pinned to a default device index) against
+/// `devices` under `predictor`.
+///
+/// # Panics
+///
+/// Panics if a trace references a device index out of range or
+/// `config.history` is zero.
+pub fn replay(
+    devices: &mut [NvmeDevice],
+    traces: &[(usize, Vec<TraceEvent>)],
+    predictor: &mut dyn SlowIoPredictor,
+    config: &ReplayConfig,
+) -> ReplayReport {
+    assert!(config.history > 0, "history depth must be non-zero");
+    assert!(
+        traces.iter().all(|&(d, _)| d < devices.len()),
+        "trace device index out of range"
+    );
+
+    // Merge events across traces in arrival order.
+    let mut merged: Vec<(usize, TraceEvent)> = traces
+        .iter()
+        .flat_map(|(dev, evs)| evs.iter().map(move |e| (*dev, *e)))
+        .collect();
+    merged.sort_by_key(|(_, e)| e.at);
+
+    let mut histories: Vec<VecDeque<f32>> =
+        vec![VecDeque::with_capacity(config.history); devices.len()];
+    let mut read_hist = Histogram::new();
+    let mut reads = 0usize;
+    let mut writes = 0usize;
+    let mut reroutes = 0usize;
+    let mut inference_time = Duration::ZERO;
+    let mut samples = Vec::new();
+    let mut rr_counter = 0usize;
+
+    let features_of = |dev: usize,
+                       now: Instant,
+                       devices: &mut [NvmeDevice],
+                       histories: &[VecDeque<f32>],
+                       history: usize| {
+        let pending = devices[dev].pending_at(now);
+        let mut recent: Vec<f32> = histories[dev].iter().copied().collect();
+        recent.resize(history, 0.0);
+        IoFeatures { device: dev, pending, recent_latencies_us: recent }
+    };
+
+    for (default_dev, event) in merged {
+        match event.kind {
+            IoKind::Write => {
+                writes += 1;
+                devices[default_dev].submit(event.at, IoKind::Write, event.size);
+            }
+            IoKind::Read => {
+                reads += 1;
+                let mut issue_at = event.at;
+                let mut chosen = default_dev;
+                let n = devices.len();
+
+                // One prediction per read on its default device; if slow,
+                // reissue "in round-robin fashion" to another device
+                // (§7.1) without further prediction.
+                let feats =
+                    features_of(default_dev, issue_at, devices, &histories, config.history);
+                let (slow, cost) = predictor.predict(issue_at, &feats);
+                inference_time += cost;
+                issue_at += cost;
+                if slow && config.reissue && n > 1 {
+                    rr_counter += 1;
+                    chosen = (default_dev + 1 + (rr_counter % (n - 1))) % n;
+                }
+                if chosen != default_dev {
+                    reroutes += 1;
+                }
+
+                let completion = devices[chosen].submit(issue_at, IoKind::Read, event.size);
+                // Application-observed latency includes the prediction
+                // delay before issue.
+                let latency = completion.end.duration_since(event.at);
+                read_hist.record(latency);
+                predictor.observe(latency);
+
+                let device_latency = completion.end.duration_since(issue_at);
+                let hist = &mut histories[chosen];
+                if hist.len() == config.history {
+                    hist.pop_back();
+                }
+                hist.push_front(device_latency.as_micros_f64() as f32);
+
+                if config.collect_samples {
+                    let feats =
+                        features_of(chosen, issue_at, devices, &histories, config.history);
+                    samples.push(IoSample { features: feats, latency: device_latency });
+                }
+            }
+        }
+    }
+
+    ReplayReport {
+        avg_read_latency: read_hist.mean().unwrap_or(Duration::ZERO),
+        p95_read_latency: read_hist.percentile(95.0).unwrap_or(Duration::ZERO),
+        p99_read_latency: read_hist.percentile(99.0).unwrap_or(Duration::ZERO),
+        reads,
+        writes,
+        reroutes,
+        inference_time,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::NvmeSpec;
+    use crate::trace::TraceSpec;
+    use lake_sim::SimRng;
+
+    fn devices(n: usize) -> Vec<NvmeDevice> {
+        let mut rng = SimRng::seed(99);
+        (0..n)
+            .map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork()))
+            .collect()
+    }
+
+    fn azure_short(seed: u64) -> Vec<TraceEvent> {
+        let mut rng = SimRng::seed(seed);
+        TraceSpec::azure().generate(Duration::from_millis(200), &mut rng)
+    }
+
+    #[test]
+    fn baseline_replay_reports_sane_latencies() {
+        let mut devs = devices(1);
+        let trace = azure_short(1);
+        let n_reads = trace.iter().filter(|e| e.kind == IoKind::Read).count();
+        let report = replay(
+            &mut devs,
+            &[(0, trace)],
+            &mut NoPredictor,
+            &ReplayConfig::default(),
+        );
+        assert_eq!(report.reads, n_reads);
+        assert_eq!(report.reroutes, 0);
+        assert_eq!(report.inference_time, Duration::ZERO);
+        let avg = report.avg_read_latency.as_micros();
+        assert!(avg > 5 && avg < 2_000, "avg read latency {avg}us");
+        assert!(report.p99_read_latency >= report.p95_read_latency);
+    }
+
+    /// An oracle that predicts "slow" whenever the queue is deep; with
+    /// three devices and a hot default device it must reroute.
+    struct QueueOracle;
+
+    impl SlowIoPredictor for QueueOracle {
+        fn predict(&mut self, _now: Instant, f: &IoFeatures) -> (bool, Duration) {
+            (f.pending > 4, Duration::from_micros(2))
+        }
+    }
+
+    #[test]
+    fn predictor_reroutes_away_from_hot_device() {
+        let mut devs = devices(3);
+        // Hammer device 0 with the heavy Cosmos trace plus put Azure on
+        // it too; devices 1 and 2 are idle.
+        let mut rng = SimRng::seed(5);
+        let cosmos = TraceSpec::cosmos()
+            .rerate(4.0)
+            .generate(Duration::from_millis(300), &mut rng);
+        let azure = azure_short(2);
+        let report = replay(
+            &mut devs,
+            &[(0, cosmos), (0, azure)],
+            &mut QueueOracle,
+            &ReplayConfig::default(),
+        );
+        assert!(report.reroutes > 0, "expected reroutes under pressure");
+        assert!(report.inference_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn reissue_disabled_never_reroutes() {
+        let mut devs = devices(3);
+        let mut rng = SimRng::seed(5);
+        let cosmos = TraceSpec::cosmos()
+            .rerate(4.0)
+            .generate(Duration::from_millis(200), &mut rng);
+        let report = replay(
+            &mut devs,
+            &[(0, cosmos)],
+            &mut QueueOracle,
+            &ReplayConfig { reissue: false, ..ReplayConfig::default() },
+        );
+        assert_eq!(report.reroutes, 0);
+    }
+
+    #[test]
+    fn rerouting_under_pressure_beats_baseline() {
+        // The Fig 7 "Mixed" phenomenology in miniature: a pressured
+        // default device, idle alternatives.
+        let mut rng = SimRng::seed(11);
+        let heavy = TraceSpec::cosmos().rerate(4.0);
+        let t1 = heavy.generate(Duration::from_millis(400), &mut rng);
+        let t2 = azure_short(3);
+
+        let mut devs = devices(3);
+        let base = replay(
+            &mut devs,
+            &[(0, t1.clone()), (0, t2.clone())],
+            &mut NoPredictor,
+            &ReplayConfig::default(),
+        );
+        let mut devs = devices(3);
+        let smart = replay(
+            &mut devs,
+            &[(0, t1), (0, t2)],
+            &mut QueueOracle,
+            &ReplayConfig::default(),
+        );
+        assert!(
+            smart.avg_read_latency < base.avg_read_latency,
+            "oracle {} should beat baseline {}",
+            smart.avg_read_latency,
+            base.avg_read_latency
+        );
+    }
+
+    #[test]
+    fn sample_collection_produces_labeled_data() {
+        let mut devs = devices(1);
+        let trace = azure_short(4);
+        let report = replay(
+            &mut devs,
+            &[(0, trace)],
+            &mut NoPredictor,
+            &ReplayConfig { collect_samples: true, ..ReplayConfig::default() },
+        );
+        assert_eq!(report.samples.len(), report.reads);
+        for s in &report.samples {
+            assert_eq!(s.features.recent_latencies_us.len(), 4);
+            assert!(s.latency > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_device_index_rejected() {
+        let mut devs = devices(1);
+        replay(
+            &mut devs,
+            &[(3, azure_short(1))],
+            &mut NoPredictor,
+            &ReplayConfig::default(),
+        );
+    }
+}

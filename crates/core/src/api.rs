@@ -1,0 +1,136 @@
+//! The API identifiers `lakeLib` exposes to kernel space.
+//!
+//! LAKE "provides kernel space with the CUDA driver API version 11.0 as
+//! well as TensorFlow 2.4.0 and Keras 2.2.5" (§6). Each remoted function
+//! gets a numeric identifier serialized at the head of its command.
+
+use lake_rpc::ApiId;
+
+// -- CUDA driver API (0x1xx) ----------------------------------------------
+
+/// `cuMemAlloc(bytes) -> DevicePtr`
+pub const CU_MEM_ALLOC: ApiId = ApiId(0x101);
+/// `cuMemFree(ptr)`
+pub const CU_MEM_FREE: ApiId = ApiId(0x102);
+/// `cuMemcpyHtoD(ptr, inline bytes)`
+pub const CU_MEMCPY_HTOD: ApiId = ApiId(0x103);
+/// `cuMemcpyHtoD(ptr, shm offset, len)` — zero-copy payload via `lakeShm`.
+pub const CU_MEMCPY_HTOD_SHM: ApiId = ApiId(0x104);
+/// `cuMemcpyDtoH(ptr, len) -> inline bytes`
+pub const CU_MEMCPY_DTOH: ApiId = ApiId(0x105);
+/// `cuMemcpyDtoH(ptr, shm offset, len)` — result deposited in `lakeShm`.
+pub const CU_MEMCPY_DTOH_SHM: ApiId = ApiId(0x106);
+/// `cuLaunchKernel(name, items, args)` (+ implicit `cuCtxSynchronize`)
+pub const CU_LAUNCH_KERNEL: ApiId = ApiId(0x107);
+/// `cuStreamCreate() -> stream`
+pub const CU_STREAM_CREATE: ApiId = ApiId(0x108);
+/// `cuStreamDestroy(stream)`
+pub const CU_STREAM_DESTROY: ApiId = ApiId(0x109);
+/// `cuMemcpyHtoDAsync(stream, ptr, shm offset, len)`
+pub const CU_MEMCPY_HTOD_ASYNC_SHM: ApiId = ApiId(0x10A);
+/// `cuLaunchKernel(stream, name, items, args)` without synchronize
+pub const CU_LAUNCH_KERNEL_ASYNC: ApiId = ApiId(0x10B);
+/// `cuMemcpyDtoHAsync(stream, ptr, shm offset, len)`
+pub const CU_MEMCPY_DTOH_ASYNC_SHM: ApiId = ApiId(0x10C);
+/// `cuStreamSynchronize(stream)`
+pub const CU_STREAM_SYNCHRONIZE: ApiId = ApiId(0x10D);
+
+// -- NVML (0x2xx) -----------------------------------------------------------
+
+/// `nvmlDeviceGetUtilizationRates(window_us) -> percent`
+pub const NVML_GET_UTILIZATION: ApiId = ApiId(0x201);
+
+// -- High-level ML APIs (0x3xx) ---------------------------------------------
+
+/// `tfLoadModel(blob) -> model id` — decodes a LAKE model blob in the
+/// daemon, uploads weights to the device.
+pub const ML_LOAD_MODEL: ApiId = ApiId(0x301);
+/// `tfUnloadModel(model id)`
+pub const ML_UNLOAD_MODEL: ApiId = ApiId(0x302);
+/// `tfInfer(model id, rows, cols, shm offset) -> class per row` — batched
+/// MLP inference.
+pub const ML_INFER_MLP: ApiId = ApiId(0x303);
+/// `kerasLstmInfer(model id, seqs, steps, features, shm offset) -> class
+/// per sequence`.
+pub const ML_INFER_LSTM: ApiId = ApiId(0x304);
+/// `knnClassify(model id, rows, cols, shm offset) -> class per row`.
+pub const ML_INFER_KNN: ApiId = ApiId(0x305);
+/// `tfTrain(model id, rows, cols, epochs, lr, labels, shm offset) ->
+/// final mean loss` — daemon-side SGD on an uploaded labeled batch
+/// (online learning, §2.1).
+pub const ML_TRAIN_MLP: ApiId = ApiId(0x306);
+/// `tfExportModel(model id) -> serialized blob` — retrieve (possibly
+/// retrained) weights, e.g. for the registry's `update_model`.
+pub const ML_EXPORT_MODEL: ApiId = ApiId(0x307);
+
+/// Human-readable name for diagnostics.
+pub fn api_name(api: ApiId) -> &'static str {
+    match api {
+        CU_MEM_ALLOC => "cuMemAlloc",
+        CU_MEM_FREE => "cuMemFree",
+        CU_MEMCPY_HTOD => "cuMemcpyHtoD",
+        CU_MEMCPY_HTOD_SHM => "cuMemcpyHtoD[shm]",
+        CU_MEMCPY_DTOH => "cuMemcpyDtoH",
+        CU_MEMCPY_DTOH_SHM => "cuMemcpyDtoH[shm]",
+        CU_LAUNCH_KERNEL => "cuLaunchKernel",
+        CU_STREAM_CREATE => "cuStreamCreate",
+        CU_STREAM_DESTROY => "cuStreamDestroy",
+        CU_MEMCPY_HTOD_ASYNC_SHM => "cuMemcpyHtoDAsync[shm]",
+        CU_LAUNCH_KERNEL_ASYNC => "cuLaunchKernel[async]",
+        CU_MEMCPY_DTOH_ASYNC_SHM => "cuMemcpyDtoHAsync[shm]",
+        CU_STREAM_SYNCHRONIZE => "cuStreamSynchronize",
+        NVML_GET_UTILIZATION => "nvmlDeviceGetUtilizationRates",
+        ML_LOAD_MODEL => "tfLoadModel",
+        ML_UNLOAD_MODEL => "tfUnloadModel",
+        ML_INFER_MLP => "tfInfer",
+        ML_INFER_LSTM => "kerasLstmInfer",
+        ML_INFER_KNN => "knnClassify",
+        ML_TRAIN_MLP => "tfTrain",
+        ML_EXPORT_MODEL => "tfExportModel",
+        _ => "unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let ids = [
+            CU_MEM_ALLOC,
+            CU_MEM_FREE,
+            CU_MEMCPY_HTOD,
+            CU_MEMCPY_HTOD_SHM,
+            CU_MEMCPY_DTOH,
+            CU_MEMCPY_DTOH_SHM,
+            CU_LAUNCH_KERNEL,
+            CU_STREAM_CREATE,
+            CU_STREAM_DESTROY,
+            CU_MEMCPY_HTOD_ASYNC_SHM,
+            CU_LAUNCH_KERNEL_ASYNC,
+            CU_MEMCPY_DTOH_ASYNC_SHM,
+            CU_STREAM_SYNCHRONIZE,
+            NVML_GET_UTILIZATION,
+            ML_LOAD_MODEL,
+            ML_UNLOAD_MODEL,
+            ML_INFER_MLP,
+            ML_INFER_LSTM,
+            ML_INFER_KNN,
+            ML_TRAIN_MLP,
+            ML_EXPORT_MODEL,
+        ];
+        for (i, a) in ids.iter().enumerate() {
+            for b in &ids[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn names_resolve() {
+        assert_eq!(api_name(CU_MEM_ALLOC), "cuMemAlloc");
+        assert_eq!(api_name(ML_INFER_LSTM), "kerasLstmInfer");
+        assert_eq!(api_name(ApiId(0xdead)), "unknown");
+    }
+}

@@ -1,0 +1,599 @@
+//! `lakeD`: the user-space daemon that realizes remoted APIs.
+//!
+//! "lakeD is a user space daemon that listens for commands coming from
+//! lakeLib, deserializes them and executes the requested APIs. This daemon
+//! must have access to the vendor's library (e.g. cudart.so)" (§4). Here
+//! the vendor library is the simulated [`GpuDevice`]; the high-level ML
+//! APIs (§4.4) are realized with `lake-ml` models whose weights live on
+//! the device and whose forward passes run inside device kernels, so both
+//! correctness and timing flow through the accelerator.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use lake_gpu::{DevicePtr, GpuDevice, GpuError, KernelArg};
+use lake_ml::{serialize, Knn, LstmClassifier, Matrix, Mlp, ModelKind};
+use lake_rpc::{ApiHandler, ApiId, Decoder, Encoder, Status};
+use lake_shm::ShmRegion;
+
+use crate::api;
+use crate::error::code;
+
+fn gpu_status(e: GpuError) -> Status {
+    Status::VendorError(match e {
+        GpuError::OutOfMemory { .. } => code::GPU_OOM,
+        GpuError::InvalidPtr(_) => code::GPU_INVALID_PTR,
+        GpuError::OutOfBounds { .. } => code::GPU_OOB,
+        GpuError::UnknownKernel(_) => code::GPU_UNKNOWN_KERNEL,
+        GpuError::KernelFault(_) => code::GPU_KERNEL_FAULT,
+    })
+}
+
+/// A model loaded through the high-level API, resident in the daemon with
+/// weights uploaded to the device.
+enum LoadedModel {
+    Mlp(Arc<Mlp>),
+    Lstm(Arc<LstmClassifier>),
+    Knn(Arc<Knn>),
+}
+
+struct HighLevelState {
+    models: HashMap<u64, LoadedModel>,
+    next_id: u64,
+}
+
+/// The daemon: implements [`ApiHandler`] over the simulated CUDA library.
+pub struct LakeDaemon {
+    gpu: Arc<GpuDevice>,
+    shm: ShmRegion,
+    hl: Arc<Mutex<HighLevelState>>,
+}
+
+impl LakeDaemon {
+    /// Creates a daemon bound to a device and the shared region.
+    pub fn new(gpu: Arc<GpuDevice>, shm: ShmRegion) -> Arc<Self> {
+        let hl = Arc::new(Mutex::new(HighLevelState { models: HashMap::new(), next_id: 1 }));
+        Arc::new(LakeDaemon { gpu, shm, hl })
+    }
+
+    /// The device this daemon drives.
+    pub fn gpu(&self) -> &Arc<GpuDevice> {
+        &self.gpu
+    }
+
+    fn cu_mem_alloc(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let bytes = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let ptr = self.gpu.mem_alloc(bytes).map_err(gpu_status)?;
+        let mut e = Encoder::new();
+        e.put_u64(ptr.0);
+        Ok(e.finish())
+    }
+
+    fn cu_mem_free(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let ptr = DevicePtr(d.get_u64().map_err(|_| Status::Malformed)?);
+        self.gpu.mem_free(ptr).map_err(gpu_status)?;
+        Ok(Bytes::new())
+    }
+
+    fn cu_memcpy_htod(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let ptr = DevicePtr(d.get_u64().map_err(|_| Status::Malformed)?);
+        let data = d.get_bytes().map_err(|_| Status::Malformed)?;
+        self.gpu.memcpy_htod(ptr, data).map_err(gpu_status)?;
+        Ok(Bytes::new())
+    }
+
+    fn cu_memcpy_htod_shm(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let ptr = DevicePtr(d.get_u64().map_err(|_| Status::Malformed)?);
+        let offset = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let len = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let buf = self
+            .shm
+            .resolve(offset)
+            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        // Zero-copy read out of the shared mapping straight into the
+        // device transfer.
+        let result = self
+            .shm
+            .with_bytes(&buf, |bytes| {
+                let len = len.min(bytes.len());
+                self.gpu.memcpy_htod(ptr, &bytes[..len])
+            })
+            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        result.map_err(gpu_status)?;
+        Ok(Bytes::new())
+    }
+
+    fn cu_memcpy_dtoh(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let ptr = DevicePtr(d.get_u64().map_err(|_| Status::Malformed)?);
+        let len = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let data = self.gpu.memcpy_dtoh(ptr, len).map_err(gpu_status)?;
+        let mut e = Encoder::new();
+        e.put_bytes(&data);
+        Ok(e.finish())
+    }
+
+    fn cu_memcpy_dtoh_shm(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let ptr = DevicePtr(d.get_u64().map_err(|_| Status::Malformed)?);
+        let offset = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let len = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let data = self.gpu.memcpy_dtoh(ptr, len).map_err(gpu_status)?;
+        let buf = self
+            .shm
+            .resolve(offset)
+            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        self.shm
+            .write(&buf, 0, &data)
+            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        Ok(Bytes::new())
+    }
+
+    fn decode_args(d: &mut Decoder<'_>) -> Result<Vec<KernelArg>, Status> {
+        let n_args = d.get_u32().map_err(|_| Status::Malformed)? as usize;
+        let mut args = Vec::with_capacity(n_args);
+        for _ in 0..n_args {
+            let tag = d.get_u8().map_err(|_| Status::Malformed)?;
+            let arg = match tag {
+                0 => KernelArg::Ptr(DevicePtr(d.get_u64().map_err(|_| Status::Malformed)?)),
+                1 => KernelArg::U64(d.get_u64().map_err(|_| Status::Malformed)?),
+                2 => KernelArg::F32(d.get_f32().map_err(|_| Status::Malformed)?),
+                _ => return Err(Status::Malformed),
+            };
+            args.push(arg);
+        }
+        Ok(args)
+    }
+
+    fn cu_stream_create(&self, _payload: &[u8]) -> Result<Bytes, Status> {
+        let stream = self.gpu.stream_create();
+        let mut e = Encoder::new();
+        e.put_u32(stream);
+        Ok(e.finish())
+    }
+
+    fn cu_stream_destroy(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let stream = d.get_u32().map_err(|_| Status::Malformed)?;
+        self.gpu.stream_destroy(stream).map_err(gpu_status)?;
+        Ok(Bytes::new())
+    }
+
+    fn cu_memcpy_htod_async_shm(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let stream = d.get_u32().map_err(|_| Status::Malformed)?;
+        let ptr = DevicePtr(d.get_u64().map_err(|_| Status::Malformed)?);
+        let offset = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let len = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let buf = self
+            .shm
+            .resolve(offset)
+            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        let result = self
+            .shm
+            .with_bytes(&buf, |bytes| {
+                let len = len.min(bytes.len());
+                self.gpu.memcpy_htod_async(stream, ptr, &bytes[..len])
+            })
+            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        result.map_err(gpu_status)?;
+        Ok(Bytes::new())
+    }
+
+    fn cu_launch_kernel_async(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let stream = d.get_u32().map_err(|_| Status::Malformed)?;
+        let name = d.get_str().map_err(|_| Status::Malformed)?.to_owned();
+        let items = d.get_u64().map_err(|_| Status::Malformed)?;
+        let args = Self::decode_args(&mut d)?;
+        self.gpu
+            .launch_kernel_async(stream, &name, items, &args)
+            .map_err(gpu_status)?;
+        Ok(Bytes::new())
+    }
+
+    fn cu_memcpy_dtoh_async_shm(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let stream = d.get_u32().map_err(|_| Status::Malformed)?;
+        let ptr = DevicePtr(d.get_u64().map_err(|_| Status::Malformed)?);
+        let offset = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let len = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let data = self.gpu.memcpy_dtoh_async(stream, ptr, len).map_err(gpu_status)?;
+        let buf = self
+            .shm
+            .resolve(offset)
+            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        self.shm
+            .write(&buf, 0, &data)
+            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        Ok(Bytes::new())
+    }
+
+    fn cu_stream_synchronize(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let stream = d.get_u32().map_err(|_| Status::Malformed)?;
+        self.gpu.stream_synchronize(stream).map_err(gpu_status)?;
+        Ok(Bytes::new())
+    }
+
+    fn cu_launch_kernel(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let name = d.get_str().map_err(|_| Status::Malformed)?;
+        let items = d.get_u64().map_err(|_| Status::Malformed)?;
+        let args = Self::decode_args(&mut d)?;
+        self.gpu.launch_kernel(name, items, &args).map_err(gpu_status)?;
+        Ok(Bytes::new())
+    }
+
+    fn nvml_get_utilization(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let window_us = d.get_u64().map_err(|_| Status::Malformed)?;
+        let util = self
+            .gpu
+            .utilization_over(lake_sim::Duration::from_micros(window_us));
+        let mut e = Encoder::new();
+        e.put_f64(util * 100.0);
+        Ok(e.finish())
+    }
+
+    // -- high-level APIs (§4.4) -------------------------------------------
+
+    fn ml_load_model(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let blob = d.get_bytes().map_err(|_| Status::Malformed)?;
+        let kind = ModelKind::detect(blob).map_err(|_| Status::VendorError(code::ML_BAD_MODEL))?;
+        let (model, weight_bytes, kernel_name, flops_per_item) = match kind {
+            ModelKind::Mlp => {
+                let m = serialize::decode_mlp(blob)
+                    .map_err(|_| Status::VendorError(code::ML_BAD_MODEL))?;
+                let bytes = m.num_params() * 4;
+                let flops = m.flops_per_input();
+                (LoadedModel::Mlp(Arc::new(m)), bytes, "hl_mlp", flops)
+            }
+            ModelKind::Lstm => {
+                let m = serialize::decode_lstm(blob)
+                    .map_err(|_| Status::VendorError(code::ML_BAD_MODEL))?;
+                let bytes = blob.len();
+                // per work item = one timestep of the full stack
+                let flops: f64 = m.cells().iter().map(|c| c.flops_per_step()).sum();
+                (LoadedModel::Lstm(Arc::new(m)), bytes, "hl_lstm", flops)
+            }
+            ModelKind::Knn => {
+                let m = serialize::decode_knn(blob)
+                    .map_err(|_| Status::VendorError(code::ML_BAD_MODEL))?;
+                let bytes = m.num_refs() * m.dims() * 4;
+                // per work item = one (query, reference) pair
+                let flops = 3.0 * m.dims() as f64;
+                (LoadedModel::Knn(Arc::new(m)), bytes, "hl_knn", flops)
+            }
+        };
+
+        let mut hl = self.hl.lock();
+        let id = hl.next_id;
+        hl.next_id += 1;
+        hl.models.insert(id, model);
+        drop(hl);
+
+        // Upload the weights to the device once — the recurring inference
+        // calls then only move features/results, the way the paper keeps
+        // models "in memory ... critical to performance" (§5.1).
+        let weights = self.gpu.mem_alloc(weight_bytes.max(4)).map_err(gpu_status)?;
+        self.gpu
+            .memcpy_htod(weights, &vec![0u8; weight_bytes.max(4)])
+            .map_err(gpu_status)?;
+        self.register_model_kernel(id, kernel_name, flops_per_item);
+
+        let mut e = Encoder::new();
+        e.put_u64(id);
+        e.put_u64(weights.0);
+        Ok(e.finish())
+    }
+
+    /// Registers the per-model device kernel that actually executes the
+    /// model math over a device input buffer.
+    fn register_model_kernel(&self, id: u64, base: &str, flops_per_item: f64) {
+        let hl = Arc::clone(&self.hl);
+        let name = format!("{base}_{id}");
+        self.gpu.register_kernel(&name, flops_per_item, move |ctx, args| {
+            let input = args[0].as_ptr().ok_or_else(|| {
+                GpuError::KernelFault("arg0 must be the input buffer".to_owned())
+            })?;
+            let output = args[1].as_ptr().ok_or_else(|| {
+                GpuError::KernelFault("arg1 must be the output buffer".to_owned())
+            })?;
+            let rows = args[2].as_u64().ok_or_else(|| {
+                GpuError::KernelFault("arg2 must be the row count".to_owned())
+            })? as usize;
+            let cols = args[3].as_u64().ok_or_else(|| {
+                GpuError::KernelFault("arg3 must be the column count".to_owned())
+            })? as usize;
+
+            let data = ctx.read_f32(input)?;
+            if data.len() < rows * cols || rows == 0 || cols == 0 {
+                return Err(GpuError::KernelFault("input shape mismatch".to_owned()));
+            }
+            let model = {
+                let st = hl.lock();
+                match st.models.get(&id) {
+                    Some(LoadedModel::Mlp(m)) => LoadedModel::Mlp(Arc::clone(m)),
+                    Some(LoadedModel::Lstm(m)) => LoadedModel::Lstm(Arc::clone(m)),
+                    Some(LoadedModel::Knn(m)) => LoadedModel::Knn(Arc::clone(m)),
+                    None => return Err(GpuError::KernelFault("model unloaded".to_owned())),
+                }
+            };
+            let classes: Vec<f32> = match model {
+                LoadedModel::Mlp(m) => {
+                    let x = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+                    m.classify(&x).into_iter().map(|c| c as f32).collect()
+                }
+                LoadedModel::Lstm(m) => {
+                    // rows sequences; each sequence is steps × features,
+                    // flattened. Steps are carried in arg4.
+                    let steps = args[4].as_u64().ok_or_else(|| {
+                        GpuError::KernelFault("arg4 must be the step count".to_owned())
+                    })? as usize;
+                    if steps == 0 || !cols.is_multiple_of(steps) {
+                        return Err(GpuError::KernelFault("bad sequence shape".to_owned()));
+                    }
+                    let features = cols / steps;
+                    (0..rows)
+                        .map(|r| {
+                            let seq: Vec<Vec<f32>> = (0..steps)
+                                .map(|t| {
+                                    let start = r * cols + t * features;
+                                    data[start..start + features].to_vec()
+                                })
+                                .collect();
+                            m.classify(&seq) as f32
+                        })
+                        .collect()
+                }
+                LoadedModel::Knn(m) => {
+                    let x = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+                    m.classify_batch(&x).into_iter().map(|c| c as f32).collect()
+                }
+            };
+            ctx.write_f32(output, &classes)
+        });
+    }
+
+    fn ml_unload_model(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let id = d.get_u64().map_err(|_| Status::Malformed)?;
+        let removed = self.hl.lock().models.remove(&id).is_some();
+        if removed {
+            Ok(Bytes::new())
+        } else {
+            Err(Status::VendorError(code::ML_UNKNOWN_MODEL))
+        }
+    }
+
+    /// Common body for the three high-level inference calls.
+    fn ml_infer(&self, payload: &[u8], kind: ModelKind) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let id = d.get_u64().map_err(|_| Status::Malformed)?;
+        let rows = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let cols = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let steps = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let shm_offset = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        if rows == 0 || cols == 0 {
+            return Err(Status::VendorError(code::ML_BAD_SHAPE));
+        }
+
+        let (kernel_base, items) = {
+            let hl = self.hl.lock();
+            match (hl.models.get(&id), kind) {
+                (Some(LoadedModel::Mlp(_)), ModelKind::Mlp) => ("hl_mlp", rows as u64),
+                (Some(LoadedModel::Lstm(_)), ModelKind::Lstm) => {
+                    if steps == 0 || !cols.is_multiple_of(steps) {
+                        return Err(Status::VendorError(code::ML_BAD_SHAPE));
+                    }
+                    ("hl_lstm", (rows * steps) as u64)
+                }
+                (Some(LoadedModel::Knn(m)), ModelKind::Knn) => {
+                    if m.dims() != cols {
+                        return Err(Status::VendorError(code::ML_BAD_SHAPE));
+                    }
+                    ("hl_knn", (rows * m.num_refs()) as u64)
+                }
+                (Some(_), _) => return Err(Status::VendorError(code::ML_BAD_SHAPE)),
+                (None, _) => return Err(Status::VendorError(code::ML_UNKNOWN_MODEL)),
+            }
+        };
+
+        // Features arrive through lakeShm (zero-copy into the transfer).
+        let shm_buf = self
+            .shm
+            .resolve(shm_offset)
+            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        let in_bytes = rows * cols * 4;
+        let input = self.gpu.mem_alloc(in_bytes).map_err(gpu_status)?;
+        let upload = self
+            .shm
+            .with_bytes(&shm_buf, |bytes| {
+                if bytes.len() < in_bytes {
+                    return Err(Status::VendorError(code::ML_BAD_SHAPE));
+                }
+                self.gpu.memcpy_htod(input, &bytes[..in_bytes]).map_err(gpu_status)
+            })
+            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        if let Err(status) = upload {
+            let _ = self.gpu.mem_free(input);
+            return Err(status);
+        }
+
+        let output = match self.gpu.mem_alloc(rows * 4) {
+            Ok(p) => p,
+            Err(e) => {
+                let _ = self.gpu.mem_free(input);
+                return Err(gpu_status(e));
+            }
+        };
+        let kernel = format!("{kernel_base}_{id}");
+        let launch = self.gpu.launch_kernel(
+            &kernel,
+            items,
+            &[
+                KernelArg::Ptr(input),
+                KernelArg::Ptr(output),
+                KernelArg::U64(rows as u64),
+                KernelArg::U64(cols as u64),
+                KernelArg::U64(steps as u64),
+            ],
+        );
+        let result = launch.and_then(|()| self.gpu.memcpy_dtoh(output, rows * 4));
+        let _ = self.gpu.mem_free(input);
+        let _ = self.gpu.mem_free(output);
+        let raw = result.map_err(gpu_status)?;
+
+        let classes: Vec<u64> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")) as u64)
+            .collect();
+        let mut e = Encoder::new();
+        e.put_u64_slice(&classes);
+        Ok(e.finish())
+    }
+}
+
+impl LakeDaemon {
+    /// `tfTrain`: daemon-side SGD over an uploaded labeled batch. Weights
+    /// are updated in place (subsequent inference uses them); time is
+    /// charged to the device as a training launch (forward + backward ≈
+    /// 3× the inference FLOPs per sample per epoch).
+    fn ml_train_mlp(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let id = d.get_u64().map_err(|_| Status::Malformed)?;
+        let rows = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let cols = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let epochs = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let lr = d.get_f32().map_err(|_| Status::Malformed)?;
+        let labels: Vec<usize> = d
+            .get_u64_slice()
+            .map_err(|_| Status::Malformed)?
+            .into_iter()
+            .map(|l| l as usize)
+            .collect();
+        let shm_offset = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        if rows == 0 || cols == 0 || epochs == 0 || labels.len() != rows {
+            return Err(Status::VendorError(code::ML_BAD_SHAPE));
+        }
+
+        let model = {
+            let hl = self.hl.lock();
+            match hl.models.get(&id) {
+                Some(LoadedModel::Mlp(m)) => Mlp::clone(m),
+                Some(_) => return Err(Status::VendorError(code::ML_BAD_SHAPE)),
+                None => return Err(Status::VendorError(code::ML_UNKNOWN_MODEL)),
+            }
+        };
+        if model.layer_sizes()[0] != cols {
+            return Err(Status::VendorError(code::ML_BAD_SHAPE));
+        }
+        if labels.iter().any(|&l| l >= *model.layer_sizes().last().expect("output layer")) {
+            return Err(Status::VendorError(code::ML_BAD_SHAPE));
+        }
+
+        // Features arrive through lakeShm.
+        let shm_buf = self
+            .shm
+            .resolve(shm_offset)
+            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        let in_bytes = rows * cols * 4;
+        let feats: Vec<f32> = self
+            .shm
+            .with_bytes(&shm_buf, |bytes| {
+                if bytes.len() < in_bytes {
+                    return Err(Status::VendorError(code::ML_BAD_SHAPE));
+                }
+                Ok(bytes[..in_bytes]
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect())
+            })
+            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))??;
+
+        // Real SGD daemon-side.
+        let mut model = model;
+        let x = Matrix::from_vec(rows, cols, feats);
+        let cfg = lake_ml::SgdConfig { learning_rate: lr, weight_decay: 0.0 };
+        let mut loss = 0.0;
+        for _ in 0..epochs {
+            loss = model.train_batch(&x, &labels, &cfg);
+        }
+
+        // Charge the training launch to the device: fwd+bwd ≈ 3× the
+        // inference FLOPs per sample, per epoch.
+        let train_flops = 3.0 * model.flops_per_input() * (rows * epochs) as f64;
+        let kernel = format!("hl_train_{id}");
+        self.gpu.register_kernel(&kernel, 1.0, |_, _| Ok(()));
+        self.gpu
+            .launch_kernel(&kernel, train_flops as u64, &[])
+            .map_err(gpu_status)?;
+
+        let flops = model.flops_per_input();
+        {
+            let mut hl = self.hl.lock();
+            hl.models.insert(id, LoadedModel::Mlp(Arc::new(model)));
+        }
+        // Refresh the inference kernel so its FLOPs stay accurate.
+        self.register_model_kernel(id, "hl_mlp", flops);
+
+        let mut e = Encoder::new();
+        e.put_f32(loss);
+        Ok(e.finish())
+    }
+
+    /// `tfExportModel`: serialize the (possibly retrained) model back to
+    /// a blob the kernel can persist via the feature registry.
+    fn ml_export_model(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let id = d.get_u64().map_err(|_| Status::Malformed)?;
+        let hl = self.hl.lock();
+        let blob = match hl.models.get(&id) {
+            Some(LoadedModel::Mlp(m)) => serialize::encode_mlp(m),
+            Some(LoadedModel::Lstm(m)) => serialize::encode_lstm(m),
+            Some(LoadedModel::Knn(m)) => serialize::encode_knn(m),
+            None => return Err(Status::VendorError(code::ML_UNKNOWN_MODEL)),
+        };
+        let mut e = Encoder::new();
+        e.put_bytes(&blob);
+        Ok(e.finish())
+    }
+}
+
+impl ApiHandler for LakeDaemon {
+    fn handle(&self, api: ApiId, payload: &[u8]) -> Result<Bytes, Status> {
+        match api {
+            api::CU_MEM_ALLOC => self.cu_mem_alloc(payload),
+            api::CU_MEM_FREE => self.cu_mem_free(payload),
+            api::CU_MEMCPY_HTOD => self.cu_memcpy_htod(payload),
+            api::CU_MEMCPY_HTOD_SHM => self.cu_memcpy_htod_shm(payload),
+            api::CU_MEMCPY_DTOH => self.cu_memcpy_dtoh(payload),
+            api::CU_MEMCPY_DTOH_SHM => self.cu_memcpy_dtoh_shm(payload),
+            api::CU_LAUNCH_KERNEL => self.cu_launch_kernel(payload),
+            api::CU_STREAM_CREATE => self.cu_stream_create(payload),
+            api::CU_STREAM_DESTROY => self.cu_stream_destroy(payload),
+            api::CU_MEMCPY_HTOD_ASYNC_SHM => self.cu_memcpy_htod_async_shm(payload),
+            api::CU_LAUNCH_KERNEL_ASYNC => self.cu_launch_kernel_async(payload),
+            api::CU_MEMCPY_DTOH_ASYNC_SHM => self.cu_memcpy_dtoh_async_shm(payload),
+            api::CU_STREAM_SYNCHRONIZE => self.cu_stream_synchronize(payload),
+            api::NVML_GET_UTILIZATION => self.nvml_get_utilization(payload),
+            api::ML_LOAD_MODEL => self.ml_load_model(payload),
+            api::ML_UNLOAD_MODEL => self.ml_unload_model(payload),
+            api::ML_INFER_MLP => self.ml_infer(payload, ModelKind::Mlp),
+            api::ML_INFER_LSTM => self.ml_infer(payload, ModelKind::Lstm),
+            api::ML_INFER_KNN => self.ml_infer(payload, ModelKind::Knn),
+            api::ML_TRAIN_MLP => self.ml_train_mlp(payload),
+            api::ML_EXPORT_MODEL => self.ml_export_model(payload),
+            _ => Err(Status::UnknownApi),
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! An eBPF-style policy program VM.
+//!
+//! The paper installs execution policies with eBPF: "LAKE allows
+//! developers to write and install such policies using eBPF. Through
+//! callbacks, developers can specify the necessary requirements to
+//! consider utilizing an accelerator profitable" (§4.2). Native Rust
+//! closures (the [`crate::policy::Policy`] trait) cover the common case;
+//! this module reproduces the *loadable program* flavor: a tiny
+//! register-based bytecode with an eBPF-like verifier (bounded program
+//! length, no back edges, register initialization checking) interpreted
+//! per decision.
+//!
+//! Programs read a context of runtime facts (batch size, moving-average
+//! GPU utilization, queue depth, inter-arrival time) and return the
+//! execution target.
+//!
+//! # Example: Fig 3 as a policy program
+//!
+//! ```
+//! use lake_core::ebpf::{Ctx, Insn, PolicyProgram, Reg};
+//! use lake_core::Target;
+//!
+//! // if (gpu_util < 40 && batch >= 8) GPU else CPU
+//! let prog = PolicyProgram::load(vec![
+//!     Insn::LoadCtx(Reg::R1, Ctx::GpuUtilPercent),
+//!     Insn::LoadImm(Reg::R2, 40),
+//!     Insn::JmpGe(Reg::R1, Reg::R2, 3),   // util >= 40 -> CPU
+//!     Insn::LoadCtx(Reg::R3, Ctx::BatchSize),
+//!     Insn::LoadImm(Reg::R4, 8),
+//!     Insn::JmpGe(Reg::R3, Reg::R4, 1),   // batch >= 8 -> GPU
+//!     Insn::RetCpu,
+//!     Insn::RetGpu,
+//! ])
+//! .expect("verifies");
+//!
+//! let ctx = lake_core::ebpf::PolicyCtx { batch_size: 64, gpu_util_percent: 10, ..Default::default() };
+//! assert_eq!(prog.run(&ctx), Target::Gpu);
+//! ```
+
+use std::fmt;
+
+use crate::policy::Target;
+
+/// VM registers (eBPF has r0–r10; four general registers suffice for
+/// policy predicates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reg {
+    /// General register 1.
+    R1,
+    /// General register 2.
+    R2,
+    /// General register 3.
+    R3,
+    /// General register 4.
+    R4,
+}
+
+impl Reg {
+    fn index(self) -> usize {
+        match self {
+            Reg::R1 => 0,
+            Reg::R2 => 1,
+            Reg::R3 => 2,
+            Reg::R4 => 3,
+        }
+    }
+
+    /// All registers.
+    pub const ALL: [Reg; 4] = [Reg::R1, Reg::R2, Reg::R3, Reg::R4];
+}
+
+/// Context fields a program may read (the policy's "toolset": "any OS-
+/// or vendor-provided utilities", §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ctx {
+    /// The dynamic batch size of the pending call.
+    BatchSize,
+    /// Moving-average GPU utilization, percent (from the remoted NVML
+    /// query).
+    GpuUtilPercent,
+    /// Subsystem-specific queue depth (e.g. pending I/Os).
+    QueueDepth,
+    /// Mean inter-arrival time of recent requests, microseconds.
+    InterArrivalUs,
+}
+
+/// One instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// `dst = ctx[field]`
+    LoadCtx(Reg, Ctx),
+    /// `dst = imm`
+    LoadImm(Reg, i64),
+    /// `dst += src`
+    Add(Reg, Reg),
+    /// `dst -= src`
+    Sub(Reg, Reg),
+    /// `dst *= src`
+    Mul(Reg, Reg),
+    /// `if a >= b { pc += offset }` (forward only)
+    JmpGe(Reg, Reg, u32),
+    /// `if a < b { pc += offset }` (forward only)
+    JmpLt(Reg, Reg, u32),
+    /// Return [`Target::Gpu`].
+    RetGpu,
+    /// Return [`Target::Cpu`].
+    RetCpu,
+}
+
+/// Why the verifier rejected a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Programs are limited to 64 instructions (eBPF-style bound).
+    TooLong(usize),
+    /// Empty programs are invalid.
+    Empty,
+    /// A jump offset of zero or landing past the end.
+    BadJump {
+        /// Instruction index of the offending jump.
+        at: usize,
+    },
+    /// Execution can fall off the end of the program.
+    FallsThrough,
+    /// A register is read before any write on some path.
+    UninitializedRead {
+        /// Instruction index of the offending read.
+        at: usize,
+        /// The register read.
+        reg: Reg,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::TooLong(n) => write!(f, "program too long: {n} > 64 instructions"),
+            VerifyError::Empty => f.write_str("empty program"),
+            VerifyError::BadJump { at } => write!(f, "invalid jump at instruction {at}"),
+            VerifyError::FallsThrough => f.write_str("execution can fall off the program end"),
+            VerifyError::UninitializedRead { at, reg } => {
+                write!(f, "register {reg:?} read before write at instruction {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Runtime facts handed to a program on each decision.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolicyCtx {
+    /// The dynamic batch size.
+    pub batch_size: i64,
+    /// Moving-average GPU utilization in percent.
+    pub gpu_util_percent: i64,
+    /// Subsystem queue depth.
+    pub queue_depth: i64,
+    /// Mean inter-arrival time, µs.
+    pub inter_arrival_us: i64,
+}
+
+impl PolicyCtx {
+    fn read(&self, field: Ctx) -> i64 {
+        match field {
+            Ctx::BatchSize => self.batch_size,
+            Ctx::GpuUtilPercent => self.gpu_util_percent,
+            Ctx::QueueDepth => self.queue_depth,
+            Ctx::InterArrivalUs => self.inter_arrival_us,
+        }
+    }
+}
+
+/// A verified, loadable policy program.
+#[derive(Debug, Clone)]
+pub struct PolicyProgram {
+    insns: Vec<Insn>,
+}
+
+const MAX_INSNS: usize = 64;
+
+impl PolicyProgram {
+    /// Verifies and loads a program.
+    ///
+    /// The verifier enforces eBPF-style safety: bounded length, forward
+    /// jumps only (no loops ⇒ guaranteed termination), no fall-through
+    /// past the end, and no register read before initialization on any
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerifyError`] describing the first violation.
+    pub fn load(insns: Vec<Insn>) -> Result<Self, VerifyError> {
+        if insns.is_empty() {
+            return Err(VerifyError::Empty);
+        }
+        if insns.len() > MAX_INSNS {
+            return Err(VerifyError::TooLong(insns.len()));
+        }
+
+        // Jump validity: forward, non-zero, in range.
+        for (i, insn) in insns.iter().enumerate() {
+            if let Insn::JmpGe(_, _, off) | Insn::JmpLt(_, _, off) = insn {
+                let target = i + 1 + *off as usize;
+                if *off == 0 || target > insns.len() {
+                    return Err(VerifyError::BadJump { at: i });
+                }
+                if target == insns.len() {
+                    // jumping exactly past the end = fall-through
+                    return Err(VerifyError::BadJump { at: i });
+                }
+            }
+        }
+
+        // Path-insensitive initialization analysis (conservative): walk
+        // instructions in order; a register must have been written by
+        // *some earlier instruction* before any read. Because jumps are
+        // forward-only, "earlier in program order" over-approximates
+        // "earlier on every path" safely only if writes on skipped
+        // regions don't count — so we do a per-path DFS instead (programs
+        // are ≤64 insns and loop-free, so the path count is bounded by
+        // branch structure; we memoize on (pc, init-mask)).
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![(0usize, 0u8)];
+        let mut falls_through = false;
+        let mut error: Option<VerifyError> = None;
+        while let Some((pc, mask)) = stack.pop() {
+            if !seen.insert((pc, mask)) {
+                continue;
+            }
+            if pc >= insns.len() {
+                falls_through = true;
+                continue;
+            }
+            let require = |reg: Reg, at: usize, mask: u8| -> Result<(), VerifyError> {
+                if mask & (1 << reg.index()) == 0 {
+                    Err(VerifyError::UninitializedRead { at, reg })
+                } else {
+                    Ok(())
+                }
+            };
+            let result = (|| -> Result<(), VerifyError> {
+                match insns[pc] {
+                    Insn::LoadCtx(dst, _) | Insn::LoadImm(dst, _) => {
+                        stack.push((pc + 1, mask | (1 << dst.index())));
+                    }
+                    Insn::Add(dst, src) | Insn::Sub(dst, src) | Insn::Mul(dst, src) => {
+                        require(dst, pc, mask)?;
+                        require(src, pc, mask)?;
+                        stack.push((pc + 1, mask));
+                    }
+                    Insn::JmpGe(a, b, off) | Insn::JmpLt(a, b, off) => {
+                        require(a, pc, mask)?;
+                        require(b, pc, mask)?;
+                        stack.push((pc + 1, mask));
+                        stack.push((pc + 1 + off as usize, mask));
+                    }
+                    Insn::RetGpu | Insn::RetCpu => {}
+                }
+                Ok(())
+            })();
+            if let Err(e) = result {
+                error = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = error {
+            return Err(e);
+        }
+        if falls_through {
+            return Err(VerifyError::FallsThrough);
+        }
+        Ok(PolicyProgram { insns })
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True if the program has no instructions (never: `load` rejects
+    /// empty programs).
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Executes the program over a context. Verified programs always
+    /// terminate with a target.
+    pub fn run(&self, ctx: &PolicyCtx) -> Target {
+        let mut regs = [0i64; 4];
+        let mut pc = 0usize;
+        loop {
+            match self.insns[pc] {
+                Insn::LoadCtx(dst, field) => {
+                    regs[dst.index()] = ctx.read(field);
+                    pc += 1;
+                }
+                Insn::LoadImm(dst, imm) => {
+                    regs[dst.index()] = imm;
+                    pc += 1;
+                }
+                Insn::Add(dst, src) => {
+                    regs[dst.index()] = regs[dst.index()].wrapping_add(regs[src.index()]);
+                    pc += 1;
+                }
+                Insn::Sub(dst, src) => {
+                    regs[dst.index()] = regs[dst.index()].wrapping_sub(regs[src.index()]);
+                    pc += 1;
+                }
+                Insn::Mul(dst, src) => {
+                    regs[dst.index()] = regs[dst.index()].wrapping_mul(regs[src.index()]);
+                    pc += 1;
+                }
+                Insn::JmpGe(a, b, off) => {
+                    if regs[a.index()] >= regs[b.index()] {
+                        pc += 1 + off as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Insn::JmpLt(a, b, off) => {
+                    if regs[a.index()] < regs[b.index()] {
+                        pc += 1 + off as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Insn::RetGpu => return Target::Gpu,
+                Insn::RetCpu => return Target::Cpu,
+            }
+        }
+    }
+
+    /// Builds the Fig 3 policy as a program: GPU iff
+    /// `gpu_util < exec_threshold && batch >= batch_threshold`.
+    pub fn fig3(exec_threshold: i64, batch_threshold: i64) -> Self {
+        PolicyProgram::load(vec![
+            Insn::LoadCtx(Reg::R1, Ctx::GpuUtilPercent),
+            Insn::LoadImm(Reg::R2, exec_threshold),
+            Insn::JmpGe(Reg::R1, Reg::R2, 3),
+            Insn::LoadCtx(Reg::R3, Ctx::BatchSize),
+            Insn::LoadImm(Reg::R4, batch_threshold),
+            Insn::JmpGe(Reg::R3, Reg::R4, 1),
+            Insn::RetCpu,
+            Insn::RetGpu,
+        ])
+        .expect("fig3 program verifies")
+    }
+}
+
+/// Adapts a loaded program plus a live context source into an
+/// installable [`crate::policy::Policy`].
+pub struct ProgramPolicy<F> {
+    program: PolicyProgram,
+    /// Fills in runtime facts (e.g. querying NVML through LAKE).
+    ctx_source: F,
+    name: String,
+}
+
+impl<F> fmt::Debug for ProgramPolicy<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgramPolicy")
+            .field("name", &self.name)
+            .field("insns", &self.program.len())
+            .finish()
+    }
+}
+
+impl<F> ProgramPolicy<F>
+where
+    F: FnMut(usize) -> PolicyCtx + Send,
+{
+    /// Installs a program with a context source called per decision with
+    /// the batch size.
+    pub fn new(name: &str, program: PolicyProgram, ctx_source: F) -> Self {
+        ProgramPolicy { program, ctx_source, name: name.to_owned() }
+    }
+}
+
+impl<F> crate::policy::Policy for ProgramPolicy<F>
+where
+    F: FnMut(usize) -> PolicyCtx + Send,
+{
+    fn decide(&mut self, batch_size: usize) -> Target {
+        let mut ctx = (self.ctx_source)(batch_size);
+        ctx.batch_size = batch_size as i64;
+        self.program.run(&ctx)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+
+    #[test]
+    fn fig3_program_semantics() {
+        let prog = PolicyProgram::fig3(40, 8);
+        let cases = [
+            (64, 10, Target::Gpu),  // idle + big batch
+            (64, 80, Target::Cpu),  // contended
+            (2, 10, Target::Cpu),   // small batch
+            (8, 39, Target::Gpu),   // boundary: util below, batch at
+            (8, 40, Target::Cpu),   // boundary: util at threshold
+            (7, 0, Target::Cpu),    // boundary: batch below
+        ];
+        for (batch, util, want) in cases {
+            let ctx = PolicyCtx { batch_size: batch, gpu_util_percent: util, ..Default::default() };
+            assert_eq!(prog.run(&ctx), want, "batch={batch} util={util}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_programs_work() {
+        // GPU iff batch * queue_depth >= 100
+        let prog = PolicyProgram::load(vec![
+            Insn::LoadCtx(Reg::R1, Ctx::BatchSize),
+            Insn::LoadCtx(Reg::R2, Ctx::QueueDepth),
+            Insn::Mul(Reg::R1, Reg::R2),
+            Insn::LoadImm(Reg::R3, 100),
+            Insn::JmpGe(Reg::R1, Reg::R3, 1),
+            Insn::RetCpu,
+            Insn::RetGpu,
+        ])
+        .expect("verifies");
+        let gpu = PolicyCtx { batch_size: 10, queue_depth: 10, ..Default::default() };
+        let cpu = PolicyCtx { batch_size: 3, queue_depth: 3, ..Default::default() };
+        assert_eq!(prog.run(&gpu), Target::Gpu);
+        assert_eq!(prog.run(&cpu), Target::Cpu);
+    }
+
+    #[test]
+    fn verifier_rejects_empty_and_oversized() {
+        assert!(matches!(PolicyProgram::load(vec![]), Err(VerifyError::Empty)));
+        let long = vec![Insn::RetGpu; 65];
+        assert!(matches!(PolicyProgram::load(long), Err(VerifyError::TooLong(65))));
+    }
+
+    #[test]
+    fn verifier_rejects_fall_through() {
+        let prog = PolicyProgram::load(vec![Insn::LoadImm(Reg::R1, 1)]);
+        assert!(matches!(prog, Err(VerifyError::FallsThrough)));
+    }
+
+    #[test]
+    fn verifier_rejects_bad_jumps() {
+        // offset 0
+        let prog = PolicyProgram::load(vec![
+            Insn::LoadImm(Reg::R1, 1),
+            Insn::JmpGe(Reg::R1, Reg::R1, 0),
+            Insn::RetGpu,
+        ]);
+        assert!(matches!(prog, Err(VerifyError::BadJump { at: 1 })));
+        // jump past the end
+        let prog = PolicyProgram::load(vec![
+            Insn::LoadImm(Reg::R1, 1),
+            Insn::JmpGe(Reg::R1, Reg::R1, 9),
+            Insn::RetGpu,
+        ]);
+        assert!(matches!(prog, Err(VerifyError::BadJump { at: 1 })));
+    }
+
+    #[test]
+    fn verifier_rejects_uninitialized_reads() {
+        let prog = PolicyProgram::load(vec![
+            Insn::LoadImm(Reg::R1, 1),
+            Insn::JmpGe(Reg::R1, Reg::R2, 1), // R2 never written
+            Insn::RetGpu,
+            Insn::RetCpu,
+        ]);
+        assert!(matches!(
+            prog,
+            Err(VerifyError::UninitializedRead { at: 1, reg: Reg::R2 })
+        ));
+    }
+
+    #[test]
+    fn verifier_tracks_paths_not_just_order() {
+        // R3 is written only on the fall-through path, then read after
+        // the join — the jump path reaches the read uninitialized.
+        let prog = PolicyProgram::load(vec![
+            Insn::LoadImm(Reg::R1, 1),
+            Insn::LoadImm(Reg::R2, 2),
+            Insn::JmpGe(Reg::R1, Reg::R2, 1), // skips the write
+            Insn::LoadImm(Reg::R3, 7),
+            Insn::JmpGe(Reg::R3, Reg::R1, 1), // join: reads R3
+            Insn::RetCpu,
+            Insn::RetGpu,
+        ]);
+        assert!(matches!(
+            prog,
+            Err(VerifyError::UninitializedRead { at: 4, reg: Reg::R3 })
+        ));
+    }
+
+    #[test]
+    fn program_policy_integrates_with_offload() {
+        let program = PolicyProgram::fig3(40, 8);
+        let util = std::sync::Arc::new(std::sync::atomic::AtomicI64::new(0));
+        let util2 = std::sync::Arc::clone(&util);
+        let mut policy = ProgramPolicy::new("fig3-ebpf", program, move |_batch| PolicyCtx {
+            gpu_util_percent: util2.load(std::sync::atomic::Ordering::Relaxed),
+            ..Default::default()
+        });
+        assert_eq!(policy.decide(64), Target::Gpu);
+        util.store(90, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(policy.decide(64), Target::Cpu);
+        assert_eq!(policy.name(), "fig3-ebpf");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        prop_oneof![Just(Reg::R1), Just(Reg::R2), Just(Reg::R3), Just(Reg::R4)]
+    }
+
+    fn arb_insn() -> impl Strategy<Value = Insn> {
+        prop_oneof![
+            (arb_reg(), -100i64..100).prop_map(|(r, v)| Insn::LoadImm(r, v)),
+            arb_reg().prop_map(|r| Insn::LoadCtx(r, Ctx::BatchSize)),
+            (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Add(a, b)),
+            (arb_reg(), arb_reg(), 1u32..8).prop_map(|(a, b, o)| Insn::JmpGe(a, b, o)),
+            Just(Insn::RetGpu),
+            Just(Insn::RetCpu),
+        ]
+    }
+
+    proptest! {
+        /// Any program the verifier accepts terminates with a target
+        /// (run() cannot loop or index out of bounds).
+        #[test]
+        fn verified_programs_terminate(insns in proptest::collection::vec(arb_insn(), 1..32)) {
+            if let Ok(prog) = PolicyProgram::load(insns) {
+                let ctx = PolicyCtx { batch_size: 5, gpu_util_percent: 50, queue_depth: 3, inter_arrival_us: 10 };
+                let _ = prog.run(&ctx); // must not panic or hang
+            }
+        }
+    }
+}

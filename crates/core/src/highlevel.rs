@@ -1,0 +1,238 @@
+//! High-level remoted ML APIs (§4.4).
+//!
+//! "Porting enormous libraries like Tensorflow to the kernel is
+//! impractical ... LAKE's API remoting system is sufficiently general that
+//! it can support manual addition of APIs" — kernel modules call
+//! TensorFlow/Keras-level functions; `lakeD` realizes them with the
+//! in-daemon ML runtime (`lake-ml`) and the device. Feature batches travel
+//! through `lakeShm`, the "only data copying under its domain".
+
+use std::sync::Arc;
+
+use lake_rpc::{CallEngine, Decoder, Encoder};
+use lake_shm::ShmRegion;
+
+use crate::api;
+use crate::error::LakeError;
+
+/// Identifies a model loaded in the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelId(pub u64);
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model#{}", self.0)
+    }
+}
+
+/// Kernel-space handle to the high-level ML APIs.
+#[derive(Clone)]
+pub struct LakeMl {
+    engine: Arc<CallEngine>,
+    shm: ShmRegion,
+}
+
+impl std::fmt::Debug for LakeMl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LakeMl").field("stats", &self.engine.stats()).finish()
+    }
+}
+
+impl LakeMl {
+    pub(crate) fn new(engine: Arc<CallEngine>, shm: ShmRegion) -> Self {
+        LakeMl { engine, shm }
+    }
+
+    /// Loads a serialized model (`lake_ml::serialize` blob) into the
+    /// daemon; weights are uploaded to the device once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] if the blob does not decode.
+    pub fn load_model(&self, blob: &[u8]) -> Result<ModelId, LakeError> {
+        let mut e = Encoder::new();
+        e.put_bytes(blob);
+        let resp = self.engine.call(api::ML_LOAD_MODEL, e.finish())?;
+        let mut d = Decoder::new(&resp);
+        let id = d.get_u64().map_err(|_| LakeError::BadResponse("model id"))?;
+        Ok(ModelId(id))
+    }
+
+    /// Unloads a model from the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for unknown ids.
+    pub fn unload_model(&self, id: ModelId) -> Result<(), LakeError> {
+        let mut e = Encoder::new();
+        e.put_u64(id.0);
+        self.engine.call(api::ML_UNLOAD_MODEL, e.finish())?;
+        Ok(())
+    }
+
+    fn infer(
+        &self,
+        api: lake_rpc::ApiId,
+        id: ModelId,
+        rows: usize,
+        cols: usize,
+        steps: usize,
+        features: &[f32],
+    ) -> Result<Vec<u32>, LakeError> {
+        assert_eq!(features.len(), rows * cols, "feature buffer shape mismatch");
+        // Stage the batch in lakeShm so only the descriptor crosses the
+        // channel.
+        let bytes = features.len() * 4;
+        let buf = self.shm.alloc(bytes)?;
+        let mut raw = Vec::with_capacity(bytes);
+        for &x in features {
+            raw.extend_from_slice(&x.to_le_bytes());
+        }
+        self.shm.write(&buf, 0, &raw)?;
+
+        let mut e = Encoder::new();
+        e.put_u64(id.0)
+            .put_u64(rows as u64)
+            .put_u64(cols as u64)
+            .put_u64(steps as u64)
+            .put_u64(buf.offset() as u64);
+        let result = self.engine.call(api, e.finish());
+        self.shm.free(buf)?;
+        let resp = result?;
+        let mut d = Decoder::new(&resp);
+        let classes = d
+            .get_u64_slice()
+            .map_err(|_| LakeError::BadResponse("class vector"))?;
+        Ok(classes.into_iter().map(|c| c as u32).collect())
+    }
+
+    /// Batched MLP inference: `rows` inputs of `cols` features; returns
+    /// one class per input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for unknown models or shape mismatches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != rows * cols`.
+    pub fn infer_mlp(
+        &self,
+        id: ModelId,
+        rows: usize,
+        cols: usize,
+        features: &[f32],
+    ) -> Result<Vec<u32>, LakeError> {
+        self.infer(api::ML_INFER_MLP, id, rows, cols, 0, features)
+    }
+
+    /// Batched LSTM inference: `rows` sequences of `steps` timesteps with
+    /// `features_per_step` values each, flattened row-major.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for unknown models or shape mismatches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flat buffer length does not match the shape.
+    pub fn infer_lstm(
+        &self,
+        id: ModelId,
+        rows: usize,
+        steps: usize,
+        features_per_step: usize,
+        features: &[f32],
+    ) -> Result<Vec<u32>, LakeError> {
+        self.infer(
+            api::ML_INFER_LSTM,
+            id,
+            rows,
+            steps * features_per_step,
+            steps,
+            features,
+        )
+    }
+
+    /// `tfTrain`: daemon-side SGD over a labeled batch (online learning,
+    /// §2.1). Returns the final mean training loss. Subsequent inference
+    /// through this model id uses the updated weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for unknown/mismatched models or shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != rows * cols` or
+    /// `labels.len() != rows`.
+    pub fn train_mlp(
+        &self,
+        id: ModelId,
+        rows: usize,
+        cols: usize,
+        features: &[f32],
+        labels: &[u32],
+        epochs: usize,
+        learning_rate: f32,
+    ) -> Result<f32, LakeError> {
+        assert_eq!(features.len(), rows * cols, "feature buffer shape mismatch");
+        assert_eq!(labels.len(), rows, "one label per row");
+        let bytes = features.len() * 4;
+        let buf = self.shm.alloc(bytes.max(1))?;
+        let mut raw = Vec::with_capacity(bytes);
+        for &x in features {
+            raw.extend_from_slice(&x.to_le_bytes());
+        }
+        self.shm.write(&buf, 0, &raw)?;
+
+        let label_words: Vec<u64> = labels.iter().map(|&l| l as u64).collect();
+        let mut e = Encoder::new();
+        e.put_u64(id.0)
+            .put_u64(rows as u64)
+            .put_u64(cols as u64)
+            .put_u64(epochs as u64)
+            .put_f32(learning_rate)
+            .put_u64_slice(&label_words)
+            .put_u64(buf.offset() as u64);
+        let result = self.engine.call(api::ML_TRAIN_MLP, e.finish());
+        self.shm.free(buf)?;
+        let resp = result?;
+        let mut d = Decoder::new(&resp);
+        d.get_f32().map_err(|_| LakeError::BadResponse("training loss"))
+    }
+
+    /// `tfExportModel`: retrieve the serialized (possibly retrained)
+    /// model blob, e.g. to persist it through the feature registry's
+    /// `update_model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for unknown models.
+    pub fn export_model(&self, id: ModelId) -> Result<Vec<u8>, LakeError> {
+        let mut e = Encoder::new();
+        e.put_u64(id.0);
+        let resp = self.engine.call(api::ML_EXPORT_MODEL, e.finish())?;
+        let mut d = Decoder::new(&resp);
+        Ok(d.get_bytes().map_err(|_| LakeError::BadResponse("model blob"))?.to_vec())
+    }
+
+    /// Batched k-NN classification: `rows` queries of `cols` dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for unknown models or shape mismatches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != rows * cols`.
+    pub fn infer_knn(
+        &self,
+        id: ModelId,
+        rows: usize,
+        cols: usize,
+        features: &[f32],
+    ) -> Result<Vec<u32>, LakeError> {
+        self.infer(api::ML_INFER_KNN, id, rows, cols, 0, features)
+    }
+}

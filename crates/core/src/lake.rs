@@ -1,0 +1,405 @@
+//! Assembling a deployed LAKE instance.
+
+use std::sync::Arc;
+
+use lake_gpu::{GpuDevice, GpuError, GpuSpec, KernelArg, KernelCtx};
+use lake_rpc::{CallEngine, CallStats};
+use lake_shm::ShmRegion;
+use lake_sim::SharedClock;
+use lake_transport::Mechanism;
+
+use crate::daemon::LakeDaemon;
+use crate::highlevel::LakeMl;
+use crate::lakelib::LakeCuda;
+
+/// Configures and builds a [`Lake`] instance.
+///
+/// Defaults match the paper's deployment: Netlink command channel, a
+/// 128 MiB `cma=` shared region, and an A100-class device.
+#[derive(Debug)]
+pub struct LakeBuilder {
+    mechanism: Mechanism,
+    shm_capacity: usize,
+    spec: GpuSpec,
+    clock: Option<SharedClock>,
+}
+
+impl Default for LakeBuilder {
+    fn default() -> Self {
+        LakeBuilder {
+            mechanism: Mechanism::Netlink,
+            shm_capacity: 128 << 20, // cma=128M
+            spec: GpuSpec::a100(),
+            clock: None,
+        }
+    }
+}
+
+impl LakeBuilder {
+    /// Selects the kernel↔user channel mechanism (Table 2).
+    pub fn mechanism(mut self, mechanism: Mechanism) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// Sizes the `lakeShm` contiguous region.
+    pub fn shm_capacity(mut self, bytes: usize) -> Self {
+        self.shm_capacity = bytes;
+        self
+    }
+
+    /// Selects the simulated accelerator.
+    pub fn gpu_spec(mut self, spec: GpuSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Shares an existing virtual clock (so a LAKE instance participates
+    /// in a larger simulation).
+    pub fn clock(mut self, clock: SharedClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Builds the instance: shared region, device, daemon, call engine.
+    pub fn build(self) -> Lake {
+        let clock = self.clock.unwrap_or_default();
+        let shm = ShmRegion::with_capacity(self.shm_capacity);
+        let gpu = GpuDevice::new(self.spec, clock.clone());
+        let daemon = LakeDaemon::new(Arc::clone(&gpu), shm.clone());
+        let engine = Arc::new(CallEngine::in_process(
+            self.mechanism,
+            clock.clone(),
+            daemon.clone() as Arc<dyn lake_rpc::ApiHandler>,
+        ));
+        Lake { clock, shm, gpu, daemon, engine }
+    }
+}
+
+/// A deployed LAKE instance: shared memory + channel + daemon + device.
+pub struct Lake {
+    clock: SharedClock,
+    shm: ShmRegion,
+    gpu: Arc<GpuDevice>,
+    daemon: Arc<LakeDaemon>,
+    engine: Arc<CallEngine>,
+}
+
+impl std::fmt::Debug for Lake {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lake")
+            .field("mechanism", &self.engine.mechanism())
+            .field("gpu", &self.gpu.spec().name)
+            .field("shm_capacity", &self.shm.capacity())
+            .finish()
+    }
+}
+
+impl Lake {
+    /// Starts configuring an instance.
+    pub fn builder() -> LakeBuilder {
+        LakeBuilder::default()
+    }
+
+    /// The virtual clock shared by both spaces and the device.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// The shared-memory region (`lakeShm`).
+    pub fn shm(&self) -> &ShmRegion {
+        &self.shm
+    }
+
+    /// The simulated accelerator (daemon-side handle).
+    pub fn gpu(&self) -> &Arc<GpuDevice> {
+        &self.gpu
+    }
+
+    /// The daemon (for tests and direct wiring).
+    pub fn daemon(&self) -> &Arc<LakeDaemon> {
+        &self.daemon
+    }
+
+    /// A kernel-space CUDA handle (what a LAKE-powered module links
+    /// against).
+    pub fn cuda(&self) -> LakeCuda {
+        LakeCuda::new(Arc::clone(&self.engine), self.shm.clone())
+    }
+
+    /// A kernel-space high-level-ML handle (§4.4).
+    pub fn ml(&self) -> LakeMl {
+        LakeMl::new(Arc::clone(&self.engine), self.shm.clone())
+    }
+
+    /// Registers a device kernel — the equivalent of shipping a compiled
+    /// `.cubin` with a kernel module and `cuModuleLoad`-ing it at init.
+    pub fn register_kernel<F>(&self, name: &str, flops_per_item: f64, body: F)
+    where
+        F: Fn(&mut KernelCtx<'_>, &[KernelArg]) -> Result<(), GpuError> + Send + Sync + 'static,
+    {
+        self.gpu.register_kernel(name, flops_per_item, body);
+    }
+
+    /// Remoting statistics (calls, bytes, failures).
+    pub fn call_stats(&self) -> CallStats {
+        self.engine.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::code;
+    use lake_gpu::DevicePtr;
+
+    #[test]
+    fn end_to_end_cuda_roundtrip() {
+        let lake = Lake::builder().build();
+        lake.register_kernel("negate", 1.0, |ctx, args| {
+            let p = args[0].as_ptr().expect("ptr");
+            let mut v = ctx.read_f32(p)?;
+            v.iter_mut().for_each(|x| *x = -*x);
+            ctx.write_f32(p, &v)
+        });
+        let cuda = lake.cuda();
+        let buf = cuda.cu_mem_alloc(8).unwrap();
+        cuda.cu_memcpy_htod(buf, &[2.5f32.to_le_bytes(), (-4.0f32).to_le_bytes()].concat())
+            .unwrap();
+        cuda.cu_launch_kernel("negate", 2, &[KernelArg::Ptr(buf)]).unwrap();
+        let out = cuda.cu_memcpy_dtoh(buf, 8).unwrap();
+        let vals: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![-2.5, 4.0]);
+        cuda.cu_mem_free(buf).unwrap();
+        assert!(lake.call_stats().calls >= 5);
+        assert!(lake.clock().now().as_micros() > 0);
+    }
+
+    #[test]
+    fn shm_transfer_path_is_zero_copy_and_cheaper() {
+        // Compare the virtual time of an inline 32 KiB copy vs the shm
+        // path (Fig 6's motivation).
+        let payload = vec![0xA5u8; 32 * 1024];
+
+        let inline_lake = Lake::builder().build();
+        let cuda = inline_lake.cuda();
+        let buf = cuda.cu_mem_alloc(payload.len()).unwrap();
+        let t0 = inline_lake.clock().now();
+        cuda.cu_memcpy_htod(buf, &payload).unwrap();
+        let inline_cost = inline_lake.clock().now() - t0;
+
+        let shm_lake = Lake::builder().build();
+        let cuda = shm_lake.cuda();
+        let dev = cuda.cu_mem_alloc(payload.len()).unwrap();
+        let staged = shm_lake.shm().alloc(payload.len()).unwrap();
+        shm_lake.shm().write(&staged, 0, &payload).unwrap();
+        let t0 = shm_lake.clock().now();
+        cuda.cu_memcpy_htod_shm(dev, &staged, payload.len()).unwrap();
+        let shm_cost = shm_lake.clock().now() - t0;
+
+        assert!(
+            shm_cost.as_nanos() * 3 < inline_cost.as_nanos(),
+            "shm {shm_cost} should be much cheaper than inline {inline_cost}"
+        );
+        // Data integrity through the shm path:
+        let out = cuda.cu_memcpy_dtoh(dev, payload.len()).unwrap();
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn vendor_errors_propagate_with_codes() {
+        let lake = Lake::builder().build();
+        let cuda = lake.cuda();
+        let err = cuda.cu_mem_free(DevicePtr(0xbad)).unwrap_err();
+        assert_eq!(err.vendor_code(), Some(code::GPU_INVALID_PTR));
+        let err = cuda.cu_launch_kernel("missing", 1, &[]).unwrap_err();
+        assert_eq!(err.vendor_code(), Some(code::GPU_UNKNOWN_KERNEL));
+    }
+
+    #[test]
+    fn nvml_query_reflects_device_load() {
+        let lake = Lake::builder().build();
+        lake.register_kernel("burn", 1.0e6, |_, _| Ok(()));
+        let cuda = lake.cuda();
+        let idle = cuda.nvml_utilization_percent(5_000).unwrap();
+        for _ in 0..20 {
+            cuda.cu_launch_kernel("burn", 100_000, &[]).unwrap();
+        }
+        let busy = cuda.nvml_utilization_percent(5_000).unwrap();
+        assert!(busy > idle, "busy {busy} should exceed idle {idle}");
+    }
+
+    #[test]
+    fn high_level_mlp_inference_matches_local_model() {
+        use lake_ml::{serialize, Activation, Matrix, Mlp, SgdConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut model = Mlp::new(&[4, 16, 2], Activation::Relu, &mut rng);
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0, 1.0, 0.0],
+            vec![0.0, 1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0, 0.0],
+        ]);
+        let y = vec![0, 1, 0];
+        for _ in 0..300 {
+            model.train_batch(&x, &y, &SgdConfig { learning_rate: 0.1, weight_decay: 0.0 });
+        }
+        let local = model.classify(&x);
+
+        let lake = Lake::builder().build();
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_mlp(&model)).unwrap();
+        let remote = ml.infer_mlp(id, 3, 4, x.data()).unwrap();
+        assert_eq!(remote, local.iter().map(|&c| c as u32).collect::<Vec<_>>());
+        ml.unload_model(id).unwrap();
+        assert!(ml.unload_model(id).is_err(), "double unload must fail");
+    }
+
+    #[test]
+    fn high_level_knn_inference() {
+        use lake_ml::{serialize, Knn, Matrix};
+
+        let refs = Matrix::from_rows(&[vec![0.0, 0.0], vec![9.0, 9.0], vec![9.1, 9.1]]);
+        let knn = Knn::new(refs, vec![0, 1, 1], 1);
+        let lake = Lake::builder().build();
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_knn(&knn)).unwrap();
+        let classes = ml
+            .infer_knn(id, 2, 2, &[0.5, 0.5, 8.0, 9.5])
+            .unwrap();
+        assert_eq!(classes, vec![0, 1]);
+    }
+
+    #[test]
+    fn high_level_lstm_inference_matches_local() {
+        use lake_ml::{serialize, LstmClassifier};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = LstmClassifier::new(2, 8, 2, 3, &mut rng);
+        let seq1 = vec![vec![0.1, 0.9], vec![0.3, 0.7], vec![0.5, 0.5]];
+        let seq2 = vec![vec![0.9, 0.1], vec![0.8, 0.0], vec![0.0, 0.2]];
+        let local = vec![model.classify(&seq1) as u32, model.classify(&seq2) as u32];
+
+        let lake = Lake::builder().build();
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_lstm(&model)).unwrap();
+        let flat: Vec<f32> = seq1
+            .iter()
+            .chain(seq2.iter())
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        let remote = ml.infer_lstm(id, 2, 3, 2, &flat).unwrap();
+        assert_eq!(remote, local);
+    }
+
+    #[test]
+    fn bad_model_blob_rejected() {
+        let lake = Lake::builder().build();
+        let ml = lake.ml();
+        let err = ml.load_model(b"garbage").unwrap_err();
+        assert_eq!(err.vendor_code(), Some(code::ML_BAD_MODEL));
+    }
+
+    #[test]
+    fn infer_on_unknown_model_rejected() {
+        let lake = Lake::builder().build();
+        let ml = lake.ml();
+        let err = ml.infer_mlp(crate::ModelId(777), 1, 4, &[0.0; 4]).unwrap_err();
+        assert_eq!(err.vendor_code(), Some(code::ML_UNKNOWN_MODEL));
+    }
+
+    #[test]
+    fn builder_options_apply() {
+        let clock = SharedClock::new();
+        clock.advance(lake_sim::Duration::from_micros(3));
+        let lake = Lake::builder()
+            .mechanism(Mechanism::Mmap)
+            .shm_capacity(1 << 16)
+            .gpu_spec(GpuSpec::tiny())
+            .clock(clock.clone())
+            .build();
+        assert_eq!(lake.shm().capacity(), 1 << 16);
+        assert_eq!(lake.gpu().spec().name, "tiny test device");
+        assert_eq!(lake.clock().now(), clock.now());
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+    use lake_gpu::KernelArg;
+
+    #[test]
+    fn remoted_streams_overlap_and_compute_correctly() {
+        let lake = Lake::builder().build();
+        lake.register_kernel("double", 25_000.0, |ctx, args| {
+            let p = args[0].as_ptr().expect("ptr");
+            let mut v = ctx.read_f32(p)?;
+            v.iter_mut().for_each(|x| *x *= 2.0);
+            ctx.write_f32(p, &v)
+        });
+        let cuda = lake.cuda();
+        let n = 4 << 20; // 4 MiB per buffer
+        let items = 100_000u64;
+
+        // Synchronous pipeline over two buffers.
+        let payload = vec![0x3Fu8; n];
+        let staged = lake.shm().alloc(n).expect("shm");
+        lake.shm().write(&staged, 0, &payload).expect("stage");
+        let a = cuda.cu_mem_alloc(n).expect("alloc");
+        let b = cuda.cu_mem_alloc(n).expect("alloc");
+        let t0 = lake.clock().now();
+        cuda.cu_memcpy_htod_shm(a, &staged, n).expect("copy");
+        cuda.cu_launch_kernel("double", items, &[KernelArg::Ptr(a)]).expect("launch");
+        cuda.cu_memcpy_htod_shm(b, &staged, n).expect("copy");
+        cuda.cu_launch_kernel("double", items, &[KernelArg::Ptr(b)]).expect("launch");
+        let sync_time = lake.clock().now() - t0;
+
+        // Asynchronous double buffering on two remoted streams.
+        let lake = Lake::builder().build();
+        lake.register_kernel("double", 25_000.0, |ctx, args| {
+            let p = args[0].as_ptr().expect("ptr");
+            let mut v = ctx.read_f32(p)?;
+            v.iter_mut().for_each(|x| *x *= 2.0);
+            ctx.write_f32(p, &v)
+        });
+        let cuda = lake.cuda();
+        let staged = lake.shm().alloc(n).expect("shm");
+        lake.shm().write(&staged, 0, &payload).expect("stage");
+        let out = lake.shm().alloc(n).expect("shm out");
+        let a = cuda.cu_mem_alloc(n).expect("alloc");
+        let b = cuda.cu_mem_alloc(n).expect("alloc");
+        let s1 = cuda.cu_stream_create().expect("stream");
+        let s2 = cuda.cu_stream_create().expect("stream");
+        let t0 = lake.clock().now();
+        cuda.cu_memcpy_htod_async_shm(s1, a, &staged, n).expect("copy");
+        cuda.cu_launch_kernel_async(s1, "double", items, &[KernelArg::Ptr(a)]).expect("launch");
+        cuda.cu_memcpy_htod_async_shm(s2, b, &staged, n).expect("copy");
+        cuda.cu_launch_kernel_async(s2, "double", items, &[KernelArg::Ptr(b)]).expect("launch");
+        cuda.cu_memcpy_dtoh_async_shm(s1, a, &out, n).expect("dtoh");
+        cuda.cu_stream_synchronize(s1).expect("sync");
+        cuda.cu_stream_synchronize(s2).expect("sync");
+        let async_time = lake.clock().now() - t0;
+
+        // Results are real: 0x3f3f3f3f as f32, doubled.
+        let bytes = lake.shm().read(&out, 0, 4).expect("read");
+        let expected = 2.0 * f32::from_le_bytes([0x3F; 4]);
+        assert_eq!(f32::from_le_bytes(bytes.try_into().expect("4 bytes")), expected);
+
+        // And the async pipeline is faster despite doing an extra D2H.
+        assert!(
+            async_time < sync_time,
+            "async {async_time} should beat sync {sync_time}"
+        );
+
+        cuda.cu_stream_destroy(s1).expect("destroy");
+        assert!(cuda.cu_stream_synchronize(s1).is_err(), "destroyed stream rejected");
+    }
+}

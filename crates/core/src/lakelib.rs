@@ -1,0 +1,307 @@
+//! `lakeLib`: the kernel-side stubs.
+//!
+//! "lakeLib is a kernel module that exposes APIs such as the vendor's user
+//! space library of an accelerator as symbols to kernel space. ... Each of
+//! these functions ... serialize\[s\] an API identifier and all of API
+//! parameters into a command, transmit\[s\] commands ... and, finally,
+//! wait\[s\] for a response" (§4).
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use lake_gpu::{DevicePtr, KernelArg};
+use lake_rpc::{CallEngine, Decoder, Encoder};
+use lake_shm::{ShmBuffer, ShmRegion};
+
+use crate::api;
+use crate::error::LakeError;
+
+/// Kernel-space handle to the remoted CUDA driver API and NVML.
+///
+/// Cheap to clone; every LAKE-powered kernel module holds one.
+#[derive(Clone)]
+pub struct LakeCuda {
+    engine: Arc<CallEngine>,
+    shm: ShmRegion,
+}
+
+impl std::fmt::Debug for LakeCuda {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LakeCuda")
+            .field("mechanism", &self.engine.mechanism())
+            .field("stats", &self.engine.stats())
+            .finish()
+    }
+}
+
+impl LakeCuda {
+    pub(crate) fn new(engine: Arc<CallEngine>, shm: ShmRegion) -> Self {
+        LakeCuda { engine, shm }
+    }
+
+    /// The shared-memory region, for allocating copiable buffers (§4.1,
+    /// "copiable memory allocations").
+    pub fn shm(&self) -> &ShmRegion {
+        &self.shm
+    }
+
+    /// Remoting statistics for this handle's engine.
+    pub fn stats(&self) -> lake_rpc::CallStats {
+        self.engine.stats()
+    }
+
+    /// `cuMemAlloc`: allocates device memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] if the daemon or device rejects the call.
+    pub fn cu_mem_alloc(&self, bytes: usize) -> Result<DevicePtr, LakeError> {
+        let mut e = Encoder::new();
+        e.put_u64(bytes as u64);
+        let resp = self.engine.call(api::CU_MEM_ALLOC, e.finish())?;
+        let mut d = Decoder::new(&resp);
+        let ptr = d.get_u64().map_err(|_| LakeError::BadResponse("cuMemAlloc pointer"))?;
+        Ok(DevicePtr(ptr))
+    }
+
+    /// `cuMemFree`: releases device memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for stale pointers.
+    pub fn cu_mem_free(&self, ptr: DevicePtr) -> Result<(), LakeError> {
+        let mut e = Encoder::new();
+        e.put_u64(ptr.0);
+        self.engine.call(api::CU_MEM_FREE, e.finish())?;
+        Ok(())
+    }
+
+    /// `cuMemcpyHtoD` with the payload *inline in the command* — the
+    /// double-copy path the paper's Fig 6 warns about. Prefer
+    /// [`LakeCuda::cu_memcpy_htod_shm`] for large buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] on device copy failure.
+    pub fn cu_memcpy_htod(&self, ptr: DevicePtr, data: &[u8]) -> Result<(), LakeError> {
+        let mut e = Encoder::new();
+        e.put_u64(ptr.0).put_bytes(data);
+        self.engine.call(api::CU_MEMCPY_HTOD, e.finish())?;
+        Ok(())
+    }
+
+    /// `cuMemcpyHtoD` sourcing the payload from a `lakeShm` buffer: only
+    /// the (pointer, offset, length) triple crosses the channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] if the shm handle is stale or the device copy
+    /// fails.
+    pub fn cu_memcpy_htod_shm(
+        &self,
+        ptr: DevicePtr,
+        src: &ShmBuffer,
+        len: usize,
+    ) -> Result<(), LakeError> {
+        let mut e = Encoder::new();
+        e.put_u64(ptr.0).put_u64(src.offset() as u64).put_u64(len as u64);
+        self.engine.call(api::CU_MEMCPY_HTOD_SHM, e.finish())?;
+        Ok(())
+    }
+
+    /// `cuMemcpyDtoH` returning the data inline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] on device copy failure.
+    pub fn cu_memcpy_dtoh(&self, ptr: DevicePtr, len: usize) -> Result<Vec<u8>, LakeError> {
+        let mut e = Encoder::new();
+        e.put_u64(ptr.0).put_u64(len as u64);
+        let resp = self.engine.call(api::CU_MEMCPY_DTOH, e.finish())?;
+        let mut d = Decoder::new(&resp);
+        let data = d.get_bytes().map_err(|_| LakeError::BadResponse("cuMemcpyDtoH bytes"))?;
+        Ok(data.to_vec())
+    }
+
+    /// `cuMemcpyDtoH` depositing the data into a `lakeShm` buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] if the shm handle is stale or the copy fails.
+    pub fn cu_memcpy_dtoh_shm(
+        &self,
+        ptr: DevicePtr,
+        dst: &ShmBuffer,
+        len: usize,
+    ) -> Result<(), LakeError> {
+        let mut e = Encoder::new();
+        e.put_u64(ptr.0).put_u64(dst.offset() as u64).put_u64(len as u64);
+        self.engine.call(api::CU_MEMCPY_DTOH_SHM, e.finish())?;
+        Ok(())
+    }
+
+    /// `cuLaunchKernel` (+ synchronize): runs a named kernel over `items`
+    /// work items.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for unknown kernels or kernel faults.
+    pub fn cu_launch_kernel(
+        &self,
+        name: &str,
+        items: u64,
+        args: &[KernelArg],
+    ) -> Result<(), LakeError> {
+        let mut e = Encoder::new();
+        e.put_str(name).put_u64(items).put_u32(args.len() as u32);
+        for arg in args {
+            match arg {
+                KernelArg::Ptr(p) => {
+                    e.put_u8(0).put_u64(p.0);
+                }
+                KernelArg::U64(v) => {
+                    e.put_u8(1).put_u64(*v);
+                }
+                KernelArg::F32(v) => {
+                    e.put_u8(2).put_f32(*v);
+                }
+            }
+        }
+        self.engine.call(api::CU_LAUNCH_KERNEL, e.finish())?;
+        Ok(())
+    }
+
+    /// `cuStreamCreate`: creates an asynchronous work stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] if the daemon is unreachable.
+    pub fn cu_stream_create(&self) -> Result<u32, LakeError> {
+        let resp = self.engine.call(api::CU_STREAM_CREATE, Bytes::new())?;
+        let mut d = Decoder::new(&resp);
+        d.get_u32().map_err(|_| LakeError::BadResponse("stream id"))
+    }
+
+    /// `cuStreamDestroy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for unknown streams.
+    pub fn cu_stream_destroy(&self, stream: u32) -> Result<(), LakeError> {
+        let mut e = Encoder::new();
+        e.put_u32(stream);
+        self.engine.call(api::CU_STREAM_DESTROY, e.finish())?;
+        Ok(())
+    }
+
+    /// `cuMemcpyHtoDAsync` from a `lakeShm` buffer: enqueues the copy on
+    /// `stream` and returns without waiting for the DMA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for stale shm handles or device errors.
+    pub fn cu_memcpy_htod_async_shm(
+        &self,
+        stream: u32,
+        ptr: DevicePtr,
+        src: &ShmBuffer,
+        len: usize,
+    ) -> Result<(), LakeError> {
+        let mut e = Encoder::new();
+        e.put_u32(stream)
+            .put_u64(ptr.0)
+            .put_u64(src.offset() as u64)
+            .put_u64(len as u64);
+        self.engine.call(api::CU_MEMCPY_HTOD_ASYNC_SHM, e.finish())?;
+        Ok(())
+    }
+
+    /// `cuLaunchKernel` on a stream (no implicit synchronize).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for unknown kernels/streams or faults.
+    pub fn cu_launch_kernel_async(
+        &self,
+        stream: u32,
+        name: &str,
+        items: u64,
+        args: &[KernelArg],
+    ) -> Result<(), LakeError> {
+        let mut e = Encoder::new();
+        e.put_u32(stream).put_str(name).put_u64(items).put_u32(args.len() as u32);
+        for arg in args {
+            match arg {
+                KernelArg::Ptr(p) => {
+                    e.put_u8(0).put_u64(p.0);
+                }
+                KernelArg::U64(v) => {
+                    e.put_u8(1).put_u64(*v);
+                }
+                KernelArg::F32(v) => {
+                    e.put_u8(2).put_f32(*v);
+                }
+            }
+        }
+        self.engine.call(api::CU_LAUNCH_KERNEL_ASYNC, e.finish())?;
+        Ok(())
+    }
+
+    /// `cuMemcpyDtoHAsync` into a `lakeShm` buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for stale shm handles or device errors.
+    pub fn cu_memcpy_dtoh_async_shm(
+        &self,
+        stream: u32,
+        ptr: DevicePtr,
+        dst: &ShmBuffer,
+        len: usize,
+    ) -> Result<(), LakeError> {
+        let mut e = Encoder::new();
+        e.put_u32(stream)
+            .put_u64(ptr.0)
+            .put_u64(dst.offset() as u64)
+            .put_u64(len as u64);
+        self.engine.call(api::CU_MEMCPY_DTOH_ASYNC_SHM, e.finish())?;
+        Ok(())
+    }
+
+    /// `cuStreamSynchronize`: waits (in virtual time) for everything
+    /// queued on `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for unknown streams.
+    pub fn cu_stream_synchronize(&self, stream: u32) -> Result<(), LakeError> {
+        let mut e = Encoder::new();
+        e.put_u32(stream);
+        self.engine.call(api::CU_STREAM_SYNCHRONIZE, e.finish())?;
+        Ok(())
+    }
+
+    /// Remoted `nvmlDeviceGetUtilizationRates`: device utilization over
+    /// the trailing `window_us` microseconds, in percent (0–100).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] if the daemon is unreachable.
+    pub fn nvml_utilization_percent(&self, window_us: u64) -> Result<f64, LakeError> {
+        let mut e = Encoder::new();
+        e.put_u64(window_us);
+        let resp = self.engine.call(api::NVML_GET_UTILIZATION, e.finish())?;
+        let mut d = Decoder::new(&resp);
+        d.get_f64().map_err(|_| LakeError::BadResponse("nvml utilization"))
+    }
+
+    /// Issues a raw remoted call (for extensions; §A.7 encourages new
+    /// kernel modules to add APIs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] if the daemon rejects the call.
+    pub fn raw_call(&self, api: lake_rpc::ApiId, payload: Bytes) -> Result<Bytes, LakeError> {
+        Ok(self.engine.call(api, payload)?)
+    }
+}

@@ -1,0 +1,266 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D), 96-bit nonces.
+
+use crate::aes::Aes;
+use crate::ghash::GHash;
+
+/// Authentication failure on [`AesGcm::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenError;
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("gcm tag verification failed")
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// Tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// An AES-GCM cipher instance.
+#[derive(Debug, Clone)]
+pub struct AesGcm {
+    aes: Aes,
+    h: [u8; 16],
+}
+
+impl AesGcm {
+    /// Creates an AES-128-GCM cipher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len() != 16`.
+    pub fn new_128(key: &[u8]) -> Self {
+        Self::from_aes(Aes::new_128(key))
+    }
+
+    /// Creates an AES-256-GCM cipher (what the modified eCryptfs uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len() != 32`.
+    pub fn new_256(key: &[u8]) -> Self {
+        Self::from_aes(Aes::new_256(key))
+    }
+
+    fn from_aes(aes: Aes) -> Self {
+        let mut h = [0u8; 16];
+        aes.encrypt_block(&mut h);
+        AesGcm { aes, h }
+    }
+
+    fn j0(&self, nonce: &[u8; 12]) -> [u8; 16] {
+        let mut j0 = [0u8; 16];
+        j0[..12].copy_from_slice(nonce);
+        j0[15] = 1;
+        j0
+    }
+
+    fn ctr_xor(&self, j0: &[u8; 16], data: &mut [u8]) {
+        let mut counter = u32::from_be_bytes(j0[12..16].try_into().expect("4 bytes"));
+        for chunk in data.chunks_mut(16) {
+            counter = counter.wrapping_add(1);
+            let mut block = *j0;
+            block[12..16].copy_from_slice(&counter.to_be_bytes());
+            self.aes.encrypt_block(&mut block);
+            for (b, k) in chunk.iter_mut().zip(block.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    fn tag(&self, j0: &[u8; 16], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+        let mut g = GHash::new(self.h);
+        g.update(aad);
+        g.update(ciphertext);
+        let mut s = g.finalize(aad.len(), ciphertext.len());
+        let mut ek_j0 = *j0;
+        self.aes.encrypt_block(&mut ek_j0);
+        for (t, k) in s.iter_mut().zip(ek_j0.iter()) {
+            *t ^= k;
+        }
+        s
+    }
+
+    /// Encrypts `plaintext` with `aad`; returns `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; 12], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let j0 = self.j0(nonce);
+        let mut out = plaintext.to_vec();
+        self.ctr_xor(&j0, &mut out);
+        let tag = self.tag(&j0, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts `ciphertext || tag` produced by [`AesGcm::seal`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpenError`] if the input is too short or the tag does
+    /// not verify.
+    pub fn open(&self, nonce: &[u8; 12], sealed: &[u8], aad: &[u8]) -> Result<Vec<u8>, OpenError> {
+        if sealed.len() < TAG_LEN {
+            return Err(OpenError);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let j0 = self.j0(nonce);
+        let expected = self.tag(&j0, aad, ciphertext);
+        // Constant-time-ish comparison (sums differences).
+        let diff = expected
+            .iter()
+            .zip(tag)
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b));
+        if diff != 0 {
+            return Err(OpenError);
+        }
+        let mut out = ciphertext.to_vec();
+        self.ctr_xor(&j0, &mut out);
+        Ok(out)
+    }
+
+    /// Approximate FLOPs-equivalent per byte of GCM processing, for the
+    /// GPU timing model (AES rounds + GHASH per 16-byte block).
+    pub fn work_per_byte() -> f64 {
+        800.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn nist_aes128_gcm_case1_empty() {
+        let gcm = AesGcm::new_128(&[0u8; 16]);
+        let sealed = gcm.seal(&[0u8; 12], b"", b"");
+        assert_eq!(sealed, hex("58e2fccefa7e3061367f1d57a4e7455a"));
+    }
+
+    #[test]
+    fn nist_aes128_gcm_case2_one_block() {
+        let gcm = AesGcm::new_128(&[0u8; 16]);
+        let sealed = gcm.seal(&[0u8; 12], &[0u8; 16], b"");
+        assert_eq!(
+            sealed,
+            hex("0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf")
+        );
+    }
+
+    #[test]
+    fn nist_aes128_gcm_case4_with_aad() {
+        // GCM spec test case 4.
+        let key = hex("feffe9928665731c6d6a8f9467308308");
+        let nonce: [u8; 12] = hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let gcm = AesGcm::new_128(&key);
+        let sealed = gcm.seal(&nonce, &pt, &aad);
+        let expected_ct = hex(
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+        );
+        let expected_tag = hex("5bc94fbc3221a5db94fae95ae7121a47");
+        assert_eq!(&sealed[..pt.len()], &expected_ct[..]);
+        assert_eq!(&sealed[pt.len()..], &expected_tag[..]);
+        // And open round-trips.
+        assert_eq!(gcm.open(&nonce, &sealed, &aad).unwrap(), pt);
+    }
+
+    #[test]
+    fn nist_aes256_gcm_case13_empty() {
+        let gcm = AesGcm::new_256(&[0u8; 32]);
+        let sealed = gcm.seal(&[0u8; 12], b"", b"");
+        assert_eq!(sealed, hex("530f8afbc74536b9a963b4f1c4cb738b"));
+    }
+
+    #[test]
+    fn nist_aes256_gcm_case14_one_block() {
+        let gcm = AesGcm::new_256(&[0u8; 32]);
+        let sealed = gcm.seal(&[0u8; 12], &[0u8; 16], b"");
+        assert_eq!(
+            sealed,
+            hex("cea7403d4d606b6e074ec5d3baf39d18d0d1c8a799996bf0265b98b5d48ab919")
+        );
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let gcm = AesGcm::new_256(&[9u8; 32]);
+        let nonce = [3u8; 12];
+        let mut sealed = gcm.seal(&nonce, b"filesystem extent data", b"extent-0");
+        // flip one ciphertext bit
+        sealed[4] ^= 0x01;
+        assert_eq!(gcm.open(&nonce, &sealed, b"extent-0"), Err(OpenError));
+        // wrong aad
+        sealed[4] ^= 0x01;
+        assert_eq!(gcm.open(&nonce, &sealed, b"extent-1"), Err(OpenError));
+        // wrong nonce
+        assert_eq!(gcm.open(&[4u8; 12], &sealed, b"extent-0"), Err(OpenError));
+        // intact opens fine
+        assert_eq!(gcm.open(&nonce, &sealed, b"extent-0").unwrap(), b"filesystem extent data");
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        let gcm = AesGcm::new_128(&[0u8; 16]);
+        assert_eq!(gcm.open(&[0u8; 12], &[1, 2, 3], b""), Err(OpenError));
+    }
+
+    #[test]
+    fn large_buffer_roundtrip() {
+        let gcm = AesGcm::new_256(&[1u8; 32]);
+        let nonce = [7u8; 12];
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let sealed = gcm.seal(&nonce, &data, b"");
+        assert_eq!(sealed.len(), data.len() + TAG_LEN);
+        assert_eq!(gcm.open(&nonce, &sealed, b"").unwrap(), data);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// seal/open round-trips for arbitrary payloads and AAD.
+        #[test]
+        fn roundtrip(
+            key in proptest::collection::vec(any::<u8>(), 32),
+            nonce in proptest::collection::vec(any::<u8>(), 12),
+            data in proptest::collection::vec(any::<u8>(), 0..512),
+            aad in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let gcm = AesGcm::new_256(&key);
+            let nonce: [u8; 12] = nonce.try_into().unwrap();
+            let sealed = gcm.seal(&nonce, &data, &aad);
+            prop_assert_eq!(gcm.open(&nonce, &sealed, &aad).unwrap(), data);
+        }
+
+        /// Any single-byte corruption is detected.
+        #[test]
+        fn corruption_detected(
+            data in proptest::collection::vec(any::<u8>(), 1..128),
+            pos_seed: usize,
+            bit in 0u8..8,
+        ) {
+            let gcm = AesGcm::new_128(&[5u8; 16]);
+            let nonce = [1u8; 12];
+            let mut sealed = gcm.seal(&nonce, &data, b"");
+            let pos = pos_seed % sealed.len();
+            sealed[pos] ^= 1 << bit;
+            prop_assert_eq!(gcm.open(&nonce, &sealed, b""), Err(OpenError));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! An eCryptfs-style stacked encrypting file layer (§7.7).
+//!
+//! The paper modifies eCryptfs to use AES-GCM ("because it is
+//! parallelizable") and adds a crypto path that offloads cipher operations
+//! to a LAKE-backed GPU. This crate reproduces that stack over the
+//! simulated NVMe:
+//!
+//! * data is encrypted per *extent* (the mount's block size) with
+//!   AES-256-GCM; the nonce derives from the extent index and the extent
+//!   index is bound as AAD;
+//! * reads and writes do real cryptography (tamper-evident storage) while
+//!   charging calibrated virtual time for whichever crypto path is
+//!   configured: scalar CPU, AES-NI, LAKE/GPU, or GPU+AES-NI split;
+//! * sequential reads trigger *readahead*: the next extents' disk reads
+//!   are issued while the current extent decrypts, which is what lets the
+//!   GPU path overlap I/O with decryption ("the read-ahead size of the
+//!   disk is set to the block size, in order to fully overlap the
+//!   decryption and file system read");
+//! * CPU/daemon/GPU busy time is metered for the Fig 15 utilization
+//!   study.
+//!
+//! # Example
+//!
+//! ```
+//! use lake_fs::{CryptoPath, Ecryptfs, EcryptfsConfig};
+//!
+//! # fn main() -> Result<(), lake_fs::FsError> {
+//! let mut fs = Ecryptfs::for_tests(CryptoPath::AesNi, 4096);
+//! fs.write(0, b"secret kernel telemetry")?;
+//! assert_eq!(fs.read(0, 23)?, b"secret kernel telemetry");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod ecryptfs;
+
+pub use ecryptfs::{CryptoPath, Ecryptfs, EcryptfsConfig, FsError, FsMeters};

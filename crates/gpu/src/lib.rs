@@ -1,0 +1,56 @@
+//! A simulated CUDA-like accelerator for the LAKE reproduction.
+//!
+//! The paper's testbed has two NVIDIA A100s driven through the CUDA driver
+//! API (v11.0). No GPU exists in this environment, so this crate provides
+//! the substitution described in DESIGN.md: a device that
+//!
+//! * **really executes** registered kernels (Rust closures over device
+//!   buffers), so every ML result in the reproduction is numerically real,
+//!   and
+//! * **charges analytic time** for what the hardware would do — kernel
+//!   launch overhead, PCIe transfer latency/bandwidth, and an occupancy
+//!   ramp that makes small batches inefficient. The ramp is what produces
+//!   the paper's crossover points (Table 3, Figs 8–12): below a certain
+//!   batch size the fixed offload cost dominates and the CPU wins.
+//!
+//! The device is a shared, serialized resource: concurrent work queues up,
+//! which is exactly the contention pathology of Fig 1. [`NvmlSampler`]
+//! exposes windowed utilization the way NVIDIA's NVML does, feeding the
+//! contention policy of Fig 3.
+//!
+//! # Example
+//!
+//! ```
+//! use lake_gpu::{GpuDevice, GpuSpec, KernelArg};
+//! use lake_sim::SharedClock;
+//!
+//! # fn main() -> Result<(), lake_gpu::GpuError> {
+//! let clock = SharedClock::new();
+//! let gpu = GpuDevice::new(GpuSpec::a100(), clock.clone());
+//! gpu.register_kernel("scale2x", 1.0, |ctx, args| {
+//!     let ptr = args[0].as_ptr().expect("buffer arg");
+//!     let mut data = ctx.read_f32(ptr)?;
+//!     for x in &mut data {
+//!         *x *= 2.0;
+//!     }
+//!     ctx.write_f32(ptr, &data)
+//! });
+//!
+//! let buf = gpu.mem_alloc(4 * 4)?;
+//! gpu.memcpy_htod(buf, &1.5f32.to_le_bytes().repeat(4))?;
+//! gpu.launch_kernel("scale2x", 4, &[KernelArg::Ptr(buf)])?;
+//! let out = gpu.memcpy_dtoh(buf, 16)?;
+//! assert_eq!(f32::from_le_bytes(out[..4].try_into().unwrap()), 3.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod nvml;
+pub mod spec;
+
+pub use device::{DevicePtr, ExecMode, GpuDevice, GpuError, KernelArg, KernelCtx};
+pub use nvml::NvmlSampler;
+pub use spec::GpuSpec;

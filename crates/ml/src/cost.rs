@@ -1,0 +1,71 @@
+//! CPU inference cost model.
+//!
+//! The paper anchors CPU-side inference cost at "each inference on CPU
+//! takes around 15µs" for the LinnOS 2-layer (31→256→2) model (§7.1). That
+//! model does ≈ 16.9 kFLOPs per input, giving an effective scalar-kernel
+//! throughput of ≈ 1.15 GFLOP/s, which we round to 1.2 GFLOP/s. All CPU
+//! execution paths in the reproduction convert model FLOPs to virtual time
+//! through this model.
+
+use lake_sim::Duration;
+
+/// Converts FLOPs into virtual CPU time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuCostModel {
+    /// Effective throughput in FLOPs/second.
+    pub flops_per_sec: f64,
+    /// Fixed per-invocation overhead (function call, feature marshalling).
+    pub invocation_overhead: Duration,
+}
+
+impl Default for CpuCostModel {
+    fn default() -> Self {
+        CpuCostModel {
+            flops_per_sec: 1.2e9,
+            invocation_overhead: Duration::from_nanos(500),
+        }
+    }
+}
+
+impl CpuCostModel {
+    /// Time to execute `flops` of model math on the CPU.
+    pub fn time_for_flops(&self, flops: f64) -> Duration {
+        self.invocation_overhead + Duration::from_secs_f64(flops.max(0.0) / self.flops_per_sec)
+    }
+
+    /// Time to run a model with `flops_per_input` over a batch — CPU
+    /// inference is sequential, so cost is linear in the batch size.
+    pub fn batch_time(&self, flops_per_input: f64, batch: usize) -> Duration {
+        self.invocation_overhead
+            + Duration::from_secs_f64(flops_per_input * batch as f64 / self.flops_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linnos_anchor_is_about_15us() {
+        let model = CpuCostModel::default();
+        // LinnOS base model FLOPs: 2*(31*256 + 256*2)
+        let flops = 2.0 * (31.0 * 256.0 + 256.0 * 2.0);
+        let t = model.time_for_flops(flops);
+        let us = t.as_micros_f64();
+        assert!((13.0..17.0).contains(&us), "expected ~15us, got {us}");
+    }
+
+    #[test]
+    fn batch_cost_is_linear() {
+        let model = CpuCostModel::default();
+        let one = model.batch_time(10_000.0, 1).as_nanos() as f64;
+        let hundred = model.batch_time(10_000.0, 100).as_nanos() as f64;
+        assert!(hundred / one > 50.0);
+    }
+
+    #[test]
+    fn zero_flops_costs_only_overhead() {
+        let model = CpuCostModel::default();
+        assert_eq!(model.time_for_flops(0.0), model.invocation_overhead);
+    }
+}

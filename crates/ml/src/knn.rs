@@ -1,0 +1,222 @@
+//! k-nearest-neighbours classification — the malware detector (§7.5).
+//!
+//! The paper's detector classifies processes "based on feature vectors
+//! which can track syscall frequencies and PMU counters", using 16 nearest
+//! neighbours over a database of 16,384 reference points. Brute-force L2
+//! search, exactly what the CUDA kernel computes, reimplemented here for
+//! the CPU path and reused inside the simulated GPU kernel.
+
+use crate::tensor::Matrix;
+
+/// A brute-force k-NN classifier.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    refs: Matrix,
+    labels: Vec<u32>,
+    k: usize,
+}
+
+impl Knn {
+    /// Builds a classifier over `refs` (one reference point per row) with
+    /// `labels[i]` the class of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != refs.rows()`, `k` is zero, or `k`
+    /// exceeds the number of references.
+    pub fn new(refs: Matrix, labels: Vec<u32>, k: usize) -> Self {
+        assert_eq!(labels.len(), refs.rows(), "one label per reference row");
+        assert!(k > 0, "k must be non-zero");
+        assert!(k <= refs.rows(), "k cannot exceed the reference count");
+        Knn { refs, labels, k }
+    }
+
+    /// Number of reference points.
+    pub fn num_refs(&self) -> usize {
+        self.refs.rows()
+    }
+
+    /// Feature dimensionality.
+    pub fn dims(&self) -> usize {
+        self.refs.cols()
+    }
+
+    /// Neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// FLOPs for one query: distance computation dominates
+    /// (`3 · refs · dims`: sub, square, add per element).
+    pub fn flops_per_query(&self) -> f64 {
+        3.0 * self.refs.rows() as f64 * self.refs.cols() as f64
+    }
+
+    /// Indices and distances of the `k` nearest references to `query`,
+    /// nearest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != dims()`.
+    pub fn nearest(&self, query: &[f32]) -> Vec<(usize, f32)> {
+        assert_eq!(query.len(), self.dims(), "query dimensionality mismatch");
+        // Selection via a bounded insertion into a k-sized buffer: O(n·k)
+        // worst case but k is small (16 in the paper).
+        let mut best: Vec<(usize, f32)> = Vec::with_capacity(self.k + 1);
+        for r in 0..self.refs.rows() {
+            let d = Matrix::sq_l2(query, self.refs.row(r));
+            if best.len() < self.k || d < best.last().expect("non-empty").1 {
+                let pos = best.partition_point(|&(_, bd)| bd <= d);
+                best.insert(pos, (r, d));
+                if best.len() > self.k {
+                    best.pop();
+                }
+            }
+        }
+        best
+    }
+
+    /// Majority-vote class for one query (ties break toward the smaller
+    /// label, deterministic).
+    pub fn classify(&self, query: &[f32]) -> u32 {
+        let neighbours = self.nearest(query);
+        let mut votes: Vec<(u32, usize)> = Vec::new();
+        for (idx, _) in neighbours {
+            let label = self.labels[idx];
+            match votes.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => votes.push((label, 1)),
+            }
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(l, _)| l)
+            .expect("k >= 1 guarantees at least one vote")
+    }
+
+    /// Classifies a batch of queries (one per row).
+    pub fn classify_batch(&self, queries: &Matrix) -> Vec<u32> {
+        (0..queries.rows()).map(|r| self.classify(queries.row(r))).collect()
+    }
+
+    /// Fraction of queries classified as their true label.
+    pub fn accuracy(&self, queries: &Matrix, truth: &[u32]) -> f64 {
+        let preds = self.classify_batch(queries);
+        let correct = preds.iter().zip(truth).filter(|(p, t)| p == t).count();
+        correct as f64 / truth.len() as f64
+    }
+
+    /// The reference matrix (for GPU upload).
+    pub fn references(&self) -> &Matrix {
+        &self.refs
+    }
+
+    /// The reference labels (for GPU upload).
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_knn(k: usize) -> Knn {
+        // Class 0 near the origin, class 1 near (10, 10).
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..8 {
+            rows.push(vec![0.1 * i as f32, 0.05 * i as f32]);
+            labels.push(0);
+            rows.push(vec![10.0 + 0.1 * i as f32, 10.0 - 0.05 * i as f32]);
+            labels.push(1);
+        }
+        Knn::new(Matrix::from_rows(&rows), labels, k)
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let knn = two_cluster_knn(3);
+        assert_eq!(knn.classify(&[0.2, 0.2]), 0);
+        assert_eq!(knn.classify(&[9.5, 10.2]), 1);
+    }
+
+    #[test]
+    fn nearest_is_sorted_and_correct() {
+        let refs = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![5.0]]);
+        let knn = Knn::new(refs, vec![0, 1, 2, 3], 3);
+        let near = knn.nearest(&[1.1]);
+        assert_eq!(near.len(), 3);
+        assert_eq!(near[0].0, 1); // 1.0 closest to 1.1 (d=0.01)
+        assert_eq!(near[1].0, 2); // 2.0 next (d=0.81)
+        assert_eq!(near[2].0, 0); // 0.0 last (d=1.21)
+        assert!(near[0].1 <= near[1].1 && near[1].1 <= near[2].1);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let knn = two_cluster_knn(5);
+        let queries = Matrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 10.0]]);
+        assert_eq!(knn.classify_batch(&queries), vec![0, 1]);
+        assert_eq!(knn.accuracy(&queries, &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn k_equal_refs_uses_global_majority() {
+        let refs = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![100.0]]);
+        let knn = Knn::new(refs, vec![1, 1, 0], 3);
+        assert_eq!(knn.classify(&[50.0]), 1);
+    }
+
+    #[test]
+    fn flops_scale_with_dims() {
+        let knn = two_cluster_knn(1);
+        assert_eq!(knn.flops_per_query(), 3.0 * 16.0 * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn k_larger_than_refs_rejected() {
+        let refs = Matrix::from_rows(&[vec![0.0]]);
+        Knn::new(refs, vec![0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_query_dims_rejected() {
+        let knn = two_cluster_knn(1);
+        knn.classify(&[1.0, 2.0, 3.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The nearest list is sorted by distance and has exactly k
+        /// entries, and the single nearest neighbour is never farther than
+        /// any other reference.
+        #[test]
+        fn nearest_invariants(
+            points in proptest::collection::vec(proptest::collection::vec(-50.0f32..50.0, 3), 5..40),
+            query in proptest::collection::vec(-50.0f32..50.0, 3),
+            k in 1usize..5,
+        ) {
+            let n = points.len();
+            let labels: Vec<u32> = (0..n as u32).collect();
+            let knn = Knn::new(Matrix::from_rows(&points), labels, k.min(n));
+            let near = knn.nearest(&query);
+            prop_assert_eq!(near.len(), k.min(n));
+            for w in near.windows(2) {
+                prop_assert!(w[0].1 <= w[1].1);
+            }
+            let best = near[0].1;
+            for p in &points {
+                prop_assert!(Matrix::sq_l2(&query, p) >= best - 1e-4);
+            }
+        }
+    }
+}

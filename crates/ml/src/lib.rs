@@ -1,0 +1,51 @@
+//! From-scratch machine learning for the LAKE reproduction.
+//!
+//! The paper's workloads use three model families, all reimplemented here
+//! with no external ML dependency:
+//!
+//! * **MLPs** ([`Mlp`]) — LinnOS's I/O latency predictor (2 layers, 256→2,
+//!   plus the paper's `+1`/`+2` augmented variants), MLLB's load-balancing
+//!   perceptron, and KML's readahead classifier. Trainable with SGD.
+//! * **LSTMs** ([`LstmClassifier`]) — Kleio's page-warmth model (two LSTM
+//!   layers, realized in the paper through remoted TensorFlow). Trainable
+//!   with truncated BPTT.
+//! * **k-NN** ([`Knn`]) — the malware detector (16 nearest neighbours over
+//!   syscall/PMU feature vectors).
+//!
+//! [`CpuCostModel`] converts model FLOPs into virtual time for the CPU
+//! execution paths, anchored to the paper's "each inference on CPU takes
+//! around 15µs" for the base LinnOS model (§7.1). The GPU paths run the
+//! same math inside simulated device kernels (see `lake-core`).
+//!
+//! # Example: train and run a LinnOS-shaped MLP
+//!
+//! ```
+//! use lake_ml::{Activation, Matrix, Mlp, SgdConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut model = Mlp::new(&[4, 16, 2], Activation::Relu, &mut rng);
+//! let x = Matrix::from_rows(&[vec![0.0, 0.0, 1.0, 1.0], vec![1.0, 1.0, 0.0, 0.0]]);
+//! let y = vec![0, 1];
+//! let cfg = SgdConfig { learning_rate: 0.1, ..SgdConfig::default() };
+//! for _ in 0..200 {
+//!     model.train_batch(&x, &y, &cfg);
+//! }
+//! assert_eq!(model.classify(&x), vec![0, 1]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod knn;
+pub mod lstm;
+pub mod mlp;
+pub mod serialize;
+pub mod tensor;
+
+pub use cost::CpuCostModel;
+pub use knn::Knn;
+pub use lstm::{LstmCell, LstmClassifier};
+pub use mlp::{Activation, Mlp, SgdConfig};
+pub use serialize::{ModelCodecError, ModelKind};
+pub use tensor::Matrix;

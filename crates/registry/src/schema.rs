@@ -1,0 +1,179 @@
+//! Feature-vector schemas (§5.2).
+//!
+//! "The schema is a map from feature key (name) to a tuple of
+//! `<size, entries>`, where size is the number of bytes required by the
+//! feature type ... and entries provides array support for feature vectors
+//! that include historical values."
+
+use std::collections::HashMap;
+
+/// Per-feature layout: `<size, entries>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureSpec {
+    /// Bytes per sample (e.g. 4 for an `int`, 8 for a timestamp). The
+    /// lock-free capture path stores samples in a single atomic word, so
+    /// `size` is limited to 8.
+    pub size: usize,
+    /// Samples kept: 1 for a scalar; N > 1 keeps the last N values with
+    /// index 0 the most recent (§5.2).
+    pub entries: usize,
+}
+
+impl FeatureSpec {
+    /// Total bytes a committed vector stores for this feature.
+    pub fn stored_bytes(&self) -> usize {
+        self.size * self.entries
+    }
+}
+
+/// An ordered feature schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Keys in declaration order (stable order ⇒ stable model input
+    /// layout).
+    keys: Vec<String>,
+    specs: HashMap<String, (usize, FeatureSpec)>,
+}
+
+impl Schema {
+    /// Starts building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { keys: Vec::new(), specs: HashMap::new() }
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the schema has no features (never produced by the
+    /// builder).
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Keys in declaration order.
+    pub fn keys(&self) -> &[String] {
+        &self.keys
+    }
+
+    /// Spec for `key`.
+    pub fn spec(&self, key: &str) -> Option<FeatureSpec> {
+        self.specs.get(key).map(|&(_, s)| s)
+    }
+
+    /// Dense slot index for `key` (used by the lock-free capture table).
+    pub fn index_of(&self, key: &str) -> Option<usize> {
+        self.specs.get(key).map(|&(i, _)| i)
+    }
+
+    /// Spec at a dense index.
+    pub fn spec_at(&self, index: usize) -> Option<(&str, FeatureSpec)> {
+        self.keys
+            .get(index)
+            .map(|k| (k.as_str(), self.specs[k].1))
+    }
+
+    /// Whether any feature keeps history (`entries > 1`) — controls the
+    /// truncation guarantee of §5.4.
+    pub fn has_history(&self) -> bool {
+        self.specs.values().any(|&(_, s)| s.entries > 1)
+    }
+
+    /// Total f32 values produced when a committed vector is flattened for
+    /// model input (each stored sample becomes one value).
+    pub fn flat_width(&self) -> usize {
+        self.keys
+            .iter()
+            .map(|k| self.specs[k].1.entries)
+            .sum()
+    }
+}
+
+/// Builder for [`Schema`].
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    keys: Vec<String>,
+    specs: HashMap<String, (usize, FeatureSpec)>,
+}
+
+impl SchemaBuilder {
+    /// Declares a feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` repeats, `size` is 0 or exceeds 8, or `entries`
+    /// is 0.
+    pub fn feature(mut self, key: &str, size: usize, entries: usize) -> Self {
+        assert!(!self.specs.contains_key(key), "duplicate feature key {key:?}");
+        assert!((1..=8).contains(&size), "feature size must be 1..=8 bytes");
+        assert!(entries >= 1, "entries must be at least 1");
+        let index = self.keys.len();
+        self.keys.push(key.to_owned());
+        self.specs.insert(key.to_owned(), (index, FeatureSpec { size, entries }));
+        self
+    }
+
+    /// Finishes the schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no features were declared.
+    pub fn build(self) -> Schema {
+        assert!(!self.keys.is_empty(), "schema needs at least one feature");
+        Schema { keys: self.keys, specs: self.specs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linnos_schema() -> Schema {
+        Schema::builder()
+            .feature("pend_ios", 8, 1)
+            .feature("io_latency", 8, 4)
+            .build()
+    }
+
+    #[test]
+    fn lookup_and_order() {
+        let s = linnos_schema();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.keys(), &["pend_ios".to_owned(), "io_latency".to_owned()]);
+        assert_eq!(s.index_of("pend_ios"), Some(0));
+        assert_eq!(s.index_of("io_latency"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.spec("io_latency"), Some(FeatureSpec { size: 8, entries: 4 }));
+        assert_eq!(s.spec_at(1).map(|(k, _)| k), Some("io_latency"));
+    }
+
+    #[test]
+    fn history_and_width() {
+        let s = linnos_schema();
+        assert!(s.has_history());
+        assert_eq!(s.flat_width(), 1 + 4);
+        assert_eq!(s.spec("io_latency").unwrap().stored_bytes(), 32);
+
+        let scalar_only = Schema::builder().feature("x", 4, 1).build();
+        assert!(!scalar_only.has_history());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate feature key")]
+    fn duplicate_key_rejected() {
+        Schema::builder().feature("x", 4, 1).feature("x", 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn oversized_feature_rejected() {
+        Schema::builder().feature("x", 16, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one feature")]
+    fn empty_schema_rejected() {
+        Schema::builder().build();
+    }
+}

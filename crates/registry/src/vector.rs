@@ -1,0 +1,180 @@
+//! Committed feature vectors: `<numfeatures, kvpair*, ts_begin, ts_end>`
+//! (§5.1).
+
+use lake_sim::Instant;
+
+use crate::schema::Schema;
+
+/// One committed feature vector.
+///
+/// Values are untyped bytes (§5.2); a feature with `entries` history slots
+/// stores `size * entries` bytes, sample 0 (most recent) first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector {
+    ts_begin: Instant,
+    ts_end: Instant,
+    /// dense storage, one buffer per schema slot
+    values: Vec<Vec<u8>>,
+    /// schema keys, shared layout (kept as an owned copy of the key list
+    /// index; lookups go through the schema order captured at commit)
+    keys: Vec<String>,
+}
+
+impl FeatureVector {
+    pub(crate) fn new(
+        ts_begin: Instant,
+        ts_end: Instant,
+        keys: Vec<String>,
+        values: Vec<Vec<u8>>,
+    ) -> Self {
+        debug_assert_eq!(keys.len(), values.len());
+        FeatureVector { ts_begin, ts_end, values, keys }
+    }
+
+    /// When capture of this vector began.
+    pub fn ts_begin(&self) -> Instant {
+        self.ts_begin
+    }
+
+    /// When this vector was committed.
+    pub fn ts_end(&self) -> Instant {
+        self.ts_end
+    }
+
+    /// Number of features (`numfeatures`).
+    pub fn num_features(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether `ts_begin <= ts <= ts_end` — the `get_features` match rule
+    /// (§5.4).
+    pub fn covers(&self, ts: Instant) -> bool {
+        self.ts_begin <= ts && ts <= self.ts_end
+    }
+
+    fn slot(&self, key: &str) -> Option<&Vec<u8>> {
+        self.keys.iter().position(|k| k == key).map(|i| &self.values[i])
+    }
+
+    /// Raw bytes of a feature (all history samples).
+    pub fn get_raw(&self, key: &str) -> Option<&[u8]> {
+        self.slot(key).map(|v| v.as_slice())
+    }
+
+    /// The most recent sample interpreted as a little-endian `i64`
+    /// (zero-extended from the feature's declared size).
+    pub fn get_i64(&self, key: &str) -> Option<i64> {
+        let raw = self.slot(key)?;
+        Some(le_i64(&raw[..raw.len().min(8)]))
+    }
+
+    /// History sample `n` (0 = most recent) as `i64`, given the schema
+    /// that produced this vector.
+    pub fn get_i64_history(&self, schema: &Schema, key: &str, n: usize) -> Option<i64> {
+        let spec = schema.spec(key)?;
+        if n >= spec.entries {
+            return None;
+        }
+        let raw = self.slot(key)?;
+        let start = n * spec.size;
+        Some(le_i64(&raw[start..start + spec.size]))
+    }
+
+    /// Flattens the vector to f32 model inputs in schema order: every
+    /// stored sample becomes one value (ints are converted).
+    pub fn to_f32_features(&self, schema: &Schema) -> Vec<f32> {
+        let mut out = Vec::with_capacity(schema.flat_width());
+        for key in schema.keys() {
+            let spec = schema.spec(key).expect("schema key");
+            let raw = self.slot(key).map(|v| v.as_slice()).unwrap_or(&[]);
+            for n in 0..spec.entries {
+                let start = n * spec.size;
+                let sample = raw.get(start..start + spec.size).unwrap_or(&[]);
+                out.push(le_i64(sample) as f32);
+            }
+        }
+        out
+    }
+}
+
+/// Little-endian signed interpretation of up to 8 bytes (sign-extended
+/// from the top bit of the last byte).
+fn le_i64(bytes: &[u8]) -> i64 {
+    if bytes.is_empty() {
+        return 0;
+    }
+    let mut buf = if bytes.last().is_some_and(|&b| b & 0x80 != 0) {
+        [0xFFu8; 8]
+    } else {
+        [0u8; 8]
+    };
+    let n = bytes.len().min(8);
+    buf[..n].copy_from_slice(&bytes[..n]);
+    i64::from_le_bytes(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .feature("pend", 8, 1)
+            .feature("lat", 4, 3)
+            .build()
+    }
+
+    fn sample_vector() -> FeatureVector {
+        let mut lat = Vec::new();
+        for v in [10i32, 20, 30] {
+            lat.extend_from_slice(&v.to_le_bytes());
+        }
+        FeatureVector::new(
+            Instant::from_nanos(100),
+            Instant::from_nanos(200),
+            vec!["pend".into(), "lat".into()],
+            vec![5i64.to_le_bytes().to_vec(), lat],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let fv = sample_vector();
+        assert_eq!(fv.num_features(), 2);
+        assert_eq!(fv.get_i64("pend"), Some(5));
+        assert_eq!(fv.get_i64("missing"), None);
+        assert!(fv.covers(Instant::from_nanos(150)));
+        assert!(!fv.covers(Instant::from_nanos(250)));
+        assert!(fv.covers(Instant::from_nanos(100)));
+        assert!(fv.covers(Instant::from_nanos(200)));
+    }
+
+    #[test]
+    fn history_access() {
+        let fv = sample_vector();
+        let s = schema();
+        assert_eq!(fv.get_i64_history(&s, "lat", 0), Some(10));
+        assert_eq!(fv.get_i64_history(&s, "lat", 1), Some(20));
+        assert_eq!(fv.get_i64_history(&s, "lat", 2), Some(30));
+        assert_eq!(fv.get_i64_history(&s, "lat", 3), None);
+    }
+
+    #[test]
+    fn flattening_for_model_input() {
+        let fv = sample_vector();
+        let flat = fv.to_f32_features(&schema());
+        assert_eq!(flat, vec![5.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn negative_values_sign_extend() {
+        let fv = FeatureVector::new(
+            Instant::EPOCH,
+            Instant::EPOCH,
+            vec!["x".into()],
+            vec![(-3i32).to_le_bytes().to_vec()],
+        );
+        assert_eq!(fv.get_i64("x"), Some(-3));
+    }
+}

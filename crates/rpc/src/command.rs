@@ -1,0 +1,207 @@
+//! Framed command / response messages.
+//!
+//! A command is "a buffer ... large enough to hold the API function
+//! identifier (e.g. a number) and all function arguments" (§4.1). The frame
+//! adds a magic byte, a sequence number for response matching, and the API
+//! identifier; the payload is opaque to this layer.
+
+use bytes::Bytes;
+
+use crate::wire::{Decoder, Encoder, WireError};
+
+/// Numeric identifier of a remoted API ("e.g. a number" — §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ApiId(pub u32);
+
+impl std::fmt::Display for ApiId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "api#{}", self.0)
+    }
+}
+
+/// Result status of a remoted call. "Errors caused when executing an API
+/// are forwarded to the application, which must do its own error checking"
+/// (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The call succeeded.
+    Ok,
+    /// The daemon does not implement the requested API.
+    UnknownApi,
+    /// The daemon could not decode the command payload.
+    Malformed,
+    /// The underlying library (simulated CUDA, ML runtime, ...) failed;
+    /// the code is vendor-specific.
+    VendorError(u32),
+}
+
+impl Status {
+    fn to_u32(self) -> u32 {
+        match self {
+            Status::Ok => 0,
+            Status::UnknownApi => 1,
+            Status::Malformed => 2,
+            Status::VendorError(code) => 0x1000 + code,
+        }
+    }
+
+    fn from_u32(v: u32) -> Status {
+        match v {
+            0 => Status::Ok,
+            1 => Status::UnknownApi,
+            2 => Status::Malformed,
+            v => Status::VendorError(v.saturating_sub(0x1000)),
+        }
+    }
+
+    /// True for [`Status::Ok`].
+    pub fn is_ok(self) -> bool {
+        self == Status::Ok
+    }
+}
+
+const COMMAND_MAGIC: u8 = 0xC5;
+const RESPONSE_MAGIC: u8 = 0x5C;
+
+/// A serialized API invocation traveling kernel → daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    /// Which API to execute.
+    pub api: ApiId,
+    /// Sequence number echoed by the response.
+    pub seq: u64,
+    /// Encoded arguments.
+    pub payload: Bytes,
+}
+
+impl Command {
+    /// Encodes the command into a transmittable frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u8(COMMAND_MAGIC)
+            .put_u32(self.api.0)
+            .put_u64(self.seq)
+            .put_bytes(&self.payload);
+        e.finish().to_vec()
+    }
+
+    /// Decodes a frame back into a command.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the frame is truncated, has the wrong
+    /// magic, or carries trailing bytes.
+    pub fn decode(frame: &[u8]) -> Result<Command, WireError> {
+        let mut d = Decoder::new(frame);
+        let magic = d.get_u8()?;
+        if magic != COMMAND_MAGIC {
+            return Err(WireError::Truncated { wanted: "command magic", remaining: frame.len() });
+        }
+        let api = ApiId(d.get_u32()?);
+        let seq = d.get_u64()?;
+        let payload = Bytes::copy_from_slice(d.get_bytes()?);
+        d.finish()?;
+        Ok(Command { api, seq, payload })
+    }
+
+    /// Size of the encoded frame, used for transport cost accounting.
+    pub fn encoded_len(&self) -> usize {
+        1 + 4 + 8 + 4 + self.payload.len()
+    }
+}
+
+/// A serialized result traveling daemon → kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the command's sequence number.
+    pub seq: u64,
+    /// Call status.
+    pub status: Status,
+    /// Encoded results ("the return code and the pointer returned by the
+    /// API call" — §4).
+    pub payload: Bytes,
+}
+
+impl Response {
+    /// Encodes the response into a transmittable frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u8(RESPONSE_MAGIC)
+            .put_u64(self.seq)
+            .put_u32(self.status.to_u32())
+            .put_bytes(&self.payload);
+        e.finish().to_vec()
+    }
+
+    /// Decodes a frame back into a response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the frame is truncated, has the wrong
+    /// magic, or carries trailing bytes.
+    pub fn decode(frame: &[u8]) -> Result<Response, WireError> {
+        let mut d = Decoder::new(frame);
+        let magic = d.get_u8()?;
+        if magic != RESPONSE_MAGIC {
+            return Err(WireError::Truncated { wanted: "response magic", remaining: frame.len() });
+        }
+        let seq = d.get_u64()?;
+        let status = Status::from_u32(d.get_u32()?);
+        let payload = Bytes::copy_from_slice(d.get_bytes()?);
+        d.finish()?;
+        Ok(Response { seq, status, payload })
+    }
+
+    /// Size of the encoded frame.
+    pub fn encoded_len(&self) -> usize {
+        1 + 8 + 4 + 4 + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_roundtrip() {
+        let cmd = Command { api: ApiId(42), seq: 7, payload: Bytes::from_static(b"args") };
+        let frame = cmd.encode();
+        assert_eq!(frame.len(), cmd.encoded_len());
+        assert_eq!(Command::decode(&frame).unwrap(), cmd);
+    }
+
+    #[test]
+    fn response_roundtrip_all_statuses() {
+        for status in [Status::Ok, Status::UnknownApi, Status::Malformed, Status::VendorError(3)] {
+            let r = Response { seq: 9, status, payload: Bytes::from_static(&[1, 2]) };
+            let frame = r.encode();
+            assert_eq!(frame.len(), r.encoded_len());
+            assert_eq!(Response::decode(&frame).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let cmd = Command { api: ApiId(1), seq: 1, payload: Bytes::new() };
+        let frame = cmd.encode();
+        assert!(Response::decode(&frame).is_err());
+        let resp = Response { seq: 1, status: Status::Ok, payload: Bytes::new() };
+        assert!(Command::decode(&resp.encode()).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let cmd = Command { api: ApiId(1), seq: 1, payload: Bytes::from_static(&[0; 32]) };
+        let frame = cmd.encode();
+        assert!(Command::decode(&frame[..frame.len() - 1]).is_err());
+        assert!(Command::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn status_vendor_code_roundtrip() {
+        let s = Status::VendorError(77);
+        assert_eq!(Status::from_u32(s.to_u32()), s);
+        assert!(!s.is_ok());
+        assert!(Status::Ok.is_ok());
+    }
+}

@@ -1,0 +1,367 @@
+//! The synchronous call path: stub side ([`CallEngine`]) and daemon side
+//! ([`serve`]).
+//!
+//! Two deployment modes mirror how the artifact can be run:
+//!
+//! * **In-process** — the handler is invoked directly on the caller's
+//!   thread with transport costs charged to the virtual clock. This is the
+//!   deterministic fast path used by the experiment harnesses.
+//! * **Linked** — commands travel over a real [`lake_transport::Link`] to a
+//!   daemon thread running [`serve`], exercising actual cross-thread
+//!   queueing like the real `lakeD` process.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use lake_sim::SharedClock;
+use lake_transport::{LinkEndpoint, Mechanism};
+
+use crate::command::{ApiId, Command, Response, Status};
+use crate::wire::WireError;
+
+/// Error returned by [`CallEngine::call`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The daemon reported a non-OK status.
+    Remote(Status),
+    /// A frame failed to decode.
+    Wire(WireError),
+    /// The daemon is gone (link closed).
+    Disconnected,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Remote(s) => write!(f, "remote call failed with status {s:?}"),
+            RpcError::Wire(e) => write!(f, "wire error: {e}"),
+            RpcError::Disconnected => f.write_str("daemon disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<WireError> for RpcError {
+    fn from(e: WireError) -> Self {
+        RpcError::Wire(e)
+    }
+}
+
+/// Daemon-side API implementation.
+///
+/// `lakeD` "deserializes them and executes the requested APIs" (§4) — a
+/// handler is the table of those implementations. Handlers are invoked with
+/// the decoded command payload and return the encoded response payload.
+pub trait ApiHandler: Send + Sync {
+    /// Executes `api` with `payload`-encoded arguments.
+    ///
+    /// # Errors
+    ///
+    /// Return a non-[`Status::Ok`] status to signal vendor-library failure;
+    /// it is forwarded verbatim to the kernel caller.
+    fn handle(&self, api: ApiId, payload: &[u8]) -> Result<Bytes, Status>;
+}
+
+impl<F> ApiHandler for F
+where
+    F: Fn(ApiId, &[u8]) -> Result<Bytes, Status> + Send + Sync,
+{
+    fn handle(&self, api: ApiId, payload: &[u8]) -> Result<Bytes, Status> {
+        self(api, payload)
+    }
+}
+
+/// Aggregate statistics about remoted calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CallStats {
+    /// Total remoted calls issued.
+    pub calls: u64,
+    /// Total command bytes sent.
+    pub bytes_sent: u64,
+    /// Total response bytes received.
+    pub bytes_received: u64,
+    /// Calls that returned a non-OK status.
+    pub failures: u64,
+}
+
+enum Mode {
+    InProcess(Arc<dyn ApiHandler>),
+    Linked(LinkEndpoint),
+}
+
+impl fmt::Debug for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::InProcess(_) => f.write_str("InProcess"),
+            Mode::Linked(_) => f.write_str("Linked"),
+        }
+    }
+}
+
+/// The stub side of LAKE's remoting: serialize, transmit, wait (§4.1).
+#[derive(Debug)]
+pub struct CallEngine {
+    mechanism: Mechanism,
+    clock: SharedClock,
+    mode: Mode,
+    next_seq: AtomicU64,
+    calls: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl CallEngine {
+    /// Creates an engine that dispatches directly to `handler` on the
+    /// calling thread, charging `mechanism` costs to `clock`.
+    pub fn in_process(
+        mechanism: Mechanism,
+        clock: SharedClock,
+        handler: Arc<dyn ApiHandler>,
+    ) -> Self {
+        CallEngine {
+            mechanism,
+            clock,
+            mode: Mode::InProcess(handler),
+            next_seq: AtomicU64::new(1),
+            calls: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates an engine that sends commands over `endpoint` to a daemon
+    /// thread running [`serve`]. The endpoint's mechanism and clock are
+    /// reused for cost accounting.
+    pub fn linked(endpoint: LinkEndpoint) -> Self {
+        CallEngine {
+            mechanism: endpoint.mechanism(),
+            clock: endpoint.clock().clone(),
+            mode: Mode::Linked(endpoint),
+            next_seq: AtomicU64::new(1),
+            calls: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The channel mechanism in use.
+    pub fn mechanism(&self) -> Mechanism {
+        self.mechanism
+    }
+
+    /// The virtual clock charged by calls.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Issues a remoted API call and waits for its response payload.
+    ///
+    /// Cost accounting (in-process mode): the caller's clock advances by
+    /// the mechanism round-trip for `max(command, response)` frame size,
+    /// split around the handler execution — which itself may advance the
+    /// clock (GPU time, daemon compute).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpcError::Remote`] when the daemon reports failure,
+    /// [`RpcError::Wire`] on framing corruption, [`RpcError::Disconnected`]
+    /// if the daemon thread is gone.
+    pub fn call(&self, api: ApiId, payload: Bytes) -> Result<Bytes, RpcError> {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let cmd = Command { api, seq, payload };
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(cmd.encoded_len() as u64, Ordering::Relaxed);
+
+        match &self.mode {
+            Mode::InProcess(handler) => {
+                // Outbound: call time + half the payload round trip.
+                self.clock.advance(self.mechanism.call_time());
+                self.clock.advance(self.mechanism.one_way(cmd.encoded_len()));
+                let result = handler.handle(cmd.api, &cmd.payload);
+                let response = match result {
+                    Ok(bytes) => Response { seq, status: Status::Ok, payload: bytes },
+                    Err(status) => Response { seq, status, payload: Bytes::new() },
+                };
+                // Inbound: half the response round trip.
+                self.clock.advance(self.mechanism.one_way(response.encoded_len()));
+                self.bytes_received
+                    .fetch_add(response.encoded_len() as u64, Ordering::Relaxed);
+                if response.status.is_ok() {
+                    Ok(response.payload)
+                } else {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    Err(RpcError::Remote(response.status))
+                }
+            }
+            Mode::Linked(endpoint) => {
+                endpoint.send(cmd.encode()).map_err(|_| RpcError::Disconnected)?;
+                loop {
+                    let frame = endpoint.recv().map_err(|_| RpcError::Disconnected)?;
+                    let response = Response::decode(&frame)?;
+                    if response.seq != seq {
+                        // Response to an older cancelled call; drop it.
+                        continue;
+                    }
+                    self.bytes_received
+                        .fetch_add(response.encoded_len() as u64, Ordering::Relaxed);
+                    return if response.status.is_ok() {
+                        Ok(response.payload)
+                    } else {
+                        self.failures.fetch_add(1, Ordering::Relaxed);
+                        Err(RpcError::Remote(response.status))
+                    };
+                }
+            }
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CallStats {
+        CallStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Runs the daemon dispatch loop over `endpoint` until the peer
+/// disconnects: receive command, decode, execute, respond. This is
+/// `lakeD`'s main loop.
+pub fn serve(endpoint: &LinkEndpoint, handler: &dyn ApiHandler) {
+    while let Ok(frame) = endpoint.recv() {
+        let response = match Command::decode(&frame) {
+            Ok(cmd) => match handler.handle(cmd.api, &cmd.payload) {
+                Ok(payload) => Response { seq: cmd.seq, status: Status::Ok, payload },
+                Err(status) => Response { seq: cmd.seq, status, payload: Bytes::new() },
+            },
+            Err(_) => Response { seq: 0, status: Status::Malformed, payload: Bytes::new() },
+        };
+        if endpoint.send(response.encode()).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{Decoder, Encoder};
+    use lake_transport::Link;
+
+    const API_ADD: ApiId = ApiId(1);
+    const API_FAIL: ApiId = ApiId(2);
+
+    fn adder() -> Arc<dyn ApiHandler> {
+        Arc::new(|api: ApiId, payload: &[u8]| -> Result<Bytes, Status> {
+            match api {
+                API_ADD => {
+                    let mut d = Decoder::new(payload);
+                    let a = d.get_u64().map_err(|_| Status::Malformed)?;
+                    let b = d.get_u64().map_err(|_| Status::Malformed)?;
+                    let mut e = Encoder::new();
+                    e.put_u64(a + b);
+                    Ok(e.finish())
+                }
+                API_FAIL => Err(Status::VendorError(13)),
+                _ => Err(Status::UnknownApi),
+            }
+        })
+    }
+
+    fn encode_pair(a: u64, b: u64) -> Bytes {
+        let mut e = Encoder::new();
+        e.put_u64(a).put_u64(b);
+        e.finish()
+    }
+
+    #[test]
+    fn in_process_call_roundtrip() {
+        let clock = SharedClock::new();
+        let engine = CallEngine::in_process(Mechanism::Netlink, clock.clone(), adder());
+        let out = engine.call(API_ADD, encode_pair(2, 40)).unwrap();
+        let mut d = Decoder::new(&out);
+        assert_eq!(d.get_u64().unwrap(), 42);
+        // Netlink: 11us call + ~28us round trip payload cost
+        assert!(clock.now().as_micros() >= 30);
+        let stats = engine.stats();
+        assert_eq!(stats.calls, 1);
+        assert_eq!(stats.failures, 0);
+        assert!(stats.bytes_sent > 0 && stats.bytes_received > 0);
+    }
+
+    #[test]
+    fn vendor_error_is_forwarded() {
+        let engine = CallEngine::in_process(Mechanism::Netlink, SharedClock::new(), adder());
+        let err = engine.call(API_FAIL, Bytes::new()).unwrap_err();
+        assert_eq!(err, RpcError::Remote(Status::VendorError(13)));
+        assert_eq!(engine.stats().failures, 1);
+    }
+
+    #[test]
+    fn unknown_api_is_reported() {
+        let engine = CallEngine::in_process(Mechanism::Netlink, SharedClock::new(), adder());
+        let err = engine.call(ApiId(999), Bytes::new()).unwrap_err();
+        assert_eq!(err, RpcError::Remote(Status::UnknownApi));
+    }
+
+    #[test]
+    fn linked_mode_with_real_daemon_thread() {
+        let clock = SharedClock::new();
+        let (kernel, user) = Link::pair(Mechanism::Netlink, clock.clone());
+        let daemon = std::thread::spawn(move || {
+            let handler = adder();
+            serve(&user, handler.as_ref());
+        });
+        let engine = CallEngine::linked(kernel);
+        for i in 0..10u64 {
+            let out = engine.call(API_ADD, encode_pair(i, i)).unwrap();
+            let mut d = Decoder::new(&out);
+            assert_eq!(d.get_u64().unwrap(), 2 * i);
+        }
+        let err = engine.call(API_FAIL, Bytes::new()).unwrap_err();
+        assert_eq!(err, RpcError::Remote(Status::VendorError(13)));
+        drop(engine); // closes the link; daemon loop exits
+        daemon.join().unwrap();
+        assert!(clock.now().as_micros() > 0);
+    }
+
+    #[test]
+    fn larger_payloads_cost_more_time() {
+        let small_clock = SharedClock::new();
+        let engine = CallEngine::in_process(Mechanism::Netlink, small_clock.clone(), adder());
+        let _ = engine.call(API_ADD, encode_pair(1, 1));
+        let small_elapsed = small_clock.now();
+
+        let big_clock = SharedClock::new();
+        let engine = CallEngine::in_process(
+            Mechanism::Netlink,
+            big_clock.clone(),
+            Arc::new(|_: ApiId, _: &[u8]| Ok(Bytes::new())),
+        );
+        let payload = Bytes::from(vec![0u8; 32 * 1024]);
+        let _ = engine.call(ApiId(1), payload);
+        assert!(big_clock.now().as_nanos() > small_elapsed.as_nanos() * 3);
+    }
+
+    #[test]
+    fn handler_clock_advance_is_included() {
+        // The handler simulates GPU time by advancing the shared clock.
+        let clock = SharedClock::new();
+        let handler_clock = clock.clone();
+        let handler = Arc::new(move |_: ApiId, _: &[u8]| -> Result<Bytes, Status> {
+            handler_clock.advance(lake_sim::Duration::from_micros(500));
+            Ok(Bytes::new())
+        });
+        let engine = CallEngine::in_process(Mechanism::Netlink, clock.clone(), handler);
+        engine.call(ApiId(1), Bytes::new()).unwrap();
+        assert!(clock.now().as_micros() >= 500 + 30);
+    }
+}

@@ -1,0 +1,31 @@
+//! LAKE's API-remoting layer.
+//!
+//! The paper (§4, §6): "The implementation of LAKE's API remoting system
+//! resembles an RPC system: lakeLib exports symbols (stubs) to the kernel
+//! and lakeD is the user space process that handles incoming requests.
+//! Commands sent between these two are transmitted through Netlink sockets."
+//!
+//! Each stub "does three things: serialize an API identifier and all of API
+//! parameters into a command, transmit commands through some communication
+//! channel for remote execution in user space and, finally, wait for a
+//! response."
+//!
+//! This crate provides exactly those pieces, vendor-agnostic:
+//!
+//! * [`wire`] — a compact binary encoder/decoder for API arguments.
+//! * [`command`] — the framed `Command` / `Response` messages.
+//! * [`engine`] — [`CallEngine`], the synchronous call path charging
+//!   transport costs to the virtual clock, in-process or across a real
+//!   daemon thread; and [`serve`], the daemon-side dispatch loop.
+//!
+//! The CUDA/NVML/TensorFlow API surface built on top lives in `lake-core`.
+
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod engine;
+pub mod wire;
+
+pub use command::{ApiId, Command, Response, Status};
+pub use engine::{serve, ApiHandler, CallEngine, CallStats, RpcError};
+pub use wire::{Decoder, Encoder, WireError};

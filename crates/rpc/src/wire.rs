@@ -1,0 +1,417 @@
+//! Binary argument serialization for remoted commands.
+//!
+//! Hand-rolled little-endian encoding, mirroring the paper's description of
+//! stubs that "serialize an API identifier and all of API parameters into a
+//! command". A [`Decoder`] is strict: every read is bounds-checked and the
+//! daemon rejects malformed commands instead of trusting the other side.
+
+use std::fmt;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Error produced when decoding a malformed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the expected field.
+    Truncated {
+        /// What was being decoded.
+        wanted: &'static str,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// A length prefix exceeded the remaining buffer.
+    BadLength {
+        /// The declared length.
+        declared: usize,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { wanted, remaining } => {
+                write!(f, "truncated message: wanted {wanted}, {remaining} bytes remain")
+            }
+            WireError::BadLength { declared, remaining } => {
+                write!(f, "bad length prefix: declared {declared}, {remaining} bytes remain")
+            }
+            WireError::BadUtf8 => f.write_str("string field held invalid utf-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Builds the payload of a command.
+///
+/// # Example
+///
+/// ```
+/// use lake_rpc::{Encoder, Decoder};
+///
+/// let mut enc = Encoder::new();
+/// enc.put_u64(0xdead_beef).put_str("cuMemAlloc").put_f32_slice(&[1.0, 2.0]);
+/// let bytes = enc.finish();
+///
+/// let mut dec = Decoder::new(&bytes);
+/// assert_eq!(dec.get_u64().unwrap(), 0xdead_beef);
+/// assert_eq!(dec.get_str().unwrap(), "cuMemAlloc");
+/// assert_eq!(dec.get_f32_slice().unwrap(), vec![1.0, 2.0]);
+/// dec.finish().unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: BytesMut::with_capacity(64) }
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Appends a `u32` (little endian).
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Appends a `u64` (little endian).
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Appends an `i64` (little endian).
+    pub fn put_i64(&mut self, v: i64) -> &mut Self {
+        self.buf.put_i64_le(v);
+        self
+    }
+
+    /// Appends an `f32` (little endian bits).
+    pub fn put_f32(&mut self, v: f32) -> &mut Self {
+        self.buf.put_f32_le(v);
+        self
+    }
+
+    /// Appends an `f64` (little endian bits).
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.buf.put_f64_le(v);
+        self
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_u32_le(v.len() as u32);
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_bytes(v.as_bytes())
+    }
+
+    /// Appends a length-prefixed `f32` slice (count, then raw values).
+    pub fn put_f32_slice(&mut self, v: &[f32]) -> &mut Self {
+        self.buf.put_u32_le(v.len() as u32);
+        for &x in v {
+            self.buf.put_f32_le(x);
+        }
+        self
+    }
+
+    /// Appends a length-prefixed `u64` slice.
+    pub fn put_u64_slice(&mut self, v: &[u64]) -> &mut Self {
+        self.buf.put_u32_le(v.len() as u32);
+        for &x in v {
+            self.buf.put_u64_le(x);
+        }
+        self
+    }
+
+    /// Current encoded size in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the encoded payload.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Strict reader over an encoded payload.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf }
+    }
+
+    fn take(&mut self, n: usize, wanted: &'static str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated { wanted, remaining: self.buf.len() });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f32`.
+    pub fn get_f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4, "f32")?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads an `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8, "f64")?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length-prefixed byte slice (borrowed).
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.get_u32()? as usize;
+        if self.buf.len() < len {
+            return Err(WireError::BadLength { declared: len, remaining: self.buf.len() });
+        }
+        self.take(len, "bytes body")
+    }
+
+    /// Reads a length-prefixed UTF-8 string (borrowed).
+    pub fn get_str(&mut self) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.get_bytes()?).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads a length-prefixed `f32` slice.
+    pub fn get_f32_slice(&mut self) -> Result<Vec<f32>, WireError> {
+        let n = self.get_u32()? as usize;
+        let need = n.checked_mul(4).ok_or(WireError::BadLength {
+            declared: n,
+            remaining: self.buf.len(),
+        })?;
+        if self.buf.len() < need {
+            return Err(WireError::BadLength { declared: need, remaining: self.buf.len() });
+        }
+        let raw = self.take(need, "f32 slice body")?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Reads a length-prefixed `u64` slice.
+    pub fn get_u64_slice(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.get_u32()? as usize;
+        let need = n.checked_mul(8).ok_or(WireError::BadLength {
+            declared: n,
+            remaining: self.buf.len(),
+        })?;
+        if self.buf.len() < need {
+            return Err(WireError::BadLength { declared: need, remaining: self.buf.len() });
+        }
+        let raw = self.take(need, "u64 slice body")?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Asserts the payload was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TrailingBytes`] if bytes remain.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_u8(7)
+            .put_u32(0x1234_5678)
+            .put_u64(u64::MAX)
+            .put_i64(-42)
+            .put_f32(3.5)
+            .put_f64(-2.25);
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u32().unwrap(), 0x1234_5678);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert_eq!(d.get_i64().unwrap(), -42);
+        assert_eq!(d.get_f32().unwrap(), 3.5);
+        assert_eq!(d.get_f64().unwrap(), -2.25);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn slices_and_strings_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_str("nvmlGetUtilization")
+            .put_bytes(&[1, 2, 3])
+            .put_f32_slice(&[0.5, -1.5])
+            .put_u64_slice(&[9, 8, 7]);
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        assert_eq!(d.get_str().unwrap(), "nvmlGetUtilization");
+        assert_eq!(d.get_bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(d.get_f32_slice().unwrap(), vec![0.5, -1.5]);
+        assert_eq!(d.get_u64_slice().unwrap(), vec![9, 8, 7]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_scalar_detected() {
+        let mut e = Encoder::new();
+        e.put_u32(1);
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        assert!(matches!(d.get_u64(), Err(WireError::Truncated { wanted: "u64", .. })));
+    }
+
+    #[test]
+    fn bad_length_prefix_detected() {
+        let mut e = Encoder::new();
+        e.put_u32(1000); // claims 1000 bytes follow
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        assert!(matches!(d.get_bytes(), Err(WireError::BadLength { declared: 1000, .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_detected() {
+        let mut e = Encoder::new();
+        e.put_bytes(&[0xff, 0xfe]);
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        assert_eq!(d.get_str(), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Encoder::new();
+        e.put_u8(1).put_u8(2);
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        d.get_u8().unwrap();
+        assert_eq!(d.finish(), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn empty_slices_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_f32_slice(&[]).put_bytes(&[]).put_str("");
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        assert!(d.get_f32_slice().unwrap().is_empty());
+        assert!(d.get_bytes().unwrap().is_empty());
+        assert_eq!(d.get_str().unwrap(), "");
+        d.finish().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn arbitrary_scalars_roundtrip(a: u8, b: u32, c: u64, d: i64, e in proptest::num::f32::NORMAL, f in proptest::num::f64::NORMAL) {
+            let mut enc = Encoder::new();
+            enc.put_u8(a).put_u32(b).put_u64(c).put_i64(d).put_f32(e).put_f64(f);
+            let buf = enc.finish();
+            let mut dec = Decoder::new(&buf);
+            prop_assert_eq!(dec.get_u8().unwrap(), a);
+            prop_assert_eq!(dec.get_u32().unwrap(), b);
+            prop_assert_eq!(dec.get_u64().unwrap(), c);
+            prop_assert_eq!(dec.get_i64().unwrap(), d);
+            prop_assert_eq!(dec.get_f32().unwrap(), e);
+            prop_assert_eq!(dec.get_f64().unwrap(), f);
+            dec.finish().unwrap();
+        }
+
+        #[test]
+        fn arbitrary_payloads_roundtrip(s in ".{0,64}", bytes in proptest::collection::vec(any::<u8>(), 0..256), floats in proptest::collection::vec(proptest::num::f32::ANY, 0..64)) {
+            let mut enc = Encoder::new();
+            enc.put_str(&s).put_bytes(&bytes).put_f32_slice(&floats);
+            let buf = enc.finish();
+            let mut dec = Decoder::new(&buf);
+            prop_assert_eq!(dec.get_str().unwrap(), s);
+            prop_assert_eq!(dec.get_bytes().unwrap(), &bytes[..]);
+            let got = dec.get_f32_slice().unwrap();
+            prop_assert_eq!(got.len(), floats.len());
+            for (g, w) in got.iter().zip(&floats) {
+                prop_assert!(g.to_bits() == w.to_bits());
+            }
+            dec.finish().unwrap();
+        }
+
+        /// Decoding arbitrary garbage never panics.
+        #[test]
+        fn decoder_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let mut dec = Decoder::new(&garbage);
+            let _ = dec.get_u64();
+            let _ = dec.get_bytes();
+            let _ = dec.get_f32_slice();
+            let _ = dec.get_str();
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! The shared byte region mapped into both spaces.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::allocator::{AllocStats, BestFitAllocator};
+
+/// Errors returned by [`ShmRegion`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShmError {
+    /// No free block large enough for the request (the paper's `cma=` boot
+    /// region is fixed-size; allocation can fail).
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Largest currently-free block.
+        largest_free: usize,
+    },
+    /// Access outside the bounds of a buffer.
+    OutOfBounds {
+        /// Offset of the attempted access, relative to the buffer start.
+        offset: usize,
+        /// Length of the attempted access.
+        len: usize,
+        /// The buffer's capacity.
+        capacity: usize,
+    },
+    /// The buffer handle does not refer to a live allocation of this
+    /// region (stale handle or wrong region).
+    BadHandle,
+}
+
+impl fmt::Display for ShmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShmError::OutOfMemory { requested, largest_free } => write!(
+                f,
+                "shm out of memory: requested {requested} bytes, largest free block {largest_free}"
+            ),
+            ShmError::OutOfBounds { offset, len, capacity } => write!(
+                f,
+                "shm access out of bounds: {offset}+{len} exceeds buffer capacity {capacity}"
+            ),
+            ShmError::BadHandle => f.write_str("stale or foreign shm buffer handle"),
+        }
+    }
+}
+
+impl std::error::Error for ShmError {}
+
+/// A handle to an allocation inside a [`ShmRegion`].
+///
+/// Like the paper's design, the handle is just an offset/length pair — it
+/// is what gets serialized into remoting commands so the daemon can find
+/// the data without copying it across the boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShmBuffer {
+    offset: usize,
+    len: usize,
+    generation: u64,
+}
+
+impl ShmBuffer {
+    /// Offset of this buffer within the region — the "device address"
+    /// carried in remoted commands.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Buffer capacity in bytes (rounded up to the allocator alignment).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the buffer has zero capacity (never produced by `alloc`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+struct Inner {
+    alloc: BestFitAllocator,
+    bytes: Vec<u8>,
+    generation: u64,
+}
+
+/// The contiguous shared region ("`cma=128M@0-4G`" in the paper's setup).
+///
+/// Clones share the same underlying storage, modeling the kernel and the
+/// daemon mapping the same physical pages.
+#[derive(Clone)]
+pub struct ShmRegion {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl fmt::Debug for ShmRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("ShmRegion")
+            .field("capacity", &inner.alloc.capacity())
+            .field("stats", &inner.alloc.stats())
+            .finish()
+    }
+}
+
+impl ShmRegion {
+    /// Reserves a region of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ShmRegion {
+            inner: Arc::new(Mutex::new(Inner {
+                alloc: BestFitAllocator::new(capacity),
+                bytes: vec![0; capacity],
+                generation: 0,
+            })),
+        }
+    }
+
+    /// Total region capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().alloc.capacity()
+    }
+
+    /// Allocates a buffer of at least `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::OutOfMemory`] if no free block fits.
+    pub fn alloc(&self, size: usize) -> Result<ShmBuffer, ShmError> {
+        let mut inner = self.inner.lock();
+        let largest = inner.alloc.stats().largest_free;
+        let offset = inner.alloc.alloc(size).ok_or(ShmError::OutOfMemory {
+            requested: size,
+            largest_free: largest,
+        })?;
+        let len = inner.alloc.size_of(offset).expect("fresh allocation is live");
+        inner.generation += 1;
+        Ok(ShmBuffer { offset, len, generation: inner.generation })
+    }
+
+    /// Frees a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::BadHandle`] if the handle is stale.
+    pub fn free(&self, buf: ShmBuffer) -> Result<(), ShmError> {
+        let mut inner = self.inner.lock();
+        if inner.alloc.size_of(buf.offset) != Some(buf.len) {
+            return Err(ShmError::BadHandle);
+        }
+        inner.alloc.free(buf.offset);
+        Ok(())
+    }
+
+    /// Writes `data` into the buffer at `offset` bytes from its start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::OutOfBounds`] on overflow, [`ShmError::BadHandle`]
+    /// if the buffer is not live.
+    pub fn write(&self, buf: &ShmBuffer, offset: usize, data: &[u8]) -> Result<(), ShmError> {
+        let mut inner = self.inner.lock();
+        if inner.alloc.size_of(buf.offset) != Some(buf.len) {
+            return Err(ShmError::BadHandle);
+        }
+        let end = offset.checked_add(data.len()).ok_or(ShmError::OutOfBounds {
+            offset,
+            len: data.len(),
+            capacity: buf.len,
+        })?;
+        if end > buf.len {
+            return Err(ShmError::OutOfBounds { offset, len: data.len(), capacity: buf.len });
+        }
+        let start = buf.offset + offset;
+        inner.bytes[start..start + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes from the buffer at `offset` bytes from its start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::OutOfBounds`] on overflow, [`ShmError::BadHandle`]
+    /// if the buffer is not live.
+    pub fn read(&self, buf: &ShmBuffer, offset: usize, len: usize) -> Result<Vec<u8>, ShmError> {
+        let inner = self.inner.lock();
+        if inner.alloc.size_of(buf.offset) != Some(buf.len) {
+            return Err(ShmError::BadHandle);
+        }
+        let end = offset.checked_add(len).ok_or(ShmError::OutOfBounds {
+            offset,
+            len,
+            capacity: buf.len,
+        })?;
+        if end > buf.len {
+            return Err(ShmError::OutOfBounds { offset, len, capacity: buf.len });
+        }
+        let start = buf.offset + offset;
+        Ok(inner.bytes[start..start + len].to_vec())
+    }
+
+    /// Runs `f` over the buffer's bytes without copying them out — the
+    /// zero-copy read path the daemon uses before handing data to the
+    /// accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::BadHandle`] if the buffer is not live.
+    pub fn with_bytes<R>(&self, buf: &ShmBuffer, f: impl FnOnce(&[u8]) -> R) -> Result<R, ShmError> {
+        let inner = self.inner.lock();
+        if inner.alloc.size_of(buf.offset) != Some(buf.len) {
+            return Err(ShmError::BadHandle);
+        }
+        Ok(f(&inner.bytes[buf.offset..buf.offset + buf.len]))
+    }
+
+    /// Mutable zero-copy access, used by the daemon to deposit results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::BadHandle`] if the buffer is not live.
+    pub fn with_bytes_mut<R>(
+        &self,
+        buf: &ShmBuffer,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, ShmError> {
+        let mut inner = self.inner.lock();
+        if inner.alloc.size_of(buf.offset) != Some(buf.len) {
+            return Err(ShmError::BadHandle);
+        }
+        let range = buf.offset..buf.offset + buf.len;
+        Ok(f(&mut inner.bytes[range]))
+    }
+
+    /// Resolves a raw offset (as carried in a remoted command) back to a
+    /// live buffer handle — what the daemon does when it deserializes a
+    /// command referencing shared memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::BadHandle`] if `offset` is not the start of a
+    /// live allocation.
+    pub fn resolve(&self, offset: usize) -> Result<ShmBuffer, ShmError> {
+        let inner = self.inner.lock();
+        let len = inner.alloc.size_of(offset).ok_or(ShmError::BadHandle)?;
+        Ok(ShmBuffer { offset, len, generation: inner.generation })
+    }
+
+    /// Allocator statistics.
+    pub fn stats(&self) -> AllocStats {
+        self.inner.lock().alloc.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_writes_daemon_reads_zero_copy() {
+        let shm = ShmRegion::with_capacity(4096);
+        let daemon_view = shm.clone(); // same mapping
+        let buf = shm.alloc(128).unwrap();
+        shm.write(&buf, 0, b"hello daemon").unwrap();
+        let got = daemon_view
+            .with_bytes(&buf, |bytes| bytes[..12].to_vec())
+            .unwrap();
+        assert_eq!(&got, b"hello daemon");
+    }
+
+    #[test]
+    fn resolve_offset_like_command_deserialization() {
+        let shm = ShmRegion::with_capacity(4096);
+        let buf = shm.alloc(256).unwrap();
+        shm.write(&buf, 0, &[7u8; 16]).unwrap();
+        let resolved = shm.resolve(buf.offset()).unwrap();
+        assert_eq!(resolved.len(), buf.len());
+        assert_eq!(shm.read(&resolved, 0, 16).unwrap(), vec![7u8; 16]);
+    }
+
+    #[test]
+    fn out_of_bounds_write_rejected() {
+        let shm = ShmRegion::with_capacity(4096);
+        let buf = shm.alloc(64).unwrap();
+        let err = shm.write(&buf, 60, &[0u8; 8]).unwrap_err();
+        assert!(matches!(err, ShmError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn stale_handle_rejected_after_free() {
+        let shm = ShmRegion::with_capacity(4096);
+        let buf = shm.alloc(64).unwrap();
+        shm.free(buf.clone()).unwrap();
+        assert_eq!(shm.read(&buf, 0, 1), Err(ShmError::BadHandle));
+        assert_eq!(shm.free(buf), Err(ShmError::BadHandle));
+    }
+
+    #[test]
+    fn oom_reports_largest_free() {
+        let shm = ShmRegion::with_capacity(256);
+        let _a = shm.alloc(128).unwrap();
+        let err = shm.alloc(256).unwrap_err();
+        match err {
+            ShmError::OutOfMemory { requested, largest_free } => {
+                assert_eq!(requested, 256);
+                assert_eq!(largest_free, 128);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_bytes_mut_deposits_results() {
+        let shm = ShmRegion::with_capacity(1024);
+        let buf = shm.alloc(8).unwrap();
+        shm.with_bytes_mut(&buf, |b| b[..4].copy_from_slice(&42u32.to_le_bytes()))
+            .unwrap();
+        let out = shm.read(&buf, 0, 4).unwrap();
+        assert_eq!(u32::from_le_bytes(out.try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn concurrent_access_from_threads() {
+        let shm = ShmRegion::with_capacity(1 << 16);
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let shm = shm.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let buf = shm.alloc(128).unwrap();
+                        shm.write(&buf, 0, &[i as u8; 128]).unwrap();
+                        let back = shm.read(&buf, 0, 128).unwrap();
+                        assert!(back.iter().all(|&b| b == i as u8));
+                        shm.free(buf).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shm.stats().in_use, 0);
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ShmError::OutOfMemory { requested: 10, largest_free: 4 };
+        assert!(e.to_string().contains("10"));
+        let e = ShmError::OutOfBounds { offset: 1, len: 2, capacity: 2 };
+        assert!(e.to_string().contains("exceeds"));
+    }
+}

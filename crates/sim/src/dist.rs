@@ -1,0 +1,163 @@
+//! The random distributions the paper's trace generator needs (§7.1):
+//! "an exponential distribution for inter-arrival time, a lognormal
+//! distribution for I/O size and a uniform distribution for I/O offset".
+//!
+//! Implemented here (inverse-CDF and Box–Muller) instead of pulling in
+//! `rand_distr`, keeping the dependency set to the allowed list.
+
+use rand::Rng;
+
+/// Samples from an exponential distribution with the given mean.
+///
+/// # Panics
+///
+/// Panics if `mean` is not finite and positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+    // Inverse CDF; 1 - u avoids ln(0).
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
+}
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::EPSILON {
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Samples from a normal distribution with the given mean and standard
+/// deviation.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or not finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be non-negative");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples from a lognormal distribution parameterized by the mean and
+/// standard deviation of the underlying normal (`mu`, `sigma`).
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or not finite.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Computes lognormal `(mu, sigma)` from a desired *arithmetic* mean and
+/// standard deviation of the resulting distribution.
+///
+/// Useful for the trace generator: the paper reports average I/O sizes
+/// (Table 4) rather than log-space parameters.
+///
+/// # Panics
+///
+/// Panics if `mean <= 0` or `std_dev < 0`.
+pub fn lognormal_params_from_mean_std(mean: f64, std_dev: f64) -> (f64, f64) {
+    assert!(mean > 0.0, "lognormal mean must be positive");
+    assert!(std_dev >= 0.0, "lognormal std_dev must be non-negative");
+    let variance_ratio = (std_dev / mean).powi(2);
+    let sigma2 = (1.0 + variance_ratio).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    (mu, sigma2.sqrt())
+}
+
+/// Samples a uniform integer in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform_u64<R: Rng + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi, "uniform range must be non-empty");
+    rng.gen_range(lo..hi)
+}
+
+/// Samples from a Pareto (heavy-tail) distribution with scale `x_m` and
+/// shape `alpha`. Used for adversarial workload generation in tests.
+///
+/// # Panics
+///
+/// Panics if `x_m <= 0` or `alpha <= 0`.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_m: f64, alpha: f64) -> f64 {
+    assert!(x_m > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+    let u: f64 = rng.gen();
+    x_m / (1.0 - u).powf(1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::seed(11);
+        let samples: Vec<f64> = (0..200_000).map(|_| exponential(&mut rng, 40.0)).collect();
+        let m = mean_of(&samples);
+        assert!((m - 40.0).abs() < 1.0, "mean {m} too far from 40");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut rng = SimRng::seed(13);
+        let samples: Vec<f64> = (0..200_000).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let m = mean_of(&samples);
+        let var = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((m - 5.0).abs() < 0.05);
+        assert!((var - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn lognormal_param_inversion_matches_target_mean() {
+        let mut rng = SimRng::seed(17);
+        let (mu, sigma) = lognormal_params_from_mean_std(30.0, 20.0);
+        let samples: Vec<f64> = (0..300_000).map(|_| lognormal(&mut rng, mu, sigma)).collect();
+        let m = mean_of(&samples);
+        assert!((m - 30.0).abs() < 0.5, "mean {m} too far from 30");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SimRng::seed(19);
+        for _ in 0..10_000 {
+            let x = uniform_u64(&mut rng, 100, 200);
+            assert!((100..200).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pareto_has_minimum_scale() {
+        let mut rng = SimRng::seed(23);
+        for _ in 0..10_000 {
+            assert!(pareto(&mut rng, 2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn exponential_rejects_bad_mean() {
+        let mut rng = SimRng::seed(1);
+        exponential(&mut rng, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn uniform_rejects_empty_range() {
+        let mut rng = SimRng::seed(1);
+        uniform_u64(&mut rng, 5, 5);
+    }
+}

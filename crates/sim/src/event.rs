@@ -1,0 +1,320 @@
+//! The discrete-event engine: a time-ordered queue of callbacks.
+//!
+//! Timeline experiments (Fig 1, Fig 13, Fig 15) are built as small event
+//! programs: arrival processes schedule work, resources schedule completions,
+//! and metric samplers schedule themselves periodically.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::clock::{Duration, Instant};
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type EventFn = Box<dyn FnOnce(&mut Simulation)>;
+
+struct Scheduled {
+    at: Instant,
+    seq: u64,
+    id: EventId,
+    run: EventFn,
+}
+
+impl fmt::Debug for Scheduled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduled")
+            .field("at", &self.at)
+            .field("seq", &self.seq)
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+// BinaryHeap is a max-heap; invert ordering to pop earliest-first, breaking
+// ties by insertion order so same-time events run deterministically.
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A single-threaded discrete-event simulation.
+///
+/// Events are closures run at their scheduled virtual time; they may schedule
+/// further events. Same-time events run in scheduling order.
+///
+/// # Example
+///
+/// ```
+/// use lake_sim::{Simulation, Duration};
+///
+/// let mut sim = Simulation::new();
+/// sim.schedule_in(Duration::from_micros(10), |sim| {
+///     // periodic sampler re-arming itself once
+///     sim.schedule_in(Duration::from_micros(10), |_| {});
+/// });
+/// let events = sim.run();
+/// assert_eq!(events, 2);
+/// assert_eq!(sim.now().as_micros(), 20);
+/// ```
+pub struct Simulation {
+    now: Instant,
+    queue: BinaryHeap<Scheduled>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at the epoch.
+    pub fn new() -> Self {
+        Simulation {
+            now: Instant::EPOCH,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled ones not yet
+    /// reaped).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_at<F>(&mut self, at: Instant, f: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        let id = EventId(self.next_seq);
+        self.queue.push(Scheduled { at, seq: self.next_seq, id, run: Box::new(f) });
+        self.next_seq += 1;
+        id
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: Duration, f: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Cancels a pending event. Cancelling an already-run or already-
+    /// cancelled event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Runs events until the queue is empty; returns the number of events
+    /// executed (cancelled events are not counted).
+    pub fn run(&mut self) -> u64 {
+        self.run_until(Instant::from_nanos(u64::MAX))
+    }
+
+    /// Runs events with scheduled time `<= deadline`; the clock ends at the
+    /// later of the last event time and never exceeds `deadline` unless an
+    /// event at exactly `deadline` fires. Returns events executed.
+    pub fn run_until(&mut self, deadline: Instant) -> u64 {
+        let start_executed = self.executed;
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event must pop");
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "event queue must be time-ordered");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.run)(self);
+        }
+        self.executed - start_executed
+    }
+
+    /// Runs a single event if one is pending; returns whether one ran.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(ev) = self.queue.pop() else { return false };
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.run)(self);
+            return true;
+        }
+    }
+}
+
+/// Schedules `f` every `period`, starting at `start`, until it returns
+/// `false`. A convenience for metric samplers and arrival processes.
+pub fn schedule_periodic<F>(sim: &mut Simulation, start: Instant, period: Duration, f: F)
+where
+    F: FnMut(&mut Simulation) -> bool + 'static,
+{
+    fn arm<F>(sim: &mut Simulation, at: Instant, period: Duration, mut f: F)
+    where
+        F: FnMut(&mut Simulation) -> bool + 'static,
+    {
+        sim.schedule_at(at, move |sim| {
+            if f(sim) {
+                let next = sim.now() + period;
+                arm(sim, next, period, f);
+            }
+        });
+    }
+    arm(sim, start, period, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &t in &[30u64, 10, 20] {
+            let log = Rc::clone(&log);
+            sim.schedule_at(Instant::from_nanos(t), move |_| log.borrow_mut().push(t));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn same_time_events_run_in_schedule_order() {
+        let mut sim = Simulation::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5u32 {
+            let log = Rc::clone(&log);
+            sim.schedule_at(Instant::from_nanos(100), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_run() {
+        let mut sim = Simulation::new();
+        let ran = Rc::new(RefCell::new(false));
+        let flag = Rc::clone(&ran);
+        let id = sim.schedule_in(Duration::from_micros(1), move |_| *flag.borrow_mut() = true);
+        sim.cancel(id);
+        assert_eq!(sim.run(), 0);
+        assert!(!*ran.borrow());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(Instant::from_nanos(10), |_| {});
+        sim.schedule_at(Instant::from_nanos(20), |_| {});
+        sim.schedule_at(Instant::from_nanos(30), |_| {});
+        let n = sim.run_until(Instant::from_nanos(20));
+        assert_eq!(n, 2);
+        assert_eq!(sim.now().as_nanos(), 20);
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    #[test]
+    fn nested_scheduling_works() {
+        let mut sim = Simulation::new();
+        let count = Rc::new(RefCell::new(0));
+        let c = Rc::clone(&count);
+        sim.schedule_in(Duration::from_nanos(1), move |sim| {
+            *c.borrow_mut() += 1;
+            let c2 = Rc::clone(&c);
+            sim.schedule_in(Duration::from_nanos(1), move |_| *c2.borrow_mut() += 1);
+        });
+        sim.run();
+        assert_eq!(*count.borrow(), 2);
+        assert_eq!(sim.now().as_nanos(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(Instant::from_nanos(10), |sim| {
+            sim.schedule_at(Instant::from_nanos(5), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn periodic_runs_until_false() {
+        let mut sim = Simulation::new();
+        let count = Rc::new(RefCell::new(0));
+        let c = Rc::clone(&count);
+        schedule_periodic(&mut sim, Instant::EPOCH, Duration::from_micros(2), move |_| {
+            *c.borrow_mut() += 1;
+            *c.borrow() < 4
+        });
+        sim.run();
+        assert_eq!(*count.borrow(), 4);
+        assert_eq!(sim.now().as_micros(), 6); // fires at 0,2,4,6
+    }
+
+    #[test]
+    fn step_executes_one_event() {
+        let mut sim = Simulation::new();
+        sim.schedule_in(Duration::from_nanos(5), |_| {});
+        sim.schedule_in(Duration::from_nanos(7), |_| {});
+        assert!(sim.step());
+        assert_eq!(sim.now().as_nanos(), 5);
+        assert!(sim.step());
+        assert!(!sim.step());
+    }
+}

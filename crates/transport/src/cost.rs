@@ -1,0 +1,163 @@
+//! Payload-size → virtual-time cost models.
+
+use lake_sim::Duration;
+
+/// Maps a message size to a round-trip cost.
+///
+/// Two shapes cover everything in the paper:
+///
+/// * [`CostModel::linear`] — `base + per_byte * max(0, bytes - free_bytes)`.
+/// * [`CostModel::interpolated`] — piecewise-linear through measured anchor
+///   points (used to reproduce Fig 6 exactly at the measured sizes).
+#[derive(Debug, Clone)]
+pub enum CostModel {
+    /// `base_us + per_byte_us * max(0, bytes - free_bytes)`.
+    Linear {
+        /// Fixed round-trip cost in µs.
+        base_us: f64,
+        /// Marginal cost per byte in µs, applied beyond `free_bytes`.
+        per_byte_us: f64,
+        /// Bytes included in the base cost.
+        free_bytes: usize,
+    },
+    /// Piecewise-linear interpolation through `(bytes, µs)` anchors;
+    /// extrapolates with the slope of the last segment.
+    Interpolated {
+        /// `(size_bytes, round_trip_us)` anchors, strictly increasing sizes.
+        anchors: Vec<(usize, f64)>,
+    },
+}
+
+impl CostModel {
+    /// Creates a linear model.
+    pub fn linear(base_us: f64, per_byte_us: f64, free_bytes: usize) -> Self {
+        CostModel::Linear { base_us, per_byte_us, free_bytes }
+    }
+
+    /// Creates an interpolated model from anchors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two anchors are given or sizes are not strictly
+    /// increasing.
+    pub fn interpolated(anchors: &[(usize, f64)]) -> Self {
+        assert!(anchors.len() >= 2, "need at least two anchors");
+        assert!(
+            anchors.windows(2).all(|w| w[0].0 < w[1].0),
+            "anchor sizes must be strictly increasing"
+        );
+        CostModel::Interpolated { anchors: anchors.to_vec() }
+    }
+
+    /// Round-trip cost in microseconds for a `bytes`-sized message.
+    pub fn round_trip_us(&self, bytes: usize) -> f64 {
+        match self {
+            CostModel::Linear { base_us, per_byte_us, free_bytes } => {
+                base_us + per_byte_us * bytes.saturating_sub(*free_bytes) as f64
+            }
+            CostModel::Interpolated { anchors } => {
+                let first = anchors[0];
+                if bytes <= first.0 {
+                    return first.1;
+                }
+                for w in anchors.windows(2) {
+                    let (x0, y0) = w[0];
+                    let (x1, y1) = w[1];
+                    if bytes <= x1 {
+                        let t = (bytes - x0) as f64 / (x1 - x0) as f64;
+                        return y0 + t * (y1 - y0);
+                    }
+                }
+                // extrapolate with last slope
+                let (x0, y0) = anchors[anchors.len() - 2];
+                let (x1, y1) = anchors[anchors.len() - 1];
+                let slope = (y1 - y0) / (x1 - x0) as f64;
+                y1 + slope * (bytes - x1) as f64
+            }
+        }
+    }
+
+    /// Round-trip cost as a [`Duration`].
+    pub fn round_trip(&self, bytes: usize) -> Duration {
+        Duration::from_micros_f64(self.round_trip_us(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_model_with_free_bytes() {
+        let m = CostModel::linear(10.0, 0.5, 100);
+        assert_eq!(m.round_trip_us(50), 10.0);
+        assert_eq!(m.round_trip_us(100), 10.0);
+        assert_eq!(m.round_trip_us(102), 11.0);
+    }
+
+    #[test]
+    fn interpolation_hits_anchors_and_midpoints() {
+        let m = CostModel::interpolated(&[(100, 10.0), (200, 30.0)]);
+        assert_eq!(m.round_trip_us(100), 10.0);
+        assert_eq!(m.round_trip_us(200), 30.0);
+        assert_eq!(m.round_trip_us(150), 20.0);
+    }
+
+    #[test]
+    fn interpolation_clamps_below_and_extrapolates_above() {
+        let m = CostModel::interpolated(&[(100, 10.0), (200, 30.0)]);
+        assert_eq!(m.round_trip_us(10), 10.0);
+        assert_eq!(m.round_trip_us(300), 50.0); // slope 0.2/byte continues
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unordered_anchors() {
+        CostModel::interpolated(&[(200, 10.0), (100, 30.0)]);
+    }
+
+    #[test]
+    fn duration_conversion_rounds() {
+        let m = CostModel::linear(1.5, 0.0, 0);
+        assert_eq!(m.round_trip(0).as_nanos(), 1_500);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::mechanism::Mechanism;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every mechanism's round trip is monotonic in payload size and
+        /// strictly positive.
+        #[test]
+        fn round_trip_monotonic(a in 0usize..(1 << 20), b in 0usize..(1 << 20)) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            for m in Mechanism::ALL {
+                let t_lo = m.round_trip(lo);
+                let t_hi = m.round_trip(hi);
+                prop_assert!(t_lo <= t_hi, "{m}: {t_lo} > {t_hi} for {lo} <= {hi}");
+                prop_assert!(t_lo.as_nanos() > 0);
+            }
+        }
+
+        /// Interpolated models agree with their anchors and interpolate
+        /// within anchor bounds between them.
+        #[test]
+        fn interpolation_bounded_by_anchors(size in 128usize..32768) {
+            let model = CostModel::interpolated(crate::mechanism::NETLINK_RT_ANCHORS_US);
+            let us = model.round_trip_us(size);
+            let min = crate::mechanism::NETLINK_RT_ANCHORS_US
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(f64::INFINITY, f64::min);
+            let max = crate::mechanism::NETLINK_RT_ANCHORS_US
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(0.0f64, f64::max);
+            prop_assert!(us >= min - 1e-9 && us <= max + 1e-9);
+        }
+    }
+}

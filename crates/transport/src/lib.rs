@@ -1,0 +1,35 @@
+//! Kernel↔user communication channels for LAKE.
+//!
+//! The paper's §6 evaluates Linux's kernel-to-user communication mechanisms
+//! (Table 2) — signals, device read/write, Netlink sockets, and mmap polling
+//! — and picks Netlink for commands ("due to their low latency") with shared
+//! memory for bulk data. This crate reproduces that layer:
+//!
+//! * [`Mechanism`] — the four mechanisms with their calibrated call-time /
+//!   doorbell-latency costs (Table 2) and per-size round-trip costs (Fig 6
+//!   for Netlink).
+//! * [`CostModel`] — how a payload of N bytes maps to virtual time.
+//! * [`Link`] — a real bidirectional inter-thread message channel that
+//!   charges the cost model against a shared virtual clock; used when the
+//!   LAKE daemon runs on its own thread.
+//!
+//! # Example
+//!
+//! ```
+//! use lake_transport::Mechanism;
+//!
+//! // Fig 6: a 32 KiB Netlink round trip costs ~257 us; under 4 KiB ~30 us.
+//! let big = Mechanism::Netlink.round_trip(32 * 1024);
+//! let small = Mechanism::Netlink.round_trip(256);
+//! assert!(big.as_micros() > 8 * small.as_micros());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod link;
+pub mod mechanism;
+
+pub use cost::CostModel;
+pub use link::{Link, LinkEndpoint, RecvError, SendError};
+pub use mechanism::Mechanism;

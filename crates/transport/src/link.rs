@@ -1,0 +1,207 @@
+//! A real bidirectional inter-thread message link with virtual-time costs.
+//!
+//! When the LAKE daemon runs on its own OS thread (as `lakeD` does as a real
+//! process), commands flow over a [`Link`]: a pair of [`LinkEndpoint`]s
+//! backed by crossbeam channels. Each message is stamped with its virtual
+//! arrival time — sender pays the mechanism's call time, the receiver's
+//! clock is advanced to the arrival time when it picks the message up, so
+//! virtual timestamps stay causally consistent across threads.
+
+use std::fmt;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use lake_sim::{Instant, SharedClock};
+
+use crate::mechanism::Mechanism;
+
+/// A message in flight: virtual arrival time plus payload.
+#[derive(Debug)]
+struct Envelope {
+    arrive_at: Instant,
+    payload: Vec<u8>,
+}
+
+/// Error returned when the peer endpoint has been dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError(pub Vec<u8>);
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link peer disconnected; {} bytes not delivered", self.0.len())
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Error returned when receiving from a disconnected, empty link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("link peer disconnected and no messages remain")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// One side of a [`Link`].
+#[derive(Debug)]
+pub struct LinkEndpoint {
+    mechanism: Mechanism,
+    clock: SharedClock,
+    tx: Sender<Envelope>,
+    rx: Receiver<Envelope>,
+}
+
+impl LinkEndpoint {
+    /// Sends `payload` to the peer, charging this side's clock the
+    /// mechanism call time. Returns the virtual time at which the peer
+    /// will observe the message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] carrying the payload back if the peer endpoint
+    /// has been dropped.
+    pub fn send(&self, payload: Vec<u8>) -> Result<Instant, SendError> {
+        let sent_at = self.clock.advance(self.mechanism.call_time());
+        let arrive_at = sent_at + self.mechanism.one_way(payload.len());
+        self.tx
+            .send(Envelope { arrive_at, payload })
+            .map_err(|e| SendError(e.into_inner().payload))?;
+        Ok(arrive_at)
+    }
+
+    /// Blocks until a message arrives, advances this side's clock to the
+    /// message's virtual arrival time, and returns the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] if the peer has disconnected and the queue is
+    /// empty.
+    pub fn recv(&self) -> Result<Vec<u8>, RecvError> {
+        let env = self.rx.recv().map_err(|_| RecvError)?;
+        self.clock.advance_to(env.arrive_at);
+        Ok(env.payload)
+    }
+
+    /// Non-blocking receive; `Ok(None)` means no message is currently
+    /// queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] if the peer has disconnected and the queue is
+    /// empty.
+    pub fn try_recv(&self) -> Result<Option<Vec<u8>>, RecvError> {
+        match self.rx.try_recv() {
+            Ok(env) => {
+                self.clock.advance_to(env.arrive_at);
+                Ok(Some(env.payload))
+            }
+            Err(channel::TryRecvError::Empty) => Ok(None),
+            Err(channel::TryRecvError::Disconnected) => Err(RecvError),
+        }
+    }
+
+    /// The mechanism this link models.
+    pub fn mechanism(&self) -> Mechanism {
+        self.mechanism
+    }
+
+    /// The shared virtual clock this endpoint charges.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+}
+
+/// A bidirectional kernel↔user link.
+#[derive(Debug)]
+pub struct Link;
+
+impl Link {
+    /// Creates a connected pair of endpoints (kernel side, user side)
+    /// sharing `clock`, modeling `mechanism`.
+    pub fn pair(mechanism: Mechanism, clock: SharedClock) -> (LinkEndpoint, LinkEndpoint) {
+        let (tx_ku, rx_ku) = channel::unbounded();
+        let (tx_uk, rx_uk) = channel::unbounded();
+        let kernel = LinkEndpoint { mechanism, clock: clock.clone(), tx: tx_ku, rx: rx_uk };
+        let user = LinkEndpoint { mechanism, clock, tx: tx_uk, rx: rx_ku };
+        (kernel, user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_sim::SharedClock;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let clock = SharedClock::new();
+        let (k, u) = Link::pair(Mechanism::Netlink, clock.clone());
+        k.send(b"ping".to_vec()).unwrap();
+        assert_eq!(u.recv().unwrap(), b"ping");
+        u.send(b"pong".to_vec()).unwrap();
+        assert_eq!(k.recv().unwrap(), b"pong");
+        // Two call times + two one-way latencies elapsed.
+        assert!(clock.now().as_micros() >= 2 * 11);
+    }
+
+    #[test]
+    fn recv_advances_clock_to_arrival() {
+        let clock = SharedClock::new();
+        let (k, u) = Link::pair(Mechanism::Netlink, clock.clone());
+        let arrive = k.send(vec![0u8; 1024]).unwrap();
+        u.recv().unwrap();
+        assert!(clock.now() >= arrive);
+    }
+
+    #[test]
+    fn try_recv_empty_is_none() {
+        let clock = SharedClock::new();
+        let (_k, u) = Link::pair(Mechanism::Mmap, clock);
+        assert_eq!(u.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn dropped_peer_yields_errors() {
+        let clock = SharedClock::new();
+        let (k, u) = Link::pair(Mechanism::Netlink, clock);
+        drop(u);
+        assert!(k.send(vec![1]).is_err());
+        assert_eq!(k.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn messages_preserve_order() {
+        let clock = SharedClock::new();
+        let (k, u) = Link::pair(Mechanism::Netlink, clock);
+        for i in 0..10u8 {
+            k.send(vec![i]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(u.recv().unwrap(), vec![i]);
+        }
+    }
+
+    #[test]
+    fn cross_thread_usage() {
+        let clock = SharedClock::new();
+        let (k, u) = Link::pair(Mechanism::Netlink, clock);
+        let handle = std::thread::spawn(move || {
+            // echo server
+            while let Ok(msg) = u.recv() {
+                if msg == b"quit" {
+                    break;
+                }
+                u.send(msg).unwrap();
+            }
+        });
+        for i in 0..5u8 {
+            k.send(vec![i; 8]).unwrap();
+            assert_eq!(k.recv().unwrap(), vec![i; 8]);
+        }
+        k.send(b"quit".to_vec()).unwrap();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,192 @@
+//! The four kernel↔user mechanisms of Table 2 and their cost structure.
+//!
+//! Calibration anchors (paper Table 2, average over many doorbells):
+//!
+//! | Mechanism   | Call time (µs) | Latency (µs) | Notes                    |
+//! |-------------|----------------|--------------|--------------------------|
+//! | Signal      | 56             | 56           | synchronous delivery      |
+//! | Device R/W  | 6              | 57           | extra caching layer       |
+//! | Netlink     | 11             | 54           | extra queuing layer       |
+//! | Mmap        | 6              | 6            | burns a CPU core spinning |
+//!
+//! Netlink payload costs follow Fig 6: ~28–33 µs round trip up to 4 KiB
+//! (single skb), then copy-dominated growth (67.8 µs @ 8 KiB, 127.8 @ 16 KiB,
+//! 256.9 @ 32 KiB).
+
+use lake_sim::Duration;
+
+use crate::cost::CostModel;
+
+/// A kernel↔user communication mechanism (paper §6, Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// POSIX signal delivery to the daemon.
+    Signal,
+    /// Reads/writes on a character device.
+    DeviceRw,
+    /// Netlink sockets — what LAKE uses for its command channel.
+    Netlink,
+    /// A polled mmap'd page — lowest latency but spins a CPU.
+    Mmap,
+}
+
+/// Fig 6 anchor points: (message size in bytes, measured round trip in µs).
+pub const NETLINK_RT_ANCHORS_US: &[(usize, f64)] = &[
+    (128, 28.37),
+    (256, 30.82),
+    (512, 31.98),
+    (1024, 31.77),
+    (2048, 30.65),
+    (4096, 33.16),
+    (8192, 67.80),
+    (16384, 127.79),
+    (32768, 256.88),
+];
+
+impl Mechanism {
+    /// All mechanisms, in Table 2 column order.
+    pub const ALL: [Mechanism; 4] =
+        [Mechanism::Signal, Mechanism::DeviceRw, Mechanism::Netlink, Mechanism::Mmap];
+
+    /// The display name used in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::Signal => "Signal",
+            Mechanism::DeviceRw => "Device R/W",
+            Mechanism::Netlink => "Netlink",
+            Mechanism::Mmap => "Mmap",
+        }
+    }
+
+    /// Kernel-side cost of initiating a send (Table 2, "Call time").
+    pub fn call_time(self) -> Duration {
+        match self {
+            Mechanism::Signal => Duration::from_micros(56),
+            Mechanism::DeviceRw => Duration::from_micros(6),
+            Mechanism::Netlink => Duration::from_micros(11),
+            Mechanism::Mmap => Duration::from_micros(6),
+        }
+    }
+
+    /// Time from send until the other side observes the doorbell
+    /// (Table 2, "Latency").
+    pub fn doorbell_latency(self) -> Duration {
+        match self {
+            Mechanism::Signal => Duration::from_micros(56),
+            Mechanism::DeviceRw => Duration::from_micros(57),
+            Mechanism::Netlink => Duration::from_micros(54),
+            Mechanism::Mmap => Duration::from_micros(6),
+        }
+    }
+
+    /// Whether this mechanism occupies a CPU core while idle (the paper
+    /// rejects mmap for exactly this reason: "fastest but wastes CPU
+    /// spinning").
+    pub fn spins_cpu(self) -> bool {
+        matches!(self, Mechanism::Mmap)
+    }
+
+    /// Round-trip time to move a `bytes`-sized command to the daemon and a
+    /// (small) response back, reproducing Fig 6 for Netlink.
+    ///
+    /// For non-Netlink mechanisms the payload term uses a generic
+    /// copy-bandwidth model on top of the mechanism's doorbell costs.
+    pub fn round_trip(self, bytes: usize) -> Duration {
+        self.cost_model().round_trip(bytes)
+    }
+
+    /// One-way cost for a `bytes`-sized message (half of the round trip,
+    /// asymmetry ignored).
+    pub fn one_way(self, bytes: usize) -> Duration {
+        self.cost_model().round_trip(bytes) / 2
+    }
+
+    /// The cost model for this mechanism.
+    pub fn cost_model(self) -> CostModel {
+        match self {
+            // Netlink: interpolate the Fig 6 anchors.
+            Mechanism::Netlink => CostModel::interpolated(NETLINK_RT_ANCHORS_US),
+            // Others: doorbell-dominated base plus a ~4 GB/s copy term,
+            // matching Netlink's slope above the single-skb threshold.
+            Mechanism::Signal => CostModel::linear(112.0, 0.0078, 0),
+            Mechanism::DeviceRw => CostModel::linear(63.0, 0.0078, 0),
+            // Mmap copies through an already-mapped page: no skb handling,
+            // so the per-byte term is plain memcpy (~3 ns/B effective).
+            Mechanism::Mmap => CostModel::linear(12.0, 0.003, 0),
+        }
+    }
+}
+
+impl std::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_call_times() {
+        assert_eq!(Mechanism::Signal.call_time().as_micros(), 56);
+        assert_eq!(Mechanism::DeviceRw.call_time().as_micros(), 6);
+        assert_eq!(Mechanism::Netlink.call_time().as_micros(), 11);
+        assert_eq!(Mechanism::Mmap.call_time().as_micros(), 6);
+    }
+
+    #[test]
+    fn table2_latencies() {
+        assert_eq!(Mechanism::Signal.doorbell_latency().as_micros(), 56);
+        assert_eq!(Mechanism::DeviceRw.doorbell_latency().as_micros(), 57);
+        assert_eq!(Mechanism::Netlink.doorbell_latency().as_micros(), 54);
+        assert_eq!(Mechanism::Mmap.doorbell_latency().as_micros(), 6);
+    }
+
+    #[test]
+    fn only_mmap_spins() {
+        assert!(Mechanism::Mmap.spins_cpu());
+        assert!(!Mechanism::Netlink.spins_cpu());
+        assert!(!Mechanism::Signal.spins_cpu());
+        assert!(!Mechanism::DeviceRw.spins_cpu());
+    }
+
+    #[test]
+    fn fig6_anchor_values_reproduced_exactly() {
+        for &(size, us) in NETLINK_RT_ANCHORS_US {
+            let got = Mechanism::Netlink.round_trip(size).as_micros_f64();
+            assert!(
+                (got - us).abs() < 0.01,
+                "netlink rt at {size}B: got {got}, want {us}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_shape_flat_then_growing() {
+        let small = Mechanism::Netlink.round_trip(512);
+        let at_4k = Mechanism::Netlink.round_trip(4096);
+        let at_32k = Mechanism::Netlink.round_trip(32768);
+        // flat region: 512B vs 4KB within ~20%
+        assert!(at_4k.as_micros_f64() / small.as_micros_f64() < 1.2);
+        // copy region: 32K ~8x the flat cost
+        assert!(at_32k.as_micros_f64() / at_4k.as_micros_f64() > 6.0);
+    }
+
+    #[test]
+    fn mmap_round_trip_is_cheapest() {
+        for size in [64usize, 1024, 8192] {
+            let mmap = Mechanism::Mmap.round_trip(size);
+            for m in [Mechanism::Signal, Mechanism::DeviceRw, Mechanism::Netlink] {
+                assert!(mmap < m.round_trip(size), "{m} should be slower than mmap");
+            }
+        }
+    }
+
+    #[test]
+    fn one_way_is_half_round_trip() {
+        let rt = Mechanism::Netlink.round_trip(1024);
+        let ow = Mechanism::Netlink.one_way(1024);
+        assert_eq!(ow.as_nanos(), rt.as_nanos() / 2);
+    }
+}

@@ -1,0 +1,435 @@
+//! User/kernel GPU contention and the adaptive policy (§3 Fig 1, §7.6
+//! Fig 13).
+//!
+//! A GPU-accelerated user-space application (parallel page hashing)
+//! shares the device with kernel-space classifiers. Without mediation,
+//! "application throughput significantly degrades and destabilizes,
+//! decreasing by up to 68%" (Fig 1). With the Fig 3 policy, the kernel
+//! detects pressure through moving-average NVML utilization and falls
+//! back to the CPU, restoring user throughput; when the user process
+//! exits, the kernel reclaims the GPU (Fig 13).
+//!
+//! The timeline simulation models the device as a single FIFO engine
+//! (launch-serialized, like a CUDA context without MPS) and three actors:
+//! the closed-loop user hasher, the page-warmth classifier, and the I/O
+//! latency predictor, each issuing batched work at its own cadence.
+
+use lake_gpu::GpuSpec;
+use lake_sim::{Duration, Instant, MovingAverage, TimeSeries};
+
+/// The adaptive policy's constants (Fig 3 defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct PolicySettings {
+    /// Utilization ceiling (percent) above which kernel work falls back
+    /// to the CPU.
+    pub exec_threshold: f64,
+    /// Minimum interval between utilization samples.
+    pub query_interval: Duration,
+    /// Window each utilization sample integrates over.
+    pub query_window: Duration,
+    /// Moving-average depth.
+    pub mov_avg_window: usize,
+}
+
+impl Default for PolicySettings {
+    fn default() -> Self {
+        PolicySettings {
+            exec_threshold: 40.0,
+            query_interval: Duration::from_millis(5),
+            query_window: Duration::from_millis(5),
+            mov_avg_window: 8,
+        }
+    }
+}
+
+/// Scenario description.
+#[derive(Debug, Clone)]
+pub struct ContentionConfig {
+    /// Total simulated time.
+    pub duration: Duration,
+    /// When the user app starts hashing on the GPU (Fig 1's T0 / Fig 13's
+    /// T2).
+    pub user_gpu_start: Instant,
+    /// When the user app terminates (Fig 13's T3); `None` = runs forever.
+    pub user_gpu_stop: Option<Instant>,
+    /// When the page-warmth classifier starts (Fig 1's T1); `None` = off.
+    pub warmth_start: Option<Instant>,
+    /// When the I/O latency predictor starts (Fig 1's T2 / Fig 13's T0).
+    pub io_start: Option<Instant>,
+    /// Contention policy; `None` reproduces Fig 1's pathology.
+    pub policy: Option<PolicySettings>,
+}
+
+impl ContentionConfig {
+    /// Fig 1: user app at 1 s, page-warmth at ~4 s, I/O predictor at
+    /// ~7 s, no policy, 10 s horizon.
+    pub fn fig1() -> Self {
+        ContentionConfig {
+            duration: Duration::from_secs(10),
+            user_gpu_start: Instant::from_nanos(1_000_000_000),
+            user_gpu_stop: None,
+            warmth_start: Some(Instant::from_nanos(4_000_000_000)),
+            io_start: Some(Instant::from_nanos(7_000_000_000)),
+            policy: None,
+        }
+    }
+
+    /// Fig 13: I/O predictor running from the start, user app on the GPU
+    /// between 10 s and 22 s, adaptive policy on, 30 s horizon.
+    pub fn fig13() -> Self {
+        ContentionConfig {
+            duration: Duration::from_secs(30),
+            user_gpu_start: Instant::from_nanos(10_000_000_000),
+            user_gpu_stop: Some(Instant::from_nanos(22_000_000_000)),
+            warmth_start: None,
+            io_start: Some(Instant::EPOCH),
+            policy: Some(PolicySettings::default()),
+        }
+    }
+}
+
+/// Timeline outputs.
+#[derive(Debug)]
+pub struct ContentionResult {
+    /// User hashing throughput, pages/second, one point per completed
+    /// batch.
+    pub user_throughput: TimeSeries,
+    /// The user app's uncontended throughput (for normalization).
+    pub user_peak: f64,
+    /// Pages per user hash batch (for aggregate-throughput math).
+    pub user_batch: u64,
+    /// Kernel I/O-predictor throughput, normalized to its GPU peak.
+    pub kernel_io: TimeSeries,
+    /// GPU target decisions over time: 1.0 = GPU, 0.0 = CPU (empty
+    /// without a policy).
+    pub kernel_target: TimeSeries,
+}
+
+/// Workload intensities (stress configuration, per DESIGN.md).
+struct Jobs {
+    /// user hash batch size (pages)
+    user_batch: u64,
+    /// GPU time per user batch
+    user_service: Duration,
+    /// cadence and GPU/CPU time per page-warmth batch
+    warmth_period: Duration,
+    warmth_service: Duration,
+    /// cadence and GPU/CPU time per I/O-prediction batch
+    io_period: Duration,
+    io_service_gpu: Duration,
+    io_service_cpu: Duration,
+}
+
+fn jobs(spec: &GpuSpec) -> Jobs {
+    // User hasher: 64 Ki pages per launch at ~110 kFLOP/page, giving the
+    // ~1.75e7 pages/s uncontended throughput of Fig 1.
+    let user_batch = 65_536u64;
+    let user_service = spec.launch_time(110_000.0 * user_batch as f64, user_batch);
+    // Page-warmth: Kleio-scale LSTM batches, ~45 ms of GPU every 120 ms.
+    // I/O predictor: back-to-back batched inference, ~0.9 ms every 3 ms.
+    Jobs {
+        user_batch,
+        user_service,
+        warmth_period: Duration::from_millis(120),
+        warmth_service: Duration::from_millis(45),
+        io_period: Duration::from_millis(3),
+        io_service_gpu: Duration::from_micros(900),
+        // CPU fallback: sequential inference over the same batch
+        // (~17× slower for the LinnOS-sized batch).
+        io_service_cpu: Duration::from_millis(15),
+    }
+}
+
+/// Single-engine GPU with a busy log for utilization sampling.
+struct Engine {
+    free_at: Instant,
+    busy: Vec<(Instant, Instant)>,
+}
+
+impl Engine {
+    fn submit(&mut self, at: Instant, service: Duration) -> (Instant, Instant) {
+        let start = at.max(self.free_at);
+        let end = start + service;
+        self.free_at = end;
+        self.busy.push((start, end));
+        if self.busy.len() > 8192 {
+            let horizon = end.as_nanos().saturating_sub(2_000_000_000);
+            self.busy.retain(|&(_, e)| e.as_nanos() >= horizon);
+        }
+        (start, end)
+    }
+
+    fn utilization(&self, now: Instant, window: Duration) -> f64 {
+        let start = Instant::from_nanos(now.as_nanos().saturating_sub(window.as_nanos()));
+        let mut busy = 0u64;
+        for &(s, e) in &self.busy {
+            let s = s.max(start);
+            let e = e.min(now);
+            if e > s {
+                busy += (e - s).as_nanos();
+            }
+        }
+        (busy as f64 / window.as_nanos().max(1) as f64).min(1.0) * 100.0
+    }
+}
+
+/// Runs a contention scenario.
+pub fn run(config: &ContentionConfig) -> ContentionResult {
+    let spec = GpuSpec::a100();
+    let jobs = jobs(&spec);
+    let mut engine = Engine { free_at: Instant::EPOCH, busy: Vec::new() };
+
+    let mut user_throughput = TimeSeries::new();
+    let mut kernel_io = TimeSeries::new();
+    let mut kernel_target = TimeSeries::new();
+
+    let user_peak = jobs.user_batch as f64 / jobs.user_service.as_secs_f64();
+
+    // Policy state (kernel side).
+    let mut avg = config
+        .policy
+        .map(|p| MovingAverage::new(p.mov_avg_window));
+    let mut last_query: Option<Instant> = None;
+    let mut last_util = 0.0;
+
+    // Actor cursors.
+    let mut user_next = config.user_gpu_start;
+    let mut user_prev_end: Option<Instant> = None;
+    let mut warmth_next = config.warmth_start;
+    let mut io_next = config.io_start;
+    let end_time = Instant::EPOCH + config.duration;
+
+    loop {
+        // earliest pending actor
+        let mut next: Option<(u8, Instant)> = None;
+        let user_active = config.user_gpu_stop.is_none_or(|stop| user_next < stop);
+        if user_active && user_next < end_time {
+            next = Some((0, user_next));
+        }
+        if let Some(t) = warmth_next {
+            if t < end_time && next.is_none_or(|(_, nt)| t < nt) {
+                next = Some((1, t));
+            }
+        }
+        if let Some(t) = io_next {
+            if t < end_time && next.is_none_or(|(_, nt)| t < nt) {
+                next = Some((2, t));
+            }
+        }
+        let Some((actor, now)) = next else { break };
+
+        match actor {
+            0 => {
+                // user hasher: closed loop
+                let (_, end) = engine.submit(now, jobs.user_service);
+                let span = match user_prev_end {
+                    Some(prev) => end - prev,
+                    None => end - now,
+                };
+                user_prev_end = Some(end);
+                user_throughput
+                    .record(end, jobs.user_batch as f64 / span.as_secs_f64().max(1e-9));
+                user_next = end;
+            }
+            1 => {
+                // page-warmth classifier: fixed cadence, GPU always (it
+                // only exists in the no-policy Fig 1 scenario)
+                engine.submit(now, jobs.warmth_service);
+                warmth_next = Some(now + jobs.warmth_period);
+            }
+            2 => {
+                // I/O latency predictor: fixed cadence, policy-mediated
+                let use_gpu = match (&config.policy, &mut avg) {
+                    (Some(p), Some(avg)) => {
+                        let due = last_query
+                            .is_none_or(|t| now.duration_since(t) >= p.query_interval);
+                        if due {
+                            let raw = engine.utilization(now, p.query_window);
+                            avg.push(raw);
+                            last_query = Some(now);
+                            last_util = avg.value().unwrap_or(0.0);
+                        }
+                        last_util < p.exec_threshold
+                    }
+                    _ => true,
+                };
+                let (normalized, end) = if use_gpu {
+                    let (_, end) = engine.submit(now, jobs.io_service_gpu);
+                    // completion within the period = full throughput;
+                    // queueing dilates it
+                    let effective = (end - now).max(jobs.io_period);
+                    (jobs.io_period.as_secs_f64() / effective.as_secs_f64(), end)
+                } else {
+                    // CPU fallback: no GPU occupancy
+                    let end = now + jobs.io_service_cpu;
+                    let effective = (end - now).max(jobs.io_period);
+                    (jobs.io_period.as_secs_f64() / effective.as_secs_f64(), end)
+                };
+                kernel_io.record(now, normalized.min(1.0));
+                if config.policy.is_some() {
+                    kernel_target.record(now, if use_gpu { 1.0 } else { 0.0 });
+                }
+                // open loop: a new batch forms every period regardless of
+                // completion (arrivals do not stop because the device is
+                // busy)
+                let _ = end;
+                io_next = Some(now + jobs.io_period);
+            }
+            _ => unreachable!("actor ids are 0..=2"),
+        }
+    }
+
+    ContentionResult {
+        user_throughput,
+        user_peak,
+        user_batch: jobs.user_batch,
+        kernel_io,
+        kernel_target,
+    }
+}
+
+/// Summary of a Fig 1 run: mean user throughput per phase and the maximum
+/// degradation.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Summary {
+    /// Mean pages/s before any kernel contender.
+    pub solo: f64,
+    /// Mean pages/s with the page-warmth classifier contending.
+    pub one_contender: f64,
+    /// Mean pages/s with both classifiers contending.
+    pub two_contenders: f64,
+    /// Peak degradation fraction (0..1).
+    pub max_degradation: f64,
+}
+
+/// Summarizes a Fig 1 run into the paper's phases.
+pub fn summarize_fig1(config: &ContentionConfig, result: &ContentionResult) -> Fig1Summary {
+    let t1 = config.warmth_start.expect("fig1 has warmth phase");
+    let t2 = config.io_start.expect("fig1 has io phase");
+    // Aggregate throughput per phase: completed batches × batch size over
+    // the phase span (a mean of instantaneous rates would under-weight the
+    // rare long-stall batches).
+    let mean_between = |a: Instant, b: Instant| {
+        let n = result
+            .user_throughput
+            .points()
+            .iter()
+            .filter(|&&(t, _)| t >= a && t < b)
+            .count();
+        n as f64 * result.user_batch as f64 / (b - a).as_secs_f64().max(1e-9)
+    };
+    let solo = mean_between(config.user_gpu_start, t1);
+    let one = mean_between(t1, t2);
+    let two = mean_between(t2, Instant::EPOCH + config.duration);
+    Fig1Summary {
+        solo,
+        one_contender: one,
+        two_contenders: two,
+        max_degradation: 1.0 - two / solo.max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_degradation_matches_paper_magnitude() {
+        let cfg = ContentionConfig::fig1();
+        let result = run(&cfg);
+        let summary = summarize_fig1(&cfg, &result);
+        assert!(
+            summary.solo > 1.5e7,
+            "uncontended throughput {} should be ~1.75e7",
+            summary.solo
+        );
+        assert!(summary.one_contender < summary.solo * 0.8);
+        assert!(summary.two_contenders < summary.one_contender);
+        assert!(
+            (0.55..0.8).contains(&summary.max_degradation),
+            "degradation should be near 68%, got {}",
+            summary.max_degradation
+        );
+    }
+
+    #[test]
+    fn fig13_policy_protects_user_and_reclaims_gpu() {
+        let cfg = ContentionConfig::fig13();
+        let result = run(&cfg);
+
+        // While the user app is on the GPU, the kernel must be on the CPU
+        // most of the time.
+        let during: Vec<f64> = result
+            .kernel_target
+            .points()
+            .iter()
+            .filter(|&&(t, _)| {
+                t >= Instant::from_nanos(11_000_000_000) && t < Instant::from_nanos(21_000_000_000)
+            })
+            .map(|&(_, v)| v)
+            .collect();
+        let gpu_share_during = during.iter().sum::<f64>() / during.len() as f64;
+        assert!(gpu_share_during < 0.2, "kernel should fall back, got {gpu_share_during}");
+
+        // After the user app exits, the kernel reclaims the GPU.
+        let after: Vec<f64> = result
+            .kernel_target
+            .points()
+            .iter()
+            .filter(|&&(t, _)| t >= Instant::from_nanos(24_000_000_000))
+            .map(|&(_, v)| v)
+            .collect();
+        let gpu_share_after = after.iter().sum::<f64>() / after.len() as f64;
+        assert!(gpu_share_after > 0.8, "kernel should reclaim, got {gpu_share_after}");
+
+        // User throughput while contended stays near peak (the policy's
+        // whole point).
+        let user_mid: Vec<f64> = result
+            .user_throughput
+            .points()
+            .iter()
+            .filter(|&&(t, _)| {
+                t >= Instant::from_nanos(12_000_000_000) && t < Instant::from_nanos(21_000_000_000)
+            })
+            .map(|&(_, v)| v)
+            .collect();
+        let mean_mid = user_mid.iter().sum::<f64>() / user_mid.len() as f64;
+        assert!(
+            mean_mid > result.user_peak * 0.9,
+            "user throughput {} should stay near peak {}",
+            mean_mid,
+            result.user_peak
+        );
+    }
+
+    #[test]
+    fn without_policy_kernel_queueing_destabilizes_user() {
+        // variance check: contended phase has higher relative spread
+        let cfg = ContentionConfig::fig1();
+        let result = run(&cfg);
+        let phase = |a: u64, b: u64| {
+            result
+                .user_throughput
+                .points()
+                .iter()
+                .filter(|&&(t, _)| {
+                    t >= Instant::from_nanos(a) && t < Instant::from_nanos(b)
+                })
+                .map(|&(_, v)| v)
+                .collect::<Vec<f64>>()
+        };
+        let solo = phase(1_000_000_000, 4_000_000_000);
+        let contended = phase(7_000_000_000, 10_000_000_000);
+        let cv = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            let var = v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64;
+            var.sqrt() / m
+        };
+        assert!(
+            cv(&contended) > cv(&solo) * 2.0,
+            "contended cv {} vs solo cv {}",
+            cv(&contended),
+            cv(&solo)
+        );
+    }
+}

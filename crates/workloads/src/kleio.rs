@@ -1,0 +1,219 @@
+//! Page-warmth classification for tiered memory (§7.2, Fig 9).
+//!
+//! Kleio classifies pages as hot (keep in fast memory) or cold using "a
+//! model with two LSTM layers" built in TensorFlow; the paper ports it to
+//! a kernel module through LAKE's high-level API remoting. Inference is
+//! coarse-grained: a scheduler epoch classifies a whole batch of pages at
+//! once, so the GPU crossover is at batch 1 (Table 3) and only the
+//! "LAKE (sync.)" series exists in Fig 9 ("data movement is handled
+//! synchronously by TensorFlow").
+//!
+//! The substrate: a tiered-memory simulator producing per-page access
+//! histories. Hot pages show periodic/recurring access bursts; cold pages
+//! decay. The LSTM reads a page's access-count history (one scalar per
+//! epoch) and predicts whether it will be accessed in the near future.
+
+use lake_core::{Lake, LakeError};
+use lake_ml::{serialize, LstmClassifier};
+use lake_sim::SimRng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::BatchTiming;
+
+/// Kleio model/workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KleioConfig {
+    /// Access-history epochs fed to the LSTM.
+    pub history_epochs: usize,
+    /// LSTM hidden width.
+    pub hidden: usize,
+    /// Stacked LSTM layers (the paper's Kleio uses two).
+    pub layers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KleioConfig {
+    /// Small configuration for functional tests.
+    pub fn small() -> Self {
+        KleioConfig { history_epochs: 12, hidden: 16, layers: 2, seed: 9 }
+    }
+
+    /// Paper-scale configuration for the Fig 9 timing sweep (sized per
+    /// DESIGN.md so TensorFlow-scale inference costs emerge).
+    pub fn paper() -> Self {
+        KleioConfig { history_epochs: 128, hidden: 256, layers: 2, seed: 9 }
+    }
+}
+
+/// One page's access history and its ground-truth warmth.
+#[derive(Debug, Clone)]
+pub struct PageHistory {
+    /// Access counts per epoch (most recent last), normalized to [0, 1].
+    pub accesses: Vec<f32>,
+    /// True if the page stays hot (belongs in the fast tier).
+    pub hot: bool,
+}
+
+impl PageHistory {
+    /// The LSTM input sequence (one feature per timestep).
+    pub fn to_sequence(&self) -> Vec<Vec<f32>> {
+        self.accesses.iter().map(|&a| vec![a]).collect()
+    }
+}
+
+/// Generates synthetic page histories: hot pages have sustained or
+/// periodic access activity, cold pages decay toward silence.
+pub fn generate_pages(config: &KleioConfig, count: usize, rng: &mut SimRng) -> Vec<PageHistory> {
+    let epochs = config.history_epochs;
+    (0..count)
+        .map(|_| {
+            let hot = rng.gen_bool(0.5);
+            let accesses: Vec<f32> = if hot {
+                // Hot: high base rate with periodic bursts.
+                let period = rng.gen_range(2..6);
+                (0..epochs)
+                    .map(|t| {
+                        let base = 0.5 + 0.3 * rng.gen::<f32>();
+                        let burst = if t % period == 0 { 0.2 } else { 0.0 };
+                        (base + burst).min(1.0)
+                    })
+                    .collect()
+            } else {
+                // Cold: activity decays after an initial touch.
+                let touch_until = rng.gen_range(0..epochs / 2);
+                (0..epochs)
+                    .map(|t| {
+                        if t <= touch_until {
+                            0.3 * rng.gen::<f32>()
+                        } else {
+                            0.05 * rng.gen::<f32>()
+                        }
+                    })
+                    .collect()
+            };
+            PageHistory { accesses, hot }
+        })
+        .collect()
+}
+
+/// Trains the Kleio LSTM on generated pages; returns (model, holdout
+/// accuracy).
+pub fn train(config: &KleioConfig, train_pages: &[PageHistory], epochs: usize) -> LstmClassifier {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut model = LstmClassifier::new(1, config.hidden, config.layers, 2, &mut rng);
+    for _ in 0..epochs {
+        for page in train_pages {
+            model.train_sequence(&page.to_sequence(), usize::from(page.hot), 0.05);
+        }
+    }
+    model
+}
+
+/// Classification accuracy of a model over pages.
+pub fn accuracy(model: &LstmClassifier, pages: &[PageHistory]) -> f64 {
+    let data: Vec<(Vec<Vec<f32>>, usize)> = pages
+        .iter()
+        .map(|p| (p.to_sequence(), usize::from(p.hot)))
+        .collect();
+    model.accuracy(&data)
+}
+
+/// Fig 9: time to classify `batch` pages through LAKE's high-level LSTM
+/// API (synchronous data movement — the only series the paper reports).
+/// Returns one timing per batch size, measured on `lake`'s virtual clock
+/// with real remoted calls.
+pub fn inference_timings(lake: &Lake, config: &KleioConfig, batches: &[usize]) -> Result<Vec<BatchTiming>, LakeError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let model = LstmClassifier::new(1, config.hidden, config.layers, 2, &mut rng);
+    let ml = lake.ml();
+    let id = ml.load_model(&serialize::encode_lstm(&model))?;
+
+    let mut out = Vec::with_capacity(batches.len());
+    for &batch in batches {
+        let feats = vec![0.3f32; batch * config.history_epochs];
+        let t0 = lake.clock().now();
+        ml.infer_lstm(id, batch, config.history_epochs, 1, &feats)?;
+        let dt = lake.clock().now() - t0;
+        out.push(BatchTiming { batch, micros: dt.as_micros_f64() });
+    }
+    ml.unload_model(id)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_produces_separable_classes() {
+        let cfg = KleioConfig::small();
+        let mut rng = SimRng::seed(3);
+        let pages = generate_pages(&cfg, 200, &mut rng);
+        let hot_mean: f32 = pages
+            .iter()
+            .filter(|p| p.hot)
+            .flat_map(|p| p.accesses.iter())
+            .sum::<f32>()
+            / pages.iter().filter(|p| p.hot).map(|p| p.accesses.len()).sum::<usize>() as f32;
+        let cold_mean: f32 = pages
+            .iter()
+            .filter(|p| !p.hot)
+            .flat_map(|p| p.accesses.iter())
+            .sum::<f32>()
+            / pages.iter().filter(|p| !p.hot).map(|p| p.accesses.len()).sum::<usize>() as f32;
+        assert!(hot_mean > cold_mean + 0.2, "hot {hot_mean} vs cold {cold_mean}");
+    }
+
+    #[test]
+    fn lstm_learns_page_warmth() {
+        let cfg = KleioConfig::small();
+        let mut rng = SimRng::seed(4);
+        let train_pages = generate_pages(&cfg, 120, &mut rng);
+        let test_pages = generate_pages(&cfg, 60, &mut rng);
+        let model = train(&cfg, &train_pages, 8);
+        let acc = accuracy(&model, &test_pages);
+        assert!(acc > 0.9, "Kleio-style warmth accuracy should be high, got {acc}");
+    }
+
+    #[test]
+    fn fig9_timing_grows_roughly_linearly() {
+        let lake = Lake::builder().build();
+        lake.gpu().set_exec_mode(lake_core::ExecMode::TimingOnly);
+        let cfg = KleioConfig { history_epochs: 64, hidden: 64, layers: 2, seed: 1 };
+        let t = inference_timings(&lake, &cfg, &[20, 80, 320]).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(t[2].micros > t[0].micros * 2.0, "batch 320 {} vs 20 {}", t[2].micros, t[0].micros);
+        // remoting overhead is negligible relative to LSTM compute (§7.2)
+        let per_page_small = t[0].micros / 20.0;
+        let per_page_large = t[2].micros / 320.0;
+        assert!(per_page_large < per_page_small * 2.0);
+    }
+
+    #[test]
+    fn remoted_lstm_classification_matches_local() {
+        let cfg = KleioConfig::small();
+        let mut rng = SimRng::seed(5);
+        let pages = generate_pages(&cfg, 30, &mut rng);
+        let model = train(&cfg, &pages, 6);
+
+        let lake = Lake::builder().build();
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_lstm(&model)).unwrap();
+        let flat: Vec<f32> = pages
+            .iter()
+            .take(8)
+            .flat_map(|p| p.accesses.iter().copied())
+            .collect();
+        let remote = ml
+            .infer_lstm(id, 8, cfg.history_epochs, 1, &flat)
+            .unwrap();
+        let local: Vec<u32> = pages
+            .iter()
+            .take(8)
+            .map(|p| model.classify(&p.to_sequence()) as u32)
+            .collect();
+        assert_eq!(remote, local);
+    }
+}

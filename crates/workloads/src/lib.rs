@@ -1,0 +1,78 @@
+//! The ML-assisted kernel subsystems evaluated by the LAKE paper (§7).
+//!
+//! | Module | Paper §, figure | Subsystem | Model |
+//! |---|---|---|---|
+//! | [`linnos`] | §7.1, Figs 7–8 | I/O latency prediction with reissue | MLP (31→256→2, `+1`, `+2`) |
+//! | [`kleio`] | §7.2, Fig 9 | page-warmth classification for tiered memory | 2-layer LSTM |
+//! | [`mllb`] | §7.3, Fig 10 | scheduler load balancing (task stealing) | small MLP |
+//! | [`prefetch`] | §7.4, Fig 11 | readahead configuration | small MLP |
+//! | [`malware`] | §7.5, Fig 12 | malware detection over syscall/PMU features | k-NN (k=16) |
+//! | [`contention`] | §7.6, Figs 1 & 13 | user/kernel GPU contention + adaptive policy | — |
+//! | [`mlgate`] | §7.1 future work | adaptive "use ML only when it helps" gating | — |
+//!
+//! Each module builds its substrate (trace generators, scheduler state,
+//! access-pattern streams, syscall profiles), trains its model on
+//! synthetic data, and provides the measurement entry points the
+//! benchmark harnesses use to regenerate the paper's figures.
+
+#![warn(missing_docs)]
+
+pub mod contention;
+pub mod kleio;
+pub mod linnos;
+pub mod malware;
+pub mod mlgate;
+pub mod mllb;
+pub mod prefetch;
+
+/// Common measurement record: inference time for one batch size on one
+/// execution path. The unit of every crossover figure (Figs 8–12).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchTiming {
+    /// Batch size (inputs per inference call).
+    pub batch: usize,
+    /// Virtual inference time for the whole batch, microseconds.
+    pub micros: f64,
+}
+
+/// Three timing series: `(cpu, lake, lake_sync)` — the standard output
+/// shape of the crossover figures.
+pub type TimingTriple = (Vec<BatchTiming>, Vec<BatchTiming>, Vec<BatchTiming>);
+
+/// Finds the crossover point: the smallest batch in `gpu` whose time
+/// beats `cpu` at the same batch (Table 3). Series must be sorted by
+/// batch and aligned.
+pub fn crossover_batch(cpu: &[BatchTiming], gpu: &[BatchTiming]) -> Option<usize> {
+    cpu.iter()
+        .zip(gpu)
+        .find(|(c, g)| {
+            assert_eq!(c.batch, g.batch, "series must be aligned");
+            g.micros < c.micros
+        })
+        .map(|(c, _)| c.batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_finds_first_gpu_win() {
+        let cpu: Vec<BatchTiming> = [1, 2, 4, 8, 16]
+            .iter()
+            .map(|&b| BatchTiming { batch: b, micros: 15.0 * b as f64 })
+            .collect();
+        let gpu: Vec<BatchTiming> = [1, 2, 4, 8, 16]
+            .iter()
+            .map(|&b| BatchTiming { batch: b, micros: 100.0 + b as f64 })
+            .collect();
+        assert_eq!(crossover_batch(&cpu, &gpu), Some(8));
+    }
+
+    #[test]
+    fn crossover_none_when_gpu_never_wins() {
+        let cpu = vec![BatchTiming { batch: 1, micros: 1.0 }];
+        let gpu = vec![BatchTiming { batch: 1, micros: 2.0 }];
+        assert_eq!(crossover_batch(&cpu, &gpu), None);
+    }
+}

@@ -1,0 +1,334 @@
+//! Adaptive ML gating — the paper's stated future work.
+//!
+//! §7.1: "given that even the original CPU-based model actually harms
+//! performance when applications do not stress the device, some mechanism
+//! to modulate the use of ML even on the CPU is a likely necessity. We
+//! believe the same framework LAKE provides for managing contention and
+//! selecting between CPU and GPU can be used to implement policies that
+//! avoid using ML when it does not help, and will explore this in future
+//! work."
+//!
+//! [`MlGate`] is that policy: it wraps any [`SlowIoPredictor`] and runs an
+//! explore/exploit loop over *epochs* of reads. Most epochs use the inner
+//! predictor; periodic probe epochs bypass it entirely (baseline
+//! behaviour). The gate compares mean observed latencies between ML-on
+//! and ML-off epochs and disables the predictor whenever ML is not
+//! beating the baseline by at least a configurable margin — re-probing
+//! later so it can re-enable when workload pressure returns.
+
+use lake_block::replay::{IoFeatures, SlowIoPredictor};
+use lake_sim::{Duration, Instant};
+
+/// Gate configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MlGateConfig {
+    /// Reads per measurement epoch.
+    pub epoch_reads: usize,
+    /// ML-on epochs between probes (while enabled) / ML-off epochs
+    /// between probes (while disabled).
+    pub epochs_between_probes: usize,
+    /// Required relative improvement for ML to stay enabled: ML-on mean
+    /// latency must be below `off_mean * (1 - margin)`.
+    pub margin: f64,
+}
+
+impl Default for MlGateConfig {
+    fn default() -> Self {
+        MlGateConfig { epoch_reads: 512, epochs_between_probes: 4, margin: 0.02 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Using the inner predictor; epoch latencies accumulate as "on".
+    MlOn,
+    /// Bypassing the predictor to measure the baseline.
+    Probe,
+    /// Predictor disabled (ML judged unprofitable); counting epochs
+    /// until the next re-probe of the ML side.
+    Disabled,
+    /// Re-probing the ML side while disabled.
+    ProbeMl,
+}
+
+/// Wraps a predictor with the adaptive enable/disable loop.
+#[derive(Debug)]
+pub struct MlGate<P> {
+    inner: P,
+    config: MlGateConfig,
+    phase: Phase,
+    reads_in_epoch: usize,
+    epochs_since_probe: usize,
+    epoch_sum_us: f64,
+    /// last measured mean latency with ML on / off (µs)
+    on_mean_us: Option<f64>,
+    off_mean_us: Option<f64>,
+    /// whether the *current* read used the inner predictor
+    current_uses_ml: bool,
+    /// statistics
+    disabled_epochs: u64,
+    enabled_epochs: u64,
+}
+
+impl<P: SlowIoPredictor> MlGate<P> {
+    /// Wraps `inner` with the default gate configuration.
+    pub fn new(inner: P) -> Self {
+        Self::with_config(inner, MlGateConfig::default())
+    }
+
+    /// Wraps `inner` with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_reads` is zero.
+    pub fn with_config(inner: P, config: MlGateConfig) -> Self {
+        assert!(config.epoch_reads > 0, "epoch_reads must be non-zero");
+        MlGate {
+            inner,
+            config,
+            phase: Phase::MlOn,
+            reads_in_epoch: 0,
+            epochs_since_probe: 0,
+            epoch_sum_us: 0.0,
+            on_mean_us: None,
+            off_mean_us: None,
+            current_uses_ml: true,
+            disabled_epochs: 0,
+            enabled_epochs: 0,
+        }
+    }
+
+    /// Whether the gate currently routes reads through the inner
+    /// predictor.
+    pub fn ml_active(&self) -> bool {
+        matches!(self.phase, Phase::MlOn | Phase::ProbeMl)
+    }
+
+    /// `(enabled, disabled)` epoch counters.
+    pub fn epoch_counts(&self) -> (u64, u64) {
+        (self.enabled_epochs, self.disabled_epochs)
+    }
+
+    /// The wrapped predictor.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    fn finish_epoch(&mut self) {
+        let mean = self.epoch_sum_us / self.reads_in_epoch.max(1) as f64;
+        match self.phase {
+            Phase::MlOn | Phase::ProbeMl => {
+                self.on_mean_us = Some(mean);
+                self.enabled_epochs += 1;
+            }
+            Phase::Probe | Phase::Disabled => {
+                self.off_mean_us = Some(mean);
+                self.disabled_epochs += 1;
+            }
+        }
+        self.epoch_sum_us = 0.0;
+        self.reads_in_epoch = 0;
+
+        // Decide the next phase.
+        self.phase = match self.phase {
+            Phase::MlOn => {
+                self.epochs_since_probe += 1;
+                if self.epochs_since_probe >= self.config.epochs_between_probes {
+                    self.epochs_since_probe = 0;
+                    Phase::Probe
+                } else {
+                    Phase::MlOn
+                }
+            }
+            Phase::Probe => {
+                // Compare; require ML to beat the fresh baseline sample.
+                match (self.on_mean_us, self.off_mean_us) {
+                    (Some(on), Some(off)) if on < off * (1.0 - self.config.margin) => Phase::MlOn,
+                    _ => Phase::Disabled,
+                }
+            }
+            Phase::Disabled => {
+                self.epochs_since_probe += 1;
+                if self.epochs_since_probe >= self.config.epochs_between_probes {
+                    self.epochs_since_probe = 0;
+                    Phase::ProbeMl
+                } else {
+                    Phase::Disabled
+                }
+            }
+            Phase::ProbeMl => {
+                match (self.on_mean_us, self.off_mean_us) {
+                    (Some(on), Some(off)) if on < off * (1.0 - self.config.margin) => Phase::MlOn,
+                    _ => Phase::Disabled,
+                }
+            }
+        };
+    }
+}
+
+impl<P: SlowIoPredictor> SlowIoPredictor for MlGate<P> {
+    fn predict(&mut self, now: Instant, features: &IoFeatures) -> (bool, Duration) {
+        self.current_uses_ml = self.ml_active();
+        if self.current_uses_ml {
+            self.inner.predict(now, features)
+        } else {
+            (false, Duration::ZERO)
+        }
+    }
+
+    fn observe(&mut self, latency: Duration) {
+        if self.current_uses_ml {
+            self.inner.observe(latency);
+        }
+        self.epoch_sum_us += latency.as_micros_f64();
+        self.reads_in_epoch += 1;
+        if self.reads_in_epoch >= self.config.epoch_reads {
+            self.finish_epoch();
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ml-gate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_block::{replay, NvmeDevice, NvmeSpec, ReplayConfig, TraceSpec};
+    use lake_sim::SimRng;
+
+    /// A predictor that only hurts: charges heavy inference and randomly
+    /// reroutes (models a badly-tuned model on an unpressured device).
+    struct Hurtful(u64);
+
+    impl SlowIoPredictor for Hurtful {
+        fn predict(&mut self, _now: Instant, _f: &IoFeatures) -> (bool, Duration) {
+            self.0 += 1;
+            (self.0 % 2 == 0, Duration::from_micros(200))
+        }
+    }
+
+    /// A predictor that helps under queueing: cheap and accurate.
+    struct QueueOracle;
+
+    impl SlowIoPredictor for QueueOracle {
+        fn predict(&mut self, _now: Instant, f: &IoFeatures) -> (bool, Duration) {
+            (f.pending > 4, Duration::from_micros(2))
+        }
+    }
+
+    fn devices(n: usize, seed: u64) -> Vec<NvmeDevice> {
+        let mut rng = SimRng::seed(seed);
+        (0..n)
+            .map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork()))
+            .collect()
+    }
+
+    #[test]
+    fn gate_disables_a_hurtful_predictor() {
+        let mut rng = SimRng::seed(9);
+        let trace = TraceSpec::azure().generate(Duration::from_millis(400), &mut rng);
+
+        // Without the gate: heavy damage.
+        let mut devs = devices(3, 1);
+        let raw = replay(
+            &mut devs,
+            &[(0, trace.clone())],
+            &mut Hurtful(0),
+            &ReplayConfig::default(),
+        );
+
+        // With the gate: converges to near-baseline.
+        let mut devs = devices(3, 1);
+        let mut gate = MlGate::with_config(
+            Hurtful(0),
+            MlGateConfig { epoch_reads: 256, epochs_between_probes: 2, margin: 0.02 },
+        );
+        let gated = replay(&mut devs, &[(0, trace.clone())], &mut gate, &ReplayConfig::default());
+        assert!(!gate.ml_active(), "gate should have disabled the hurtful model");
+        let (_, disabled) = gate.epoch_counts();
+        assert!(disabled > 0);
+        assert!(
+            gated.avg_read_latency.as_micros_f64() < raw.avg_read_latency.as_micros_f64() * 0.7,
+            "gated {} vs raw {}",
+            gated.avg_read_latency,
+            raw.avg_read_latency
+        );
+    }
+
+    #[test]
+    fn gate_keeps_a_helpful_predictor_enabled() {
+        let mut rng = SimRng::seed(10);
+        let heavy = TraceSpec::cosmos().rerate(4.0).generate(Duration::from_millis(400), &mut rng);
+        let azure = TraceSpec::azure().generate(Duration::from_millis(400), &mut rng);
+
+        let mut devs = devices(3, 2);
+        // Probe sparingly: exploration epochs run without ML and cost
+        // real latency on a pressured workload.
+        let mut gate = MlGate::with_config(
+            QueueOracle,
+            MlGateConfig { epoch_reads: 256, epochs_between_probes: 6, margin: 0.02 },
+        );
+        let gated = replay(
+            &mut devs,
+            &[(0, heavy.clone()), (0, azure.clone())],
+            &mut gate,
+            &ReplayConfig::default(),
+        );
+        let (enabled, disabled) = gate.epoch_counts();
+        assert!(
+            enabled > disabled,
+            "helpful model should stay mostly on: {enabled} on vs {disabled} off"
+        );
+
+        // And the gated run keeps most of the benefit.
+        let mut devs = devices(3, 2);
+        let ungated = replay(
+            &mut devs,
+            &[(0, heavy), (0, azure)],
+            &mut QueueOracle,
+            &ReplayConfig::default(),
+        );
+        assert!(
+            gated.avg_read_latency.as_micros_f64()
+                < ungated.avg_read_latency.as_micros_f64() * 1.8,
+            "gated {} vs ungated {}",
+            gated.avg_read_latency,
+            ungated.avg_read_latency
+        );
+    }
+
+    #[test]
+    fn gate_reprobes_and_can_reenable() {
+        // Synthetic phase check: feed observations directly.
+        let mut gate = MlGate::with_config(
+            QueueOracle,
+            MlGateConfig { epoch_reads: 4, epochs_between_probes: 1, margin: 0.0 },
+        );
+        let f = IoFeatures { device: 0, pending: 0, recent_latencies_us: vec![0.0; 4] };
+        // Epoch 1 (MlOn): high latencies.
+        for _ in 0..4 {
+            let _ = gate.predict(Instant::EPOCH, &f);
+            gate.observe(Duration::from_micros(1_000));
+        }
+        // Probe epoch: low latencies → ML judged unhelpful → Disabled.
+        for _ in 0..4 {
+            let _ = gate.predict(Instant::EPOCH, &f);
+            gate.observe(Duration::from_micros(100));
+        }
+        assert!(!gate.ml_active());
+        // Disabled epoch with *high* latencies (workload shifted).
+        for _ in 0..4 {
+            let _ = gate.predict(Instant::EPOCH, &f);
+            gate.observe(Duration::from_micros(2_000));
+        }
+        // Re-probe epoch with ML now cheap/effective (low latencies).
+        assert!(gate.ml_active(), "re-probe phase uses ML");
+        for _ in 0..4 {
+            let _ = gate.predict(Instant::EPOCH, &f);
+            gate.observe(Duration::from_micros(100));
+        }
+        assert!(gate.ml_active(), "ML re-enabled after a winning probe");
+    }
+}

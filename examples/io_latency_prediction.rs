@@ -1,0 +1,100 @@
+//! End-to-end I/O latency prediction (the paper's §7.1 case study, in
+//! miniature): generate traces, train the LinnOS network on observed
+//! latencies, and replay with predictive reissue on CPU and through LAKE.
+//!
+//! Run with: `cargo run --release --example io_latency_prediction`
+
+use lake::block::{replay, NoPredictor, NvmeDevice, NvmeSpec, ReplayConfig, TraceSpec};
+use lake::core::Lake;
+use lake::ml::serialize;
+use lake::sim::{Duration, SimRng};
+use lake::workloads::linnos;
+
+fn devices(rng: &mut SimRng, n: usize) -> Vec<NvmeDevice> {
+    (0..n)
+        .map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork()))
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SimRng::seed(2024);
+    let horizon = Duration::from_millis(400);
+
+    // A "Mixed+"-style pressured workload: a rerated Cosmos trace and an
+    // Azure trace both defaulting to device 0; devices 1-2 idle.
+    let cosmos = TraceSpec::cosmos().rerate(3.0).generate(horizon, &mut rng);
+    let azure = TraceSpec::azure().generate(horizon, &mut rng);
+    println!("generated {} + {} I/Os", cosmos.len(), azure.len());
+
+    // 1. Baseline replay (no rerouting) — also collects training data.
+    let mut devs = devices(&mut rng, 3);
+    let baseline = replay(
+        &mut devs,
+        &[(0, cosmos.clone()), (0, azure.clone())],
+        &mut NoPredictor,
+        &ReplayConfig { collect_samples: true, ..ReplayConfig::default() },
+    );
+    println!(
+        "baseline: avg read latency {} (p99 {})",
+        baseline.avg_read_latency, baseline.p99_read_latency
+    );
+
+    // 2. Train the LinnOS model on the observed samples.
+    let model = linnos::train(&baseline.samples, &linnos::LinnosConfig::default());
+    println!(
+        "trained LinnOS model: accuracy {:.1}% (slow = > {})",
+        model.train_accuracy * 100.0,
+        model.slow_threshold
+    );
+
+    // 3. Replay with CPU-side inference.
+    let mut devs = devices(&mut rng, 3);
+    let mut cpu_pred = linnos::LinnosPredictor::new(model.clone(), linnos::LinnosMode::Cpu);
+    let cpu = replay(
+        &mut devs,
+        &[(0, cosmos.clone()), (0, azure.clone())],
+        &mut cpu_pred,
+        &ReplayConfig::default(),
+    );
+    println!(
+        "NN cpu:   avg read latency {} ({} reroutes, {} inference time)",
+        cpu.avg_read_latency, cpu.reroutes, cpu.inference_time
+    );
+
+    // 4. Replay with LAKE: the model runs on the GPU with dynamic batch
+    //    formation; the high-level API call is real remoting.
+    let lake = Lake::builder().build();
+    let ml = lake.ml();
+    let model_id = ml.load_model(&serialize::encode_mlp(&model.mlp))?;
+    let mut lake_pred = linnos::LinnosPredictor::new(
+        model,
+        linnos::LinnosMode::Lake {
+            ml,
+            clock: lake.clock().clone(),
+            model_id,
+            quantum: Duration::from_micros(100),
+            batch_threshold: 8,
+        },
+    );
+    let mut devs = devices(&mut rng, 3);
+    let lake_report = replay(
+        &mut devs,
+        &[(0, cosmos), (0, azure)],
+        &mut lake_pred,
+        &ReplayConfig::default(),
+    );
+    let (cpu_decisions, gpu_decisions) = lake_pred.decisions();
+    println!(
+        "NN LAKE:  avg read latency {} ({} reroutes, {} inference time, {} cpu / {} gpu decisions)",
+        lake_report.avg_read_latency,
+        lake_report.reroutes,
+        lake_report.inference_time,
+        cpu_decisions,
+        gpu_decisions
+    );
+
+    let speedup =
+        baseline.avg_read_latency.as_micros_f64() / lake_report.avg_read_latency.as_micros_f64();
+    println!("LAKE vs baseline: {speedup:.2}x lower average read latency");
+    Ok(())
+}

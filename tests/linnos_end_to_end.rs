@@ -1,0 +1,109 @@
+//! Integration: the §7.1 end-to-end study in miniature — generate
+//! pressured traces, train LinnOS on observed behaviour, and verify that
+//! predictive reissue through both CPU and LAKE beats the baseline.
+
+use lake::block::{replay, NoPredictor, NvmeDevice, NvmeSpec, ReplayConfig, TraceSpec};
+use lake::core::Lake;
+use lake::ml::serialize;
+use lake::sim::{Duration, SimRng};
+use lake::workloads::linnos::{self, LinnosConfig, LinnosMode, LinnosPredictor};
+
+fn devices(rng: &mut SimRng) -> Vec<NvmeDevice> {
+    (0..3)
+        .map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork()))
+        .collect()
+}
+
+#[test]
+fn pressured_workload_benefits_from_prediction() {
+    let mut rng = SimRng::seed(99);
+    let horizon = Duration::from_millis(300);
+    let heavy = TraceSpec::cosmos().rerate(3.0).generate(horizon, &mut rng);
+    // High-IOPS companion stream so the LAKE predictor can form batches
+    // (the paper motivates batching with 256k-IOPS provisioned SSDs).
+    let light = TraceSpec::azure().rerate(4.0).generate(horizon, &mut rng);
+    let traces = vec![(0usize, heavy), (0usize, light)];
+
+    // Baseline + training samples.
+    let mut devs = devices(&mut rng);
+    let baseline = replay(
+        &mut devs,
+        &traces,
+        &mut NoPredictor,
+        &ReplayConfig { collect_samples: true, ..ReplayConfig::default() },
+    );
+    assert!(baseline.reads > 1_000, "workload too small: {} reads", baseline.reads);
+
+    let model = linnos::train(&baseline.samples, &LinnosConfig::default());
+    assert!(
+        model.train_accuracy > 0.85,
+        "LinnOS accuracy {} (paper: up to 97%)",
+        model.train_accuracy
+    );
+
+    // CPU predictor.
+    let mut devs = devices(&mut rng);
+    let mut cpu_pred = LinnosPredictor::new(model.clone(), LinnosMode::Cpu);
+    let cpu = replay(&mut devs, &traces, &mut cpu_pred, &ReplayConfig::default());
+    assert!(
+        cpu.avg_read_latency < baseline.avg_read_latency,
+        "NN cpu {} should beat baseline {}",
+        cpu.avg_read_latency,
+        baseline.avg_read_latency
+    );
+    assert!(cpu.reroutes > 0);
+
+    // LAKE predictor: the same weights, remoted, with batch formation.
+    let lake = Lake::builder().build();
+    let ml = lake.ml();
+    let id = ml.load_model(&serialize::encode_mlp(&model.mlp)).expect("loads");
+    let mut lake_pred = LinnosPredictor::new(
+        model,
+        LinnosMode::Lake {
+            ml,
+            clock: lake.clock().clone(),
+            model_id: id,
+            quantum: Duration::from_micros(150),
+            batch_threshold: 8,
+        },
+    );
+    let mut devs = devices(&mut rng);
+    let lake_rep = replay(&mut devs, &traces, &mut lake_pred, &ReplayConfig::default());
+    assert!(
+        lake_rep.avg_read_latency < baseline.avg_read_latency,
+        "NN LAKE {} should beat baseline {}",
+        lake_rep.avg_read_latency,
+        baseline.avg_read_latency
+    );
+    let (_, gpu_decisions) = lake_pred.decisions();
+    assert!(gpu_decisions > 0, "high-IOPS workload must form GPU batches");
+}
+
+#[test]
+fn unpressured_workload_sees_no_benefit() {
+    // The paper's other finding: on workloads that do not stress modern
+    // NVMes, "the cost of running a neural network degrades average read
+    // latencies" — prediction adds cost without benefit.
+    let mut rng = SimRng::seed(123);
+    let light = TraceSpec::azure().generate(Duration::from_millis(300), &mut rng);
+    let traces = vec![(0usize, light)];
+
+    let mut devs = devices(&mut rng);
+    let baseline = replay(
+        &mut devs,
+        &traces,
+        &mut NoPredictor,
+        &ReplayConfig { collect_samples: true, ..ReplayConfig::default() },
+    );
+    let model = linnos::train(&baseline.samples, &LinnosConfig::default());
+
+    let mut devs = devices(&mut rng);
+    let mut pred = LinnosPredictor::new(model, LinnosMode::Cpu);
+    let with_nn = replay(&mut devs, &traces, &mut pred, &ReplayConfig::default());
+    assert!(
+        with_nn.avg_read_latency >= baseline.avg_read_latency,
+        "NN {} should not beat baseline {} on an unpressured device",
+        with_nn.avg_read_latency,
+        baseline.avg_read_latency
+    );
+}

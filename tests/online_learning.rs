@@ -1,0 +1,115 @@
+//! Integration: the online-learning loop (§2.1 — "learning ... online,
+//! during execution, and training custom models"): a kernel subsystem
+//! collects features into the registry, trains the model *in the daemon*
+//! through the remoted training API, exports the improved weights, and
+//! commits them back through the registry's `update_model`.
+
+use lake::core::Lake;
+use lake::ml::{serialize, Activation, Matrix, Mlp};
+use lake::registry::FeatureRegistryService;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A separable two-class toy problem standing in for collected kernel
+/// features.
+fn labeled_batch(rng: &mut StdRng, n: usize) -> (Vec<f32>, Vec<u32>) {
+    let mut feats = Vec::with_capacity(n * 4);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = rng.gen_bool(0.5);
+        let center = if class { 0.8 } else { 0.2 };
+        for _ in 0..4 {
+            feats.push(center + 0.1 * (rng.gen::<f32>() - 0.5));
+        }
+        labels.push(u32::from(class));
+    }
+    (feats, labels)
+}
+
+#[test]
+fn collect_train_export_update_cycle() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let lake = Lake::builder().build();
+    let ml = lake.ml();
+
+    // Boot: an untrained model is created and committed via the registry.
+    let registry = FeatureRegistryService::new();
+    let dir = std::env::temp_dir().join("lake-online-learning-test");
+    let path = dir.join("toy.lakeml");
+    let initial = Mlp::new(&[4, 16, 2], Activation::Relu, &mut rng);
+    registry
+        .create_model("toy", "demo", &path, &serialize::encode_mlp(&initial))
+        .expect("create_model");
+
+    // Load into the daemon.
+    let id = ml
+        .load_model(&registry.model_blob("toy", "demo").expect("blob"))
+        .expect("load");
+
+    // Untrained accuracy is near chance.
+    let (test_feats, test_labels) = labeled_batch(&mut rng, 200);
+    let before = ml.infer_mlp(id, 200, 4, &test_feats).expect("infer");
+    let before_acc = before
+        .iter()
+        .zip(&test_labels)
+        .filter(|(p, t)| p == t)
+        .count() as f64
+        / 200.0;
+
+    // Online training: several collected batches, trained remotely.
+    let t0 = lake.clock().now();
+    let mut last_loss = f32::INFINITY;
+    for _ in 0..25 {
+        let (feats, labels) = labeled_batch(&mut rng, 128);
+        last_loss = ml
+            .train_mlp(id, 128, 4, &feats, &labels, 8, 0.2)
+            .expect("remote training");
+    }
+    assert!(lake.clock().now() > t0, "training must cost virtual time");
+    assert!(last_loss < 0.2, "training loss should fall, got {last_loss}");
+
+    // Inference through the same id now uses the trained weights.
+    let after = ml.infer_mlp(id, 200, 4, &test_feats).expect("infer");
+    let after_acc = after
+        .iter()
+        .zip(&test_labels)
+        .filter(|(p, t)| p == t)
+        .count() as f64
+        / 200.0;
+    assert!(
+        after_acc > 0.95 && after_acc > before_acc,
+        "accuracy {before_acc} -> {after_acc}"
+    );
+
+    // Export and commit the improved model back through the registry.
+    let blob = ml.export_model(id).expect("export");
+    registry.update_model("toy", "demo", &blob).expect("update_model");
+
+    // A fresh boot loads the improved model and matches the daemon's
+    // verdicts exactly.
+    let reloaded = serialize::decode_mlp(&registry.model_blob("toy", "demo").expect("blob"))
+        .expect("decode");
+    let x = Matrix::from_vec(200, 4, test_feats);
+    let local: Vec<u32> = reloaded.classify(&x).into_iter().map(|c| c as u32).collect();
+    assert_eq!(local, after, "persisted weights must match the daemon's");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn training_rejects_bad_shapes_and_models() {
+    let lake = Lake::builder().build();
+    let ml = lake.ml();
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
+    let id = ml.load_model(&serialize::encode_mlp(&model)).expect("load");
+
+    // wrong feature width
+    assert!(ml.train_mlp(id, 2, 3, &[0.0; 6], &[0, 1], 1, 0.1).is_err());
+    // label out of range
+    assert!(ml.train_mlp(id, 2, 4, &[0.0; 8], &[0, 9], 1, 0.1).is_err());
+    // unknown model
+    assert!(ml
+        .train_mlp(lake::core::ModelId(999), 2, 4, &[0.0; 8], &[0, 1], 1, 0.1)
+        .is_err());
+}

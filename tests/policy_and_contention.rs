@@ -1,0 +1,88 @@
+//! Integration: the §4.2/§4.3 policy framework driving real offload
+//! decisions against a live LAKE instance, plus the Fig 1 / Fig 13
+//! scenario invariants.
+
+use lake::core::policy::{offload, AlwaysCpu, AlwaysGpu, BatchThresholdPolicy, Policy};
+use lake::core::{CuPolicy, Lake, PolicyConfig, Target};
+use lake::sim::{Duration, Instant};
+use lake::workloads::contention::{run, summarize_fig1, ContentionConfig};
+
+#[test]
+fn cu_policy_modulates_between_cpu_and_gpu() {
+    let lake = Lake::builder().build();
+    lake.register_kernel("contender", 1.0e6, |_, _| Ok(()));
+    let mut policy = CuPolicy::new(
+        lake.cuda(),
+        lake.clock().clone(),
+        PolicyConfig { mov_avg_window: 2, ..PolicyConfig::default() },
+    );
+
+    // Idle device, batch above threshold → GPU.
+    assert_eq!(policy.decide(128), Target::Gpu);
+    // Small batch → CPU regardless of load (the §4.2 profitability rule).
+    assert_eq!(policy.decide(2), Target::Cpu);
+
+    // Saturate the device from "user space".
+    for _ in 0..20 {
+        lake.gpu().launch_kernel("contender", 500_000, &[]).expect("launch");
+    }
+    assert_eq!(policy.decide(128), Target::Cpu, "contended device must fall back");
+
+    // Idle again after the contender stops.
+    lake.clock().advance(Duration::from_millis(100));
+    let _ = policy.decide(128); // refresh sample
+    lake.clock().advance(Duration::from_millis(10));
+    assert_eq!(policy.decide(128), Target::Gpu, "policy must reclaim the GPU");
+    let (gpu, cpu) = policy.decision_counts();
+    assert!(gpu >= 2 && cpu >= 2);
+}
+
+#[test]
+fn offload_helper_respects_each_policy() {
+    let run_with = |policy: &mut dyn Policy| {
+        let (t, v) = offload(policy, 64, || "dev", || "cpu");
+        (t, v)
+    };
+    assert_eq!(run_with(&mut AlwaysGpu).1, "dev");
+    assert_eq!(run_with(&mut AlwaysCpu).1, "cpu");
+    let mut batch = BatchThresholdPolicy { batch_threshold: 100 };
+    assert_eq!(run_with(&mut batch).1, "cpu");
+}
+
+#[test]
+fn fig1_phases_degrade_monotonically() {
+    let cfg = ContentionConfig::fig1();
+    let result = run(&cfg);
+    let s = summarize_fig1(&cfg, &result);
+    assert!(s.solo > s.one_contender);
+    assert!(s.one_contender > s.two_contenders);
+    assert!(s.max_degradation > 0.5 && s.max_degradation < 0.85);
+}
+
+#[test]
+fn fig13_user_app_is_protected_and_gpu_reclaimed() {
+    let result = run(&ContentionConfig::fig13());
+    let during: Vec<f64> = result
+        .kernel_target
+        .points()
+        .iter()
+        .filter(|&&(t, _)| {
+            t >= Instant::from_nanos(12_000_000_000) && t < Instant::from_nanos(20_000_000_000)
+        })
+        .map(|&(_, v)| v)
+        .collect();
+    let share: f64 = during.iter().sum::<f64>() / during.len() as f64;
+    assert!(share < 0.1, "kernel must vacate the GPU, share {share}");
+
+    let user_mid: Vec<f64> = result
+        .user_throughput
+        .points()
+        .iter()
+        .filter(|&&(t, _)| {
+            t >= Instant::from_nanos(12_000_000_000) && t < Instant::from_nanos(20_000_000_000)
+        })
+        .map(|&(_, v)| v)
+        .collect();
+    let mean = user_mid.iter().sum::<f64>() / user_mid.len() as f64;
+    assert!(mean > result.user_peak * 0.9, "user QoS preserved");
+}
