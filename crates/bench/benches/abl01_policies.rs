@@ -16,9 +16,7 @@ use lake_workloads::linnos::{self, LinnosConfig, LinnosMode, LinnosPredictor};
 use lake_workloads::mlgate::{MlGate, MlGateConfig};
 
 fn devices(rng: &mut SimRng) -> Vec<NvmeDevice> {
-    (0..3)
-        .map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork()))
-        .collect()
+    (0..3).map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork())).collect()
 }
 
 fn ablation_a() {
@@ -160,9 +158,7 @@ fn ablation_b() {
 }
 
 fn bench(c: &mut Criterion) {
-    c.bench_function("fig13_policy_sweep_run", |b| {
-        b.iter(|| run(&ContentionConfig::fig13()))
-    });
+    c.bench_function("fig13_policy_sweep_run", |b| b.iter(|| run(&ContentionConfig::fig13())));
 }
 
 fn main() {

@@ -10,11 +10,8 @@ fn print_fig1() {
     banner("Fig 1", "user throughput under unmediated kernel contention");
 
     // Uncontended control: user app alone.
-    let solo_cfg = ContentionConfig {
-        warmth_start: None,
-        io_start: None,
-        ..ContentionConfig::fig1()
-    };
+    let solo_cfg =
+        ContentionConfig { warmth_start: None, io_start: None, ..ContentionConfig::fig1() };
     let solo = run(&solo_cfg);
     let solo_buckets = solo.user_throughput.bucket_mean(Duration::from_millis(250));
     let solo_mean: f64 =
@@ -40,9 +37,7 @@ fn print_fig1() {
 }
 
 fn bench(c: &mut Criterion) {
-    c.bench_function("contention_sim_10s", |b| {
-        b.iter(|| run(&ContentionConfig::fig1()))
-    });
+    c.bench_function("contention_sim_10s", |b| b.iter(|| run(&ContentionConfig::fig1())));
 }
 
 fn main() {

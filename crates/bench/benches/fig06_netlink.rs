@@ -57,11 +57,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut e = Encoder::new();
                 e.put_u64(0xfeed).put_bytes(payload);
-                let cmd = Command {
-                    api: lake_rpc::ApiId(7),
-                    seq: 1,
-                    payload: e.finish(),
-                };
+                let cmd = Command { api: lake_rpc::ApiId(7), seq: 1, payload: e.finish() };
                 let frame = cmd.encode();
                 let back = Command::decode(&frame).expect("decodes");
                 let mut d = Decoder::new(&back.payload);

@@ -26,11 +26,7 @@ struct Scenario {
 
 fn scenarios(rng: &mut SimRng) -> Vec<Scenario> {
     let horizon = Duration::from_millis(HORIZON_MS);
-    let single = |spec: TraceSpec, rng: &mut SimRng| {
-        vec![
-            (0usize, spec.generate(horizon, rng)),
-        ]
-    };
+    let single = |spec: TraceSpec, rng: &mut SimRng| vec![(0usize, spec.generate(horizon, rng))];
     let mixed = |factor: f64, rng: &mut SimRng| {
         vec![
             (0usize, TraceSpec::azure().rerate(factor).generate(horizon, rng)),
@@ -48,9 +44,7 @@ fn scenarios(rng: &mut SimRng) -> Vec<Scenario> {
 }
 
 fn devices(rng: &mut SimRng) -> Vec<NvmeDevice> {
-    (0..3)
-        .map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork()))
-        .collect()
+    (0..3).map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork())).collect()
 }
 
 fn subsample(samples: Vec<IoSample>, n: usize) -> Vec<IoSample> {
@@ -68,7 +62,14 @@ fn print_fig7() {
 
     println!(
         "{:<9} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
-        "workload", "baseline", "NN cpu", "NN LAKE", "NN+1 cpu", "NN+1 LAKE", "NN+2 cpu", "NN+2 LAKE"
+        "workload",
+        "baseline",
+        "NN cpu",
+        "NN LAKE",
+        "NN+1 cpu",
+        "NN+1 LAKE",
+        "NN+2 cpu",
+        "NN+2 LAKE"
     );
 
     for scen in &scens {
@@ -82,11 +83,8 @@ fn print_fig7() {
         );
         let samples = subsample(baseline.samples, TRAIN_SUBSAMPLE);
 
-        let mut row = format!(
-            "{:<9} {:>11}",
-            scen.name,
-            fmt_us(baseline.avg_read_latency.as_micros_f64())
-        );
+        let mut row =
+            format!("{:<9} {:>11}", scen.name, fmt_us(baseline.avg_read_latency.as_micros_f64()));
 
         for extra in 0..=2usize {
             let model = linnos::train(

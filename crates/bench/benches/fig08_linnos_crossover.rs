@@ -52,9 +52,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("linnos_forward");
     for &batch in &[1usize, 64, 1024] {
         let x = Matrix::from_vec(batch, 31, vec![0.3; batch * 31]);
-        group.bench_function(format!("batch_{batch}"), |b| {
-            b.iter(|| model.classify(&x))
-        });
+        group.bench_function(format!("batch_{batch}"), |b| b.iter(|| model.classify(&x)));
     }
     group.finish();
 }

@@ -18,12 +18,7 @@ fn print_fig9() {
     let series = kleio::inference_timings(&lake, &cfg, &batches).expect("timings");
     println!("{:>8} {:>14} {:>16}", "pages", "LAKE (sync.)", "per-page (us)");
     for t in &series {
-        println!(
-            "{:>8} {:>14} {:>16.1}",
-            t.batch,
-            fmt_us(t.micros),
-            t.micros / t.batch as f64
-        );
+        println!("{:>8} {:>14} {:>16.1}", t.batch, fmt_us(t.micros), t.micros / t.batch as f64);
     }
     println!("(paper: ~100-300 ms across 20-1160 pages, roughly linear; crossover 1)");
 }
@@ -35,12 +30,7 @@ fn bench(c: &mut Criterion) {
     let pages = kleio::generate_pages(&cfg, 32, &mut rng);
     let model = kleio::train(&cfg, &pages, 2);
     c.bench_function("kleio_lstm_classify_32pages", |b| {
-        b.iter(|| {
-            pages
-                .iter()
-                .map(|p| model.classify(&p.to_sequence()))
-                .sum::<usize>()
-        })
+        b.iter(|| pages.iter().map(|p| model.classify(&p.to_sequence())).sum::<usize>())
     });
 }
 

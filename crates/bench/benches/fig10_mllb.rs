@@ -23,10 +23,7 @@ fn print_fig10() {
             fmt_us(lake_sync[i].micros)
         );
     }
-    println!(
-        "crossover: {:?} (paper Table 3: 256)",
-        crossover_batch(&cpu, &lake_async)
-    );
+    println!("crossover: {:?} (paper Table 3: 256)", crossover_batch(&cpu, &lake_async));
 }
 
 fn bench(c: &mut Criterion) {
@@ -35,10 +32,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("mllb_scenario_featurize", |b| {
         b.iter(|| {
             let sc = mllb::generate_scenario(16, 32, &mut rng);
-            sc.candidates
-                .iter()
-                .map(|cand| mllb::featurize(&sc, cand).len())
-                .sum::<usize>()
+            sc.candidates.iter().map(|cand| mllb::featurize(&sc, cand).len()).sum::<usize>()
         })
     });
 }

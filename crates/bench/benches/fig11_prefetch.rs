@@ -24,10 +24,7 @@ fn print_fig11() {
             fmt_us(lake_sync[i].micros)
         );
     }
-    println!(
-        "crossover: {:?} (paper Table 3: 64)",
-        crossover_batch(&cpu, &lake_async)
-    );
+    println!("crossover: {:?} (paper Table 3: 64)", crossover_batch(&cpu, &lake_async));
 
     banner("Fig 11b", "pattern-aware readahead benefit (KML claim: up to 2.3x)");
     let (model, acc) = prefetch::train(11, 40, 200);

@@ -9,11 +9,7 @@ use lake_workloads::contention::{run, ContentionConfig};
 fn mean_between(points: &[(Instant, f64)], a_s: u64, b_s: u64) -> f64 {
     let a = Instant::from_nanos(a_s * 1_000_000_000);
     let b = Instant::from_nanos(b_s * 1_000_000_000);
-    let v: Vec<f64> = points
-        .iter()
-        .filter(|&&(t, _)| t >= a && t < b)
-        .map(|&(_, x)| x)
-        .collect();
+    let v: Vec<f64> = points.iter().filter(|&&(t, _)| t >= a && t < b).map(|&(_, x)| x).collect();
     if v.is_empty() {
         0.0
     } else {
@@ -36,9 +32,18 @@ fn print_fig13() {
     let target = result.kernel_target.bucket_mean(Duration::from_millis(500));
 
     println!("timeline (0.5s buckets; T1=10s user enters GPU, T3=22s exits):");
-    println!("  user (u):           {}", sparkline(&user.iter().map(|&(_, v)| v).collect::<Vec<_>>(), 1.0));
-    println!("  I/O predictor (k):  {}", sparkline(&kernel.iter().map(|&(_, v)| v).collect::<Vec<_>>(), 1.0));
-    println!("  kernel on GPU?:     {}", sparkline(&target.iter().map(|&(_, v)| v).collect::<Vec<_>>(), 1.0));
+    println!(
+        "  user (u):           {}",
+        sparkline(&user.iter().map(|&(_, v)| v).collect::<Vec<_>>(), 1.0)
+    );
+    println!(
+        "  I/O predictor (k):  {}",
+        sparkline(&kernel.iter().map(|&(_, v)| v).collect::<Vec<_>>(), 1.0)
+    );
+    println!(
+        "  kernel on GPU?:     {}",
+        sparkline(&target.iter().map(|&(_, v)| v).collect::<Vec<_>>(), 1.0)
+    );
 
     println!("\nphase means:");
     println!(

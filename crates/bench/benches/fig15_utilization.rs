@@ -49,20 +49,13 @@ fn run_path(which: &str) {
         format!("{elapsed}"),
         kcpu * 100.0,
         dcpu * 100.0,
-        if is_gpu {
-            lake.gpu().utilization_over(elapsed) * 100.0
-        } else {
-            0.0
-        }
+        if is_gpu { lake.gpu().utilization_over(elapsed) * 100.0 } else { 0.0 }
     );
 
     // Timeline: kernel CPU utilization in 1 s buckets across the read.
     let buckets = fs.meters().kernel_cpu.utilization_until(t_end);
-    let series: Vec<f64> = buckets
-        .iter()
-        .skip_while(|&&(t, _)| t < t_start)
-        .map(|&(_, v)| v)
-        .collect();
+    let series: Vec<f64> =
+        buckets.iter().skip_while(|&&(t, _)| t < t_start).map(|&(_, v)| v).collect();
     println!("         kernel CPU timeline: {}", sparkline(&series, 1.0));
 }
 
@@ -85,7 +78,11 @@ fn bench(c: &mut Criterion) {
                 CryptoPath::AesNi,
                 device,
                 lake_sim::SharedClock::new(),
-                EcryptfsConfig { extent_size: BLOCK, timing_only: true, ..EcryptfsConfig::default() },
+                EcryptfsConfig {
+                    extent_size: BLOCK,
+                    timing_only: true,
+                    ..EcryptfsConfig::default()
+                },
             );
             fs.write(0, &vec![0u8; 64 << 20]).expect("prefill");
             fs.measure_sequential_read(64 << 20).expect("read")

@@ -95,7 +95,11 @@ fn encryption_crossovers() -> (Option<usize>, Option<usize>) {
                 path,
                 device,
                 lake.clock().clone(),
-                EcryptfsConfig { extent_size: block, timing_only: true, ..EcryptfsConfig::default() },
+                EcryptfsConfig {
+                    extent_size: block,
+                    timing_only: true,
+                    ..EcryptfsConfig::default()
+                },
             );
             fs.write(0, &vec![0u8; total]).expect("prefill");
             if read {
@@ -120,31 +124,16 @@ fn print_table3() {
 
     let lake = Lake::builder().build();
     let (cpu, gpu) = linnos::inference_timings(&lake, 0, BATCHES);
-    println!(
-        "{:<24} {:>12?} {:>10}",
-        "I/O latency prediction",
-        crossover_batch(&cpu, &gpu),
-        "8"
-    );
+    println!("{:<24} {:>12?} {:>10}", "I/O latency prediction", crossover_batch(&cpu, &gpu), "8");
     println!("{:<24} {:>12?} {:>10}", "Page warmth (LSTM)", kleio_crossover(), "1");
 
     let lake = Lake::builder().build();
     let (cpu, gpu, _) = mllb::inference_timings(&lake, BATCHES).expect("timings");
-    println!(
-        "{:<24} {:>12?} {:>10}",
-        "Load balancing",
-        crossover_batch(&cpu, &gpu),
-        "256"
-    );
+    println!("{:<24} {:>12?} {:>10}", "Load balancing", crossover_batch(&cpu, &gpu), "256");
 
     let lake = Lake::builder().build();
     let (cpu, gpu, _) = prefetch::inference_timings(&lake, BATCHES).expect("timings");
-    println!(
-        "{:<24} {:>12?} {:>10}",
-        "Filesystem prefetching",
-        crossover_batch(&cpu, &gpu),
-        "64"
-    );
+    println!("{:<24} {:>12?} {:>10}", "Filesystem prefetching", crossover_batch(&cpu, &gpu), "64");
 
     println!("{:<24} {:>12?} {:>10}", "Malware detection (kNN)", knn_crossover(), "128");
 
@@ -152,11 +141,7 @@ fn print_table3() {
     println!(
         "{:<24} {:>12} {:>10}",
         "Filesystem encryption",
-        format!(
-            "{}K/{}K",
-            r.map_or(0, |b| b / 1024),
-            w.map_or(0, |b| b / 1024)
-        ),
+        format!("{}K/{}K", r.map_or(0, |b| b / 1024), w.map_or(0, |b| b / 1024)),
         "16K/128K"
     );
 }

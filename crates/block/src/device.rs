@@ -74,11 +74,7 @@ impl NvmeSpec {
             cache_hit_prob: 0.85,
             cache_max_size: 128 * 1024,
             write_buffer_latency: Duration::from_micros(20),
-            gc: Some(GcModel {
-                dirty_threshold: 1.5e9,
-                flush_rate: 1.6e9,
-                read_penalty: 6.0,
-            }),
+            gc: Some(GcModel { dirty_threshold: 1.5e9, flush_rate: 1.6e9, read_penalty: 6.0 }),
         }
     }
 
@@ -96,11 +92,7 @@ impl NvmeSpec {
             cache_hit_prob: 0.4,
             cache_max_size: 32 * 1024,
             write_buffer_latency: Duration::from_micros(40),
-            gc: Some(GcModel {
-                dirty_threshold: 0.25e9,
-                flush_rate: 0.5e9,
-                read_penalty: 8.0,
-            }),
+            gc: Some(GcModel { dirty_threshold: 0.25e9, flush_rate: 0.5e9, read_penalty: 8.0 }),
         }
     }
 }
@@ -207,11 +199,8 @@ impl NvmeDevice {
         use rand::Rng;
         self.ios += 1;
         self.drain_dirty(at);
-        let gc_active = self
-            .spec
-            .gc
-            .map(|gc| self.dirty_bytes > gc.dirty_threshold)
-            .unwrap_or(false);
+        let gc_active =
+            self.spec.gc.map(|gc| self.dirty_bytes > gc.dirty_threshold).unwrap_or(false);
 
         let completion = match kind {
             IoKind::Read => {
@@ -227,7 +216,8 @@ impl NvmeDevice {
                         + Duration::from_secs_f64(size as f64 / self.spec.channel_read_bw);
                     if gc_active {
                         self.gc_reads += 1;
-                        service = service * self.spec.gc.expect("gc_active implies model").read_penalty;
+                        service =
+                            service * self.spec.gc.expect("gc_active implies model").read_penalty;
                     }
                     let grant = self.channels.submit(at, service);
                     IoCompletion {
@@ -333,8 +323,8 @@ mod tests {
             last = c.latency(t);
         }
         // 64 reads / 8 channels = 8 serialized per channel
-        let single = Duration::from_secs_f64((1024.0 * 1024.0) / 750.0e6)
-            + Duration::from_micros(12);
+        let single =
+            Duration::from_secs_f64((1024.0 * 1024.0) / 750.0e6) + Duration::from_micros(12);
         assert!(last.as_micros() > single.as_micros() * 6);
         assert!(dev.pending_at(t) > 0);
     }

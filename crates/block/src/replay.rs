@@ -124,16 +124,11 @@ pub fn replay(
     config: &ReplayConfig,
 ) -> ReplayReport {
     assert!(config.history > 0, "history depth must be non-zero");
-    assert!(
-        traces.iter().all(|&(d, _)| d < devices.len()),
-        "trace device index out of range"
-    );
+    assert!(traces.iter().all(|&(d, _)| d < devices.len()), "trace device index out of range");
 
     // Merge events across traces in arrival order.
-    let mut merged: Vec<(usize, TraceEvent)> = traces
-        .iter()
-        .flat_map(|(dev, evs)| evs.iter().map(move |e| (*dev, *e)))
-        .collect();
+    let mut merged: Vec<(usize, TraceEvent)> =
+        traces.iter().flat_map(|(dev, evs)| evs.iter().map(move |e| (*dev, *e))).collect();
     merged.sort_by_key(|(_, e)| e.at);
 
     let mut histories: Vec<VecDeque<f32>> =
@@ -172,8 +167,7 @@ pub fn replay(
                 // One prediction per read on its default device; if slow,
                 // reissue "in round-robin fashion" to another device
                 // (§7.1) without further prediction.
-                let feats =
-                    features_of(default_dev, issue_at, devices, &histories, config.history);
+                let feats = features_of(default_dev, issue_at, devices, &histories, config.history);
                 let (slow, cost) = predictor.predict(issue_at, &feats);
                 inference_time += cost;
                 issue_at += cost;
@@ -200,8 +194,7 @@ pub fn replay(
                 hist.push_front(device_latency.as_micros_f64() as f32);
 
                 if config.collect_samples {
-                    let feats =
-                        features_of(chosen, issue_at, devices, &histories, config.history);
+                    let feats = features_of(chosen, issue_at, devices, &histories, config.history);
                     samples.push(IoSample { features: feats, latency: device_latency });
                 }
             }
@@ -229,9 +222,7 @@ mod tests {
 
     fn devices(n: usize) -> Vec<NvmeDevice> {
         let mut rng = SimRng::seed(99);
-        (0..n)
-            .map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork()))
-            .collect()
+        (0..n).map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork())).collect()
     }
 
     fn azure_short(seed: u64) -> Vec<TraceEvent> {
@@ -244,12 +235,7 @@ mod tests {
         let mut devs = devices(1);
         let trace = azure_short(1);
         let n_reads = trace.iter().filter(|e| e.kind == IoKind::Read).count();
-        let report = replay(
-            &mut devs,
-            &[(0, trace)],
-            &mut NoPredictor,
-            &ReplayConfig::default(),
-        );
+        let report = replay(&mut devs, &[(0, trace)], &mut NoPredictor, &ReplayConfig::default());
         assert_eq!(report.reads, n_reads);
         assert_eq!(report.reroutes, 0);
         assert_eq!(report.inference_time, Duration::ZERO);
@@ -274,9 +260,7 @@ mod tests {
         // Hammer device 0 with the heavy Cosmos trace plus put Azure on
         // it too; devices 1 and 2 are idle.
         let mut rng = SimRng::seed(5);
-        let cosmos = TraceSpec::cosmos()
-            .rerate(4.0)
-            .generate(Duration::from_millis(300), &mut rng);
+        let cosmos = TraceSpec::cosmos().rerate(4.0).generate(Duration::from_millis(300), &mut rng);
         let azure = azure_short(2);
         let report = replay(
             &mut devs,
@@ -292,9 +276,7 @@ mod tests {
     fn reissue_disabled_never_reroutes() {
         let mut devs = devices(3);
         let mut rng = SimRng::seed(5);
-        let cosmos = TraceSpec::cosmos()
-            .rerate(4.0)
-            .generate(Duration::from_millis(200), &mut rng);
+        let cosmos = TraceSpec::cosmos().rerate(4.0).generate(Duration::from_millis(200), &mut rng);
         let report = replay(
             &mut devs,
             &[(0, cosmos)],
@@ -321,12 +303,8 @@ mod tests {
             &ReplayConfig::default(),
         );
         let mut devs = devices(3);
-        let smart = replay(
-            &mut devs,
-            &[(0, t1), (0, t2)],
-            &mut QueueOracle,
-            &ReplayConfig::default(),
-        );
+        let smart =
+            replay(&mut devs, &[(0, t1), (0, t2)], &mut QueueOracle, &ReplayConfig::default());
         assert!(
             smart.avg_read_latency < base.avg_read_latency,
             "oracle {} should beat baseline {}",
@@ -356,11 +334,6 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_device_index_rejected() {
         let mut devs = devices(1);
-        replay(
-            &mut devs,
-            &[(3, azure_short(1))],
-            &mut NoPredictor,
-            &ReplayConfig::default(),
-        );
+        replay(&mut devs, &[(3, azure_short(1))], &mut NoPredictor, &ReplayConfig::default());
     }
 }

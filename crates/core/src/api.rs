@@ -62,6 +62,16 @@ pub const ML_TRAIN_MLP: ApiId = ApiId(0x306);
 /// `tfExportModel(model id) -> serialized blob` — retrieve (possibly
 /// retrained) weights, e.g. for the registry's `update_model`.
 pub const ML_EXPORT_MODEL: ApiId = ApiId(0x307);
+/// `tfInferSubmit(model id, client, cols, steps, shm offset) -> ticket` —
+/// enqueue a single-row inference with the cross-subsystem batcher
+/// instead of launching immediately.
+pub const ML_INFER_SUBMIT: ApiId = ApiId(0x308);
+/// `tfInferPoll(ticket) -> (ready, class)` — retrieve a batched result;
+/// dispatches any queue whose max-wait deadline has passed.
+pub const ML_INFER_POLL: ApiId = ApiId(0x309);
+/// `tfInferFlush() -> batches dispatched` — force-dispatch every pending
+/// batch.
+pub const ML_INFER_FLUSH: ApiId = ApiId(0x30A);
 
 /// Human-readable name for diagnostics.
 pub fn api_name(api: ApiId) -> &'static str {
@@ -87,6 +97,9 @@ pub fn api_name(api: ApiId) -> &'static str {
         ML_INFER_KNN => "knnClassify",
         ML_TRAIN_MLP => "tfTrain",
         ML_EXPORT_MODEL => "tfExportModel",
+        ML_INFER_SUBMIT => "tfInferSubmit",
+        ML_INFER_POLL => "tfInferPoll",
+        ML_INFER_FLUSH => "tfInferFlush",
         _ => "unknown",
     }
 }
@@ -119,6 +132,9 @@ mod tests {
             ML_INFER_KNN,
             ML_TRAIN_MLP,
             ML_EXPORT_MODEL,
+            ML_INFER_SUBMIT,
+            ML_INFER_POLL,
+            ML_INFER_FLUSH,
         ];
         for (i, a) in ids.iter().enumerate() {
             for b in &ids[i + 1..] {

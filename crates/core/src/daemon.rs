@@ -8,15 +8,16 @@
 //! the device and whose forward passes run inside device kernels, so both
 //! correctness and timing flow through the accelerator.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 
 use lake_gpu::{DevicePtr, GpuDevice, GpuError, KernelArg};
-use lake_ml::{serialize, Knn, LstmClassifier, Matrix, Mlp, ModelKind};
+use lake_ml::{serialize, CpuCostModel, Knn, LstmClassifier, Matrix, Mlp, ModelKind};
 use lake_rpc::{ApiHandler, ApiId, Decoder, Encoder, Status};
+use lake_sched::{Batch, BatchPolicy, Batcher, DevicePool, Placement, PoolPolicy, SchedMetrics};
 use lake_shm::ShmRegion;
 
 use crate::api;
@@ -33,11 +34,92 @@ fn gpu_status(e: GpuError) -> Status {
 }
 
 /// A model loaded through the high-level API, resident in the daemon with
-/// weights uploaded to the device.
+/// weights uploaded to every pool device.
 enum LoadedModel {
     Mlp(Arc<Mlp>),
     Lstm(Arc<LstmClassifier>),
     Knn(Arc<Knn>),
+}
+
+impl LoadedModel {
+    fn clone_ref(&self) -> LoadedModel {
+        match self {
+            LoadedModel::Mlp(m) => LoadedModel::Mlp(Arc::clone(m)),
+            LoadedModel::Lstm(m) => LoadedModel::Lstm(Arc::clone(m)),
+            LoadedModel::Knn(m) => LoadedModel::Knn(Arc::clone(m)),
+        }
+    }
+
+    /// Kernel name base, launch work items, and per-item FLOPs for a
+    /// `rows` × `cols` batch, validating the shape against the model.
+    fn launch_shape(
+        &self,
+        rows: usize,
+        cols: usize,
+        steps: usize,
+    ) -> Result<(&'static str, u64, f64), Status> {
+        match self {
+            LoadedModel::Mlp(m) => Ok(("hl_mlp", rows as u64, m.flops_per_input())),
+            LoadedModel::Lstm(m) => {
+                if steps == 0 || !cols.is_multiple_of(steps) {
+                    return Err(Status::VendorError(code::ML_BAD_SHAPE));
+                }
+                let flops: f64 = m.cells().iter().map(|c| c.flops_per_step()).sum();
+                Ok(("hl_lstm", (rows * steps) as u64, flops))
+            }
+            LoadedModel::Knn(m) => {
+                if m.dims() != cols {
+                    return Err(Status::VendorError(code::ML_BAD_SHAPE));
+                }
+                Ok(("hl_knn", (rows * m.num_refs()) as u64, 3.0 * m.dims() as f64))
+            }
+        }
+    }
+
+    /// Runs the model math over a flattened `rows` × `cols` feature
+    /// buffer — the shared body of both the device kernels and the CPU
+    /// fallback path, so results are bit-identical wherever a batch is
+    /// placed.
+    fn classify_host(
+        &self,
+        rows: usize,
+        cols: usize,
+        steps: usize,
+        data: &[f32],
+    ) -> Result<Vec<f32>, GpuError> {
+        if data.len() < rows * cols || rows == 0 || cols == 0 {
+            return Err(GpuError::KernelFault("input shape mismatch".to_owned()));
+        }
+        match self {
+            LoadedModel::Mlp(m) => {
+                let x = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+                Ok(m.classify(&x).into_iter().map(|c| c as f32).collect())
+            }
+            LoadedModel::Lstm(m) => {
+                // rows sequences; each sequence is steps × features,
+                // flattened.
+                if steps == 0 || !cols.is_multiple_of(steps) {
+                    return Err(GpuError::KernelFault("bad sequence shape".to_owned()));
+                }
+                let features = cols / steps;
+                Ok((0..rows)
+                    .map(|r| {
+                        let seq: Vec<Vec<f32>> = (0..steps)
+                            .map(|t| {
+                                let start = r * cols + t * features;
+                                data[start..start + features].to_vec()
+                            })
+                            .collect();
+                        m.classify(&seq) as f32
+                    })
+                    .collect())
+            }
+            LoadedModel::Knn(m) => {
+                let x = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+                Ok(m.classify_batch(&x).into_iter().map(|c| c as f32).collect())
+            }
+        }
+    }
 }
 
 struct HighLevelState {
@@ -45,23 +127,91 @@ struct HighLevelState {
     next_id: u64,
 }
 
+/// One completed batched-inference row awaiting pickup.
+struct ReadyEntry {
+    class: u64,
+    /// The (device, stream) the batch ran on; polling synchronizes the
+    /// stream so the caller's clock reflects the batch's completion.
+    /// `None` for CPU-fallback batches (cost already charged).
+    sync: Option<(usize, u32)>,
+}
+
+/// The daemon side of the cross-subsystem batching scheduler.
+struct SchedState {
+    batcher: Batcher,
+    ready: HashMap<u64, ReadyEntry>,
+    consumed: HashSet<u64>,
+    issued: u64,
+}
+
 /// The daemon: implements [`ApiHandler`] over the simulated CUDA library.
 pub struct LakeDaemon {
+    /// The primary device — the low-level remoted CUDA API is pinned to
+    /// it (kernel modules hold raw device pointers).
     gpu: Arc<GpuDevice>,
+    pool: Arc<DevicePool>,
     shm: ShmRegion,
     hl: Arc<Mutex<HighLevelState>>,
+    sched: Mutex<SchedState>,
+    cpu: CpuCostModel,
 }
 
 impl LakeDaemon {
-    /// Creates a daemon bound to a device and the shared region.
+    /// Creates a daemon bound to a single device and the shared region.
     pub fn new(gpu: Arc<GpuDevice>, shm: ShmRegion) -> Arc<Self> {
-        let hl = Arc::new(Mutex::new(HighLevelState { models: HashMap::new(), next_id: 1 }));
-        Arc::new(LakeDaemon { gpu, shm, hl })
+        let clock = gpu.clock().clone();
+        let pool = DevicePool::from_devices(vec![gpu], clock, PoolPolicy::default());
+        Self::with_pool(pool, shm, BatchPolicy::default())
     }
 
-    /// The device this daemon drives.
+    /// Creates a daemon that schedules high-level inference across a
+    /// device pool, batching requests under `batch_policy`.
+    pub fn with_pool(
+        pool: Arc<DevicePool>,
+        shm: ShmRegion,
+        batch_policy: BatchPolicy,
+    ) -> Arc<Self> {
+        let hl = Arc::new(Mutex::new(HighLevelState { models: HashMap::new(), next_id: 1 }));
+        let sched = Mutex::new(SchedState {
+            batcher: Batcher::new(batch_policy),
+            ready: HashMap::new(),
+            consumed: HashSet::new(),
+            issued: 0,
+        });
+        Arc::new(LakeDaemon {
+            gpu: Arc::clone(pool.primary()),
+            pool,
+            shm,
+            hl,
+            sched,
+            cpu: CpuCostModel::default(),
+        })
+    }
+
+    /// The primary device this daemon drives.
     pub fn gpu(&self) -> &Arc<GpuDevice> {
         &self.gpu
+    }
+
+    /// The device pool behind the high-level inference APIs.
+    pub fn pool(&self) -> &Arc<DevicePool> {
+        &self.pool
+    }
+
+    /// A snapshot of the scheduler's counters: queue depth, batch sizes,
+    /// per-device utilization and dispatch counts, CPU fallbacks.
+    pub fn sched_metrics(&self) -> SchedMetrics {
+        let sched = self.sched.lock();
+        SchedMetrics::collect(&self.pool, &sched.batcher)
+    }
+
+    fn model(&self, id: u64) -> Result<LoadedModel, Status> {
+        self.hl
+            .lock()
+            .models
+            .get(&id)
+            .map(LoadedModel::clone_ref)
+            .ok_or(Status::VendorError(code::ML_UNKNOWN_MODEL))
     }
 
     fn cu_mem_alloc(&self, payload: &[u8]) -> Result<Bytes, Status> {
@@ -93,10 +243,8 @@ impl LakeDaemon {
         let ptr = DevicePtr(d.get_u64().map_err(|_| Status::Malformed)?);
         let offset = d.get_u64().map_err(|_| Status::Malformed)? as usize;
         let len = d.get_u64().map_err(|_| Status::Malformed)? as usize;
-        let buf = self
-            .shm
-            .resolve(offset)
-            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        let buf =
+            self.shm.resolve(offset).map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
         // Zero-copy read out of the shared mapping straight into the
         // device transfer.
         let result = self
@@ -126,13 +274,9 @@ impl LakeDaemon {
         let offset = d.get_u64().map_err(|_| Status::Malformed)? as usize;
         let len = d.get_u64().map_err(|_| Status::Malformed)? as usize;
         let data = self.gpu.memcpy_dtoh(ptr, len).map_err(gpu_status)?;
-        let buf = self
-            .shm
-            .resolve(offset)
-            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
-        self.shm
-            .write(&buf, 0, &data)
-            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        let buf =
+            self.shm.resolve(offset).map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        self.shm.write(&buf, 0, &data).map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
         Ok(Bytes::new())
     }
 
@@ -172,10 +316,8 @@ impl LakeDaemon {
         let ptr = DevicePtr(d.get_u64().map_err(|_| Status::Malformed)?);
         let offset = d.get_u64().map_err(|_| Status::Malformed)? as usize;
         let len = d.get_u64().map_err(|_| Status::Malformed)? as usize;
-        let buf = self
-            .shm
-            .resolve(offset)
-            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        let buf =
+            self.shm.resolve(offset).map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
         let result = self
             .shm
             .with_bytes(&buf, |bytes| {
@@ -193,9 +335,7 @@ impl LakeDaemon {
         let name = d.get_str().map_err(|_| Status::Malformed)?.to_owned();
         let items = d.get_u64().map_err(|_| Status::Malformed)?;
         let args = Self::decode_args(&mut d)?;
-        self.gpu
-            .launch_kernel_async(stream, &name, items, &args)
-            .map_err(gpu_status)?;
+        self.gpu.launch_kernel_async(stream, &name, items, &args).map_err(gpu_status)?;
         Ok(Bytes::new())
     }
 
@@ -206,13 +346,9 @@ impl LakeDaemon {
         let offset = d.get_u64().map_err(|_| Status::Malformed)? as usize;
         let len = d.get_u64().map_err(|_| Status::Malformed)? as usize;
         let data = self.gpu.memcpy_dtoh_async(stream, ptr, len).map_err(gpu_status)?;
-        let buf = self
-            .shm
-            .resolve(offset)
-            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
-        self.shm
-            .write(&buf, 0, &data)
-            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        let buf =
+            self.shm.resolve(offset).map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        self.shm.write(&buf, 0, &data).map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
         Ok(Bytes::new())
     }
 
@@ -235,9 +371,7 @@ impl LakeDaemon {
     fn nvml_get_utilization(&self, payload: &[u8]) -> Result<Bytes, Status> {
         let mut d = Decoder::new(payload);
         let window_us = d.get_u64().map_err(|_| Status::Malformed)?;
-        let util = self
-            .gpu
-            .utilization_over(lake_sim::Duration::from_micros(window_us));
+        let util = self.gpu.utilization_over(lake_sim::Duration::from_micros(window_us));
         let mut e = Encoder::new();
         e.put_f64(util * 100.0);
         Ok(e.finish())
@@ -281,85 +415,64 @@ impl LakeDaemon {
         hl.models.insert(id, model);
         drop(hl);
 
-        // Upload the weights to the device once — the recurring inference
-        // calls then only move features/results, the way the paper keeps
-        // models "in memory ... critical to performance" (§5.1).
-        let weights = self.gpu.mem_alloc(weight_bytes.max(4)).map_err(gpu_status)?;
-        self.gpu
-            .memcpy_htod(weights, &vec![0u8; weight_bytes.max(4)])
-            .map_err(gpu_status)?;
+        // Upload the weights once per pool device — the recurring
+        // inference calls then only move features/results, the way the
+        // paper keeps models "in memory ... critical to performance"
+        // (§5.1). Replication is what lets the scheduler place a batch
+        // on any device.
+        let mut primary_weights = DevicePtr(0);
+        for idx in 0..self.pool.len() {
+            let dev = self.pool.device(idx);
+            let weights = dev.mem_alloc(weight_bytes.max(4)).map_err(gpu_status)?;
+            dev.memcpy_htod(weights, &vec![0u8; weight_bytes.max(4)]).map_err(gpu_status)?;
+            if idx == 0 {
+                primary_weights = weights;
+            }
+        }
         self.register_model_kernel(id, kernel_name, flops_per_item);
 
         let mut e = Encoder::new();
         e.put_u64(id);
-        e.put_u64(weights.0);
+        e.put_u64(primary_weights.0);
         Ok(e.finish())
     }
 
     /// Registers the per-model device kernel that actually executes the
-    /// model math over a device input buffer.
+    /// model math over a device input buffer, on every pool device.
     fn register_model_kernel(&self, id: u64, base: &str, flops_per_item: f64) {
         let hl = Arc::clone(&self.hl);
         let name = format!("{base}_{id}");
-        self.gpu.register_kernel(&name, flops_per_item, move |ctx, args| {
-            let input = args[0].as_ptr().ok_or_else(|| {
-                GpuError::KernelFault("arg0 must be the input buffer".to_owned())
-            })?;
+        self.pool.register_kernel(&name, flops_per_item, move |ctx, args| {
+            let input = args[0]
+                .as_ptr()
+                .ok_or_else(|| GpuError::KernelFault("arg0 must be the input buffer".to_owned()))?;
             let output = args[1].as_ptr().ok_or_else(|| {
                 GpuError::KernelFault("arg1 must be the output buffer".to_owned())
             })?;
-            let rows = args[2].as_u64().ok_or_else(|| {
-                GpuError::KernelFault("arg2 must be the row count".to_owned())
-            })? as usize;
-            let cols = args[3].as_u64().ok_or_else(|| {
-                GpuError::KernelFault("arg3 must be the column count".to_owned())
-            })? as usize;
+            let rows = args[2]
+                .as_u64()
+                .ok_or_else(|| GpuError::KernelFault("arg2 must be the row count".to_owned()))?
+                as usize;
+            let cols = args[3]
+                .as_u64()
+                .ok_or_else(|| GpuError::KernelFault("arg3 must be the column count".to_owned()))?
+                as usize;
+
+            // LSTM sequence shape rides in arg4; other models ignore it.
+            let steps = args[4]
+                .as_u64()
+                .ok_or_else(|| GpuError::KernelFault("arg4 must be the step count".to_owned()))?
+                as usize;
 
             let data = ctx.read_f32(input)?;
-            if data.len() < rows * cols || rows == 0 || cols == 0 {
-                return Err(GpuError::KernelFault("input shape mismatch".to_owned()));
-            }
             let model = {
                 let st = hl.lock();
                 match st.models.get(&id) {
-                    Some(LoadedModel::Mlp(m)) => LoadedModel::Mlp(Arc::clone(m)),
-                    Some(LoadedModel::Lstm(m)) => LoadedModel::Lstm(Arc::clone(m)),
-                    Some(LoadedModel::Knn(m)) => LoadedModel::Knn(Arc::clone(m)),
+                    Some(m) => m.clone_ref(),
                     None => return Err(GpuError::KernelFault("model unloaded".to_owned())),
                 }
             };
-            let classes: Vec<f32> = match model {
-                LoadedModel::Mlp(m) => {
-                    let x = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
-                    m.classify(&x).into_iter().map(|c| c as f32).collect()
-                }
-                LoadedModel::Lstm(m) => {
-                    // rows sequences; each sequence is steps × features,
-                    // flattened. Steps are carried in arg4.
-                    let steps = args[4].as_u64().ok_or_else(|| {
-                        GpuError::KernelFault("arg4 must be the step count".to_owned())
-                    })? as usize;
-                    if steps == 0 || !cols.is_multiple_of(steps) {
-                        return Err(GpuError::KernelFault("bad sequence shape".to_owned()));
-                    }
-                    let features = cols / steps;
-                    (0..rows)
-                        .map(|r| {
-                            let seq: Vec<Vec<f32>> = (0..steps)
-                                .map(|t| {
-                                    let start = r * cols + t * features;
-                                    data[start..start + features].to_vec()
-                                })
-                                .collect();
-                            m.classify(&seq) as f32
-                        })
-                        .collect()
-                }
-                LoadedModel::Knn(m) => {
-                    let x = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
-                    m.classify_batch(&x).into_iter().map(|c| c as f32).collect()
-                }
-            };
+            let classes = model.classify_host(rows, cols, steps, &data)?;
             ctx.write_f32(output, &classes)
         });
     }
@@ -387,78 +500,262 @@ impl LakeDaemon {
             return Err(Status::VendorError(code::ML_BAD_SHAPE));
         }
 
-        let (kernel_base, items) = {
-            let hl = self.hl.lock();
-            match (hl.models.get(&id), kind) {
-                (Some(LoadedModel::Mlp(_)), ModelKind::Mlp) => ("hl_mlp", rows as u64),
-                (Some(LoadedModel::Lstm(_)), ModelKind::Lstm) => {
-                    if steps == 0 || !cols.is_multiple_of(steps) {
-                        return Err(Status::VendorError(code::ML_BAD_SHAPE));
-                    }
-                    ("hl_lstm", (rows * steps) as u64)
+        let model = self.model(id)?;
+        let kind_matches = matches!(
+            (&model, kind),
+            (LoadedModel::Mlp(_), ModelKind::Mlp)
+                | (LoadedModel::Lstm(_), ModelKind::Lstm)
+                | (LoadedModel::Knn(_), ModelKind::Knn)
+        );
+        if !kind_matches {
+            return Err(Status::VendorError(code::ML_BAD_SHAPE));
+        }
+        let (kernel_base, items, flops_per_item) = model.launch_shape(rows, cols, steps)?;
+
+        // Features arrive through lakeShm (zero-copy into the transfer).
+        let shm_buf =
+            self.shm.resolve(shm_offset).map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        let in_bytes = rows * cols * 4;
+
+        // Utilization-aware placement across the pool: least-loaded
+        // device, or CPU when everything is contended (Fig 13).
+        let classes: Vec<u64> = match self.pool.place(rows) {
+            Placement::Device(device_idx) => {
+                let gpu = self.pool.device(device_idx);
+                let input = gpu.mem_alloc(in_bytes).map_err(gpu_status)?;
+                let upload = self
+                    .shm
+                    .with_bytes(&shm_buf, |bytes| {
+                        if bytes.len() < in_bytes {
+                            return Err(Status::VendorError(code::ML_BAD_SHAPE));
+                        }
+                        gpu.memcpy_htod(input, &bytes[..in_bytes]).map_err(gpu_status)
+                    })
+                    .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+                if let Err(status) = upload {
+                    let _ = gpu.mem_free(input);
+                    return Err(status);
                 }
-                (Some(LoadedModel::Knn(m)), ModelKind::Knn) => {
-                    if m.dims() != cols {
-                        return Err(Status::VendorError(code::ML_BAD_SHAPE));
+
+                let output = match gpu.mem_alloc(rows * 4) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        let _ = gpu.mem_free(input);
+                        return Err(gpu_status(e));
                     }
-                    ("hl_knn", (rows * m.num_refs()) as u64)
-                }
-                (Some(_), _) => return Err(Status::VendorError(code::ML_BAD_SHAPE)),
-                (None, _) => return Err(Status::VendorError(code::ML_UNKNOWN_MODEL)),
+                };
+                let kernel = format!("{kernel_base}_{id}");
+                let launch = gpu.launch_kernel(
+                    &kernel,
+                    items,
+                    &[
+                        KernelArg::Ptr(input),
+                        KernelArg::Ptr(output),
+                        KernelArg::U64(rows as u64),
+                        KernelArg::U64(cols as u64),
+                        KernelArg::U64(steps as u64),
+                    ],
+                );
+                let result = launch.and_then(|()| gpu.memcpy_dtoh(output, rows * 4));
+                let _ = gpu.mem_free(input);
+                let _ = gpu.mem_free(output);
+                let raw = result.map_err(gpu_status)?;
+                self.pool.note_dispatch(device_idx, rows);
+
+                raw.chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")) as u64)
+                    .collect()
+            }
+            Placement::CpuFallback => {
+                let feats: Vec<f32> = self
+                    .shm
+                    .with_bytes(&shm_buf, |bytes| {
+                        if bytes.len() < in_bytes {
+                            return Err(Status::VendorError(code::ML_BAD_SHAPE));
+                        }
+                        Ok(bytes[..in_bytes]
+                            .chunks_exact(4)
+                            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                            .collect())
+                    })
+                    .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))??;
+                let classes = model.classify_host(rows, cols, steps, &feats).map_err(gpu_status)?;
+                // Same math, CPU time: charge the cost model for the
+                // sequential host-side pass.
+                self.pool.clock().advance(self.cpu.time_for_flops(flops_per_item * items as f64));
+                self.pool.note_fallback(rows);
+                classes.into_iter().map(|c| c as u64).collect()
             }
         };
 
-        // Features arrive through lakeShm (zero-copy into the transfer).
-        let shm_buf = self
-            .shm
-            .resolve(shm_offset)
-            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
-        let in_bytes = rows * cols * 4;
-        let input = self.gpu.mem_alloc(in_bytes).map_err(gpu_status)?;
-        let upload = self
+        let mut e = Encoder::new();
+        e.put_u64_slice(&classes);
+        Ok(e.finish())
+    }
+
+    // -- cross-subsystem batched inference (the lake-sched path) ----------
+
+    /// Executes one dispatched batch: places it on the least-loaded
+    /// device (riding that device's dedicated stream, so batches on
+    /// different devices overlap in virtual time) or runs it host-side
+    /// under backpressure, then files one result per ticket.
+    fn execute_batch(&self, sched: &mut SchedState, batch: Batch) -> Result<(), Status> {
+        let rows = batch.rows();
+        let model = self.model(batch.model)?;
+        let (kernel_base, items, flops_per_item) =
+            model.launch_shape(rows, batch.cols, batch.steps)?;
+        let feats = batch.features();
+
+        let (classes, sync) = match self.pool.place(rows) {
+            Placement::Device(device_idx) => {
+                let gpu = self.pool.device(device_idx);
+                let stream = self.pool.stream(device_idx);
+                let in_bytes = rows * batch.cols * 4;
+                let mut raw_in = Vec::with_capacity(in_bytes);
+                for &x in &feats {
+                    raw_in.extend_from_slice(&x.to_le_bytes());
+                }
+                let input = gpu.mem_alloc(in_bytes).map_err(gpu_status)?;
+                let output = match gpu.mem_alloc(rows * 4) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        let _ = gpu.mem_free(input);
+                        return Err(gpu_status(e));
+                    }
+                };
+                let kernel = format!("{kernel_base}_{}", batch.model);
+                let run = gpu
+                    .memcpy_htod_async(stream, input, &raw_in)
+                    .and_then(|()| {
+                        gpu.launch_kernel_async(
+                            stream,
+                            &kernel,
+                            items,
+                            &[
+                                KernelArg::Ptr(input),
+                                KernelArg::Ptr(output),
+                                KernelArg::U64(rows as u64),
+                                KernelArg::U64(batch.cols as u64),
+                                KernelArg::U64(batch.steps as u64),
+                            ],
+                        )
+                    })
+                    .and_then(|()| gpu.memcpy_dtoh_async(stream, output, rows * 4));
+                let _ = gpu.mem_free(input);
+                let _ = gpu.mem_free(output);
+                let raw = run.map_err(gpu_status)?;
+                self.pool.note_dispatch(device_idx, rows);
+                let classes: Vec<u64> = raw
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")) as u64)
+                    .collect();
+                (classes, Some((device_idx, stream)))
+            }
+            Placement::CpuFallback => {
+                let classes = model
+                    .classify_host(rows, batch.cols, batch.steps, &feats)
+                    .map_err(gpu_status)?;
+                self.pool.clock().advance(self.cpu.time_for_flops(flops_per_item * items as f64));
+                self.pool.note_fallback(rows);
+                (classes.into_iter().map(|c| c as u64).collect(), None)
+            }
+        };
+
+        for (req, class) in batch.requests.iter().zip(classes) {
+            sched.ready.insert(req.ticket, ReadyEntry { class, sync });
+        }
+        Ok(())
+    }
+
+    /// `tfInferSubmit`: enqueue one row with the batcher; dispatches the
+    /// queue if this submission filled it (or another queue came due).
+    fn ml_infer_submit(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let id = d.get_u64().map_err(|_| Status::Malformed)?;
+        let client = d.get_u64().map_err(|_| Status::Malformed)?;
+        let cols = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let steps = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        let shm_offset = d.get_u64().map_err(|_| Status::Malformed)? as usize;
+        if cols == 0 {
+            return Err(Status::VendorError(code::ML_BAD_SHAPE));
+        }
+        // Validate the model id and row shape up front, so a bad submit
+        // fails here instead of poisoning a whole batch later.
+        let model = self.model(id)?;
+        model.launch_shape(1, cols, steps)?;
+
+        let shm_buf =
+            self.shm.resolve(shm_offset).map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        let in_bytes = cols * 4;
+        let feats: Vec<f32> = self
             .shm
             .with_bytes(&shm_buf, |bytes| {
                 if bytes.len() < in_bytes {
                     return Err(Status::VendorError(code::ML_BAD_SHAPE));
                 }
-                self.gpu.memcpy_htod(input, &bytes[..in_bytes]).map_err(gpu_status)
+                Ok(bytes[..in_bytes]
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect())
             })
-            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
-        if let Err(status) = upload {
-            let _ = self.gpu.mem_free(input);
-            return Err(status);
+            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))??;
+
+        let now = self.pool.clock().now();
+        let mut sched = self.sched.lock();
+        let (ticket, full) = sched.batcher.submit(client, id, cols, steps, feats, now);
+        sched.issued = ticket;
+        if let Some(batch) = full {
+            self.execute_batch(&mut sched, batch)?;
+        }
+        let due = sched.batcher.poll_due(now);
+        for batch in due {
+            self.execute_batch(&mut sched, batch)?;
         }
 
-        let output = match self.gpu.mem_alloc(rows * 4) {
-            Ok(p) => p,
-            Err(e) => {
-                let _ = self.gpu.mem_free(input);
-                return Err(gpu_status(e));
-            }
-        };
-        let kernel = format!("{kernel_base}_{id}");
-        let launch = self.gpu.launch_kernel(
-            &kernel,
-            items,
-            &[
-                KernelArg::Ptr(input),
-                KernelArg::Ptr(output),
-                KernelArg::U64(rows as u64),
-                KernelArg::U64(cols as u64),
-                KernelArg::U64(steps as u64),
-            ],
-        );
-        let result = launch.and_then(|()| self.gpu.memcpy_dtoh(output, rows * 4));
-        let _ = self.gpu.mem_free(input);
-        let _ = self.gpu.mem_free(output);
-        let raw = result.map_err(gpu_status)?;
-
-        let classes: Vec<u64> = raw
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")) as u64)
-            .collect();
         let mut e = Encoder::new();
-        e.put_u64_slice(&classes);
+        e.put_u64(ticket);
+        Ok(e.finish())
+    }
+
+    /// `tfInferPoll`: retrieve a batched result. Dispatches overdue
+    /// queues first, and synchronizes the batch's stream on pickup so
+    /// the caller's clock includes the batch latency.
+    fn ml_infer_poll(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let ticket = d.get_u64().map_err(|_| Status::Malformed)?;
+
+        let now = self.pool.clock().now();
+        let mut sched = self.sched.lock();
+        let due = sched.batcher.poll_due(now);
+        for batch in due {
+            self.execute_batch(&mut sched, batch)?;
+        }
+
+        let mut e = Encoder::new();
+        if let Some(entry) = sched.ready.remove(&ticket) {
+            sched.consumed.insert(ticket);
+            if let Some((device_idx, stream)) = entry.sync {
+                self.pool.device(device_idx).stream_synchronize(stream).map_err(gpu_status)?;
+            }
+            e.put_u8(1).put_u64(entry.class);
+        } else if ticket == 0 || ticket > sched.issued || sched.consumed.contains(&ticket) {
+            return Err(Status::VendorError(code::SCHED_BAD_TICKET));
+        } else {
+            e.put_u8(0);
+        }
+        Ok(e.finish())
+    }
+
+    /// `tfInferFlush`: force-dispatch every pending queue.
+    fn ml_infer_flush(&self, _payload: &[u8]) -> Result<Bytes, Status> {
+        let mut sched = self.sched.lock();
+        let batches = sched.batcher.flush_all();
+        let n = batches.len() as u64;
+        for batch in batches {
+            self.execute_batch(&mut sched, batch)?;
+        }
+        let mut e = Encoder::new();
+        e.put_u64(n);
         Ok(e.finish())
     }
 }
@@ -502,10 +799,8 @@ impl LakeDaemon {
         }
 
         // Features arrive through lakeShm.
-        let shm_buf = self
-            .shm
-            .resolve(shm_offset)
-            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
+        let shm_buf =
+            self.shm.resolve(shm_offset).map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
         let in_bytes = rows * cols * 4;
         let feats: Vec<f32> = self
             .shm
@@ -534,9 +829,7 @@ impl LakeDaemon {
         let train_flops = 3.0 * model.flops_per_input() * (rows * epochs) as f64;
         let kernel = format!("hl_train_{id}");
         self.gpu.register_kernel(&kernel, 1.0, |_, _| Ok(()));
-        self.gpu
-            .launch_kernel(&kernel, train_flops as u64, &[])
-            .map_err(gpu_status)?;
+        self.gpu.launch_kernel(&kernel, train_flops as u64, &[]).map_err(gpu_status)?;
 
         let flops = model.flops_per_input();
         {
@@ -593,6 +886,9 @@ impl ApiHandler for LakeDaemon {
             api::ML_INFER_KNN => self.ml_infer(payload, ModelKind::Knn),
             api::ML_TRAIN_MLP => self.ml_train_mlp(payload),
             api::ML_EXPORT_MODEL => self.ml_export_model(payload),
+            api::ML_INFER_SUBMIT => self.ml_infer_submit(payload),
+            api::ML_INFER_POLL => self.ml_infer_poll(payload),
+            api::ML_INFER_FLUSH => self.ml_infer_flush(payload),
             _ => Err(Status::UnknownApi),
         }
     }

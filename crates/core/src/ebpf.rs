@@ -400,12 +400,12 @@ mod tests {
     fn fig3_program_semantics() {
         let prog = PolicyProgram::fig3(40, 8);
         let cases = [
-            (64, 10, Target::Gpu),  // idle + big batch
-            (64, 80, Target::Cpu),  // contended
-            (2, 10, Target::Cpu),   // small batch
-            (8, 39, Target::Gpu),   // boundary: util below, batch at
-            (8, 40, Target::Cpu),   // boundary: util at threshold
-            (7, 0, Target::Cpu),    // boundary: batch below
+            (64, 10, Target::Gpu), // idle + big batch
+            (64, 80, Target::Cpu), // contended
+            (2, 10, Target::Cpu),  // small batch
+            (8, 39, Target::Gpu),  // boundary: util below, batch at
+            (8, 40, Target::Cpu),  // boundary: util at threshold
+            (7, 0, Target::Cpu),   // boundary: batch below
         ];
         for (batch, util, want) in cases {
             let ctx = PolicyCtx { batch_size: batch, gpu_util_percent: util, ..Default::default() };
@@ -471,10 +471,7 @@ mod tests {
             Insn::RetGpu,
             Insn::RetCpu,
         ]);
-        assert!(matches!(
-            prog,
-            Err(VerifyError::UninitializedRead { at: 1, reg: Reg::R2 })
-        ));
+        assert!(matches!(prog, Err(VerifyError::UninitializedRead { at: 1, reg: Reg::R2 })));
     }
 
     #[test]
@@ -490,10 +487,7 @@ mod tests {
             Insn::RetCpu,
             Insn::RetGpu,
         ]);
-        assert!(matches!(
-            prog,
-            Err(VerifyError::UninitializedRead { at: 4, reg: Reg::R3 })
-        ));
+        assert!(matches!(prog, Err(VerifyError::UninitializedRead { at: 4, reg: Reg::R3 })));
     }
 
     #[test]

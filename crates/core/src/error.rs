@@ -29,6 +29,9 @@ pub mod code {
     pub const ML_BAD_MODEL: u32 = 33;
     /// Input shape does not match the model.
     pub const ML_BAD_SHAPE: u32 = 34;
+    /// Unknown (never issued or already consumed) batched-inference
+    /// ticket.
+    pub const SCHED_BAD_TICKET: u32 = 48;
 }
 
 /// Errors surfaced to LAKE-powered kernel applications.

@@ -25,6 +25,17 @@ impl std::fmt::Display for ModelId {
     }
 }
 
+/// Completion handle for a batched inference submitted with
+/// [`LakeMl::infer_submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(pub u64);
+
+impl std::fmt::Display for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ticket#{}", self.0)
+    }
+}
+
 /// Kernel-space handle to the high-level ML APIs.
 #[derive(Clone)]
 pub struct LakeMl {
@@ -100,9 +111,7 @@ impl LakeMl {
         self.shm.free(buf)?;
         let resp = result?;
         let mut d = Decoder::new(&resp);
-        let classes = d
-            .get_u64_slice()
-            .map_err(|_| LakeError::BadResponse("class vector"))?;
+        let classes = d.get_u64_slice().map_err(|_| LakeError::BadResponse("class vector"))?;
         Ok(classes.into_iter().map(|c| c as u32).collect())
     }
 
@@ -144,14 +153,7 @@ impl LakeMl {
         features_per_step: usize,
         features: &[f32],
     ) -> Result<Vec<u32>, LakeError> {
-        self.infer(
-            api::ML_INFER_LSTM,
-            id,
-            rows,
-            steps * features_per_step,
-            steps,
-            features,
-        )
+        self.infer(api::ML_INFER_LSTM, id, rows, steps * features_per_step, steps, features)
     }
 
     /// `tfTrain`: daemon-side SGD over a labeled batch (online learning,
@@ -166,6 +168,7 @@ impl LakeMl {
     ///
     /// Panics if `features.len() != rows * cols` or
     /// `labels.len() != rows`.
+    #[allow(clippy::too_many_arguments)] // mirrors the remoted tfTrain signature
     pub fn train_mlp(
         &self,
         id: ModelId,
@@ -215,6 +218,85 @@ impl LakeMl {
         let resp = self.engine.call(api::ML_EXPORT_MODEL, e.finish())?;
         let mut d = Decoder::new(&resp);
         Ok(d.get_bytes().map_err(|_| LakeError::BadResponse("model blob"))?.to_vec())
+    }
+
+    /// `tfInferSubmit`: enqueue one feature row with the daemon's
+    /// cross-subsystem batcher instead of launching immediately. `client`
+    /// identifies the submitting subsystem (LinnOS, Kleio, …); the daemon
+    /// coalesces rows from all clients that target the same model into
+    /// one batched launch. For LSTM models pass the timestep count in
+    /// `steps`; other models use `steps = 0`.
+    ///
+    /// The result is retrieved with [`LakeMl::infer_poll`]; a queue
+    /// dispatches when it fills to the configured max batch or its
+    /// oldest row has waited the configured max wait of virtual time
+    /// (force everything with [`LakeMl::infer_flush`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for unknown models or shape mismatches.
+    pub fn infer_submit(
+        &self,
+        id: ModelId,
+        client: u64,
+        cols: usize,
+        steps: usize,
+        features: &[f32],
+    ) -> Result<Ticket, LakeError> {
+        assert_eq!(features.len(), cols, "one row of `cols` features");
+        let bytes = features.len() * 4;
+        let buf = self.shm.alloc(bytes)?;
+        let mut raw = Vec::with_capacity(bytes);
+        for &x in features {
+            raw.extend_from_slice(&x.to_le_bytes());
+        }
+        self.shm.write(&buf, 0, &raw)?;
+
+        let mut e = Encoder::new();
+        e.put_u64(id.0)
+            .put_u64(client)
+            .put_u64(cols as u64)
+            .put_u64(steps as u64)
+            .put_u64(buf.offset() as u64);
+        let result = self.engine.call(api::ML_INFER_SUBMIT, e.finish());
+        self.shm.free(buf)?;
+        let resp = result?;
+        let mut d = Decoder::new(&resp);
+        let ticket = d.get_u64().map_err(|_| LakeError::BadResponse("ticket"))?;
+        Ok(Ticket(ticket))
+    }
+
+    /// `tfInferPoll`: retrieve a batched result. Returns `Ok(None)` while
+    /// the row's batch is still queued; overdue queues are dispatched as
+    /// a side effect, so polling after the max-wait deadline always
+    /// completes the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for unknown or already-consumed tickets.
+    pub fn infer_poll(&self, ticket: Ticket) -> Result<Option<u32>, LakeError> {
+        let mut e = Encoder::new();
+        e.put_u64(ticket.0);
+        let resp = self.engine.call(api::ML_INFER_POLL, e.finish())?;
+        let mut d = Decoder::new(&resp);
+        let ready = d.get_u8().map_err(|_| LakeError::BadResponse("poll status"))?;
+        if ready == 0 {
+            return Ok(None);
+        }
+        let class = d.get_u64().map_err(|_| LakeError::BadResponse("class"))?;
+        Ok(Some(class as u32))
+    }
+
+    /// `tfInferFlush`: force-dispatch every pending batch; returns how
+    /// many batches were launched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] if a dispatched batch fails to execute.
+    pub fn infer_flush(&self) -> Result<u64, LakeError> {
+        let resp = self.engine.call(api::ML_INFER_FLUSH, bytes::Bytes::new())?;
+        let mut d = Decoder::new(&resp);
+        d.get_u64().map_err(|_| LakeError::BadResponse("batch count"))
     }
 
     /// Batched k-NN classification: `rows` queries of `cols` dimensions.

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use lake_gpu::{GpuDevice, GpuError, GpuSpec, KernelArg, KernelCtx};
 use lake_rpc::{CallEngine, CallStats};
+use lake_sched::{BatchPolicy, DevicePool, PoolPolicy, SchedMetrics};
 use lake_shm::ShmRegion;
 use lake_sim::SharedClock;
 use lake_transport::Mechanism;
@@ -15,13 +16,16 @@ use crate::lakelib::LakeCuda;
 /// Configures and builds a [`Lake`] instance.
 ///
 /// Defaults match the paper's deployment: Netlink command channel, a
-/// 128 MiB `cma=` shared region, and an A100-class device.
+/// 128 MiB `cma=` shared region, and a single A100-class device.
 #[derive(Debug)]
 pub struct LakeBuilder {
     mechanism: Mechanism,
     shm_capacity: usize,
     spec: GpuSpec,
     clock: Option<SharedClock>,
+    num_devices: usize,
+    pool_policy: PoolPolicy,
+    batch_policy: BatchPolicy,
 }
 
 impl Default for LakeBuilder {
@@ -31,6 +35,9 @@ impl Default for LakeBuilder {
             shm_capacity: 128 << 20, // cma=128M
             spec: GpuSpec::a100(),
             clock: None,
+            num_devices: 1,
+            pool_policy: PoolPolicy::default(),
+            batch_policy: BatchPolicy::default(),
         }
     }
 }
@@ -61,26 +68,57 @@ impl LakeBuilder {
         self
     }
 
-    /// Builds the instance: shared region, device, daemon, call engine.
+    /// Deploys `n` identical devices; the scheduler spreads high-level
+    /// inference over them (the low-level CUDA path stays on device 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn num_devices(mut self, n: usize) -> Self {
+        assert!(n > 0, "a deployment needs at least one device");
+        self.num_devices = n;
+        self
+    }
+
+    /// Overrides the scheduler's placement thresholds.
+    pub fn pool_policy(mut self, policy: PoolPolicy) -> Self {
+        self.pool_policy = policy;
+        self
+    }
+
+    /// Overrides the cross-subsystem batcher's dispatch policy.
+    pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.batch_policy = policy;
+        self
+    }
+
+    /// Builds the instance: shared region, device pool, daemon, call
+    /// engine.
     pub fn build(self) -> Lake {
         let clock = self.clock.unwrap_or_default();
         let shm = ShmRegion::with_capacity(self.shm_capacity);
-        let gpu = GpuDevice::new(self.spec, clock.clone());
-        let daemon = LakeDaemon::new(Arc::clone(&gpu), shm.clone());
+        let devices = (0..self.num_devices)
+            .map(|_| GpuDevice::new(self.spec.clone(), clock.clone()))
+            .collect();
+        let pool = DevicePool::from_devices(devices, clock.clone(), self.pool_policy);
+        let gpu = Arc::clone(pool.primary());
+        let daemon = LakeDaemon::with_pool(Arc::clone(&pool), shm.clone(), self.batch_policy);
         let engine = Arc::new(CallEngine::in_process(
             self.mechanism,
             clock.clone(),
             daemon.clone() as Arc<dyn lake_rpc::ApiHandler>,
         ));
-        Lake { clock, shm, gpu, daemon, engine }
+        Lake { clock, shm, gpu, pool, daemon, engine }
     }
 }
 
-/// A deployed LAKE instance: shared memory + channel + daemon + device.
+/// A deployed LAKE instance: shared memory + channel + daemon + device
+/// pool.
 pub struct Lake {
     clock: SharedClock,
     shm: ShmRegion,
     gpu: Arc<GpuDevice>,
+    pool: Arc<DevicePool>,
     daemon: Arc<LakeDaemon>,
     engine: Arc<CallEngine>,
 }
@@ -111,9 +149,20 @@ impl Lake {
         &self.shm
     }
 
-    /// The simulated accelerator (daemon-side handle).
+    /// The primary simulated accelerator (daemon-side handle).
     pub fn gpu(&self) -> &Arc<GpuDevice> {
         &self.gpu
+    }
+
+    /// The device pool the scheduler dispatches over.
+    pub fn pool(&self) -> &Arc<DevicePool> {
+        &self.pool
+    }
+
+    /// A snapshot of the scheduler's counters (queue depth, batch sizes,
+    /// per-device utilization and dispatches, CPU fallbacks).
+    pub fn sched_metrics(&self) -> SchedMetrics {
+        self.daemon.sched_metrics()
     }
 
     /// The daemon (for tests and direct wiring).
@@ -134,11 +183,12 @@ impl Lake {
 
     /// Registers a device kernel — the equivalent of shipping a compiled
     /// `.cubin` with a kernel module and `cuModuleLoad`-ing it at init.
+    /// The kernel is registered on every pool device.
     pub fn register_kernel<F>(&self, name: &str, flops_per_item: f64, body: F)
     where
         F: Fn(&mut KernelCtx<'_>, &[KernelArg]) -> Result<(), GpuError> + Send + Sync + 'static,
     {
-        self.gpu.register_kernel(name, flops_per_item, body);
+        self.pool.register_kernel(name, flops_per_item, body);
     }
 
     /// Remoting statistics (calls, bytes, failures).
@@ -168,10 +218,8 @@ mod tests {
             .unwrap();
         cuda.cu_launch_kernel("negate", 2, &[KernelArg::Ptr(buf)]).unwrap();
         let out = cuda.cu_memcpy_dtoh(buf, 8).unwrap();
-        let vals: Vec<f32> = out
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let vals: Vec<f32> =
+            out.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(vals, vec![-2.5, 4.0]);
         cuda.cu_mem_free(buf).unwrap();
         assert!(lake.call_stats().calls >= 5);
@@ -269,9 +317,7 @@ mod tests {
         let lake = Lake::builder().build();
         let ml = lake.ml();
         let id = ml.load_model(&serialize::encode_knn(&knn)).unwrap();
-        let classes = ml
-            .infer_knn(id, 2, 2, &[0.5, 0.5, 8.0, 9.5])
-            .unwrap();
+        let classes = ml.infer_knn(id, 2, 2, &[0.5, 0.5, 8.0, 9.5]).unwrap();
         assert_eq!(classes, vec![0, 1]);
     }
 
@@ -290,11 +336,8 @@ mod tests {
         let lake = Lake::builder().build();
         let ml = lake.ml();
         let id = ml.load_model(&serialize::encode_lstm(&model)).unwrap();
-        let flat: Vec<f32> = seq1
-            .iter()
-            .chain(seq2.iter())
-            .flat_map(|v| v.iter().copied())
-            .collect();
+        let flat: Vec<f32> =
+            seq1.iter().chain(seq2.iter()).flat_map(|v| v.iter().copied()).collect();
         let remote = ml.infer_lstm(id, 2, 3, 2, &flat).unwrap();
         assert_eq!(remote, local);
     }
@@ -394,10 +437,7 @@ mod stream_tests {
         assert_eq!(f32::from_le_bytes(bytes.try_into().expect("4 bytes")), expected);
 
         // And the async pipeline is faster despite doing an extra D2H.
-        assert!(
-            async_time < sync_time,
-            "async {async_time} should beat sync {sync_time}"
-        );
+        assert!(async_time < sync_time, "async {async_time} should beat sync {sync_time}");
 
         cuda.cu_stream_destroy(s1).expect("destroy");
         assert!(cuda.cu_stream_synchronize(s1).is_err(), "destroyed stream rejected");

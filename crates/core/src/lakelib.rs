@@ -208,10 +208,7 @@ impl LakeCuda {
         len: usize,
     ) -> Result<(), LakeError> {
         let mut e = Encoder::new();
-        e.put_u32(stream)
-            .put_u64(ptr.0)
-            .put_u64(src.offset() as u64)
-            .put_u64(len as u64);
+        e.put_u32(stream).put_u64(ptr.0).put_u64(src.offset() as u64).put_u64(len as u64);
         self.engine.call(api::CU_MEMCPY_HTOD_ASYNC_SHM, e.finish())?;
         Ok(())
     }
@@ -260,10 +257,7 @@ impl LakeCuda {
         len: usize,
     ) -> Result<(), LakeError> {
         let mut e = Encoder::new();
-        e.put_u32(stream)
-            .put_u64(ptr.0)
-            .put_u64(dst.offset() as u64)
-            .put_u64(len as u64);
+        e.put_u32(stream).put_u64(ptr.0).put_u64(dst.offset() as u64).put_u64(len as u64);
         self.engine.call(api::CU_MEMCPY_DTOH_ASYNC_SHM, e.finish())?;
         Ok(())
     }

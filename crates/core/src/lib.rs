@@ -54,12 +54,13 @@ pub mod lakelib;
 pub mod policy;
 
 pub use error::LakeError;
-pub use highlevel::{LakeMl, ModelId};
+pub use highlevel::{LakeMl, ModelId, Ticket};
 pub use lake::{Lake, LakeBuilder};
 pub use lakelib::LakeCuda;
 pub use policy::{CuPolicy, Policy, PolicyConfig, Target};
 
 // Re-export the types that appear in this crate's public API.
 pub use lake_gpu::{DevicePtr, ExecMode, GpuDevice, GpuError, GpuSpec, KernelArg, KernelCtx};
+pub use lake_sched::{BatchPolicy, DevicePool, Placement, PoolPolicy, SchedMetrics};
 pub use lake_shm::{ShmBuffer, ShmRegion};
 pub use lake_transport::Mechanism;

@@ -171,10 +171,7 @@ impl CuPolicy {
             Some(t) => now.duration_since(t) >= self.config.query_interval,
         };
         if due {
-            match self
-                .cuda
-                .nvml_utilization_percent(self.config.query_window.as_micros())
-            {
+            match self.cuda.nvml_utilization_percent(self.config.query_window.as_micros()) {
                 Ok(raw) => {
                     self.avg.push(raw);
                     self.last_query = Some(now);

@@ -107,10 +107,7 @@ impl AesGcm {
         let j0 = self.j0(nonce);
         let expected = self.tag(&j0, aad, ciphertext);
         // Constant-time-ish comparison (sums differences).
-        let diff = expected
-            .iter()
-            .zip(tag)
-            .fold(0u8, |acc, (a, b)| acc | (a ^ b));
+        let diff = expected.iter().zip(tag).fold(0u8, |acc, (a, b)| acc | (a ^ b));
         if diff != 0 {
             return Err(OpenError);
         }
@@ -131,10 +128,7 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     #[test]
@@ -148,10 +142,7 @@ mod tests {
     fn nist_aes128_gcm_case2_one_block() {
         let gcm = AesGcm::new_128(&[0u8; 16]);
         let sealed = gcm.seal(&[0u8; 12], &[0u8; 16], b"");
-        assert_eq!(
-            sealed,
-            hex("0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf")
-        );
+        assert_eq!(sealed, hex("0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"));
     }
 
     #[test]
@@ -159,17 +150,13 @@ mod tests {
         // GCM spec test case 4.
         let key = hex("feffe9928665731c6d6a8f9467308308");
         let nonce: [u8; 12] = hex("cafebabefacedbaddecaf888").try_into().unwrap();
-        let pt = hex(
-            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
-             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
-        );
+        let pt = hex("d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
         let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
         let gcm = AesGcm::new_128(&key);
         let sealed = gcm.seal(&nonce, &pt, &aad);
-        let expected_ct = hex(
-            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
-             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
-        );
+        let expected_ct = hex("42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091");
         let expected_tag = hex("5bc94fbc3221a5db94fae95ae7121a47");
         assert_eq!(&sealed[..pt.len()], &expected_ct[..]);
         assert_eq!(&sealed[pt.len()..], &expected_tag[..]);
@@ -188,10 +175,7 @@ mod tests {
     fn nist_aes256_gcm_case14_one_block() {
         let gcm = AesGcm::new_256(&[0u8; 32]);
         let sealed = gcm.seal(&[0u8; 12], &[0u8; 16], b"");
-        assert_eq!(
-            sealed,
-            hex("cea7403d4d606b6e074ec5d3baf39d18d0d1c8a799996bf0265b98b5d48ab919")
-        );
+        assert_eq!(sealed, hex("cea7403d4d606b6e074ec5d3baf39d18d0d1c8a799996bf0265b98b5d48ab919"));
     }
 
     #[test]

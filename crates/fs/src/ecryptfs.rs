@@ -210,9 +210,7 @@ impl Ecryptfs {
                 let sealed = &data[i * sealed_len..(i + 1) * sealed_len];
                 let plain = batch_cipher
                     .open(&extent_nonce(extent), sealed, &extent.to_le_bytes())
-                    .map_err(|_| {
-                        GpuError::KernelFault(format!("extent {extent} tag mismatch"))
-                    })?;
+                    .map_err(|_| GpuError::KernelFault(format!("extent {extent} tag mismatch")))?;
                 out.extend_from_slice(&plain);
             }
             ctx.write_bytes(output, &out)
@@ -390,14 +388,8 @@ impl Ecryptfs {
                 let split = self.gpu_split_fraction();
                 let t0 = self.clock.now();
                 let gpu_items = ((blocks as f64) * split).ceil() as u64;
-                let out = self.gpu_crypto(
-                    &cuda,
-                    SEAL_KERNEL,
-                    &tail,
-                    plain,
-                    out_len,
-                    gpu_items.max(1),
-                )?;
+                let out =
+                    self.gpu_crypto(&cuda, SEAL_KERNEL, &tail, plain, out_len, gpu_items.max(1))?;
                 let ni_bytes = ((plain.len() as f64) * (1.0 - split)) as usize;
                 let ni_end = t0 + self.aesni.time_for(ni_bytes);
                 self.meters.kernel_cpu.record_busy(t0, ni_end);
@@ -865,15 +857,18 @@ mod tests {
             let lake = Lake::builder().build();
             Ecryptfs::install_gpu_kernels(&lake, &key);
             lake.gpu().set_exec_mode(lake_gpu::ExecMode::TimingOnly);
-            let device =
-                NvmeDevice::new(lake_block::NvmeSpec::samsung_980pro(), SimRng::seed(5));
+            let device = NvmeDevice::new(lake_block::NvmeSpec::samsung_980pro(), SimRng::seed(5));
             let path = if gpu { CryptoPath::LakeGpu(lake.cuda()) } else { CryptoPath::AesNi };
             let mut fs = Ecryptfs::new(
                 &key,
                 path,
                 device,
                 lake.clock().clone(),
-                EcryptfsConfig { extent_size: block, timing_only: true, ..EcryptfsConfig::default() },
+                EcryptfsConfig {
+                    extent_size: block,
+                    timing_only: true,
+                    ..EcryptfsConfig::default()
+                },
             );
             let total = (block * 64).max(4 << 20);
             fs.write(0, &vec![0u8; total]).unwrap();

@@ -303,10 +303,10 @@ impl GpuDevice {
     where
         F: Fn(&mut KernelCtx<'_>, &[KernelArg]) -> Result<(), GpuError> + Send + Sync + 'static,
     {
-        self.state.lock().kernels.insert(
-            name.to_owned(),
-            Kernel { flops_per_item, body: Arc::new(body) },
-        );
+        self.state
+            .lock()
+            .kernels
+            .insert(name.to_owned(), Kernel { flops_per_item, body: Arc::new(body) });
     }
 
     /// `cuMemAlloc`: allocates `bytes` of device memory.
@@ -425,10 +425,8 @@ impl GpuDevice {
         args: &[KernelArg],
     ) -> Result<(), GpuError> {
         let mut st = self.state.lock();
-        let kernel = st
-            .kernels
-            .get(name)
-            .ok_or_else(|| GpuError::UnknownKernel(name.to_owned()))?;
+        let kernel =
+            st.kernels.get(name).ok_or_else(|| GpuError::UnknownKernel(name.to_owned()))?;
         let flops = kernel.flops_per_item * items as f64;
         let body = Arc::clone(&kernel.body);
         let mode = st.exec_mode;
@@ -499,10 +497,7 @@ impl GpuDevice {
     }
 
     fn stream_cursor(st: &State, stream: u32) -> Result<Instant, GpuError> {
-        st.streams
-            .get(&stream)
-            .copied()
-            .ok_or(GpuError::InvalidPtr(DevicePtr(stream as u64)))
+        st.streams.get(&stream).copied().ok_or(GpuError::InvalidPtr(DevicePtr(stream as u64)))
     }
 
     /// `cuMemcpyHtoDAsync`: enqueues a host→device copy on `stream`. The
@@ -543,10 +538,8 @@ impl GpuDevice {
     ) -> Result<(), GpuError> {
         let mut st = self.state.lock();
         let cursor = Self::stream_cursor(&st, stream)?;
-        let kernel = st
-            .kernels
-            .get(name)
-            .ok_or_else(|| GpuError::UnknownKernel(name.to_owned()))?;
+        let kernel =
+            st.kernels.get(name).ok_or_else(|| GpuError::UnknownKernel(name.to_owned()))?;
         let flops = kernel.flops_per_item * items as f64;
         let body = Arc::clone(&kernel.body);
         let mode = st.exec_mode;
@@ -654,24 +647,18 @@ mod tests {
             ctx.write_f32(ptr, &v)
         });
         let ptr = gpu.mem_alloc(8).unwrap();
-        gpu.memcpy_htod(ptr, &[1.0f32.to_le_bytes(), 2.0f32.to_le_bytes()].concat())
-            .unwrap();
-        gpu.launch_kernel("add_scalar", 2, &[KernelArg::Ptr(ptr), KernelArg::F32(10.0)])
-            .unwrap();
+        gpu.memcpy_htod(ptr, &[1.0f32.to_le_bytes(), 2.0f32.to_le_bytes()].concat()).unwrap();
+        gpu.launch_kernel("add_scalar", 2, &[KernelArg::Ptr(ptr), KernelArg::F32(10.0)]).unwrap();
         let out = gpu.memcpy_dtoh(ptr, 8).unwrap();
-        let vals: Vec<f32> = out
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let vals: Vec<f32> =
+            out.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(vals, vec![11.0, 12.0]);
     }
 
     #[test]
     fn timing_only_skips_bodies_but_charges_time() {
         let gpu = device();
-        gpu.register_kernel("boom", 1000.0, |_, _| {
-            panic!("body must not run in TimingOnly mode")
-        });
+        gpu.register_kernel("boom", 1000.0, |_, _| panic!("body must not run in TimingOnly mode"));
         gpu.set_exec_mode(ExecMode::TimingOnly);
         let before = gpu.clock().now();
         gpu.launch_kernel("boom", 1_000_000, &[]).unwrap();
@@ -795,10 +782,8 @@ mod tests {
         gpu.launch_kernel_async(s, "inc", 2, &[KernelArg::Ptr(buf)]).unwrap();
         let out = gpu.memcpy_dtoh_async(s, buf, 8).unwrap();
         gpu.stream_synchronize(s).unwrap();
-        let vals: Vec<f32> = out
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let vals: Vec<f32> =
+            out.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(vals, vec![2.0, 3.0]);
         gpu.stream_destroy(s).unwrap();
         assert!(gpu.stream_synchronize(s).is_err());

@@ -20,10 +20,7 @@ pub struct CpuCostModel {
 
 impl Default for CpuCostModel {
     fn default() -> Self {
-        CpuCostModel {
-            flops_per_sec: 1.2e9,
-            invocation_overhead: Duration::from_nanos(500),
-        }
+        CpuCostModel { flops_per_sec: 1.2e9, invocation_overhead: Duration::from_nanos(500) }
     }
 }
 

@@ -337,8 +337,7 @@ impl LstmClassifier {
     /// FLOPs to run one sequence of length `t` (all layers + head).
     pub fn flops_per_sequence(&self, t: usize) -> f64 {
         let steps: f64 = self.cells.iter().map(|c| c.flops_per_step()).sum();
-        steps * t as f64
-            + 2.0 * self.head_w.rows() as f64 * self.head_w.cols() as f64
+        steps * t as f64 + 2.0 * self.head_w.rows() as f64 * self.head_w.cols() as f64
     }
 
     /// Logits for one sequence.
@@ -499,10 +498,7 @@ impl LstmClassifier {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = data
-            .iter()
-            .filter(|(seq, label)| self.classify(seq) == *label)
-            .count();
+        let correct = data.iter().filter(|(seq, label)| self.classify(seq) == *label).count();
         correct as f64 / data.len() as f64
     }
 }
@@ -575,10 +571,8 @@ mod tests {
         let train = order_task(&mut rng, 48);
         let mut losses = Vec::new();
         for _ in 0..25 {
-            let total: f32 = train
-                .iter()
-                .map(|(seq, label)| model.train_sequence(seq, *label, 0.05))
-                .sum();
+            let total: f32 =
+                train.iter().map(|(seq, label)| model.train_sequence(seq, *label, 0.05)).sum();
             losses.push(total);
         }
         assert!(losses.last().unwrap() < &(losses[0] / 2.0));

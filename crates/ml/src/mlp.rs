@@ -106,7 +106,12 @@ impl Mlp {
     /// hidden layers of the same width as the first hidden layer ("The
     /// added layers have the same number of neurons as the first one" —
     /// §7.1). `extra = 1` gives `NN+1`, `extra = 2` gives `NN+2`.
-    pub fn widen(sizes: &[usize], extra: usize, activation: Activation, rng: &mut impl Rng) -> Self {
+    pub fn widen(
+        sizes: &[usize],
+        extra: usize,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
         let width = sizes[1];
         let mut full: Vec<usize> = Vec::new();
@@ -133,19 +138,13 @@ impl Mlp {
 
     /// Number of trainable parameters.
     pub fn num_params(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|l| l.w.rows() * l.w.cols() + l.b.len())
-            .sum()
+        self.layers.iter().map(|l| l.w.rows() * l.w.cols() + l.b.len()).sum()
     }
 
     /// FLOPs for one forward pass over a single input (multiply-add
     /// counted as 2 FLOPs) — drives both the CPU and GPU timing models.
     pub fn flops_per_input(&self) -> f64 {
-        self.layers
-            .iter()
-            .map(|l| 2.0 * l.w.rows() as f64 * l.w.cols() as f64)
-            .sum()
+        self.layers.iter().map(|l| 2.0 * l.w.rows() as f64 * l.w.cols() as f64).sum()
     }
 
     /// Forward pass producing logits; `x` is `batch × input`.
@@ -271,10 +270,7 @@ impl Mlp {
     ///
     /// Panics if shapes do not chain (layer N's output ≠ layer N+1's
     /// input).
-    pub fn from_parameters(
-        params: Vec<(Matrix, Vec<f32>)>,
-        hidden_activation: Activation,
-    ) -> Self {
+    pub fn from_parameters(params: Vec<(Matrix, Vec<f32>)>, hidden_activation: Activation) -> Self {
         assert!(!params.is_empty(), "need at least one layer");
         for w in params.windows(2) {
             assert_eq!(w[0].0.cols(), w[1].0.rows(), "layer shapes must chain");
@@ -313,12 +309,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn xor_data() -> (Matrix, Vec<usize>) {
-        let x = Matrix::from_rows(&[
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ]);
+        let x =
+            Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]]);
         (x, vec![0, 1, 1, 0])
     }
 
@@ -372,11 +364,8 @@ mod tests {
     fn parameters_roundtrip() {
         let mut rng = StdRng::seed_from_u64(3);
         let m = Mlp::new(&[3, 5, 2], Activation::Sigmoid, &mut rng);
-        let params: Vec<(Matrix, Vec<f32>)> = m
-            .parameters()
-            .into_iter()
-            .map(|(w, b)| (w.clone(), b.to_vec()))
-            .collect();
+        let params: Vec<(Matrix, Vec<f32>)> =
+            m.parameters().into_iter().map(|(w, b)| (w.clone(), b.to_vec())).collect();
         let rebuilt = Mlp::from_parameters(params, Activation::Sigmoid);
         let x = Matrix::from_rows(&[vec![0.3, -0.2, 0.9]]);
         assert_eq!(m.forward(&x).data(), rebuilt.forward(&x).data());
@@ -393,9 +382,8 @@ mod tests {
     fn weight_decay_shrinks_weights() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut m = Mlp::new(&[2, 4, 2], Activation::Relu, &mut rng);
-        let norm_before: f32 = m.parameters().iter().map(|(w, _)| {
-            w.data().iter().map(|x| x * x).sum::<f32>()
-        }).sum();
+        let norm_before: f32 =
+            m.parameters().iter().map(|(w, _)| w.data().iter().map(|x| x * x).sum::<f32>()).sum();
         let (x, y) = xor_data();
         // With a small learning rate and strong decay, the decay term
         // dominates and the weight norm must shrink.
@@ -403,9 +391,8 @@ mod tests {
         for _ in 0..50 {
             m.train_batch(&x, &y, &cfg);
         }
-        let norm_after: f32 = m.parameters().iter().map(|(w, _)| {
-            w.data().iter().map(|x| x * x).sum::<f32>()
-        }).sum();
+        let norm_after: f32 =
+            m.parameters().iter().map(|(w, _)| w.data().iter().map(|x| x * x).sum::<f32>()).sum();
         assert!(norm_after < norm_before, "{norm_after} !< {norm_before}");
     }
 

@@ -163,7 +163,8 @@ impl<'a> Reader<'a> {
 
     fn f32s(&mut self) -> Result<Vec<f32>, ModelCodecError> {
         let n = self.u32()? as usize;
-        let raw = self.take(n.checked_mul(4).ok_or(ModelCodecError::Corrupt("length overflow"))?)?;
+        let raw =
+            self.take(n.checked_mul(4).ok_or(ModelCodecError::Corrupt("length overflow"))?)?;
         Ok(raw
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
@@ -172,7 +173,8 @@ impl<'a> Reader<'a> {
 
     fn u32s(&mut self) -> Result<Vec<u32>, ModelCodecError> {
         let n = self.u32()? as usize;
-        let raw = self.take(n.checked_mul(4).ok_or(ModelCodecError::Corrupt("length overflow"))?)?;
+        let raw =
+            self.take(n.checked_mul(4).ok_or(ModelCodecError::Corrupt("length overflow"))?)?;
         Ok(raw
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))

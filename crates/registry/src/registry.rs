@@ -166,13 +166,7 @@ impl Registry {
     pub fn get(&self, ts: Option<Instant>) -> Vec<FeatureVector> {
         let ring = self.ring.lock();
         match ts {
-            Some(ts) => ring
-                .vectors
-                .iter()
-                .find(|fv| fv.covers(ts))
-                .cloned()
-                .into_iter()
-                .collect(),
+            Some(ts) => ring.vectors.iter().find(|fv| fv.covers(ts)).cloned().into_iter().collect(),
             None => ring.vectors.iter().cloned().collect(),
         }
     }
@@ -218,13 +212,7 @@ mod tests {
     use crate::schema::Schema;
 
     fn reg() -> Registry {
-        Registry::new(
-            Schema::builder()
-                .feature("pend", 8, 1)
-                .feature("lat", 8, 3)
-                .build(),
-            4,
-        )
+        Registry::new(Schema::builder().feature("pend", 8, 1).feature("lat", 8, 3).build(), 4)
     }
 
     fn commit_with(r: &Registry, t: u64, pend: i64, lat: i64) {

@@ -69,9 +69,7 @@ impl Schema {
 
     /// Spec at a dense index.
     pub fn spec_at(&self, index: usize) -> Option<(&str, FeatureSpec)> {
-        self.keys
-            .get(index)
-            .map(|k| (k.as_str(), self.specs[k].1))
+        self.keys.get(index).map(|k| (k.as_str(), self.specs[k].1))
     }
 
     /// Whether any feature keeps history (`entries > 1`) — controls the
@@ -83,10 +81,7 @@ impl Schema {
     /// Total f32 values produced when a committed vector is flattened for
     /// model input (each stored sample becomes one value).
     pub fn flat_width(&self) -> usize {
-        self.keys
-            .iter()
-            .map(|k| self.specs[k].1.entries)
-            .sum()
+        self.keys.iter().map(|k| self.specs[k].1.entries).sum()
     }
 }
 
@@ -130,10 +125,7 @@ mod tests {
     use super::*;
 
     fn linnos_schema() -> Schema {
-        Schema::builder()
-            .feature("pend_ios", 8, 1)
-            .feature("io_latency", 8, 4)
-            .build()
+        Schema::builder().feature("pend_ios", 8, 1).feature("io_latency", 8, 4).build()
     }
 
     #[test]

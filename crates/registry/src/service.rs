@@ -234,10 +234,9 @@ impl FeatureRegistryService {
     /// a model blob.
     pub fn load_model(&self, name: &str, sys: &str, path: &Path) -> Result<(), RegistryError> {
         let blob = serialize::load_blob(path)?;
-        self.models.write().insert(
-            key(name, sys),
-            ModelEntry { path: path.to_owned(), blob: Some(blob) },
-        );
+        self.models
+            .write()
+            .insert(key(name, sys), ModelEntry { path: path.to_owned(), blob: Some(blob) });
         Ok(())
     }
 
@@ -342,7 +341,12 @@ impl FeatureRegistryService {
     /// # Errors
     ///
     /// Returns [`RegistryError::UnknownRegistry`] if absent.
-    pub fn begin_fv_capture(&self, name: &str, sys: &str, ts: Instant) -> Result<(), RegistryError> {
+    pub fn begin_fv_capture(
+        &self,
+        name: &str,
+        sys: &str,
+        ts: Instant,
+    ) -> Result<(), RegistryError> {
         self.with_entry(name, sys, |e| e.registry.begin_capture(ts))
     }
 
@@ -394,7 +398,12 @@ impl FeatureRegistryService {
     ///
     /// Returns [`RegistryError::NoCaptureOpen`] if `begin_fv_capture` was
     /// not called.
-    pub fn commit_fv_capture(&self, name: &str, sys: &str, ts: Instant) -> Result<(), RegistryError> {
+    pub fn commit_fv_capture(
+        &self,
+        name: &str,
+        sys: &str,
+        ts: Instant,
+    ) -> Result<(), RegistryError> {
         let ok = self.with_entry(name, sys, |e| e.registry.commit(ts))?;
         if ok {
             Ok(())
@@ -439,10 +448,7 @@ mod tests {
 
     fn service_with_registry() -> FeatureRegistryService {
         let s = FeatureRegistryService::new();
-        let schema = Schema::builder()
-            .feature("pend_ios", 8, 1)
-            .feature("lat", 8, 2)
-            .build();
+        let schema = Schema::builder().feature("pend_ios", 8, 1).feature("lat", 8, 2).build();
         s.create_registry("sda1", "bio", schema, 16).unwrap();
         s
     }
@@ -566,10 +572,7 @@ mod tests {
         assert_eq!(s2.model_blob("sda1", "bio").unwrap(), blob2);
 
         s.delete_model("sda1", "bio").unwrap();
-        assert!(matches!(
-            s.model_blob("sda1", "bio"),
-            Err(RegistryError::UnknownModel(..))
-        ));
+        assert!(matches!(s.model_blob("sda1", "bio"), Err(RegistryError::UnknownModel(..))));
         assert!(!path.exists());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -587,13 +590,7 @@ mod tests {
         for dev in ["nvme0", "nvme1", "nvme2"] {
             s.commit_fv_capture(dev, "bio", Instant::from_nanos(5)).unwrap();
         }
-        assert_eq!(
-            s.get_features("nvme0", "bio", None).unwrap()[0].get_i64("pend"),
-            Some(0)
-        );
-        assert_eq!(
-            s.get_features("nvme1", "bio", None).unwrap()[0].get_i64("pend"),
-            Some(7)
-        );
+        assert_eq!(s.get_features("nvme0", "bio", None).unwrap()[0].get_i64("pend"), Some(0));
+        assert_eq!(s.get_features("nvme1", "bio", None).unwrap()[0].get_i64("pend"), Some(7));
     }
 }

@@ -103,11 +103,7 @@ fn le_i64(bytes: &[u8]) -> i64 {
     if bytes.is_empty() {
         return 0;
     }
-    let mut buf = if bytes.last().is_some_and(|&b| b & 0x80 != 0) {
-        [0xFFu8; 8]
-    } else {
-        [0u8; 8]
-    };
+    let mut buf = if bytes.last().is_some_and(|&b| b & 0x80 != 0) { [0xFFu8; 8] } else { [0u8; 8] };
     let n = bytes.len().min(8);
     buf[..n].copy_from_slice(&bytes[..n]);
     i64::from_le_bytes(buf)
@@ -119,10 +115,7 @@ mod tests {
     use crate::schema::Schema;
 
     fn schema() -> Schema {
-        Schema::builder()
-            .feature("pend", 8, 1)
-            .feature("lat", 4, 3)
-            .build()
+        Schema::builder().feature("pend", 8, 1).feature("lat", 4, 3).build()
     }
 
     fn sample_vector() -> FeatureVector {

@@ -78,10 +78,7 @@ impl Command {
     /// Encodes the command into a transmittable frame.
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
-        e.put_u8(COMMAND_MAGIC)
-            .put_u32(self.api.0)
-            .put_u64(self.seq)
-            .put_bytes(&self.payload);
+        e.put_u8(COMMAND_MAGIC).put_u32(self.api.0).put_u64(self.seq).put_bytes(&self.payload);
         e.finish().to_vec()
     }
 

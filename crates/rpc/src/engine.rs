@@ -190,8 +190,7 @@ impl CallEngine {
                 };
                 // Inbound: half the response round trip.
                 self.clock.advance(self.mechanism.one_way(response.encoded_len()));
-                self.bytes_received
-                    .fetch_add(response.encoded_len() as u64, Ordering::Relaxed);
+                self.bytes_received.fetch_add(response.encoded_len() as u64, Ordering::Relaxed);
                 if response.status.is_ok() {
                     Ok(response.payload)
                 } else {
@@ -208,8 +207,7 @@ impl CallEngine {
                         // Response to an older cancelled call; drop it.
                         continue;
                     }
-                    self.bytes_received
-                        .fetch_add(response.encoded_len() as u64, Ordering::Relaxed);
+                    self.bytes_received.fetch_add(response.encoded_len() as u64, Ordering::Relaxed);
                     return if response.status.is_ok() {
                         Ok(response.payload)
                     } else {

@@ -227,10 +227,9 @@ impl<'a> Decoder<'a> {
     /// Reads a length-prefixed `f32` slice.
     pub fn get_f32_slice(&mut self) -> Result<Vec<f32>, WireError> {
         let n = self.get_u32()? as usize;
-        let need = n.checked_mul(4).ok_or(WireError::BadLength {
-            declared: n,
-            remaining: self.buf.len(),
-        })?;
+        let need = n
+            .checked_mul(4)
+            .ok_or(WireError::BadLength { declared: n, remaining: self.buf.len() })?;
         if self.buf.len() < need {
             return Err(WireError::BadLength { declared: need, remaining: self.buf.len() });
         }
@@ -244,10 +243,9 @@ impl<'a> Decoder<'a> {
     /// Reads a length-prefixed `u64` slice.
     pub fn get_u64_slice(&mut self) -> Result<Vec<u64>, WireError> {
         let n = self.get_u32()? as usize;
-        let need = n.checked_mul(8).ok_or(WireError::BadLength {
-            declared: n,
-            remaining: self.buf.len(),
-        })?;
+        let need = n
+            .checked_mul(8)
+            .ok_or(WireError::BadLength { declared: n, remaining: self.buf.len() })?;
         if self.buf.len() < need {
             return Err(WireError::BadLength { declared: need, remaining: self.buf.len() });
         }
@@ -284,12 +282,7 @@ mod tests {
     #[test]
     fn scalar_roundtrip() {
         let mut e = Encoder::new();
-        e.put_u8(7)
-            .put_u32(0x1234_5678)
-            .put_u64(u64::MAX)
-            .put_i64(-42)
-            .put_f32(3.5)
-            .put_f64(-2.25);
+        e.put_u8(7).put_u32(0x1234_5678).put_u64(u64::MAX).put_i64(-42).put_f32(3.5).put_f64(-2.25);
         let b = e.finish();
         let mut d = Decoder::new(&b);
         assert_eq!(d.get_u8().unwrap(), 7);

@@ -1,0 +1,311 @@
+//! Cross-subsystem request batching.
+//!
+//! Kernel subsystems submit single-row inference requests tagged with a
+//! client id (LinnOS, Kleio, MLLB, …). The batcher coalesces requests
+//! that target the same model into one launch-sized batch, dispatching a
+//! queue when it reaches `max_batch` rows or when its oldest request has
+//! waited `max_wait` of virtual time — the batching that moves GPU
+//! inference past its break-even point (Fig 8, Table 3) without letting
+//! a lone request wait forever.
+
+use std::collections::BTreeMap;
+
+use lake_sim::{Duration, Instant, ValueStats};
+
+/// When to dispatch a per-model queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Dispatch as soon as a queue holds this many requests.
+    pub max_batch: usize,
+    /// Dispatch a queue once its oldest request has waited this long.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy { max_batch: 32, max_wait: Duration::from_micros(100) }
+    }
+}
+
+/// One single-row inference request from a kernel subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferRequest {
+    /// Completion handle, assigned by the batcher (monotonically
+    /// increasing in submission order).
+    pub ticket: u64,
+    /// Submitting subsystem.
+    pub client: u64,
+    /// Target model id (daemon-side).
+    pub model: u64,
+    /// Feature columns per row.
+    pub cols: usize,
+    /// LSTM timesteps (0 for non-recurrent models).
+    pub steps: usize,
+    /// One row of `cols` features.
+    pub features: Vec<f32>,
+}
+
+/// A dispatched batch: requests for one model, in submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Target model id.
+    pub model: u64,
+    /// Feature columns per row.
+    pub cols: usize,
+    /// LSTM timesteps (0 for non-recurrent models).
+    pub steps: usize,
+    /// The coalesced requests, oldest first.
+    pub requests: Vec<InferRequest>,
+}
+
+impl Batch {
+    /// Number of rows in the batch.
+    pub fn rows(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// The rows' features concatenated row-major, ready for one upload.
+    pub fn features(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.rows() * self.cols);
+        for r in &self.requests {
+            out.extend_from_slice(&r.features);
+        }
+        out
+    }
+}
+
+/// Aggregate batcher statistics, built on [`lake_sim::ValueStats`].
+#[derive(Debug, Clone, Default)]
+pub struct BatcherCounters {
+    /// Requests accepted.
+    pub submitted: u64,
+    /// Batches handed back for dispatch.
+    pub dispatched_batches: u64,
+    /// Requests inside those batches.
+    pub dispatched_requests: u64,
+    /// Batches dispatched because a queue filled to `max_batch`.
+    pub full_flushes: u64,
+    /// Batches dispatched because `max_wait` elapsed.
+    pub timeout_flushes: u64,
+    /// Batches dispatched by an explicit [`Batcher::flush_all`].
+    pub forced_flushes: u64,
+    /// Distribution of dispatched batch sizes.
+    pub batch_sizes: ValueStats,
+    /// Distribution of total queue depth, sampled at every submit.
+    pub queue_depths: ValueStats,
+}
+
+struct PendingQueue {
+    /// When the oldest (first) request entered the then-empty queue.
+    oldest: Instant,
+    requests: Vec<InferRequest>,
+}
+
+/// Coalesces single-row requests into per-model batches under a
+/// max-batch / max-wait policy. Time is the caller's virtual clock,
+/// passed explicitly so the batcher stays deterministic and testable.
+pub struct Batcher {
+    policy: BatchPolicy,
+    /// Keyed by (model, cols, steps) so every batch is shape-uniform;
+    /// a BTreeMap keeps dispatch order deterministic.
+    queues: BTreeMap<(u64, u64, u64), PendingQueue>,
+    next_ticket: u64,
+    counters: BatcherCounters,
+}
+
+impl std::fmt::Debug for Batcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batcher")
+            .field("policy", &self.policy)
+            .field("queued", &self.queue_depth())
+            .finish()
+    }
+}
+
+impl Batcher {
+    /// Creates an empty batcher. A `max_batch` of 0 is treated as 1.
+    pub fn new(policy: BatchPolicy) -> Self {
+        let policy = BatchPolicy { max_batch: policy.max_batch.max(1), ..policy };
+        Batcher {
+            policy,
+            queues: BTreeMap::new(),
+            next_ticket: 1,
+            counters: BatcherCounters::default(),
+        }
+    }
+
+    /// The dispatch policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Total requests currently queued across all models.
+    pub fn queue_depth(&self) -> usize {
+        self.queues.values().map(|q| q.requests.len()).sum()
+    }
+
+    /// Aggregate statistics.
+    pub fn counters(&self) -> &BatcherCounters {
+        &self.counters
+    }
+
+    /// Earliest instant at which some queue becomes overdue, or `None`
+    /// if nothing is queued.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.queues.values().map(|q| q.oldest + self.policy.max_wait).min()
+    }
+
+    /// Enqueues one request at virtual time `now`, returning its ticket
+    /// and — if this submission filled the queue to `max_batch` — the
+    /// batch to dispatch.
+    pub fn submit(
+        &mut self,
+        client: u64,
+        model: u64,
+        cols: usize,
+        steps: usize,
+        features: Vec<f32>,
+        now: Instant,
+    ) -> (u64, Option<Batch>) {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let key = (model, cols as u64, steps as u64);
+        let queue = self
+            .queues
+            .entry(key)
+            .or_insert_with(|| PendingQueue { oldest: now, requests: Vec::new() });
+        queue.requests.push(InferRequest { ticket, client, model, cols, steps, features });
+        self.counters.submitted += 1;
+        let depth = self.queue_depth();
+        self.counters.queue_depths.record(depth as f64);
+
+        let batch = if self.queues[&key].requests.len() >= self.policy.max_batch {
+            self.counters.full_flushes += 1;
+            Some(self.take(key))
+        } else {
+            None
+        };
+        (ticket, batch)
+    }
+
+    /// Dispatches every queue whose oldest request has waited at least
+    /// `max_wait` as of `now`.
+    pub fn poll_due(&mut self, now: Instant) -> Vec<Batch> {
+        let due: Vec<_> = self
+            .queues
+            .iter()
+            .filter(|(_, q)| now.duration_since(q.oldest) >= self.policy.max_wait)
+            .map(|(&k, _)| k)
+            .collect();
+        self.counters.timeout_flushes += due.len() as u64;
+        due.into_iter().map(|k| self.take(k)).collect()
+    }
+
+    /// Dispatches everything immediately (shutdown / explicit flush).
+    pub fn flush_all(&mut self) -> Vec<Batch> {
+        let keys: Vec<_> = self.queues.keys().copied().collect();
+        self.counters.forced_flushes += keys.len() as u64;
+        keys.into_iter().map(|k| self.take(k)).collect()
+    }
+
+    fn take(&mut self, key: (u64, u64, u64)) -> Batch {
+        let queue = self.queues.remove(&key).expect("queue exists");
+        self.counters.dispatched_batches += 1;
+        self.counters.dispatched_requests += queue.requests.len() as u64;
+        self.counters.batch_sizes.record(queue.requests.len() as f64);
+        Batch {
+            model: key.0,
+            cols: key.1 as usize,
+            steps: key.2 as usize,
+            requests: queue.requests,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> Instant {
+        Instant::from_nanos(us * 1_000)
+    }
+
+    fn policy(max_batch: usize, max_wait_us: u64) -> BatchPolicy {
+        BatchPolicy { max_batch, max_wait: Duration::from_micros(max_wait_us) }
+    }
+
+    #[test]
+    fn fills_to_max_batch_and_dispatches() {
+        let mut b = Batcher::new(policy(3, 100));
+        let (t1, none) = b.submit(1, 7, 2, 0, vec![0.0; 2], t(0));
+        assert!(none.is_none());
+        let (_, none) = b.submit(2, 7, 2, 0, vec![1.0; 2], t(1));
+        assert!(none.is_none());
+        let (t3, batch) = b.submit(1, 7, 2, 0, vec![2.0; 2], t(2));
+        let batch = batch.expect("third submit fills the batch");
+        assert_eq!(batch.rows(), 3);
+        assert_eq!(batch.model, 7);
+        assert_eq!(batch.requests[0].ticket, t1);
+        assert_eq!(batch.requests[2].ticket, t3);
+        assert_eq!(batch.features(), vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(b.queue_depth(), 0);
+    }
+
+    #[test]
+    fn max_wait_flushes_partial_batches() {
+        let mut b = Batcher::new(policy(32, 100));
+        b.submit(1, 7, 2, 0, vec![0.0; 2], t(0));
+        b.submit(1, 9, 2, 0, vec![0.0; 2], t(40));
+        assert!(b.poll_due(t(99)).is_empty(), "nothing overdue yet");
+        let due = b.poll_due(t(100));
+        assert_eq!(due.len(), 1, "only model 7's queue is 100us old");
+        assert_eq!(due[0].model, 7);
+        let due = b.poll_due(t(140));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].model, 9);
+        assert_eq!(b.queue_depth(), 0);
+    }
+
+    #[test]
+    fn models_batch_independently_but_clients_share() {
+        let mut b = Batcher::new(policy(2, 100));
+        // Two subsystems hitting the same model share one batch …
+        b.submit(1, 7, 1, 0, vec![1.0], t(0));
+        let (_, batch) = b.submit(2, 7, 1, 0, vec![2.0], t(1));
+        let batch = batch.expect("cross-client coalescing");
+        assert_eq!(batch.requests.iter().map(|r| r.client).collect::<Vec<_>>(), vec![1, 2]);
+        // … while different models never mix.
+        b.submit(1, 7, 1, 0, vec![1.0], t(2));
+        let (_, none) = b.submit(1, 8, 1, 0, vec![1.0], t(3));
+        assert!(none.is_none());
+        assert_eq!(b.queue_depth(), 2);
+    }
+
+    #[test]
+    fn flush_all_drains_everything() {
+        let mut b = Batcher::new(policy(32, 100));
+        b.submit(1, 7, 1, 0, vec![1.0], t(0));
+        b.submit(2, 8, 1, 0, vec![2.0], t(0));
+        b.submit(3, 9, 1, 0, vec![3.0], t(0));
+        let batches = b.flush_all();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(b.queue_depth(), 0);
+        let c = b.counters();
+        assert_eq!(c.submitted, 3);
+        assert_eq!(c.dispatched_requests, 3);
+        assert_eq!(c.forced_flushes, 3);
+        assert_eq!(c.batch_sizes.mean(), Some(1.0));
+    }
+
+    #[test]
+    fn oldest_timestamp_resets_after_dispatch() {
+        let mut b = Batcher::new(policy(2, 100));
+        b.submit(1, 7, 1, 0, vec![1.0], t(0));
+        b.submit(1, 7, 1, 0, vec![1.0], t(10)); // dispatches
+        b.submit(1, 7, 1, 0, vec![1.0], t(50));
+        // The new queue's clock starts at t=50, so it is due at t=150.
+        assert!(b.poll_due(t(149)).is_empty());
+        assert_eq!(b.poll_due(t(150)).len(), 1);
+        assert_eq!(b.next_deadline(), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! `lake-sched`: multi-GPU dispatch and cross-subsystem batching.
+//!
+//! The paper deploys LAKE on a single GPU, but its design calls for the
+//! daemon to arbitrate "concurrent accelerator access from multiple
+//! subsystems" (§4.5): several kernel subsystems (LinnOS, Kleio, MLLB,
+//! prefetching, malware detection) push inference work at the same device
+//! and the contention policy (Fig 3, Fig 13) decides when work should
+//! fall back to the CPU instead. This crate generalizes that arbitration
+//! layer to a *pool* of devices:
+//!
+//! * [`DevicePool`] — N simulated GPUs sharing one virtual clock, each
+//!   with its own dispatch stream and rate-limited NVML sampler.
+//! * Utilization-aware placement ([`DevicePool::place`]): work goes to
+//!   the least-loaded device; when every device sits above the
+//!   contention threshold the pool signals [`Placement::CpuFallback`],
+//!   reproducing Fig 13's adaptive behavior per device.
+//! * [`Batcher`] — aggregates single-row inference requests from
+//!   different subsystems into batched launches under a configurable
+//!   max-batch / max-wait policy, the batching the paper leans on for
+//!   its Fig 8 / Table 3 GPU break-even points.
+//! * [`SchedMetrics`] — queue depth, batch sizes, and per-device
+//!   utilization counters built on `lake_sim::metrics`.
+//!
+//! `lake-core`'s daemon owns a pool and routes the high-level remoted ML
+//! APIs (§4.4) through it; this crate itself stays below the RPC layer
+//! and only speaks `lake-gpu` + `lake-sim` vocabulary.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod metrics;
+pub mod pool;
+
+pub use batcher::{Batch, BatchPolicy, Batcher, BatcherCounters, InferRequest};
+pub use metrics::{DeviceMetrics, SchedMetrics};
+pub use pool::{DevicePool, Placement, PoolPolicy};

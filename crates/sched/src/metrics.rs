@@ -1,0 +1,124 @@
+//! Scheduler observability: a point-in-time snapshot combining pool and
+//! batcher counters, built from `lake_sim::metrics` primitives.
+
+use crate::batcher::Batcher;
+use crate::pool::DevicePool;
+
+/// Per-device scheduler counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceMetrics {
+    /// Pool index.
+    pub index: usize,
+    /// Batches dispatched to this device.
+    pub dispatched_batches: u64,
+    /// Rows inside those batches.
+    pub dispatched_rows: u64,
+    /// Moving-average NVML utilization, percent.
+    pub utilization_percent: f64,
+    /// Kernel launches observed by the device itself (includes work that
+    /// bypassed the scheduler, e.g. the low-level CUDA path).
+    pub launches: u64,
+    /// When the device's compute engine frees up, ns of virtual time.
+    pub engine_free_ns: u64,
+}
+
+/// A snapshot of every scheduler counter the daemon exposes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedMetrics {
+    /// One entry per pool device.
+    pub devices: Vec<DeviceMetrics>,
+    /// Batches that ran on the CPU because of backpressure.
+    pub cpu_fallback_batches: u64,
+    /// Rows inside those batches.
+    pub cpu_fallback_rows: u64,
+    /// Requests currently waiting in the batcher.
+    pub queue_depth: usize,
+    /// Requests ever accepted by the batcher.
+    pub submitted: u64,
+    /// Batches the batcher has handed out.
+    pub dispatched_batches: u64,
+    /// Batches dispatched because a queue filled to `max_batch`.
+    pub full_flushes: u64,
+    /// Batches dispatched because `max_wait` elapsed.
+    pub timeout_flushes: u64,
+    /// Batches dispatched by an explicit flush.
+    pub forced_flushes: u64,
+    /// Mean dispatched batch size, if any batch was dispatched.
+    pub mean_batch_size: Option<f64>,
+    /// Largest dispatched batch size, if any batch was dispatched.
+    pub max_batch_size: Option<f64>,
+    /// Mean batcher queue depth sampled at submit time.
+    pub mean_queue_depth: Option<f64>,
+}
+
+impl SchedMetrics {
+    /// Collects a snapshot from a pool and its batcher. Utilization reads
+    /// go through the pool's rate-limited samplers, so collecting metrics
+    /// is as cheap as the Fig 3 policy's own NVML queries.
+    pub fn collect(pool: &DevicePool, batcher: &Batcher) -> Self {
+        let utils = pool.utilization_snapshot();
+        let frees = pool.engine_free_snapshot();
+        let devices = (0..pool.len())
+            .map(|idx| {
+                let (batches, rows) = pool.dispatch_counts(idx);
+                let (launches, _, _) = pool.device(idx).transfer_stats();
+                DeviceMetrics {
+                    index: idx,
+                    dispatched_batches: batches,
+                    dispatched_rows: rows,
+                    utilization_percent: utils[idx],
+                    launches,
+                    engine_free_ns: frees[idx].as_nanos(),
+                }
+            })
+            .collect();
+        let (cpu_batches, cpu_rows) = pool.fallback_counts();
+        let c = batcher.counters();
+        SchedMetrics {
+            devices,
+            cpu_fallback_batches: cpu_batches,
+            cpu_fallback_rows: cpu_rows,
+            queue_depth: batcher.queue_depth(),
+            submitted: c.submitted,
+            dispatched_batches: c.dispatched_batches,
+            full_flushes: c.full_flushes,
+            timeout_flushes: c.timeout_flushes,
+            forced_flushes: c.forced_flushes,
+            mean_batch_size: c.batch_sizes.mean(),
+            max_batch_size: c.batch_sizes.max(),
+            mean_queue_depth: c.queue_depths.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::BatchPolicy;
+    use crate::pool::PoolPolicy;
+    use lake_gpu::GpuSpec;
+    use lake_sim::{Instant, SharedClock};
+
+    #[test]
+    fn snapshot_reflects_pool_and_batcher_state() {
+        let pool = DevicePool::new(2, GpuSpec::tiny(), SharedClock::new(), PoolPolicy::default());
+        let mut batcher = Batcher::new(BatchPolicy { max_batch: 2, ..Default::default() });
+        let (_, none) = batcher.submit(1, 7, 1, 0, vec![1.0], Instant::EPOCH);
+        assert!(none.is_none());
+        let (_, batch) = batcher.submit(2, 7, 1, 0, vec![2.0], Instant::EPOCH);
+        assert!(batch.is_some());
+        pool.note_dispatch(1, 2);
+        pool.note_fallback(1);
+
+        let m = SchedMetrics::collect(&pool, &batcher);
+        assert_eq!(m.devices.len(), 2);
+        assert_eq!(m.devices[1].dispatched_batches, 1);
+        assert_eq!(m.devices[1].dispatched_rows, 2);
+        assert_eq!(m.cpu_fallback_batches, 1);
+        assert_eq!(m.submitted, 2);
+        assert_eq!(m.dispatched_batches, 1);
+        assert_eq!(m.full_flushes, 1);
+        assert_eq!(m.mean_batch_size, Some(2.0));
+        assert_eq!(m.queue_depth, 0);
+    }
+}

@@ -1,0 +1,325 @@
+//! A pool of simulated GPUs with utilization-aware placement.
+//!
+//! Placement follows the paper's contention policy (Fig 3) generalized
+//! per device: each device is watched through a rate-limited NVML
+//! sampler feeding a moving average, work goes to the least-loaded
+//! device, and when *every* device sits above the execution threshold
+//! the pool reports [`Placement::CpuFallback`] so the caller runs the
+//! model host-side instead (Fig 13's adaptive behavior).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use lake_gpu::{GpuDevice, GpuError, GpuSpec, KernelArg, KernelCtx, NvmlSampler};
+use lake_sim::{Instant, SharedClock};
+
+/// Where a batch should execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Dispatch to pool device `idx`.
+    Device(usize),
+    /// All devices are contended (or the batch is too small to amortize a
+    /// launch) — run on the CPU.
+    CpuFallback,
+}
+
+/// Placement thresholds, mirroring the Fig 3 `cu_policy` constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolPolicy {
+    /// Moving-average utilization (percent) above which a device is
+    /// considered contended. When every device exceeds it, placement
+    /// falls back to the CPU.
+    pub exec_threshold: f64,
+    /// Batches smaller than this prefer the CPU (a GPU launch would not
+    /// amortize). `0` disables batch-size steering, which keeps the
+    /// daemon's synchronous inference path on the device like the seed.
+    pub batch_threshold: usize,
+}
+
+impl Default for PoolPolicy {
+    fn default() -> Self {
+        PoolPolicy { exec_threshold: 40.0, batch_threshold: 0 }
+    }
+}
+
+struct PooledDevice {
+    device: Arc<GpuDevice>,
+    sampler: Mutex<NvmlSampler>,
+    /// Dedicated dispatch stream: batched launches ride this stream so
+    /// work on different devices overlaps in virtual time.
+    stream: u32,
+    dispatches: AtomicU64,
+    rows: AtomicU64,
+}
+
+/// N simulated GPUs sharing one virtual clock, each with its own dispatch
+/// stream and NVML sampler.
+pub struct DevicePool {
+    devices: Vec<PooledDevice>,
+    policy: PoolPolicy,
+    clock: SharedClock,
+    cpu_fallback_batches: AtomicU64,
+    cpu_fallback_rows: AtomicU64,
+}
+
+impl std::fmt::Debug for DevicePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DevicePool")
+            .field("devices", &self.devices.len())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl DevicePool {
+    /// Creates a pool of `n` identical devices on a shared clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, spec: GpuSpec, clock: SharedClock, policy: PoolPolicy) -> Arc<Self> {
+        assert!(n > 0, "a device pool needs at least one device");
+        let devices = (0..n).map(|_| GpuDevice::new(spec.clone(), clock.clone())).collect();
+        Self::from_devices(devices, clock, policy)
+    }
+
+    /// Wraps existing devices (they must share `clock`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty.
+    pub fn from_devices(
+        devices: Vec<Arc<GpuDevice>>,
+        clock: SharedClock,
+        policy: PoolPolicy,
+    ) -> Arc<Self> {
+        assert!(!devices.is_empty(), "a device pool needs at least one device");
+        let devices = devices
+            .into_iter()
+            .map(|device| PooledDevice {
+                sampler: Mutex::new(NvmlSampler::new(Arc::clone(&device))),
+                stream: device.stream_create(),
+                device,
+                dispatches: AtomicU64::new(0),
+                rows: AtomicU64::new(0),
+            })
+            .collect();
+        Arc::new(DevicePool {
+            devices,
+            policy,
+            clock,
+            cpu_fallback_batches: AtomicU64::new(0),
+            cpu_fallback_rows: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of devices in the pool.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Always false — pools hold at least one device.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The pool's placement thresholds.
+    pub fn policy(&self) -> PoolPolicy {
+        self.policy
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Device `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn device(&self, idx: usize) -> &Arc<GpuDevice> {
+        &self.devices[idx].device
+    }
+
+    /// Device 0 — the device the low-level remoted CUDA API drives (a
+    /// kernel module holding raw device pointers is pinned to one
+    /// device; only the stateless high-level path spreads).
+    pub fn primary(&self) -> &Arc<GpuDevice> {
+        &self.devices[0].device
+    }
+
+    /// The dedicated dispatch stream of device `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn stream(&self, idx: usize) -> u32 {
+        self.devices[idx].stream
+    }
+
+    /// Registers a kernel on every device (the multi-GPU analog of
+    /// `cuModuleLoad` at daemon start).
+    pub fn register_kernel<F>(&self, name: &str, flops_per_item: f64, body: F)
+    where
+        F: Fn(&mut KernelCtx<'_>, &[KernelArg]) -> Result<(), GpuError> + Send + Sync + 'static,
+    {
+        let body = Arc::new(body);
+        for d in &self.devices {
+            let b = Arc::clone(&body);
+            d.device.register_kernel(name, flops_per_item, move |ctx, args| b(ctx, args));
+        }
+    }
+
+    /// Moving-average utilization of each device, in percent. Samples are
+    /// rate-limited per device (Fig 3's "at most every 5 ms").
+    pub fn utilization_snapshot(&self) -> Vec<f64> {
+        self.devices.iter().map(|d| d.sampler.lock().utilization_percent()).collect()
+    }
+
+    /// When each device's engine frees up.
+    pub fn engine_free_snapshot(&self) -> Vec<Instant> {
+        self.devices.iter().map(|d| d.device.engine_free_at()).collect()
+    }
+
+    /// Decides where a `batch`-row launch should run: the least-loaded
+    /// uncontended device, or the CPU when all devices exceed the
+    /// execution threshold (or the batch is below the batch threshold).
+    pub fn place(&self, batch: usize) -> Placement {
+        if batch < self.policy.batch_threshold {
+            return Placement::CpuFallback;
+        }
+        let utils = self.utilization_snapshot();
+        let mut best: Option<(usize, Instant)> = None;
+        for (idx, d) in self.devices.iter().enumerate() {
+            if utils[idx] > self.policy.exec_threshold {
+                continue;
+            }
+            let free_at = d.device.engine_free_at();
+            match best {
+                Some((_, t)) if t <= free_at => {}
+                _ => best = Some((idx, free_at)),
+            }
+        }
+        match best {
+            Some((idx, _)) => Placement::Device(idx),
+            None => Placement::CpuFallback,
+        }
+    }
+
+    /// Records a batch dispatched to device `idx`.
+    pub fn note_dispatch(&self, idx: usize, rows: usize) {
+        self.devices[idx].dispatches.fetch_add(1, Ordering::Relaxed);
+        self.devices[idx].rows.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    /// Records a batch that fell back to the CPU.
+    pub fn note_fallback(&self, rows: usize) {
+        self.cpu_fallback_batches.fetch_add(1, Ordering::Relaxed);
+        self.cpu_fallback_rows.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    /// (batches, rows) dispatched to device `idx` so far.
+    pub fn dispatch_counts(&self, idx: usize) -> (u64, u64) {
+        (
+            self.devices[idx].dispatches.load(Ordering::Relaxed),
+            self.devices[idx].rows.load(Ordering::Relaxed),
+        )
+    }
+
+    /// (batches, rows) that fell back to the CPU so far.
+    pub fn fallback_counts(&self) -> (u64, u64) {
+        (
+            self.cpu_fallback_batches.load(Ordering::Relaxed),
+            self.cpu_fallback_rows.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_sim::Duration;
+
+    fn burn(pool: &DevicePool, idx: usize, launches: usize) {
+        // Saturate a device's recent history with compute.
+        for _ in 0..launches {
+            pool.device(idx).launch_kernel("burn", 2_000_000, &[]).expect("burn launch");
+        }
+    }
+
+    fn settle(pool: &DevicePool, steps: usize) {
+        // Let samplers observe an idle window (rate limit is 5 ms).
+        for _ in 0..steps {
+            pool.clock().advance(Duration::from_millis(5));
+            pool.utilization_snapshot();
+        }
+    }
+
+    fn test_pool(n: usize) -> Arc<DevicePool> {
+        let pool = DevicePool::new(n, GpuSpec::a100(), SharedClock::new(), PoolPolicy::default());
+        pool.register_kernel("burn", 1.0, |_, _| Ok(()));
+        pool
+    }
+
+    #[test]
+    fn idle_pool_places_on_device_zero() {
+        let pool = test_pool(2);
+        assert_eq!(pool.place(16), Placement::Device(0));
+    }
+
+    #[test]
+    fn placement_prefers_least_loaded_device() {
+        let pool = test_pool(2);
+        burn(&pool, 0, 5);
+        // Device 0's engine is booked into the future; device 1 is free.
+        assert_eq!(pool.place(16), Placement::Device(1));
+    }
+
+    #[test]
+    fn contention_on_all_devices_falls_back_to_cpu_and_recovers() {
+        let pool = test_pool(2);
+        burn(&pool, 0, 50);
+        burn(&pool, 1, 50);
+        assert_eq!(pool.place(16), Placement::CpuFallback, "both devices saturated");
+        // After an idle period the moving averages decay and the pool
+        // offers a device again (Fig 13's recovery).
+        settle(&pool, 12);
+        assert_eq!(pool.place(16), Placement::Device(0));
+    }
+
+    #[test]
+    fn batch_threshold_steers_small_batches_to_cpu() {
+        let clock = SharedClock::new();
+        let pool = DevicePool::new(
+            1,
+            GpuSpec::a100(),
+            clock,
+            PoolPolicy { exec_threshold: 40.0, batch_threshold: 8 },
+        );
+        assert_eq!(pool.place(4), Placement::CpuFallback);
+        assert_eq!(pool.place(8), Placement::Device(0));
+    }
+
+    #[test]
+    fn kernel_registration_broadcasts() {
+        let pool = test_pool(3);
+        pool.register_kernel("noop", 1.0, |_, _| Ok(()));
+        for idx in 0..3 {
+            pool.device(idx).launch_kernel("noop", 1, &[]).expect("registered everywhere");
+        }
+    }
+
+    #[test]
+    fn dispatch_counters_accumulate() {
+        let pool = test_pool(2);
+        pool.note_dispatch(1, 32);
+        pool.note_dispatch(1, 16);
+        pool.note_fallback(4);
+        assert_eq!(pool.dispatch_counts(1), (2, 48));
+        assert_eq!(pool.dispatch_counts(0), (0, 0));
+        assert_eq!(pool.fallback_counts(), (1, 4));
+    }
+}

@@ -165,8 +165,7 @@ impl BestFitAllocator {
             self.free.remove(idx + 1);
         }
         // coalesce with previous
-        if idx > 0 && self.free[idx - 1].offset + self.free[idx - 1].size == self.free[idx].offset
-        {
+        if idx > 0 && self.free[idx - 1].offset + self.free[idx - 1].size == self.free[idx].offset {
             self.free[idx - 1].size += self.free[idx].size;
             self.free.remove(idx);
         }
@@ -175,10 +174,7 @@ impl BestFitAllocator {
 
     /// Size of the live allocation at `offset`, if any.
     pub fn size_of(&self, offset: Offset) -> Option<usize> {
-        self.live
-            .binary_search_by_key(&offset, |&(o, _)| o)
-            .ok()
-            .map(|i| self.live[i].1)
+        self.live.binary_search_by_key(&offset, |&(o, _)| o).ok().map(|i| self.live[i].1)
     }
 
     /// Current statistics snapshot.

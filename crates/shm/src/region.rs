@@ -134,10 +134,10 @@ impl ShmRegion {
     pub fn alloc(&self, size: usize) -> Result<ShmBuffer, ShmError> {
         let mut inner = self.inner.lock();
         let largest = inner.alloc.stats().largest_free;
-        let offset = inner.alloc.alloc(size).ok_or(ShmError::OutOfMemory {
-            requested: size,
-            largest_free: largest,
-        })?;
+        let offset = inner
+            .alloc
+            .alloc(size)
+            .ok_or(ShmError::OutOfMemory { requested: size, largest_free: largest })?;
         let len = inner.alloc.size_of(offset).expect("fresh allocation is live");
         inner.generation += 1;
         Ok(ShmBuffer { offset, len, generation: inner.generation })
@@ -211,7 +211,11 @@ impl ShmRegion {
     /// # Errors
     ///
     /// Returns [`ShmError::BadHandle`] if the buffer is not live.
-    pub fn with_bytes<R>(&self, buf: &ShmBuffer, f: impl FnOnce(&[u8]) -> R) -> Result<R, ShmError> {
+    pub fn with_bytes<R>(
+        &self,
+        buf: &ShmBuffer,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, ShmError> {
         let inner = self.inner.lock();
         if inner.alloc.size_of(buf.offset) != Some(buf.len) {
             return Err(ShmError::BadHandle);
@@ -267,9 +271,7 @@ mod tests {
         let daemon_view = shm.clone(); // same mapping
         let buf = shm.alloc(128).unwrap();
         shm.write(&buf, 0, b"hello daemon").unwrap();
-        let got = daemon_view
-            .with_bytes(&buf, |bytes| bytes[..12].to_vec())
-            .unwrap();
+        let got = daemon_view.with_bytes(&buf, |bytes| bytes[..12].to_vec()).unwrap();
         assert_eq!(&got, b"hello daemon");
     }
 
@@ -318,8 +320,7 @@ mod tests {
     fn with_bytes_mut_deposits_results() {
         let shm = ShmRegion::with_capacity(1024);
         let buf = shm.alloc(8).unwrap();
-        shm.with_bytes_mut(&buf, |b| b[..4].copy_from_slice(&42u32.to_le_bytes()))
-            .unwrap();
+        shm.with_bytes_mut(&buf, |b| b[..4].copy_from_slice(&42u32.to_le_bytes())).unwrap();
         let out = shm.read(&buf, 0, 4).unwrap();
         assert_eq!(u32::from_le_bytes(out.try_into().unwrap()), 42);
     }

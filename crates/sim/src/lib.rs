@@ -38,6 +38,6 @@ pub mod rng;
 
 pub use clock::{Clock, Duration, Instant, SharedClock};
 pub use event::{schedule_periodic, EventId, Simulation};
-pub use metrics::{Histogram, MovingAverage, TimeSeries, UtilizationMeter};
+pub use metrics::{Histogram, MovingAverage, TimeSeries, UtilizationMeter, ValueStats};
 pub use resource::{FifoResource, Grant};
 pub use rng::SimRng;

@@ -72,12 +72,8 @@ impl FifoResource {
     /// Submits a request arriving at `arrival` with service demand
     /// `service`; returns when it started and finished.
     pub fn submit(&mut self, arrival: Instant, service: Duration) -> Grant {
-        let (idx, &free_at) = self
-            .servers
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &t)| t)
-            .expect("at least one server");
+        let (idx, &free_at) =
+            self.servers.iter().enumerate().min_by_key(|&(_, &t)| t).expect("at least one server");
         let start = arrival.max(free_at);
         let end = start + service;
         self.servers[idx] = end;
@@ -98,11 +94,7 @@ impl FifoResource {
     /// Instantaneous backlog (latest completion minus `at`), i.e. how far
     /// behind the busiest server is.
     pub fn backlog(&self, at: Instant) -> Duration {
-        self.servers
-            .iter()
-            .map(|&t| t.duration_since(at))
-            .max()
-            .unwrap_or(Duration::ZERO)
+        self.servers.iter().map(|&t| t.duration_since(at)).max().unwrap_or(Duration::ZERO)
     }
 
     /// Utilization per meter bucket through `until`.

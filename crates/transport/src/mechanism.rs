@@ -155,10 +155,7 @@ mod tests {
     fn fig6_anchor_values_reproduced_exactly() {
         for &(size, us) in NETLINK_RT_ANCHORS_US {
             let got = Mechanism::Netlink.round_trip(size).as_micros_f64();
-            assert!(
-                (got - us).abs() < 0.01,
-                "netlink rt at {size}B: got {got}, want {us}"
-            );
+            assert!((got - us).abs() < 0.01, "netlink rt at {size}B: got {got}, want {us}");
         }
     }
 

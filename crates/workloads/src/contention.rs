@@ -186,9 +186,7 @@ pub fn run(config: &ContentionConfig) -> ContentionResult {
     let user_peak = jobs.user_batch as f64 / jobs.user_service.as_secs_f64();
 
     // Policy state (kernel side).
-    let mut avg = config
-        .policy
-        .map(|p| MovingAverage::new(p.mov_avg_window));
+    let mut avg = config.policy.map(|p| MovingAverage::new(p.mov_avg_window));
     let mut last_query: Option<Instant> = None;
     let mut last_util = 0.0;
 
@@ -227,8 +225,7 @@ pub fn run(config: &ContentionConfig) -> ContentionResult {
                     None => end - now,
                 };
                 user_prev_end = Some(end);
-                user_throughput
-                    .record(end, jobs.user_batch as f64 / span.as_secs_f64().max(1e-9));
+                user_throughput.record(end, jobs.user_batch as f64 / span.as_secs_f64().max(1e-9));
                 user_next = end;
             }
             1 => {
@@ -241,8 +238,8 @@ pub fn run(config: &ContentionConfig) -> ContentionResult {
                 // I/O latency predictor: fixed cadence, policy-mediated
                 let use_gpu = match (&config.policy, &mut avg) {
                     (Some(p), Some(avg)) => {
-                        let due = last_query
-                            .is_none_or(|t| now.duration_since(t) >= p.query_interval);
+                        let due =
+                            last_query.is_none_or(|t| now.duration_since(t) >= p.query_interval);
                         if due {
                             let raw = engine.utilization(now, p.query_window);
                             avg.push(raw);
@@ -310,12 +307,7 @@ pub fn summarize_fig1(config: &ContentionConfig, result: &ContentionResult) -> F
     // the phase span (a mean of instantaneous rates would under-weight the
     // rare long-stall batches).
     let mean_between = |a: Instant, b: Instant| {
-        let n = result
-            .user_throughput
-            .points()
-            .iter()
-            .filter(|&&(t, _)| t >= a && t < b)
-            .count();
+        let n = result.user_throughput.points().iter().filter(|&&(t, _)| t >= a && t < b).count();
         n as f64 * result.user_batch as f64 / (b - a).as_secs_f64().max(1e-9)
     };
     let solo = mean_between(config.user_gpu_start, t1);
@@ -338,11 +330,7 @@ mod tests {
         let cfg = ContentionConfig::fig1();
         let result = run(&cfg);
         let summary = summarize_fig1(&cfg, &result);
-        assert!(
-            summary.solo > 1.5e7,
-            "uncontended throughput {} should be ~1.75e7",
-            summary.solo
-        );
+        assert!(summary.solo > 1.5e7, "uncontended throughput {} should be ~1.75e7", summary.solo);
         assert!(summary.one_contender < summary.solo * 0.8);
         assert!(summary.two_contenders < summary.one_contender);
         assert!(
@@ -412,9 +400,7 @@ mod tests {
                 .user_throughput
                 .points()
                 .iter()
-                .filter(|&&(t, _)| {
-                    t >= Instant::from_nanos(a) && t < Instant::from_nanos(b)
-                })
+                .filter(|&&(t, _)| t >= Instant::from_nanos(a) && t < Instant::from_nanos(b))
                 .map(|&(_, v)| v)
                 .collect::<Vec<f64>>()
         };

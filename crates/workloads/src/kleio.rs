@@ -113,10 +113,8 @@ pub fn train(config: &KleioConfig, train_pages: &[PageHistory], epochs: usize) -
 
 /// Classification accuracy of a model over pages.
 pub fn accuracy(model: &LstmClassifier, pages: &[PageHistory]) -> f64 {
-    let data: Vec<(Vec<Vec<f32>>, usize)> = pages
-        .iter()
-        .map(|p| (p.to_sequence(), usize::from(p.hot)))
-        .collect();
+    let data: Vec<(Vec<Vec<f32>>, usize)> =
+        pages.iter().map(|p| (p.to_sequence(), usize::from(p.hot))).collect();
     model.accuracy(&data)
 }
 
@@ -124,7 +122,11 @@ pub fn accuracy(model: &LstmClassifier, pages: &[PageHistory]) -> f64 {
 /// API (synchronous data movement — the only series the paper reports).
 /// Returns one timing per batch size, measured on `lake`'s virtual clock
 /// with real remoted calls.
-pub fn inference_timings(lake: &Lake, config: &KleioConfig, batches: &[usize]) -> Result<Vec<BatchTiming>, LakeError> {
+pub fn inference_timings(
+    lake: &Lake,
+    config: &KleioConfig,
+    batches: &[usize],
+) -> Result<Vec<BatchTiming>, LakeError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let model = LstmClassifier::new(1, config.hidden, config.layers, 2, &mut rng);
     let ml = lake.ml();
@@ -151,18 +153,12 @@ mod tests {
         let cfg = KleioConfig::small();
         let mut rng = SimRng::seed(3);
         let pages = generate_pages(&cfg, 200, &mut rng);
-        let hot_mean: f32 = pages
-            .iter()
-            .filter(|p| p.hot)
-            .flat_map(|p| p.accesses.iter())
-            .sum::<f32>()
-            / pages.iter().filter(|p| p.hot).map(|p| p.accesses.len()).sum::<usize>() as f32;
-        let cold_mean: f32 = pages
-            .iter()
-            .filter(|p| !p.hot)
-            .flat_map(|p| p.accesses.iter())
-            .sum::<f32>()
-            / pages.iter().filter(|p| !p.hot).map(|p| p.accesses.len()).sum::<usize>() as f32;
+        let hot_mean: f32 =
+            pages.iter().filter(|p| p.hot).flat_map(|p| p.accesses.iter()).sum::<f32>()
+                / pages.iter().filter(|p| p.hot).map(|p| p.accesses.len()).sum::<usize>() as f32;
+        let cold_mean: f32 =
+            pages.iter().filter(|p| !p.hot).flat_map(|p| p.accesses.iter()).sum::<f32>()
+                / pages.iter().filter(|p| !p.hot).map(|p| p.accesses.len()).sum::<usize>() as f32;
         assert!(hot_mean > cold_mean + 0.2, "hot {hot_mean} vs cold {cold_mean}");
     }
 
@@ -201,19 +197,11 @@ mod tests {
         let lake = Lake::builder().build();
         let ml = lake.ml();
         let id = ml.load_model(&serialize::encode_lstm(&model)).unwrap();
-        let flat: Vec<f32> = pages
-            .iter()
-            .take(8)
-            .flat_map(|p| p.accesses.iter().copied())
-            .collect();
-        let remote = ml
-            .infer_lstm(id, 8, cfg.history_epochs, 1, &flat)
-            .unwrap();
-        let local: Vec<u32> = pages
-            .iter()
-            .take(8)
-            .map(|p| model.classify(&p.to_sequence()) as u32)
-            .collect();
+        let flat: Vec<f32> =
+            pages.iter().take(8).flat_map(|p| p.accesses.iter().copied()).collect();
+        let remote = ml.infer_lstm(id, 8, cfg.history_epochs, 1, &flat).unwrap();
+        let local: Vec<u32> =
+            pages.iter().take(8).map(|p| model.classify(&p.to_sequence()) as u32).collect();
         assert_eq!(remote, local);
     }
 }

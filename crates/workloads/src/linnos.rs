@@ -118,8 +118,7 @@ pub fn train(samples: &[IoSample], config: &LinnosConfig) -> LinnosModel {
 
     // Balance classes by oversampling the minority (slow) class so the
     // network does not collapse to "always fast".
-    let slow: Vec<(Vec<f32>, usize)> =
-        rows.iter().filter(|(_, l)| *l == 1).cloned().collect();
+    let slow: Vec<(Vec<f32>, usize)> = rows.iter().filter(|(_, l)| *l == 1).cloned().collect();
     let fast_count = rows.len() - slow.len();
     if !slow.is_empty() && slow.len() < fast_count {
         let deficit = fast_count - slow.len();
@@ -128,12 +127,8 @@ pub fn train(samples: &[IoSample], config: &LinnosConfig) -> LinnosModel {
         }
     }
 
-    let mut mlp = Mlp::widen(
-        &[INPUT_WIDTH, 256, 2],
-        config.extra_layers,
-        Activation::Relu,
-        &mut rng,
-    );
+    let mut mlp =
+        Mlp::widen(&[INPUT_WIDTH, 256, 2], config.extra_layers, Activation::Relu, &mut rng);
     let cfg = SgdConfig { learning_rate: config.learning_rate, weight_decay: 0.0 };
     let batch = 64;
     for _ in 0..config.epochs {
@@ -146,16 +141,8 @@ pub fn train(samples: &[IoSample], config: &LinnosConfig) -> LinnosModel {
     }
 
     // Training accuracy on the (unbalanced) original samples.
-    let x = Matrix::from_rows(
-        &samples
-            .iter()
-            .map(|s| digitize(&s.features))
-            .collect::<Vec<_>>(),
-    );
-    let y: Vec<usize> = samples
-        .iter()
-        .map(|s| usize::from(s.latency > slow_threshold))
-        .collect();
+    let x = Matrix::from_rows(&samples.iter().map(|s| digitize(&s.features)).collect::<Vec<_>>());
+    let y: Vec<usize> = samples.iter().map(|s| usize::from(s.latency > slow_threshold)).collect();
     let train_accuracy = mlp.accuracy(&x, &y);
 
     LinnosModel { mlp, slow_threshold, train_accuracy }
@@ -282,8 +269,8 @@ impl SlowIoPredictor for LinnosPredictor {
                 let batch_threshold = *batch_threshold;
                 // Expected batch formed within the quantum at the current
                 // arrival rate.
-                let batch = ((quantum.as_micros_f64() / self.ema_interarrival_us) as usize)
-                    .clamp(1, 1024);
+                let batch =
+                    ((quantum.as_micros_f64() / self.ema_interarrival_us) as usize).clamp(1, 1024);
                 if batch >= batch_threshold {
                     self.decisions.1 += 1;
                     // Amortized: average wait for the batch to fill plus
@@ -350,8 +337,7 @@ mod tests {
 
     fn collect_samples(seed: u64) -> Vec<IoSample> {
         let mut rng = SimRng::seed(seed);
-        let mut devices =
-            vec![NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork())];
+        let mut devices = vec![NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork())];
         let heavy = TraceSpec::cosmos().rerate(3.0).generate(Duration::from_millis(400), &mut rng);
         let report = replay(
             &mut devices,

@@ -156,12 +156,10 @@ impl<P: SlowIoPredictor> MlGate<P> {
                     Phase::Disabled
                 }
             }
-            Phase::ProbeMl => {
-                match (self.on_mean_us, self.off_mean_us) {
-                    (Some(on), Some(off)) if on < off * (1.0 - self.config.margin) => Phase::MlOn,
-                    _ => Phase::Disabled,
-                }
-            }
+            Phase::ProbeMl => match (self.on_mean_us, self.off_mean_us) {
+                (Some(on), Some(off)) if on < off * (1.0 - self.config.margin) => Phase::MlOn,
+                _ => Phase::Disabled,
+            },
         };
     }
 }
@@ -205,7 +203,7 @@ mod tests {
     impl SlowIoPredictor for Hurtful {
         fn predict(&mut self, _now: Instant, _f: &IoFeatures) -> (bool, Duration) {
             self.0 += 1;
-            (self.0 % 2 == 0, Duration::from_micros(200))
+            (self.0.is_multiple_of(2), Duration::from_micros(200))
         }
     }
 
@@ -220,9 +218,7 @@ mod tests {
 
     fn devices(n: usize, seed: u64) -> Vec<NvmeDevice> {
         let mut rng = SimRng::seed(seed);
-        (0..n)
-            .map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork()))
-            .collect()
+        (0..n).map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork())).collect()
     }
 
     #[test]
@@ -232,12 +228,8 @@ mod tests {
 
         // Without the gate: heavy damage.
         let mut devs = devices(3, 1);
-        let raw = replay(
-            &mut devs,
-            &[(0, trace.clone())],
-            &mut Hurtful(0),
-            &ReplayConfig::default(),
-        );
+        let raw =
+            replay(&mut devs, &[(0, trace.clone())], &mut Hurtful(0), &ReplayConfig::default());
 
         // With the gate: converges to near-baseline.
         let mut devs = devices(3, 1);
@@ -291,8 +283,7 @@ mod tests {
             &ReplayConfig::default(),
         );
         assert!(
-            gated.avg_read_latency.as_micros_f64()
-                < ungated.avg_read_latency.as_micros_f64() * 1.8,
+            gated.avg_read_latency.as_micros_f64() < ungated.avg_read_latency.as_micros_f64() * 1.8,
             "gated {} vs ungated {}",
             gated.avg_read_latency,
             ungated.avg_read_latency

@@ -66,10 +66,7 @@ pub fn generate_scenario(cores: usize, tasks_per_core: usize, rng: &mut SimRng) 
     }
     let busiest = argmax(&core_loads);
     let idlest = argmin(&core_loads);
-    let candidates = all_tasks[busiest]
-        .iter()
-        .map(|&t| (t, busiest, idlest))
-        .collect();
+    let candidates = all_tasks[busiest].iter().map(|&t| (t, busiest, idlest)).collect();
     BalanceScenario { core_loads, candidates }
 }
 
@@ -116,7 +113,10 @@ pub fn featurize(scenario: &BalanceScenario, candidate: &(Task, usize, usize)) -
 
 /// The CFS-like ground-truth rule: migrate if it reduces imbalance and
 /// the task is not too cache-hot / NUMA-expensive.
-pub fn heuristic_should_migrate(scenario: &BalanceScenario, candidate: &(Task, usize, usize)) -> bool {
+pub fn heuristic_should_migrate(
+    scenario: &BalanceScenario,
+    candidate: &(Task, usize, usize),
+) -> bool {
     let (task, src, dst) = candidate;
     let src_load = scenario.core_loads[*src];
     let dst_load = scenario.core_loads[*dst];
@@ -164,10 +164,7 @@ pub fn train(seed: u64, scenarios: usize, epochs: usize) -> (Mlp, f64) {
 /// transfer on the critical path; the async series assumes features were
 /// staged ahead of execution ("data required ... can usually be copied to
 /// the GPU asynchronously, before its execution").
-pub fn inference_timings(
-    lake: &Lake,
-    batches: &[usize],
-) -> Result<crate::TimingTriple, LakeError> {
+pub fn inference_timings(lake: &Lake, batches: &[usize]) -> Result<crate::TimingTriple, LakeError> {
     let model = build_model(1);
     let flops = model.flops_per_input();
     let cpu_model = CpuCostModel::default();
@@ -187,11 +184,7 @@ pub fn inference_timings(
         lake_sync.push(BatchTiming { batch: b, micros: sync });
         // Async: subtract the input-transfer share (modeled as the PCIe
         // time for the feature bytes, which the paper overlaps).
-        let transfer = lake
-            .gpu()
-            .spec()
-            .transfer_time(b * FEATURES * 4)
-            .as_micros_f64();
+        let transfer = lake.gpu().spec().transfer_time(b * FEATURES * 4).as_micros_f64();
         lake_async.push(BatchTiming { batch: b, micros: (sync - transfer).max(0.0) });
     }
     ml.unload_model(id)?;
@@ -217,10 +210,7 @@ mod tests {
 
     #[test]
     fn heuristic_prefers_imbalance_reduction() {
-        let sc = BalanceScenario {
-            core_loads: vec![10.0, 2.0],
-            candidates: vec![],
-        };
+        let sc = BalanceScenario { core_loads: vec![10.0, 2.0], candidates: vec![] };
         let big_cold = (Task { load: 1.5, cache_hot: 0.0, crosses_numa: false }, 0, 1);
         assert!(heuristic_should_migrate(&sc, &big_cold));
         let tiny_hot = (Task { load: 0.05, cache_hot: 1.0, crosses_numa: true }, 0, 1);
@@ -242,8 +232,8 @@ mod tests {
         for (a, s) in lake_async.iter().zip(&lake_sync) {
             assert!(s.micros >= a.micros);
         }
-        let crossover = crate::crossover_batch(&cpu, &lake_async)
-            .expect("gpu should win at large batches");
+        let crossover =
+            crate::crossover_batch(&cpu, &lake_async).expect("gpu should win at large batches");
         assert!(
             (64..=512).contains(&crossover),
             "MLLB crossover should be order-256, got {crossover}"

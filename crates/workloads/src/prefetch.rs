@@ -97,11 +97,7 @@ pub fn featurize(stream: &[u64]) -> Vec<f32> {
     let small_fwd = deltas.iter().filter(|&&d| (1..=4).contains(&d)).count() as f32 / n;
     let backward = deltas.iter().filter(|&&d| d < 0).count() as f32 / n;
     let mean_delta = deltas.iter().map(|&d| d as f64).sum::<f64>() / n as f64;
-    let var_delta = deltas
-        .iter()
-        .map(|&d| (d as f64 - mean_delta).powi(2))
-        .sum::<f64>()
-        / n as f64;
+    let var_delta = deltas.iter().map(|&d| (d as f64 - mean_delta).powi(2)).sum::<f64>() / n as f64;
     // dominant stride and its share
     let mut counts: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
     for &d in &deltas {
@@ -201,10 +197,7 @@ pub fn readahead_speedup(pattern: AccessPattern, chosen_pages: usize) -> f64 {
 
 /// Fig 11: readahead-classification time per batch, CPU vs LAKE vs
 /// LAKE (sync.).
-pub fn inference_timings(
-    lake: &Lake,
-    batches: &[usize],
-) -> Result<crate::TimingTriple, LakeError> {
+pub fn inference_timings(lake: &Lake, batches: &[usize]) -> Result<crate::TimingTriple, LakeError> {
     let model = build_model(2);
     let flops = model.flops_per_input();
     let cpu_model = CpuCostModel::default();

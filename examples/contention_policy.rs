@@ -37,10 +37,8 @@ fn main() {
     let result = run(&cfg);
     println!("\nFig 13 — adaptive contention-averse policy (normalized):");
     let user = result.user_throughput.bucket_mean(Duration::from_millis(500));
-    let normalized: Vec<(lake::sim::Instant, f64)> = user
-        .iter()
-        .map(|&(t, v)| (t, v / result.user_peak))
-        .collect();
+    let normalized: Vec<(lake::sim::Instant, f64)> =
+        user.iter().map(|&(t, v)| (t, v / result.user_peak)).collect();
     println!("  user (hashing):      {}", sparkline(&normalized, 1.0));
     let kernel = result.kernel_io.bucket_mean(Duration::from_millis(500));
     println!("  kernel (I/O pred.):  {}", sparkline(&kernel, 1.0));

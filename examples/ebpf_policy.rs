@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example ebpf_policy`
 
 use lake::core::ebpf::{Ctx, Insn, PolicyCtx, PolicyProgram, ProgramPolicy, Reg};
-use lake::core::policy::{offload, Policy};
+use lake::core::policy::offload;
 use lake::core::{Lake, Target};
 use lake::sim::Duration;
 
@@ -21,7 +21,7 @@ fn main() {
         Insn::RetGpu,
         Insn::RetCpu,
     ]);
-    println!("verifier on a buggy program: {}", bad.err().expect("must reject"));
+    println!("verifier on a buggy program: {}", bad.expect_err("must reject"));
 
     // 3. Install it over a live LAKE instance: the context source queries
     //    the remoted NVML utilization, exactly like CuPolicy.

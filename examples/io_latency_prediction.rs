@@ -11,12 +11,10 @@ use lake::sim::{Duration, SimRng};
 use lake::workloads::linnos;
 
 fn devices(rng: &mut SimRng, n: usize) -> Vec<NvmeDevice> {
-    (0..n)
-        .map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork()))
-        .collect()
+    (0..n).map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork())).collect()
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SimRng::seed(2024);
     let horizon = Duration::from_millis(400);
 
@@ -77,12 +75,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     let mut devs = devices(&mut rng, 3);
-    let lake_report = replay(
-        &mut devs,
-        &[(0, cosmos), (0, azure)],
-        &mut lake_pred,
-        &ReplayConfig::default(),
-    );
+    let lake_report =
+        replay(&mut devs, &[(0, cosmos), (0, azure)], &mut lake_pred, &ReplayConfig::default());
     let (cpu_decisions, gpu_decisions) = lake_pred.decisions();
     println!(
         "NN LAKE:  avg read latency {} ({} reroutes, {} inference time, {} cpu / {} gpu decisions)",

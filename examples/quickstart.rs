@@ -9,7 +9,7 @@ use lake::core::{KernelArg, Lake, LakeError};
 use lake::registry::{Arch, FeatureRegistryService, Schema};
 use lake::sim::Instant;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Deploy LAKE: lakeShm + Netlink channel + lakeD + simulated A100.
     let lake = Lake::builder().build();
     println!("deployed: {lake:?}");
@@ -49,20 +49,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. The in-kernel feature registry (paper Table 1).
     let registry = FeatureRegistryService::new();
-    let schema = Schema::builder()
-        .feature("pend_ios", 8, 1)
-        .feature("io_latency", 8, 4)
-        .build();
+    let schema = Schema::builder().feature("pend_ios", 8, 1).feature("io_latency", 8, 4).build();
     registry.create_registry("nvme0", "bio_latency", schema, 32)?;
     registry.register_classifier(
         "nvme0",
         "bio_latency",
         Arch::Cpu,
-        Arc::new(|fvs| {
-            fvs.iter()
-                .map(|fv| fv.get_i64("pend_ios").unwrap_or(0) as f32)
-                .collect()
-        }),
+        Arc::new(|fvs| fvs.iter().map(|fv| fv.get_i64("pend_ios").unwrap_or(0) as f32).collect()),
     )?;
 
     for i in 0..4u64 {

@@ -57,13 +57,15 @@ pub use lake_gpu as gpu;
 pub use lake_ml as ml;
 /// The in-kernel feature registry (`lake-registry`).
 pub use lake_registry as registry;
+/// LAKE's RPC wire format and call engine (`lake-rpc`).
+pub use lake_rpc as rpc;
+/// Multi-GPU dispatch and cross-subsystem batching (`lake-sched`).
+pub use lake_sched as sched;
 /// lakeShm shared memory (`lake-shm`).
 pub use lake_shm as shm;
 /// Discrete-event simulation substrate (`lake-sim`).
 pub use lake_sim as sim;
 /// Kernel↔user channel mechanisms (`lake-transport`).
 pub use lake_transport as transport;
-/// LAKE's RPC wire format and call engine (`lake-rpc`).
-pub use lake_rpc as rpc;
 /// The five ML-assisted kernel subsystems (`lake-workloads`).
 pub use lake_workloads as workloads;

@@ -1,0 +1,21 @@
+//! Smoke test: the runnable examples must keep executing to completion.
+//!
+//! The example sources are compiled into this test via `#[path]` modules
+//! and their `main` functions run directly, so `cargo test` catches a
+//! broken example without needing a separate `cargo run` step.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[path = "../examples/io_latency_prediction.rs"]
+mod io_latency_prediction;
+
+#[test]
+fn quickstart_example_runs_to_completion() {
+    quickstart::main().expect("quickstart example");
+}
+
+#[test]
+fn io_latency_prediction_example_runs_to_completion() {
+    io_latency_prediction::main().expect("io_latency_prediction example");
+}

@@ -40,10 +40,7 @@ fn cuda_workflow_over_a_real_daemon_thread() {
 
     // cuMemcpyHtoD via shm (zero-copy payload)
     let staged = shm.alloc(16).expect("shm alloc");
-    let values: Vec<u8> = [2.0f32, 3.0, 4.0, 5.0]
-        .iter()
-        .flat_map(|x| x.to_le_bytes())
-        .collect();
+    let values: Vec<u8> = [2.0f32, 3.0, 4.0, 5.0].iter().flat_map(|x| x.to_le_bytes()).collect();
     shm.write(&staged, 0, &values).expect("stage");
     let mut e = Encoder::new();
     e.put_u64(ptr).put_u64(staged.offset() as u64).put_u64(16);
@@ -59,10 +56,8 @@ fn cuda_workflow_over_a_real_daemon_thread() {
     e.put_u64(ptr).put_u64(16);
     let resp = engine.call(api::CU_MEMCPY_DTOH, e.finish()).expect("dtoh");
     let out = Decoder::new(&resp).get_bytes().expect("bytes").to_vec();
-    let floats: Vec<f32> = out
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-        .collect();
+    let floats: Vec<f32> =
+        out.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))).collect();
     assert_eq!(floats, vec![4.0, 9.0, 16.0, 25.0]);
 
     // NVML over the same channel

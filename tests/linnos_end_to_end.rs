@@ -9,9 +9,7 @@ use lake::sim::{Duration, SimRng};
 use lake::workloads::linnos::{self, LinnosConfig, LinnosMode, LinnosPredictor};
 
 fn devices(rng: &mut SimRng) -> Vec<NvmeDevice> {
-    (0..3)
-        .map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork()))
-        .collect()
+    (0..3).map(|_| NvmeDevice::new(NvmeSpec::samsung_980pro(), rng.fork())).collect()
 }
 
 #[test]

@@ -42,44 +42,27 @@ fn collect_train_export_update_cycle() {
         .expect("create_model");
 
     // Load into the daemon.
-    let id = ml
-        .load_model(&registry.model_blob("toy", "demo").expect("blob"))
-        .expect("load");
+    let id = ml.load_model(&registry.model_blob("toy", "demo").expect("blob")).expect("load");
 
     // Untrained accuracy is near chance.
     let (test_feats, test_labels) = labeled_batch(&mut rng, 200);
     let before = ml.infer_mlp(id, 200, 4, &test_feats).expect("infer");
-    let before_acc = before
-        .iter()
-        .zip(&test_labels)
-        .filter(|(p, t)| p == t)
-        .count() as f64
-        / 200.0;
+    let before_acc = before.iter().zip(&test_labels).filter(|(p, t)| p == t).count() as f64 / 200.0;
 
     // Online training: several collected batches, trained remotely.
     let t0 = lake.clock().now();
     let mut last_loss = f32::INFINITY;
     for _ in 0..25 {
         let (feats, labels) = labeled_batch(&mut rng, 128);
-        last_loss = ml
-            .train_mlp(id, 128, 4, &feats, &labels, 8, 0.2)
-            .expect("remote training");
+        last_loss = ml.train_mlp(id, 128, 4, &feats, &labels, 8, 0.2).expect("remote training");
     }
     assert!(lake.clock().now() > t0, "training must cost virtual time");
     assert!(last_loss < 0.2, "training loss should fall, got {last_loss}");
 
     // Inference through the same id now uses the trained weights.
     let after = ml.infer_mlp(id, 200, 4, &test_feats).expect("infer");
-    let after_acc = after
-        .iter()
-        .zip(&test_labels)
-        .filter(|(p, t)| p == t)
-        .count() as f64
-        / 200.0;
-    assert!(
-        after_acc > 0.95 && after_acc > before_acc,
-        "accuracy {before_acc} -> {after_acc}"
-    );
+    let after_acc = after.iter().zip(&test_labels).filter(|(p, t)| p == t).count() as f64 / 200.0;
+    assert!(after_acc > 0.95 && after_acc > before_acc, "accuracy {before_acc} -> {after_acc}");
 
     // Export and commit the improved model back through the registry.
     let blob = ml.export_model(id).expect("export");
@@ -87,8 +70,8 @@ fn collect_train_export_update_cycle() {
 
     // A fresh boot loads the improved model and matches the daemon's
     // verdicts exactly.
-    let reloaded = serialize::decode_mlp(&registry.model_blob("toy", "demo").expect("blob"))
-        .expect("decode");
+    let reloaded =
+        serialize::decode_mlp(&registry.model_blob("toy", "demo").expect("blob")).expect("decode");
     let x = Matrix::from_vec(200, 4, test_feats);
     let local: Vec<u32> = reloaded.classify(&x).into_iter().map(|c| c as u32).collect();
     assert_eq!(local, after, "persisted weights must match the daemon's");
@@ -109,7 +92,5 @@ fn training_rejects_bad_shapes_and_models() {
     // label out of range
     assert!(ml.train_mlp(id, 2, 4, &[0.0; 8], &[0, 9], 1, 0.1).is_err());
     // unknown model
-    assert!(ml
-        .train_mlp(lake::core::ModelId(999), 2, 4, &[0.0; 8], &[0, 1], 1, 0.1)
-        .is_err());
+    assert!(ml.train_mlp(lake::core::ModelId(999), 2, 4, &[0.0; 8], &[0, 1], 1, 0.1).is_err());
 }

@@ -21,10 +21,7 @@ fn listing4_listing5_capture_and_batch_inference() {
     // keyed by the device name, with pending I/Os and the last 4
     // latencies (the LinnOS features).
     let service = FeatureRegistryService::new();
-    let schema = Schema::builder()
-        .feature("pend_ios", 8, 1)
-        .feature("io_latency", 8, 4)
-        .build();
+    let schema = Schema::builder().feature("pend_ios", 8, 1).feature("io_latency", 8, 4).build();
     service.create_registry(DEV, SYS, schema, 128).expect("create_registry");
 
     // A model managed through the registry's model APIs: create, commit
@@ -33,9 +30,7 @@ fn listing4_listing5_capture_and_batch_inference() {
     let path = dir.join("bio.lakeml");
     let mut rng = StdRng::seed_from_u64(3);
     let model = Mlp::new(&[5, 16, 2], Activation::Relu, &mut rng);
-    service
-        .create_model(DEV, SYS, &path, &serialize::encode_mlp(&model))
-        .expect("create_model");
+    service.create_model(DEV, SYS, &path, &serialize::encode_mlp(&model)).expect("create_model");
 
     // Classifier registered for the GPU arch: realized through LAKE's
     // high-level API, exactly the §4.4 design.
@@ -52,10 +47,8 @@ fn listing4_listing5_capture_and_batch_inference() {
             SYS,
             Arch::Gpu,
             Arc::new(move |fvs| {
-                let rows: Vec<f32> = fvs
-                    .iter()
-                    .flat_map(|fv| fv.to_f32_features(&schema_for_classifier))
-                    .collect();
+                let rows: Vec<f32> =
+                    fvs.iter().flat_map(|fv| fv.to_f32_features(&schema_for_classifier)).collect();
                 let cols = schema_for_classifier.flat_width();
                 ml_for_classifier
                     .infer_mlp(model_id, fvs.len(), cols, &rows)
@@ -96,9 +89,7 @@ fn listing4_listing5_capture_and_batch_inference() {
 
     for event in &trace {
         // --- Listing 4: I/O issue path -------------------------------
-        service
-            .capture_feature_incr(DEV, SYS, "pend_ios", 1)
-            .expect("capture pend_ios");
+        service.capture_feature_incr(DEV, SYS, "pend_ios", 1).expect("capture pend_ios");
         service.commit_fv_capture(DEV, SYS, event.at).expect("commit");
 
         let fvs = service.get_features(DEV, SYS, None).expect("get_features");
@@ -120,9 +111,7 @@ fn listing4_listing5_capture_and_batch_inference() {
                 .capture_feature(DEV, SYS, "io_latency", &latency_us.to_le_bytes())
                 .expect("capture latency");
         }
-        service
-            .capture_feature_incr(DEV, SYS, "pend_ios", -1)
-            .expect("decrement pend_ios");
+        service.capture_feature_incr(DEV, SYS, "pend_ios", -1).expect("decrement pend_ios");
     }
 
     assert!(batches_scored >= 3, "scored {batches_scored} batches");

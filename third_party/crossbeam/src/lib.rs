@@ -1,0 +1,219 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel` with unbounded MPMC channels built on
+//! `Mutex<VecDeque>` + `Condvar`. Disconnect semantics match crossbeam:
+//! `recv` on an empty channel with no senders returns `RecvError`, and
+//! `send` with no receivers returns the value back via
+//! `SendError::into_inner`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    struct Inner<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half; clonable for MPMC use.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half; clonable for MPMC use.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Inner { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> SendError<T> {
+        pub fn into_inner(self) -> T {
+            self.0
+        }
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel is currently empty but senders remain.
+        Empty,
+        /// Channel is empty and all senders have been dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.0.queue.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.items.push_back(value);
+            drop(inner);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.queue.lock().unwrap().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.0.queue.lock().unwrap().senders -= 1;
+            self.0.ready.notify_all();
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value is available or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.0.queue.lock().unwrap();
+            loop {
+                if let Some(v) = inner.items.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.0.ready.wait(inner).unwrap();
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.0.queue.lock().unwrap();
+            match inner.items.pop_front() {
+                Some(v) => Ok(v),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.0.queue.lock().unwrap().items.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.queue.lock().unwrap().receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.queue.lock().unwrap().receivers -= 1;
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let h = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            for _ in 0..100 {
+                got.push(rx.recv().unwrap());
+            }
+            h.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn try_recv_states() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(9).unwrap();
+            assert_eq!(rx.try_recv(), Ok(9));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_after_receiver_drop_returns_value() {
+            let (tx, rx) = unbounded::<String>();
+            drop(rx);
+            let err = tx.send("hello".to_owned()).unwrap_err();
+            assert_eq!(err.into_inner(), "hello");
+        }
+    }
+}

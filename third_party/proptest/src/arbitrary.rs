@@ -1,0 +1,64 @@
+//! `any::<T>()` — the default strategy for a type.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, StandardSample};
+use std::marker::PhantomData;
+
+/// Types with a default generation strategy.
+pub trait Arbitrary: Sized {
+    fn generate(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn generate(rng: &mut StdRng) -> Self {
+                // Full-width bit pattern, so extremes are reachable.
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn generate(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn generate(rng: &mut StdRng) -> Self {
+        f32::standard_sample(rng)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn generate(rng: &mut StdRng) -> Self {
+        f64::standard_sample(rng)
+    }
+}
+
+impl Arbitrary for char {
+    fn generate(rng: &mut StdRng) -> Self {
+        // Printable ASCII keeps generated text debuggable.
+        rng.gen_range(0x20u32..0x7F) as u8 as char
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::generate(rng)
+    }
+}
+
+/// The default strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,124 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! `proptest!` macro (mixed `name: Type` / `pat in strategy` arguments),
+//! a sampling `Strategy` trait with `prop_map`, `Just`, `prop_oneof!`,
+//! tuple and range strategies, `proptest::collection::vec`,
+//! `proptest::num::{f32, f64}` bit-pattern strategies, a `.{lo,hi}`
+//! string strategy, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Semantics differ from upstream in two deliberate ways: cases are
+//! sampled from a per-test deterministic seed (no persisted failure
+//! file), and there is **no shrinking** — a failure reports the case
+//! index and message only. Case count defaults to 64 and can be raised
+//! with `PROPTEST_CASES`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Each function body runs once per sampled case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __proptest_runner = $crate::test_runner::TestRunner::default();
+                __proptest_runner.run_named(stringify!($name), |__proptest_rng| {
+                    $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                    let __proptest_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __proptest_result
+                });
+            }
+        )*
+    };
+}
+
+/// Internal: bind `proptest!` arguments by sampling their strategies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), $rng);
+    };
+    ($rng:ident, $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), $rng);
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts the case with a
+/// message instead of panicking mid-sample.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?}` != `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l != __r, "assertion failed: `{:?}` == `{:?}`", __l, __r);
+    }};
+}
+
+/// Uniformly choose among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

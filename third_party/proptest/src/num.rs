@@ -1,0 +1,70 @@
+//! Floating-point strategies over raw bit patterns.
+
+/// `f32` strategies.
+pub mod f32 {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// Normal (non-zero, non-subnormal, finite) `f32` values, drawn from
+    /// random bit patterns so magnitudes are roughly log-uniform.
+    pub struct Normal;
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f32;
+        fn sample(&self, rng: &mut StdRng) -> f32 {
+            loop {
+                let v = f32::from_bits(rng.next_u32());
+                if v.is_normal() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    /// Any `f32` bit pattern, including NaN, infinities, and subnormals.
+    pub struct Any;
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = f32;
+        fn sample(&self, rng: &mut StdRng) -> f32 {
+            f32::from_bits(rng.next_u32())
+        }
+    }
+}
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// Normal (non-zero, non-subnormal, finite) `f64` values.
+    pub struct Normal;
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            loop {
+                let v = f64::from_bits(rng.next_u64());
+                if v.is_normal() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    /// Any `f64` bit pattern.
+    pub struct Any;
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}

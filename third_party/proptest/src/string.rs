@@ -1,0 +1,44 @@
+//! String "regex" strategy — just enough for the patterns the workspace
+//! uses (`".{lo,hi}"`), with a printable-ASCII fallback for anything
+//! fancier.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Sample a string for `pattern`. Supports `.{lo,hi}` (a string of
+/// `lo..=hi` printable characters); any other pattern falls back to
+/// 0–16 printable characters.
+pub fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let (lo, hi) = parse_dot_repeat(pattern).unwrap_or((0, 16));
+    let len = rng.gen_range(lo..hi + 1);
+    (0..len).map(|_| rng.gen_range(0x20u32..0x7F) as u8 as char).collect()
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dot_repeat_bounds() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..200 {
+            let s = sample_pattern(".{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn unknown_pattern_falls_back() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let s = sample_pattern("[a-z]+", &mut rng);
+        assert!(s.chars().count() <= 16);
+    }
+}

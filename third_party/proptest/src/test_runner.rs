@@ -1,0 +1,61 @@
+//! Case runner behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// A failed property assertion (produced by `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runs each property over a deterministic sequence of sampled cases.
+pub struct TestRunner {
+    cases: u64,
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        TestRunner { cases }
+    }
+}
+
+impl TestRunner {
+    /// Run `property` for every case, panicking (with the case index) on
+    /// the first failure. No shrinking is attempted.
+    pub fn run_named<F>(&self, name: &str, property: F)
+    where
+        F: Fn(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.cases {
+            let seed = fnv1a(name.as_bytes()) ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Err(e) = property(&mut rng) {
+                panic!("property '{name}' failed at case {case}/{}: {e}", self.cases);
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
