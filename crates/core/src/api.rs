@@ -73,6 +73,64 @@ pub const ML_INFER_POLL: ApiId = ApiId(0x309);
 /// batch.
 pub const ML_INFER_FLUSH: ApiId = ApiId(0x30A);
 
+/// Whether `api` is safe to re-execute after a lost response: re-running
+/// it observably changes nothing (pure reads, level-triggered writes of
+/// the same payload, waits). Non-idempotent APIs — allocation, free,
+/// stream lifecycle, launches that queue work, training, batcher submits,
+/// and polls (which consume the ticket's result on pickup) — must never be
+/// silently retried once the daemon may have executed them.
+pub fn is_idempotent(api: ApiId) -> bool {
+    matches!(
+        api,
+        NVML_GET_UTILIZATION
+            | CU_MEMCPY_HTOD
+            | CU_MEMCPY_HTOD_SHM
+            | CU_MEMCPY_DTOH
+            | CU_MEMCPY_DTOH_SHM
+            | CU_STREAM_SYNCHRONIZE
+            | ML_INFER_MLP
+            | ML_INFER_LSTM
+            | ML_INFER_KNN
+            | ML_EXPORT_MODEL
+    )
+}
+
+/// Registers every LAKE API's idempotency flag on `engine`, enabling its
+/// retry-with-backoff for the safe subset.
+pub fn register_idempotency(engine: &lake_rpc::CallEngine) {
+    for api in ALL_APIS {
+        engine.register_api(api, is_idempotent(api));
+    }
+}
+
+/// Every API identifier this module defines.
+pub const ALL_APIS: [ApiId; 24] = [
+    CU_MEM_ALLOC,
+    CU_MEM_FREE,
+    CU_MEMCPY_HTOD,
+    CU_MEMCPY_HTOD_SHM,
+    CU_MEMCPY_DTOH,
+    CU_MEMCPY_DTOH_SHM,
+    CU_LAUNCH_KERNEL,
+    CU_STREAM_CREATE,
+    CU_STREAM_DESTROY,
+    CU_MEMCPY_HTOD_ASYNC_SHM,
+    CU_LAUNCH_KERNEL_ASYNC,
+    CU_MEMCPY_DTOH_ASYNC_SHM,
+    CU_STREAM_SYNCHRONIZE,
+    NVML_GET_UTILIZATION,
+    ML_LOAD_MODEL,
+    ML_UNLOAD_MODEL,
+    ML_INFER_MLP,
+    ML_INFER_LSTM,
+    ML_INFER_KNN,
+    ML_TRAIN_MLP,
+    ML_EXPORT_MODEL,
+    ML_INFER_SUBMIT,
+    ML_INFER_POLL,
+    ML_INFER_FLUSH,
+];
+
 /// Human-readable name for diagnostics.
 pub fn api_name(api: ApiId) -> &'static str {
     match api {
@@ -140,6 +198,33 @@ mod tests {
             for b in &ids[i + 1..] {
                 assert_ne!(a, b);
             }
+        }
+    }
+
+    #[test]
+    fn idempotency_classification_is_conservative() {
+        // Pure reads and same-payload writes retry; anything that
+        // allocates, frees, enqueues, trains, or consumes does not.
+        assert!(is_idempotent(NVML_GET_UTILIZATION));
+        assert!(is_idempotent(ML_INFER_MLP));
+        assert!(is_idempotent(CU_MEMCPY_DTOH));
+        assert!(!is_idempotent(CU_MEM_ALLOC));
+        assert!(!is_idempotent(CU_MEM_FREE));
+        assert!(!is_idempotent(CU_LAUNCH_KERNEL));
+        assert!(!is_idempotent(ML_TRAIN_MLP));
+        assert!(!is_idempotent(ML_INFER_SUBMIT));
+        // Poll consumes the ticket's result on pickup: a retry after a
+        // delivered-but-lost response would see SCHED_BAD_TICKET.
+        assert!(!is_idempotent(ML_INFER_POLL));
+        // Unknown APIs default to non-idempotent.
+        assert!(!is_idempotent(ApiId(0xdead)));
+    }
+
+    #[test]
+    fn all_apis_is_exhaustive_and_named() {
+        assert_eq!(ALL_APIS.len(), 24);
+        for api in ALL_APIS {
+            assert_ne!(api_name(api), "unknown", "{api} missing from api_name");
         }
     }
 

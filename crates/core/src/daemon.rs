@@ -9,6 +9,7 @@
 //! correctness and timing flow through the accelerator.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -18,7 +19,8 @@ use lake_gpu::{DevicePtr, GpuDevice, GpuError, KernelArg};
 use lake_ml::{serialize, CpuCostModel, Knn, LstmClassifier, Matrix, Mlp, ModelKind};
 use lake_rpc::{ApiHandler, ApiId, Decoder, Encoder, Status};
 use lake_sched::{Batch, BatchPolicy, Batcher, DevicePool, Placement, PoolPolicy, SchedMetrics};
-use lake_shm::ShmRegion;
+use lake_shm::{ShmBuffer, ShmRegion};
+use lake_sim::BurstSchedule;
 
 use crate::api;
 use crate::error::code;
@@ -154,6 +156,19 @@ pub struct LakeDaemon {
     hl: Arc<Mutex<HighLevelState>>,
     sched: Mutex<SchedState>,
     cpu: CpuCostModel,
+    /// Injectable stall schedule: while a window is active, every request
+    /// parks until it closes (a wedged daemon — GC pause, page-in storm).
+    stall: Mutex<Option<BurstSchedule>>,
+    stall_events: AtomicU64,
+}
+
+/// Why a device-side inference attempt failed. `Device` failures are
+/// recoverable host-side (the daemon re-runs the batch on the CPU);
+/// `Fatal` ones are the caller's fault (bad shm handle, bad shape) and
+/// are returned as-is.
+enum InferFailure {
+    Device,
+    Fatal(Status),
 }
 
 impl LakeDaemon {
@@ -185,7 +200,30 @@ impl LakeDaemon {
             hl,
             sched,
             cpu: CpuCostModel::default(),
+            stall: Mutex::new(None),
+            stall_events: AtomicU64::new(0),
         })
+    }
+
+    /// Installs (or clears) an injectable stall schedule. While a window
+    /// is active, every incoming request parks until the window closes.
+    pub fn set_stall_schedule(&self, schedule: Option<BurstSchedule>) {
+        *self.stall.lock() = schedule;
+    }
+
+    /// How many requests arrived during a stall window and had to wait.
+    pub fn stall_events(&self) -> u64 {
+        self.stall_events.load(Ordering::Relaxed)
+    }
+
+    /// Parks the current request until any active stall window closes.
+    fn maybe_stall(&self) {
+        let Some(burst) = *self.stall.lock() else { return };
+        let now = self.pool.clock().now();
+        if burst.active_at(now) {
+            self.pool.clock().advance(burst.remaining_at(now));
+            self.stall_events.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// The primary device this daemon drives.
@@ -519,78 +557,138 @@ impl LakeDaemon {
 
         // Utilization-aware placement across the pool: least-loaded
         // device, or CPU when everything is contended (Fig 13).
+        let flops = flops_per_item * items as f64;
         let classes: Vec<u64> = match self.pool.place(rows) {
             Placement::Device(device_idx) => {
-                let gpu = self.pool.device(device_idx);
-                let input = gpu.mem_alloc(in_bytes).map_err(gpu_status)?;
-                let upload = self
-                    .shm
-                    .with_bytes(&shm_buf, |bytes| {
-                        if bytes.len() < in_bytes {
-                            return Err(Status::VendorError(code::ML_BAD_SHAPE));
-                        }
-                        gpu.memcpy_htod(input, &bytes[..in_bytes]).map_err(gpu_status)
-                    })
-                    .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))?;
-                if let Err(status) = upload {
-                    let _ = gpu.mem_free(input);
-                    return Err(status);
-                }
-
-                let output = match gpu.mem_alloc(rows * 4) {
-                    Ok(p) => p,
-                    Err(e) => {
-                        let _ = gpu.mem_free(input);
-                        return Err(gpu_status(e));
-                    }
-                };
-                let kernel = format!("{kernel_base}_{id}");
-                let launch = gpu.launch_kernel(
-                    &kernel,
+                match self.infer_on_device(
+                    device_idx,
+                    id,
+                    kernel_base,
                     items,
-                    &[
-                        KernelArg::Ptr(input),
-                        KernelArg::Ptr(output),
-                        KernelArg::U64(rows as u64),
-                        KernelArg::U64(cols as u64),
-                        KernelArg::U64(steps as u64),
-                    ],
-                );
-                let result = launch.and_then(|()| gpu.memcpy_dtoh(output, rows * 4));
-                let _ = gpu.mem_free(input);
-                let _ = gpu.mem_free(output);
-                let raw = result.map_err(gpu_status)?;
-                self.pool.note_dispatch(device_idx, rows);
-
-                raw.chunks_exact(4)
-                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")) as u64)
-                    .collect()
+                    (rows, cols, steps),
+                    &shm_buf,
+                    in_bytes,
+                ) {
+                    Ok(classes) => classes,
+                    Err(InferFailure::Fatal(status)) => return Err(status),
+                    Err(InferFailure::Device) => {
+                        // Device-failure recovery: charge the fault to the
+                        // device (a streak evicts it from rotation) and
+                        // re-run host-side so the request is never lost.
+                        self.pool.note_device_fault(device_idx);
+                        let classes = self.classify_on_cpu(
+                            &model,
+                            (rows, cols, steps),
+                            &shm_buf,
+                            in_bytes,
+                            flops,
+                        )?;
+                        self.pool.note_recovered(rows);
+                        classes
+                    }
+                }
             }
             Placement::CpuFallback => {
-                let feats: Vec<f32> = self
-                    .shm
-                    .with_bytes(&shm_buf, |bytes| {
-                        if bytes.len() < in_bytes {
-                            return Err(Status::VendorError(code::ML_BAD_SHAPE));
-                        }
-                        Ok(bytes[..in_bytes]
-                            .chunks_exact(4)
-                            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-                            .collect())
-                    })
-                    .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))??;
-                let classes = model.classify_host(rows, cols, steps, &feats).map_err(gpu_status)?;
-                // Same math, CPU time: charge the cost model for the
-                // sequential host-side pass.
-                self.pool.clock().advance(self.cpu.time_for_flops(flops_per_item * items as f64));
+                let classes =
+                    self.classify_on_cpu(&model, (rows, cols, steps), &shm_buf, in_bytes, flops)?;
                 self.pool.note_fallback(rows);
-                classes.into_iter().map(|c| c as u64).collect()
+                classes
             }
         };
 
         let mut e = Encoder::new();
         e.put_u64_slice(&classes);
         Ok(e.finish())
+    }
+
+    /// One attempt at running a synchronous inference on `device_idx`.
+    /// GPU-op failures come back as [`InferFailure::Device`] so the caller
+    /// can recover host-side; caller errors (bad handle, bad shape) are
+    /// [`InferFailure::Fatal`].
+    #[allow(clippy::too_many_arguments)]
+    fn infer_on_device(
+        &self,
+        device_idx: usize,
+        id: u64,
+        kernel_base: &str,
+        items: u64,
+        (rows, cols, steps): (usize, usize, usize),
+        shm_buf: &ShmBuffer,
+        in_bytes: usize,
+    ) -> Result<Vec<u64>, InferFailure> {
+        let gpu = self.pool.device(device_idx);
+        let input = gpu.mem_alloc(in_bytes).map_err(|_| InferFailure::Device)?;
+        let upload = self
+            .shm
+            .with_bytes(shm_buf, |bytes| {
+                if bytes.len() < in_bytes {
+                    return Err(InferFailure::Fatal(Status::VendorError(code::ML_BAD_SHAPE)));
+                }
+                gpu.memcpy_htod(input, &bytes[..in_bytes]).map_err(|_| InferFailure::Device)
+            })
+            .unwrap_or(Err(InferFailure::Fatal(Status::VendorError(code::SHM_BAD_HANDLE))));
+        if let Err(failure) = upload {
+            let _ = gpu.mem_free(input);
+            return Err(failure);
+        }
+
+        let output = match gpu.mem_alloc(rows * 4) {
+            Ok(p) => p,
+            Err(_) => {
+                let _ = gpu.mem_free(input);
+                return Err(InferFailure::Device);
+            }
+        };
+        let kernel = format!("{kernel_base}_{id}");
+        let launch = gpu.launch_kernel(
+            &kernel,
+            items,
+            &[
+                KernelArg::Ptr(input),
+                KernelArg::Ptr(output),
+                KernelArg::U64(rows as u64),
+                KernelArg::U64(cols as u64),
+                KernelArg::U64(steps as u64),
+            ],
+        );
+        let result = launch.and_then(|()| gpu.memcpy_dtoh(output, rows * 4));
+        let _ = gpu.mem_free(input);
+        let _ = gpu.mem_free(output);
+        let raw = result.map_err(|_| InferFailure::Device)?;
+        self.pool.note_dispatch(device_idx, rows);
+
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")) as u64)
+            .collect())
+    }
+
+    /// Runs the same inference host-side — the shared body behind both the
+    /// deliberate CPU fallback (backpressure) and device-failure recovery —
+    /// charging the CPU cost model for the sequential pass.
+    fn classify_on_cpu(
+        &self,
+        model: &LoadedModel,
+        (rows, cols, steps): (usize, usize, usize),
+        shm_buf: &ShmBuffer,
+        in_bytes: usize,
+        flops: f64,
+    ) -> Result<Vec<u64>, Status> {
+        let feats: Vec<f32> = self
+            .shm
+            .with_bytes(shm_buf, |bytes| {
+                if bytes.len() < in_bytes {
+                    return Err(Status::VendorError(code::ML_BAD_SHAPE));
+                }
+                Ok(bytes[..in_bytes]
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect())
+            })
+            .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))??;
+        let classes = model.classify_host(rows, cols, steps, &feats).map_err(gpu_status)?;
+        self.pool.clock().advance(self.cpu.time_for_flops(flops));
+        Ok(classes.into_iter().map(|c| c as u64).collect())
     }
 
     // -- cross-subsystem batched inference (the lake-sched path) ----------
@@ -608,48 +706,23 @@ impl LakeDaemon {
 
         let (classes, sync) = match self.pool.place(rows) {
             Placement::Device(device_idx) => {
-                let gpu = self.pool.device(device_idx);
-                let stream = self.pool.stream(device_idx);
-                let in_bytes = rows * batch.cols * 4;
-                let mut raw_in = Vec::with_capacity(in_bytes);
-                for &x in &feats {
-                    raw_in.extend_from_slice(&x.to_le_bytes());
-                }
-                let input = gpu.mem_alloc(in_bytes).map_err(gpu_status)?;
-                let output = match gpu.mem_alloc(rows * 4) {
-                    Ok(p) => p,
-                    Err(e) => {
-                        let _ = gpu.mem_free(input);
-                        return Err(gpu_status(e));
+                match self.batch_on_device(device_idx, &batch, kernel_base, items, &feats) {
+                    Ok(classes) => (classes, Some((device_idx, self.pool.stream(device_idx)))),
+                    Err(_) => {
+                        // Device-failure recovery: the batch's features are
+                        // already host-side, so re-run there — every ticket
+                        // still gets its result.
+                        self.pool.note_device_fault(device_idx);
+                        let classes = model
+                            .classify_host(rows, batch.cols, batch.steps, &feats)
+                            .map_err(gpu_status)?;
+                        self.pool
+                            .clock()
+                            .advance(self.cpu.time_for_flops(flops_per_item * items as f64));
+                        self.pool.note_recovered(rows);
+                        (classes.into_iter().map(|c| c as u64).collect(), None)
                     }
-                };
-                let kernel = format!("{kernel_base}_{}", batch.model);
-                let run = gpu
-                    .memcpy_htod_async(stream, input, &raw_in)
-                    .and_then(|()| {
-                        gpu.launch_kernel_async(
-                            stream,
-                            &kernel,
-                            items,
-                            &[
-                                KernelArg::Ptr(input),
-                                KernelArg::Ptr(output),
-                                KernelArg::U64(rows as u64),
-                                KernelArg::U64(batch.cols as u64),
-                                KernelArg::U64(batch.steps as u64),
-                            ],
-                        )
-                    })
-                    .and_then(|()| gpu.memcpy_dtoh_async(stream, output, rows * 4));
-                let _ = gpu.mem_free(input);
-                let _ = gpu.mem_free(output);
-                let raw = run.map_err(gpu_status)?;
-                self.pool.note_dispatch(device_idx, rows);
-                let classes: Vec<u64> = raw
-                    .chunks_exact(4)
-                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")) as u64)
-                    .collect();
-                (classes, Some((device_idx, stream)))
+                }
             }
             Placement::CpuFallback => {
                 let classes = model
@@ -665,6 +738,61 @@ impl LakeDaemon {
             sched.ready.insert(req.ticket, ReadyEntry { class, sync });
         }
         Ok(())
+    }
+
+    /// One attempt at running a dispatched batch on `device_idx`'s
+    /// dedicated stream. Any GPU-op failure comes back whole so the caller
+    /// can recover on the CPU.
+    fn batch_on_device(
+        &self,
+        device_idx: usize,
+        batch: &Batch,
+        kernel_base: &str,
+        items: u64,
+        feats: &[f32],
+    ) -> Result<Vec<u64>, GpuError> {
+        let rows = batch.rows();
+        let gpu = self.pool.device(device_idx);
+        let stream = self.pool.stream(device_idx);
+        let in_bytes = rows * batch.cols * 4;
+        let mut raw_in = Vec::with_capacity(in_bytes);
+        for &x in feats {
+            raw_in.extend_from_slice(&x.to_le_bytes());
+        }
+        let input = gpu.mem_alloc(in_bytes)?;
+        let output = match gpu.mem_alloc(rows * 4) {
+            Ok(p) => p,
+            Err(e) => {
+                let _ = gpu.mem_free(input);
+                return Err(e);
+            }
+        };
+        let kernel = format!("{kernel_base}_{}", batch.model);
+        let run = gpu
+            .memcpy_htod_async(stream, input, &raw_in)
+            .and_then(|()| {
+                gpu.launch_kernel_async(
+                    stream,
+                    &kernel,
+                    items,
+                    &[
+                        KernelArg::Ptr(input),
+                        KernelArg::Ptr(output),
+                        KernelArg::U64(rows as u64),
+                        KernelArg::U64(batch.cols as u64),
+                        KernelArg::U64(batch.steps as u64),
+                    ],
+                )
+            })
+            .and_then(|()| gpu.memcpy_dtoh_async(stream, output, rows * 4));
+        let _ = gpu.mem_free(input);
+        let _ = gpu.mem_free(output);
+        let raw = run?;
+        self.pool.note_dispatch(device_idx, rows);
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")) as u64)
+            .collect())
     }
 
     /// `tfInferSubmit`: enqueue one row with the batcher; dispatches the
@@ -864,6 +992,7 @@ impl LakeDaemon {
 
 impl ApiHandler for LakeDaemon {
     fn handle(&self, api: ApiId, payload: &[u8]) -> Result<Bytes, Status> {
+        self.maybe_stall();
         match api {
             api::CU_MEM_ALLOC => self.cu_mem_alloc(payload),
             api::CU_MEM_FREE => self.cu_mem_free(payload),

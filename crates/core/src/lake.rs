@@ -2,11 +2,11 @@
 
 use std::sync::Arc;
 
-use lake_gpu::{GpuDevice, GpuError, GpuSpec, KernelArg, KernelCtx};
-use lake_rpc::{CallEngine, CallStats};
+use lake_gpu::{GpuDevice, GpuError, GpuFaultConfig, GpuSpec, KernelArg, KernelCtx};
+use lake_rpc::{CallEngine, CallPolicy, CallStats};
 use lake_sched::{BatchPolicy, DevicePool, PoolPolicy, SchedMetrics};
 use lake_shm::ShmRegion;
-use lake_sim::SharedClock;
+use lake_sim::{BurstSchedule, FaultCounters, FaultPlan, FaultSpec, SharedClock};
 use lake_transport::Mechanism;
 
 use crate::daemon::LakeDaemon;
@@ -26,6 +26,10 @@ pub struct LakeBuilder {
     num_devices: usize,
     pool_policy: PoolPolicy,
     batch_policy: BatchPolicy,
+    call_policy: Option<CallPolicy>,
+    transport_faults: Option<(FaultSpec, u64)>,
+    gpu_faults: Vec<(usize, GpuFaultConfig)>,
+    stall_schedule: Option<BurstSchedule>,
 }
 
 impl Default for LakeBuilder {
@@ -38,6 +42,10 @@ impl Default for LakeBuilder {
             num_devices: 1,
             pool_policy: PoolPolicy::default(),
             batch_policy: BatchPolicy::default(),
+            call_policy: None,
+            transport_faults: None,
+            gpu_faults: Vec::new(),
+            stall_schedule: None,
         }
     }
 }
@@ -92,6 +100,33 @@ impl LakeBuilder {
         self
     }
 
+    /// Overrides the call engine's deadline/retry policy.
+    pub fn call_policy(mut self, policy: CallPolicy) -> Self {
+        self.call_policy = Some(policy);
+        self
+    }
+
+    /// Injects seeded transport faults (frame drop/corrupt/delay/dup) on
+    /// the kernel↔daemon channel.
+    pub fn transport_faults(mut self, spec: FaultSpec, seed: u64) -> Self {
+        self.transport_faults = Some((spec, seed));
+        self
+    }
+
+    /// Injects GPU fault bursts (kernel faults, OOM windows) on pool
+    /// device `idx`. May be called once per device.
+    pub fn device_faults(mut self, idx: usize, config: GpuFaultConfig) -> Self {
+        self.gpu_faults.push((idx, config));
+        self
+    }
+
+    /// Injects daemon stall windows: requests arriving inside a burst
+    /// park until it closes.
+    pub fn stall_schedule(mut self, schedule: BurstSchedule) -> Self {
+        self.stall_schedule = Some(schedule);
+        self
+    }
+
     /// Builds the instance: shared region, device pool, daemon, call
     /// engine.
     pub fn build(self) -> Lake {
@@ -101,14 +136,31 @@ impl LakeBuilder {
             .map(|_| GpuDevice::new(self.spec.clone(), clock.clone()))
             .collect();
         let pool = DevicePool::from_devices(devices, clock.clone(), self.pool_policy);
+        for (idx, config) in self.gpu_faults {
+            assert!(idx < pool.len(), "device_faults index {idx} out of range");
+            pool.device(idx).set_fault_config(config);
+        }
         let gpu = Arc::clone(pool.primary());
         let daemon = LakeDaemon::with_pool(Arc::clone(&pool), shm.clone(), self.batch_policy);
-        let engine = Arc::new(CallEngine::in_process(
+        daemon.set_stall_schedule(self.stall_schedule);
+        let mut engine = CallEngine::in_process(
             self.mechanism,
             clock.clone(),
             daemon.clone() as Arc<dyn lake_rpc::ApiHandler>,
-        ));
-        Lake { clock, shm, gpu, pool, daemon, engine }
+        );
+        if let Some(policy) = self.call_policy {
+            engine = engine.with_policy(policy);
+        }
+        let fault_plan =
+            self.transport_faults.map(|(spec, seed)| Arc::new(FaultPlan::new(spec, seed)));
+        if let Some(plan) = &fault_plan {
+            engine = engine.with_faults(Arc::clone(plan));
+        }
+        let engine = Arc::new(engine);
+        // Retry-with-backoff only ever fires for APIs registered as
+        // idempotent; classify the whole surface up front.
+        crate::api::register_idempotency(&engine);
+        Lake { clock, shm, gpu, pool, daemon, engine, fault_plan }
     }
 }
 
@@ -121,6 +173,7 @@ pub struct Lake {
     pool: Arc<DevicePool>,
     daemon: Arc<LakeDaemon>,
     engine: Arc<CallEngine>,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl std::fmt::Debug for Lake {
@@ -194,6 +247,12 @@ impl Lake {
     /// Remoting statistics (calls, bytes, failures).
     pub fn call_stats(&self) -> CallStats {
         self.engine.stats()
+    }
+
+    /// Counters from the injected transport fault plan, if one was
+    /// configured via [`LakeBuilder::transport_faults`].
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        self.fault_plan.as_ref().map(|p| p.counters())
     }
 }
 
@@ -371,6 +430,110 @@ mod tests {
         assert_eq!(lake.shm().capacity(), 1 << 16);
         assert_eq!(lake.gpu().spec().name, "tiny test device");
         assert_eq!(lake.clock().now(), clock.now());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use lake_ml::{serialize, Activation, Matrix, Mlp};
+    use lake_sim::Duration;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_mlp() -> Mlp {
+        Mlp::new(&[4, 8, 2], Activation::Relu, &mut StdRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn daemon_stalls_park_requests_until_the_window_closes() {
+        let lake = Lake::builder()
+            .stall_schedule(BurstSchedule::new(
+                Duration::ZERO,
+                Duration::from_millis(100),
+                Duration::from_micros(300),
+            ))
+            .build();
+        let ml = lake.ml();
+        // The very first request lands at t=0, inside a stall window: it
+        // must park until the window closes rather than fail.
+        let id = ml.load_model(&serialize::encode_mlp(&tiny_mlp())).unwrap();
+        assert!(lake.daemon().stall_events() >= 1);
+        assert!(lake.clock().now().as_micros() >= 300);
+        let classes = ml.infer_mlp(id, 1, 4, &[0.5; 4]).unwrap();
+        assert_eq!(classes.len(), 1);
+    }
+
+    #[test]
+    fn gpu_fault_bursts_are_recovered_on_the_cpu() {
+        // Device 0 faults every kernel launch for its first 10 virtual
+        // seconds — effectively a dead device.
+        let dead = BurstSchedule::new(
+            Duration::ZERO,
+            Duration::from_millis(10_000),
+            Duration::from_millis(10_000),
+        );
+        let lake = Lake::builder()
+            .pool_policy(PoolPolicy {
+                probe_interval: Duration::from_millis(10_000),
+                ..Default::default()
+            })
+            .device_faults(0, lake_gpu::GpuFaultConfig { kernel_faults: Some(dead), oom: None })
+            .build();
+        let ml = lake.ml();
+        let model = tiny_mlp();
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0, 1.0, 0.0],
+            vec![0.0, 1.0, 0.0, 1.0],
+            vec![0.5, 0.5, 0.5, 0.5],
+        ]);
+        let local: Vec<u32> = model.classify(&x).into_iter().map(|c| c as u32).collect();
+        let id = ml.load_model(&serialize::encode_mlp(&model)).unwrap();
+
+        // Every inference still answers — recovered host-side — and the
+        // fault streak evicts the device from rotation.
+        let threshold = lake.pool().policy().fault_threshold;
+        for _ in 0..threshold + 2 {
+            assert_eq!(ml.infer_mlp(id, 3, 4, x.data()).unwrap(), local);
+        }
+        let m = lake.sched_metrics();
+        assert_eq!(m.device_evictions, 1, "fault streak should evict the only device");
+        assert!(!m.devices[0].healthy);
+        assert_eq!(m.recovered_batches, u64::from(threshold));
+        assert!(
+            m.cpu_fallback_batches >= 2,
+            "post-eviction requests should go straight to the CPU"
+        );
+    }
+
+    #[test]
+    fn transport_faults_are_retried_transparently() {
+        let spec = FaultSpec { drop_prob: 0.15, corrupt_prob: 0.05, ..Default::default() };
+        let lake = Lake::builder()
+            .transport_faults(spec, 42)
+            .call_policy(CallPolicy { max_attempts: 10, ..Default::default() })
+            .build();
+        let ml = lake.ml();
+        let model = tiny_mlp();
+        let blob = serialize::encode_mlp(&model);
+        // Loading isn't idempotent, so a dropped frame surfaces as an
+        // error here; the kernel module's own init loop retries it.
+        let id = loop {
+            if let Ok(id) = ml.load_model(&blob) {
+                break id;
+            }
+        };
+        let x = Matrix::from_rows(&[vec![0.25, 0.5, 0.75, 1.0]]);
+        let local = model.classify(&x)[0] as u32;
+        // Inference is idempotent: the engine retries through drops and
+        // corruption without any caller involvement.
+        for _ in 0..100 {
+            assert_eq!(ml.infer_mlp(id, 1, 4, x.data()).unwrap(), vec![local]);
+        }
+        let stats = lake.call_stats();
+        assert!(stats.retries > 0, "faults should have forced retries");
+        let counters = lake.fault_counters().expect("plan installed");
+        assert!(counters.drops > 0 && counters.corruptions > 0, "{counters:?}");
     }
 }
 

@@ -511,6 +511,12 @@ impl Ecryptfs {
             self.last_read_extent = Some(extent);
             return Ok(vec![0u8; es]);
         };
+        // A truncated at-rest extent must surface as corruption, not feed
+        // a short buffer into the batch-decrypt paths (which assume every
+        // extent is exactly sealed_len() and would slice out of bounds).
+        if first_sealed.len() != self.sealed_len() {
+            return Err(FsError::Corrupt { extent });
+        }
 
         // Build the decryption batch: the requested extent plus up to
         // readahead-1 following contiguous extents (stop at a sparse
@@ -746,6 +752,17 @@ mod tests {
         let mut fs = Ecryptfs::for_tests(CryptoPath::Cpu, 4096);
         fs.write(0, &[1u8; 4096]).unwrap();
         fs.storage.get_mut(&0).unwrap()[10] ^= 0xFF;
+        match fs.read(0, 16) {
+            Err(FsError::Corrupt { extent: 0 }) => {}
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_extent_at_rest_reads_as_corrupt_not_panic() {
+        let mut fs = Ecryptfs::for_tests(CryptoPath::Cpu, 4096);
+        fs.write(0, &[7u8; 4096]).unwrap();
+        fs.storage.get_mut(&0).unwrap().truncate(100);
         match fs.read(0, 16) {
             Err(FsError::Corrupt { extent: 0 }) => {}
             other => panic!("expected corruption error, got {other:?}"),

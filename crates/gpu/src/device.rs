@@ -7,9 +7,26 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use lake_sim::{Duration, Instant, SharedClock};
+use lake_sim::{BurstSchedule, Duration, Instant, SharedClock};
 
 use crate::spec::GpuSpec;
+
+/// Injectable device-level fault schedules, used by the chaos tests to
+/// model a GPU that intermittently fails (driver resets, ECC storms,
+/// fragmentation-induced allocation failures).
+///
+/// Each schedule is evaluated against the virtual clock: while a burst
+/// window is active, the corresponding operation class fails
+/// deterministically. `None` (the default) injects nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuFaultConfig {
+    /// While active, every kernel launch fails with
+    /// [`GpuError::KernelFault`].
+    pub kernel_faults: Option<BurstSchedule>,
+    /// While active, every allocation fails with
+    /// [`GpuError::OutOfMemory`].
+    pub oom: Option<BurstSchedule>,
+}
 
 /// A device memory address, as returned by `cuMemAlloc`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -137,10 +154,7 @@ impl<'a> KernelCtx<'a> {
     /// Returns [`GpuError::InvalidPtr`] for stale pointers.
     pub fn read_f32(&self, ptr: DevicePtr) -> Result<Vec<f32>, GpuError> {
         let raw = self.read_bytes(ptr)?;
-        Ok(raw
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-            .collect())
+        Ok(raw.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
     }
 
     /// Overwrites an allocation's prefix with raw bytes.
@@ -234,6 +248,9 @@ struct State {
     launches: u64,
     bytes_h2d: u64,
     bytes_d2h: u64,
+    faults: GpuFaultConfig,
+    injected_kernel_faults: u64,
+    injected_oom: u64,
 }
 
 /// The simulated accelerator.
@@ -276,8 +293,23 @@ impl GpuDevice {
                 launches: 0,
                 bytes_h2d: 0,
                 bytes_d2h: 0,
+                faults: GpuFaultConfig::default(),
+                injected_kernel_faults: 0,
+                injected_oom: 0,
             }),
         })
+    }
+
+    /// Installs (or clears, with the default config) injectable fault
+    /// schedules. Takes effect for subsequent operations.
+    pub fn set_fault_config(&self, config: GpuFaultConfig) {
+        self.state.lock().faults = config;
+    }
+
+    /// Counters: (injected kernel faults, injected allocation failures).
+    pub fn injected_fault_stats(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.injected_kernel_faults, st.injected_oom)
     }
 
     /// The device spec.
@@ -316,6 +348,12 @@ impl GpuDevice {
     /// Returns [`GpuError::OutOfMemory`] when capacity is exceeded.
     pub fn mem_alloc(&self, bytes: usize) -> Result<DevicePtr, GpuError> {
         let mut st = self.state.lock();
+        if let Some(burst) = st.faults.oom {
+            if burst.active_at(self.clock.now()) {
+                st.injected_oom += 1;
+                return Err(GpuError::OutOfMemory { requested: bytes, free: 0 });
+            }
+        }
         if st.mem.used + bytes > self.spec.memory_bytes {
             return Err(GpuError::OutOfMemory {
                 requested: bytes,
@@ -425,6 +463,7 @@ impl GpuDevice {
         args: &[KernelArg],
     ) -> Result<(), GpuError> {
         let mut st = self.state.lock();
+        self.check_kernel_fault(&mut st)?;
         let kernel =
             st.kernels.get(name).ok_or_else(|| GpuError::UnknownKernel(name.to_owned()))?;
         let flops = kernel.flops_per_item * items as f64;
@@ -437,6 +476,17 @@ impl GpuDevice {
         }
         let t = self.spec.launch_time(flops, items);
         self.occupy(&mut st, t);
+        Ok(())
+    }
+
+    /// Fails the launch if an injected kernel-fault burst is active.
+    fn check_kernel_fault(&self, st: &mut State) -> Result<(), GpuError> {
+        if let Some(burst) = st.faults.kernel_faults {
+            if burst.active_at(self.clock.now()) {
+                st.injected_kernel_faults += 1;
+                return Err(GpuError::KernelFault("injected fault burst".to_owned()));
+            }
+        }
         Ok(())
     }
 
@@ -537,6 +587,7 @@ impl GpuDevice {
         args: &[KernelArg],
     ) -> Result<(), GpuError> {
         let mut st = self.state.lock();
+        self.check_kernel_fault(&mut st)?;
         let cursor = Self::stream_cursor(&st, stream)?;
         let kernel =
             st.kernels.get(name).ok_or_else(|| GpuError::UnknownKernel(name.to_owned()))?;
@@ -795,6 +846,43 @@ mod tests {
         assert!(gpu.memcpy_htod_async(99, DevicePtr(1), &[0]).is_err());
         assert!(gpu.stream_synchronize(99).is_err());
         assert!(gpu.stream_destroy(99).is_err());
+    }
+
+    #[test]
+    fn injected_fault_bursts_follow_the_clock() {
+        let gpu = device();
+        gpu.register_kernel("work", 1.0, |_, _| Ok(()));
+        gpu.set_fault_config(GpuFaultConfig {
+            kernel_faults: Some(BurstSchedule::new(
+                Duration::from_millis(1),
+                Duration::from_millis(2),
+                Duration::from_micros(500),
+            )),
+            oom: Some(BurstSchedule::new(
+                Duration::from_millis(1),
+                Duration::from_millis(2),
+                Duration::from_micros(500),
+            )),
+        });
+        // Before the first burst: healthy.
+        gpu.launch_kernel("work", 1, &[]).unwrap();
+        let p = gpu.mem_alloc(8).unwrap();
+        gpu.mem_free(p).unwrap();
+        // Inside the burst window: both classes fail.
+        gpu.clock().advance_to(Instant::from_nanos(1_000_000 + 100_000));
+        let err = gpu.launch_kernel("work", 1, &[]).unwrap_err();
+        assert!(matches!(err, GpuError::KernelFault(_)));
+        let err = gpu.mem_alloc(8).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { .. }));
+        // After the burst: healthy again.
+        gpu.clock().advance_to(Instant::from_nanos(1_000_000 + 600_000));
+        gpu.launch_kernel("work", 1, &[]).unwrap();
+        gpu.mem_alloc(8).unwrap();
+        assert_eq!(gpu.injected_fault_stats(), (1, 1));
+        // Clearing the config stops injection even inside a window.
+        gpu.clock().advance_to(Instant::from_nanos(3_000_000 + 100_000));
+        gpu.set_fault_config(GpuFaultConfig::default());
+        gpu.launch_kernel("work", 1, &[]).unwrap();
     }
 
     #[test]

@@ -51,6 +51,6 @@ pub mod device;
 pub mod nvml;
 pub mod spec;
 
-pub use device::{DevicePtr, ExecMode, GpuDevice, GpuError, KernelArg, KernelCtx};
+pub use device::{DevicePtr, ExecMode, GpuDevice, GpuError, GpuFaultConfig, KernelArg, KernelCtx};
 pub use nvml::NvmlSampler;
 pub use spec::GpuSpec;

@@ -9,16 +9,38 @@
 //! * **Linked** — commands travel over a real [`lake_transport::Link`] to a
 //!   daemon thread running [`serve`], exercising actual cross-thread
 //!   queueing like the real `lakeD` process.
+//!
+//! # Fault tolerance
+//!
+//! The kernel cannot crash because the daemon or the link hiccuped, so the
+//! engine hardens the call path:
+//!
+//! * **Seq-routed responses** — every response is matched to its caller by
+//!   sequence number. Responses for *other* in-flight calls are stashed in
+//!   a shared routing table instead of being dropped, so pipelined callers
+//!   never steal (or lose) each other's replies.
+//! * **Virtual-time deadlines** — a lost frame costs the caller
+//!   [`CallPolicy::deadline`] of virtual time (the price of discovering the
+//!   loss), after which the call is retried or failed with
+//!   [`RpcError::TimedOut`].
+//! * **Bounded retry with backoff** — APIs registered idempotent (via
+//!   [`CallEngine::register_api`]) are retried up to
+//!   [`CallPolicy::max_attempts`] times with exponential virtual-time
+//!   backoff. Retries reuse the command's sequence number and [`serve`]
+//!   deduplicates by seq, so even a retried call executes at most once.
+//!   Non-idempotent calls are never retried after the daemon may have
+//!   executed them.
 
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
-use lake_sim::SharedClock;
+use lake_sim::{Duration, FaultPlan, FrameFault, SharedClock};
 use lake_transport::{LinkEndpoint, Mechanism};
 
-use crate::command::{ApiId, Command, Response, Status};
+use crate::command::{ApiId, Command, Response, Status, SEQ_UNMATCHED};
 use crate::wire::WireError;
 
 /// Error returned by [`CallEngine::call`].
@@ -30,6 +52,9 @@ pub enum RpcError {
     Wire(WireError),
     /// The daemon is gone (link closed).
     Disconnected,
+    /// No (valid) response arrived within the call's deadline, and the
+    /// call was not eligible for (more) retries.
+    TimedOut,
 }
 
 impl fmt::Display for RpcError {
@@ -38,6 +63,7 @@ impl fmt::Display for RpcError {
             RpcError::Remote(s) => write!(f, "remote call failed with status {s:?}"),
             RpcError::Wire(e) => write!(f, "wire error: {e}"),
             RpcError::Disconnected => f.write_str("daemon disconnected"),
+            RpcError::TimedOut => f.write_str("call deadline expired (frame lost?)"),
         }
     }
 }
@@ -74,6 +100,43 @@ where
     }
 }
 
+/// Per-call robustness policy: how long a caller waits on a lost frame and
+/// how hard it retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallPolicy {
+    /// Virtual time charged to the caller when an attempt's response never
+    /// arrives (the cost of discovering the loss).
+    pub deadline: Duration,
+    /// Total send attempts per call (1 = no retries). Only idempotent APIs
+    /// — and commands the daemon provably never executed — use attempts
+    /// beyond the first.
+    pub max_attempts: u32,
+    /// Base retry backoff, doubling per attempt (virtual time).
+    pub backoff: Duration,
+    /// Linked mode only: real (wall-clock) silence after which an attempt
+    /// is declared lost. `None` disables loss detection — `call` waits
+    /// forever, the pre-hardening behaviour — and is the default, so a
+    /// daemon doing real multi-second work is never misdiagnosed.
+    pub recv_patience: Option<std::time::Duration>,
+}
+
+impl Default for CallPolicy {
+    fn default() -> Self {
+        CallPolicy {
+            deadline: Duration::from_millis(2),
+            max_attempts: 4,
+            backoff: Duration::from_micros(50),
+            recv_patience: None,
+        }
+    }
+}
+
+impl CallPolicy {
+    fn backoff_for(&self, attempt: u32) -> Duration {
+        self.backoff * (1u64 << attempt.saturating_sub(1).min(10))
+    }
+}
+
 /// Aggregate statistics about remoted calls.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CallStats {
@@ -85,6 +148,12 @@ pub struct CallStats {
     pub bytes_received: u64,
     /// Calls that returned a non-OK status.
     pub failures: u64,
+    /// Attempts re-sent after a lost or corrupted exchange.
+    pub retries: u64,
+    /// Attempts whose response never arrived within the deadline.
+    pub timeouts: u64,
+    /// Received frames that failed to decode or could not be attributed.
+    pub corrupt_frames: u64,
 }
 
 enum Mode {
@@ -101,17 +170,31 @@ impl fmt::Debug for Mode {
     }
 }
 
+/// How often a waiting linked-mode caller re-checks the shared routing
+/// table for a response another caller received on its behalf.
+const ROUTE_POLL: std::time::Duration = std::time::Duration::from_millis(1);
+
 /// The stub side of LAKE's remoting: serialize, transmit, wait (§4.1).
 #[derive(Debug)]
 pub struct CallEngine {
     mechanism: Mechanism,
     clock: SharedClock,
     mode: Mode,
+    policy: CallPolicy,
+    faults: Option<Arc<FaultPlan>>,
+    /// APIs flagged idempotent at registration; only they survive a retry
+    /// after the daemon may have executed the command.
+    idempotent: Mutex<HashSet<u32>>,
+    /// Responses received by one caller on behalf of another (seq-routed).
+    pending: Mutex<HashMap<u64, Response>>,
     next_seq: AtomicU64,
     calls: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
     failures: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    corrupt_frames: AtomicU64,
 }
 
 impl CallEngine {
@@ -122,32 +205,72 @@ impl CallEngine {
         clock: SharedClock,
         handler: Arc<dyn ApiHandler>,
     ) -> Self {
-        CallEngine {
-            mechanism,
-            clock,
-            mode: Mode::InProcess(handler),
-            next_seq: AtomicU64::new(1),
-            calls: AtomicU64::new(0),
-            bytes_sent: AtomicU64::new(0),
-            bytes_received: AtomicU64::new(0),
-            failures: AtomicU64::new(0),
-        }
+        Self::build(mechanism, clock, Mode::InProcess(handler))
     }
 
     /// Creates an engine that sends commands over `endpoint` to a daemon
     /// thread running [`serve`]. The endpoint's mechanism and clock are
     /// reused for cost accounting.
     pub fn linked(endpoint: LinkEndpoint) -> Self {
+        let mechanism = endpoint.mechanism();
+        let clock = endpoint.clock().clone();
+        Self::build(mechanism, clock, Mode::Linked(endpoint))
+    }
+
+    fn build(mechanism: Mechanism, clock: SharedClock, mode: Mode) -> Self {
         CallEngine {
-            mechanism: endpoint.mechanism(),
-            clock: endpoint.clock().clone(),
-            mode: Mode::Linked(endpoint),
+            mechanism,
+            clock,
+            mode,
+            policy: CallPolicy::default(),
+            faults: None,
+            idempotent: Mutex::new(HashSet::new()),
+            pending: Mutex::new(HashMap::new()),
             next_seq: AtomicU64::new(1),
             calls: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
             bytes_received: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            corrupt_frames: AtomicU64::new(0),
         }
+    }
+
+    /// Overrides the default [`CallPolicy`].
+    pub fn with_policy(mut self, policy: CallPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Injects `plan`'s frame faults on the in-process path (drop /
+    /// corrupt / delay per direction). Linked mode injects at the link
+    /// itself instead — see `Link::pair_with_faults`.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Registers an API's idempotency flag. Unregistered APIs default to
+    /// non-idempotent (never retried once the daemon may have executed
+    /// them).
+    pub fn register_api(&self, api: ApiId, idempotent: bool) {
+        let mut set = self.idempotent.lock().expect("idempotency registry poisoned");
+        if idempotent {
+            set.insert(api.0);
+        } else {
+            set.remove(&api.0);
+        }
+    }
+
+    /// Whether `api` was registered idempotent.
+    pub fn is_idempotent(&self, api: ApiId) -> bool {
+        self.idempotent.lock().expect("idempotency registry poisoned").contains(&api.0)
+    }
+
+    /// The active call policy.
+    pub fn policy(&self) -> CallPolicy {
+        self.policy
     }
 
     /// The channel mechanism in use.
@@ -165,58 +288,212 @@ impl CallEngine {
     /// Cost accounting (in-process mode): the caller's clock advances by
     /// the mechanism round-trip for `max(command, response)` frame size,
     /// split around the handler execution — which itself may advance the
-    /// clock (GPU time, daemon compute).
+    /// clock (GPU time, daemon compute). Lost frames additionally charge
+    /// [`CallPolicy::deadline`] per attempt, plus retry backoff.
     ///
     /// # Errors
     ///
     /// Returns [`RpcError::Remote`] when the daemon reports failure,
     /// [`RpcError::Wire`] on framing corruption, [`RpcError::Disconnected`]
-    /// if the daemon thread is gone.
+    /// if the daemon thread is gone, and [`RpcError::TimedOut`] when a
+    /// frame was lost and the call could not be (further) retried.
     pub fn call(&self, api: ApiId, payload: Bytes) -> Result<Bytes, RpcError> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let cmd = Command { api, seq, payload };
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(cmd.encoded_len() as u64, Ordering::Relaxed);
+        let idempotent = self.is_idempotent(api);
 
         match &self.mode {
-            Mode::InProcess(handler) => {
-                // Outbound: call time + half the payload round trip.
-                self.clock.advance(self.mechanism.call_time());
-                self.clock.advance(self.mechanism.one_way(cmd.encoded_len()));
-                let result = handler.handle(cmd.api, &cmd.payload);
-                let response = match result {
-                    Ok(bytes) => Response { seq, status: Status::Ok, payload: bytes },
-                    Err(status) => Response { seq, status, payload: Bytes::new() },
-                };
-                // Inbound: half the response round trip.
-                self.clock.advance(self.mechanism.one_way(response.encoded_len()));
-                self.bytes_received.fetch_add(response.encoded_len() as u64, Ordering::Relaxed);
-                if response.status.is_ok() {
-                    Ok(response.payload)
-                } else {
-                    self.failures.fetch_add(1, Ordering::Relaxed);
-                    Err(RpcError::Remote(response.status))
+            Mode::InProcess(handler) => self.call_in_process(&handler.clone(), &cmd, idempotent),
+            Mode::Linked(endpoint) => self.call_linked(endpoint, &cmd, idempotent),
+        }
+    }
+
+    fn call_in_process(
+        &self,
+        handler: &Arc<dyn ApiHandler>,
+        cmd: &Command,
+        idempotent: bool,
+    ) -> Result<Bytes, RpcError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            // Outbound: call time + half the payload round trip.
+            self.clock.advance(self.mechanism.call_time());
+            self.clock.advance(self.mechanism.one_way(cmd.encoded_len()));
+
+            // Command-direction fault?
+            if let Some(plan) = &self.faults {
+                match plan.next_frame_fault() {
+                    FrameFault::Deliver | FrameFault::Duplicate => {}
+                    FrameFault::Delay(extra) => {
+                        self.clock.advance(extra);
+                    }
+                    FrameFault::Drop => {
+                        // Command lost: the daemon never saw it, but the
+                        // caller can't distinguish this from a lost
+                        // response, so only idempotent calls retry.
+                        self.timeouts.fetch_add(1, Ordering::Relaxed);
+                        self.clock.advance(self.policy.deadline);
+                        if idempotent && attempt < self.policy.max_attempts {
+                            self.retry_backoff(attempt);
+                            continue;
+                        }
+                        self.failures.fetch_add(1, Ordering::Relaxed);
+                        return Err(RpcError::TimedOut);
+                    }
+                    FrameFault::Corrupt { .. } => {
+                        // The daemon rejects the garbled frame with a
+                        // Malformed response (seq recovered from the
+                        // header). It never executed, so any API may
+                        // safely retry.
+                        self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                        let nak = Response {
+                            seq: cmd.seq,
+                            status: Status::Malformed,
+                            payload: Bytes::new(),
+                        };
+                        self.clock.advance(self.mechanism.one_way(nak.encoded_len()));
+                        if attempt < self.policy.max_attempts {
+                            self.retry_backoff(attempt);
+                            continue;
+                        }
+                        self.failures.fetch_add(1, Ordering::Relaxed);
+                        return Err(RpcError::Remote(Status::Malformed));
+                    }
                 }
             }
-            Mode::Linked(endpoint) => {
-                endpoint.send(cmd.encode()).map_err(|_| RpcError::Disconnected)?;
-                loop {
-                    let frame = endpoint.recv().map_err(|_| RpcError::Disconnected)?;
-                    let response = Response::decode(&frame)?;
-                    if response.seq != seq {
-                        // Response to an older cancelled call; drop it.
-                        continue;
+
+            let result = handler.handle(cmd.api, &cmd.payload);
+            let response = match result {
+                Ok(bytes) => Response { seq: cmd.seq, status: Status::Ok, payload: bytes },
+                Err(status) => Response { seq: cmd.seq, status, payload: Bytes::new() },
+            };
+
+            // Response-direction fault? The handler has executed by now,
+            // so only idempotent calls may retry.
+            if let Some(plan) = &self.faults {
+                match plan.next_frame_fault() {
+                    FrameFault::Deliver | FrameFault::Duplicate => {}
+                    FrameFault::Delay(extra) => {
+                        self.clock.advance(extra);
                     }
-                    self.bytes_received.fetch_add(response.encoded_len() as u64, Ordering::Relaxed);
-                    return if response.status.is_ok() {
-                        Ok(response.payload)
-                    } else {
+                    FrameFault::Drop | FrameFault::Corrupt { .. } => {
+                        self.timeouts.fetch_add(1, Ordering::Relaxed);
+                        self.clock.advance(self.policy.deadline);
+                        if idempotent && attempt < self.policy.max_attempts {
+                            self.retry_backoff(attempt);
+                            continue;
+                        }
                         self.failures.fetch_add(1, Ordering::Relaxed);
-                        Err(RpcError::Remote(response.status))
-                    };
+                        return Err(RpcError::TimedOut);
+                    }
+                }
+            }
+
+            // Inbound: half the response round trip.
+            self.clock.advance(self.mechanism.one_way(response.encoded_len()));
+            self.bytes_received.fetch_add(response.encoded_len() as u64, Ordering::Relaxed);
+            return if response.status.is_ok() {
+                Ok(response.payload)
+            } else {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                Err(RpcError::Remote(response.status))
+            };
+        }
+    }
+
+    fn call_linked(
+        &self,
+        endpoint: &LinkEndpoint,
+        cmd: &Command,
+        idempotent: bool,
+    ) -> Result<Bytes, RpcError> {
+        let frame = cmd.encode();
+        let seq = cmd.seq;
+        let mut attempt = 0u32;
+        'attempts: loop {
+            attempt += 1;
+            endpoint.send(frame.clone()).map_err(|_| RpcError::Disconnected)?;
+            let mut waited = std::time::Duration::ZERO;
+            loop {
+                // A response for us may have been received (and stashed)
+                // by another in-flight caller.
+                if let Some(resp) =
+                    self.pending.lock().expect("response router poisoned").remove(&seq)
+                {
+                    return self.finish_response(resp);
+                }
+                match endpoint.recv_timeout(ROUTE_POLL) {
+                    Err(_) => return Err(RpcError::Disconnected),
+                    Ok(None) => {
+                        waited += ROUTE_POLL;
+                        let Some(patience) = self.policy.recv_patience else { continue };
+                        if waited < patience {
+                            continue;
+                        }
+                        // Real-time silence: the attempt is lost. Charge
+                        // the virtual deadline and retry if safe.
+                        self.timeouts.fetch_add(1, Ordering::Relaxed);
+                        self.clock.advance(self.policy.deadline);
+                        if idempotent && attempt < self.policy.max_attempts {
+                            self.retry_backoff(attempt);
+                            continue 'attempts;
+                        }
+                        self.failures.fetch_add(1, Ordering::Relaxed);
+                        return Err(RpcError::TimedOut);
+                    }
+                    Ok(Some(raw)) => match Response::decode(&raw) {
+                        Err(_) => {
+                            // A garbled frame for *someone*; if it was ours
+                            // the patience timer will catch the loss.
+                            self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(resp) if resp.seq == seq => {
+                            if resp.status == Status::Malformed {
+                                // The daemon could not decode our command
+                                // (corrupted in flight) — it never
+                                // executed, so any API may retry.
+                                self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                                if attempt < self.policy.max_attempts {
+                                    self.retry_backoff(attempt);
+                                    continue 'attempts;
+                                }
+                            }
+                            return self.finish_response(resp);
+                        }
+                        Ok(resp) if resp.seq == SEQ_UNMATCHED => {
+                            // The daemon couldn't attribute some frame;
+                            // if it was ours, patience expires below.
+                            self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(resp) => {
+                            // Another caller's response: route, don't drop.
+                            self.pending
+                                .lock()
+                                .expect("response router poisoned")
+                                .insert(resp.seq, resp);
+                        }
+                    },
                 }
             }
         }
+    }
+
+    fn finish_response(&self, response: Response) -> Result<Bytes, RpcError> {
+        self.bytes_received.fetch_add(response.encoded_len() as u64, Ordering::Relaxed);
+        if response.status.is_ok() {
+            Ok(response.payload)
+        } else {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            Err(RpcError::Remote(response.status))
+        }
+    }
+
+    fn retry_backoff(&self, attempt: u32) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.clock.advance(self.policy.backoff_for(attempt));
     }
 
     /// Statistics snapshot.
@@ -226,21 +503,61 @@ impl CallEngine {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
         }
     }
 }
 
+/// Responses remembered by [`serve`] for at-most-once execution.
+const SERVE_DEDUP_WINDOW: usize = 128;
+
 /// Runs the daemon dispatch loop over `endpoint` until the peer
 /// disconnects: receive command, decode, execute, respond. This is
 /// `lakeD`'s main loop.
+///
+/// Robustness:
+///
+/// * Undecodable frames are answered `Malformed` with the sequence number
+///   recovered from the frame header when it survived, or the reserved
+///   [`SEQ_UNMATCHED`] sentinel otherwise — never a fabricated seq a
+///   pipelined caller could mis-match.
+/// * Recently executed commands are remembered by seq
+///   (a [`SERVE_DEDUP_WINDOW`]-deep window): a duplicated or retried
+///   command is answered from the cache instead of re-executed, giving
+///   retries at-most-once semantics.
 pub fn serve(endpoint: &LinkEndpoint, handler: &dyn ApiHandler) {
+    let mut dedup: HashMap<u64, Response> = HashMap::new();
+    let mut dedup_order: VecDeque<u64> = VecDeque::new();
     while let Ok(frame) = endpoint.recv() {
         let response = match Command::decode(&frame) {
-            Ok(cmd) => match handler.handle(cmd.api, &cmd.payload) {
-                Ok(payload) => Response { seq: cmd.seq, status: Status::Ok, payload },
-                Err(status) => Response { seq: cmd.seq, status, payload: Bytes::new() },
+            Ok(cmd) => {
+                if let Some(prior) = dedup.get(&cmd.seq) {
+                    // Retried or duplicated command: replay, don't re-run.
+                    prior.clone()
+                } else {
+                    let response = match handler.handle(cmd.api, &cmd.payload) {
+                        Ok(payload) => Response { seq: cmd.seq, status: Status::Ok, payload },
+                        Err(status) => Response { seq: cmd.seq, status, payload: Bytes::new() },
+                    };
+                    dedup.insert(cmd.seq, response.clone());
+                    dedup_order.push_back(cmd.seq);
+                    if dedup_order.len() > SERVE_DEDUP_WINDOW {
+                        if let Some(old) = dedup_order.pop_front() {
+                            dedup.remove(&old);
+                        }
+                    }
+                    response
+                }
+            }
+            // Never executed, so never cached: a retry of the same seq with
+            // an intact frame must run for real.
+            Err(_) => Response {
+                seq: Command::peek_seq(&frame).unwrap_or(SEQ_UNMATCHED),
+                status: Status::Malformed,
+                payload: Bytes::new(),
             },
-            Err(_) => Response { seq: 0, status: Status::Malformed, payload: Bytes::new() },
         };
         if endpoint.send(response.encode()).is_err() {
             break;
@@ -361,5 +678,264 @@ mod tests {
         let engine = CallEngine::in_process(Mechanism::Netlink, clock.clone(), handler);
         engine.call(ApiId(1), Bytes::new()).unwrap();
         assert!(clock.now().as_micros() >= 500 + 30);
+    }
+
+    /// Regression (seq desync): the daemon must recover the seq of an
+    /// undecodable frame from its header, and fall back to SEQ_UNMATCHED —
+    /// never `seq: 0`, which a pipelined caller could own.
+    #[test]
+    fn serve_recovers_seq_for_undecodable_frames() {
+        let clock = SharedClock::new();
+        let (kernel, user) = Link::pair(Mechanism::Netlink, clock);
+        let daemon = std::thread::spawn(move || {
+            let handler = adder();
+            serve(&user, handler.as_ref());
+        });
+
+        // Corrupt a valid frame's payload length: decode fails, header survives.
+        let cmd = Command { api: API_ADD, seq: 7777, payload: encode_pair(1, 2) };
+        let mut frame = cmd.encode();
+        frame[13] ^= 0xFF;
+        kernel.send(frame).unwrap();
+        let resp = Response::decode(&kernel.recv().unwrap()).unwrap();
+        assert_eq!(resp.seq, 7777, "seq must be recovered from the intact header");
+        assert_eq!(resp.status, Status::Malformed);
+
+        // Fully garbled frame (magic destroyed): sentinel, not 0.
+        kernel.send(vec![0x00, 0x01, 0x02]).unwrap();
+        let resp = Response::decode(&kernel.recv().unwrap()).unwrap();
+        assert_eq!(resp.seq, SEQ_UNMATCHED);
+        assert_eq!(resp.status, Status::Malformed);
+
+        drop(kernel);
+        daemon.join().unwrap();
+    }
+
+    /// Regression (seq routing): two concurrent callers whose responses
+    /// arrive out of order must each get their own response. The old
+    /// engine dropped mismatched-seq frames, losing one caller's reply.
+    #[test]
+    fn concurrent_callers_get_seq_routed_responses() {
+        let clock = SharedClock::new();
+        let (kernel, user) = Link::pair(Mechanism::Netlink, clock);
+        // A daemon that answers every batch of two commands in reverse order.
+        let daemon = std::thread::spawn(move || {
+            let handler = adder();
+            while let (Ok(f1), Ok(f2)) = (user.recv(), user.recv()) {
+                for frame in [f2, f1] {
+                    let cmd = Command::decode(&frame).unwrap();
+                    let resp = match handler.handle(cmd.api, &cmd.payload) {
+                        Ok(p) => Response { seq: cmd.seq, status: Status::Ok, payload: p },
+                        Err(s) => Response { seq: cmd.seq, status: s, payload: Bytes::new() },
+                    };
+                    if user.send(resp.encode()).is_err() {
+                        return;
+                    }
+                }
+            }
+        });
+
+        let engine = Arc::new(CallEngine::linked(kernel));
+        let mut workers = Vec::new();
+        for w in 0..2u64 {
+            let engine = engine.clone();
+            workers.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let out = engine.call(API_ADD, encode_pair(w * 1000, i)).unwrap();
+                    let mut d = Decoder::new(&out);
+                    assert_eq!(
+                        d.get_u64().unwrap(),
+                        w * 1000 + i,
+                        "caller got someone else's reply"
+                    );
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        drop(engine);
+        daemon.join().unwrap();
+    }
+
+    #[test]
+    fn idempotent_calls_retry_through_frame_loss_in_process() {
+        use lake_sim::{FaultPlan, FaultSpec};
+        let clock = SharedClock::new();
+        let plan = Arc::new(FaultPlan::new(FaultSpec { drop_prob: 0.3, ..Default::default() }, 17));
+        let engine = CallEngine::in_process(Mechanism::Netlink, clock, adder())
+            .with_policy(CallPolicy {
+                deadline: Duration::from_micros(300),
+                max_attempts: 8,
+                backoff: Duration::from_micros(20),
+                recv_patience: None,
+            })
+            .with_faults(plan);
+        engine.register_api(API_ADD, true);
+        let mut ok = 0;
+        for i in 0..200u64 {
+            if let Ok(out) = engine.call(API_ADD, encode_pair(i, 1)) {
+                let mut d = Decoder::new(&out);
+                assert_eq!(d.get_u64().unwrap(), i + 1);
+                ok += 1;
+            }
+        }
+        let stats = engine.stats();
+        assert!(stats.retries > 0, "30% drop must force retries");
+        assert!(stats.timeouts > 0);
+        // 8 attempts vs 30% per-direction drop: effectively everything lands.
+        assert!(ok >= 195, "only {ok}/200 idempotent calls survived");
+    }
+
+    #[test]
+    fn idempotent_calls_retry_through_lossy_link() {
+        use lake_sim::{FaultPlan, FaultSpec};
+        let clock = SharedClock::new();
+        let plan = Arc::new(FaultPlan::new(
+            FaultSpec { drop_prob: 0.15, corrupt_prob: 0.1, ..Default::default() },
+            23,
+        ));
+        let (kernel, user) = Link::pair_with_faults(Mechanism::Netlink, clock, plan);
+        let daemon = std::thread::spawn(move || {
+            let handler = adder();
+            serve(&user, handler.as_ref());
+        });
+        let engine = CallEngine::linked(kernel).with_policy(CallPolicy {
+            deadline: Duration::from_micros(300),
+            max_attempts: 8,
+            backoff: Duration::from_micros(20),
+            recv_patience: Some(std::time::Duration::from_millis(25)),
+        });
+        engine.register_api(API_ADD, true);
+        let mut ok = 0;
+        for i in 0..60u64 {
+            if let Ok(out) = engine.call(API_ADD, encode_pair(i, i)) {
+                let mut d = Decoder::new(&out);
+                assert_eq!(d.get_u64().unwrap(), 2 * i, "retry returned a wrong result");
+                ok += 1;
+            }
+        }
+        let stats = engine.stats();
+        assert!(stats.retries > 0, "lossy link must force retries");
+        assert!(ok >= 55, "only {ok}/60 idempotent calls survived the lossy link");
+        drop(engine);
+        daemon.join().unwrap();
+    }
+
+    #[test]
+    fn serve_deduplicates_retried_commands() {
+        use std::sync::atomic::AtomicUsize;
+        let executions = Arc::new(AtomicUsize::new(0));
+        let execs = executions.clone();
+        let handler = Arc::new(move |_: ApiId, _: &[u8]| -> Result<Bytes, Status> {
+            execs.fetch_add(1, Ordering::SeqCst);
+            Ok(Bytes::from_static(b"done"))
+        });
+        let clock = SharedClock::new();
+        let (kernel, user) = Link::pair(Mechanism::Netlink, clock);
+        let daemon = std::thread::spawn(move || serve(&user, handler.as_ref()));
+
+        let cmd = Command { api: ApiId(9), seq: 42, payload: Bytes::new() };
+        for _ in 0..3 {
+            kernel.send(cmd.encode()).unwrap();
+            let resp = Response::decode(&kernel.recv().unwrap()).unwrap();
+            assert_eq!(resp.seq, 42);
+            assert_eq!(resp.payload, Bytes::from_static(b"done"));
+        }
+        assert_eq!(executions.load(Ordering::SeqCst), 1, "retries must not re-execute");
+        drop(kernel);
+        daemon.join().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::wire::Encoder;
+    use lake_sim::{FaultPlan, FaultSpec};
+    use proptest::prelude::*;
+    use std::sync::atomic::AtomicUsize;
+
+    proptest! {
+        /// Retry-with-backoff never duplicates a non-idempotent call: no
+        /// matter what the link drops or corrupts, the handler executes at
+        /// most once per issued call.
+        #[test]
+        fn non_idempotent_calls_never_execute_twice(
+            seed: u64,
+            drop_prob in 0.0f64..0.5,
+            corrupt_prob in 0.0f64..0.3,
+        ) {
+            let executions = Arc::new(AtomicUsize::new(0));
+            let execs = executions.clone();
+            let handler = Arc::new(move |_: ApiId, _: &[u8]| -> Result<Bytes, Status> {
+                execs.fetch_add(1, Ordering::SeqCst);
+                Ok(Bytes::new())
+            });
+            let plan = Arc::new(FaultPlan::new(
+                FaultSpec { drop_prob, corrupt_prob, ..Default::default() },
+                seed,
+            ));
+            let engine = CallEngine::in_process(Mechanism::Netlink, SharedClock::new(), handler)
+                .with_policy(CallPolicy {
+                    deadline: Duration::from_micros(100),
+                    max_attempts: 6,
+                    backoff: Duration::from_micros(10),
+                    recv_patience: None,
+                })
+                .with_faults(plan);
+            // NOT registered idempotent.
+            const CALLS: usize = 40;
+            for i in 0..CALLS {
+                let mut e = Encoder::new();
+                e.put_u64(i as u64);
+                let _ = engine.call(ApiId(77), e.finish());
+            }
+            let executed = executions.load(Ordering::SeqCst);
+            prop_assert!(
+                executed <= CALLS,
+                "non-idempotent handler ran {executed} times for {CALLS} calls"
+            );
+            // And every execution is accounted: calls that returned Ok did run.
+            let stats = engine.stats();
+            prop_assert_eq!(stats.calls as usize, CALLS);
+        }
+
+        /// Idempotent registration is what unlocks retries: the same fault
+        /// pattern with idempotent registration may execute more than once
+        /// but must never lose a result silently (every Ok is a real
+        /// execution's result).
+        #[test]
+        fn idempotent_retries_execute_at_least_once_per_ok(
+            seed: u64,
+            drop_prob in 0.0f64..0.4,
+        ) {
+            let executions = Arc::new(AtomicUsize::new(0));
+            let execs = executions.clone();
+            let handler = Arc::new(move |_: ApiId, _: &[u8]| -> Result<Bytes, Status> {
+                execs.fetch_add(1, Ordering::SeqCst);
+                Ok(Bytes::new())
+            });
+            let plan = Arc::new(FaultPlan::new(
+                FaultSpec { drop_prob, ..Default::default() },
+                seed,
+            ));
+            let engine = CallEngine::in_process(Mechanism::Netlink, SharedClock::new(), handler)
+                .with_policy(CallPolicy {
+                    deadline: Duration::from_micros(100),
+                    max_attempts: 6,
+                    backoff: Duration::from_micros(10),
+                    recv_patience: None,
+                })
+                .with_faults(plan);
+            engine.register_api(ApiId(88), true);
+            let mut oks = 0usize;
+            for _ in 0..40 {
+                if engine.call(ApiId(88), Bytes::new()).is_ok() {
+                    oks += 1;
+                }
+            }
+            prop_assert!(executions.load(Ordering::SeqCst) >= oks);
+        }
     }
 }

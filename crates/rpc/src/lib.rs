@@ -26,6 +26,6 @@ pub mod command;
 pub mod engine;
 pub mod wire;
 
-pub use command::{ApiId, Command, Response, Status};
-pub use engine::{serve, ApiHandler, CallEngine, CallStats, RpcError};
-pub use wire::{Decoder, Encoder, WireError};
+pub use command::{ApiId, Command, Response, Status, SEQ_UNMATCHED};
+pub use engine::{serve, ApiHandler, CallEngine, CallPolicy, CallStats, RpcError};
+pub use wire::{checked_slice_len, Decoder, Encoder, WireError};

@@ -30,6 +30,20 @@ pub enum WireError {
     BadUtf8,
     /// Trailing bytes remained after a complete decode.
     TrailingBytes(usize),
+    /// A slice was too long for its `u32` length prefix (≥ 4 GiB): encoding
+    /// it would silently truncate the length and corrupt the payload.
+    TooLarge {
+        /// The slice length that overflowed the prefix.
+        declared: usize,
+    },
+    /// A frame's checksum trailer did not match its body: the frame was
+    /// corrupted in flight.
+    ChecksumMismatch {
+        /// The checksum the frame carried.
+        stored: u32,
+        /// The checksum computed over the received body.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -43,11 +57,34 @@ impl fmt::Display for WireError {
             }
             WireError::BadUtf8 => f.write_str("string field held invalid utf-8"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+            WireError::TooLarge { declared } => {
+                write!(
+                    f,
+                    "slice of {declared} bytes overflows the u32 length prefix (max {})",
+                    u32::MAX
+                )
+            }
+            WireError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// Validates that a slice of `len` elements fits a `u32` length prefix.
+///
+/// # Errors
+///
+/// Returns [`WireError::TooLarge`] when `len > u32::MAX` — the condition
+/// under which the old `len as u32` cast silently wrapped.
+pub fn checked_slice_len(len: usize) -> Result<u32, WireError> {
+    u32::try_from(len).map_err(|_| WireError::TooLarge { declared: len })
+}
 
 /// Builds the payload of a command.
 ///
@@ -114,20 +151,50 @@ impl Encoder {
     }
 
     /// Appends a length-prefixed byte slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a [`WireError::TooLarge`] message if the slice exceeds
+    /// `u32::MAX` bytes; the old behaviour wrapped the length prefix and
+    /// silently corrupted the payload. Use [`Encoder::try_put_bytes`] to
+    /// handle untrusted sizes without panicking.
     pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
-        self.buf.put_u32_le(v.len() as u32);
+        self.try_put_bytes(v).unwrap_or_else(|e| panic!("Encoder::put_bytes: {e}"))
+    }
+
+    /// Fallible [`Encoder::put_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TooLarge`] if the slice exceeds `u32::MAX`
+    /// bytes; nothing is appended in that case.
+    pub fn try_put_bytes(&mut self, v: &[u8]) -> Result<&mut Self, WireError> {
+        let len = checked_slice_len(v.len())?;
+        self.buf.put_u32_le(len);
         self.buf.put_slice(v);
-        self
+        Ok(self)
     }
 
     /// Appends a length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string exceeds `u32::MAX` bytes (see
+    /// [`Encoder::put_bytes`]).
     pub fn put_str(&mut self, v: &str) -> &mut Self {
         self.put_bytes(v.as_bytes())
     }
 
     /// Appends a length-prefixed `f32` slice (count, then raw values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds `u32::MAX` elements (see
+    /// [`Encoder::put_bytes`]).
     pub fn put_f32_slice(&mut self, v: &[f32]) -> &mut Self {
-        self.buf.put_u32_le(v.len() as u32);
+        let len =
+            checked_slice_len(v.len()).unwrap_or_else(|e| panic!("Encoder::put_f32_slice: {e}"));
+        self.buf.put_u32_le(len);
         for &x in v {
             self.buf.put_f32_le(x);
         }
@@ -135,8 +202,15 @@ impl Encoder {
     }
 
     /// Appends a length-prefixed `u64` slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds `u32::MAX` elements (see
+    /// [`Encoder::put_bytes`]).
     pub fn put_u64_slice(&mut self, v: &[u64]) -> &mut Self {
-        self.buf.put_u32_le(v.len() as u32);
+        let len =
+            checked_slice_len(v.len()).unwrap_or_else(|e| panic!("Encoder::put_u64_slice: {e}"));
+        self.buf.put_u32_le(len);
         for &x in v {
             self.buf.put_u64_le(x);
         }
@@ -345,6 +419,38 @@ mod tests {
         let mut d = Decoder::new(&b);
         d.get_u8().unwrap();
         assert_eq!(d.finish(), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn slice_len_boundary() {
+        // Exactly u32::MAX fits the prefix; one more overflows it. The old
+        // code cast with `as u32`, wrapping 0x1_0000_0000 to 0 and silently
+        // corrupting every later field.
+        assert_eq!(checked_slice_len(u32::MAX as usize), Ok(u32::MAX));
+        assert_eq!(
+            checked_slice_len(u32::MAX as usize + 1),
+            Err(WireError::TooLarge { declared: u32::MAX as usize + 1 })
+        );
+        assert_eq!(checked_slice_len(0), Ok(0));
+    }
+
+    #[test]
+    fn try_put_bytes_rejects_oversized_without_appending() {
+        // A 4 GiB zeroed Vec is a lazy mapping on Linux: the length check
+        // fires before any byte is copied, so this test stays cheap.
+        let huge = vec![0u8; u32::MAX as usize + 1];
+        let mut e = Encoder::new();
+        let err = e.try_put_bytes(&huge).unwrap_err();
+        assert!(matches!(err, WireError::TooLarge { .. }));
+        assert!(e.is_empty(), "failed put must not leave a partial prefix");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the u32 length prefix")]
+    fn put_bytes_panics_clearly_on_oversized() {
+        let huge = vec![0u8; u32::MAX as usize + 1];
+        let mut e = Encoder::new();
+        e.put_bytes(&huge);
     }
 
     #[test]

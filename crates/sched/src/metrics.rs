@@ -20,6 +20,14 @@ pub struct DeviceMetrics {
     pub launches: u64,
     /// When the device's compute engine frees up, ns of virtual time.
     pub engine_free_ns: u64,
+    /// Whether the device is currently in placement rotation.
+    pub healthy: bool,
+    /// Consecutive faults currently charged against the device.
+    pub consecutive_faults: u64,
+    /// Times the device was evicted after a fault streak.
+    pub evictions: u64,
+    /// Times a probe brought the device back into rotation.
+    pub reinstatements: u64,
 }
 
 /// A snapshot of every scheduler counter the daemon exposes.
@@ -31,6 +39,14 @@ pub struct SchedMetrics {
     pub cpu_fallback_batches: u64,
     /// Rows inside those batches.
     pub cpu_fallback_rows: u64,
+    /// Device evictions across the pool.
+    pub device_evictions: u64,
+    /// Device reinstatements across the pool.
+    pub device_reinstatements: u64,
+    /// Batches that hit a device fault and were recovered on the CPU.
+    pub recovered_batches: u64,
+    /// Rows inside those recovered batches.
+    pub recovered_rows: u64,
     /// Requests currently waiting in the batcher.
     pub queue_depth: usize,
     /// Requests ever accepted by the batcher.
@@ -62,6 +78,7 @@ impl SchedMetrics {
             .map(|idx| {
                 let (batches, rows) = pool.dispatch_counts(idx);
                 let (launches, _, _) = pool.device(idx).transfer_stats();
+                let (evictions, reinstatements) = pool.health_counts(idx);
                 DeviceMetrics {
                     index: idx,
                     dispatched_batches: batches,
@@ -69,15 +86,27 @@ impl SchedMetrics {
                     utilization_percent: utils[idx],
                     launches,
                     engine_free_ns: frees[idx].as_nanos(),
+                    healthy: pool.device_health(idx),
+                    consecutive_faults: pool.device_fault_streak(idx),
+                    evictions,
+                    reinstatements,
                 }
             })
             .collect();
         let (cpu_batches, cpu_rows) = pool.fallback_counts();
+        let (recovered_batches, recovered_rows) = pool.recovered_counts();
+        let (device_evictions, device_reinstatements) = (0..pool.len())
+            .map(|idx| pool.health_counts(idx))
+            .fold((0, 0), |(e, r), (de, dr)| (e + de, r + dr));
         let c = batcher.counters();
         SchedMetrics {
             devices,
             cpu_fallback_batches: cpu_batches,
             cpu_fallback_rows: cpu_rows,
+            device_evictions,
+            device_reinstatements,
+            recovered_batches,
+            recovered_rows,
             queue_depth: batcher.queue_depth(),
             submitted: c.submitted,
             dispatched_batches: c.dispatched_batches,
@@ -115,10 +144,28 @@ mod tests {
         assert_eq!(m.devices[1].dispatched_batches, 1);
         assert_eq!(m.devices[1].dispatched_rows, 2);
         assert_eq!(m.cpu_fallback_batches, 1);
+        assert!(m.devices.iter().all(|d| d.healthy));
+        assert_eq!((m.device_evictions, m.device_reinstatements), (0, 0));
         assert_eq!(m.submitted, 2);
         assert_eq!(m.dispatched_batches, 1);
         assert_eq!(m.full_flushes, 1);
         assert_eq!(m.mean_batch_size, Some(2.0));
         assert_eq!(m.queue_depth, 0);
+    }
+
+    #[test]
+    fn snapshot_surfaces_health_transitions() {
+        let pool = DevicePool::new(2, GpuSpec::tiny(), SharedClock::new(), PoolPolicy::default());
+        let batcher = Batcher::new(BatchPolicy::default());
+        for _ in 0..pool.policy().fault_threshold {
+            pool.note_device_fault(0);
+        }
+        pool.note_recovered(8);
+        let m = SchedMetrics::collect(&pool, &batcher);
+        assert!(!m.devices[0].healthy);
+        assert!(m.devices[1].healthy);
+        assert_eq!(m.devices[0].evictions, 1);
+        assert_eq!(m.device_evictions, 1);
+        assert_eq!((m.recovered_batches, m.recovered_rows), (1, 8));
     }
 }

@@ -7,13 +7,13 @@
 //! the pool reports [`Placement::CpuFallback`] so the caller runs the
 //! model host-side instead (Fig 13's adaptive behavior).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use lake_gpu::{GpuDevice, GpuError, GpuSpec, KernelArg, KernelCtx, NvmlSampler};
-use lake_sim::{Instant, SharedClock};
+use lake_sim::{Duration, Instant, SharedClock};
 
 /// Where a batch should execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,11 +36,22 @@ pub struct PoolPolicy {
     /// amortize). `0` disables batch-size steering, which keeps the
     /// daemon's synchronous inference path on the device like the seed.
     pub batch_threshold: usize,
+    /// Consecutive faults after which a device is evicted from placement
+    /// (marked unhealthy) until a probe reinstates it.
+    pub fault_threshold: u32,
+    /// Virtual time an evicted device sits out before placement probes it
+    /// again. One more fault after reinstatement re-evicts immediately.
+    pub probe_interval: Duration,
 }
 
 impl Default for PoolPolicy {
     fn default() -> Self {
-        PoolPolicy { exec_threshold: 40.0, batch_threshold: 0 }
+        PoolPolicy {
+            exec_threshold: 40.0,
+            batch_threshold: 0,
+            fault_threshold: 3,
+            probe_interval: Duration::from_millis(5),
+        }
     }
 }
 
@@ -52,6 +63,14 @@ struct PooledDevice {
     stream: u32,
     dispatches: AtomicU64,
     rows: AtomicU64,
+    /// False once `fault_threshold` consecutive faults evict the device.
+    healthy: AtomicBool,
+    consecutive_faults: AtomicU64,
+    /// When the device was evicted (valid while unhealthy); probes fire
+    /// `probe_interval` after this.
+    evicted_at: Mutex<Instant>,
+    evictions: AtomicU64,
+    reinstatements: AtomicU64,
 }
 
 /// N simulated GPUs sharing one virtual clock, each with its own dispatch
@@ -62,6 +81,10 @@ pub struct DevicePool {
     clock: SharedClock,
     cpu_fallback_batches: AtomicU64,
     cpu_fallback_rows: AtomicU64,
+    /// Batches that hit a device fault mid-dispatch and were recovered on
+    /// the CPU instead of being lost.
+    recovered_batches: AtomicU64,
+    recovered_rows: AtomicU64,
 }
 
 impl std::fmt::Debug for DevicePool {
@@ -104,6 +127,11 @@ impl DevicePool {
                 device,
                 dispatches: AtomicU64::new(0),
                 rows: AtomicU64::new(0),
+                healthy: AtomicBool::new(true),
+                consecutive_faults: AtomicU64::new(0),
+                evicted_at: Mutex::new(Instant::EPOCH),
+                evictions: AtomicU64::new(0),
+                reinstatements: AtomicU64::new(0),
             })
             .collect();
         Arc::new(DevicePool {
@@ -112,6 +140,8 @@ impl DevicePool {
             clock,
             cpu_fallback_batches: AtomicU64::new(0),
             cpu_fallback_rows: AtomicU64::new(0),
+            recovered_batches: AtomicU64::new(0),
+            recovered_rows: AtomicU64::new(0),
         })
     }
 
@@ -185,15 +215,21 @@ impl DevicePool {
     }
 
     /// Decides where a `batch`-row launch should run: the least-loaded
-    /// uncontended device, or the CPU when all devices exceed the
-    /// execution threshold (or the batch is below the batch threshold).
+    /// healthy, uncontended device; the CPU when every device is evicted
+    /// or above the execution threshold (or the batch is below the batch
+    /// threshold). No request is ever refused — the worst case is a CPU
+    /// placement (Fig 13's degraded mode).
     pub fn place(&self, batch: usize) -> Placement {
+        self.probe_evicted();
         if batch < self.policy.batch_threshold {
             return Placement::CpuFallback;
         }
         let utils = self.utilization_snapshot();
         let mut best: Option<(usize, Instant)> = None;
         for (idx, d) in self.devices.iter().enumerate() {
+            if !d.healthy.load(Ordering::Acquire) {
+                continue;
+            }
             if utils[idx] > self.policy.exec_threshold {
                 continue;
             }
@@ -209,10 +245,92 @@ impl DevicePool {
         }
     }
 
-    /// Records a batch dispatched to device `idx`.
+    /// Reinstates evicted devices whose probe interval has elapsed. A
+    /// reinstated device re-enters placement one fault away from
+    /// re-eviction, so a still-broken device is benched again immediately.
+    fn probe_evicted(&self) {
+        let now = self.clock.now();
+        for d in &self.devices {
+            if d.healthy.load(Ordering::Acquire) {
+                continue;
+            }
+            let evicted_at = *d.evicted_at.lock();
+            if now.duration_since(evicted_at) >= self.policy.probe_interval {
+                d.consecutive_faults.store(
+                    u64::from(self.policy.fault_threshold.saturating_sub(1)),
+                    Ordering::Release,
+                );
+                d.healthy.store(true, Ordering::Release);
+                d.reinstatements.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records a batch dispatched to device `idx`. A successful dispatch
+    /// clears the device's consecutive-fault streak.
     pub fn note_dispatch(&self, idx: usize, rows: usize) {
         self.devices[idx].dispatches.fetch_add(1, Ordering::Relaxed);
         self.devices[idx].rows.fetch_add(rows as u64, Ordering::Relaxed);
+        self.devices[idx].consecutive_faults.store(0, Ordering::Release);
+    }
+
+    /// Records a fault on device `idx` (kernel fault, OOM, ...). After
+    /// `fault_threshold` consecutive faults the device is evicted from
+    /// placement until [`DevicePool::place`] probes it back in.
+    pub fn note_device_fault(&self, idx: usize) {
+        let d = &self.devices[idx];
+        let streak = d.consecutive_faults.fetch_add(1, Ordering::AcqRel) + 1;
+        if streak >= u64::from(self.policy.fault_threshold.max(1))
+            && d.healthy.swap(false, Ordering::AcqRel)
+        {
+            *d.evicted_at.lock() = self.clock.now();
+            d.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a batch that hit a device fault and was recovered on the
+    /// CPU instead of being lost.
+    pub fn note_recovered(&self, rows: usize) {
+        self.recovered_batches.fetch_add(1, Ordering::Relaxed);
+        self.recovered_rows.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    /// Whether device `idx` is currently in placement rotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn device_health(&self, idx: usize) -> bool {
+        self.devices[idx].healthy.load(Ordering::Acquire)
+    }
+
+    /// Consecutive faults currently charged to device `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn device_fault_streak(&self, idx: usize) -> u64 {
+        self.devices[idx].consecutive_faults.load(Ordering::Acquire)
+    }
+
+    /// (evictions, reinstatements) of device `idx` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn health_counts(&self, idx: usize) -> (u64, u64) {
+        (
+            self.devices[idx].evictions.load(Ordering::Relaxed),
+            self.devices[idx].reinstatements.load(Ordering::Relaxed),
+        )
+    }
+
+    /// (batches, rows) recovered on the CPU after device faults.
+    pub fn recovered_counts(&self) -> (u64, u64) {
+        (
+            self.recovered_batches.load(Ordering::Relaxed),
+            self.recovered_rows.load(Ordering::Relaxed),
+        )
     }
 
     /// Records a batch that fell back to the CPU.
@@ -297,10 +415,56 @@ mod tests {
             1,
             GpuSpec::a100(),
             clock,
-            PoolPolicy { exec_threshold: 40.0, batch_threshold: 8 },
+            PoolPolicy { exec_threshold: 40.0, batch_threshold: 8, ..Default::default() },
         );
         assert_eq!(pool.place(4), Placement::CpuFallback);
         assert_eq!(pool.place(8), Placement::Device(0));
+    }
+
+    #[test]
+    fn consecutive_faults_evict_and_probe_reinstates() {
+        let pool = test_pool(2);
+        let threshold = pool.policy().fault_threshold;
+        // Below the threshold: the device stays in rotation.
+        for _ in 0..threshold - 1 {
+            pool.note_device_fault(0);
+        }
+        assert!(pool.device_health(0));
+        // A success clears the streak.
+        pool.note_dispatch(0, 1);
+        assert_eq!(pool.device_fault_streak(0), 0);
+        // A full streak evicts.
+        for _ in 0..threshold {
+            pool.note_device_fault(0);
+        }
+        assert!(!pool.device_health(0));
+        assert_eq!(pool.health_counts(0), (1, 0));
+        assert_eq!(pool.place(16), Placement::Device(1), "evicted device skipped");
+        // After the probe interval, placement reinstates it...
+        pool.clock().advance(pool.policy().probe_interval);
+        let _ = pool.place(16);
+        assert!(pool.device_health(0));
+        assert_eq!(pool.health_counts(0), (1, 1));
+        // ...one fault away from re-eviction.
+        pool.note_device_fault(0);
+        assert!(!pool.device_health(0));
+        assert_eq!(pool.health_counts(0), (2, 1));
+    }
+
+    #[test]
+    fn all_devices_evicted_degrades_to_cpu_fallback() {
+        let pool = test_pool(2);
+        for idx in 0..2 {
+            for _ in 0..pool.policy().fault_threshold {
+                pool.note_device_fault(idx);
+            }
+        }
+        assert_eq!(pool.place(16), Placement::CpuFallback, "no healthy device left");
+        pool.note_recovered(16);
+        assert_eq!(pool.recovered_counts(), (1, 16));
+        // Probes eventually bring devices back.
+        pool.clock().advance(pool.policy().probe_interval);
+        assert!(matches!(pool.place(16), Placement::Device(_)));
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Deterministic fault injection for chaos testing the LAKE stack.
+//!
+//! The paper's reliability story (§4, Fig 13) is that kernel subsystems can
+//! depend on a user-space daemon and a GPU *because* every failure degrades
+//! to the CPU path instead of losing requests. This module provides the
+//! seeded fault sources that exercise those paths:
+//!
+//! * [`FaultPlan`] — a seeded stream of per-frame transport faults
+//!   (drop / corrupt / delay / duplicate) with atomic injection counters.
+//!   The transport layer consults it once per frame direction.
+//! * [`BurstSchedule`] — periodic virtual-time fault windows used for GPU
+//!   kernel-fault / OOM bursts and daemon stall windows. Purely a function
+//!   of the virtual clock, so runs are reproducible bit-for-bit.
+//!
+//! Determinism: all randomness comes from a [`SimRng`] seeded at plan
+//! construction; nothing reads wall-clock time. Two runs with the same
+//! seed and the same call sequence inject the same faults.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rand::RngCore;
+
+use crate::clock::{Duration, Instant};
+use crate::rng::SimRng;
+
+/// Per-frame fault probabilities for a transport link.
+///
+/// Probabilities are evaluated in order (drop, corrupt, delay, duplicate)
+/// against a single uniform draw, so their sum must be ≤ 1.0; the
+/// remainder is clean delivery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability a frame is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a single bit of the frame is flipped in flight.
+    pub corrupt_prob: f64,
+    /// Probability the frame is delayed by up to [`FaultSpec::max_delay`].
+    pub delay_prob: f64,
+    /// Probability the frame is delivered twice.
+    pub duplicate_prob: f64,
+    /// Upper bound for injected delays (uniform in `0..=max_delay`).
+    pub max_delay: Duration,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            delay_prob: 0.0,
+            duplicate_prob: 0.0,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// The fate of one frame, drawn from a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Deliver unchanged.
+    Deliver,
+    /// Silently discard the frame.
+    Drop,
+    /// Flip one bit. The carried value is a raw bit index the transport
+    /// maps into the frame with `bit % (len * 8)`.
+    Corrupt {
+        /// Raw (unreduced) bit index to flip.
+        bit: u64,
+    },
+    /// Deliver after an extra delay.
+    Delay(Duration),
+    /// Deliver the frame twice.
+    Duplicate,
+}
+
+/// Snapshot of injected-fault counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Frames evaluated against the plan.
+    pub frames: u64,
+    /// Frames dropped.
+    pub drops: u64,
+    /// Frames bit-flipped.
+    pub corruptions: u64,
+    /// Frames delayed.
+    pub delays: u64,
+    /// Frames duplicated.
+    pub duplicates: u64,
+}
+
+/// A seeded, deterministic source of transport faults.
+///
+/// Shared (via `Arc`) between both directions of a link so one seed fully
+/// determines a chaos run.
+#[derive(Debug)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    rng: Mutex<SimRng>,
+    frames: AtomicU64,
+    drops: AtomicU64,
+    corruptions: AtomicU64,
+    delays: AtomicU64,
+    duplicates: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Creates a plan injecting per `spec`, seeded with `seed`.
+    pub fn new(spec: FaultSpec, seed: u64) -> Self {
+        FaultPlan {
+            spec,
+            rng: Mutex::new(SimRng::seed(seed)),
+            frames: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
+            delays: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+        }
+    }
+
+    /// The probabilities this plan injects with.
+    pub fn spec(&self) -> FaultSpec {
+        self.spec
+    }
+
+    /// Draws the fate of the next frame.
+    pub fn next_frame_fault(&self) -> FrameFault {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        let mut rng = self.rng.lock();
+        let draw = uniform(&mut rng);
+        let s = &self.spec;
+        let mut edge = s.drop_prob;
+        if draw < edge {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            return FrameFault::Drop;
+        }
+        edge += s.corrupt_prob;
+        if draw < edge {
+            self.corruptions.fetch_add(1, Ordering::Relaxed);
+            return FrameFault::Corrupt { bit: rng.next_u64() };
+        }
+        edge += s.delay_prob;
+        if draw < edge {
+            self.delays.fetch_add(1, Ordering::Relaxed);
+            let extra = self.spec.max_delay * uniform(&mut rng);
+            return FrameFault::Delay(extra);
+        }
+        edge += s.duplicate_prob;
+        if draw < edge {
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+            return FrameFault::Duplicate;
+        }
+        FrameFault::Deliver
+    }
+
+    /// Injection counts so far.
+    pub fn counters(&self) -> FaultCounters {
+        FaultCounters {
+            frames: self.frames.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            corruptions: self.corruptions.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn uniform(rng: &mut SimRng) -> f64 {
+    // 53 random mantissa bits → uniform in [0, 1).
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Periodic fault windows in virtual time: active for `burst` out of every
+/// `period`, starting at `offset`.
+///
+/// Used for GPU kernel-fault / OOM bursts and daemon stall windows. Being a
+/// pure function of the clock (no RNG), schedules compose deterministically
+/// with any workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstSchedule {
+    /// Virtual time of the first window's start.
+    pub offset: Duration,
+    /// Window repetition period. A zero period never activates.
+    pub period: Duration,
+    /// Active span at the start of each period. Zero never activates.
+    pub burst: Duration,
+}
+
+impl BurstSchedule {
+    /// A schedule active for `burst` at the start of every `period`,
+    /// beginning at `offset`.
+    pub fn new(offset: Duration, period: Duration, burst: Duration) -> Self {
+        BurstSchedule { offset, period, burst }
+    }
+
+    /// Whether the schedule is in a fault window at `t`.
+    pub fn active_at(&self, t: Instant) -> bool {
+        !self.remaining_at(t).is_zero()
+    }
+
+    /// Time left in the fault window covering `t` (zero when inactive).
+    pub fn remaining_at(&self, t: Instant) -> Duration {
+        if self.period.is_zero() || self.burst.is_zero() {
+            return Duration::ZERO;
+        }
+        let since = t.as_nanos();
+        let start = self.offset.as_nanos();
+        if since < start {
+            return Duration::ZERO;
+        }
+        let phase = (since - start) % self.period.as_nanos();
+        if phase < self.burst.as_nanos() {
+            Duration::from_nanos(self.burst.as_nanos() - phase)
+        } else {
+            Duration::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_never_faults() {
+        let plan = FaultPlan::new(FaultSpec::default(), 42);
+        for _ in 0..1000 {
+            assert_eq!(plan.next_frame_fault(), FrameFault::Deliver);
+        }
+        let c = plan.counters();
+        assert_eq!(c.frames, 1000);
+        assert_eq!(c.drops + c.corruptions + c.delays + c.duplicates, 0);
+    }
+
+    #[test]
+    fn rates_roughly_match_spec() {
+        let spec = FaultSpec {
+            drop_prob: 0.10,
+            corrupt_prob: 0.05,
+            delay_prob: 0.05,
+            duplicate_prob: 0.02,
+            max_delay: Duration::from_micros(100),
+        };
+        let plan = FaultPlan::new(spec, 7);
+        for _ in 0..20_000 {
+            plan.next_frame_fault();
+        }
+        let c = plan.counters();
+        let rate = |n: u64| n as f64 / c.frames as f64;
+        assert!((rate(c.drops) - 0.10).abs() < 0.02, "drop rate {}", rate(c.drops));
+        assert!((rate(c.corruptions) - 0.05).abs() < 0.02);
+        assert!((rate(c.delays) - 0.05).abs() < 0.02);
+        assert!((rate(c.duplicates) - 0.02).abs() < 0.01);
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let spec = FaultSpec {
+            drop_prob: 0.3,
+            corrupt_prob: 0.3,
+            delay_prob: 0.2,
+            duplicate_prob: 0.1,
+            max_delay: Duration::from_micros(50),
+        };
+        let a = FaultPlan::new(spec, 99);
+        let b = FaultPlan::new(spec, 99);
+        for _ in 0..500 {
+            assert_eq!(a.next_frame_fault(), b.next_frame_fault());
+        }
+    }
+
+    #[test]
+    fn injected_delays_are_bounded() {
+        let spec = FaultSpec {
+            delay_prob: 1.0,
+            max_delay: Duration::from_micros(80),
+            ..Default::default()
+        };
+        let plan = FaultPlan::new(spec, 3);
+        for _ in 0..200 {
+            match plan.next_frame_fault() {
+                FrameFault::Delay(d) => assert!(d <= Duration::from_micros(80)),
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn burst_schedule_windows() {
+        let s = BurstSchedule::new(
+            Duration::from_millis(1),
+            Duration::from_millis(10),
+            Duration::from_millis(2),
+        );
+        // Before offset: inactive.
+        assert!(!s.active_at(Instant::from_nanos(0)));
+        // Inside first window.
+        assert!(s.active_at(Instant::EPOCH + Duration::from_millis(1)));
+        assert!(s.active_at(Instant::EPOCH + Duration::from_micros(2_900)));
+        // After the window, before the next period.
+        assert!(!s.active_at(Instant::EPOCH + Duration::from_millis(4)));
+        // Next period's window.
+        assert!(s.active_at(Instant::EPOCH + Duration::from_millis(11)));
+        // remaining_at counts down through the window.
+        let r = s.remaining_at(Instant::EPOCH + Duration::from_micros(1_500));
+        assert_eq!(r, Duration::from_micros(1_500));
+    }
+
+    #[test]
+    fn zero_period_or_burst_never_active() {
+        let never = BurstSchedule::new(Duration::ZERO, Duration::ZERO, Duration::from_millis(1));
+        assert!(!never.active_at(Instant::from_nanos(12345)));
+        let never = BurstSchedule::new(Duration::ZERO, Duration::from_millis(1), Duration::ZERO);
+        assert!(!never.active_at(Instant::from_nanos(12345)));
+    }
+}

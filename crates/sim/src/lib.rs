@@ -32,12 +32,14 @@
 pub mod clock;
 pub mod dist;
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod resource;
 pub mod rng;
 
 pub use clock::{Clock, Duration, Instant, SharedClock};
 pub use event::{schedule_periodic, EventId, Simulation};
+pub use fault::{BurstSchedule, FaultCounters, FaultPlan, FaultSpec, FrameFault};
 pub use metrics::{Histogram, MovingAverage, TimeSeries, UtilizationMeter, ValueStats};
 pub use resource::{FifoResource, Grant};
 pub use rng::SimRng;

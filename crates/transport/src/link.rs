@@ -8,9 +8,10 @@
 //! virtual timestamps stay causally consistent across threads.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crossbeam::channel::{self, Receiver, Sender};
-use lake_sim::{Instant, SharedClock};
+use lake_sim::{FaultPlan, FrameFault, Instant, SharedClock};
 
 use crate::mechanism::Mechanism;
 
@@ -52,6 +53,7 @@ pub struct LinkEndpoint {
     clock: SharedClock,
     tx: Sender<Envelope>,
     rx: Receiver<Envelope>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl LinkEndpoint {
@@ -59,16 +61,38 @@ impl LinkEndpoint {
     /// mechanism call time. Returns the virtual time at which the peer
     /// will observe the message.
     ///
+    /// On a faulty link (see [`Link::pair_with_faults`]) the frame may be
+    /// dropped, bit-flipped, delayed, or duplicated in flight; the sender
+    /// still pays the call time and cannot observe the fault.
+    ///
     /// # Errors
     ///
     /// Returns [`SendError`] carrying the payload back if the peer endpoint
     /// has been dropped.
     pub fn send(&self, payload: Vec<u8>) -> Result<Instant, SendError> {
         let sent_at = self.clock.advance(self.mechanism.call_time());
-        let arrive_at = sent_at + self.mechanism.one_way(payload.len());
-        self.tx
-            .send(Envelope { arrive_at, payload })
-            .map_err(|e| SendError(e.into_inner().payload))?;
+        let mut arrive_at = sent_at + self.mechanism.one_way(payload.len());
+        let mut payload = payload;
+        let mut copies = 1usize;
+        if let Some(plan) = &self.faults {
+            match plan.next_frame_fault() {
+                FrameFault::Deliver => {}
+                FrameFault::Drop => return Ok(arrive_at),
+                FrameFault::Corrupt { bit } => {
+                    if !payload.is_empty() {
+                        let bit = (bit as usize) % (payload.len() * 8);
+                        payload[bit / 8] ^= 1 << (bit % 8);
+                    }
+                }
+                FrameFault::Delay(extra) => arrive_at += extra,
+                FrameFault::Duplicate => copies = 2,
+            }
+        }
+        for _ in 0..copies {
+            self.tx
+                .send(Envelope { arrive_at, payload: payload.clone() })
+                .map_err(|e| SendError(e.into_inner().payload))?;
+        }
         Ok(arrive_at)
     }
 
@@ -103,6 +127,31 @@ impl LinkEndpoint {
         }
     }
 
+    /// Receive with a *real-time* patience bound: `Ok(None)` means no
+    /// message arrived within `timeout` of wall-clock waiting — the
+    /// caller's loss-detection signal on a lossy link. Virtual time is
+    /// untouched on timeout; the caller decides what a lost frame costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] if the peer has disconnected and the queue is
+    /// empty.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Vec<u8>>, RecvError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => {
+                self.clock.advance_to(env.arrive_at);
+                Ok(Some(env.payload))
+            }
+            Err(channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(channel::RecvTimeoutError::Disconnected) => Err(RecvError),
+        }
+    }
+
+    /// The fault plan injecting on this endpoint's sends, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
     /// The mechanism this link models.
     pub fn mechanism(&self) -> Mechanism {
         self.mechanism
@@ -122,10 +171,36 @@ impl Link {
     /// Creates a connected pair of endpoints (kernel side, user side)
     /// sharing `clock`, modeling `mechanism`.
     pub fn pair(mechanism: Mechanism, clock: SharedClock) -> (LinkEndpoint, LinkEndpoint) {
+        Link::build_pair(mechanism, clock, None)
+    }
+
+    /// Like [`Link::pair`], but every frame sent in *either* direction is
+    /// subjected to `plan`'s drop / corrupt / delay / duplicate faults.
+    /// Both directions share the plan (and its counters), so one seed
+    /// determines the whole chaos run.
+    pub fn pair_with_faults(
+        mechanism: Mechanism,
+        clock: SharedClock,
+        plan: Arc<FaultPlan>,
+    ) -> (LinkEndpoint, LinkEndpoint) {
+        Link::build_pair(mechanism, clock, Some(plan))
+    }
+
+    fn build_pair(
+        mechanism: Mechanism,
+        clock: SharedClock,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> (LinkEndpoint, LinkEndpoint) {
         let (tx_ku, rx_ku) = channel::unbounded();
         let (tx_uk, rx_uk) = channel::unbounded();
-        let kernel = LinkEndpoint { mechanism, clock: clock.clone(), tx: tx_ku, rx: rx_uk };
-        let user = LinkEndpoint { mechanism, clock, tx: tx_uk, rx: rx_ku };
+        let kernel = LinkEndpoint {
+            mechanism,
+            clock: clock.clone(),
+            tx: tx_ku,
+            rx: rx_uk,
+            faults: faults.clone(),
+        };
+        let user = LinkEndpoint { mechanism, clock, tx: tx_uk, rx: rx_ku, faults };
         (kernel, user)
     }
 }
@@ -182,6 +257,69 @@ mod tests {
         for i in 0..10u8 {
             assert_eq!(u.recv().unwrap(), vec![i]);
         }
+    }
+
+    #[test]
+    fn faulty_pair_drops_and_duplicates() {
+        use lake_sim::{FaultPlan, FaultSpec};
+        let clock = SharedClock::new();
+        let plan = Arc::new(FaultPlan::new(FaultSpec { drop_prob: 0.5, ..Default::default() }, 11));
+        let (k, u) = Link::pair_with_faults(Mechanism::Netlink, clock, plan.clone());
+        for i in 0..200u8 {
+            k.send(vec![i; 4]).unwrap();
+        }
+        let mut delivered = 0;
+        while u.try_recv().unwrap().is_some() {
+            delivered += 1;
+        }
+        let c = plan.counters();
+        assert_eq!(delivered as u64 + c.drops, 200);
+        assert!(c.drops > 50, "expected ~100 drops, got {}", c.drops);
+    }
+
+    #[test]
+    fn faulty_pair_corrupts_exactly_one_bit() {
+        use lake_sim::{FaultPlan, FaultSpec};
+        let clock = SharedClock::new();
+        let plan =
+            Arc::new(FaultPlan::new(FaultSpec { corrupt_prob: 1.0, ..Default::default() }, 5));
+        let (k, u) = Link::pair_with_faults(Mechanism::Netlink, clock, plan);
+        let original = vec![0xAAu8; 16];
+        k.send(original.clone()).unwrap();
+        let got = u.recv().unwrap();
+        let flipped: u32 = original.iter().zip(&got).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit must differ");
+    }
+
+    #[test]
+    fn recv_timeout_reports_silence_without_advancing_clock() {
+        let clock = SharedClock::new();
+        let (_k, u) = Link::pair(Mechanism::Netlink, clock.clone());
+        let t0 = clock.now();
+        let got = u.recv_timeout(std::time::Duration::from_millis(5)).unwrap();
+        assert_eq!(got, None);
+        assert_eq!(clock.now(), t0, "timeout must not advance virtual time");
+    }
+
+    #[test]
+    fn injected_delay_pushes_arrival_later() {
+        use lake_sim::{Duration as SimDuration, FaultPlan, FaultSpec};
+        let clock = SharedClock::new();
+        let plan = Arc::new(FaultPlan::new(
+            FaultSpec {
+                delay_prob: 1.0,
+                max_delay: SimDuration::from_micros(500),
+                ..Default::default()
+            },
+            2,
+        ));
+        let (k, u) = Link::pair_with_faults(Mechanism::Netlink, clock.clone(), plan.clone());
+        let clean_arrival =
+            clock.now() + Mechanism::Netlink.call_time() + Mechanism::Netlink.one_way(8);
+        k.send(vec![0u8; 8]).unwrap();
+        u.recv().unwrap();
+        assert!(clock.now() >= clean_arrival);
+        assert_eq!(plan.counters().delays, 1);
     }
 
     #[test]

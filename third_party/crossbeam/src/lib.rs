@@ -93,6 +93,28 @@ pub mod channel {
 
     impl std::error::Error for TryRecvError {}
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value arrived before the timeout elapsed.
+        Timeout,
+        /// Channel is empty and all senders have been dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut inner = self.0.queue.lock().unwrap();
@@ -138,6 +160,28 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 inner = self.0.ready.wait(inner).unwrap();
+            }
+        }
+
+        /// Block until a value is available, every sender is dropped, or
+        /// `timeout` (wall-clock) elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut inner = self.0.queue.lock().unwrap();
+            loop {
+                if let Some(v) = inner.items.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self.0.ready.wait_timeout(inner, remaining).unwrap();
+                inner = guard;
             }
         }
 
@@ -206,6 +250,20 @@ pub mod channel {
             assert_eq!(rx.try_recv(), Ok(9));
             drop(tx);
             assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u8>();
+            let err = rx.recv_timeout(std::time::Duration::from_millis(1)).unwrap_err();
+            assert_eq!(err, RecvTimeoutError::Timeout);
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(100)), Ok(5));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]
