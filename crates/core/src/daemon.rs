@@ -144,6 +144,9 @@ struct SchedState {
     ready: HashMap<u64, ReadyEntry>,
     consumed: HashSet<u64>,
     issued: u64,
+    /// Tickets whose queued rows (or unpicked results) died with a
+    /// daemon incarnation; polling them fails typed instead of hanging.
+    lost: HashSet<u64>,
 }
 
 /// The daemon: implements [`ApiHandler`] over the simulated CUDA library.
@@ -192,6 +195,7 @@ impl LakeDaemon {
             ready: HashMap::new(),
             consumed: HashSet::new(),
             issued: 0,
+            lost: HashSet::new(),
         });
         Arc::new(LakeDaemon {
             gpu: Arc::clone(pool.primary()),
@@ -417,11 +421,11 @@ impl LakeDaemon {
 
     // -- high-level APIs (§4.4) -------------------------------------------
 
-    fn ml_load_model(&self, payload: &[u8]) -> Result<Bytes, Status> {
-        let mut d = Decoder::new(payload);
-        let blob = d.get_bytes().map_err(|_| Status::Malformed)?;
+    /// Decodes a serialized model blob into the daemon-resident form plus
+    /// its device footprint (weight bytes, kernel base, per-item FLOPs).
+    fn decode_model_blob(blob: &[u8]) -> Result<(LoadedModel, usize, &'static str, f64), Status> {
         let kind = ModelKind::detect(blob).map_err(|_| Status::VendorError(code::ML_BAD_MODEL))?;
-        let (model, weight_bytes, kernel_name, flops_per_item) = match kind {
+        Ok(match kind {
             ModelKind::Mlp => {
                 let m = serialize::decode_mlp(blob)
                     .map_err(|_| Status::VendorError(code::ML_BAD_MODEL))?;
@@ -445,7 +449,13 @@ impl LakeDaemon {
                 let flops = 3.0 * m.dims() as f64;
                 (LoadedModel::Knn(Arc::new(m)), bytes, "hl_knn", flops)
             }
-        };
+        })
+    }
+
+    fn ml_load_model(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let blob = d.get_bytes().map_err(|_| Status::Malformed)?;
+        let (model, weight_bytes, kernel_name, flops_per_item) = Self::decode_model_blob(blob)?;
 
         let mut hl = self.hl.lock();
         let id = hl.next_id;
@@ -866,12 +876,61 @@ impl LakeDaemon {
                 self.pool.device(device_idx).stream_synchronize(stream).map_err(gpu_status)?;
             }
             e.put_u8(1).put_u64(entry.class);
+        } else if sched.lost.remove(&ticket) {
+            sched.consumed.insert(ticket);
+            return Err(Status::VendorError(code::SCHED_TICKET_LOST));
         } else if ticket == 0 || ticket > sched.issued || sched.consumed.contains(&ticket) {
             return Err(Status::VendorError(code::SCHED_BAD_TICKET));
         } else {
             e.put_u8(0);
         }
         Ok(e.finish())
+    }
+
+    // -- supervised lifecycle (crash recovery) -----------------------------
+
+    /// Models the death of the daemon process: every in-memory model and
+    /// every queued/unpicked batched-inference row dies with the old
+    /// incarnation. Ticket bookkeeping (`issued`/`consumed`) is kept —
+    /// conceptually it lives kernel-side — so polling a lost ticket fails
+    /// typed ([`code::SCHED_TICKET_LOST`]) instead of hanging, and fresh
+    /// tickets stay monotonic across incarnations.
+    pub fn crash_reset(&self, _new_epoch: u64) {
+        self.hl.lock().models.clear();
+        let mut sched = self.sched.lock();
+        for batch in sched.batcher.flush_all() {
+            for req in &batch.requests {
+                sched.lost.insert(req.ticket);
+            }
+        }
+        let unpicked: Vec<u64> = sched.ready.keys().copied().collect();
+        sched.lost.extend(unpicked);
+        sched.ready.clear();
+    }
+
+    /// Replays one shadow-table model into a fresh incarnation **under
+    /// its original id**, re-uploading weights to every pool device and
+    /// re-registering the per-model kernel. In-flight retries that
+    /// reference the id stay valid across the restart.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same statuses as `ml_load_model` for undecodable
+    /// blobs or device upload failures.
+    pub fn restore_model(&self, id: u64, blob: &[u8]) -> Result<(), Status> {
+        let (model, weight_bytes, kernel_name, flops_per_item) = Self::decode_model_blob(blob)?;
+        {
+            let mut hl = self.hl.lock();
+            hl.models.insert(id, model);
+            hl.next_id = hl.next_id.max(id + 1);
+        }
+        for idx in 0..self.pool.len() {
+            let dev = self.pool.device(idx);
+            let weights = dev.mem_alloc(weight_bytes.max(4)).map_err(gpu_status)?;
+            dev.memcpy_htod(weights, &vec![0u8; weight_bytes.max(4)]).map_err(gpu_status)?;
+        }
+        self.register_model_kernel(id, kernel_name, flops_per_item);
+        Ok(())
     }
 
     /// `tfInferFlush`: force-dispatch every pending queue.

@@ -7,6 +7,7 @@
 use std::fmt;
 
 use lake_rpc::{RpcError, Status};
+use lake_sched::AdmissionError;
 use lake_shm::ShmError;
 
 /// Vendor error codes the daemon uses when a simulated CUDA call fails.
@@ -32,6 +33,9 @@ pub mod code {
     /// Unknown (never issued or already consumed) batched-inference
     /// ticket.
     pub const SCHED_BAD_TICKET: u32 = 48;
+    /// The ticket's queued row (or unpicked result) died with a daemon
+    /// incarnation; the submit must be repeated.
+    pub const SCHED_TICKET_LOST: u32 = 49;
 }
 
 /// Errors surfaced to LAKE-powered kernel applications.
@@ -42,6 +46,9 @@ pub enum LakeError {
     Rpc(RpcError),
     /// A `lakeShm` operation failed locally (allocation, bounds).
     Shm(ShmError),
+    /// Admission control rejected the request after bounded backpressure
+    /// (queue full, or the staging quota/region never freed in time).
+    Admission(AdmissionError),
     /// The daemon's response payload did not decode as expected.
     BadResponse(&'static str),
 }
@@ -51,6 +58,7 @@ impl fmt::Display for LakeError {
         match self {
             LakeError::Rpc(e) => write!(f, "lake rpc failure: {e}"),
             LakeError::Shm(e) => write!(f, "lake shm failure: {e}"),
+            LakeError::Admission(e) => write!(f, "lake admission failure: {e}"),
             LakeError::BadResponse(what) => write!(f, "malformed daemon response: {what}"),
         }
     }
@@ -67,6 +75,12 @@ impl From<RpcError> for LakeError {
 impl From<ShmError> for LakeError {
     fn from(e: ShmError) -> Self {
         LakeError::Shm(e)
+    }
+}
+
+impl From<AdmissionError> for LakeError {
+    fn from(e: AdmissionError) -> Self {
+        LakeError::Admission(e)
     }
 }
 

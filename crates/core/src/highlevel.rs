@@ -7,13 +7,16 @@
 //! in-daemon ML runtime (`lake-ml`) and the device. Feature batches travel
 //! through `lakeShm`, the "only data copying under its domain".
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use lake_rpc::{CallEngine, Decoder, Encoder};
-use lake_shm::ShmRegion;
+use lake_rpc::{CallEngine, Decoder, Encoder, RpcError};
+use lake_sched::AdmissionController;
+use lake_shm::{ShmBuffer, ShmRegion};
 
 use crate::api;
 use crate::error::LakeError;
+use crate::supervisor::DaemonSupervisor;
 
 /// Identifies a model loaded in the daemon.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,6 +44,12 @@ impl std::fmt::Display for Ticket {
 pub struct LakeMl {
     engine: Arc<CallEngine>,
     shm: ShmRegion,
+    /// Bounded backpressure in front of staging-buffer allocation.
+    admission: Option<Arc<AdmissionController>>,
+    /// Shadow registration table for crash replay.
+    supervisor: Option<Arc<DaemonSupervisor>>,
+    /// Owner tag for staged buffers (unique per handle, monotonic).
+    next_request: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for LakeMl {
@@ -50,8 +59,53 @@ impl std::fmt::Debug for LakeMl {
 }
 
 impl LakeMl {
-    pub(crate) fn new(engine: Arc<CallEngine>, shm: ShmRegion) -> Self {
-        LakeMl { engine, shm }
+    pub(crate) fn new(
+        engine: Arc<CallEngine>,
+        shm: ShmRegion,
+        admission: Option<Arc<AdmissionController>>,
+        supervisor: Option<Arc<DaemonSupervisor>>,
+    ) -> Self {
+        LakeMl { engine, shm, admission, supervisor, next_request: Arc::new(AtomicU64::new(1)) }
+    }
+
+    /// Stages `raw` into an **owner-tagged** shm buffer (current daemon
+    /// epoch + request id), going through admission control when it is
+    /// wired: shm exhaustion waits boundedly on the virtual clock
+    /// instead of failing immediately or forever.
+    fn stage(&self, raw: &[u8], client: u64) -> Result<ShmBuffer, LakeError> {
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let size = raw.len().max(1);
+        let buf = match &self.admission {
+            Some(ctl) => ctl
+                .admit(client, size, || self.shm.alloc_owned(size, request_id).ok())
+                .map_err(LakeError::Admission)?,
+            None => self.shm.alloc_owned(size, request_id)?,
+        };
+        self.shm.write(&buf, 0, raw)?;
+        Ok(buf)
+    }
+
+    /// Releases a staged buffer after its call finished. When the call
+    /// died with the daemon (`DaemonRestarted`), the buffer is **not**
+    /// freed here — the dead incarnation may still have it mapped, so it
+    /// is disowned (marked orphaned) for the supervisor's reclamation
+    /// sweep to collect once the restart protocol has run.
+    fn unstage(
+        &self,
+        buf: ShmBuffer,
+        client: u64,
+        lost_with_daemon: bool,
+    ) -> Result<(), LakeError> {
+        let size = buf.len();
+        if lost_with_daemon {
+            self.shm.mark_orphan(&buf)?;
+        } else {
+            self.shm.free(buf)?;
+        }
+        if let Some(ctl) = &self.admission {
+            ctl.release(client, size);
+        }
+        Ok(())
     }
 
     /// Loads a serialized model (`lake_ml::serialize` blob) into the
@@ -66,6 +120,11 @@ impl LakeMl {
         let resp = self.engine.call(api::ML_LOAD_MODEL, e.finish())?;
         let mut d = Decoder::new(&resp);
         let id = d.get_u64().map_err(|_| LakeError::BadResponse("model id"))?;
+        // Shadow-register the blob so a supervised restart replays it
+        // into the new incarnation under the same id.
+        if let Some(sup) = &self.supervisor {
+            sup.record_model(id, blob);
+        }
         Ok(ModelId(id))
     }
 
@@ -78,6 +137,9 @@ impl LakeMl {
         let mut e = Encoder::new();
         e.put_u64(id.0);
         self.engine.call(api::ML_UNLOAD_MODEL, e.finish())?;
+        if let Some(sup) = &self.supervisor {
+            sup.forget_model(id.0);
+        }
         Ok(())
     }
 
@@ -94,12 +156,11 @@ impl LakeMl {
         // Stage the batch in lakeShm so only the descriptor crosses the
         // channel.
         let bytes = features.len() * 4;
-        let buf = self.shm.alloc(bytes)?;
         let mut raw = Vec::with_capacity(bytes);
         for &x in features {
             raw.extend_from_slice(&x.to_le_bytes());
         }
-        self.shm.write(&buf, 0, &raw)?;
+        let buf = self.stage(&raw, 0)?;
 
         let mut e = Encoder::new();
         e.put_u64(id.0)
@@ -108,7 +169,8 @@ impl LakeMl {
             .put_u64(steps as u64)
             .put_u64(buf.offset() as u64);
         let result = self.engine.call(api, e.finish());
-        self.shm.free(buf)?;
+        let lost = matches!(result, Err(RpcError::DaemonRestarted { .. }));
+        self.unstage(buf, 0, lost)?;
         let resp = result?;
         let mut d = Decoder::new(&resp);
         let classes = d.get_u64_slice().map_err(|_| LakeError::BadResponse("class vector"))?;
@@ -182,12 +244,11 @@ impl LakeMl {
         assert_eq!(features.len(), rows * cols, "feature buffer shape mismatch");
         assert_eq!(labels.len(), rows, "one label per row");
         let bytes = features.len() * 4;
-        let buf = self.shm.alloc(bytes.max(1))?;
         let mut raw = Vec::with_capacity(bytes);
         for &x in features {
             raw.extend_from_slice(&x.to_le_bytes());
         }
-        self.shm.write(&buf, 0, &raw)?;
+        let buf = self.stage(&raw, 0)?;
 
         let label_words: Vec<u64> = labels.iter().map(|&l| l as u64).collect();
         let mut e = Encoder::new();
@@ -199,7 +260,8 @@ impl LakeMl {
             .put_u64_slice(&label_words)
             .put_u64(buf.offset() as u64);
         let result = self.engine.call(api::ML_TRAIN_MLP, e.finish());
-        self.shm.free(buf)?;
+        let lost = matches!(result, Err(RpcError::DaemonRestarted { .. }));
+        self.unstage(buf, 0, lost)?;
         let resp = result?;
         let mut d = Decoder::new(&resp);
         d.get_f32().map_err(|_| LakeError::BadResponse("training loss"))
@@ -245,12 +307,11 @@ impl LakeMl {
     ) -> Result<Ticket, LakeError> {
         assert_eq!(features.len(), cols, "one row of `cols` features");
         let bytes = features.len() * 4;
-        let buf = self.shm.alloc(bytes)?;
         let mut raw = Vec::with_capacity(bytes);
         for &x in features {
             raw.extend_from_slice(&x.to_le_bytes());
         }
-        self.shm.write(&buf, 0, &raw)?;
+        let buf = self.stage(&raw, client)?;
 
         let mut e = Encoder::new();
         e.put_u64(id.0)
@@ -259,7 +320,8 @@ impl LakeMl {
             .put_u64(steps as u64)
             .put_u64(buf.offset() as u64);
         let result = self.engine.call(api::ML_INFER_SUBMIT, e.finish());
-        self.shm.free(buf)?;
+        let lost = matches!(result, Err(RpcError::DaemonRestarted { .. }));
+        self.unstage(buf, client, lost)?;
         let resp = result?;
         let mut d = Decoder::new(&resp);
         let ticket = d.get_u64().map_err(|_| LakeError::BadResponse("ticket"))?;

@@ -4,14 +4,17 @@ use std::sync::Arc;
 
 use lake_gpu::{GpuDevice, GpuError, GpuFaultConfig, GpuSpec, KernelArg, KernelCtx};
 use lake_rpc::{CallEngine, CallPolicy, CallStats};
-use lake_sched::{BatchPolicy, DevicePool, PoolPolicy, SchedMetrics};
-use lake_shm::ShmRegion;
-use lake_sim::{BurstSchedule, FaultCounters, FaultPlan, FaultSpec, SharedClock};
+use lake_sched::{
+    AdmissionController, AdmissionPolicy, BatchPolicy, DevicePool, PoolPolicy, SchedMetrics,
+};
+use lake_shm::{AllocStats, ReclaimReport, ShmRegion};
+use lake_sim::{BurstSchedule, CrashSchedule, FaultCounters, FaultPlan, FaultSpec, SharedClock};
 use lake_transport::Mechanism;
 
 use crate::daemon::LakeDaemon;
 use crate::highlevel::LakeMl;
 use crate::lakelib::LakeCuda;
+use crate::supervisor::{DaemonSupervisor, SupervisorPolicy, SupervisorStats};
 
 /// Configures and builds a [`Lake`] instance.
 ///
@@ -30,6 +33,9 @@ pub struct LakeBuilder {
     transport_faults: Option<(FaultSpec, u64)>,
     gpu_faults: Vec<(usize, GpuFaultConfig)>,
     stall_schedule: Option<BurstSchedule>,
+    crash_schedule: Option<CrashSchedule>,
+    supervisor_policy: SupervisorPolicy,
+    admission_policy: AdmissionPolicy,
 }
 
 impl Default for LakeBuilder {
@@ -46,6 +52,9 @@ impl Default for LakeBuilder {
             transport_faults: None,
             gpu_faults: Vec::new(),
             stall_schedule: None,
+            crash_schedule: None,
+            supervisor_policy: SupervisorPolicy::default(),
+            admission_policy: AdmissionPolicy::default(),
         }
     }
 }
@@ -127,6 +136,26 @@ impl LakeBuilder {
         self
     }
 
+    /// Injects seeded daemon crashes: at each scheduled instant `lakeD`
+    /// dies (possibly mid-request) and the supervisor restarts it under
+    /// a new incarnation epoch.
+    pub fn crash_schedule(mut self, schedule: CrashSchedule) -> Self {
+        self.crash_schedule = Some(schedule);
+        self
+    }
+
+    /// Overrides the supervisor's lease/backoff/breaker tunables.
+    pub fn supervisor_policy(mut self, policy: SupervisorPolicy) -> Self {
+        self.supervisor_policy = policy;
+        self
+    }
+
+    /// Overrides the staging-buffer admission-control tunables.
+    pub fn admission_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission_policy = policy;
+        self
+    }
+
     /// Builds the instance: shared region, device pool, daemon, call
     /// engine.
     pub fn build(self) -> Lake {
@@ -143,11 +172,23 @@ impl LakeBuilder {
         let gpu = Arc::clone(pool.primary());
         let daemon = LakeDaemon::with_pool(Arc::clone(&pool), shm.clone(), self.batch_policy);
         daemon.set_stall_schedule(self.stall_schedule);
+        // The supervisor is always wired (an empty crash schedule is a
+        // no-op lease), so the engine's per-call lifecycle hook and the
+        // epoch plumbing behave identically with and without chaos.
+        let supervisor = DaemonSupervisor::new(
+            clock.clone(),
+            self.crash_schedule.unwrap_or_else(CrashSchedule::none),
+            self.supervisor_policy,
+            Arc::clone(&daemon),
+            shm.clone(),
+            Arc::clone(&pool),
+        );
         let mut engine = CallEngine::in_process(
             self.mechanism,
             clock.clone(),
             daemon.clone() as Arc<dyn lake_rpc::ApiHandler>,
-        );
+        )
+        .with_lifecycle(Arc::clone(&supervisor) as Arc<dyn lake_rpc::DaemonLifecycle>);
         if let Some(policy) = self.call_policy {
             engine = engine.with_policy(policy);
         }
@@ -160,7 +201,8 @@ impl LakeBuilder {
         // Retry-with-backoff only ever fires for APIs registered as
         // idempotent; classify the whole surface up front.
         crate::api::register_idempotency(&engine);
-        Lake { clock, shm, gpu, pool, daemon, engine, fault_plan }
+        let admission = Arc::new(AdmissionController::new(clock.clone(), self.admission_policy));
+        Lake { clock, shm, gpu, pool, daemon, engine, fault_plan, supervisor, admission }
     }
 }
 
@@ -174,6 +216,22 @@ pub struct Lake {
     daemon: Arc<LakeDaemon>,
     engine: Arc<CallEngine>,
     fault_plan: Option<Arc<FaultPlan>>,
+    supervisor: Arc<DaemonSupervisor>,
+    admission: Arc<AdmissionController>,
+}
+
+/// Everything that can go wrong, in one snapshot: transport faults,
+/// shm health (orphans, reclamation), and the supervisor's lifecycle
+/// counters.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Injected transport-fault counters, if a plan was configured.
+    pub transport: Option<FaultCounters>,
+    /// `lakeShm` allocator stats, including `orphaned_bytes` and the
+    /// reclamation counters.
+    pub shm: AllocStats,
+    /// Daemon lifecycle counters (crashes, restarts, replay, breaker).
+    pub supervisor: SupervisorStats,
 }
 
 impl std::fmt::Debug for Lake {
@@ -213,9 +271,37 @@ impl Lake {
     }
 
     /// A snapshot of the scheduler's counters (queue depth, batch sizes,
-    /// per-device utilization and dispatches, CPU fallbacks).
+    /// per-device utilization and dispatches, CPU fallbacks), with
+    /// admission-control, shm-orphan, and daemon-lifecycle counters
+    /// folded in.
     pub fn sched_metrics(&self) -> SchedMetrics {
-        self.daemon.sched_metrics()
+        let mut m = self.daemon.sched_metrics().with_admission(self.admission.counters());
+        let shm = self.shm.stats();
+        m.shm_orphaned_bytes = shm.orphaned_bytes;
+        m.shm_reclaimed_allocs = shm.reclaimed_allocs;
+        m.shm_reclaimed_bytes = shm.reclaimed_bytes;
+        m.daemon_restarts = self.supervisor.stats().restarts;
+        m
+    }
+
+    /// The daemon supervisor (heartbeat lease, restart protocol, shadow
+    /// replay table).
+    pub fn supervisor(&self) -> &Arc<DaemonSupervisor> {
+        &self.supervisor
+    }
+
+    /// The staging-buffer admission controller.
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
+    }
+
+    /// Quiesced orphan sweep: frees every shm allocation still owned by
+    /// a dead daemon incarnation, including the most recent one. Call
+    /// with no requests in flight — the supervisor's automatic restart
+    /// sweep leaves the just-dead epoch alone precisely because
+    /// failover retries may still reference it.
+    pub fn reclaim_shm_orphans(&self) -> ReclaimReport {
+        self.shm.reclaim_before(self.shm.epoch())
     }
 
     /// The daemon (for tests and direct wiring).
@@ -229,9 +315,15 @@ impl Lake {
         LakeCuda::new(Arc::clone(&self.engine), self.shm.clone())
     }
 
-    /// A kernel-space high-level-ML handle (§4.4).
+    /// A kernel-space high-level-ML handle (§4.4), with staging-buffer
+    /// admission control and crash-replay shadow registration wired in.
     pub fn ml(&self) -> LakeMl {
-        LakeMl::new(Arc::clone(&self.engine), self.shm.clone())
+        LakeMl::new(
+            Arc::clone(&self.engine),
+            self.shm.clone(),
+            Some(Arc::clone(&self.admission)),
+            Some(Arc::clone(&self.supervisor)),
+        )
     }
 
     /// Registers a device kernel — the equivalent of shipping a compiled
@@ -253,6 +345,16 @@ impl Lake {
     /// configured via [`LakeBuilder::transport_faults`].
     pub fn fault_counters(&self) -> Option<FaultCounters> {
         self.fault_plan.as_ref().map(|p| p.counters())
+    }
+
+    /// One combined fault snapshot: transport counters plus shm orphan/
+    /// reclamation stats plus supervisor lifecycle counters.
+    pub fn fault_report(&self) -> FaultReport {
+        FaultReport {
+            transport: self.fault_counters(),
+            shm: self.shm.stats(),
+            supervisor: self.supervisor.stats(),
+        }
     }
 }
 
@@ -534,6 +636,230 @@ mod fault_tests {
         assert!(stats.retries > 0, "faults should have forced retries");
         let counters = lake.fault_counters().expect("plan installed");
         assert!(counters.drops > 0 && counters.corruptions > 0, "{counters:?}");
+    }
+}
+
+#[cfg(test)]
+mod crash_tests {
+    use super::*;
+    use crate::error::{code, LakeError};
+    use lake_ml::{serialize, Activation, Mlp};
+    use lake_rpc::RpcError;
+    use lake_sched::AdmissionError;
+    use lake_sim::{Duration, Instant};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_mlp() -> Mlp {
+        Mlp::new(&[4, 8, 2], Activation::Relu, &mut StdRng::seed_from_u64(3))
+    }
+
+    /// A lake whose daemon dies at each of the given microsecond marks.
+    fn crash_lake(crash_us: &[u64]) -> Lake {
+        let crashes =
+            crash_us.iter().map(|&us| Instant::EPOCH + Duration::from_micros(us)).collect();
+        Lake::builder().crash_schedule(CrashSchedule::at(crashes)).build()
+    }
+
+    /// Park the clock just shy of `crash_us`, so the *next* request's
+    /// in-flight window spans the crash instant.
+    fn arm_crash(lake: &Lake, crash_us: u64) {
+        lake.clock().advance_to(Instant::from_nanos(crash_us * 1_000 - 100));
+    }
+
+    #[test]
+    fn idempotent_inference_fails_over_across_crashes() {
+        let lake = crash_lake(&[500]);
+        let ml = lake.ml();
+        let model = tiny_mlp();
+        let id = ml.load_model(&serialize::encode_mlp(&model)).unwrap();
+        let x = [0.25f32, 0.5, 0.75, 1.0];
+        let before = ml.infer_mlp(id, 1, 4, &x).unwrap();
+
+        // The daemon dies while this inference is in flight. Inference is
+        // idempotent, so the engine fences the stale response and replays
+        // the command against the new incarnation — the caller never sees
+        // the crash.
+        arm_crash(&lake, 500);
+        let after = ml.infer_mlp(id, 1, 4, &x).unwrap();
+        assert_eq!(after, before, "failover must reproduce the pre-crash answer");
+
+        let sup = lake.supervisor().stats();
+        assert_eq!(sup.crashes_detected, 1);
+        assert_eq!(sup.restarts, 1);
+        assert_eq!(sup.epoch, 1);
+        assert_eq!(sup.models_replayed, 1, "shadow table replays the model");
+
+        let calls = lake.call_stats();
+        assert!(calls.failed_over >= 1, "{calls:?}");
+        assert_eq!(
+            calls.stale_epochs,
+            calls.failed_over + calls.daemon_restarts,
+            "every fenced response is accounted as failover or typed error"
+        );
+    }
+
+    #[test]
+    fn non_idempotent_call_surfaces_daemon_restarted_and_model_survives() {
+        let lake = crash_lake(&[500]);
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_mlp(&tiny_mlp())).unwrap();
+        // A kernel subsystem that registered a feature-registry schema
+        // shadows it with the supervisor so each new incarnation hears
+        // the announcement again (see FeatureRegistryService::catalog).
+        lake.supervisor().record_schema("bio_latency", "block");
+        let x = vec![0.5f32; 8];
+        let y = vec![0u32, 1];
+
+        // Training is not idempotent: the daemon may have applied the
+        // gradient step before dying, so the engine must not silently
+        // re-run it. The caller gets a typed error carrying the epoch the
+        // attempt was sent under.
+        arm_crash(&lake, 500);
+        let err = ml.train_mlp(id, 2, 4, &x, &y, 1, 0.1).unwrap_err();
+        assert!(
+            matches!(err, LakeError::Rpc(RpcError::DaemonRestarted { epoch: 0 })),
+            "expected DaemonRestarted under epoch 0, got {err:?}"
+        );
+
+        // The caller-driven retry lands on the new incarnation, where the
+        // shadow registration table already replayed the model id.
+        ml.train_mlp(id, 2, 4, &x, &y, 1, 0.1).unwrap();
+        assert_eq!(ml.infer_mlp(id, 1, 4, &[0.5; 4]).unwrap().len(), 1);
+
+        let sup = lake.supervisor().stats();
+        assert_eq!(sup.epoch, 1);
+        assert_eq!(sup.models_replayed, 1);
+        assert_eq!(sup.schemas_replayed, 1);
+        assert_eq!(lake.call_stats().daemon_restarts, 1);
+    }
+
+    #[test]
+    fn restart_storm_trips_breaker_into_forced_cpu_fallback() {
+        // Each supervised restart costs >= lease + backoff + restart_cost
+        // (~145us), so crashes 100us apart mean every restart runs the
+        // clock into the next crash: a restart storm.
+        let lake = crash_lake(&[500, 600, 700]);
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_mlp(&tiny_mlp())).unwrap();
+
+        arm_crash(&lake, 500);
+        // Idempotent, so the request survives the whole storm via failover.
+        ml.infer_mlp(id, 1, 4, &[0.25; 4]).unwrap();
+
+        let sup = lake.supervisor().stats();
+        assert_eq!(sup.restarts, 3);
+        assert_eq!(sup.breaker_trips, 1, "three restarts in the window trip the breaker");
+        assert!(lake.pool().forced_fallback(), "breaker latches the CPU path");
+        let m = lake.sched_metrics();
+        assert!(m.forced_fallback);
+        assert_eq!(m.forced_fallback_trips, 1);
+
+        // Requests keep completing on the host while the breaker holds.
+        ml.infer_mlp(id, 1, 4, &[0.75; 4]).unwrap();
+        assert!(lake.sched_metrics().cpu_fallback_batches >= 1);
+
+        // Once the cooldown passes the supervisor releases the latch and
+        // placement returns to the device pool.
+        lake.clock().advance(lake.supervisor().policy().breaker_cooldown * 2);
+        ml.infer_mlp(id, 1, 4, &[0.75; 4]).unwrap();
+        assert!(!lake.pool().forced_fallback(), "cooldown releases the breaker");
+        assert_eq!(lake.supervisor().stats().epoch, 3, "no further restarts after the storm");
+    }
+
+    #[test]
+    fn orphaned_staging_buffers_are_swept_back_to_one_free_block() {
+        let lake = crash_lake(&[500]);
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_mlp(&tiny_mlp())).unwrap();
+        let base = lake.shm().stats();
+        assert_eq!(base.in_use, 0, "model blobs travel inline, not via lakeShm");
+
+        // The crash strands this call's staging buffer: the kernel side
+        // must not free a buffer the dead daemon may still have mapped,
+        // so it disowns it instead.
+        arm_crash(&lake, 500);
+        let x = vec![0.5f32; 8];
+        ml.train_mlp(id, 2, 4, &x, &[0, 1], 1, 0.1).unwrap_err();
+        let stats = lake.shm().stats();
+        assert!(stats.in_use > 0, "the orphan is still allocated");
+        assert!(stats.orphaned_bytes > 0, "and accounted as orphaned: {stats:?}");
+
+        // The next request triggers the supervised restart, whose
+        // automatic sweep reclaims the disowned buffer — the region
+        // converges back to one coalesced free block.
+        ml.infer_mlp(id, 1, 4, &[0.5; 4]).unwrap();
+        let sup = lake.supervisor().stats();
+        assert_eq!(sup.orphans_reclaimed, 1);
+        assert!(sup.orphan_bytes_reclaimed >= 32);
+
+        let stats = lake.shm().stats();
+        assert_eq!(stats.orphaned_bytes, 0);
+        assert_eq!(stats.in_use, 0);
+        assert_eq!(stats.free_blocks, 1, "region converges to one coalesced free block");
+        assert_eq!(stats.largest_free, lake.shm().capacity());
+
+        // Nothing left for the quiesced sweep.
+        assert_eq!(lake.reclaim_shm_orphans().reclaimed_allocs, 0);
+    }
+
+    #[test]
+    fn lost_batched_tickets_fail_typed_after_a_crash() {
+        let crashes = vec![Instant::EPOCH + Duration::from_micros(500)];
+        let lake = Lake::builder()
+            .crash_schedule(CrashSchedule::at(crashes))
+            // Keep the queue parked so the row is still queued at crash
+            // time.
+            .batch_policy(BatchPolicy { max_batch: 64, max_wait: Duration::from_millis(50) })
+            .build();
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_mlp(&tiny_mlp())).unwrap();
+        let ticket = ml.infer_submit(id, 7, 4, 0, &[0.5; 4]).unwrap();
+
+        // The daemon dies with the row queued; the restarted incarnation
+        // has no memory of it. Polling must say so explicitly rather than
+        // hang or claim the ticket never existed.
+        lake.clock().advance_to(Instant::EPOCH + Duration::from_micros(501));
+        let err = ml.infer_poll(ticket).unwrap_err();
+        assert_eq!(err.vendor_code(), Some(code::SCHED_TICKET_LOST));
+        // The loss is reported once; afterwards the ticket is consumed.
+        let err = ml.infer_poll(ticket).unwrap_err();
+        assert_eq!(err.vendor_code(), Some(code::SCHED_BAD_TICKET));
+
+        // Resubmitting against the new incarnation completes normally.
+        let ticket = ml.infer_submit(id, 7, 4, 0, &[0.5; 4]).unwrap();
+        ml.infer_flush().unwrap();
+        assert!(ml.infer_poll(ticket).unwrap().is_some());
+        assert_eq!(lake.supervisor().stats().epoch, 1);
+    }
+
+    #[test]
+    fn admission_control_bounds_shm_exhaustion() {
+        // A 256-byte region cannot ever stage a 512-byte batch: admission
+        // must bound the wait and surface a typed error instead of
+        // spinning forever (or panicking on the allocator).
+        let lake = Lake::builder().shm_capacity(256).build();
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_mlp(&tiny_mlp())).unwrap();
+
+        let t0 = lake.clock().now();
+        let err = ml.infer_mlp(id, 32, 4, &vec![0.25f32; 128]).unwrap_err();
+        let waited = lake.clock().now() - t0;
+        assert!(
+            matches!(err, LakeError::Admission(AdmissionError::DeadlineExpired { .. })),
+            "expected a typed admission deadline, got {err:?}"
+        );
+        let deadline = lake.admission().policy().queue_deadline;
+        assert!(waited >= deadline, "backpressure held for the full deadline");
+        assert!(waited < deadline * 3, "and is bounded: waited {waited}");
+
+        let counters = lake.sched_metrics().admission;
+        assert_eq!(counters.expired_deadline, 1);
+        assert_eq!(counters.queued_waits, 1);
+
+        // Right-sized requests still flow afterwards: the failed admit
+        // released its claim.
+        assert_eq!(ml.infer_mlp(id, 1, 4, &[0.25; 4]).unwrap().len(), 1);
     }
 }
 

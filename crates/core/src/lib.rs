@@ -52,15 +52,21 @@ pub mod highlevel;
 pub mod lake;
 pub mod lakelib;
 pub mod policy;
+pub mod supervisor;
 
 pub use error::LakeError;
 pub use highlevel::{LakeMl, ModelId, Ticket};
-pub use lake::{Lake, LakeBuilder};
+pub use lake::{FaultReport, Lake, LakeBuilder};
 pub use lakelib::LakeCuda;
 pub use policy::{CuPolicy, Policy, PolicyConfig, Target};
+pub use supervisor::{DaemonSupervisor, SupervisorPolicy, SupervisorStats};
 
 // Re-export the types that appear in this crate's public API.
 pub use lake_gpu::{DevicePtr, ExecMode, GpuDevice, GpuError, GpuSpec, KernelArg, KernelCtx};
-pub use lake_sched::{BatchPolicy, DevicePool, Placement, PoolPolicy, SchedMetrics};
-pub use lake_shm::{ShmBuffer, ShmRegion};
+pub use lake_sched::{
+    AdmissionController, AdmissionCounters, AdmissionError, AdmissionPolicy, BatchPolicy,
+    DevicePool, Placement, PoolPolicy, SchedMetrics,
+};
+pub use lake_shm::{AllocStats, ReclaimReport, ShmBuffer, ShmRegion};
+pub use lake_sim::CrashSchedule;
 pub use lake_transport::Mechanism;

@@ -1,0 +1,315 @@
+//! Supervised `lakeD` lifecycle: crash detection, epoch-fenced restart,
+//! shadow-state replay, and orphan reclamation.
+//!
+//! The paper's daemon is a single point of failure: every remoted API
+//! dies with it. [`DaemonSupervisor`] reproduces what a production
+//! deployment layers on top — a heartbeat lease over the daemon process,
+//! a supervised restart loop with exponential backoff, and a
+//! restart-storm circuit breaker that parks the stack on the PR 2 CPU
+//! fallback path when the daemon cannot stay up.
+//!
+//! The supervisor implements [`lake_rpc::DaemonLifecycle`], so the call
+//! engine consults it around every command: crashes scheduled by
+//! [`CrashSchedule`] strike mid-request, in-flight idempotent calls fail
+//! over to the new incarnation, and everything else surfaces a typed
+//! [`lake_rpc::RpcError::DaemonRestarted`].
+//!
+//! On every restart the supervisor:
+//!
+//! 1. charges virtual time for lease expiry (detection), backoff, and
+//!    the restart itself,
+//! 2. bumps the **incarnation epoch** (stamped on every response frame,
+//!    fencing stale answers),
+//! 3. re-attaches `lakeShm` under the new epoch and sweeps the staging
+//!    buffers the kernel side explicitly disowned (marked orphaned when
+//!    their request died with the old incarnation) — never epoch-old
+//!    buffers that are merely *suspect*, because an idempotent request
+//!    failing over across several back-to-back restarts still references
+//!    the buffer it staged before the first crash (a quiesced
+//!    [`crate::Lake::reclaim_shm_orphans`] collects stragglers),
+//! 4. replays the kernel-side shadow registration table: model blobs
+//!    recorded at `load_model` time are restored **under their original
+//!    ids** (so retried requests stay valid) and registered
+//!    `lake-registry` schemas are re-announced.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use lake_rpc::DaemonLifecycle;
+use lake_sched::DevicePool;
+use lake_shm::ShmRegion;
+use lake_sim::{CrashSchedule, Duration, Instant, SharedClock};
+
+use crate::daemon::LakeDaemon;
+
+/// Tunables for the supervised restart loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorPolicy {
+    /// Heartbeat lease: virtual time between the crash and the
+    /// supervisor noticing the lease expired.
+    pub lease_timeout: Duration,
+    /// Cost of one daemon restart (exec + shm reattach + CUDA init).
+    pub restart_cost: Duration,
+    /// Backoff before the first restart in a storm window.
+    pub initial_backoff: Duration,
+    /// Backoff cap (doubling stops here).
+    pub max_backoff: Duration,
+    /// Restarts within this window count toward the storm breaker.
+    pub storm_window: Duration,
+    /// Restarts inside `storm_window` that trip the breaker.
+    pub storm_threshold: usize,
+    /// How long a tripped breaker keeps the pool in forced CPU fallback.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        Self {
+            lease_timeout: Duration::from_micros(20),
+            restart_cost: Duration::from_micros(100),
+            initial_backoff: Duration::from_micros(25),
+            max_backoff: Duration::from_micros(400),
+            storm_window: Duration::from_millis(5),
+            storm_threshold: 3,
+            breaker_cooldown: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Counter snapshot for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// The current incarnation epoch (0 = primordial daemon).
+    pub epoch: u64,
+    /// Crashes the lease detected.
+    pub crashes_detected: u64,
+    /// Supervised restarts performed.
+    pub restarts: u64,
+    /// Shadow models replayed into new incarnations.
+    pub models_replayed: u64,
+    /// Registry schemas re-announced to new incarnations.
+    pub schemas_replayed: u64,
+    /// Times the restart-storm breaker latched forced CPU fallback.
+    pub breaker_trips: u64,
+    /// Orphaned shm allocations freed by automatic restart sweeps.
+    pub orphans_reclaimed: u64,
+    /// Bytes those sweeps returned to the free list.
+    pub orphan_bytes_reclaimed: usize,
+}
+
+struct SupState {
+    /// Crash instants at or before this are already restarted past.
+    handled: Instant,
+    /// Restart instants inside the storm window (pruned lazily).
+    recent: Vec<Instant>,
+    /// While set, the breaker holds the pool in forced fallback.
+    breaker_until: Option<Instant>,
+    /// Kernel-side shadow of loaded models: id -> serialized blob.
+    shadow_models: BTreeMap<u64, Vec<u8>>,
+    /// Kernel-side shadow of registered `lake-registry` schemas.
+    shadow_schemas: Vec<(String, String)>,
+    orphan_bytes_reclaimed: usize,
+}
+
+/// Owns the daemon's heartbeat lease and restart protocol.
+pub struct DaemonSupervisor {
+    clock: SharedClock,
+    schedule: CrashSchedule,
+    policy: SupervisorPolicy,
+    daemon: Arc<LakeDaemon>,
+    shm: ShmRegion,
+    pool: Arc<DevicePool>,
+    epoch: AtomicU64,
+    state: Mutex<SupState>,
+    crashes_detected: AtomicU64,
+    restarts: AtomicU64,
+    models_replayed: AtomicU64,
+    schemas_replayed: AtomicU64,
+    breaker_trips: AtomicU64,
+    orphans_reclaimed: AtomicU64,
+}
+
+impl std::fmt::Debug for DaemonSupervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonSupervisor")
+            .field("policy", &self.policy)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DaemonSupervisor {
+    /// Creates a supervisor watching `daemon` under `schedule`.
+    pub fn new(
+        clock: SharedClock,
+        schedule: CrashSchedule,
+        policy: SupervisorPolicy,
+        daemon: Arc<LakeDaemon>,
+        shm: ShmRegion,
+        pool: Arc<DevicePool>,
+    ) -> Arc<Self> {
+        Arc::new(DaemonSupervisor {
+            clock,
+            schedule,
+            policy,
+            daemon,
+            shm,
+            pool,
+            epoch: AtomicU64::new(0),
+            state: Mutex::new(SupState {
+                handled: Instant::EPOCH,
+                recent: Vec::new(),
+                breaker_until: None,
+                shadow_models: BTreeMap::new(),
+                shadow_schemas: Vec::new(),
+                orphan_bytes_reclaimed: 0,
+            }),
+            crashes_detected: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            models_replayed: AtomicU64::new(0),
+            schemas_replayed: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            orphans_reclaimed: AtomicU64::new(0),
+        })
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SupervisorPolicy {
+        self.policy
+    }
+
+    /// Records a loaded model in the shadow registration table; replayed
+    /// under the same id into every new incarnation. The blob is the one
+    /// recorded here — refresh it (e.g. from `export_model`) if daemon-
+    /// side training changed the weights.
+    pub fn record_model(&self, id: u64, blob: &[u8]) {
+        self.state.lock().shadow_models.insert(id, blob.to_vec());
+    }
+
+    /// Drops a model from the shadow table (paired with `unload_model`).
+    pub fn forget_model(&self, id: u64) {
+        self.state.lock().shadow_models.remove(&id);
+    }
+
+    /// Records a `lake-registry` schema `(name, subsystem)` for replay
+    /// (see `FeatureRegistryService::catalog`).
+    pub fn record_schema(&self, name: &str, subsystem: &str) {
+        let mut st = self.state.lock();
+        let key = (name.to_owned(), subsystem.to_owned());
+        if !st.shadow_schemas.contains(&key) {
+            st.shadow_schemas.push(key);
+        }
+    }
+
+    /// Models currently shadowed for replay.
+    pub fn shadowed_models(&self) -> usize {
+        self.state.lock().shadow_models.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SupervisorStats {
+        SupervisorStats {
+            epoch: self.epoch.load(Ordering::Acquire),
+            crashes_detected: self.crashes_detected.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            models_replayed: self.models_replayed.load(Ordering::Relaxed),
+            schemas_replayed: self.schemas_replayed.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            orphans_reclaimed: self.orphans_reclaimed.load(Ordering::Relaxed),
+            orphan_bytes_reclaimed: self.state.lock().orphan_bytes_reclaimed,
+        }
+    }
+
+    /// One supervised restart: charge detection + backoff + restart
+    /// time, bump the epoch, sweep explicitly disowned shm orphans, and
+    /// replay the shadow registration table.
+    fn restart(&self, st: &mut SupState) {
+        // Lease expiry: the crash is only noticed once the heartbeat
+        // lease runs out.
+        self.clock.advance(self.policy.lease_timeout);
+
+        // Exponential backoff within the storm window.
+        let now = self.clock.now();
+        let window = self.policy.storm_window;
+        st.recent.retain(|&t| now.duration_since(t) <= window);
+        let mut backoff = self.policy.initial_backoff;
+        for _ in 0..st.recent.len() {
+            backoff = (backoff + backoff).min(self.policy.max_backoff);
+        }
+        self.clock.advance(backoff + self.policy.restart_cost);
+
+        let new_epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+
+        // Reattach lakeShm under the new incarnation and sweep the
+        // buffers the kernel side explicitly disowned. Epoch-old but
+        // unmarked allocations are spared: the engine may still replay
+        // in-flight idempotent commands whose payloads reference buffers
+        // staged before the crash — even across a multi-restart storm.
+        self.shm.set_epoch(new_epoch);
+        let report = self.shm.reclaim_orphans();
+        self.orphans_reclaimed.fetch_add(report.reclaimed_allocs, Ordering::Relaxed);
+        st.orphan_bytes_reclaimed += report.reclaimed_bytes;
+
+        // The old process's in-memory state died with it.
+        self.daemon.crash_reset(new_epoch);
+
+        // Replay the shadow registration table: models under their
+        // original ids, then the registry schema announcements.
+        for (&id, blob) in &st.shadow_models {
+            if self.daemon.restore_model(id, blob).is_ok() {
+                self.models_replayed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.schemas_replayed.fetch_add(st.shadow_schemas.len() as u64, Ordering::Relaxed);
+
+        st.recent.push(self.clock.now());
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+
+        // Restart storm? Latch the pool onto the CPU path for a cooldown.
+        if st.recent.len() >= self.policy.storm_threshold && st.breaker_until.is_none() {
+            self.pool.set_forced_fallback(true);
+            st.breaker_until = Some(self.clock.now() + self.policy.breaker_cooldown);
+            self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl DaemonLifecycle for DaemonSupervisor {
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn ensure_up(&self) -> u64 {
+        let mut st = self.state.lock();
+        // Each unhandled crash instant costs one supervised restart. The
+        // restart itself advances virtual time, which may run the clock
+        // into the *next* scheduled crash — the loop handles that too
+        // (that is exactly a restart storm).
+        loop {
+            let now = self.clock.now();
+            let Some(crash) = self.schedule.first_crash_in(st.handled, now) else { break };
+            st.handled = crash;
+            self.crashes_detected.fetch_add(1, Ordering::Relaxed);
+            self.restart(&mut st);
+        }
+        // Release the breaker once its cooldown has passed.
+        if let Some(until) = st.breaker_until {
+            if self.clock.now() >= until {
+                st.breaker_until = None;
+                self.pool.set_forced_fallback(false);
+            }
+        }
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn crashed_between(&self, start: Instant, end: Instant) -> bool {
+        let st = self.state.lock();
+        // Only crashes nobody has restarted past yet invalidate the
+        // in-flight request.
+        let after = if st.handled > start { st.handled } else { start };
+        self.schedule.first_crash_in(after, end).is_some()
+    }
+}

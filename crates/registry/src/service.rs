@@ -175,6 +175,15 @@ impl FeatureRegistryService {
             .ok_or_else(|| RegistryError::UnknownRegistry(name.to_owned(), sys.to_owned()))
     }
 
+    /// Every registered `(name, subsystem)` pair, sorted — the schema
+    /// catalog a daemon supervisor shadows and re-announces to each new
+    /// `lakeD` incarnation after a crash.
+    pub fn catalog(&self) -> Vec<(String, String)> {
+        let mut keys: Vec<_> = self.entries.read().keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
     /// Direct handle to a registry (for hot paths that want to skip the
     /// name lookup).
     ///

@@ -165,6 +165,14 @@ impl Command {
 pub struct Response {
     /// Echo of the command's sequence number.
     pub seq: u64,
+    /// Incarnation epoch of the daemon that produced this response.
+    ///
+    /// The daemon stamps every frame with the epoch it was serving under;
+    /// after a crash/restart the supervisor bumps the epoch, and the call
+    /// engine discards any response carrying a stale incarnation so an
+    /// answer computed against dead user-space state can never be
+    /// delivered. Epoch `0` is the primordial (never-restarted) daemon.
+    pub epoch: u64,
     /// Call status.
     pub status: Status,
     /// Encoded results ("the return code and the pointer returned by the
@@ -178,6 +186,7 @@ impl Response {
         let mut e = Encoder::new();
         e.put_u8(RESPONSE_MAGIC)
             .put_u64(self.seq)
+            .put_u64(self.epoch)
             .put_u32(self.status.to_u32())
             .put_bytes(&self.payload);
         seal_frame(e.finish().to_vec())
@@ -197,15 +206,16 @@ impl Response {
             return Err(WireError::Truncated { wanted: "response magic", remaining: frame.len() });
         }
         let seq = d.get_u64()?;
+        let epoch = d.get_u64()?;
         let status = Status::from_u32(d.get_u32()?);
         let payload = Bytes::copy_from_slice(d.get_bytes()?);
         d.finish()?;
-        Ok(Response { seq, status, payload })
+        Ok(Response { seq, epoch, status, payload })
     }
 
     /// Size of the encoded frame.
     pub fn encoded_len(&self) -> usize {
-        1 + 8 + 4 + 4 + self.payload.len() + 4
+        1 + 8 + 8 + 4 + 4 + self.payload.len() + 4
     }
 }
 
@@ -224,10 +234,18 @@ mod tests {
     #[test]
     fn response_roundtrip_all_statuses() {
         for status in [Status::Ok, Status::UnknownApi, Status::Malformed, Status::VendorError(3)] {
-            let r = Response { seq: 9, status, payload: Bytes::from_static(&[1, 2]) };
+            let r = Response { seq: 9, epoch: 3, status, payload: Bytes::from_static(&[1, 2]) };
             let frame = r.encode();
             assert_eq!(frame.len(), r.encoded_len());
             assert_eq!(Response::decode(&frame).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn response_epoch_survives_roundtrip() {
+        for epoch in [0u64, 1, 42, u64::MAX] {
+            let r = Response { seq: 1, epoch, status: Status::Ok, payload: Bytes::new() };
+            assert_eq!(Response::decode(&r.encode()).unwrap().epoch, epoch);
         }
     }
 
@@ -236,7 +254,7 @@ mod tests {
         let cmd = Command { api: ApiId(1), seq: 1, payload: Bytes::new() };
         let frame = cmd.encode();
         assert!(Response::decode(&frame).is_err());
-        let resp = Response { seq: 1, status: Status::Ok, payload: Bytes::new() };
+        let resp = Response { seq: 1, epoch: 0, status: Status::Ok, payload: Bytes::new() };
         assert!(Command::decode(&resp.encode()).is_err());
     }
 
@@ -265,7 +283,12 @@ mod tests {
         frame[15] ^= 0x01;
         assert!(matches!(Command::decode(&frame), Err(WireError::ChecksumMismatch { .. })));
 
-        let resp = Response { seq: 99, status: Status::Ok, payload: Bytes::from_static(&[9, 9]) };
+        let resp = Response {
+            seq: 99,
+            epoch: 1,
+            status: Status::Ok,
+            payload: Bytes::from_static(&[9, 9]),
+        };
         let mut rframe = resp.encode();
         rframe[14] ^= 0x80;
         assert!(matches!(Response::decode(&rframe), Err(WireError::ChecksumMismatch { .. })));
@@ -300,13 +323,13 @@ mod proptests {
     }
 
     fn arb_response() -> impl Strategy<Value = Response> {
-        (0..u64::MAX, 0u32..0x2000, proptest::collection::vec(any::<u8>(), 0..128)).prop_map(
-            |(seq, status, payload)| Response {
+        (0..u64::MAX, any::<u64>(), 0u32..0x2000, proptest::collection::vec(any::<u8>(), 0..128))
+            .prop_map(|(seq, epoch, status, payload)| Response {
                 seq,
+                epoch,
                 status: Status::from_u32(status),
                 payload: Bytes::from(payload),
-            },
-        )
+            })
     }
 
     proptest! {

@@ -37,7 +37,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
-use lake_sim::{Duration, FaultPlan, FrameFault, SharedClock};
+use lake_sim::{Duration, FaultPlan, FrameFault, Instant, SharedClock};
 use lake_transport::{LinkEndpoint, Mechanism};
 
 use crate::command::{ApiId, Command, Response, Status, SEQ_UNMATCHED};
@@ -55,6 +55,15 @@ pub enum RpcError {
     /// No (valid) response arrived within the call's deadline, and the
     /// call was not eligible for (more) retries.
     TimedOut,
+    /// The daemon crashed while this call was in flight and the call is
+    /// not idempotent, so it cannot be blindly replayed under the new
+    /// incarnation. The carried value is the epoch that died. Callers own
+    /// the recovery decision (re-issue, fall back to the CPU path, ...),
+    /// exactly as a kernel module must when `lakeD` is restarted.
+    DaemonRestarted {
+        /// Incarnation epoch the daemon was serving under when it died.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for RpcError {
@@ -64,8 +73,43 @@ impl fmt::Display for RpcError {
             RpcError::Wire(e) => write!(f, "wire error: {e}"),
             RpcError::Disconnected => f.write_str("daemon disconnected"),
             RpcError::TimedOut => f.write_str("call deadline expired (frame lost?)"),
+            RpcError::DaemonRestarted { epoch } => {
+                write!(f, "daemon incarnation {epoch} died mid-call; state was replayed")
+            }
         }
     }
+}
+
+/// Kernel-side view of the daemon process's lifecycle, owned by a
+/// supervisor (lake-core's `DaemonSupervisor`).
+///
+/// The engine consults the hook at two points per attempt:
+///
+/// 1. Before sending — [`DaemonLifecycle::ensure_up`] blocks (in virtual
+///    time: detection lease + restart backoff) until the daemon is
+///    serving, returning the incarnation epoch the command will execute
+///    under. A crash that happened while the stub was idle is detected and
+///    recovered *here*, before any command is handed to a dead process.
+/// 2. After the handler returns — [`DaemonLifecycle::crashed_between`]
+///    reports whether the daemon died inside the request window. If it
+///    did, the response was computed by a dead incarnation: the engine
+///    discards it (counted in [`CallStats::stale_epochs`]) and either
+///    fails the call over to the next incarnation (idempotent APIs,
+///    [`CallStats::failed_over`]) or surfaces
+///    [`RpcError::DaemonRestarted`].
+pub trait DaemonLifecycle: Send + Sync {
+    /// The current incarnation epoch (0 = never restarted).
+    fn epoch(&self) -> u64;
+
+    /// Ensures the daemon is up, restarting it (and charging virtual
+    /// detection/backoff time) if a scheduled crash has already struck.
+    /// Returns the epoch the next command will be served under.
+    fn ensure_up(&self) -> u64;
+
+    /// Whether the daemon crashed in the virtual-time window
+    /// `(start, end]`. Implementations record the crash so the next
+    /// [`DaemonLifecycle::ensure_up`] performs the supervised restart.
+    fn crashed_between(&self, start: Instant, end: Instant) -> bool;
 }
 
 impl std::error::Error for RpcError {}
@@ -154,6 +198,16 @@ pub struct CallStats {
     pub timeouts: u64,
     /// Received frames that failed to decode or could not be attributed.
     pub corrupt_frames: u64,
+    /// Responses discarded because they carried a dead incarnation's
+    /// epoch (computed before a crash, delivered after). None of these
+    /// ever reached a caller.
+    pub stale_epochs: u64,
+    /// Idempotent attempts replayed under a *new* daemon incarnation
+    /// after a crash severed the previous attempt.
+    pub failed_over: u64,
+    /// Calls that surfaced [`RpcError::DaemonRestarted`] because the
+    /// daemon died mid-call and the API was not safe to replay.
+    pub daemon_restarts: u64,
 }
 
 enum Mode {
@@ -175,13 +229,19 @@ impl fmt::Debug for Mode {
 const ROUTE_POLL: std::time::Duration = std::time::Duration::from_millis(1);
 
 /// The stub side of LAKE's remoting: serialize, transmit, wait (§4.1).
-#[derive(Debug)]
 pub struct CallEngine {
     mechanism: Mechanism,
     clock: SharedClock,
     mode: Mode,
     policy: CallPolicy,
     faults: Option<Arc<FaultPlan>>,
+    /// Supervisor hook: crash detection and supervised restart. `None`
+    /// models an unsupervised daemon that never dies (the pre-PR-3 world).
+    lifecycle: Option<Arc<dyn DaemonLifecycle>>,
+    /// Epoch high-water mark: once a response from epoch N is accepted, any
+    /// response stamped with an epoch < N is a stale incarnation's answer
+    /// and is discarded instead of delivered.
+    epoch_floor: AtomicU64,
     /// APIs flagged idempotent at registration; only they survive a retry
     /// after the daemon may have executed the command.
     idempotent: Mutex<HashSet<u32>>,
@@ -195,6 +255,20 @@ pub struct CallEngine {
     retries: AtomicU64,
     timeouts: AtomicU64,
     corrupt_frames: AtomicU64,
+    stale_epochs: AtomicU64,
+    failed_over: AtomicU64,
+    daemon_restarts: AtomicU64,
+}
+
+impl fmt::Debug for CallEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CallEngine")
+            .field("mechanism", &self.mechanism)
+            .field("mode", &self.mode)
+            .field("policy", &self.policy)
+            .field("supervised", &self.lifecycle.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl CallEngine {
@@ -224,6 +298,8 @@ impl CallEngine {
             mode,
             policy: CallPolicy::default(),
             faults: None,
+            lifecycle: None,
+            epoch_floor: AtomicU64::new(0),
             idempotent: Mutex::new(HashSet::new()),
             pending: Mutex::new(HashMap::new()),
             next_seq: AtomicU64::new(1),
@@ -234,6 +310,9 @@ impl CallEngine {
             retries: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             corrupt_frames: AtomicU64::new(0),
+            stale_epochs: AtomicU64::new(0),
+            failed_over: AtomicU64::new(0),
+            daemon_restarts: AtomicU64::new(0),
         }
     }
 
@@ -248,6 +327,13 @@ impl CallEngine {
     /// itself instead — see `Link::pair_with_faults`.
     pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches a daemon-lifecycle supervisor: crash detection, epoch
+    /// fencing, and supervised restart on the call path.
+    pub fn with_lifecycle(mut self, lifecycle: Arc<dyn DaemonLifecycle>) -> Self {
+        self.lifecycle = Some(lifecycle);
         self
     }
 
@@ -319,6 +405,15 @@ impl CallEngine {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
+            // Supervised restart first: a crash that struck while the stub
+            // was idle (or during the previous attempt) is detected and
+            // recovered here, charging lease + backoff virtual time, so no
+            // command is ever handed to a dead incarnation.
+            let serving_epoch = match &self.lifecycle {
+                Some(l) => l.ensure_up(),
+                None => 0,
+            };
+            let sent_at = self.clock.now();
             // Outbound: call time + half the payload round trip.
             self.clock.advance(self.mechanism.call_time());
             self.clock.advance(self.mechanism.one_way(cmd.encoded_len()));
@@ -351,6 +446,7 @@ impl CallEngine {
                         self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
                         let nak = Response {
                             seq: cmd.seq,
+                            epoch: serving_epoch,
                             status: Status::Malformed,
                             payload: Bytes::new(),
                         };
@@ -367,9 +463,39 @@ impl CallEngine {
 
             let result = handler.handle(cmd.api, &cmd.payload);
             let response = match result {
-                Ok(bytes) => Response { seq: cmd.seq, status: Status::Ok, payload: bytes },
-                Err(status) => Response { seq: cmd.seq, status, payload: Bytes::new() },
+                Ok(bytes) => Response {
+                    seq: cmd.seq,
+                    epoch: serving_epoch,
+                    status: Status::Ok,
+                    payload: bytes,
+                },
+                Err(status) => {
+                    Response { seq: cmd.seq, epoch: serving_epoch, status, payload: Bytes::new() }
+                }
             };
+
+            // Did the daemon die inside this request's window? If so the
+            // response above was computed by a dead incarnation: it is
+            // fenced out (never delivered), the caller eats the deadline
+            // discovering the silence, and the call either fails over to
+            // the next incarnation (idempotent — the supervisor restarts
+            // and replays registrations in `ensure_up` at the top of the
+            // next attempt) or surfaces the typed restart error.
+            if let Some(l) = &self.lifecycle {
+                if l.crashed_between(sent_at, self.clock.now()) {
+                    self.stale_epochs.fetch_add(1, Ordering::Relaxed);
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.clock.advance(self.policy.deadline);
+                    if idempotent && attempt < self.policy.max_attempts {
+                        self.failed_over.fetch_add(1, Ordering::Relaxed);
+                        self.retry_backoff(attempt);
+                        continue;
+                    }
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    self.daemon_restarts.fetch_add(1, Ordering::Relaxed);
+                    return Err(RpcError::DaemonRestarted { epoch: serving_epoch });
+                }
+            }
 
             // Response-direction fault? The handler has executed by now,
             // so only idempotent calls may retry.
@@ -394,6 +520,7 @@ impl CallEngine {
 
             // Inbound: half the response round trip.
             self.clock.advance(self.mechanism.one_way(response.encoded_len()));
+            self.epoch_floor.fetch_max(response.epoch, Ordering::Relaxed);
             self.bytes_received.fetch_add(response.encoded_len() as u64, Ordering::Relaxed);
             return if response.status.is_ok() {
                 Ok(response.payload)
@@ -423,7 +550,13 @@ impl CallEngine {
                 if let Some(resp) =
                     self.pending.lock().expect("response router poisoned").remove(&seq)
                 {
-                    return self.finish_response(resp);
+                    if self.is_stale_epoch(&resp) {
+                        // Fenced: a dead incarnation's answer surfaced from
+                        // the routing table. Keep waiting for a live one.
+                        self.stale_epochs.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        return self.finish_response(resp);
+                    }
                 }
                 match endpoint.recv_timeout(ROUTE_POLL) {
                     Err(_) => return Err(RpcError::Disconnected),
@@ -449,6 +582,13 @@ impl CallEngine {
                             // A garbled frame for *someone*; if it was ours
                             // the patience timer will catch the loss.
                             self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(resp) if self.is_stale_epoch(&resp) => {
+                            // A dead incarnation's answer arrived after its
+                            // successor already spoke: fence it out. If it
+                            // was ours, the patience timer declares the
+                            // attempt lost and retries under the new epoch.
+                            self.stale_epochs.fetch_add(1, Ordering::Relaxed);
                         }
                         Ok(resp) if resp.seq == seq => {
                             if resp.status == Status::Malformed {
@@ -481,7 +621,18 @@ impl CallEngine {
         }
     }
 
+    /// Whether `resp` was stamped by an incarnation older than the newest
+    /// one this engine has heard from (or the supervisor's current epoch,
+    /// when a lifecycle hook is attached).
+    fn is_stale_epoch(&self, resp: &Response) -> bool {
+        if let Some(l) = &self.lifecycle {
+            self.epoch_floor.fetch_max(l.epoch(), Ordering::Relaxed);
+        }
+        resp.epoch < self.epoch_floor.load(Ordering::Relaxed)
+    }
+
     fn finish_response(&self, response: Response) -> Result<Bytes, RpcError> {
+        self.epoch_floor.fetch_max(response.epoch, Ordering::Relaxed);
         self.bytes_received.fetch_add(response.encoded_len() as u64, Ordering::Relaxed);
         if response.status.is_ok() {
             Ok(response.payload)
@@ -506,6 +657,9 @@ impl CallEngine {
             retries: self.retries.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
+            stale_epochs: self.stale_epochs.load(Ordering::Relaxed),
+            failed_over: self.failed_over.load(Ordering::Relaxed),
+            daemon_restarts: self.daemon_restarts.load(Ordering::Relaxed),
         }
     }
 }
@@ -528,9 +682,18 @@ const SERVE_DEDUP_WINDOW: usize = 128;
 ///   command is answered from the cache instead of re-executed, giving
 ///   retries at-most-once semantics.
 pub fn serve(endpoint: &LinkEndpoint, handler: &dyn ApiHandler) {
+    serve_with_epoch(endpoint, handler, &AtomicU64::new(0));
+}
+
+/// [`serve`] for a supervised daemon: every response is stamped with the
+/// current value of `epoch`, the daemon's incarnation number. A supervisor
+/// bumps the atomic on restart; stubs fence out responses stamped by dead
+/// incarnations. (`serve` itself is this loop pinned to epoch 0.)
+pub fn serve_with_epoch(endpoint: &LinkEndpoint, handler: &dyn ApiHandler, epoch: &AtomicU64) {
     let mut dedup: HashMap<u64, Response> = HashMap::new();
     let mut dedup_order: VecDeque<u64> = VecDeque::new();
     while let Ok(frame) = endpoint.recv() {
+        let now_epoch = epoch.load(Ordering::Relaxed);
         let response = match Command::decode(&frame) {
             Ok(cmd) => {
                 if let Some(prior) = dedup.get(&cmd.seq) {
@@ -538,8 +701,15 @@ pub fn serve(endpoint: &LinkEndpoint, handler: &dyn ApiHandler) {
                     prior.clone()
                 } else {
                     let response = match handler.handle(cmd.api, &cmd.payload) {
-                        Ok(payload) => Response { seq: cmd.seq, status: Status::Ok, payload },
-                        Err(status) => Response { seq: cmd.seq, status, payload: Bytes::new() },
+                        Ok(payload) => {
+                            Response { seq: cmd.seq, epoch: now_epoch, status: Status::Ok, payload }
+                        }
+                        Err(status) => Response {
+                            seq: cmd.seq,
+                            epoch: now_epoch,
+                            status,
+                            payload: Bytes::new(),
+                        },
                     };
                     dedup.insert(cmd.seq, response.clone());
                     dedup_order.push_back(cmd.seq);
@@ -555,6 +725,7 @@ pub fn serve(endpoint: &LinkEndpoint, handler: &dyn ApiHandler) {
             // an intact frame must run for real.
             Err(_) => Response {
                 seq: Command::peek_seq(&frame).unwrap_or(SEQ_UNMATCHED),
+                epoch: now_epoch,
                 status: Status::Malformed,
                 payload: Bytes::new(),
             },
@@ -725,8 +896,12 @@ mod tests {
                 for frame in [f2, f1] {
                     let cmd = Command::decode(&frame).unwrap();
                     let resp = match handler.handle(cmd.api, &cmd.payload) {
-                        Ok(p) => Response { seq: cmd.seq, status: Status::Ok, payload: p },
-                        Err(s) => Response { seq: cmd.seq, status: s, payload: Bytes::new() },
+                        Ok(p) => {
+                            Response { seq: cmd.seq, epoch: 0, status: Status::Ok, payload: p }
+                        }
+                        Err(s) => {
+                            Response { seq: cmd.seq, epoch: 0, status: s, payload: Bytes::new() }
+                        }
                     };
                     if user.send(resp.encode()).is_err() {
                         return;
@@ -818,6 +993,141 @@ mod tests {
         let stats = engine.stats();
         assert!(stats.retries > 0, "lossy link must force retries");
         assert!(ok >= 55, "only {ok}/60 idempotent calls survived the lossy link");
+        drop(engine);
+        daemon.join().unwrap();
+    }
+
+    /// A scripted lifecycle: crashes at fixed virtual instants, restart
+    /// bumps the epoch. The real supervisor lives in lake-core; this
+    /// double only exercises the engine's fencing/failover contract.
+    struct ScriptedLifecycle {
+        crashes: Mutex<Vec<Instant>>,
+        epoch: AtomicU64,
+        dead: std::sync::atomic::AtomicBool,
+    }
+
+    impl ScriptedLifecycle {
+        fn new(crashes: Vec<Instant>) -> Arc<Self> {
+            Arc::new(ScriptedLifecycle {
+                crashes: Mutex::new(crashes),
+                epoch: AtomicU64::new(0),
+                dead: std::sync::atomic::AtomicBool::new(false),
+            })
+        }
+    }
+
+    impl DaemonLifecycle for ScriptedLifecycle {
+        fn epoch(&self) -> u64 {
+            self.epoch.load(Ordering::Relaxed)
+        }
+        fn ensure_up(&self) -> u64 {
+            if self.dead.swap(false, Ordering::Relaxed) {
+                self.epoch.fetch_add(1, Ordering::Relaxed);
+            }
+            self.epoch()
+        }
+        fn crashed_between(&self, start: Instant, end: Instant) -> bool {
+            let mut crashes = self.crashes.lock().unwrap();
+            if let Some(pos) = crashes.iter().position(|&c| start < c && c <= end) {
+                crashes.remove(pos);
+                self.dead.store(true, Ordering::Relaxed);
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn idempotent_call_fails_over_across_a_crash() {
+        let clock = SharedClock::new();
+        let lifecycle = ScriptedLifecycle::new(vec![Instant::from_nanos(1)]);
+        let engine = CallEngine::in_process(Mechanism::Netlink, clock, adder())
+            .with_lifecycle(lifecycle.clone());
+        engine.register_api(API_ADD, true);
+        let out = engine.call(API_ADD, encode_pair(20, 22)).unwrap();
+        let mut d = Decoder::new(&out);
+        assert_eq!(d.get_u64().unwrap(), 42, "failover must return the new epoch's answer");
+        let stats = engine.stats();
+        assert_eq!(stats.stale_epochs, 1, "the dead incarnation's answer must be fenced");
+        assert_eq!(stats.failed_over, 1);
+        assert_eq!(stats.daemon_restarts, 0);
+        assert_eq!(lifecycle.epoch(), 1, "the retry must run under the new incarnation");
+    }
+
+    #[test]
+    fn non_idempotent_call_surfaces_daemon_restarted() {
+        let clock = SharedClock::new();
+        let lifecycle = ScriptedLifecycle::new(vec![Instant::from_nanos(1)]);
+        let engine = CallEngine::in_process(Mechanism::Netlink, clock, adder())
+            .with_lifecycle(lifecycle.clone());
+        // API_ADD deliberately NOT registered idempotent.
+        let err = engine.call(API_ADD, encode_pair(1, 2)).unwrap_err();
+        assert_eq!(err, RpcError::DaemonRestarted { epoch: 0 });
+        let stats = engine.stats();
+        assert_eq!(stats.daemon_restarts, 1);
+        assert_eq!(stats.stale_epochs, 1);
+        // The next call finds the restarted daemon and succeeds under epoch 1.
+        let out = engine.call(API_ADD, encode_pair(2, 2)).unwrap();
+        let mut d = Decoder::new(&out);
+        assert_eq!(d.get_u64().unwrap(), 4);
+        assert_eq!(lifecycle.epoch(), 1);
+    }
+
+    #[test]
+    fn serve_with_epoch_stamps_responses() {
+        let clock = SharedClock::new();
+        let (kernel, user) = Link::pair(Mechanism::Netlink, clock);
+        let epoch = Arc::new(AtomicU64::new(5));
+        let daemon_epoch = epoch.clone();
+        let daemon = std::thread::spawn(move || {
+            let handler = adder();
+            serve_with_epoch(&user, handler.as_ref(), &daemon_epoch);
+        });
+        let cmd = Command { api: API_ADD, seq: 1, payload: encode_pair(1, 1) };
+        kernel.send(cmd.encode()).unwrap();
+        let resp = Response::decode(&kernel.recv().unwrap()).unwrap();
+        assert_eq!(resp.epoch, 5, "responses must carry the serving incarnation");
+        drop(kernel);
+        daemon.join().unwrap();
+    }
+
+    #[test]
+    fn linked_mode_fences_stale_epoch_responses() {
+        let clock = SharedClock::new();
+        let (kernel, user) = Link::pair(Mechanism::Netlink, clock);
+        // A daemon that answers each command twice: first with a stale
+        // incarnation's stamp, then with the live one. The stale answer
+        // carries a *wrong* payload — if fencing fails, the caller sees it.
+        let daemon = std::thread::spawn(move || {
+            while let Ok(frame) = user.recv() {
+                let cmd = Command::decode(&frame).unwrap();
+                let stale = Response {
+                    seq: cmd.seq,
+                    epoch: 1,
+                    status: Status::Ok,
+                    payload: Bytes::from_static(b"stale"),
+                };
+                let live = Response {
+                    seq: cmd.seq,
+                    epoch: 2,
+                    status: Status::Ok,
+                    payload: Bytes::from_static(b"live"),
+                };
+                if user.send(stale.encode()).is_err() || user.send(live.encode()).is_err() {
+                    return;
+                }
+            }
+        });
+        let engine = CallEngine::linked(kernel);
+        // Teach the engine about epoch 2 before the race: floor rises on
+        // first accepted response and stays up.
+        engine.epoch_floor.store(2, Ordering::Relaxed);
+        for _ in 0..4 {
+            let out = engine.call(ApiId(1), Bytes::new()).unwrap();
+            assert_eq!(&out[..], b"live", "stale-epoch answer was delivered");
+        }
+        assert!(engine.stats().stale_epochs >= 4);
         drop(engine);
         daemon.join().unwrap();
     }

@@ -27,5 +27,8 @@ pub mod engine;
 pub mod wire;
 
 pub use command::{ApiId, Command, Response, Status, SEQ_UNMATCHED};
-pub use engine::{serve, ApiHandler, CallEngine, CallPolicy, CallStats, RpcError};
+pub use engine::{
+    serve, serve_with_epoch, ApiHandler, CallEngine, CallPolicy, CallStats, DaemonLifecycle,
+    RpcError,
+};
 pub use wire::{checked_slice_len, Decoder, Encoder, WireError};

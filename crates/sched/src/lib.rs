@@ -27,10 +27,12 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod batcher;
 pub mod metrics;
 pub mod pool;
 
+pub use admission::{AdmissionController, AdmissionCounters, AdmissionError, AdmissionPolicy};
 pub use batcher::{Batch, BatchPolicy, Batcher, BatcherCounters, InferRequest};
 pub use metrics::{DeviceMetrics, SchedMetrics};
 pub use pool::{DevicePool, Placement, PoolPolicy};

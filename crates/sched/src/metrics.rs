@@ -1,6 +1,7 @@
 //! Scheduler observability: a point-in-time snapshot combining pool and
 //! batcher counters, built from `lake_sim::metrics` primitives.
 
+use crate::admission::AdmissionCounters;
 use crate::batcher::Batcher;
 use crate::pool::DevicePool;
 
@@ -65,6 +66,25 @@ pub struct SchedMetrics {
     pub max_batch_size: Option<f64>,
     /// Mean batcher queue depth sampled at submit time.
     pub mean_queue_depth: Option<f64>,
+    /// Whether the restart-storm breaker has latched the pool into
+    /// forced CPU fallback.
+    pub forced_fallback: bool,
+    /// Times the forced-fallback breaker has latched.
+    pub forced_fallback_trips: u64,
+    /// Admission-control activity (quota waits, rejections, expiries).
+    /// Zero unless the owner wires an `AdmissionController` in via
+    /// [`SchedMetrics::with_admission`].
+    pub admission: AdmissionCounters,
+    /// Daemon restarts observed by the supervisor. Populated by the
+    /// stack owner; zero when collected below the lifecycle layer.
+    pub daemon_restarts: u64,
+    /// Shm bytes still owned by dead daemon incarnations. Populated by
+    /// the stack owner from `AllocStats::orphaned_bytes`.
+    pub shm_orphaned_bytes: usize,
+    /// Orphaned shm allocations reclaimed so far (`AllocStats::reclaimed_allocs`).
+    pub shm_reclaimed_allocs: u64,
+    /// Orphaned shm bytes reclaimed so far (`AllocStats::reclaimed_bytes`).
+    pub shm_reclaimed_bytes: u64,
 }
 
 impl SchedMetrics {
@@ -116,7 +136,20 @@ impl SchedMetrics {
             mean_batch_size: c.batch_sizes.mean(),
             max_batch_size: c.batch_sizes.max(),
             mean_queue_depth: c.queue_depths.mean(),
+            forced_fallback: pool.forced_fallback(),
+            forced_fallback_trips: pool.forced_fallback_trips(),
+            admission: AdmissionCounters::default(),
+            daemon_restarts: 0,
+            shm_orphaned_bytes: 0,
+            shm_reclaimed_allocs: 0,
+            shm_reclaimed_bytes: 0,
         }
+    }
+
+    /// Folds admission-controller counters into the snapshot.
+    pub fn with_admission(mut self, counters: AdmissionCounters) -> Self {
+        self.admission = counters;
+        self
     }
 }
 

@@ -85,6 +85,12 @@ pub struct DevicePool {
     /// the CPU instead of being lost.
     recovered_batches: AtomicU64,
     recovered_rows: AtomicU64,
+    /// Latched by the daemon supervisor's restart-storm circuit breaker:
+    /// while set, every placement is a CPU fallback regardless of device
+    /// health, so a crash-looping daemon stops bouncing work off the GPUs.
+    forced_fallback: AtomicBool,
+    /// Times the breaker latched the pool into forced fallback.
+    forced_fallback_trips: AtomicU64,
 }
 
 impl std::fmt::Debug for DevicePool {
@@ -142,6 +148,8 @@ impl DevicePool {
             cpu_fallback_rows: AtomicU64::new(0),
             recovered_batches: AtomicU64::new(0),
             recovered_rows: AtomicU64::new(0),
+            forced_fallback: AtomicBool::new(false),
+            forced_fallback_trips: AtomicU64::new(0),
         })
     }
 
@@ -220,6 +228,9 @@ impl DevicePool {
     /// threshold). No request is ever refused — the worst case is a CPU
     /// placement (Fig 13's degraded mode).
     pub fn place(&self, batch: usize) -> Placement {
+        if self.forced_fallback.load(Ordering::Acquire) {
+            return Placement::CpuFallback;
+        }
         self.probe_evicted();
         if batch < self.policy.batch_threshold {
             return Placement::CpuFallback;
@@ -333,6 +344,27 @@ impl DevicePool {
         )
     }
 
+    /// Latches (or releases) forced CPU fallback. While latched,
+    /// [`DevicePool::place`] never offers a device — the restart-storm
+    /// circuit breaker uses this to park the stack on the PR 2 CPU path
+    /// while the daemon is crash-looping.
+    pub fn set_forced_fallback(&self, forced: bool) {
+        let was = self.forced_fallback.swap(forced, Ordering::AcqRel);
+        if forced && !was {
+            self.forced_fallback_trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether forced CPU fallback is currently latched.
+    pub fn forced_fallback(&self) -> bool {
+        self.forced_fallback.load(Ordering::Acquire)
+    }
+
+    /// Times the forced-fallback breaker has latched so far.
+    pub fn forced_fallback_trips(&self) -> u64 {
+        self.forced_fallback_trips.load(Ordering::Relaxed)
+    }
+
     /// Records a batch that fell back to the CPU.
     pub fn note_fallback(&self, rows: usize) {
         self.cpu_fallback_batches.fetch_add(1, Ordering::Relaxed);
@@ -386,6 +418,20 @@ mod tests {
     fn idle_pool_places_on_device_zero() {
         let pool = test_pool(2);
         assert_eq!(pool.place(16), Placement::Device(0));
+    }
+
+    #[test]
+    fn forced_fallback_latch_overrides_placement() {
+        let pool = test_pool(2);
+        assert_eq!(pool.place(16), Placement::Device(0));
+        pool.set_forced_fallback(true);
+        assert_eq!(pool.place(16), Placement::CpuFallback, "breaker latched");
+        assert!(pool.forced_fallback());
+        // Re-latching while already latched is not a second trip.
+        pool.set_forced_fallback(true);
+        assert_eq!(pool.forced_fallback_trips(), 1);
+        pool.set_forced_fallback(false);
+        assert_eq!(pool.place(16), Placement::Device(0), "breaker released");
     }
 
     #[test]

@@ -21,6 +21,37 @@ struct FreeBlock {
     size: usize,
 }
 
+/// Ownership tag on an allocation: which daemon incarnation and which
+/// request it belongs to.
+///
+/// Kernel-owned allocations (staging buffers the stub frees itself on the
+/// happy path) carry no tag. Request-owned allocations are tagged so that
+/// when an incarnation dies mid-request, a reclamation sweep can find and
+/// free everything the dead epoch left behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OwnerTag {
+    /// Daemon incarnation epoch the allocation was made under.
+    pub epoch: u64,
+    /// Caller-chosen request identifier (e.g. the RPC sequence number).
+    pub request_id: u64,
+}
+
+/// A live allocation: placement plus the identity bookkeeping that makes
+/// stale-handle detection and orphan reclamation possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LiveBlock {
+    offset: Offset,
+    size: usize,
+    /// Monotonic per-allocator counter: a handle minted for a previous
+    /// allocation at the same offset carries an older generation and is
+    /// rejected instead of aliasing the new occupant.
+    generation: u64,
+    owner: Option<OwnerTag>,
+    /// Explicitly disowned by the kernel side (its request died with a
+    /// daemon incarnation): safe for any reclamation sweep to free.
+    orphaned: bool,
+}
+
 /// Allocation statistics, for the fragmentation/utilization experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AllocStats {
@@ -39,6 +70,14 @@ pub struct AllocStats {
     pub total_allocs: u64,
     /// Total failed (out-of-memory) allocations since creation.
     pub failed_allocs: u64,
+    /// Live bytes waiting for a reclamation sweep: allocations explicitly
+    /// marked orphaned, plus owned allocations from incarnations older
+    /// than the current epoch — garbage left by dead daemons.
+    pub orphaned_bytes: usize,
+    /// Allocations freed by reclamation sweeps since creation.
+    pub reclaimed_allocs: u64,
+    /// Bytes freed by reclamation sweeps since creation.
+    pub reclaimed_bytes: u64,
 }
 
 /// A best-fit allocator over `[0, capacity)`.
@@ -49,8 +88,13 @@ pub struct BestFitAllocator {
     capacity: usize,
     align: usize,
     free: Vec<FreeBlock>,
-    /// live allocations as (offset, size), kept sorted by offset
-    live: Vec<(Offset, usize)>,
+    /// live allocations, kept sorted by offset
+    live: Vec<LiveBlock>,
+    /// next allocation generation (monotonic, never reused)
+    next_generation: u64,
+    /// current daemon incarnation epoch; owned allocations from older
+    /// epochs count as orphaned
+    epoch: u64,
     stats: AllocStats,
 }
 
@@ -91,8 +135,21 @@ impl BestFitAllocator {
             align,
             free: vec![FreeBlock { offset: 0, size: capacity }],
             live: Vec::new(),
+            next_generation: 0,
+            epoch: 0,
             stats: AllocStats::default(),
         }
+    }
+
+    /// Current daemon incarnation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the incarnation epoch (monotonic; lower values ignored).
+    /// Owned allocations from older epochs become orphans.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
     }
 
     /// Total region size.
@@ -105,8 +162,15 @@ impl BestFitAllocator {
     }
 
     /// Allocates `size` bytes (rounded up to the alignment); returns the
-    /// offset, or `None` if no free block fits.
+    /// offset, or `None` if no free block fits. The allocation is
+    /// kernel-owned (no [`OwnerTag`]): sweeps never touch it.
     pub fn alloc(&mut self, size: usize) -> Option<Offset> {
+        self.alloc_tagged(size, None).map(|(offset, _)| offset)
+    }
+
+    /// Allocates with an optional [`OwnerTag`], returning the offset and
+    /// the allocation's generation.
+    pub fn alloc_tagged(&mut self, size: usize, owner: Option<OwnerTag>) -> Option<(Offset, u64)> {
         if size == 0 {
             return None;
         }
@@ -130,12 +194,14 @@ impl BestFitAllocator {
         } else {
             self.free[i] = FreeBlock { offset: block.offset + size, size: block.size - size };
         }
-        let pos = self.live.partition_point(|&(o, _)| o < offset);
-        self.live.insert(pos, (offset, size));
+        self.next_generation += 1;
+        let generation = self.next_generation;
+        let pos = self.live.partition_point(|b| b.offset < offset);
+        self.live.insert(pos, LiveBlock { offset, size, generation, owner, orphaned: false });
         self.stats.in_use += size;
         self.stats.peak = self.stats.peak.max(self.stats.in_use);
         self.stats.total_allocs += 1;
-        Some(offset)
+        Some((offset, generation))
     }
 
     /// Frees the allocation at `offset`, coalescing with neighbours.
@@ -149,12 +215,17 @@ impl BestFitAllocator {
     pub fn free(&mut self, offset: Offset) -> usize {
         let pos = self
             .live
-            .binary_search_by_key(&offset, |&(o, _)| o)
+            .binary_search_by_key(&offset, |b| b.offset)
             .unwrap_or_else(|_| panic!("free of non-live offset {offset}"));
-        let (_, size) = self.live.remove(pos);
+        let size = self.live.remove(pos).size;
         self.stats.in_use -= size;
+        self.insert_free(offset, size);
+        size
+    }
 
-        // Insert into the sorted free list and coalesce.
+    /// Inserts a span into the sorted free list and coalesces with both
+    /// neighbours.
+    fn insert_free(&mut self, offset: Offset, size: usize) {
         let idx = self.free.partition_point(|b| b.offset < offset);
         self.free.insert(idx, FreeBlock { offset, size });
         // coalesce with next
@@ -169,19 +240,88 @@ impl BestFitAllocator {
             self.free[idx - 1].size += self.free[idx].size;
             self.free.remove(idx);
         }
-        size
+    }
+
+    /// Marks the owned allocation at `offset` as orphaned: its request
+    /// died with a daemon incarnation, so the kernel side disowns the
+    /// buffer instead of freeing it (the dead daemon may still have it
+    /// mapped) and leaves it to a reclamation sweep. Returns `false` for
+    /// non-live or kernel-owned (untagged) offsets.
+    pub fn mark_orphaned(&mut self, offset: Offset) -> bool {
+        match self.live.binary_search_by_key(&offset, |b| b.offset) {
+            Ok(i) if self.live[i].owner.is_some() => {
+                self.live[i].orphaned = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Frees every allocation explicitly marked orphaned — the sweep a
+    /// supervised restart runs once the dead incarnation's mappings are
+    /// gone. Safe with requests in flight: live in-flight buffers are
+    /// never marked. Returns `(allocs, bytes)` reclaimed.
+    pub fn reclaim_orphaned(&mut self) -> (u64, usize) {
+        self.reclaim_where(|b| b.orphaned)
+    }
+
+    /// Frees every marked orphan plus every owned allocation whose epoch
+    /// is `< min_live_epoch` — the full quiescent-point sweep (nothing may
+    /// be in flight: an epoch-old buffer could otherwise still be
+    /// referenced by a request failing over across restarts). Kernel-owned
+    /// (untagged) allocations are never swept. Returns `(allocs, bytes)`
+    /// reclaimed by this sweep.
+    pub fn reclaim_owned_before(&mut self, min_live_epoch: u64) -> (u64, usize) {
+        self.reclaim_where(|b| b.orphaned || b.owner.is_some_and(|o| o.epoch < min_live_epoch))
+    }
+
+    fn reclaim_where(&mut self, doomed: impl Fn(&LiveBlock) -> bool) -> (u64, usize) {
+        let mut allocs = 0u64;
+        let mut bytes = 0usize;
+        let offsets: Vec<Offset> =
+            self.live.iter().filter(|b| doomed(b)).map(|b| b.offset).collect();
+        for offset in offsets {
+            bytes += self.free(offset);
+            allocs += 1;
+        }
+        self.stats.reclaimed_allocs += allocs;
+        self.stats.reclaimed_bytes += bytes as u64;
+        (allocs, bytes)
     }
 
     /// Size of the live allocation at `offset`, if any.
     pub fn size_of(&self, offset: Offset) -> Option<usize> {
-        self.live.binary_search_by_key(&offset, |&(o, _)| o).ok().map(|i| self.live[i].1)
+        self.live_at(offset).map(|b| b.size)
+    }
+
+    /// Generation of the live allocation at `offset`, if any.
+    pub fn generation_of(&self, offset: Offset) -> Option<u64> {
+        self.live_at(offset).map(|b| b.generation)
+    }
+
+    /// Owner tag of the live allocation at `offset` (`Some(None)` for a
+    /// live but kernel-owned allocation).
+    pub fn owner_of(&self, offset: Offset) -> Option<Option<OwnerTag>> {
+        self.live_at(offset).map(|b| b.owner)
+    }
+
+    fn live_at(&self, offset: Offset) -> Option<&LiveBlock> {
+        self.live.binary_search_by_key(&offset, |b| b.offset).ok().map(|i| &self.live[i])
     }
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> AllocStats {
+        let orphaned_bytes = self
+            .live
+            .iter()
+            .filter(|b| b.orphaned || b.owner.is_some_and(|o| o.epoch < self.epoch))
+            .map(|b| b.size)
+            .sum();
         AllocStats {
             free_blocks: self.free.len(),
             largest_free: self.free.iter().map(|b| b.size).max().unwrap_or(0),
+            live_allocs: self.live.len(),
+            orphaned_bytes,
             ..self.stats
         }
     }
@@ -198,7 +338,7 @@ impl BestFitAllocator {
             .free
             .iter()
             .map(|b| (b.offset, b.size, true))
-            .chain(self.live.iter().map(|&(o, s)| (o, s, false)))
+            .chain(self.live.iter().map(|b| (b.offset, b.size, false)))
             .collect();
         spans.sort_by_key(|&(o, _, _)| o);
         let mut cursor = 0;
@@ -309,6 +449,79 @@ mod tests {
         let x = a.alloc(64).unwrap();
         a.free(x);
         a.free(x);
+    }
+
+    #[test]
+    fn generations_are_never_reused() {
+        let mut a = BestFitAllocator::new(256);
+        let (x, g1) = a.alloc_tagged(64, None).unwrap();
+        a.free(x);
+        let (y, g2) = a.alloc_tagged(64, None).unwrap();
+        // Best fit puts the new allocation at the same offset...
+        assert_eq!(x, y);
+        // ...but under a fresh generation, so the old handle is detectable.
+        assert!(g2 > g1);
+        assert_eq!(a.generation_of(y), Some(g2));
+    }
+
+    #[test]
+    fn reclaim_sweeps_only_dead_epoch_owned_blocks() {
+        let mut a = BestFitAllocator::new(1024);
+        let kernel_owned = a.alloc(64).unwrap();
+        let (old, _) = a.alloc_tagged(128, Some(OwnerTag { epoch: 0, request_id: 1 })).unwrap();
+        a.set_epoch(1);
+        let (new, _) = a.alloc_tagged(128, Some(OwnerTag { epoch: 1, request_id: 2 })).unwrap();
+        assert_eq!(a.stats().orphaned_bytes, 128, "epoch-0 block is orphaned under epoch 1");
+
+        let (allocs, bytes) = a.reclaim_owned_before(1);
+        assert_eq!((allocs, bytes), (1, 128));
+        assert_eq!(a.size_of(old), None, "orphan must be freed");
+        assert_eq!(a.size_of(kernel_owned), Some(64), "kernel-owned survives sweeps");
+        assert_eq!(a.size_of(new), Some(128), "current epoch survives sweeps");
+        let s = a.stats();
+        assert_eq!(s.orphaned_bytes, 0);
+        assert_eq!(s.reclaimed_allocs, 1);
+        assert_eq!(s.reclaimed_bytes, 128);
+        a.check_invariants();
+    }
+
+    #[test]
+    fn marked_orphans_are_swept_without_touching_live_epoch_old_blocks() {
+        let mut a = BestFitAllocator::new(1024);
+        let (stranded, _) =
+            a.alloc_tagged(128, Some(OwnerTag { epoch: 0, request_id: 1 })).unwrap();
+        let (in_flight, _) =
+            a.alloc_tagged(128, Some(OwnerTag { epoch: 0, request_id: 2 })).unwrap();
+        let kernel_owned = a.alloc(64).unwrap();
+
+        assert!(a.mark_orphaned(stranded));
+        assert!(!a.mark_orphaned(kernel_owned), "untagged allocations cannot be disowned");
+        assert!(!a.mark_orphaned(999), "non-live offsets cannot be disowned");
+
+        // Even after the epoch advances, the orphan-only sweep must spare
+        // the unmarked epoch-old block: it may belong to a request still
+        // failing over across restarts.
+        a.set_epoch(2);
+        assert_eq!(a.stats().orphaned_bytes, 256, "marked + epoch-stale both count");
+        let (allocs, bytes) = a.reclaim_orphaned();
+        assert_eq!((allocs, bytes), (1, 128));
+        assert_eq!(a.size_of(stranded), None);
+        assert_eq!(a.size_of(in_flight), Some(128), "in-flight block survives");
+        assert_eq!(a.size_of(kernel_owned), Some(64));
+
+        // The quiescent-point sweep takes the epoch-old block too.
+        let (allocs, bytes) = a.reclaim_owned_before(2);
+        assert_eq!((allocs, bytes), (1, 128));
+        assert_eq!(a.stats().orphaned_bytes, 0);
+        a.check_invariants();
+    }
+
+    #[test]
+    fn epoch_is_monotonic() {
+        let mut a = BestFitAllocator::new(256);
+        a.set_epoch(5);
+        a.set_epoch(3);
+        assert_eq!(a.epoch(), 5);
     }
 
     #[test]

@@ -34,5 +34,5 @@
 mod allocator;
 mod region;
 
-pub use allocator::{AllocStats, BestFitAllocator};
-pub use region::{ShmBuffer, ShmError, ShmRegion};
+pub use allocator::{AllocStats, BestFitAllocator, OwnerTag};
+pub use region::{ReclaimReport, ShmBuffer, ShmError, ShmRegion};

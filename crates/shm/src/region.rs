@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::allocator::{AllocStats, BestFitAllocator};
+use crate::allocator::{AllocStats, BestFitAllocator, OwnerTag};
 
 /// Errors returned by [`ShmRegion`] operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +30,16 @@ pub enum ShmError {
     /// The buffer handle does not refer to a live allocation of this
     /// region (stale handle or wrong region).
     BadHandle,
+    /// The handle's offset *is* a live allocation, but a different one:
+    /// the original was freed (or reclaimed from a dead incarnation) and
+    /// the slot re-issued. Without the generation check this free/access
+    /// would silently hit the new occupant's bytes.
+    StaleBuffer {
+        /// Generation carried by the stale handle.
+        held: u64,
+        /// Generation of the allocation now occupying the offset.
+        live: u64,
+    },
 }
 
 impl fmt::Display for ShmError {
@@ -44,6 +54,10 @@ impl fmt::Display for ShmError {
                 "shm access out of bounds: {offset}+{len} exceeds buffer capacity {capacity}"
             ),
             ShmError::BadHandle => f.write_str("stale or foreign shm buffer handle"),
+            ShmError::StaleBuffer { held, live } => write!(
+                f,
+                "stale shm buffer: handle generation {held}, offset now owned by generation {live}"
+            ),
         }
     }
 }
@@ -80,10 +94,36 @@ impl ShmBuffer {
     }
 }
 
+/// Result of a [`ShmRegion::reclaim_before`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReclaimReport {
+    /// Orphaned allocations freed by this sweep.
+    pub reclaimed_allocs: u64,
+    /// Bytes returned to the free list by this sweep.
+    pub reclaimed_bytes: usize,
+}
+
 struct Inner {
     alloc: BestFitAllocator,
     bytes: Vec<u8>,
-    generation: u64,
+}
+
+impl Inner {
+    /// Validates a handle against the live table: the offset must be a
+    /// live allocation of the same size *and the same generation* —
+    /// otherwise a handle outliving its allocation (double free, use after
+    /// a reclamation sweep) would silently operate on whatever allocation
+    /// occupies the offset now.
+    fn check(&self, buf: &ShmBuffer) -> Result<(), ShmError> {
+        if self.alloc.size_of(buf.offset) != Some(buf.len) {
+            return Err(ShmError::BadHandle);
+        }
+        let live = self.alloc.generation_of(buf.offset).expect("live allocation has a generation");
+        if live != buf.generation {
+            return Err(ShmError::StaleBuffer { held: buf.generation, live });
+        }
+        Ok(())
+    }
 }
 
 /// The contiguous shared region ("`cma=128M@0-4G`" in the paper's setup).
@@ -116,7 +156,6 @@ impl ShmRegion {
             inner: Arc::new(Mutex::new(Inner {
                 alloc: BestFitAllocator::new(capacity),
                 bytes: vec![0; capacity],
-                generation: 0,
             })),
         }
     }
@@ -132,29 +171,97 @@ impl ShmRegion {
     ///
     /// Returns [`ShmError::OutOfMemory`] if no free block fits.
     pub fn alloc(&self, size: usize) -> Result<ShmBuffer, ShmError> {
+        self.alloc_with_owner(size, None)
+    }
+
+    /// Allocates a request-owned buffer: tagged with the region's current
+    /// incarnation epoch and `request_id`, so if the owning request dies
+    /// with its daemon the reclamation sweep ([`ShmRegion::reclaim_before`])
+    /// can find and free it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::OutOfMemory`] if no free block fits.
+    pub fn alloc_owned(&self, size: usize, request_id: u64) -> Result<ShmBuffer, ShmError> {
+        let epoch = self.inner.lock().alloc.epoch();
+        self.alloc_with_owner(size, Some(OwnerTag { epoch, request_id }))
+    }
+
+    fn alloc_with_owner(
+        &self,
+        size: usize,
+        owner: Option<OwnerTag>,
+    ) -> Result<ShmBuffer, ShmError> {
         let mut inner = self.inner.lock();
         let largest = inner.alloc.stats().largest_free;
-        let offset = inner
+        let (offset, generation) = inner
             .alloc
-            .alloc(size)
+            .alloc_tagged(size, owner)
             .ok_or(ShmError::OutOfMemory { requested: size, largest_free: largest })?;
         let len = inner.alloc.size_of(offset).expect("fresh allocation is live");
-        inner.generation += 1;
-        Ok(ShmBuffer { offset, len, generation: inner.generation })
+        Ok(ShmBuffer { offset, len, generation })
     }
 
     /// Frees a buffer.
     ///
     /// # Errors
     ///
-    /// Returns [`ShmError::BadHandle`] if the handle is stale.
+    /// Returns [`ShmError::BadHandle`] if the handle is stale, or
+    /// [`ShmError::StaleBuffer`] if the offset has since been re-issued to
+    /// a different allocation (double free across a realloc or a
+    /// reclamation sweep).
     pub fn free(&self, buf: ShmBuffer) -> Result<(), ShmError> {
         let mut inner = self.inner.lock();
-        if inner.alloc.size_of(buf.offset) != Some(buf.len) {
-            return Err(ShmError::BadHandle);
-        }
+        inner.check(&buf)?;
         inner.alloc.free(buf.offset);
         Ok(())
+    }
+
+    /// The daemon incarnation epoch new owned allocations are tagged with.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().alloc.epoch()
+    }
+
+    /// Advances the incarnation epoch (monotonic). Called by the
+    /// supervisor when a restarted daemon reattaches the region.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.inner.lock().alloc.set_epoch(epoch);
+    }
+
+    /// Disowns a buffer whose request died with a daemon incarnation: the
+    /// kernel side must not free it (the dead daemon may still have it
+    /// mapped) but marks it for the next reclamation sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::BadHandle`]/[`ShmError::StaleBuffer`] exactly
+    /// like [`ShmRegion::free`] for dead or re-issued handles.
+    pub fn mark_orphan(&self, buf: &ShmBuffer) -> Result<(), ShmError> {
+        let mut inner = self.inner.lock();
+        inner.check(buf)?;
+        inner.alloc.mark_orphaned(buf.offset);
+        Ok(())
+    }
+
+    /// Reclamation sweep over explicitly orphaned buffers only — what a
+    /// supervised restart runs once the dead incarnation's mappings are
+    /// gone. Safe to run with requests in flight.
+    pub fn reclaim_orphans(&self) -> ReclaimReport {
+        let mut inner = self.inner.lock();
+        let (reclaimed_allocs, reclaimed_bytes) = inner.alloc.reclaim_orphaned();
+        ReclaimReport { reclaimed_allocs, reclaimed_bytes }
+    }
+
+    /// Quiescent-point reclamation sweep: frees every marked orphan plus
+    /// every owned allocation tagged with an epoch `< min_live_epoch` —
+    /// the garbage dead incarnations left behind. Callers must guarantee
+    /// nothing is in flight: an epoch-old buffer may otherwise still be
+    /// referenced by a request failing over across restarts. Kernel-owned
+    /// allocations (plain [`ShmRegion::alloc`]) are never touched.
+    pub fn reclaim_before(&self, min_live_epoch: u64) -> ReclaimReport {
+        let mut inner = self.inner.lock();
+        let (reclaimed_allocs, reclaimed_bytes) = inner.alloc.reclaim_owned_before(min_live_epoch);
+        ReclaimReport { reclaimed_allocs, reclaimed_bytes }
     }
 
     /// Writes `data` into the buffer at `offset` bytes from its start.
@@ -165,9 +272,7 @@ impl ShmRegion {
     /// if the buffer is not live.
     pub fn write(&self, buf: &ShmBuffer, offset: usize, data: &[u8]) -> Result<(), ShmError> {
         let mut inner = self.inner.lock();
-        if inner.alloc.size_of(buf.offset) != Some(buf.len) {
-            return Err(ShmError::BadHandle);
-        }
+        inner.check(buf)?;
         let end = offset.checked_add(data.len()).ok_or(ShmError::OutOfBounds {
             offset,
             len: data.len(),
@@ -189,9 +294,7 @@ impl ShmRegion {
     /// if the buffer is not live.
     pub fn read(&self, buf: &ShmBuffer, offset: usize, len: usize) -> Result<Vec<u8>, ShmError> {
         let inner = self.inner.lock();
-        if inner.alloc.size_of(buf.offset) != Some(buf.len) {
-            return Err(ShmError::BadHandle);
-        }
+        inner.check(buf)?;
         let end = offset.checked_add(len).ok_or(ShmError::OutOfBounds {
             offset,
             len,
@@ -217,9 +320,7 @@ impl ShmRegion {
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R, ShmError> {
         let inner = self.inner.lock();
-        if inner.alloc.size_of(buf.offset) != Some(buf.len) {
-            return Err(ShmError::BadHandle);
-        }
+        inner.check(buf)?;
         Ok(f(&inner.bytes[buf.offset..buf.offset + buf.len]))
     }
 
@@ -234,9 +335,7 @@ impl ShmRegion {
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R, ShmError> {
         let mut inner = self.inner.lock();
-        if inner.alloc.size_of(buf.offset) != Some(buf.len) {
-            return Err(ShmError::BadHandle);
-        }
+        inner.check(buf)?;
         let range = buf.offset..buf.offset + buf.len;
         Ok(f(&mut inner.bytes[range]))
     }
@@ -252,7 +351,11 @@ impl ShmRegion {
     pub fn resolve(&self, offset: usize) -> Result<ShmBuffer, ShmError> {
         let inner = self.inner.lock();
         let len = inner.alloc.size_of(offset).ok_or(ShmError::BadHandle)?;
-        Ok(ShmBuffer { offset, len, generation: inner.generation })
+        // Stamp the *allocation's own* generation (not some region-global
+        // counter): the resolved handle must go stale the moment this
+        // allocation is freed, even if the offset is re-issued.
+        let generation = inner.alloc.generation_of(offset).expect("live allocation");
+        Ok(ShmBuffer { offset, len, generation })
     }
 
     /// Allocator statistics.
@@ -300,6 +403,64 @@ mod tests {
         shm.free(buf.clone()).unwrap();
         assert_eq!(shm.read(&buf, 0, 1), Err(ShmError::BadHandle));
         assert_eq!(shm.free(buf), Err(ShmError::BadHandle));
+    }
+
+    #[test]
+    fn stale_generation_detected_after_offset_reuse() {
+        let shm = ShmRegion::with_capacity(4096);
+        let old = shm.alloc(64).unwrap();
+        shm.free(old.clone()).unwrap();
+        // Best fit re-issues the same offset at the same size...
+        let new = shm.alloc(64).unwrap();
+        assert_eq!(new.offset(), old.offset());
+        // ...and without the generation check, the old handle would now
+        // silently free (or read) the NEW allocation. Typed error instead.
+        assert!(matches!(shm.free(old.clone()), Err(ShmError::StaleBuffer { .. })));
+        assert!(matches!(shm.read(&old, 0, 1), Err(ShmError::StaleBuffer { .. })));
+        assert!(matches!(shm.write(&old, 0, &[1]), Err(ShmError::StaleBuffer { .. })));
+        // The live occupant is untouched and still frees cleanly.
+        shm.free(new).unwrap();
+        assert_eq!(shm.stats().in_use, 0);
+    }
+
+    #[test]
+    fn resolve_stamps_the_allocations_own_generation() {
+        let shm = ShmRegion::with_capacity(4096);
+        let a = shm.alloc(64).unwrap();
+        let resolved = shm.resolve(a.offset()).unwrap();
+        shm.free(a).unwrap();
+        let _b = shm.alloc(64).unwrap(); // same offset, new generation
+        assert!(
+            matches!(shm.read(&resolved, 0, 1), Err(ShmError::StaleBuffer { .. })),
+            "a resolved handle must go stale with its allocation"
+        );
+    }
+
+    #[test]
+    fn reclaim_sweep_frees_dead_epoch_orphans() {
+        let shm = ShmRegion::with_capacity(4096);
+        let kernel = shm.alloc(128).unwrap();
+        let orphan_a = shm.alloc_owned(256, 11).unwrap();
+        let orphan_b = shm.alloc_owned(512, 12).unwrap();
+        // Daemon dies; epoch moves to 1. Old owned allocations are orphans.
+        shm.set_epoch(1);
+        let survivor = shm.alloc_owned(64, 13).unwrap();
+        assert_eq!(shm.stats().orphaned_bytes, 256 + 512);
+
+        let report = shm.reclaim_before(1);
+        assert_eq!(report.reclaimed_allocs, 2);
+        assert_eq!(report.reclaimed_bytes, 256 + 512);
+        // Orphan handles are dead; typed errors, not silent corruption.
+        assert!(shm.read(&orphan_a, 0, 1).is_err());
+        assert!(shm.free(orphan_b).is_err());
+        // Kernel-owned and current-epoch allocations survived.
+        shm.read(&kernel, 0, 1).unwrap();
+        shm.free(survivor).unwrap();
+        shm.free(kernel).unwrap();
+        let s = shm.stats();
+        assert_eq!(s.in_use, 0);
+        assert_eq!(s.orphaned_bytes, 0);
+        assert_eq!(s.free_blocks, 1, "region must converge back to one coalesced block");
     }
 
     #[test]

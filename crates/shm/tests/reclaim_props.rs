@@ -1,0 +1,150 @@
+//! Property tests for the orphan-reclamation sweep: arbitrary
+//! interleavings of alloc / free / crash-epoch-bump / reclaim must never
+//! lose or overlap a byte, and the free list must stay sorted/coalesced.
+//!
+//! The model mirrors how the LAKE stack uses the region across daemon
+//! crashes: kernel-owned staging buffers are freed explicitly, request-
+//! owned buffers may be stranded by a crash (their owner died with the
+//! incarnation) and are later collected by `reclaim_before`.
+
+use lake_shm::{BestFitAllocator, OwnerTag, ShmError, ShmRegion};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate `size` bytes; odd ids are request-owned, even kernel-owned.
+    Alloc { size: usize, owned: bool },
+    /// Free the `idx % live.len()`-th tracked handle (if any).
+    Free { idx: usize },
+    /// The daemon crashes: epoch bumps, owned handles from the old epoch
+    /// are abandoned by their (dead) owners.
+    CrashEpoch,
+    /// Supervisor sweep: reclaim everything owned by epochs before the
+    /// current one.
+    Reclaim,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // The vendored proptest's prop_oneof! is uniform; repeating the
+    // alloc/free arms biases churn over crash/reclaim events.
+    prop_oneof![
+        (1usize..2048, any::<bool>()).prop_map(|(size, owned)| Op::Alloc { size, owned }),
+        (1usize..2048, any::<bool>()).prop_map(|(size, owned)| Op::Alloc { size, owned }),
+        (1usize..2048, any::<bool>()).prop_map(|(size, owned)| Op::Alloc { size, owned }),
+        any::<usize>().prop_map(|idx| Op::Free { idx }),
+        any::<usize>().prop_map(|idx| Op::Free { idx }),
+        Just(Op::CrashEpoch),
+        Just(Op::Reclaim),
+    ]
+}
+
+proptest! {
+    /// Allocator-level: `in_use + sum(free) == capacity` after every
+    /// operation, invariants hold (sorted, coalesced, no gaps/overlap),
+    /// and a final free-everything + sweep converges to one maximal block.
+    #[test]
+    fn reclaim_interleavings_never_lose_or_overlap_blocks(
+        ops in proptest::collection::vec(arb_op(), 1..250)
+    ) {
+        const CAP: usize = 64 * 1024;
+        let mut a = BestFitAllocator::new(CAP);
+        let mut epoch = 0u64;
+        // Offsets the "kernel" still holds (not abandoned to a crash).
+        let mut held: Vec<usize> = Vec::new();
+        let mut next_req = 0u64;
+        for op in ops {
+            match op {
+                Op::Alloc { size, owned } => {
+                    let tag = owned.then(|| {
+                        next_req += 1;
+                        OwnerTag { epoch, request_id: next_req }
+                    });
+                    if let Some((off, _gen)) = a.alloc_tagged(size, tag) {
+                        held.push(off);
+                    }
+                }
+                Op::Free { idx } => {
+                    if !held.is_empty() {
+                        let off = held.swap_remove(idx % held.len());
+                        a.free(off);
+                    }
+                }
+                Op::CrashEpoch => {
+                    epoch += 1;
+                    a.set_epoch(epoch);
+                    // Owned allocations from dead epochs are abandoned:
+                    // their owning requests died with the daemon.
+                    held.retain(|&off| match a.owner_of(off) {
+                        Some(Some(tag)) => tag.epoch >= epoch,
+                        _ => true, // kernel-owned: the stub still holds it
+                    });
+                }
+                Op::Reclaim => {
+                    a.reclaim_owned_before(epoch);
+                }
+            }
+            a.check_invariants();
+            let s = a.stats();
+            let free_total: usize = CAP - s.in_use;
+            prop_assert!(s.largest_free <= free_total);
+            prop_assert_eq!(s.in_use + free_total, CAP);
+        }
+        // Drain: sweep the orphans, free what the kernel still holds.
+        a.set_epoch(epoch + 1);
+        a.reclaim_owned_before(epoch + 1);
+        for off in held {
+            if a.size_of(off).is_some() {
+                a.free(off);
+            }
+        }
+        a.check_invariants();
+        let s = a.stats();
+        prop_assert_eq!(s.in_use, 0);
+        prop_assert_eq!(s.free_blocks, 1, "free list must coalesce back to one block");
+        prop_assert_eq!(s.largest_free, CAP);
+        prop_assert_eq!(s.orphaned_bytes, 0);
+    }
+
+    /// Region-level: stale handles surviving a reclamation sweep always
+    /// fail typed (BadHandle/StaleBuffer) and never free a live block —
+    /// post-sweep accounting balances exactly.
+    #[test]
+    fn stale_handles_after_sweep_are_harmless(
+        sizes in proptest::collection::vec(1usize..1024, 1..40),
+        crash_at in 0usize..40,
+    ) {
+        let shm = ShmRegion::with_capacity(1 << 20);
+        let mut pre_crash = Vec::new();
+        let mut post_crash = Vec::new();
+        let split = crash_at.min(sizes.len());
+        for (i, &size) in sizes.iter().enumerate() {
+            if i == split {
+                shm.set_epoch(1);
+            }
+            let buf = shm.alloc_owned(size, i as u64).unwrap();
+            if i < split { pre_crash.push(buf) } else { post_crash.push(buf) }
+        }
+        if split == sizes.len() {
+            shm.set_epoch(1);
+        }
+        shm.reclaim_before(1);
+        // Every pre-crash handle is dead; every access fails typed.
+        for buf in pre_crash {
+            let err = shm.read(&buf, 0, 1).unwrap_err();
+            let typed = matches!(err, ShmError::BadHandle | ShmError::StaleBuffer { .. });
+            prop_assert!(typed, "read of swept handle must fail typed, got {:?}", err);
+            let err = shm.free(buf).unwrap_err();
+            let typed = matches!(err, ShmError::BadHandle | ShmError::StaleBuffer { .. });
+            prop_assert!(typed, "free of swept handle must fail typed, got {:?}", err);
+        }
+        // Every post-crash handle still works and frees cleanly.
+        for buf in post_crash {
+            shm.read(&buf, 0, 1).unwrap();
+            shm.free(buf).unwrap();
+        }
+        let s = shm.stats();
+        prop_assert_eq!(s.in_use, 0);
+        prop_assert_eq!(s.free_blocks, 1);
+        prop_assert_eq!(s.orphaned_bytes, 0);
+    }
+}

@@ -217,6 +217,80 @@ impl BurstSchedule {
     }
 }
 
+/// A seeded schedule of daemon crash instants in virtual time.
+///
+/// Where [`BurstSchedule`] models *windows* (a device misbehaving for a
+/// span), a crash is a point event: the daemon process dies at that
+/// instant and every bit of user-space state dies with it. The schedule
+/// is precomputed from a seed at construction, so — like [`FaultPlan`] —
+/// one seed fully determines a chaos run, and queries are pure functions
+/// over a sorted list (no RNG state advances at query time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashSchedule {
+    crashes: Vec<Instant>,
+}
+
+impl CrashSchedule {
+    /// A schedule with explicit crash instants (sorted, deduplicated).
+    pub fn at(mut crashes: Vec<Instant>) -> Self {
+        crashes.sort_unstable();
+        crashes.dedup();
+        CrashSchedule { crashes }
+    }
+
+    /// `count` crashes starting around `first` and then roughly every
+    /// `period`, each jittered by up to ±`jitter` drawn from `seed`.
+    ///
+    /// Jitter keeps crash instants from phase-locking with periodic
+    /// workload structure (batch flush ticks, burst windows) so different
+    /// seeds kill the daemon at genuinely different points mid-request.
+    pub fn jittered(
+        first: Duration,
+        period: Duration,
+        jitter: Duration,
+        count: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SimRng::seed(seed);
+        let mut crashes = Vec::with_capacity(count);
+        for i in 0..count {
+            let base = first.as_nanos() + period.as_nanos().saturating_mul(i as u64);
+            let j = jitter.as_nanos();
+            // Uniform in [-jitter, +jitter], clamped at zero.
+            let wobble = if j == 0 { 0 } else { (rng.next_u64() % (2 * j + 1)) as i64 - j as i64 };
+            let t = (base as i64 + wobble).max(0) as u64;
+            crashes.push(Instant::from_nanos(t));
+        }
+        Self::at(crashes)
+    }
+
+    /// An empty schedule (the daemon never crashes).
+    pub fn none() -> Self {
+        CrashSchedule { crashes: Vec::new() }
+    }
+
+    /// All crash instants, sorted ascending.
+    pub fn crashes(&self) -> &[Instant] {
+        &self.crashes
+    }
+
+    /// The earliest crash strictly after `t`, if any.
+    pub fn next_after(&self, t: Instant) -> Option<Instant> {
+        let idx = self.crashes.partition_point(|&c| c <= t);
+        self.crashes.get(idx).copied()
+    }
+
+    /// The earliest crash in the half-open window `(after, upto]`.
+    ///
+    /// This is the supervisor's detection primitive: "did the daemon die
+    /// while this request was in flight?" Both edges matter — a crash at
+    /// exactly `after` already happened before the window opened, while
+    /// one at exactly `upto` lands inside it.
+    pub fn first_crash_in(&self, after: Instant, upto: Instant) -> Option<Instant> {
+        self.next_after(after).filter(|&c| c <= upto)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,5 +386,48 @@ mod tests {
         assert!(!never.active_at(Instant::from_nanos(12345)));
         let never = BurstSchedule::new(Duration::ZERO, Duration::from_millis(1), Duration::ZERO);
         assert!(!never.active_at(Instant::from_nanos(12345)));
+    }
+
+    #[test]
+    fn crash_schedule_queries_are_half_open() {
+        let s = CrashSchedule::at(vec![
+            Instant::from_nanos(1_000),
+            Instant::from_nanos(5_000),
+            Instant::from_nanos(5_000), // dedup
+            Instant::from_nanos(9_000),
+        ]);
+        assert_eq!(s.crashes().len(), 3);
+        // Strictly-after semantics.
+        assert_eq!(s.next_after(Instant::from_nanos(999)), Some(Instant::from_nanos(1_000)));
+        assert_eq!(s.next_after(Instant::from_nanos(1_000)), Some(Instant::from_nanos(5_000)));
+        assert_eq!(s.next_after(Instant::from_nanos(9_000)), None);
+        // (after, upto] window.
+        let w = s.first_crash_in(Instant::from_nanos(1_000), Instant::from_nanos(5_000));
+        assert_eq!(w, Some(Instant::from_nanos(5_000)));
+        assert_eq!(s.first_crash_in(Instant::from_nanos(5_000), Instant::from_nanos(8_999)), None);
+        assert_eq!(CrashSchedule::none().next_after(Instant::from_nanos(0)), None);
+    }
+
+    #[test]
+    fn jittered_crashes_are_seeded_and_bounded() {
+        let first = Duration::from_micros(100);
+        let period = Duration::from_micros(500);
+        let jitter = Duration::from_micros(40);
+        let a = CrashSchedule::jittered(first, period, jitter, 8, 17);
+        let b = CrashSchedule::jittered(first, period, jitter, 8, 17);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        let c = CrashSchedule::jittered(first, period, jitter, 8, 18);
+        assert_ne!(a, c, "different seeds should move crash instants");
+        assert_eq!(a.crashes().len(), 8);
+        for (i, t) in a.crashes().iter().enumerate() {
+            let base = first.as_nanos() + period.as_nanos() * i as u64;
+            let lo = base.saturating_sub(jitter.as_nanos());
+            let hi = base + jitter.as_nanos();
+            assert!(
+                (lo..=hi).contains(&t.as_nanos()),
+                "crash {i} at {}ns outside [{lo}, {hi}]",
+                t.as_nanos()
+            );
+        }
     }
 }

@@ -17,11 +17,11 @@
 //! `CHAOS_SEED` selects the fault plan's seed (CI runs a small matrix);
 //! any seed must satisfy the same invariants.
 
-use lake::core::{Lake, PoolPolicy};
+use lake::core::{Lake, LakeError, PoolPolicy};
 use lake::gpu::GpuFaultConfig;
 use lake::ml::{serialize, Activation, Mlp};
-use lake::rpc::CallPolicy;
-use lake::sim::{BurstSchedule, Duration, FaultSpec};
+use lake::rpc::{CallPolicy, RpcError};
+use lake::sim::{BurstSchedule, CrashSchedule, Duration, FaultSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,6 +30,10 @@ const CALLS: usize = 600;
 
 fn chaos_seed() -> u64 {
     std::env::var("CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(7)
+}
+
+fn crash_seed() -> u64 {
+    std::env::var("CRASH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(11)
 }
 
 fn model() -> Mlp {
@@ -181,4 +185,129 @@ fn linnos_workload_survives_chaos_with_bounded_inflation() {
     assert_eq!(clean_m.device_evictions, 0);
     assert_eq!(clean_m.recovered_batches, 0);
     assert_eq!(clean.call_stats().retries, 0);
+}
+
+/// Like [`run_workload`], but interleaves a zero-learning-rate `tfTrain`
+/// every 40 calls. Training is non-idempotent, so when the daemon dies
+/// mid-call it must surface the typed `DaemonRestarted` error (and its
+/// staging buffer is deliberately stranded for the orphan sweep); a zero
+/// learning rate keeps the weights — and therefore every inference
+/// answer — bit-identical to a run with no crashes at all.
+fn run_crashy_workload(lake: &Lake) -> (Vec<u64>, Vec<Vec<u32>>, u64) {
+    let ml = lake.ml();
+    let blob = serialize::encode_mlp(&model());
+    let id = loop {
+        if let Ok(id) = ml.load_model(&blob) {
+            break id;
+        }
+    };
+    let mut latencies = Vec::with_capacity(CALLS);
+    let mut results = Vec::with_capacity(CALLS);
+    let mut typed_restart_errors = 0u64;
+    for i in 0..CALLS {
+        let (rows, feats) = batch(i);
+        if i % 40 == 0 {
+            match ml.train_mlp(id, rows, COLS, &feats, &vec![0u32; rows], 1, 0.0) {
+                Ok(_) => {}
+                Err(LakeError::Rpc(RpcError::DaemonRestarted { .. })) => {
+                    typed_restart_errors += 1;
+                }
+                Err(e) => panic!("train {i} failed with a non-crash error: {e}"),
+            }
+        }
+        let t0 = lake.clock().now();
+        let classes = ml
+            .infer_mlp(id, rows, COLS, &feats)
+            .unwrap_or_else(|e| panic!("request {i} lost across daemon death: {e}"));
+        latencies.push((lake.clock().now() - t0).as_nanos());
+        results.push(classes);
+    }
+    (latencies, results, typed_restart_errors)
+}
+
+#[test]
+fn linnos_workload_survives_daemon_crashes_mid_batch() {
+    let seed = crash_seed();
+
+    // Reference run: same workload, a daemon that never dies.
+    let clean = Lake::builder().num_devices(2).call_policy(chaos_policy()).build();
+    let (clean_lat, clean_results, clean_typed) = run_crashy_workload(&clean);
+    assert_eq!(clean_typed, 0, "no crashes scheduled, no DaemonRestarted errors");
+
+    // Crash run: lakeD dies repeatedly mid-batch on a seeded jittered
+    // schedule; the supervisor restarts it under fresh epochs.
+    let crashes = CrashSchedule::jittered(
+        Duration::from_micros(300),
+        Duration::from_micros(700),
+        Duration::from_micros(150),
+        12,
+        seed,
+    );
+    let crashy =
+        Lake::builder().num_devices(2).call_policy(chaos_policy()).crash_schedule(crashes).build();
+    let (crash_lat, crash_results, typed) = run_crashy_workload(&crashy);
+
+    // Zero lost requests: panics inside run_crashy_workload cover loss;
+    // bit-identical answers cover stale or wrong-incarnation responses.
+    assert_eq!(crash_results, clean_results, "daemon death must not change any answer");
+
+    let sup = crashy.supervisor().stats();
+    let stats = crashy.call_stats();
+    let worst = *crash_lat.iter().max().unwrap();
+    eprintln!(
+        "crash seed {seed}: {} crashes detected, {} restarts (epoch {}), \
+         {} models replayed, {} breaker trips; {} failovers, {} typed \
+         restart errors, {} stale responses fenced; worst latency {}ns \
+         (clean p99 {}ns)",
+        sup.crashes_detected,
+        sup.restarts,
+        sup.epoch,
+        sup.models_replayed,
+        sup.breaker_trips,
+        stats.failed_over,
+        typed,
+        stats.stale_epochs,
+        worst,
+        p99(&clean_lat),
+    );
+
+    // The schedule really fired and the supervisor really restarted.
+    assert!(sup.restarts >= 1, "no supervised restarts happened: {sup:?}");
+    assert_eq!(sup.epoch, sup.restarts, "one epoch bump per restart");
+    assert_eq!(sup.models_replayed, sup.restarts, "shadow table replayed each time");
+
+    // Every response fenced as stale was accounted for: either failed
+    // over (idempotent inference) or surfaced as a typed error
+    // (non-idempotent training). Nothing was silently dropped and no
+    // stale-epoch answer was delivered.
+    assert!(stats.failed_over >= 1, "no failovers recorded: {stats:?}");
+    assert_eq!(
+        stats.stale_epochs,
+        stats.failed_over + stats.daemon_restarts,
+        "unaccounted stale responses: {stats:?}"
+    );
+    assert_eq!(stats.daemon_restarts, typed, "typed errors match the engine's count");
+
+    // Bounded recovery: no request hangs, even the ones that rode
+    // through a restart (lease + backoff + restart cost).
+    assert!(worst < Duration::from_millis(10).as_nanos(), "a request stalled: {worst}ns");
+
+    // Orphan reclamation: every stranded training buffer was disowned
+    // and swept — by a later supervised restart, or by the final
+    // quiesced sweep — and the region converges to one coalesced block.
+    let report = crashy.reclaim_shm_orphans();
+    let after = crashy.shm().stats();
+    assert_eq!(
+        sup.orphans_reclaimed + report.reclaimed_allocs,
+        typed,
+        "one orphan per typed restart error: {sup:?} + {report:?}"
+    );
+    assert_eq!(after.in_use, 0, "shm not back to baseline: {after:?}");
+    assert_eq!(after.orphaned_bytes, 0);
+    assert_eq!(after.free_blocks, 1, "region did not coalesce: {after:?}");
+    assert_eq!(after.largest_free, crashy.shm().capacity());
+
+    // The clean run saw none of it.
+    assert_eq!(clean.supervisor().stats().restarts, 0);
+    assert_eq!(clean.call_stats().stale_epochs, 0);
 }

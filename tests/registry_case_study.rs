@@ -8,7 +8,7 @@ use lake::block::{IoKind, NvmeDevice, NvmeSpec, TraceSpec};
 use lake::core::Lake;
 use lake::ml::{serialize, Activation, Mlp};
 use lake::registry::{Arch, FeatureRegistryService, Schema};
-use lake::sim::{Duration, SimRng};
+use lake::sim::{CrashSchedule, Duration, Instant, SimRng};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -119,6 +119,44 @@ fn listing4_listing5_capture_and_batch_inference() {
     assert!(lake.call_stats().calls > 0, "classification must remote through LAKE");
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn registry_catalog_is_replayed_into_new_daemon_incarnations() {
+    // Two kernel subsystems announce feature-registry schemas. The
+    // supervisor shadows the service catalog so every new lakeD
+    // incarnation hears the announcements again after a crash.
+    let service = FeatureRegistryService::new();
+    let io_schema = Schema::builder().feature("pend_ios", 8, 1).feature("io_latency", 8, 4).build();
+    service.create_registry(DEV, SYS, io_schema, 128).expect("create io registry");
+    let cpu_schema = Schema::builder().feature("run_delay", 8, 1).build();
+    service.create_registry("cpu0", "sched_idle_prediction", cpu_schema, 64).expect("create cpu");
+
+    let crash_at = Instant::EPOCH + Duration::from_micros(400);
+    let lake = Lake::builder().crash_schedule(CrashSchedule::at(vec![crash_at])).build();
+    for (name, subsystem) in service.catalog() {
+        lake.supervisor().record_schema(&name, &subsystem);
+    }
+
+    let ml = lake.ml();
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
+    let id = ml.load_model(&serialize::encode_mlp(&model)).expect("load model");
+
+    // Park the clock just short of the crash so the next request's
+    // in-flight window spans it; inference is idempotent, so the call
+    // fails over to the supervised replacement daemon.
+    lake.clock().advance_to(Instant::from_nanos(400 * 1_000 - 100));
+    ml.infer_mlp(id, 1, 4, &[0.5; 4]).expect("inference fails over across the crash");
+
+    let sup = lake.supervisor().stats();
+    assert_eq!(sup.restarts, 1, "one supervised restart");
+    assert_eq!(
+        sup.schemas_replayed,
+        service.catalog().len() as u64,
+        "the whole catalog is re-announced to the new incarnation"
+    );
+    assert_eq!(sup.models_replayed, 1);
 }
 
 /// Small extension trait so the test reads naturally.
