@@ -96,7 +96,7 @@ fn bench(c: &mut Criterion) {
                 Batcher::new(Policy { max_batch: MAX_BATCH, max_wait: Duration::from_micros(100) });
             let mut dispatched = 0usize;
             for i in 0..1024u64 {
-                let (_, full) = batcher.submit(i % 4, i % 3, 4, 0, vec![0.5; 4], Instant::EPOCH);
+                let (_, full) = batcher.submit(i % 4, i % 3, 4, 0, &[0.5; 4], Instant::EPOCH);
                 dispatched += full.map(|b| b.rows()).unwrap_or(0);
             }
             dispatched += batcher.flush_all().iter().map(|b| b.rows()).sum::<usize>();

@@ -36,6 +36,58 @@ pub fn fmt_us(us: f64) -> String {
     }
 }
 
+/// `(p50, p99)` of a sample set in whatever unit the samples carry.
+/// Nearest-rank on the sorted samples; NaN-free input required.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains NaN.
+pub fn percentiles(samples: &[f64]) -> (f64, f64) {
+    assert!(!samples.is_empty(), "percentiles need at least one sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let pick = |q: f64| {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    };
+    (pick(0.50), pick(0.99))
+}
+
+/// Inserts or replaces one `"section": value` entry in a flat JSON
+/// object file (the `BENCH_*.json` artifacts the PR benches emit).
+///
+/// The file keeps one section per line so independent bench binaries can
+/// each upsert their own entry without a JSON parser: lines are matched
+/// by the leading `"section":` key. `value` must be a single-line JSON
+/// value with no embedded newline.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written or `value` spans lines.
+pub fn upsert_bench_json(path: &std::path::Path, section: &str, value: &str) {
+    assert!(!value.contains('\n'), "bench json values must be single-line");
+    let mut sections: Vec<(String, String)> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if let Some(rest) = line.strip_prefix('"') {
+                if let Some((name, body)) = rest.split_once("\": ") {
+                    sections.push((name.to_owned(), body.to_owned()));
+                }
+            }
+        }
+    }
+    sections.retain(|(name, _)| name != section);
+    sections.push((section.to_owned(), value.to_owned()));
+    let mut out = String::from("{\n");
+    for (i, (name, body)) in sections.iter().enumerate() {
+        let comma = if i + 1 == sections.len() { "" } else { "," };
+        out.push_str(&format!("  \"{name}\": {body}{comma}\n"));
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out).expect("write bench json");
+}
+
 /// Renders a one-line unicode sparkline for a series normalized to
 /// `max`.
 pub fn sparkline(values: &[f64], max: f64) -> String {
@@ -64,5 +116,30 @@ mod tests {
     fn sparkline_length_and_bounds() {
         let s = sparkline(&[0.0, 0.5, 1.0, 2.0], 1.0);
         assert_eq!(s.chars().count(), 4);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let (p50, p99) = percentiles(&samples);
+        assert_eq!(p50, 51.0);
+        assert_eq!(p99, 99.0);
+        assert_eq!(percentiles(&[7.0]), (7.0, 7.0));
+    }
+
+    #[test]
+    fn upsert_bench_json_replaces_and_appends() {
+        let dir = std::env::temp_dir().join(format!("lake_bench_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_file(&path);
+
+        upsert_bench_json(&path, "alpha", r#"{"x": 1}"#);
+        upsert_bench_json(&path, "beta", r#"{"y": 2}"#);
+        upsert_bench_json(&path, "alpha", r#"{"x": 3}"#);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\n  \"beta\": {\"y\": 2},\n  \"alpha\": {\"x\": 3}\n}\n");
+        std::fs::remove_file(&path).unwrap();
     }
 }

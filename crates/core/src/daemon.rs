@@ -16,7 +16,10 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use lake_gpu::{DevicePtr, GpuDevice, GpuError, KernelArg};
-use lake_ml::{serialize, CpuCostModel, Knn, LstmClassifier, Matrix, Mlp, ModelKind};
+use lake_ml::{
+    serialize, CpuCostModel, EngineStats, InferenceEngine, Knn, LstmClassifier, Matrix, Mlp,
+    ModelKind,
+};
 use lake_rpc::{ApiHandler, ApiId, Decoder, Encoder, Status};
 use lake_sched::{Batch, BatchPolicy, Batcher, DevicePool, Placement, PoolPolicy, SchedMetrics};
 use lake_shm::{ShmBuffer, ShmRegion};
@@ -81,9 +84,14 @@ impl LoadedModel {
     /// Runs the model math over a flattened `rows` × `cols` feature
     /// buffer — the shared body of both the device kernels and the CPU
     /// fallback path, so results are bit-identical wherever a batch is
-    /// placed.
+    /// placed. MLP and LSTM batches go through the packed parallel GEMM
+    /// engine (cached under the daemon-side model `id`), which is
+    /// bit-identical to the naive per-row path; k-NN stays on the naive
+    /// path (distance scans don't benefit from weight packing).
     fn classify_host(
         &self,
+        engine: &InferenceEngine,
+        id: u64,
         rows: usize,
         cols: usize,
         steps: usize,
@@ -93,27 +101,21 @@ impl LoadedModel {
             return Err(GpuError::KernelFault("input shape mismatch".to_owned()));
         }
         match self {
-            LoadedModel::Mlp(m) => {
-                let x = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
-                Ok(m.classify(&x).into_iter().map(|c| c as f32).collect())
-            }
+            LoadedModel::Mlp(m) => Ok(engine
+                .classify_mlp(id, m, &data[..rows * cols], rows, cols)
+                .into_iter()
+                .map(|c| c as f32)
+                .collect()),
             LoadedModel::Lstm(m) => {
                 // rows sequences; each sequence is steps × features,
                 // flattened.
                 if steps == 0 || !cols.is_multiple_of(steps) {
                     return Err(GpuError::KernelFault("bad sequence shape".to_owned()));
                 }
-                let features = cols / steps;
-                Ok((0..rows)
-                    .map(|r| {
-                        let seq: Vec<Vec<f32>> = (0..steps)
-                            .map(|t| {
-                                let start = r * cols + t * features;
-                                data[start..start + features].to_vec()
-                            })
-                            .collect();
-                        m.classify(&seq) as f32
-                    })
+                Ok(engine
+                    .classify_lstm(id, m, &data[..rows * cols], rows, cols, steps)
+                    .into_iter()
+                    .map(|c| c as f32)
                     .collect())
             }
             LoadedModel::Knn(m) => {
@@ -159,6 +161,9 @@ pub struct LakeDaemon {
     hl: Arc<Mutex<HighLevelState>>,
     sched: Mutex<SchedState>,
     cpu: CpuCostModel,
+    /// Packed parallel GEMM engine backing every host-side MLP/LSTM
+    /// forward pass (device kernels and CPU fallback alike).
+    engine: Arc<InferenceEngine>,
     /// Injectable stall schedule: while a window is active, every request
     /// parks until it closes (a wedged daemon — GC pause, page-in storm).
     stall: Mutex<Option<BurstSchedule>>,
@@ -197,6 +202,10 @@ impl LakeDaemon {
             issued: 0,
             lost: HashSet::new(),
         });
+        // Size the GEMM pool to the host, capped: inference batches are
+        // latency-sensitive and small enough that more workers only add
+        // hand-off overhead.
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(4);
         Arc::new(LakeDaemon {
             gpu: Arc::clone(pool.primary()),
             pool,
@@ -204,6 +213,7 @@ impl LakeDaemon {
             hl,
             sched,
             cpu: CpuCostModel::default(),
+            engine: Arc::new(InferenceEngine::new(workers)),
             stall: Mutex::new(None),
             stall_events: AtomicU64::new(0),
         })
@@ -244,7 +254,15 @@ impl LakeDaemon {
     /// per-device utilization and dispatch counts, CPU fallbacks.
     pub fn sched_metrics(&self) -> SchedMetrics {
         let sched = self.sched.lock();
-        SchedMetrics::collect(&self.pool, &sched.batcher)
+        let mut m = SchedMetrics::collect(&self.pool, &sched.batcher);
+        m.gemm_pool_utilization = self.engine.stats().pool_utilization();
+        m
+    }
+
+    /// Counters from the packed GEMM inference engine (worker pool usage,
+    /// packed-weight cache hits).
+    pub fn gemm_stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 
     fn model(&self, id: u64) -> Result<LoadedModel, Status> {
@@ -489,6 +507,7 @@ impl LakeDaemon {
     /// model math over a device input buffer, on every pool device.
     fn register_model_kernel(&self, id: u64, base: &str, flops_per_item: f64) {
         let hl = Arc::clone(&self.hl);
+        let engine = Arc::clone(&self.engine);
         let name = format!("{base}_{id}");
         self.pool.register_kernel(&name, flops_per_item, move |ctx, args| {
             let input = args[0]
@@ -520,7 +539,7 @@ impl LakeDaemon {
                     None => return Err(GpuError::KernelFault("model unloaded".to_owned())),
                 }
             };
-            let classes = model.classify_host(rows, cols, steps, &data)?;
+            let classes = model.classify_host(&engine, id, rows, cols, steps, &data)?;
             ctx.write_f32(output, &classes)
         });
     }
@@ -530,6 +549,9 @@ impl LakeDaemon {
         let id = d.get_u64().map_err(|_| Status::Malformed)?;
         let removed = self.hl.lock().models.remove(&id).is_some();
         if removed {
+            // Drop the packed weight cache with the model; a future model
+            // reusing the id must repack.
+            self.engine.invalidate(id);
             Ok(Bytes::new())
         } else {
             Err(Status::VendorError(code::ML_UNKNOWN_MODEL))
@@ -588,6 +610,7 @@ impl LakeDaemon {
                         self.pool.note_device_fault(device_idx);
                         let classes = self.classify_on_cpu(
                             &model,
+                            id,
                             (rows, cols, steps),
                             &shm_buf,
                             in_bytes,
@@ -599,8 +622,14 @@ impl LakeDaemon {
                 }
             }
             Placement::CpuFallback => {
-                let classes =
-                    self.classify_on_cpu(&model, (rows, cols, steps), &shm_buf, in_bytes, flops)?;
+                let classes = self.classify_on_cpu(
+                    &model,
+                    id,
+                    (rows, cols, steps),
+                    &shm_buf,
+                    in_bytes,
+                    flops,
+                )?;
                 self.pool.note_fallback(rows);
                 classes
             }
@@ -679,6 +708,7 @@ impl LakeDaemon {
     fn classify_on_cpu(
         &self,
         model: &LoadedModel,
+        id: u64,
         (rows, cols, steps): (usize, usize, usize),
         shm_buf: &ShmBuffer,
         in_bytes: usize,
@@ -696,7 +726,8 @@ impl LakeDaemon {
                     .collect())
             })
             .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))??;
-        let classes = model.classify_host(rows, cols, steps, &feats).map_err(gpu_status)?;
+        let classes =
+            model.classify_host(&self.engine, id, rows, cols, steps, &feats).map_err(gpu_status)?;
         self.pool.clock().advance(self.cpu.time_for_flops(flops));
         Ok(classes.into_iter().map(|c| c as u64).collect())
     }
@@ -716,7 +747,7 @@ impl LakeDaemon {
 
         let (classes, sync) = match self.pool.place(rows) {
             Placement::Device(device_idx) => {
-                match self.batch_on_device(device_idx, &batch, kernel_base, items, &feats) {
+                match self.batch_on_device(device_idx, &batch, kernel_base, items, feats) {
                     Ok(classes) => (classes, Some((device_idx, self.pool.stream(device_idx)))),
                     Err(_) => {
                         // Device-failure recovery: the batch's features are
@@ -724,7 +755,14 @@ impl LakeDaemon {
                         // still gets its result.
                         self.pool.note_device_fault(device_idx);
                         let classes = model
-                            .classify_host(rows, batch.cols, batch.steps, &feats)
+                            .classify_host(
+                                &self.engine,
+                                batch.model,
+                                rows,
+                                batch.cols,
+                                batch.steps,
+                                feats,
+                            )
                             .map_err(gpu_status)?;
                         self.pool
                             .clock()
@@ -736,7 +774,7 @@ impl LakeDaemon {
             }
             Placement::CpuFallback => {
                 let classes = model
-                    .classify_host(rows, batch.cols, batch.steps, &feats)
+                    .classify_host(&self.engine, batch.model, rows, batch.cols, batch.steps, feats)
                     .map_err(gpu_status)?;
                 self.pool.clock().advance(self.cpu.time_for_flops(flops_per_item * items as f64));
                 self.pool.note_fallback(rows);
@@ -840,7 +878,7 @@ impl LakeDaemon {
 
         let now = self.pool.clock().now();
         let mut sched = self.sched.lock();
-        let (ticket, full) = sched.batcher.submit(client, id, cols, steps, feats, now);
+        let (ticket, full) = sched.batcher.submit(client, id, cols, steps, &feats, now);
         sched.issued = ticket;
         if let Some(batch) = full {
             self.execute_batch(&mut sched, batch)?;
@@ -897,6 +935,8 @@ impl LakeDaemon {
     /// tickets stay monotonic across incarnations.
     pub fn crash_reset(&self, _new_epoch: u64) {
         self.hl.lock().models.clear();
+        // The packed weight caches died with the incarnation's models.
+        self.engine.clear_cache();
         let mut sched = self.sched.lock();
         for batch in sched.batcher.flush_all() {
             for req in &batch.requests {
@@ -924,6 +964,7 @@ impl LakeDaemon {
             hl.models.insert(id, model);
             hl.next_id = hl.next_id.max(id + 1);
         }
+        self.engine.invalidate(id);
         for idx in 0..self.pool.len() {
             let dev = self.pool.device(idx);
             let weights = dev.mem_alloc(weight_bytes.max(4)).map_err(gpu_status)?;
@@ -1023,7 +1064,9 @@ impl LakeDaemon {
             let mut hl = self.hl.lock();
             hl.models.insert(id, LoadedModel::Mlp(Arc::new(model)));
         }
-        // Refresh the inference kernel so its FLOPs stay accurate.
+        // The weights changed under the id: drop the stale packed cache
+        // and refresh the inference kernel so its FLOPs stay accurate.
+        self.engine.invalidate(id);
         self.register_model_kernel(id, "hl_mlp", flops);
 
         let mut e = Encoder::new();

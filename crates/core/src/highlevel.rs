@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use lake_rpc::{CallEngine, Decoder, Encoder, RpcError};
+use lake_rpc::{perf, CallEngine, Decoder, Encoder, RpcError};
 use lake_sched::AdmissionController;
 use lake_shm::{ShmBuffer, ShmRegion};
 
@@ -68,20 +68,37 @@ impl LakeMl {
         LakeMl { engine, shm, admission, supervisor, next_request: Arc::new(AtomicU64::new(1)) }
     }
 
-    /// Stages `raw` into an **owner-tagged** shm buffer (current daemon
-    /// epoch + request id), going through admission control when it is
-    /// wired: shm exhaustion waits boundedly on the virtual clock
-    /// instead of failing immediately or forever.
-    fn stage(&self, raw: &[u8], client: u64) -> Result<ShmBuffer, LakeError> {
+    /// Allocates an **owner-tagged** shm buffer (current daemon epoch +
+    /// request id), going through admission control when it is wired:
+    /// shm exhaustion waits boundedly on the virtual clock instead of
+    /// failing immediately or forever.
+    fn admit_staging(&self, size: usize, client: u64) -> Result<ShmBuffer, LakeError> {
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
-        let size = raw.len().max(1);
-        let buf = match &self.admission {
+        let size = size.max(1);
+        match &self.admission {
             Some(ctl) => ctl
                 .admit(client, size, || self.shm.alloc_owned(size, request_id).ok())
-                .map_err(LakeError::Admission)?,
-            None => self.shm.alloc_owned(size, request_id)?,
-        };
-        self.shm.write(&buf, 0, raw)?;
+                .map_err(LakeError::Admission),
+            None => Ok(self.shm.alloc_owned(size, request_id)?),
+        }
+    }
+
+    /// Stages a feature tensor by encoding the f32 words little-endian
+    /// **straight into** an owner-tagged shm buffer — one copy end to
+    /// end, with no intermediate byte vector between the caller's
+    /// tensor and the shared mapping.
+    fn stage_f32(&self, features: &[f32], client: u64) -> Result<ShmBuffer, LakeError> {
+        let bytes = features.len() * 4;
+        let buf = self.admit_staging(bytes, client)?;
+        self.shm.with_bytes_mut(&buf, |dst| {
+            for (chunk, &x) in dst.chunks_exact_mut(4).zip(features) {
+                chunk.copy_from_slice(&x.to_le_bytes());
+            }
+        })?;
+        perf::note_copy(bytes);
+        // The old path assembled an intermediate Vec<u8> and memcpy'd it
+        // into shm; that second copy no longer happens.
+        perf::note_zero_copy(bytes);
         Ok(buf)
     }
 
@@ -155,12 +172,7 @@ impl LakeMl {
         assert_eq!(features.len(), rows * cols, "feature buffer shape mismatch");
         // Stage the batch in lakeShm so only the descriptor crosses the
         // channel.
-        let bytes = features.len() * 4;
-        let mut raw = Vec::with_capacity(bytes);
-        for &x in features {
-            raw.extend_from_slice(&x.to_le_bytes());
-        }
-        let buf = self.stage(&raw, 0)?;
+        let buf = self.stage_f32(features, 0)?;
 
         let mut e = Encoder::new();
         e.put_u64(id.0)
@@ -243,12 +255,7 @@ impl LakeMl {
     ) -> Result<f32, LakeError> {
         assert_eq!(features.len(), rows * cols, "feature buffer shape mismatch");
         assert_eq!(labels.len(), rows, "one label per row");
-        let bytes = features.len() * 4;
-        let mut raw = Vec::with_capacity(bytes);
-        for &x in features {
-            raw.extend_from_slice(&x.to_le_bytes());
-        }
-        let buf = self.stage(&raw, 0)?;
+        let buf = self.stage_f32(features, 0)?;
 
         let label_words: Vec<u64> = labels.iter().map(|&l| l as u64).collect();
         let mut e = Encoder::new();
@@ -306,12 +313,7 @@ impl LakeMl {
         features: &[f32],
     ) -> Result<Ticket, LakeError> {
         assert_eq!(features.len(), cols, "one row of `cols` features");
-        let bytes = features.len() * 4;
-        let mut raw = Vec::with_capacity(bytes);
-        for &x in features {
-            raw.extend_from_slice(&x.to_le_bytes());
-        }
-        let buf = self.stage(&raw, client)?;
+        let buf = self.stage_f32(features, client)?;
 
         let mut e = Encoder::new();
         e.put_u64(id.0)

@@ -36,6 +36,7 @@ pub struct LakeBuilder {
     crash_schedule: Option<CrashSchedule>,
     supervisor_policy: SupervisorPolicy,
     admission_policy: AdmissionPolicy,
+    staging_threshold: Option<usize>,
 }
 
 impl Default for LakeBuilder {
@@ -55,6 +56,7 @@ impl Default for LakeBuilder {
             crash_schedule: None,
             supervisor_policy: SupervisorPolicy::default(),
             admission_policy: AdmissionPolicy::default(),
+            staging_threshold: None,
         }
     }
 }
@@ -156,6 +158,18 @@ impl LakeBuilder {
         self
     }
 
+    /// Enables automatic shm handle-passing on the call engine: any
+    /// inline payload at or above `threshold` bytes is written into a
+    /// **private** staging region and only a 16-byte descriptor crosses
+    /// the channel (Fig 6's crossover sits near 4 KB —
+    /// [`lake_rpc::DEFAULT_INLINE_THRESHOLD`]). Off by default: callers
+    /// that manage `lakeShm` buffers themselves already pass handles,
+    /// and their accounting assumes the main region is theirs alone.
+    pub fn staging_threshold(mut self, threshold: usize) -> Self {
+        self.staging_threshold = Some(threshold);
+        self
+    }
+
     /// Builds the instance: shared region, device pool, daemon, call
     /// engine.
     pub fn build(self) -> Lake {
@@ -191,6 +205,13 @@ impl LakeBuilder {
         .with_lifecycle(Arc::clone(&supervisor) as Arc<dyn lake_rpc::DaemonLifecycle>);
         if let Some(policy) = self.call_policy {
             engine = engine.with_policy(policy);
+        }
+        if let Some(threshold) = self.staging_threshold {
+            // A private region, not the kernel-visible lakeShm: staged
+            // frames are engine bookkeeping, and the main region's
+            // accounting (orphan sweeps, `in_use == 0` invariants)
+            // belongs to callers that stage buffers explicitly.
+            engine = engine.with_staging(ShmRegion::with_capacity(self.shm_capacity), threshold);
         }
         let fault_plan =
             self.transport_faults.map(|(spec, seed)| Arc::new(FaultPlan::new(spec, seed)));
@@ -232,6 +253,23 @@ pub struct FaultReport {
     pub shm: AllocStats,
     /// Daemon lifecycle counters (crashes, restarts, replay, breaker).
     pub supervisor: SupervisorStats,
+}
+
+/// The fast path in one snapshot: RPC copy accounting, engine staging
+/// activity, and the packed GEMM engine's counters — the perf-side
+/// sibling of [`FaultReport`].
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Process-wide RPC copy counters (bytes memcpy'd, zero-copy
+    /// hand-offs). Difference two reports with
+    /// [`lake_rpc::PerfSnapshot::since`] to scope them to a workload.
+    pub rpc: lake_rpc::PerfSnapshot,
+    /// Calls whose payloads travelled as shm handles instead of inline
+    /// frames (requires [`LakeBuilder::staging_threshold`]).
+    pub staged_calls: u64,
+    /// Packed GEMM engine counters: worker-pool runs vs direct runs and
+    /// packed-weight cache hits/misses.
+    pub gemm: lake_ml::EngineStats,
 }
 
 impl std::fmt::Debug for Lake {
@@ -281,6 +319,9 @@ impl Lake {
         m.shm_reclaimed_allocs = shm.reclaimed_allocs;
         m.shm_reclaimed_bytes = shm.reclaimed_bytes;
         m.daemon_restarts = self.supervisor.stats().restarts;
+        let perf = lake_rpc::perf::snapshot();
+        m.bytes_copied = perf.bytes_copied;
+        m.zero_copy_hits = perf.zero_copy_hits;
         m
     }
 
@@ -354,6 +395,16 @@ impl Lake {
             transport: self.fault_counters(),
             shm: self.shm.stats(),
             supervisor: self.supervisor.stats(),
+        }
+    }
+
+    /// One combined fast-path snapshot: RPC copy counters, staged-call
+    /// count, and the GEMM engine's pool/cache counters.
+    pub fn perf_report(&self) -> PerfReport {
+        PerfReport {
+            rpc: lake_rpc::perf::snapshot(),
+            staged_calls: self.engine.stats().staged_calls,
+            gemm: self.daemon.gemm_stats(),
         }
     }
 }
@@ -517,6 +568,70 @@ mod tests {
         let ml = lake.ml();
         let err = ml.infer_mlp(crate::ModelId(777), 1, 4, &[0.0; 4]).unwrap_err();
         assert_eq!(err.vendor_code(), Some(code::ML_UNKNOWN_MODEL));
+    }
+
+    #[test]
+    fn builder_staging_passes_large_payloads_as_handles() {
+        use lake_ml::{serialize, Activation, Mlp};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(9);
+        // ~17 KB serialized — far above the Fig 6 crossover.
+        let model = Mlp::new(&[64, 64, 4], Activation::Relu, &mut rng);
+        let blob = serialize::encode_mlp(&model);
+        assert!(blob.len() > lake_rpc::DEFAULT_INLINE_THRESHOLD);
+
+        let lake = Lake::builder().staging_threshold(lake_rpc::DEFAULT_INLINE_THRESHOLD).build();
+        let ml = lake.ml();
+        let before = lake.perf_report();
+        let id = ml.load_model(&blob).unwrap();
+        let report = lake.perf_report();
+        assert!(report.staged_calls >= 1, "the model blob should ride shm: {report:?}");
+        // Staging is engine-private: the kernel-visible region stays
+        // untouched for callers that manage it explicitly.
+        assert_eq!(lake.shm().stats().in_use, 0);
+        // The daemon consumed the blob through the shared mapping.
+        let d = report.rpc.since(&before.rpc);
+        assert!(d.zero_copy_hits >= 1, "{d:?}");
+        // And correctness is unaffected.
+        assert_eq!(ml.infer_mlp(id, 1, 64, &[0.1; 64]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn perf_report_counts_gemm_cache_and_staged_copies() {
+        use lake_ml::{serialize, Activation, Matrix, Mlp};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let lake = Lake::builder().build();
+        let ml = lake.ml();
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = Mlp::new(&[8, 16, 3], Activation::Relu, &mut rng);
+        let id = ml.load_model(&serialize::encode_mlp(&model)).unwrap();
+        let before = lake.perf_report();
+
+        let x: Vec<f32> = (0..64 * 8).map(|i| (i % 7) as f32 * 0.25).collect();
+        let remote = ml.infer_mlp(id, 64, 8, &x).unwrap();
+        let local = model.classify(&Matrix::from_vec(64, 8, x.clone()));
+        assert_eq!(remote, local.iter().map(|&c| c as u32).collect::<Vec<_>>());
+
+        let report = lake.perf_report();
+        assert!(
+            report.gemm.cache_misses > before.gemm.cache_misses,
+            "first use packs the model: {report:?}"
+        );
+        let again = ml.infer_mlp(id, 64, 8, &x).unwrap();
+        assert_eq!(again, remote, "packed path must be deterministic");
+        assert!(lake.perf_report().gemm.cache_hits > report.gemm.cache_hits);
+
+        // stage_f32 wrote the features straight into shm: each inference
+        // records the avoided intermediate copy.
+        let d = lake.perf_report().rpc.since(&before.rpc);
+        assert!(d.zero_copy_hits >= 2, "{d:?}");
+        assert!(d.bytes_zero_copied >= 2 * (64 * 8 * 4) as u64, "{d:?}");
+        let m = lake.sched_metrics();
+        assert!(m.bytes_copied > 0 && m.zero_copy_hits > 0);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod supervisor;
 
 pub use error::LakeError;
 pub use highlevel::{LakeMl, ModelId, Ticket};
-pub use lake::{FaultReport, Lake, LakeBuilder};
+pub use lake::{FaultReport, Lake, LakeBuilder, PerfReport};
 pub use lakelib::LakeCuda;
 pub use policy::{CuPolicy, Policy, PolicyConfig, Target};
 pub use supervisor::{DaemonSupervisor, SupervisorPolicy, SupervisorStats};

@@ -21,6 +21,10 @@ pub struct GpuSpec {
     pub pcie_latency: Duration,
     /// Sustained PCIe copy bandwidth in bytes/second.
     pub pcie_bytes_per_sec: f64,
+    /// Sustained host-side memcpy bandwidth in bytes/second — what an
+    /// inline kernel→user payload copy costs (Fig 6's rising line). The
+    /// shm handle-passing path skips this charge entirely.
+    pub host_copy_bytes_per_sec: f64,
     /// Effective peak f32 throughput at full occupancy, FLOPs/second.
     pub flops_peak: f64,
     /// Work-item count at which the occupancy ramp reaches 50% of peak.
@@ -38,6 +42,7 @@ impl GpuSpec {
             launch_overhead: Duration::from_micros(8),
             pcie_latency: Duration::from_micros(2),
             pcie_bytes_per_sec: 12.0e9, // effective H2D/D2H over PCIe 4.0
+            host_copy_bytes_per_sec: 20.0e9, // single-threaded DRAM memcpy
             flops_peak: 2.0e12,         // effective f32 for small kernels
             half_saturation_items: 2_000.0,
             memory_bytes: 2 << 30, // modeled slice of the 40 GB device
@@ -52,6 +57,7 @@ impl GpuSpec {
             launch_overhead: Duration::from_micros(10),
             pcie_latency: Duration::from_micros(5),
             pcie_bytes_per_sec: 1.0e9,
+            host_copy_bytes_per_sec: 2.0e9,
             flops_peak: 1.0e9,
             half_saturation_items: 10.0,
             memory_bytes: 1 << 20,
@@ -83,6 +89,12 @@ impl GpuSpec {
     /// Time for a DMA transfer of `bytes`.
     pub fn transfer_time(&self, bytes: usize) -> Duration {
         self.pcie_latency + Duration::from_secs_f64(bytes as f64 / self.pcie_bytes_per_sec)
+    }
+
+    /// Time for a host-side memcpy of `bytes` — the per-payload charge
+    /// the inline call path pays (and the shm path avoids).
+    pub fn host_copy_time(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.host_copy_bytes_per_sec)
     }
 }
 
@@ -121,6 +133,18 @@ mod tests {
         let marginal = two_mb - one_mb;
         let expected = Duration::from_secs_f64((1 << 20) as f64 / spec.pcie_bytes_per_sec);
         assert!((marginal.as_nanos() as i64 - expected.as_nanos() as i64).abs() < 100);
+    }
+
+    #[test]
+    fn host_copy_time_is_linear_with_no_fixed_part() {
+        let spec = GpuSpec::a100();
+        assert_eq!(spec.host_copy_time(0), Duration::ZERO);
+        let one = spec.host_copy_time(1 << 20);
+        let two = spec.host_copy_time(2 << 20);
+        assert!((two.as_nanos() as i64 - 2 * one.as_nanos() as i64).abs() <= 1);
+        // Fig 6 crossover: moving 1 MiB inline costs real time, while the
+        // shm path's descriptor is effectively free.
+        assert!(one > Duration::ZERO);
     }
 
     #[test]

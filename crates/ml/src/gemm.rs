@@ -1,0 +1,1190 @@
+//! Packed, parallel GEMM fast path for inference.
+//!
+//! The naive [`Matrix::matmul`] walks the right-hand side row by row in an
+//! i-k-j saxpy. That keeps the *math* simple but leaves two costs on the
+//! table for inference, where the weights are reused across every call:
+//!
+//! * the weight matrix is re-traversed in its row-major layout on every
+//!   multiply, with no packing or padding, and
+//! * everything runs on one thread.
+//!
+//! This module adds a fast path that fixes both while staying **bit-identical**
+//! to the naive code, because the PR 2/3 chaos invariants (CPU fallback ==
+//! GPU result, remote == local) compare outputs exactly:
+//!
+//! * [`PackedMatrix`] stores the weights **transposed** (column `j` of the
+//!   original becomes a contiguous packed row) with the row stride padded to
+//!   a 64-byte cache line and the base 64-byte aligned, so each output
+//!   element is one linear streamed dot product.
+//! * Each output element `out[i][j]` is computed as a single k-ascending
+//!   accumulator starting from `0.0`, with the same `a == 0.0` skip the
+//!   naive saxpy applies — the exact same float operation sequence, so the
+//!   result is the exact same bits.
+//! * A fixed-size [`WorkerPool`] partitions **disjoint output row ranges**
+//!   across threads. Since no two workers ever touch the same accumulator,
+//!   the reduction order per element is unchanged no matter how many
+//!   workers run.
+//! * Bias and activation are fused into the store ([`PackedMlp::forward`]):
+//!   elementwise epilogues commute with the row partition, and the scalar
+//!   formulas replicate [`Activation`]'s exactly.
+//! * [`PackedLstm`] batches the gate GEMMs across the batch dimension (all
+//!   rows of a timestep stream the packed `Wx`/`Wh` once) while keeping the
+//!   per-row accumulation order of `LstmCell::step`.
+//!
+//! [`PackedModelCache`] memoizes the packed form per model id so packing is
+//! paid once per load, and [`InferenceEngine`] bundles pool + cache with the
+//! utilization counters surfaced through `SchedMetrics`.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::lstm::LstmClassifier;
+use crate::mlp::{Activation, Mlp};
+use crate::tensor::Matrix;
+
+/// Packed row stride granularity: 16 f32 = one 64-byte cache line.
+pub const PACK_LANE: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Packed weights
+// ---------------------------------------------------------------------------
+
+/// A weight matrix re-laid-out and padded for the inference fast path.
+///
+/// For an original `k × n` matrix `B`, packed row `k` is original row `k`,
+/// padded with zeros to a [`PACK_LANE`]-multiple stride and based at a
+/// 64-byte-aligned offset. The layout keeps the naive saxpy's k-outer loop
+/// — the one shape whose inner loop carries `n` *independent* accumulators
+/// and therefore vectorizes — while giving every row an aligned, uniformly
+/// strided start the hot loop can stream.
+///
+/// (An earlier revision packed columns for dot-product reduction; a dot
+/// carries one serial accumulator whose f32 adds cannot be reordered, so
+/// it ran scalar and lost ~8× to the vectorized saxpy.)
+#[derive(Debug)]
+pub struct PackedMatrix {
+    /// Original row count of `B` (the reduction dimension `k`).
+    k: usize,
+    /// Original column count of `B` (the output dimension).
+    n: usize,
+    /// Padded length of one packed row, a multiple of [`PACK_LANE`].
+    stride: usize,
+    /// Offset of the first packed element (aligns the base to 64 bytes).
+    base: usize,
+    data: Vec<f32>,
+}
+
+impl PackedMatrix {
+    /// Packs `B` (pad + align). Cost is one pass over `B`.
+    pub fn pack(b: &Matrix) -> Self {
+        let (k, n) = (b.rows(), b.cols());
+        let stride = n.div_ceil(PACK_LANE) * PACK_LANE;
+        let mut data = vec![0.0f32; k * stride + PACK_LANE - 1];
+        let off = data.as_ptr().align_offset(64);
+        // align_offset is allowed to fail (returns usize::MAX); fall back to
+        // an unaligned base — correctness does not depend on alignment.
+        let base = if off < PACK_LANE { off } else { 0 };
+        let src = b.data();
+        for kk in 0..k {
+            data[base + kk * stride..base + kk * stride + n]
+                .copy_from_slice(&src[kk * n..(kk + 1) * n]);
+        }
+        PackedMatrix { k, n, stride, base, data }
+    }
+
+    /// Reduction dimension (rows of the original matrix).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output dimension (columns of the original matrix).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Padded stride of one packed row, in f32 elements.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Bytes held by the packed buffer (pad + alignment included).
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Packed row `k`: original row `k` of `B`, contiguous, length `n`.
+    #[inline]
+    pub fn row(&self, k: usize) -> &[f32] {
+        let start = self.base + k * self.stride;
+        &self.data[start..start + self.n]
+    }
+}
+
+/// Scalar replica of `Activation::apply`'s per-element formulas.
+#[inline]
+fn apply_act(act: Activation, x: f32) -> f32 {
+    match act {
+        Activation::Relu => x.max(0.0),
+        Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        Activation::Tanh => x.tanh(),
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Packed GEMM for one contiguous row range of the output.
+///
+/// `a` is the full input (row-major, `a_cols` wide); rows `rows.start..
+/// rows.end` are computed into `out`, which must hold exactly that range
+/// (`(rows.len()) * pb.n()` floats). `bias`/`act` fuse the epilogue:
+/// `out = act(a·B + bias)` with bias added **after** the accumulation,
+/// matching `matmul` → `add_row_bias` → `Activation::apply`.
+///
+/// Per output element this performs the identical sequence of f32
+/// operations as [`Matrix::matmul`]'s i-k-j loop: one accumulator starting
+/// at `0.0`, adding `a[k] * b[k][j]` for ascending `k` where
+/// `a[k] != 0.0`. The k-outer saxpy shape keeps the inner loop's `n`
+/// accumulators independent, so it vectorizes; the epilogue then runs in
+/// the same pass instead of re-walking the batch.
+fn gemm_rows(
+    a: &[f32],
+    a_cols: usize,
+    rows: Range<usize>,
+    pb: &PackedMatrix,
+    bias: Option<&[f32]>,
+    act: Option<Activation>,
+    out: &mut [f32],
+) {
+    assert_eq!(a_cols, pb.k, "gemm reduction dim mismatch");
+    let n = pb.n;
+    assert_eq!(out.len(), rows.len() * n, "gemm output size mismatch");
+    for (li, i) in rows.enumerate() {
+        let a_row = &a[i * a_cols..(i + 1) * a_cols];
+        let out_row = &mut out[li * n..(li + 1) * n];
+        out_row.fill(0.0);
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = pb.row(k);
+            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                *o += av * b;
+            }
+        }
+        match (bias, act) {
+            (Some(bs), Some(act)) => {
+                for (o, &b) in out_row.iter_mut().zip(bs) {
+                    *o = apply_act(act, *o + b);
+                }
+            }
+            (Some(bs), None) => {
+                for (o, &b) in out_row.iter_mut().zip(bs) {
+                    *o += b;
+                }
+            }
+            (None, Some(act)) => {
+                for o in out_row.iter_mut() {
+                    *o = apply_act(act, *o);
+                }
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// A job handed to the pool: called once per worker with the worker index.
+type Job = &'static (dyn Fn(usize) + Sync);
+
+enum Msg {
+    Run(Job),
+    Exit,
+}
+
+/// Fixed-size pool of persistent worker threads for partitioned GEMM.
+///
+/// [`WorkerPool::run`] hands every worker the same closure plus its worker
+/// index; the closure picks its own disjoint output slice from the index.
+/// `run` blocks until every worker has finished, so the closure may borrow
+/// from the caller's stack even though the channel type is `'static`.
+pub struct WorkerPool {
+    txs: Vec<mpsc::Sender<Msg>>,
+    done_rx: Mutex<mpsc::Receiver<bool>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    runs: AtomicU64,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("runs", &self.runs.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` persistent threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (done_tx, done_rx) = mpsc::channel::<bool>();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::channel::<Msg>();
+            let done = done_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("lake-gemm-{w}"))
+                    .spawn(move || {
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                Msg::Run(job) => {
+                                    let ok = catch_unwind(AssertUnwindSafe(|| job(w))).is_ok();
+                                    if done.send(ok).is_err() {
+                                        break;
+                                    }
+                                }
+                                Msg::Exit => break,
+                            }
+                        }
+                    })
+                    .expect("spawn gemm worker"),
+            );
+            txs.push(tx);
+        }
+        WorkerPool { txs, done_rx: Mutex::new(done_rx), handles, workers, runs: AtomicU64::new(0) }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Jobs executed so far (each job fans out to every worker).
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Runs `job(worker_index)` on every worker and blocks until all done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worker's closure panicked.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the job reference is only lent to the workers for the
+        // duration of this call — we block below until every worker has
+        // reported completion, after which no worker retains the pointer.
+        let job: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
+        };
+        // One receiver guarded by a mutex serializes concurrent `run`s, so
+        // completions from overlapping jobs cannot be misattributed.
+        // Poisoning is benign here: a panicked `run` still drains every
+        // completion before re-panicking, so the receiver state is clean.
+        let done = self.done_rx.lock().unwrap_or_else(|e| e.into_inner());
+        for tx in &self.txs {
+            tx.send(Msg::Run(job)).expect("gemm worker gone");
+        }
+        let mut ok = true;
+        for _ in 0..self.workers {
+            ok &= done.recv().expect("gemm worker gone");
+        }
+        assert!(ok, "gemm worker panicked");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for tx in &self.txs {
+            let _ = tx.send(Msg::Exit);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Splits `rows` into at most `parts` contiguous, disjoint ranges.
+fn partition(rows: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let per = rows.div_ceil(parts).max(1);
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < rows {
+        let end = (start + per).min(rows);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Packed, pool-partitioned matrix multiply, bit-identical to
+/// [`Matrix::matmul`].
+///
+/// `pb` must be [`PackedMatrix::pack`] of the right-hand side. With a pool,
+/// output rows are partitioned across workers (disjoint accumulators, so
+/// the per-element reduction order — and therefore every output bit — is
+/// independent of the worker count).
+pub fn matmul_packed(a: &Matrix, pb: &PackedMatrix, pool: Option<&WorkerPool>) -> Matrix {
+    let rows = a.rows();
+    let mut out = Matrix::zeros(rows, pb.n);
+    run_partitioned(pool, rows, pb.n, out.data_mut(), |range, chunk| {
+        gemm_rows(a.data(), a.cols(), range, pb, None, None, chunk);
+    });
+    out
+}
+
+/// Partitions `rows` across the pool and hands each worker its disjoint
+/// chunk of `out` (`row_width` floats per row). Falls back to inline
+/// execution for tiny batches or a single worker.
+fn run_partitioned(
+    pool: Option<&WorkerPool>,
+    rows: usize,
+    row_width: usize,
+    out: &mut [f32],
+    work: impl Fn(Range<usize>, &mut [f32]) + Sync,
+) {
+    let parallel = match pool {
+        Some(p) if p.workers() > 1 && rows > 1 => Some(p),
+        _ => None,
+    };
+    match parallel {
+        None => work(0..rows, out),
+        Some(pool) => {
+            let ranges = partition(rows, pool.workers());
+            let per = ranges[0].len();
+            let chunks: Vec<Mutex<(Range<usize>, &mut [f32])>> = out
+                .chunks_mut(per * row_width)
+                .zip(ranges)
+                .map(|(chunk, range)| Mutex::new((range, chunk)))
+                .collect();
+            let job = |w: usize| {
+                if let Some(slot) = chunks.get(w) {
+                    let mut guard = slot.lock().expect("gemm chunk poisoned");
+                    let (range, chunk) = &mut *guard;
+                    work(range.clone(), chunk);
+                }
+            };
+            pool.run(&job);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed models
+// ---------------------------------------------------------------------------
+
+/// One MLP layer in packed form.
+#[derive(Debug)]
+struct PackedLayer {
+    w: PackedMatrix,
+    b: Vec<f32>,
+}
+
+/// An [`Mlp`] with every layer's weights packed, forward fused.
+#[derive(Debug)]
+pub struct PackedMlp {
+    layers: Vec<PackedLayer>,
+    hidden_activation: Activation,
+}
+
+impl PackedMlp {
+    /// Packs all layers of `m`.
+    pub fn pack(m: &Mlp) -> Self {
+        let layers = m
+            .parameters()
+            .into_iter()
+            .map(|(w, b)| PackedLayer { w: PackedMatrix::pack(w), b: b.to_vec() })
+            .collect();
+        PackedMlp { layers, hidden_activation: m.hidden_activation() }
+    }
+
+    /// Input width expected by the first layer.
+    pub fn input_size(&self) -> usize {
+        self.layers[0].w.k
+    }
+
+    /// Logits for a row range of the batch, written into `out`
+    /// (`rows.len() * classes` floats). Bit-identical to `Mlp::forward`.
+    fn forward_rows(&self, data: &[f32], cols: usize, rows: Range<usize>, out: &mut [f32]) {
+        let n_layers = self.layers.len();
+        let local = rows.len();
+        // First layer reads straight from the caller's (possibly shm-backed)
+        // batch tensor; subsequent layers ping-pong a local buffer.
+        let mut cur: Vec<f32> = Vec::new();
+        let mut cur_cols = cols;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let last = li + 1 == n_layers;
+            let act = if last { None } else { Some(self.hidden_activation) };
+            let n = layer.w.n;
+            if last {
+                if li == 0 {
+                    gemm_rows(data, cur_cols, rows.clone(), &layer.w, Some(&layer.b), act, out);
+                } else {
+                    gemm_rows(&cur, cur_cols, 0..local, &layer.w, Some(&layer.b), act, out);
+                }
+            } else {
+                let mut next = vec![0.0f32; local * n];
+                if li == 0 {
+                    gemm_rows(
+                        data,
+                        cur_cols,
+                        rows.clone(),
+                        &layer.w,
+                        Some(&layer.b),
+                        act,
+                        &mut next,
+                    );
+                } else {
+                    gemm_rows(&cur, cur_cols, 0..local, &layer.w, Some(&layer.b), act, &mut next);
+                }
+                cur = next;
+                cur_cols = n;
+            }
+        }
+    }
+
+    /// Batch logits, partitioned across `pool`. Bit-identical to
+    /// `Mlp::forward` on the same batch.
+    pub fn forward(
+        &self,
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+        pool: Option<&WorkerPool>,
+    ) -> Matrix {
+        assert_eq!(cols, self.input_size(), "mlp input width mismatch");
+        assert!(data.len() >= rows * cols, "mlp batch buffer too short");
+        let classes = self.layers.last().expect("non-empty mlp").w.n;
+        let mut out = Matrix::zeros(rows.max(1), classes);
+        if rows == 0 {
+            return out;
+        }
+        run_partitioned(pool, rows, classes, out.data_mut(), |range, chunk| {
+            self.forward_rows(data, cols, range, chunk);
+        });
+        out
+    }
+
+    /// Argmax classes for a batch; first maximal index wins on ties,
+    /// replicating `Matrix::argmax_rows` (hence `Mlp::classify`).
+    pub fn classify(
+        &self,
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+        pool: Option<&WorkerPool>,
+    ) -> Vec<usize> {
+        let logits = self.forward(data, rows, cols, pool);
+        if rows == 0 {
+            return Vec::new();
+        }
+        logits.argmax_rows()
+    }
+}
+
+/// One LSTM cell in packed form.
+#[derive(Debug)]
+struct PackedCell {
+    input: usize,
+    hidden: usize,
+    /// Packed `input × 4·hidden` input weights.
+    wx: PackedMatrix,
+    /// Packed `hidden × 4·hidden` recurrent weights.
+    wh: PackedMatrix,
+    b: Vec<f32>,
+}
+
+impl PackedCell {
+    /// One timestep for one row; replicates `LstmCell::step` exactly:
+    /// `z = b + x·Wx + h·Wh` with the `== 0.0` skip on `x` and `h`, gates
+    /// in `[i, f, g, o]` order, `c = f*c_prev + i*g`, `h = o*tanh(c)`.
+    fn step(&self, x: &[f32], h: &mut [f32], c: &mut [f32], z: &mut [f32]) {
+        let hd = self.hidden;
+        // Accumulators seeded with the bias, then x-products for ascending
+        // k (skipping x[k] == 0.0), then h-products — the same k-outer
+        // saxpy loops (and therefore the same per-element f32 sequence)
+        // as `LstmCell::step`, minus its per-step allocations.
+        z.copy_from_slice(&self.b);
+        for (k, &xv) in x.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let row = self.wx.row(k);
+            for (zj, &wj) in z.iter_mut().zip(row) {
+                *zj += xv * wj;
+            }
+        }
+        for (k, &hv) in h.iter().enumerate() {
+            if hv == 0.0 {
+                continue;
+            }
+            let row = self.wh.row(k);
+            for (zj, &wj) in z.iter_mut().zip(row) {
+                *zj += hv * wj;
+            }
+        }
+        for j in 0..hd {
+            let i = sigmoid(z[j]);
+            let f = sigmoid(z[hd + j]);
+            let g = z[2 * hd + j].tanh();
+            let o = sigmoid(z[3 * hd + j]);
+            let cn = f * c[j] + i * g;
+            c[j] = cn;
+            h[j] = o * cn.tanh();
+        }
+    }
+}
+
+/// An [`LstmClassifier`] with packed gate and head weights.
+#[derive(Debug)]
+pub struct PackedLstm {
+    cells: Vec<PackedCell>,
+    head_w: PackedMatrix,
+    head_b: Vec<f32>,
+}
+
+impl PackedLstm {
+    /// Packs all cells and the head of `m`.
+    pub fn pack(m: &LstmClassifier) -> Self {
+        let cells = m
+            .cells()
+            .iter()
+            .map(|c| {
+                let (wx, wh, b) = c.raw_parts();
+                PackedCell {
+                    input: c.input_size(),
+                    hidden: c.hidden_size(),
+                    wx: PackedMatrix::pack(wx),
+                    wh: PackedMatrix::pack(wh),
+                    b: b.to_vec(),
+                }
+            })
+            .collect();
+        let (head_w, head_b) = m.head();
+        PackedLstm { cells, head_w: PackedMatrix::pack(head_w), head_b: head_b.to_vec() }
+    }
+
+    /// Feature width expected per timestep.
+    pub fn input_size(&self) -> usize {
+        self.cells[0].input
+    }
+
+    /// Classes for a row range; one batch row is one sequence of `steps`
+    /// timesteps of `cols / steps` features, flattened row-major.
+    fn classify_rows(
+        &self,
+        data: &[f32],
+        cols: usize,
+        steps: usize,
+        rows: Range<usize>,
+        out: &mut [usize],
+    ) {
+        let feat = cols / steps;
+        let local = rows.len();
+        let top_hidden = self.cells.last().expect("non-empty lstm").hidden;
+        // layer_input[r * steps * width ..] holds row r's per-timestep
+        // inputs for the current layer; starts as the raw features.
+        let mut layer_input: Vec<f32> = Vec::with_capacity(local * cols);
+        for i in rows {
+            layer_input.extend_from_slice(&data[i * cols..(i + 1) * cols]);
+        }
+        let mut width = feat;
+        for cell in &self.cells {
+            let hd = cell.hidden;
+            let mut layer_out = vec![0.0f32; local * steps * hd];
+            let mut h = vec![0.0f32; local * hd];
+            let mut c = vec![0.0f32; local * hd];
+            let mut z = vec![0.0f32; 4 * hd];
+            // Batched gate computation: every row of the batch advances
+            // through timestep t before any row starts t+1, so the packed
+            // Wx/Wh stream through cache once per timestep instead of once
+            // per row. Rows never share state, so per-row math is untouched.
+            for t in 0..steps {
+                for r in 0..local {
+                    let x = &layer_input[(r * steps + t) * width..(r * steps + t) * width + width];
+                    let hr = &mut h[r * hd..(r + 1) * hd];
+                    let cr = &mut c[r * hd..(r + 1) * hd];
+                    cell.step(x, hr, cr, &mut z);
+                    layer_out[(r * steps + t) * hd..(r * steps + t) * hd + hd].copy_from_slice(hr);
+                }
+            }
+            layer_input = layer_out;
+            width = hd;
+        }
+        // Head: logits seeded with the bias then accumulated by k-outer
+        // saxpy with no zero skip, exactly as `LstmClassifier::forward`;
+        // argmax keeps the *last* maximal index, matching
+        // `max_by(partial_cmp)`.
+        let mut logits = vec![0.0f32; self.head_b.len()];
+        for (r, slot) in out.iter_mut().enumerate() {
+            let last_h = &layer_input
+                [(r * steps + steps - 1) * top_hidden..(r * steps + steps) * top_hidden];
+            logits.copy_from_slice(&self.head_b);
+            for (k, &hv) in last_h.iter().enumerate() {
+                let row = self.head_w.row(k);
+                for (lj, &wj) in logits.iter_mut().zip(row) {
+                    *lj += hv * wj;
+                }
+            }
+            let mut best = 0usize;
+            let mut best_v = logits[0];
+            for (j, &v) in logits.iter().enumerate().skip(1) {
+                match v.partial_cmp(&best_v).expect("no NaN logits") {
+                    std::cmp::Ordering::Less => {}
+                    _ => {
+                        best = j;
+                        best_v = v;
+                    }
+                }
+            }
+            *slot = best;
+        }
+    }
+
+    /// Argmax classes for a batch of flattened sequences; bit-identical to
+    /// looping `LstmClassifier::classify` row by row.
+    pub fn classify(
+        &self,
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+        steps: usize,
+        pool: Option<&WorkerPool>,
+    ) -> Vec<usize> {
+        assert!(steps > 0 && cols.is_multiple_of(steps), "bad sequence shape");
+        assert_eq!(cols / steps, self.input_size(), "lstm feature width mismatch");
+        assert!(data.len() >= rows * cols, "lstm batch buffer too short");
+        let mut out = vec![0usize; rows];
+        if rows == 0 {
+            return out;
+        }
+        // `run_partitioned` is specialised for f32 chunks; partition the
+        // usize output the same way here.
+        let parallel = match pool {
+            Some(p) if p.workers() > 1 && rows > 1 => Some(p),
+            _ => None,
+        };
+        match parallel {
+            None => self.classify_rows(data, cols, steps, 0..rows, &mut out),
+            Some(pool) => {
+                let ranges = partition(rows, pool.workers());
+                let per = ranges[0].len();
+                let chunks: Vec<Mutex<(Range<usize>, &mut [usize])>> = out
+                    .chunks_mut(per)
+                    .zip(ranges)
+                    .map(|(chunk, range)| Mutex::new((range, chunk)))
+                    .collect();
+                let job = |w: usize| {
+                    if let Some(slot) = chunks.get(w) {
+                        let mut guard = slot.lock().expect("gemm chunk poisoned");
+                        let (range, chunk) = &mut *guard;
+                        self.classify_rows(data, cols, steps, range.clone(), chunk);
+                    }
+                };
+                pool.run(&job);
+            }
+        }
+        out
+    }
+}
+
+/// A packed model, keyed in the cache by model id.
+#[derive(Debug)]
+pub enum PackedModel {
+    /// Packed MLP.
+    Mlp(PackedMlp),
+    /// Packed LSTM classifier.
+    Lstm(PackedLstm),
+}
+
+// ---------------------------------------------------------------------------
+// Cache + engine
+// ---------------------------------------------------------------------------
+
+/// Per-model cache of packed weights, keyed by model id.
+///
+/// Packing is paid once per (load, train, restore) generation; the daemon
+/// invalidates the entry whenever the model's weights change.
+#[derive(Debug, Default)]
+pub struct PackedModelCache {
+    entries: Mutex<HashMap<u64, Arc<PackedModel>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PackedModelCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached packed form of `id`, packing via `pack` on miss. `is_kind`
+    /// guards against an id being reused by a different model family.
+    fn get_or_pack(
+        &self,
+        id: u64,
+        is_kind: impl Fn(&PackedModel) -> bool,
+        pack: impl FnOnce() -> PackedModel,
+    ) -> Arc<PackedModel> {
+        let mut entries = self.entries.lock().expect("packed cache poisoned");
+        if let Some(hit) = entries.get(&id) {
+            if is_kind(hit) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let packed = Arc::new(pack());
+        entries.insert(id, Arc::clone(&packed));
+        packed
+    }
+
+    /// Drops the packed entry for `id` (weights changed or model unloaded).
+    pub fn invalidate(&self, id: u64) {
+        self.entries.lock().expect("packed cache poisoned").remove(&id);
+    }
+
+    /// Drops every entry (daemon crash wipes model state).
+    pub fn clear(&self) {
+        self.entries.lock().expect("packed cache poisoned").clear();
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+/// Point-in-time counters for the fast path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Pool jobs dispatched (each fans out to every worker).
+    pub pool_runs: u64,
+    /// Worker-slots that received a non-empty row range.
+    pub pool_tasks: u64,
+    /// Batches small enough to run inline on the caller thread.
+    pub direct_runs: u64,
+    /// Packed-weight cache hits.
+    pub cache_hits: u64,
+    /// Packed-weight cache misses (a packing pass was paid).
+    pub cache_misses: u64,
+}
+
+impl EngineStats {
+    /// Fraction of dispatched worker-slots that carried work, in [0, 1].
+    /// 1.0 means every pool fan-out kept every worker busy.
+    pub fn pool_utilization(&self) -> f64 {
+        let slots = self.pool_runs.saturating_mul(self.workers as u64);
+        if slots == 0 {
+            return 0.0;
+        }
+        self.pool_tasks as f64 / slots as f64
+    }
+}
+
+/// The inference fast path: fixed worker pool + packed model cache.
+///
+/// Outputs are bit-identical to the naive `Mlp::classify` /
+/// `LstmClassifier::classify` loops regardless of the worker count.
+#[derive(Debug)]
+pub struct InferenceEngine {
+    pool: WorkerPool,
+    cache: PackedModelCache,
+    tasks: AtomicU64,
+    direct: AtomicU64,
+}
+
+impl InferenceEngine {
+    /// Engine with a fixed pool of `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        InferenceEngine {
+            pool: WorkerPool::new(workers),
+            cache: PackedModelCache::new(),
+            tasks: AtomicU64::new(0),
+            direct: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The packed-model cache.
+    pub fn cache(&self) -> &PackedModelCache {
+        &self.cache
+    }
+
+    fn account(&self, rows: usize) -> Option<&WorkerPool> {
+        if self.pool.workers() > 1 && rows > 1 {
+            let active = partition(rows, self.pool.workers()).len() as u64;
+            self.tasks.fetch_add(active, Ordering::Relaxed);
+            Some(&self.pool)
+        } else {
+            self.direct.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Classifies a row-major MLP batch through the packed fast path.
+    pub fn classify_mlp(
+        &self,
+        id: u64,
+        model: &Mlp,
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+    ) -> Vec<usize> {
+        let packed = self.cache.get_or_pack(
+            id,
+            |m| matches!(m, PackedModel::Mlp(_)),
+            || PackedModel::Mlp(PackedMlp::pack(model)),
+        );
+        let PackedModel::Mlp(packed) = &*packed else { unreachable!("kind-guarded") };
+        let pool = self.account(rows);
+        packed.classify(data, rows, cols, pool)
+    }
+
+    /// Classifies a batch of flattened LSTM sequences through the packed
+    /// fast path.
+    pub fn classify_lstm(
+        &self,
+        id: u64,
+        model: &LstmClassifier,
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+        steps: usize,
+    ) -> Vec<usize> {
+        let packed = self.cache.get_or_pack(
+            id,
+            |m| matches!(m, PackedModel::Lstm(_)),
+            || PackedModel::Lstm(PackedLstm::pack(model)),
+        );
+        let PackedModel::Lstm(packed) = &*packed else { unreachable!("kind-guarded") };
+        let pool = self.account(rows);
+        packed.classify(data, rows, cols, steps, pool)
+    }
+
+    /// Drops the packed entry for `id`.
+    pub fn invalidate(&self, id: u64) {
+        self.cache.invalidate(id);
+    }
+
+    /// Drops every packed entry.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> EngineStats {
+        let (cache_hits, cache_misses) = self.cache.stats();
+        EngineStats {
+            workers: self.pool.workers(),
+            pool_runs: self.pool.runs(),
+            pool_tasks: self.tasks.load(Ordering::Relaxed),
+            direct_runs: self.direct.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_matrix(rng: &mut StdRng, rows: usize, cols: usize, sparse: bool) -> Matrix {
+        let data = (0..rows * cols)
+            .map(|_| {
+                if sparse && rng.gen_range(0.0..1.0f32) < 0.3 {
+                    0.0
+                } else {
+                    rng.gen_range(-2.0..2.0f32)
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    fn assert_bits_eq(a: &Matrix, b: &Matrix) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn packed_layout_is_row_major_and_padded() {
+        let b = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let pb = PackedMatrix::pack(&b);
+        assert_eq!(pb.k(), 2);
+        assert_eq!(pb.n(), 3);
+        assert_eq!(pb.stride() % PACK_LANE, 0);
+        assert_eq!(pb.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(pb.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn packed_matmul_matches_naive_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, k, n) in
+            &[(1, 1, 1), (2, 3, 4), (17, 33, 9), (64, 256, 31), (5, 16, 16), (3, 100, 2)]
+        {
+            let a = rand_matrix(&mut rng, m, k, true);
+            let b = rand_matrix(&mut rng, k, n, false);
+            let pb = PackedMatrix::pack(&b);
+            assert_bits_eq(&a.matmul(&b), &matmul_packed(&a, &pb, None));
+        }
+    }
+
+    #[test]
+    fn packed_matmul_parallel_is_bit_identical_for_any_worker_count() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = rand_matrix(&mut rng, 67, 48, true);
+        let b = rand_matrix(&mut rng, 48, 24, false);
+        let pb = PackedMatrix::pack(&b);
+        let want = a.matmul(&b);
+        for workers in [1, 2, 3, 4, 7] {
+            let pool = WorkerPool::new(workers);
+            assert_bits_eq(&want, &matmul_packed(&a, &pb, Some(&pool)));
+        }
+    }
+
+    #[test]
+    fn packed_mlp_classify_matches_naive_bitwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for act in [Activation::Relu, Activation::Sigmoid, Activation::Tanh] {
+            let m = Mlp::new(&[12, 32, 16, 4], act, &mut rng);
+            let x = rand_matrix(&mut rng, 65, 12, true);
+            let want = m.classify(&x);
+            let packed = PackedMlp::pack(&m);
+            let pool = WorkerPool::new(4);
+            assert_eq!(want, packed.classify(x.data(), 65, 12, None));
+            assert_eq!(want, packed.classify(x.data(), 65, 12, Some(&pool)));
+        }
+    }
+
+    #[test]
+    fn packed_mlp_logits_match_naive_bitwise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = Mlp::new(&[8, 24, 3], Activation::Relu, &mut rng);
+        let x = rand_matrix(&mut rng, 9, 8, true);
+        let packed = PackedMlp::pack(&m);
+        assert_bits_eq(&m.forward(&x), &packed.forward(x.data(), 9, 8, None));
+    }
+
+    #[test]
+    fn packed_lstm_classify_matches_naive_bitwise() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = LstmClassifier::new(6, 10, 2, 5, &mut rng);
+        let (rows, steps, feat) = (33, 4, 6);
+        let cols = steps * feat;
+        let x = rand_matrix(&mut rng, rows, cols, true);
+        let want: Vec<usize> = (0..rows)
+            .map(|r| {
+                let seq: Vec<Vec<f32>> =
+                    (0..steps).map(|t| x.row(r)[t * feat..(t + 1) * feat].to_vec()).collect();
+                m.classify(&seq)
+            })
+            .collect();
+        let packed = PackedLstm::pack(&m);
+        let pool = WorkerPool::new(3);
+        assert_eq!(want, packed.classify(x.data(), rows, cols, steps, None));
+        assert_eq!(want, packed.classify(x.data(), rows, cols, steps, Some(&pool)));
+    }
+
+    #[test]
+    fn lstm_head_tie_break_keeps_last_maximum() {
+        // A classifier whose head weights are all zero produces logits equal
+        // to the head bias; equal biases must resolve to the LAST class,
+        // matching `max_by(partial_cmp)`.
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = LstmClassifier::new(3, 4, 1, 3, &mut rng);
+        let cells = m.cells().to_vec();
+        let zero_head = Matrix::zeros(4, 3);
+        let tied = LstmClassifier::from_parts(cells, zero_head, vec![1.0, 1.0, 1.0]);
+        let seq = vec![vec![0.5, -0.25, 0.0]; 2];
+        assert_eq!(tied.classify(&seq), 2);
+        let packed = PackedLstm::pack(&tied);
+        assert_eq!(packed.classify(&[0.5, -0.25, 0.0, 0.5, -0.25, 0.0], 1, 6, 2, None), vec![2]);
+    }
+
+    #[test]
+    fn mlp_tie_break_keeps_first_maximum() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Mlp::from_parameters(vec![(Matrix::zeros(3, 2), vec![1.0, 1.0])], Activation::Relu);
+        let x = rand_matrix(&mut rng, 4, 3, false);
+        assert_eq!(m.classify(&x), vec![0, 0, 0, 0]);
+        let packed = PackedMlp::pack(&m);
+        assert_eq!(packed.classify(x.data(), 4, 3, None), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn engine_caches_packing_and_counts_utilization() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
+        let engine = InferenceEngine::new(2);
+        let x = rand_matrix(&mut rng, 8, 4, false);
+        let a = engine.classify_mlp(7, &m, x.data(), 8, 4);
+        let b = engine.classify_mlp(7, &m, x.data(), 8, 4);
+        assert_eq!(a, b);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.pool_runs, 2);
+        assert!(stats.pool_utilization() > 0.9, "{stats:?}");
+
+        engine.invalidate(7);
+        engine.classify_mlp(7, &m, x.data(), 8, 4);
+        assert_eq!(engine.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn single_row_batches_run_inline() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
+        let engine = InferenceEngine::new(4);
+        let x = rand_matrix(&mut rng, 1, 4, false);
+        assert_eq!(engine.classify_mlp(1, &m, x.data(), 1, 4), m.classify(&x));
+        let stats = engine.stats();
+        assert_eq!(stats.pool_runs, 0);
+        assert_eq!(stats.direct_runs, 1);
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_job() {
+        let pool = WorkerPool::new(2);
+        let panicked = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|w| {
+                if w == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(panicked.is_err());
+        // The pool stays usable for well-behaved jobs afterwards.
+        let hits = AtomicU64::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Values with a healthy density of exact zeros (both signs) so the
+    /// `a == 0.0` skip path is exercised — dropping or reordering the skip
+    /// breaks bit identity as soon as rounding order matters.
+    fn sparse_f32() -> impl Strategy<Value = f32> {
+        prop_oneof![Just(0.0f32), Just(-0.0f32), -10.0f32..10.0]
+    }
+
+    proptest! {
+        /// Packed GEMM is bit-identical to the naive matmul across shapes
+        /// (and therefore packed strides), sparsity, and worker counts.
+        #[test]
+        fn packed_matmul_bit_identical(
+            (m, k, n) in (1usize..32, 1usize..48, 1usize..24),
+            workers in 1usize..5,
+            a_data in proptest::collection::vec(sparse_f32(), 32 * 48),
+            b_data in proptest::collection::vec(sparse_f32(), 48 * 24),
+        ) {
+            let a = Matrix::from_vec(m, k, a_data[..m * k].to_vec());
+            let b = Matrix::from_vec(k, n, b_data[..k * n].to_vec());
+            let pb = PackedMatrix::pack(&b);
+            let want = a.matmul(&b);
+            let serial = matmul_packed(&a, &pb, None);
+            let pool = WorkerPool::new(workers);
+            let parallel = matmul_packed(&a, &pb, Some(&pool));
+            for ((x, y), z) in want.data().iter().zip(serial.data()).zip(parallel.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+                prop_assert_eq!(x.to_bits(), z.to_bits());
+            }
+        }
+
+        /// The packed MLP forward (fused bias+activation epilogue, any
+        /// worker count) classifies bit-identically to `Mlp::classify`
+        /// across layer shapes and batch sizes.
+        #[test]
+        fn packed_mlp_classify_equivalent(
+            (input, hidden, classes) in (1usize..10, 1usize..24, 2usize..6),
+            rows in 1usize..80,
+            workers in 1usize..4,
+            act_pick in 0u8..3,
+            seed in 0u64..u64::MAX,
+            x_data in proptest::collection::vec(sparse_f32(), 80 * 10),
+        ) {
+            let act = match act_pick {
+                0 => Activation::Relu,
+                1 => Activation::Sigmoid,
+                _ => Activation::Tanh,
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = Mlp::new(&[input, hidden, classes], act, &mut rng);
+            let x = Matrix::from_vec(rows, input, x_data[..rows * input].to_vec());
+            let want = model.classify(&x);
+            let packed = PackedMlp::pack(&model);
+            let pool = WorkerPool::new(workers);
+            prop_assert_eq!(&want, &packed.classify(x.data(), rows, input, None));
+            prop_assert_eq!(&want, &packed.classify(x.data(), rows, input, Some(&pool)));
+            let logits = packed.forward(x.data(), rows, input, Some(&pool));
+            let naive = model.forward(&x);
+            for (x, y) in naive.data().iter().zip(logits.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        /// The batched packed LSTM classifies every row bit-identically to
+        /// looping `LstmClassifier::classify` one sequence at a time.
+        #[test]
+        fn packed_lstm_classify_equivalent(
+            (feat, hidden, layers, classes) in (1usize..6, 1usize..10, 1usize..3, 2usize..5),
+            (rows, steps) in (1usize..32, 1usize..5),
+            workers in 1usize..4,
+            seed in 0u64..u64::MAX,
+            x_data in proptest::collection::vec(sparse_f32(), 32 * 5 * 6),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = LstmClassifier::new(feat, hidden, layers, classes, &mut rng);
+            let cols = steps * feat;
+            let data = &x_data[..rows * cols];
+            let want: Vec<usize> = (0..rows)
+                .map(|r| {
+                    let seq: Vec<Vec<f32>> = (0..steps)
+                        .map(|t| data[r * cols + t * feat..r * cols + (t + 1) * feat].to_vec())
+                        .collect();
+                    model.classify(&seq)
+                })
+                .collect();
+            let packed = PackedLstm::pack(&model);
+            let pool = WorkerPool::new(workers);
+            prop_assert_eq!(&want, &packed.classify(data, rows, cols, steps, None));
+            prop_assert_eq!(&want, &packed.classify(data, rows, cols, steps, Some(&pool)));
+        }
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod gemm;
 pub mod knn;
 pub mod lstm;
 pub mod mlp;
@@ -44,6 +45,9 @@ pub mod serialize;
 pub mod tensor;
 
 pub use cost::CpuCostModel;
+pub use gemm::{
+    EngineStats, InferenceEngine, PackedMatrix, PackedMlp, PackedModelCache, WorkerPool,
+};
 pub use knn::Knn;
 pub use lstm::{LstmCell, LstmClassifier};
 pub use mlp::{Activation, Mlp, SgdConfig};

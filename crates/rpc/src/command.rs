@@ -7,7 +7,8 @@
 
 use bytes::Bytes;
 
-use crate::wire::{Decoder, Encoder, WireError};
+use crate::perf;
+use crate::wire::{Decoder, WireError};
 
 /// Numeric identifier of a remoted API ("e.g. a number" — §4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -90,11 +91,13 @@ fn checked_body(frame: &[u8]) -> Result<&[u8], WireError> {
     Ok(body)
 }
 
-/// Appends the checksum trailer to an encoded frame body.
-fn seal_frame(mut body: Vec<u8>) -> Vec<u8> {
-    let sum = frame_checksum(&body);
-    body.extend_from_slice(&sum.to_le_bytes());
-    body
+/// Seals the frame body accumulated in `out` by appending its checksum,
+/// computed in place over the assembled bytes — no intermediate copy (the
+/// old `seal_frame(Vec)` took the body by value out of an `Encoder`'s
+/// `finish().to_vec()`, costing two extra payload-sized copies per frame).
+fn seal_in_place(out: &mut Vec<u8>) {
+    let sum = frame_checksum(out);
+    out.extend_from_slice(&sum.to_le_bytes());
 }
 
 /// Reserved response sequence number for frames whose command could not be
@@ -113,21 +116,78 @@ pub struct Command {
     pub payload: Bytes,
 }
 
+/// Borrowed view of a decoded command: the payload points into the
+/// received frame instead of being copied out of it.
+///
+/// This is the zero-copy decode path for transports that keep the frame
+/// alive while the handler runs (the daemon's serve loop holds the frame
+/// across dispatch). [`CommandRef::to_owned`] is the copying fallback for
+/// callers that must outlive the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandRef<'a> {
+    /// Which API to execute.
+    pub api: ApiId,
+    /// Sequence number echoed by the response.
+    pub seq: u64,
+    /// Encoded arguments, borrowed from the frame.
+    pub payload: &'a [u8],
+}
+
+impl CommandRef<'_> {
+    /// Copying fallback: detaches the payload from the frame.
+    pub fn to_owned(&self) -> Command {
+        perf::note_copy(self.payload.len());
+        Command { api: self.api, seq: self.seq, payload: Bytes::copy_from_slice(self.payload) }
+    }
+}
+
 impl Command {
     /// Encodes the command into a transmittable frame (checksummed).
     pub fn encode(&self) -> Vec<u8> {
-        let mut e = Encoder::new();
-        e.put_u8(COMMAND_MAGIC).put_u32(self.api.0).put_u64(self.seq).put_bytes(&self.payload);
-        seal_frame(e.finish().to_vec())
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
     }
 
-    /// Decodes a frame back into a command.
+    /// Encodes into `out`, reusing its allocation across calls: the buffer
+    /// is cleared and the frame written directly — header, length-prefixed
+    /// payload, checksum computed in place. One payload memcpy total; the
+    /// old `Encoder` → `finish()` → `to_vec()` chain cost three.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u32::MAX` bytes.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let len = u32::try_from(self.payload.len()).expect("command payload too large");
+        out.clear();
+        out.reserve(self.encoded_len());
+        out.push(COMMAND_MAGIC);
+        out.extend_from_slice(&self.api.0.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        perf::note_copy(self.payload.len());
+        seal_in_place(out);
+    }
+
+    /// Decodes a frame back into an owned command (copying fallback of
+    /// [`Command::decode_borrowed`], same validation).
     ///
     /// # Errors
     ///
     /// Returns a [`WireError`] if the frame is truncated, corrupted
     /// (checksum mismatch), has the wrong magic, or carries trailing bytes.
     pub fn decode(frame: &[u8]) -> Result<Command, WireError> {
+        Ok(Self::decode_borrowed(frame)?.to_owned())
+    }
+
+    /// Decodes a frame into a borrowed view — full checksum, magic, and
+    /// trailing-bytes validation, but the payload stays in the frame.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Command::decode`].
+    pub fn decode_borrowed(frame: &[u8]) -> Result<CommandRef<'_>, WireError> {
         let body = checked_body(frame)?;
         let mut d = Decoder::new(body);
         let magic = d.get_u8()?;
@@ -136,9 +196,9 @@ impl Command {
         }
         let api = ApiId(d.get_u32()?);
         let seq = d.get_u64()?;
-        let payload = Bytes::copy_from_slice(d.get_bytes()?);
+        let payload = d.get_bytes()?;
         d.finish()?;
-        Ok(Command { api, seq, payload })
+        Ok(CommandRef { api, seq, payload })
     }
 
     /// Size of the encoded frame, used for transport cost accounting.
@@ -180,25 +240,78 @@ pub struct Response {
     pub payload: Bytes,
 }
 
+/// Borrowed view of a decoded response; see [`CommandRef`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseRef<'a> {
+    /// Echo of the command's sequence number.
+    pub seq: u64,
+    /// Incarnation epoch of the responding daemon.
+    pub epoch: u64,
+    /// Call status.
+    pub status: Status,
+    /// Encoded results, borrowed from the frame.
+    pub payload: &'a [u8],
+}
+
+impl ResponseRef<'_> {
+    /// Copying fallback: detaches the payload from the frame.
+    pub fn to_owned(&self) -> Response {
+        perf::note_copy(self.payload.len());
+        Response {
+            seq: self.seq,
+            epoch: self.epoch,
+            status: self.status,
+            payload: Bytes::copy_from_slice(self.payload),
+        }
+    }
+}
+
 impl Response {
     /// Encodes the response into a transmittable frame (checksummed).
     pub fn encode(&self) -> Vec<u8> {
-        let mut e = Encoder::new();
-        e.put_u8(RESPONSE_MAGIC)
-            .put_u64(self.seq)
-            .put_u64(self.epoch)
-            .put_u32(self.status.to_u32())
-            .put_bytes(&self.payload);
-        seal_frame(e.finish().to_vec())
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
     }
 
-    /// Decodes a frame back into a response.
+    /// Encodes into `out`, reusing its allocation; see
+    /// [`Command::encode_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u32::MAX` bytes.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let len = u32::try_from(self.payload.len()).expect("response payload too large");
+        out.clear();
+        out.reserve(self.encoded_len());
+        out.push(RESPONSE_MAGIC);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.status.to_u32().to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        perf::note_copy(self.payload.len());
+        seal_in_place(out);
+    }
+
+    /// Decodes a frame back into an owned response (copying fallback of
+    /// [`Response::decode_borrowed`], same validation).
     ///
     /// # Errors
     ///
     /// Returns a [`WireError`] if the frame is truncated, corrupted
     /// (checksum mismatch), has the wrong magic, or carries trailing bytes.
     pub fn decode(frame: &[u8]) -> Result<Response, WireError> {
+        Ok(Self::decode_borrowed(frame)?.to_owned())
+    }
+
+    /// Decodes a frame into a borrowed view — full validation, payload
+    /// stays in the frame.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Response::decode`].
+    pub fn decode_borrowed(frame: &[u8]) -> Result<ResponseRef<'_>, WireError> {
         let body = checked_body(frame)?;
         let mut d = Decoder::new(body);
         let magic = d.get_u8()?;
@@ -208,9 +321,9 @@ impl Response {
         let seq = d.get_u64()?;
         let epoch = d.get_u64()?;
         let status = Status::from_u32(d.get_u32()?);
-        let payload = Bytes::copy_from_slice(d.get_bytes()?);
+        let payload = d.get_bytes()?;
         d.finish()?;
-        Ok(Response { seq, epoch, status, payload })
+        Ok(ResponseRef { seq, epoch, status, payload })
     }
 
     /// Size of the encoded frame.
@@ -292,6 +405,74 @@ mod tests {
         let mut rframe = resp.encode();
         rframe[14] ^= 0x80;
         assert!(matches!(Response::decode(&rframe), Err(WireError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_encode() {
+        let mut buf = Vec::new();
+        // Shrinking payloads exercise the clear-then-write path: stale bytes
+        // from a longer earlier frame must never leak into a shorter one.
+        for len in [64usize, 7, 0, 33] {
+            let cmd =
+                Command { api: ApiId(9), seq: len as u64, payload: Bytes::from(vec![0xAB; len]) };
+            cmd.encode_into(&mut buf);
+            assert_eq!(buf, cmd.encode());
+            assert_eq!(buf.len(), cmd.encoded_len());
+
+            let resp = Response {
+                seq: len as u64,
+                epoch: 2,
+                status: Status::Ok,
+                payload: Bytes::from(vec![0xCD; len]),
+            };
+            resp.encode_into(&mut buf);
+            assert_eq!(buf, resp.encode());
+            assert_eq!(buf.len(), resp.encoded_len());
+        }
+    }
+
+    #[test]
+    fn borrowed_decode_matches_owned_and_points_into_frame() {
+        let cmd = Command { api: ApiId(17), seq: 5, payload: Bytes::from_static(b"payload!") };
+        let frame = cmd.encode();
+        let view = Command::decode_borrowed(&frame).unwrap();
+        assert_eq!(view.to_owned(), cmd);
+        // The borrowed payload aliases the frame, not a copy.
+        let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+        assert!(frame_range.contains(&(view.payload.as_ptr() as usize)));
+
+        let resp = Response {
+            seq: 5,
+            epoch: 1,
+            status: Status::VendorError(2),
+            payload: Bytes::from_static(b"ret"),
+        };
+        let rframe = resp.encode();
+        let rview = Response::decode_borrowed(&rframe).unwrap();
+        assert_eq!(rview.to_owned(), resp);
+        let rframe_range = rframe.as_ptr() as usize..rframe.as_ptr() as usize + rframe.len();
+        assert!(rframe_range.contains(&(rview.payload.as_ptr() as usize)));
+    }
+
+    #[test]
+    fn borrowed_decode_rejects_corrupt_frames_like_owned() {
+        let cmd = Command { api: ApiId(5), seq: 99, payload: Bytes::from_static(&[1, 2, 3, 4]) };
+        let mut frame = cmd.encode();
+        frame[15] ^= 0x01;
+        assert!(matches!(
+            Command::decode_borrowed(&frame),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+        assert!(Command::decode_borrowed(&frame[..3]).is_err());
+
+        let resp =
+            Response { seq: 9, epoch: 0, status: Status::Ok, payload: Bytes::from_static(&[8; 8]) };
+        let mut rframe = resp.encode();
+        rframe[14] ^= 0x80;
+        assert!(matches!(
+            Response::decode_borrowed(&rframe),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]
@@ -393,6 +574,40 @@ mod proptests {
         fn peek_seq_consistent_with_decode(cmd in arb_command()) {
             let frame = cmd.encode();
             prop_assert_eq!(Command::peek_seq(&frame), Some(cmd.seq));
+        }
+
+        /// Borrowed and owned decode agree verdict-for-verdict on arbitrary
+        /// frames (valid or bit-flipped), and encode_into is byte-identical
+        /// to encode even when the buffer carries a stale longer frame.
+        #[test]
+        fn borrowed_decode_equals_owned(cmd in arb_command(), bit in 0usize..4096) {
+            let mut frame = cmd.encode();
+            let bit = bit % (frame.len() * 8);
+            frame[bit / 8] ^= 1 << (bit % 8);
+            match (Command::decode_borrowed(&frame), Command::decode(&frame)) {
+                (Ok(view), Ok(owned)) => prop_assert_eq!(view.to_owned(), owned),
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "decode disagreement: {:?} vs {:?}", a, b),
+            }
+            let mut buf = vec![0xEE; 4096];
+            cmd.encode_into(&mut buf);
+            prop_assert_eq!(buf, cmd.encode());
+        }
+
+        /// Same borrowed/owned agreement for responses.
+        #[test]
+        fn response_borrowed_decode_equals_owned(resp in arb_response(), bit in 0usize..4096) {
+            let mut frame = resp.encode();
+            let bit = bit % (frame.len() * 8);
+            frame[bit / 8] ^= 1 << (bit % 8);
+            match (Response::decode_borrowed(&frame), Response::decode(&frame)) {
+                (Ok(view), Ok(owned)) => prop_assert_eq!(view.to_owned(), owned),
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "decode disagreement: {:?} vs {:?}", a, b),
+            }
+            let mut buf = vec![0xEE; 4096];
+            resp.encode_into(&mut buf);
+            prop_assert_eq!(buf, resp.encode());
         }
     }
 }

@@ -24,11 +24,13 @@
 
 pub mod command;
 pub mod engine;
+pub mod perf;
 pub mod wire;
 
-pub use command::{ApiId, Command, Response, Status, SEQ_UNMATCHED};
+pub use command::{ApiId, Command, CommandRef, Response, ResponseRef, Status, SEQ_UNMATCHED};
 pub use engine::{
-    serve, serve_with_epoch, ApiHandler, CallEngine, CallPolicy, CallStats, DaemonLifecycle,
-    RpcError,
+    serve, serve_with_epoch, serve_with_staging, ApiHandler, CallEngine, CallPolicy, CallStats,
+    DaemonLifecycle, RpcError, StagingConfig, DEFAULT_INLINE_THRESHOLD, STAGED_API_BIT,
 };
+pub use perf::PerfSnapshot;
 pub use wire::{checked_slice_len, Decoder, Encoder, WireError};

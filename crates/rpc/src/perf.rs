@@ -1,0 +1,92 @@
+//! Copy accounting for the zero-copy data path.
+//!
+//! LAKE's Fig 6 argument is that above ~4KB the cost of a remoted call is
+//! dominated by memcpys, so the win of the shm path is best expressed as
+//! *bytes copied per call*. These process-wide counters are bumped at every
+//! payload-scale memcpy on the RPC data path (frame assembly, owned decode,
+//! retry-buffer clones, staging writes) and at every hand-off that *avoided*
+//! one (borrowed decode, shm handle-passing), so a bench — or
+//! `Lake::perf_report()` — can difference two snapshots and report exactly
+//! how many bytes moved on behalf of a workload.
+//!
+//! The counters are global atomics rather than per-engine state because the
+//! copies worth counting happen below the engine too (frame codecs, the
+//! daemon's serve loop) where no engine handle is in scope. Tests that
+//! assert on them should compare snapshot *deltas* and tolerate unrelated
+//! traffic from concurrently running tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
+static COPIES: AtomicU64 = AtomicU64::new(0);
+static ZERO_COPY_HITS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ZERO_COPIED: AtomicU64 = AtomicU64::new(0);
+
+/// Records one memcpy of `bytes` on the RPC data path.
+#[inline]
+pub fn note_copy(bytes: usize) {
+    BYTES_COPIED.fetch_add(bytes as u64, Ordering::Relaxed);
+    COPIES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one payload hand-off of `bytes` that avoided a memcpy
+/// (borrowed decode, shm handle-passing).
+#[inline]
+pub fn note_zero_copy(bytes: usize) {
+    ZERO_COPY_HITS.fetch_add(1, Ordering::Relaxed);
+    BYTES_ZERO_COPIED.fetch_add(bytes as u64, Ordering::Relaxed);
+}
+
+/// Point-in-time view of the copy counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfSnapshot {
+    /// Total bytes memcpy'd on the RPC data path.
+    pub bytes_copied: u64,
+    /// Number of memcpys behind `bytes_copied`.
+    pub copies: u64,
+    /// Payload hand-offs that avoided a copy.
+    pub zero_copy_hits: u64,
+    /// Bytes delivered through those zero-copy hand-offs.
+    pub bytes_zero_copied: u64,
+}
+
+impl PerfSnapshot {
+    /// Counter-wise `self - earlier`, for before/after measurements.
+    pub fn since(&self, earlier: &PerfSnapshot) -> PerfSnapshot {
+        PerfSnapshot {
+            bytes_copied: self.bytes_copied.wrapping_sub(earlier.bytes_copied),
+            copies: self.copies.wrapping_sub(earlier.copies),
+            zero_copy_hits: self.zero_copy_hits.wrapping_sub(earlier.zero_copy_hits),
+            bytes_zero_copied: self.bytes_zero_copied.wrapping_sub(earlier.bytes_zero_copied),
+        }
+    }
+}
+
+/// Reads the current counter values.
+pub fn snapshot() -> PerfSnapshot {
+    PerfSnapshot {
+        bytes_copied: BYTES_COPIED.load(Ordering::Relaxed),
+        copies: COPIES.load(Ordering::Relaxed),
+        zero_copy_hits: ZERO_COPY_HITS.load(Ordering::Relaxed),
+        bytes_zero_copied: BYTES_ZERO_COPIED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_accumulate() {
+        let before = snapshot();
+        note_copy(100);
+        note_copy(28);
+        note_zero_copy(4096);
+        let d = snapshot().since(&before);
+        // Other tests may run concurrently; deltas are lower bounds.
+        assert!(d.bytes_copied >= 128);
+        assert!(d.copies >= 2);
+        assert!(d.zero_copy_hits >= 1);
+        assert!(d.bytes_zero_copied >= 4096);
+    }
+}

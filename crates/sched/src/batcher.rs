@@ -41,11 +41,13 @@ pub struct InferRequest {
     pub cols: usize,
     /// LSTM timesteps (0 for non-recurrent models).
     pub steps: usize,
-    /// One row of `cols` features.
-    pub features: Vec<f32>,
 }
 
 /// A dispatched batch: requests for one model, in submission order.
+///
+/// The feature rows live in one contiguous row-major tensor assembled
+/// incrementally at submit time, so dispatch hands the inference engine
+/// a ready batch without re-concatenating per-request rows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Batch {
     /// Target model id.
@@ -56,6 +58,7 @@ pub struct Batch {
     pub steps: usize,
     /// The coalesced requests, oldest first.
     pub requests: Vec<InferRequest>,
+    features: Vec<f32>,
 }
 
 impl Batch {
@@ -64,13 +67,15 @@ impl Batch {
         self.requests.len()
     }
 
-    /// The rows' features concatenated row-major, ready for one upload.
-    pub fn features(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.rows() * self.cols);
-        for r in &self.requests {
-            out.extend_from_slice(&r.features);
-        }
-        out
+    /// The rows' features, row-major and contiguous, ready for one
+    /// upload. Borrowed — the tensor was assembled at submit time.
+    pub fn features(&self) -> &[f32] {
+        &self.features
+    }
+
+    /// Takes ownership of the contiguous feature tensor.
+    pub fn into_features(self) -> Vec<f32> {
+        self.features
     }
 }
 
@@ -99,6 +104,9 @@ struct PendingQueue {
     /// When the oldest (first) request entered the then-empty queue.
     oldest: Instant,
     requests: Vec<InferRequest>,
+    /// Contiguous row-major feature tensor, one `cols * steps.max(1)`
+    /// stretch per request, grown as rows arrive.
+    features: Vec<f32>,
 }
 
 /// Coalesces single-row requests into per-model batches under a
@@ -164,17 +172,19 @@ impl Batcher {
         model: u64,
         cols: usize,
         steps: usize,
-        features: Vec<f32>,
+        features: &[f32],
         now: Instant,
     ) -> (u64, Option<Batch>) {
         let ticket = self.next_ticket;
         self.next_ticket += 1;
         let key = (model, cols as u64, steps as u64);
-        let queue = self
-            .queues
-            .entry(key)
-            .or_insert_with(|| PendingQueue { oldest: now, requests: Vec::new() });
-        queue.requests.push(InferRequest { ticket, client, model, cols, steps, features });
+        let queue = self.queues.entry(key).or_insert_with(|| PendingQueue {
+            oldest: now,
+            requests: Vec::new(),
+            features: Vec::new(),
+        });
+        queue.requests.push(InferRequest { ticket, client, model, cols, steps });
+        queue.features.extend_from_slice(features);
         self.counters.submitted += 1;
         let depth = self.queue_depth();
         self.counters.queue_depths.record(depth as f64);
@@ -218,6 +228,7 @@ impl Batcher {
             cols: key.1 as usize,
             steps: key.2 as usize,
             requests: queue.requests,
+            features: queue.features,
         }
     }
 }
@@ -237,11 +248,11 @@ mod tests {
     #[test]
     fn fills_to_max_batch_and_dispatches() {
         let mut b = Batcher::new(policy(3, 100));
-        let (t1, none) = b.submit(1, 7, 2, 0, vec![0.0; 2], t(0));
+        let (t1, none) = b.submit(1, 7, 2, 0, &[0.0; 2], t(0));
         assert!(none.is_none());
-        let (_, none) = b.submit(2, 7, 2, 0, vec![1.0; 2], t(1));
+        let (_, none) = b.submit(2, 7, 2, 0, &[1.0; 2], t(1));
         assert!(none.is_none());
-        let (t3, batch) = b.submit(1, 7, 2, 0, vec![2.0; 2], t(2));
+        let (t3, batch) = b.submit(1, 7, 2, 0, &[2.0; 2], t(2));
         let batch = batch.expect("third submit fills the batch");
         assert_eq!(batch.rows(), 3);
         assert_eq!(batch.model, 7);
@@ -254,8 +265,8 @@ mod tests {
     #[test]
     fn max_wait_flushes_partial_batches() {
         let mut b = Batcher::new(policy(32, 100));
-        b.submit(1, 7, 2, 0, vec![0.0; 2], t(0));
-        b.submit(1, 9, 2, 0, vec![0.0; 2], t(40));
+        b.submit(1, 7, 2, 0, &[0.0; 2], t(0));
+        b.submit(1, 9, 2, 0, &[0.0; 2], t(40));
         assert!(b.poll_due(t(99)).is_empty(), "nothing overdue yet");
         let due = b.poll_due(t(100));
         assert_eq!(due.len(), 1, "only model 7's queue is 100us old");
@@ -270,13 +281,13 @@ mod tests {
     fn models_batch_independently_but_clients_share() {
         let mut b = Batcher::new(policy(2, 100));
         // Two subsystems hitting the same model share one batch …
-        b.submit(1, 7, 1, 0, vec![1.0], t(0));
-        let (_, batch) = b.submit(2, 7, 1, 0, vec![2.0], t(1));
+        b.submit(1, 7, 1, 0, &[1.0], t(0));
+        let (_, batch) = b.submit(2, 7, 1, 0, &[2.0], t(1));
         let batch = batch.expect("cross-client coalescing");
         assert_eq!(batch.requests.iter().map(|r| r.client).collect::<Vec<_>>(), vec![1, 2]);
         // … while different models never mix.
-        b.submit(1, 7, 1, 0, vec![1.0], t(2));
-        let (_, none) = b.submit(1, 8, 1, 0, vec![1.0], t(3));
+        b.submit(1, 7, 1, 0, &[1.0], t(2));
+        let (_, none) = b.submit(1, 8, 1, 0, &[1.0], t(3));
         assert!(none.is_none());
         assert_eq!(b.queue_depth(), 2);
     }
@@ -284,9 +295,9 @@ mod tests {
     #[test]
     fn flush_all_drains_everything() {
         let mut b = Batcher::new(policy(32, 100));
-        b.submit(1, 7, 1, 0, vec![1.0], t(0));
-        b.submit(2, 8, 1, 0, vec![2.0], t(0));
-        b.submit(3, 9, 1, 0, vec![3.0], t(0));
+        b.submit(1, 7, 1, 0, &[1.0], t(0));
+        b.submit(2, 8, 1, 0, &[2.0], t(0));
+        b.submit(3, 9, 1, 0, &[3.0], t(0));
         let batches = b.flush_all();
         assert_eq!(batches.len(), 3);
         assert_eq!(b.queue_depth(), 0);
@@ -300,9 +311,9 @@ mod tests {
     #[test]
     fn oldest_timestamp_resets_after_dispatch() {
         let mut b = Batcher::new(policy(2, 100));
-        b.submit(1, 7, 1, 0, vec![1.0], t(0));
-        b.submit(1, 7, 1, 0, vec![1.0], t(10)); // dispatches
-        b.submit(1, 7, 1, 0, vec![1.0], t(50));
+        b.submit(1, 7, 1, 0, &[1.0], t(0));
+        b.submit(1, 7, 1, 0, &[1.0], t(10)); // dispatches
+        b.submit(1, 7, 1, 0, &[1.0], t(50));
         // The new queue's clock starts at t=50, so it is due at t=150.
         assert!(b.poll_due(t(149)).is_empty());
         assert_eq!(b.poll_due(t(150)).len(), 1);

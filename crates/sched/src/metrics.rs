@@ -85,6 +85,17 @@ pub struct SchedMetrics {
     pub shm_reclaimed_allocs: u64,
     /// Orphaned shm bytes reclaimed so far (`AllocStats::reclaimed_bytes`).
     pub shm_reclaimed_bytes: u64,
+    /// Bytes memcpy'd on the RPC data path (frame assembly, owned
+    /// decodes, staging writes). Populated by the stack owner from
+    /// `lake_rpc::perf`; zero when collected below that layer.
+    pub bytes_copied: u64,
+    /// Payload hand-offs that avoided a memcpy (borrowed decodes, shm
+    /// handle-passing). Populated by the stack owner.
+    pub zero_copy_hits: u64,
+    /// Fraction of GEMM inference runs that went through the worker
+    /// pool rather than the single-threaded path. Populated by the
+    /// stack owner from the daemon's `InferenceEngine` stats.
+    pub gemm_pool_utilization: f64,
 }
 
 impl SchedMetrics {
@@ -143,6 +154,9 @@ impl SchedMetrics {
             shm_orphaned_bytes: 0,
             shm_reclaimed_allocs: 0,
             shm_reclaimed_bytes: 0,
+            bytes_copied: 0,
+            zero_copy_hits: 0,
+            gemm_pool_utilization: 0.0,
         }
     }
 
@@ -165,9 +179,9 @@ mod tests {
     fn snapshot_reflects_pool_and_batcher_state() {
         let pool = DevicePool::new(2, GpuSpec::tiny(), SharedClock::new(), PoolPolicy::default());
         let mut batcher = Batcher::new(BatchPolicy { max_batch: 2, ..Default::default() });
-        let (_, none) = batcher.submit(1, 7, 1, 0, vec![1.0], Instant::EPOCH);
+        let (_, none) = batcher.submit(1, 7, 1, 0, &[1.0], Instant::EPOCH);
         assert!(none.is_none());
-        let (_, batch) = batcher.submit(2, 7, 1, 0, vec![2.0], Instant::EPOCH);
+        let (_, batch) = batcher.submit(2, 7, 1, 0, &[2.0], Instant::EPOCH);
         assert!(batch.is_some());
         pool.note_dispatch(1, 2);
         pool.note_fallback(1);

@@ -21,7 +21,7 @@ fn drive(ops: &[(u64, u64, u64)], max_batch: usize, max_wait_us: u64) -> (Vec<Ba
         dispatched.extend(batcher.poll_due(now));
         // One feature column keeps the payload small; its value encodes
         // the submitter so scattered results stay distinguishable.
-        let (ticket, full) = batcher.submit(client, model, 1, 0, vec![client as f32], now);
+        let (ticket, full) = batcher.submit(client, model, 1, 0, &[client as f32], now);
         tickets.push(ticket);
         dispatched.extend(full);
     }
