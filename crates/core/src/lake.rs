@@ -1,5 +1,6 @@
 //! Assembling a deployed LAKE instance.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use lake_gpu::{GpuDevice, GpuError, GpuFaultConfig, GpuSpec, KernelArg, KernelCtx};
@@ -9,12 +10,71 @@ use lake_sched::{
 };
 use lake_shm::{AllocStats, ReclaimReport, ShmRegion};
 use lake_sim::{BurstSchedule, CrashSchedule, FaultCounters, FaultPlan, FaultSpec, SharedClock};
-use lake_transport::Mechanism;
+use lake_transport::{Channel, Link, Mechanism, RingEndpoint, RingLink, RingStats, WaitStrategy};
 
 use crate::daemon::LakeDaemon;
 use crate::highlevel::LakeMl;
 use crate::lakelib::LakeCuda;
 use crate::supervisor::{DaemonSupervisor, SupervisorPolicy, SupervisorStats};
+
+/// How kernel-side stubs reach the daemon.
+///
+/// The default mirrors the seed repo's behaviour: the daemon's dispatch
+/// runs inline on the caller ([`LinkMode::InProcess`]), with transport
+/// costs charged to the virtual clock. The two linked modes run `lakeD`
+/// on its own OS thread — commands really cross a channel, as in the
+/// paper's deployment — and differ only in the transport underneath.
+///
+/// Overridable at deploy time via the `LAKE_LINK` environment variable
+/// (`inproc` | `channel` | `ring`), so the whole test suite can be swept
+/// across transports without touching a single call site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LinkMode {
+    /// Dispatch inline on the calling thread (the seed default).
+    #[default]
+    InProcess,
+    /// A daemon thread served over a crossbeam-channel [`Link`].
+    Channel,
+    /// A daemon thread served over the lock-free shm [`RingLink`]
+    /// (forces [`Mechanism::Mmap`] — the ring *is* the mmap transport).
+    Ring,
+}
+
+fn parse_link_mode(s: &str) -> Result<LinkMode, String> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "inproc" | "in-process" | "inprocess" => Ok(LinkMode::InProcess),
+        "channel" => Ok(LinkMode::Channel),
+        "ring" => Ok(LinkMode::Ring),
+        other => Err(format!("unknown link mode {other:?} (inproc|channel|ring)")),
+    }
+}
+
+/// Default wall-clock loss-detection patience for linked modes. The
+/// simulated daemon answers in microseconds of real time, so two orders
+/// of magnitude of slack never misfires — but a frame genuinely dropped
+/// by fault injection must not hang the caller forever, which is what
+/// [`CallPolicy`]'s `recv_patience: None` default would mean across a
+/// real channel.
+const LINKED_RECV_PATIENCE: std::time::Duration = std::time::Duration::from_millis(50);
+
+/// Runs the daemon's serve loop on a detached thread until the kernel
+/// side hangs up. Deliberately owns only the endpoint, the daemon, and
+/// the epoch counter — never the supervisor, whose restart hook may hold
+/// the kernel-side ring endpoint (a cycle that would keep this thread's
+/// `recv` from ever observing the close).
+fn spawn_daemon_thread<C>(
+    endpoint: C,
+    daemon: Arc<LakeDaemon>,
+    epoch: Arc<AtomicU64>,
+    staging: Option<ShmRegion>,
+) where
+    C: Channel + 'static,
+{
+    std::thread::spawn(move || match &staging {
+        Some(region) => lake_rpc::serve_with_staging(&endpoint, daemon.as_ref(), &epoch, region),
+        None => lake_rpc::serve_with_epoch(&endpoint, daemon.as_ref(), &epoch),
+    });
+}
 
 /// Configures and builds a [`Lake`] instance.
 ///
@@ -37,6 +97,8 @@ pub struct LakeBuilder {
     supervisor_policy: SupervisorPolicy,
     admission_policy: AdmissionPolicy,
     staging_threshold: Option<usize>,
+    link_mode: LinkMode,
+    wait_strategy: WaitStrategy,
 }
 
 impl Default for LakeBuilder {
@@ -57,6 +119,8 @@ impl Default for LakeBuilder {
             supervisor_policy: SupervisorPolicy::default(),
             admission_policy: AdmissionPolicy::default(),
             staging_threshold: None,
+            link_mode: LinkMode::default(),
+            wait_strategy: WaitStrategy::default(),
         }
     }
 }
@@ -170,9 +234,35 @@ impl LakeBuilder {
         self
     }
 
+    /// Selects how kernel stubs reach the daemon (see [`LinkMode`]).
+    /// The `LAKE_LINK` environment variable overrides this at build time.
+    pub fn link_mode(mut self, mode: LinkMode) -> Self {
+        self.link_mode = mode;
+        self
+    }
+
+    /// Selects the ring consumer's wait strategy ([`LinkMode::Ring`]
+    /// only). The `WAIT_STRATEGY` environment variable overrides this at
+    /// build time.
+    pub fn wait_strategy(mut self, strategy: WaitStrategy) -> Self {
+        self.wait_strategy = strategy;
+        self
+    }
+
     /// Builds the instance: shared region, device pool, daemon, call
-    /// engine.
+    /// engine, and — in the linked modes — the daemon serve thread.
     pub fn build(self) -> Lake {
+        let link_mode = match std::env::var("LAKE_LINK") {
+            Ok(s) => parse_link_mode(&s).expect("LAKE_LINK"),
+            Err(_) => self.link_mode,
+        };
+        let wait_strategy = match std::env::var("WAIT_STRATEGY") {
+            Ok(s) => s.parse().expect("WAIT_STRATEGY"),
+            Err(_) => self.wait_strategy,
+        };
+        // The ring *is* the mmap transport: its costs are Table 2's mmap
+        // row no matter what the builder asked for.
+        let mechanism = if link_mode == LinkMode::Ring { Mechanism::Mmap } else { self.mechanism };
         let clock = self.clock.unwrap_or_default();
         let shm = ShmRegion::with_capacity(self.shm_capacity);
         let devices = (0..self.num_devices)
@@ -197,33 +287,98 @@ impl LakeBuilder {
             shm.clone(),
             Arc::clone(&pool),
         );
-        let mut engine = CallEngine::in_process(
-            self.mechanism,
-            clock.clone(),
-            daemon.clone() as Arc<dyn lake_rpc::ApiHandler>,
-        )
-        .with_lifecycle(Arc::clone(&supervisor) as Arc<dyn lake_rpc::DaemonLifecycle>);
-        if let Some(policy) = self.call_policy {
-            engine = engine.with_policy(policy);
-        }
-        if let Some(threshold) = self.staging_threshold {
-            // A private region, not the kernel-visible lakeShm: staged
-            // frames are engine bookkeeping, and the main region's
-            // accounting (orphan sweeps, `in_use == 0` invariants)
-            // belongs to callers that stage buffers explicitly.
-            engine = engine.with_staging(ShmRegion::with_capacity(self.shm_capacity), threshold);
-        }
         let fault_plan =
             self.transport_faults.map(|(spec, seed)| Arc::new(FaultPlan::new(spec, seed)));
-        if let Some(plan) = &fault_plan {
-            engine = engine.with_faults(Arc::clone(plan));
+        // A private region, not the kernel-visible lakeShm: staged frames
+        // are engine bookkeeping, and the main region's accounting
+        // (orphan sweeps, `in_use == 0` invariants) belongs to callers
+        // that stage buffers explicitly. In the linked modes the serve
+        // thread maps the same region so staged descriptors resolve.
+        let staging = self
+            .staging_threshold
+            .map(|threshold| (ShmRegion::with_capacity(self.shm_capacity), threshold));
+        let (mut engine, ring) = match link_mode {
+            LinkMode::InProcess => {
+                let mut engine = CallEngine::in_process(
+                    mechanism,
+                    clock.clone(),
+                    daemon.clone() as Arc<dyn lake_rpc::ApiHandler>,
+                );
+                if let Some(plan) = &fault_plan {
+                    engine = engine.with_faults(Arc::clone(plan));
+                }
+                (engine, None)
+            }
+            LinkMode::Channel => {
+                let (kernel, user) = match &fault_plan {
+                    Some(plan) => {
+                        Link::pair_with_faults(mechanism, clock.clone(), Arc::clone(plan))
+                    }
+                    None => Link::pair(mechanism, clock.clone()),
+                };
+                spawn_daemon_thread(
+                    user,
+                    Arc::clone(&daemon),
+                    supervisor.epoch_counter(),
+                    staging.as_ref().map(|(region, _)| region.clone()),
+                );
+                (CallEngine::linked(kernel), None)
+            }
+            LinkMode::Ring => {
+                // The rings live in their own dedicated region — never
+                // the kernel-visible lakeShm, whose `in_use == 0`
+                // invariants belong to its callers.
+                let (kernel, user) = match &fault_plan {
+                    Some(plan) => RingLink::pair_with_faults(
+                        mechanism,
+                        clock.clone(),
+                        wait_strategy,
+                        Arc::clone(plan),
+                    ),
+                    None => RingLink::pair(mechanism, clock.clone(), wait_strategy),
+                };
+                // Ring teardown rides the supervised restart: the dead
+                // incarnation may have left half-consumed frames in
+                // either direction; drain both under the new epoch.
+                let hook_endpoint = kernel.clone();
+                supervisor.set_on_restart(move || hook_endpoint.reset());
+                spawn_daemon_thread(
+                    user,
+                    Arc::clone(&daemon),
+                    supervisor.epoch_counter(),
+                    staging.as_ref().map(|(region, _)| region.clone()),
+                );
+                (CallEngine::linked(kernel.clone()), Some(kernel))
+            }
+        };
+        engine =
+            engine.with_lifecycle(Arc::clone(&supervisor) as Arc<dyn lake_rpc::DaemonLifecycle>);
+        let mut call_policy = self.call_policy.unwrap_or_default();
+        if link_mode != LinkMode::InProcess && call_policy.recv_patience.is_none() {
+            call_policy.recv_patience = Some(LINKED_RECV_PATIENCE);
+        }
+        engine = engine.with_policy(call_policy);
+        if let Some((region, threshold)) = staging {
+            engine = engine.with_staging(region, threshold);
         }
         let engine = Arc::new(engine);
         // Retry-with-backoff only ever fires for APIs registered as
         // idempotent; classify the whole surface up front.
         crate::api::register_idempotency(&engine);
         let admission = Arc::new(AdmissionController::new(clock.clone(), self.admission_policy));
-        Lake { clock, shm, gpu, pool, daemon, engine, fault_plan, supervisor, admission }
+        Lake {
+            clock,
+            shm,
+            gpu,
+            pool,
+            daemon,
+            engine,
+            fault_plan,
+            supervisor,
+            admission,
+            link_mode,
+            ring,
+        }
     }
 }
 
@@ -239,6 +394,8 @@ pub struct Lake {
     fault_plan: Option<Arc<FaultPlan>>,
     supervisor: Arc<DaemonSupervisor>,
     admission: Arc<AdmissionController>,
+    link_mode: LinkMode,
+    ring: Option<RingEndpoint>,
 }
 
 /// Everything that can go wrong, in one snapshot: transport faults,
@@ -276,6 +433,7 @@ impl std::fmt::Debug for Lake {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Lake")
             .field("mechanism", &self.engine.mechanism())
+            .field("link_mode", &self.link_mode)
             .field("gpu", &self.gpu.spec().name)
             .field("shm_capacity", &self.shm.capacity())
             .finish()
@@ -380,6 +538,19 @@ impl Lake {
     /// Remoting statistics (calls, bytes, failures).
     pub fn call_stats(&self) -> CallStats {
         self.engine.stats()
+    }
+
+    /// How kernel stubs reach the daemon in this deployment (after any
+    /// `LAKE_LINK` override).
+    pub fn link_mode(&self) -> LinkMode {
+        self.link_mode
+    }
+
+    /// Ring-transport counters (doorbells, spin/park activity, restart
+    /// recreations) when deployed with [`LinkMode::Ring`]; `None`
+    /// otherwise.
+    pub fn ring_stats(&self) -> Option<RingStats> {
+        self.ring.as_ref().map(|r| r.stats())
     }
 
     /// Counters from the injected transport fault plan, if one was
@@ -975,6 +1146,139 @@ mod crash_tests {
         // Right-sized requests still flow afterwards: the failed admit
         // released its claim.
         assert_eq!(ml.infer_mlp(id, 1, 4, &[0.25; 4]).unwrap().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod link_tests {
+    use super::*;
+    use lake_ml::{serialize, Activation, Matrix, Mlp};
+    use lake_sim::{Duration, Instant};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_mlp() -> Mlp {
+        Mlp::new(&[4, 8, 2], Activation::Relu, &mut StdRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn link_mode_strings_parse() {
+        assert_eq!(parse_link_mode("inproc"), Ok(LinkMode::InProcess));
+        assert_eq!(parse_link_mode("In-Process"), Ok(LinkMode::InProcess));
+        assert_eq!(parse_link_mode("channel"), Ok(LinkMode::Channel));
+        assert_eq!(parse_link_mode(" RING "), Ok(LinkMode::Ring));
+        assert!(parse_link_mode("netlink").is_err());
+    }
+
+    /// Classifies the same batch under `mode` and returns the answers.
+    fn classify_under(mode: LinkMode) -> Vec<u32> {
+        let lake = Lake::builder().link_mode(mode).build();
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_mlp(&tiny_mlp())).unwrap();
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0, 1.0, 0.0],
+            vec![0.0, 1.0, 0.0, 1.0],
+            vec![0.5, 0.5, 0.5, 0.5],
+        ]);
+        ml.infer_mlp(id, 3, 4, x.data()).unwrap()
+    }
+
+    #[test]
+    fn channel_link_answers_match_in_process() {
+        assert_eq!(classify_under(LinkMode::Channel), classify_under(LinkMode::InProcess));
+    }
+
+    #[test]
+    fn ring_link_answers_match_in_process() {
+        assert_eq!(classify_under(LinkMode::Ring), classify_under(LinkMode::InProcess));
+    }
+
+    #[test]
+    fn ring_mode_forces_mmap_and_exposes_stats() {
+        let lake = Lake::builder().mechanism(Mechanism::Netlink).link_mode(LinkMode::Ring).build();
+        assert_eq!(lake.link_mode(), LinkMode::Ring);
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_mlp(&tiny_mlp())).unwrap();
+        assert_eq!(ml.infer_mlp(id, 1, 4, &[0.5; 4]).unwrap().len(), 1);
+        let stats = lake.ring_stats().expect("ring deployment exposes ring counters");
+        assert!(
+            stats.spins + stats.yields + stats.parks > 0,
+            "consumers should have waited for frames: {stats:?}"
+        );
+        assert_eq!(stats.recreations, 0, "no restarts, no recreations");
+        // The main lakeShm region is untouched by the rings.
+        assert_eq!(lake.shm().stats().in_use, 0);
+        // Non-ring deployments expose nothing.
+        assert!(Lake::builder().build().ring_stats().is_none());
+    }
+
+    #[test]
+    fn ring_is_recreated_once_per_supervised_restart() {
+        let crashes = vec![
+            Instant::EPOCH + Duration::from_micros(500),
+            Instant::EPOCH + Duration::from_micros(5_000),
+        ];
+        let lake = Lake::builder()
+            .link_mode(LinkMode::Ring)
+            .crash_schedule(CrashSchedule::at(crashes))
+            .build();
+        let ml = lake.ml();
+        let model = tiny_mlp();
+        let id = ml.load_model(&serialize::encode_mlp(&model)).unwrap();
+        let x = [0.25f32, 0.5, 0.75, 1.0];
+        let before = ml.infer_mlp(id, 1, 4, &x).unwrap();
+
+        // Ride a request across each crash; inference is idempotent, so
+        // failover hides the restart from the caller.
+        for crash_us in [500u64, 5_000] {
+            lake.clock().advance_to(Instant::from_nanos(crash_us * 1_000 - 100));
+            assert_eq!(ml.infer_mlp(id, 1, 4, &x).unwrap(), before);
+        }
+
+        let sup = lake.supervisor().stats();
+        assert_eq!(sup.restarts, 2);
+        let stats = lake.ring_stats().unwrap();
+        assert_eq!(
+            stats.recreations, sup.restarts,
+            "each supervised restart drains and recreates the ring: {stats:?}"
+        );
+        assert_eq!(
+            lake.call_stats().stale_epochs,
+            lake.call_stats().failed_over + lake.call_stats().daemon_restarts,
+        );
+    }
+
+    #[test]
+    fn ring_link_retries_through_transport_faults() {
+        let spec = FaultSpec { drop_prob: 0.1, corrupt_prob: 0.05, ..Default::default() };
+        let lake = Lake::builder()
+            .link_mode(LinkMode::Ring)
+            .transport_faults(spec, 17)
+            .call_policy(CallPolicy {
+                max_attempts: 10,
+                // Faults are detected by wall-clock silence in linked
+                // mode; keep the test snappy.
+                recv_patience: Some(std::time::Duration::from_millis(5)),
+                ..Default::default()
+            })
+            .build();
+        let ml = lake.ml();
+        let model = tiny_mlp();
+        let blob = serialize::encode_mlp(&model);
+        let id = loop {
+            if let Ok(id) = ml.load_model(&blob) {
+                break id;
+            }
+        };
+        let x = Matrix::from_rows(&[vec![0.25, 0.5, 0.75, 1.0]]);
+        let local = model.classify(&x)[0] as u32;
+        for _ in 0..40 {
+            assert_eq!(ml.infer_mlp(id, 1, 4, x.data()).unwrap(), vec![local]);
+        }
+        let stats = lake.call_stats();
+        assert!(stats.retries > 0, "faults should have forced retries: {stats:?}");
+        let counters = lake.fault_counters().expect("plan installed");
+        assert!(counters.drops > 0, "{counters:?}");
     }
 }
 

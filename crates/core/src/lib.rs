@@ -56,7 +56,7 @@ pub mod supervisor;
 
 pub use error::LakeError;
 pub use highlevel::{LakeMl, ModelId, Ticket};
-pub use lake::{FaultReport, Lake, LakeBuilder, PerfReport};
+pub use lake::{FaultReport, Lake, LakeBuilder, LinkMode, PerfReport};
 pub use lakelib::LakeCuda;
 pub use policy::{CuPolicy, Policy, PolicyConfig, Target};
 pub use supervisor::{DaemonSupervisor, SupervisorPolicy, SupervisorStats};
@@ -69,4 +69,4 @@ pub use lake_sched::{
 };
 pub use lake_shm::{AllocStats, ReclaimReport, ShmBuffer, ShmRegion};
 pub use lake_sim::CrashSchedule;
-pub use lake_transport::Mechanism;
+pub use lake_transport::{Mechanism, RingStats, WaitStrategy};

@@ -122,8 +122,16 @@ pub struct DaemonSupervisor {
     daemon: Arc<LakeDaemon>,
     shm: ShmRegion,
     pool: Arc<DevicePool>,
-    epoch: AtomicU64,
+    /// Shared with linked-mode serve threads (which stamp response
+    /// frames) without handing them the whole supervisor — the restart
+    /// hook below may own a transport endpoint, and a serve thread
+    /// keeping that alive would keep itself alive too.
+    epoch: Arc<AtomicU64>,
     state: Mutex<SupState>,
+    /// Invoked after each restart's replay completes — transports hang
+    /// teardown/re-creation here (e.g. draining a shm ring the dead
+    /// incarnation may have left half-written).
+    on_restart: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
     crashes_detected: AtomicU64,
     restarts: AtomicU64,
     models_replayed: AtomicU64,
@@ -158,7 +166,8 @@ impl DaemonSupervisor {
             daemon,
             shm,
             pool,
-            epoch: AtomicU64::new(0),
+            epoch: Arc::new(AtomicU64::new(0)),
+            on_restart: Mutex::new(None),
             state: Mutex::new(SupState {
                 handled: Instant::EPOCH,
                 recent: Vec::new(),
@@ -179,6 +188,22 @@ impl DaemonSupervisor {
     /// The active policy.
     pub fn policy(&self) -> SupervisorPolicy {
         self.policy
+    }
+
+    /// The live incarnation-epoch counter. A linked daemon serve loop
+    /// reads this through `serve_with_staging` so every response frame is
+    /// stamped with the epoch that actually produced it. Returned as an
+    /// owned handle so the serve thread does not keep the supervisor
+    /// (and its restart hook's transport endpoint) alive.
+    pub fn epoch_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.epoch)
+    }
+
+    /// Installs a hook invoked at the tail of every supervised restart,
+    /// after the daemon reset and shadow replay. The ring transport uses
+    /// it to drain and re-create its shm ring under the new incarnation.
+    pub fn set_on_restart(&self, hook: impl Fn() + Send + Sync + 'static) {
+        *self.on_restart.lock() = Some(Box::new(hook));
     }
 
     /// Records a loaded model in the shadow registration table; replayed
@@ -264,6 +289,13 @@ impl DaemonSupervisor {
             }
         }
         self.schemas_replayed.fetch_add(st.shadow_schemas.len() as u64, Ordering::Relaxed);
+
+        // Transport teardown/re-creation rides the same restart: a shm
+        // ring the dead incarnation was mid-write into must be drained
+        // before the new incarnation touches it.
+        if let Some(hook) = self.on_restart.lock().as_ref() {
+            hook();
+        }
 
         st.recent.push(self.clock.now());
         self.restarts.fetch_add(1, Ordering::Relaxed);

@@ -780,6 +780,10 @@ pub struct EngineStats {
     pub pool_tasks: u64,
     /// Batches small enough to run inline on the caller thread.
     pub direct_runs: u64,
+    /// Batches that *could* have pooled (multi-row, multi-worker) but ran
+    /// inline because they were under the work-size threshold — fan-out
+    /// and join cost more than they buy below it.
+    pub pool_bypassed: u64,
     /// Packed-weight cache hits.
     pub cache_hits: u64,
     /// Packed-weight cache misses (a packing pass was paid).
@@ -798,6 +802,13 @@ impl EngineStats {
     }
 }
 
+/// Default pool work-size threshold: batches under this many rows run
+/// inline on the caller. Measured floor, not a guess — the PR 4 scaling
+/// numbers (`BENCH_PR4.json`) showed an 8-row LSTM batch *losing* to the
+/// naive path under 4 workers (0.88×): per-row work is microseconds, so
+/// the pool's fan-out/join handshake dominates until a few dozen rows.
+pub const DEFAULT_POOL_MIN_ROWS: usize = 32;
+
 /// The inference fast path: fixed worker pool + packed model cache.
 ///
 /// Outputs are bit-identical to the naive `Mlp::classify` /
@@ -806,19 +817,38 @@ impl EngineStats {
 pub struct InferenceEngine {
     pool: WorkerPool,
     cache: PackedModelCache,
+    pool_min_rows: usize,
     tasks: AtomicU64,
     direct: AtomicU64,
+    bypassed: AtomicU64,
 }
 
 impl InferenceEngine {
-    /// Engine with a fixed pool of `workers` threads.
+    /// Engine with a fixed pool of `workers` threads and the default
+    /// work-size threshold ([`DEFAULT_POOL_MIN_ROWS`]).
     pub fn new(workers: usize) -> Self {
         InferenceEngine {
             pool: WorkerPool::new(workers),
             cache: PackedModelCache::new(),
+            pool_min_rows: DEFAULT_POOL_MIN_ROWS,
             tasks: AtomicU64::new(0),
             direct: AtomicU64::new(0),
+            bypassed: AtomicU64::new(0),
         }
+    }
+
+    /// Overrides the pool work-size threshold: batches with fewer than
+    /// `min_rows` rows run inline on the caller thread even when a
+    /// multi-worker pool is available. `0`/`1` disables the bypass
+    /// (every multi-row batch pools — the pre-threshold behaviour).
+    pub fn with_pool_threshold(mut self, min_rows: usize) -> Self {
+        self.pool_min_rows = min_rows;
+        self
+    }
+
+    /// The active pool work-size threshold.
+    pub fn pool_threshold(&self) -> usize {
+        self.pool_min_rows
     }
 
     /// The underlying pool.
@@ -833,6 +863,14 @@ impl InferenceEngine {
 
     fn account(&self, rows: usize) -> Option<&WorkerPool> {
         if self.pool.workers() > 1 && rows > 1 {
+            if rows < self.pool_min_rows {
+                // Multi-worker pool available, but the batch is under the
+                // work-size floor: the fan-out/join handshake would cost
+                // more than the parallelism buys back, so run inline.
+                self.bypassed.fetch_add(1, Ordering::Relaxed);
+                self.direct.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
             let active = partition(rows, self.pool.workers()).len() as u64;
             self.tasks.fetch_add(active, Ordering::Relaxed);
             Some(&self.pool)
@@ -900,6 +938,7 @@ impl InferenceEngine {
             pool_runs: self.pool.runs(),
             pool_tasks: self.tasks.load(Ordering::Relaxed),
             direct_runs: self.direct.load(Ordering::Relaxed),
+            pool_bypassed: self.bypassed.load(Ordering::Relaxed),
             cache_hits,
             cache_misses,
         }
@@ -1042,7 +1081,7 @@ mod tests {
     fn engine_caches_packing_and_counts_utilization() {
         let mut rng = StdRng::seed_from_u64(4);
         let m = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
-        let engine = InferenceEngine::new(2);
+        let engine = InferenceEngine::new(2).with_pool_threshold(2);
         let x = rand_matrix(&mut rng, 8, 4, false);
         let a = engine.classify_mlp(7, &m, x.data(), 8, 4);
         let b = engine.classify_mlp(7, &m, x.data(), 8, 4);
@@ -1051,6 +1090,7 @@ mod tests {
         assert_eq!(stats.cache_misses, 1);
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.pool_runs, 2);
+        assert_eq!(stats.pool_bypassed, 0);
         assert!(stats.pool_utilization() > 0.9, "{stats:?}");
 
         engine.invalidate(7);
@@ -1068,6 +1108,40 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.pool_runs, 0);
         assert_eq!(stats.direct_runs, 1);
+    }
+
+    #[test]
+    fn small_batches_bypass_the_pool() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
+        // 4 workers, default threshold (32): an 8-row batch is exactly the
+        // regressing shape from the PR 4 scaling run and must stay inline.
+        let engine = InferenceEngine::new(4);
+        assert_eq!(engine.pool_threshold(), DEFAULT_POOL_MIN_ROWS);
+        let small = rand_matrix(&mut rng, 8, 4, false);
+        assert_eq!(engine.classify_mlp(3, &m, small.data(), 8, 4), m.classify(&small));
+        let stats = engine.stats();
+        assert_eq!(stats.pool_runs, 0);
+        assert_eq!(stats.direct_runs, 1);
+        assert_eq!(stats.pool_bypassed, 1);
+
+        // At the threshold the pool engages again, with identical output.
+        let big = rand_matrix(&mut rng, DEFAULT_POOL_MIN_ROWS, 4, false);
+        assert_eq!(
+            engine.classify_mlp(3, &m, big.data(), DEFAULT_POOL_MIN_ROWS, 4),
+            m.classify(&big)
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.pool_runs, 1);
+        assert_eq!(stats.pool_bypassed, 1);
+
+        // Single-row batches are direct but NOT counted as bypassed: the
+        // pool was never a candidate for them.
+        let one = rand_matrix(&mut rng, 1, 4, false);
+        engine.classify_mlp(3, &m, one.data(), 1, 4);
+        let stats = engine.stats();
+        assert_eq!(stats.direct_runs, 2);
+        assert_eq!(stats.pool_bypassed, 1);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod tensor;
 pub use cost::CpuCostModel;
 pub use gemm::{
     EngineStats, InferenceEngine, PackedMatrix, PackedMlp, PackedModelCache, WorkerPool,
+    DEFAULT_POOL_MIN_ROWS,
 };
 pub use knn::Knn;
 pub use lstm::{LstmCell, LstmClassifier};

@@ -1,0 +1,218 @@
+//! Command coalescing: batch small calls into one burst frame.
+//!
+//! The ring transport makes the per-frame cost (doorbell + wakeup) the
+//! dominant term for small commands. A [`Coalescer`] sits in front of a
+//! [`CallEngine`] and holds small calls back for a short *virtual-time*
+//! window; everything queued inside the window leaves as one
+//! [`BURST_API_BIT`](crate::engine::BURST_API_BIT) frame — a single
+//! doorbell each way no matter how many commands rode along. Large calls
+//! are never held: the staging path already amortizes their cost, and
+//! parking a bulk transfer behind a batching window would only add
+//! latency.
+//!
+//! The coalescer is deliberately synchronous: callers enqueue with
+//! [`Coalescer::push`] and the batch flushes when the window closes, the
+//! batch fills, or [`Coalescer::flush`] is called. That matches how the
+//! kernel-side stubs drive the engine — one thread issuing commands in
+//! program order — and keeps results trivially attributable.
+
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+use lake_sim::{Duration, Instant};
+
+use crate::command::ApiId;
+use crate::engine::{CallEngine, RpcError, MAX_BURST_ENTRIES};
+
+/// Default batching window: commands arriving within this much virtual
+/// time of the batch opener coalesce into its burst.
+pub const DEFAULT_BURST_WINDOW: Duration = Duration::from_micros(50);
+
+/// Default maximum batch size; the batch flushes when it fills even if the
+/// window is still open.
+pub const DEFAULT_BURST_MAX: usize = 16;
+
+/// Tuning knobs for a [`Coalescer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalescePolicy {
+    /// Virtual-time window measured from the first queued command.
+    pub window: Duration,
+    /// Flush when this many commands are queued.
+    pub max_entries: usize,
+}
+
+impl Default for CoalescePolicy {
+    fn default() -> Self {
+        CoalescePolicy { window: DEFAULT_BURST_WINDOW, max_entries: DEFAULT_BURST_MAX }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Batch {
+    entries: Vec<(ApiId, Bytes)>,
+    opened_at: Option<Instant>,
+}
+
+/// Batches small calls into burst frames over a shared [`CallEngine`].
+///
+/// A flush returns one result per queued command, in queue order — the
+/// same `Vec` shape [`CallEngine::call_burst`] produces.
+#[derive(Debug)]
+pub struct Coalescer {
+    engine: Arc<CallEngine>,
+    policy: CoalescePolicy,
+    batch: Mutex<Batch>,
+}
+
+impl Coalescer {
+    /// Creates a coalescer over `engine` with the default policy.
+    pub fn new(engine: Arc<CallEngine>) -> Self {
+        Self::with_policy(engine, CoalescePolicy::default())
+    }
+
+    /// Creates a coalescer with an explicit window / batch-size policy.
+    /// `max_entries` is clamped to `1..=`[`MAX_BURST_ENTRIES`].
+    pub fn with_policy(engine: Arc<CallEngine>, mut policy: CoalescePolicy) -> Self {
+        policy.max_entries = policy.max_entries.clamp(1, MAX_BURST_ENTRIES);
+        Coalescer { engine, policy, batch: Mutex::new(Batch::default()) }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> CoalescePolicy {
+        self.policy
+    }
+
+    /// Commands currently queued and not yet flushed.
+    pub fn pending(&self) -> usize {
+        self.batch.lock().expect("coalescer poisoned").entries.len()
+    }
+
+    /// Queues one command. Returns `Some(results)` — one per queued
+    /// command, in queue order, *including this one* — when the push
+    /// closed the batch: either the batch filled, or the virtual clock
+    /// has moved past the window since the batch opened. Returns `None`
+    /// while the batch is still collecting; the caller gets those results
+    /// from the closing push or an explicit [`Coalescer::flush`].
+    pub fn push(&self, api: ApiId, payload: Bytes) -> Option<Vec<Result<Bytes, RpcError>>> {
+        let batch = {
+            let mut b = self.batch.lock().expect("coalescer poisoned");
+            let now = self.engine.clock().now();
+            if b.entries.is_empty() {
+                b.opened_at = Some(now);
+            }
+            b.entries.push((api, payload));
+            let window_closed =
+                b.opened_at.is_some_and(|opened| now >= opened + self.policy.window);
+            if b.entries.len() >= self.policy.max_entries || window_closed {
+                std::mem::take(&mut *b)
+            } else {
+                return None;
+            }
+        };
+        Some(self.engine.call_burst(batch.entries))
+    }
+
+    /// Flushes whatever is queued, returning one result per command in
+    /// queue order; `None` if nothing was pending.
+    pub fn flush(&self) -> Option<Vec<Result<Bytes, RpcError>>> {
+        let batch = {
+            let mut b = self.batch.lock().expect("coalescer poisoned");
+            if b.entries.is_empty() {
+                return None;
+            }
+            std::mem::take(&mut *b)
+        };
+        Some(self.engine.call_burst(batch.entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::Status;
+    use crate::engine::ApiHandler;
+    use lake_sim::SharedClock;
+    use lake_transport::Mechanism;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn echo() -> Arc<dyn ApiHandler> {
+        Arc::new(|_: ApiId, payload: &[u8]| -> Result<Bytes, Status> {
+            Ok(Bytes::copy_from_slice(payload))
+        })
+    }
+
+    fn engine() -> Arc<CallEngine> {
+        Arc::new(CallEngine::in_process(Mechanism::Mmap, SharedClock::new(), echo()))
+    }
+
+    #[test]
+    fn batch_flushes_when_full() {
+        let engine = engine();
+        let c = Coalescer::with_policy(
+            engine.clone(),
+            CoalescePolicy { window: Duration::from_secs(1), max_entries: 3 },
+        );
+        assert!(c.push(ApiId(1), Bytes::from_static(b"a")).is_none());
+        assert!(c.push(ApiId(1), Bytes::from_static(b"b")).is_none());
+        let results = c.push(ApiId(1), Bytes::from_static(b"c")).expect("batch full");
+        let got: Vec<_> = results.into_iter().map(|r| r.unwrap()).collect();
+        let want =
+            vec![Bytes::from_static(b"a"), Bytes::from_static(b"b"), Bytes::from_static(b"c")];
+        assert_eq!(got, want);
+        assert_eq!(c.pending(), 0);
+        let stats = engine.stats();
+        assert_eq!(stats.burst_frames, 1);
+        assert_eq!(stats.coalesced_commands, 3);
+    }
+
+    #[test]
+    fn window_expiry_closes_the_batch() {
+        let engine = engine();
+        let clock = engine.clock().clone();
+        let c = Coalescer::with_policy(
+            engine,
+            CoalescePolicy { window: Duration::from_micros(10), max_entries: 100 },
+        );
+        assert!(c.push(ApiId(1), Bytes::from_static(b"x")).is_none());
+        clock.advance(Duration::from_micros(11));
+        let results = c.push(ApiId(1), Bytes::from_static(b"y")).expect("window closed");
+        assert_eq!(results.len(), 2);
+        assert!(results.into_iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn explicit_flush_drains_a_partial_batch() {
+        let c = Coalescer::new(engine());
+        assert!(c.flush().is_none(), "empty coalescer has nothing to flush");
+        assert!(c.push(ApiId(1), Bytes::from_static(b"solo")).is_none());
+        let results = c.flush().expect("one pending");
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].as_ref().unwrap(), &Bytes::from_static(b"solo"));
+    }
+
+    #[test]
+    fn burst_preserves_per_entry_failures() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let counted = count.clone();
+        let handler = Arc::new(move |api: ApiId, payload: &[u8]| -> Result<Bytes, Status> {
+            counted.fetch_add(1, Ordering::SeqCst);
+            if api == ApiId(13) {
+                Err(Status::VendorError(13))
+            } else {
+                Ok(Bytes::copy_from_slice(payload))
+            }
+        });
+        let engine = Arc::new(CallEngine::in_process(Mechanism::Mmap, SharedClock::new(), handler));
+        let results = engine.call_burst(vec![
+            (ApiId(1), Bytes::from_static(b"ok")),
+            (ApiId(13), Bytes::from_static(b"bad")),
+            (ApiId(1), Bytes::from_static(b"also ok")),
+        ]);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap(), &Bytes::from_static(b"ok"));
+        assert_eq!(results[1], Err(RpcError::Remote(Status::VendorError(13))));
+        assert_eq!(results[2].as_ref().unwrap(), &Bytes::from_static(b"also ok"));
+        assert_eq!(count.load(Ordering::SeqCst), 3, "every entry must execute");
+        assert_eq!(engine.stats().burst_frames, 1);
+    }
+}

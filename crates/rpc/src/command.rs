@@ -37,7 +37,7 @@ pub enum Status {
 }
 
 impl Status {
-    fn to_u32(self) -> u32 {
+    pub(crate) fn to_u32(self) -> u32 {
         match self {
             Status::Ok => 0,
             Status::UnknownApi => 1,
@@ -46,7 +46,7 @@ impl Status {
         }
     }
 
-    fn from_u32(v: u32) -> Status {
+    pub(crate) fn from_u32(v: u32) -> Status {
         match v {
             0 => Status::Ok,
             1 => Status::UnknownApi,

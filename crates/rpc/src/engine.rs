@@ -39,7 +39,7 @@ use std::sync::{Arc, Mutex};
 use bytes::Bytes;
 use lake_shm::ShmRegion;
 use lake_sim::{Duration, FaultPlan, FrameFault, Instant, SharedClock};
-use lake_transport::{LinkEndpoint, Mechanism};
+use lake_transport::{Channel, Mechanism};
 
 use crate::command::{ApiId, Command, Response, Status, SEQ_UNMATCHED};
 use crate::perf;
@@ -57,6 +57,18 @@ pub const DEFAULT_INLINE_THRESHOLD: usize = 4096;
 /// far below this bit, so the envelope is unambiguous on the wire and the
 /// daemon can unwrap it without out-of-band signaling.
 pub const STAGED_API_BIT: u32 = 0x8000_0000;
+
+/// Envelope bit set on an [`ApiId`] whose command payload is a *burst*: a
+/// count-prefixed sequence of `(api, payload)` entries coalesced into one
+/// frame. The daemon unpacks the burst and answers every entry, in order,
+/// inside a single response frame — one doorbell each way no matter how
+/// many commands rode along. Entries may themselves carry
+/// [`STAGED_API_BIT`]; a burst never nests inside another burst.
+pub const BURST_API_BIT: u32 = 0x4000_0000;
+
+/// Hard cap on commands per burst frame, bounding daemon-side decode work
+/// for a frame that claims an absurd entry count.
+pub const MAX_BURST_ENTRIES: usize = 256;
 
 /// Error returned by [`CallEngine::call`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -226,6 +238,12 @@ pub struct CallStats {
     /// Calls whose payload traveled through the shm staging region as an
     /// `(offset, len)` descriptor instead of inline frame bytes.
     pub staged_calls: u64,
+    /// Burst frames sent: each one carried 2+ coalesced commands across
+    /// the link under a single doorbell.
+    pub burst_frames: u64,
+    /// Commands that rode inside burst frames instead of paying their own
+    /// frame + doorbell.
+    pub coalesced_commands: u64,
 }
 
 /// Shm staging attached to a [`CallEngine`]: payloads at least `threshold`
@@ -242,7 +260,7 @@ pub struct StagingConfig {
 
 enum Mode {
     InProcess(Arc<dyn ApiHandler>),
-    Linked(LinkEndpoint),
+    Linked(Box<dyn Channel>),
 }
 
 impl fmt::Debug for Mode {
@@ -292,6 +310,8 @@ pub struct CallEngine {
     failed_over: AtomicU64,
     daemon_restarts: AtomicU64,
     staged_calls: AtomicU64,
+    burst_frames: AtomicU64,
+    coalesced_commands: AtomicU64,
 }
 
 impl fmt::Debug for CallEngine {
@@ -319,11 +339,12 @@ impl CallEngine {
 
     /// Creates an engine that sends commands over `endpoint` to a daemon
     /// thread running [`serve`]. The endpoint's mechanism and clock are
-    /// reused for cost accounting.
-    pub fn linked(endpoint: LinkEndpoint) -> Self {
+    /// reused for cost accounting. Any [`Channel`] works: the crossbeam
+    /// `LinkEndpoint` or the lock-free shm `RingEndpoint`.
+    pub fn linked(endpoint: impl Channel + 'static) -> Self {
         let mechanism = endpoint.mechanism();
         let clock = endpoint.clock().clone();
-        Self::build(mechanism, clock, Mode::Linked(endpoint))
+        Self::build(mechanism, clock, Mode::Linked(Box::new(endpoint)))
     }
 
     fn build(mechanism: Mechanism, clock: SharedClock, mode: Mode) -> Self {
@@ -350,6 +371,8 @@ impl CallEngine {
             failed_over: AtomicU64::new(0),
             daemon_restarts: AtomicU64::new(0),
             staged_calls: AtomicU64::new(0),
+            burst_frames: AtomicU64::new(0),
+            coalesced_commands: AtomicU64::new(0),
         }
     }
 
@@ -400,14 +423,14 @@ impl CallEngine {
         }
     }
 
-    /// Whether `api` was registered idempotent. The staged-envelope bit is
-    /// masked off: idempotency is a property of the API, not the transport
-    /// encoding of one particular call.
+    /// Whether `api` was registered idempotent. The staged/burst envelope
+    /// bits are masked off: idempotency is a property of the API, not the
+    /// transport encoding of one particular call.
     pub fn is_idempotent(&self, api: ApiId) -> bool {
         self.idempotent
             .lock()
             .expect("idempotency registry poisoned")
-            .contains(&(api.0 & !STAGED_API_BIT))
+            .contains(&(api.0 & !(STAGED_API_BIT | BURST_API_BIT)))
     }
 
     /// The active call policy.
@@ -487,16 +510,80 @@ impl CallEngine {
         self.call_inline(api, Bytes::from(buf))
     }
 
+    /// Coalesces `entries` into as few frames as possible and returns one
+    /// result per entry, in order: entries at or above the staging
+    /// threshold keep the shm handle-passing path (their payload should
+    /// not be inlined into a burst frame), lone small entries go out as a
+    /// plain call, and two or more small entries travel together in a
+    /// single [`BURST_API_BIT`] frame — one doorbell each way for the
+    /// whole batch. The burst is retried as a unit, and only when *every*
+    /// entry's API is registered idempotent.
+    pub fn call_burst(&self, entries: Vec<(ApiId, Bytes)>) -> Vec<Result<Bytes, RpcError>> {
+        let threshold =
+            self.staging.as_ref().map(|s| s.threshold).unwrap_or(DEFAULT_INLINE_THRESHOLD);
+        let mut results: Vec<Option<Result<Bytes, RpcError>>> =
+            entries.iter().map(|_| None).collect();
+        let mut small: Vec<(usize, ApiId, Bytes)> = Vec::new();
+        for (i, (api, payload)) in entries.into_iter().enumerate() {
+            if payload.len() >= threshold {
+                results[i] = Some(self.call(api, payload));
+            } else {
+                small.push((i, api, payload));
+            }
+        }
+        if small.len() == 1 {
+            let (i, api, payload) = small.pop().expect("one entry");
+            results[i] = Some(self.call(api, payload));
+        }
+        for chunk in small.chunks(MAX_BURST_ENTRIES).filter(|c| !c.is_empty()) {
+            let idempotent = chunk.iter().all(|(_, api, _)| self.is_idempotent(*api));
+            let mut e = Encoder::new();
+            e.put_u32(chunk.len() as u32);
+            for (_, api, payload) in chunk {
+                e.put_u32(api.0);
+                e.put_bytes(payload);
+            }
+            self.burst_frames.fetch_add(1, Ordering::Relaxed);
+            self.coalesced_commands.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            match self
+                .call_framed(ApiId(BURST_API_BIT), e.finish(), idempotent)
+                .and_then(|body| decode_burst_response(&body, chunk.len()))
+            {
+                Ok(per_entry) => {
+                    for ((i, _, _), result) in chunk.iter().zip(per_entry) {
+                        results[*i] = Some(result.map_err(|status| {
+                            self.failures.fetch_add(1, Ordering::Relaxed);
+                            RpcError::Remote(status)
+                        }));
+                    }
+                }
+                Err(err) => {
+                    // The whole frame failed: every rider shares the fate.
+                    for (i, _, _) in chunk {
+                        results[*i] = Some(Err(err.clone()));
+                    }
+                }
+            }
+        }
+        results.into_iter().map(|r| r.expect("every entry answered")).collect()
+    }
+
     fn call_inline(&self, api: ApiId, payload: Bytes) -> Result<Bytes, RpcError> {
+        self.call_framed(api, payload, self.is_idempotent(api))
+    }
+
+    fn call_framed(&self, api: ApiId, payload: Bytes, idempotent: bool) -> Result<Bytes, RpcError> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let cmd = Command { api, seq, payload };
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(cmd.encoded_len() as u64, Ordering::Relaxed);
-        let idempotent = self.is_idempotent(api);
+        self.dispatch_mode(&cmd, idempotent)
+    }
 
+    fn dispatch_mode(&self, cmd: &Command, idempotent: bool) -> Result<Bytes, RpcError> {
         match &self.mode {
-            Mode::InProcess(handler) => self.call_in_process(&handler.clone(), &cmd, idempotent),
-            Mode::Linked(endpoint) => self.call_linked(endpoint, &cmd, idempotent),
+            Mode::InProcess(handler) => self.call_in_process(&handler.clone(), cmd, idempotent),
+            Mode::Linked(endpoint) => self.call_linked(endpoint.as_ref(), cmd, idempotent),
         }
     }
 
@@ -525,10 +612,7 @@ impl CallEngine {
         self.staged_calls.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(cmd.encoded_len() as u64, Ordering::Relaxed);
         let idempotent = self.is_idempotent(api);
-        let result = match &self.mode {
-            Mode::InProcess(handler) => self.call_in_process(&handler.clone(), &cmd, idempotent),
-            Mode::Linked(endpoint) => self.call_linked(endpoint, &cmd, idempotent),
-        };
+        let result = self.dispatch_mode(&cmd, idempotent);
         match &result {
             // The daemon (or its restarted successor replaying a late
             // frame) may still read the staged bytes: orphan the buffer
@@ -686,7 +770,7 @@ impl CallEngine {
 
     fn call_linked(
         &self,
-        endpoint: &LinkEndpoint,
+        endpoint: &dyn Channel,
         cmd: &Command,
         idempotent: bool,
     ) -> Result<Bytes, RpcError> {
@@ -695,12 +779,21 @@ impl CallEngine {
         let mut attempt = 0u32;
         'attempts: loop {
             attempt += 1;
+            // Supervised restart first, exactly as in-process: a crash that
+            // struck while the stub was idle (or during the previous
+            // attempt) is detected and recovered before any frame is
+            // handed to a dead incarnation.
+            let serving_epoch = match &self.lifecycle {
+                Some(l) => l.ensure_up(),
+                None => 0,
+            };
+            let sent_at = self.clock.now();
             // The link consumes its frame; each (re)send clones the
             // retry buffer.
             perf::note_copy(frame.len());
             endpoint.send(frame.clone()).map_err(|_| RpcError::Disconnected)?;
             let mut waited = std::time::Duration::ZERO;
-            loop {
+            let resp = loop {
                 // A response for us may have been received (and stashed)
                 // by another in-flight caller.
                 if let Some(resp) =
@@ -711,7 +804,7 @@ impl CallEngine {
                         // the routing table. Keep waiting for a live one.
                         self.stale_epochs.fetch_add(1, Ordering::Relaxed);
                     } else {
-                        return self.finish_response(resp);
+                        break resp;
                     }
                 }
                 match endpoint.recv_timeout(ROUTE_POLL) {
@@ -750,14 +843,16 @@ impl CallEngine {
                             if resp.status == Status::Malformed {
                                 // The daemon could not decode our command
                                 // (corrupted in flight) — it never
-                                // executed, so any API may retry.
+                                // executed, so any API may retry without a
+                                // crash check (there is nothing to replay).
                                 self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
                                 if attempt < self.policy.max_attempts {
                                     self.retry_backoff(attempt);
                                     continue 'attempts;
                                 }
+                                return self.finish_response(resp);
                             }
-                            return self.finish_response(resp);
+                            break resp;
                         }
                         Ok(resp) if resp.seq == SEQ_UNMATCHED => {
                             // The daemon couldn't attribute some frame;
@@ -773,7 +868,30 @@ impl CallEngine {
                         }
                     },
                 }
+            };
+            // Did the daemon die inside this request's window? Then the
+            // response was computed by a dead incarnation: fence it out
+            // (never delivered), charge the deadline for discovering the
+            // silence, and either fail over to the next incarnation
+            // (idempotent — ensure_up restarts at the top of the next
+            // attempt) or surface the typed restart error. Mirrors the
+            // in-process accounting exactly.
+            if let Some(l) = &self.lifecycle {
+                if l.crashed_between(sent_at, self.clock.now()) {
+                    self.stale_epochs.fetch_add(1, Ordering::Relaxed);
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.clock.advance(self.policy.deadline);
+                    if idempotent && attempt < self.policy.max_attempts {
+                        self.failed_over.fetch_add(1, Ordering::Relaxed);
+                        self.retry_backoff(attempt);
+                        continue 'attempts;
+                    }
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    self.daemon_restarts.fetch_add(1, Ordering::Relaxed);
+                    return Err(RpcError::DaemonRestarted { epoch: serving_epoch });
+                }
             }
+            return self.finish_response(resp);
         }
     }
 
@@ -817,6 +935,8 @@ impl CallEngine {
             failed_over: self.failed_over.load(Ordering::Relaxed),
             daemon_restarts: self.daemon_restarts.load(Ordering::Relaxed),
             staged_calls: self.staged_calls.load(Ordering::Relaxed),
+            burst_frames: self.burst_frames.load(Ordering::Relaxed),
+            coalesced_commands: self.coalesced_commands.load(Ordering::Relaxed),
         }
     }
 }
@@ -832,6 +952,9 @@ fn dispatch(
     api: ApiId,
     payload: &[u8],
 ) -> Result<Bytes, Status> {
+    if api.0 & BURST_API_BIT != 0 {
+        return dispatch_burst(handler, staging, payload);
+    }
     if api.0 & STAGED_API_BIT == 0 {
         return handler.handle(api, payload);
     }
@@ -860,6 +983,66 @@ fn dispatch(
         .unwrap_or(Err(Status::Malformed))
 }
 
+/// Unpacks a [`BURST_API_BIT`] frame and answers every entry in order.
+///
+/// Per-entry failures become per-entry statuses inside the burst response
+/// body — the burst itself succeeds, so one bad rider never poisons its
+/// batch. Entries may be staged (the recursion into [`dispatch`] unwraps
+/// them); a burst inside a burst is malformed.
+fn dispatch_burst(
+    handler: &dyn ApiHandler,
+    staging: Option<&ShmRegion>,
+    payload: &[u8],
+) -> Result<Bytes, Status> {
+    let mut d = Decoder::new(payload);
+    let count = d.get_u32().map_err(|_| Status::Malformed)? as usize;
+    if count == 0 || count > MAX_BURST_ENTRIES {
+        return Err(Status::Malformed);
+    }
+    let mut out = Encoder::new();
+    out.put_u32(count as u32);
+    for _ in 0..count {
+        let api = ApiId(d.get_u32().map_err(|_| Status::Malformed)?);
+        if api.0 & BURST_API_BIT != 0 {
+            return Err(Status::Malformed);
+        }
+        let entry = d.get_bytes().map_err(|_| Status::Malformed)?;
+        let (status, body) = match dispatch(handler, staging, api, entry) {
+            Ok(bytes) => (Status::Ok, bytes),
+            Err(status) => (status, Bytes::new()),
+        };
+        out.put_u32(status.to_u32());
+        out.put_bytes(&body);
+    }
+    d.finish().map_err(|_| Status::Malformed)?;
+    Ok(out.finish())
+}
+
+/// Splits a burst response body back into one `Result` per entry.
+///
+/// # Errors
+///
+/// Returns [`RpcError::Wire`] when the body does not decode as a burst of
+/// exactly `expected` entries.
+fn decode_burst_response(
+    body: &[u8],
+    expected: usize,
+) -> Result<Vec<Result<Bytes, Status>>, RpcError> {
+    let mut d = Decoder::new(body);
+    let count = d.get_u32()? as usize;
+    if count != expected {
+        return Err(RpcError::Wire(WireError::BadLength { declared: count, remaining: expected }));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let status = Status::from_u32(d.get_u32()?);
+        let bytes = d.get_bytes()?;
+        out.push(if status.is_ok() { Ok(Bytes::copy_from_slice(bytes)) } else { Err(status) });
+    }
+    d.finish()?;
+    Ok(out)
+}
+
 /// Responses remembered by [`serve`] for at-most-once execution.
 const SERVE_DEDUP_WINDOW: usize = 128;
 
@@ -877,7 +1060,7 @@ const SERVE_DEDUP_WINDOW: usize = 128;
 ///   (a [`SERVE_DEDUP_WINDOW`]-deep window): a duplicated or retried
 ///   command is answered from the cache instead of re-executed, giving
 ///   retries at-most-once semantics.
-pub fn serve(endpoint: &LinkEndpoint, handler: &dyn ApiHandler) {
+pub fn serve<C: Channel + ?Sized>(endpoint: &C, handler: &dyn ApiHandler) {
     serve_loop(endpoint, handler, &AtomicU64::new(0), None);
 }
 
@@ -885,15 +1068,19 @@ pub fn serve(endpoint: &LinkEndpoint, handler: &dyn ApiHandler) {
 /// current value of `epoch`, the daemon's incarnation number. A supervisor
 /// bumps the atomic on restart; stubs fence out responses stamped by dead
 /// incarnations. (`serve` itself is this loop pinned to epoch 0.)
-pub fn serve_with_epoch(endpoint: &LinkEndpoint, handler: &dyn ApiHandler, epoch: &AtomicU64) {
+pub fn serve_with_epoch<C: Channel + ?Sized>(
+    endpoint: &C,
+    handler: &dyn ApiHandler,
+    epoch: &AtomicU64,
+) {
     serve_loop(endpoint, handler, epoch, None);
 }
 
 /// [`serve_with_epoch`] for a daemon that shares a staging region with its
 /// stubs: staged commands are unwrapped and the handler executes against a
 /// borrowed view of the shm bytes (see [`CallEngine::with_staging`]).
-pub fn serve_with_staging(
-    endpoint: &LinkEndpoint,
+pub fn serve_with_staging<C: Channel + ?Sized>(
+    endpoint: &C,
     handler: &dyn ApiHandler,
     epoch: &AtomicU64,
     staging: &ShmRegion,
@@ -901,21 +1088,30 @@ pub fn serve_with_staging(
     serve_loop(endpoint, handler, epoch, Some(staging));
 }
 
-fn serve_loop(
-    endpoint: &LinkEndpoint,
+fn serve_loop<C: Channel + ?Sized>(
+    endpoint: &C,
     handler: &dyn ApiHandler,
     epoch: &AtomicU64,
     staging: Option<&ShmRegion>,
 ) {
-    let mut dedup: HashMap<u64, Response> = HashMap::new();
+    // Dedup entries remember the epoch they were computed under: a cached
+    // answer from a previous incarnation must NOT be replayed — the new
+    // incarnation never ran that command (crash_reset wiped its state), and
+    // the caller would fence the stale stamp forever, wedging the retry.
+    let mut dedup: HashMap<u64, (u64, Response)> = HashMap::new();
     let mut dedup_order: VecDeque<u64> = VecDeque::new();
     while let Ok(frame) = endpoint.recv() {
         let now_epoch = epoch.load(Ordering::Relaxed);
         let response = match Command::decode_borrowed(&frame) {
             Ok(cmd) => {
-                if let Some(prior) = dedup.get(&cmd.seq) {
-                    // Retried or duplicated command: replay, don't re-run.
-                    prior.clone()
+                let cached = dedup
+                    .get(&cmd.seq)
+                    .filter(|(cached_epoch, _)| *cached_epoch == now_epoch)
+                    .map(|(_, prior)| prior.clone());
+                if let Some(prior) = cached {
+                    // Retried or duplicated command, same incarnation:
+                    // replay, don't re-run.
+                    prior
                 } else {
                     // Borrowed dispatch: the payload stays inside the
                     // received frame (or in shm, for staged commands).
@@ -931,7 +1127,7 @@ fn serve_loop(
                             payload: Bytes::new(),
                         },
                     };
-                    dedup.insert(cmd.seq, response.clone());
+                    dedup.insert(cmd.seq, (now_epoch, response.clone()));
                     dedup_order.push_back(cmd.seq);
                     if dedup_order.len() > SERVE_DEDUP_WINDOW {
                         if let Some(old) = dedup_order.pop_front() {
@@ -1489,6 +1685,168 @@ mod tests {
         let err = engine.call(ApiId(3 | STAGED_API_BIT), Bytes::from(vec![0u8; 16])).unwrap_err();
         assert_eq!(err, RpcError::Remote(Status::Malformed));
     }
+
+    #[test]
+    fn burst_coalesces_small_commands_over_a_link() {
+        let clock = SharedClock::new();
+        let (kernel, user) = Link::pair(Mechanism::Netlink, clock);
+        let daemon = std::thread::spawn(move || {
+            let handler = echo();
+            serve(&user, handler.as_ref());
+        });
+        let engine = CallEngine::linked(kernel);
+        let entries: Vec<(ApiId, Bytes)> =
+            (0..8u8).map(|i| (ApiId(3), Bytes::from(vec![i; 16]))).collect();
+        let results = engine.call_burst(entries);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap()[..], [i as u8; 16][..], "burst reordered entry {i}");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.calls, 1, "8 commands must ride one frame");
+        assert_eq!(stats.burst_frames, 1);
+        assert_eq!(stats.coalesced_commands, 8);
+        drop(engine);
+        daemon.join().unwrap();
+    }
+
+    #[test]
+    fn burst_routes_large_entries_through_staging() {
+        let region = ShmRegion::with_capacity(64 * 1024);
+        let engine = CallEngine::in_process(Mechanism::Netlink, SharedClock::new(), echo())
+            .with_staging(region.clone(), 64);
+        let big = Bytes::from(vec![7u8; 4096]);
+        let results = engine.call_burst(vec![
+            (ApiId(1), Bytes::from_static(b"a")),
+            (ApiId(1), big.clone()),
+            (ApiId(1), Bytes::from_static(b"b")),
+        ]);
+        assert_eq!(results[0].as_ref().unwrap(), &Bytes::from_static(b"a"));
+        assert_eq!(results[1].as_ref().unwrap(), &big);
+        assert_eq!(results[2].as_ref().unwrap(), &Bytes::from_static(b"b"));
+        let stats = engine.stats();
+        assert_eq!(stats.staged_calls, 1, "the large entry keeps the shm path");
+        assert_eq!(stats.burst_frames, 1);
+        assert_eq!(stats.coalesced_commands, 2, "only the small entries coalesce");
+        assert_eq!(region.stats().in_use, 0);
+    }
+
+    #[test]
+    fn lone_small_entry_skips_the_burst_envelope() {
+        let engine = CallEngine::in_process(Mechanism::Netlink, SharedClock::new(), echo());
+        let results = engine.call_burst(vec![(ApiId(1), Bytes::from_static(b"solo"))]);
+        assert_eq!(results[0].as_ref().unwrap(), &Bytes::from_static(b"solo"));
+        let stats = engine.stats();
+        assert_eq!(stats.burst_frames, 0, "a burst of one is just a call");
+        assert_eq!(stats.calls, 1);
+    }
+
+    #[test]
+    fn nested_burst_is_rejected_as_malformed() {
+        let engine = CallEngine::in_process(Mechanism::Netlink, SharedClock::new(), echo());
+        let mut inner = Encoder::new();
+        inner.put_u32(1).put_u32(BURST_API_BIT).put_bytes(b"");
+        let err = engine.call(ApiId(BURST_API_BIT), inner.finish()).unwrap_err();
+        assert_eq!(err, RpcError::Remote(Status::Malformed));
+    }
+
+    #[test]
+    fn linked_idempotent_call_fails_over_across_a_crash() {
+        let clock = SharedClock::new();
+        let (kernel, user) = Link::pair(Mechanism::Netlink, clock.clone());
+        let lifecycle = ScriptedLifecycle::new(vec![Instant::from_nanos(1)]);
+        // The daemon stamps responses with the *lifecycle's* epoch — the
+        // same sharing the core supervisor wires up.
+        let daemon_lc = lifecycle.clone();
+        let daemon = std::thread::spawn(move || {
+            let handler = adder();
+            serve_with_epoch(&user, handler.as_ref(), &daemon_lc.epoch);
+        });
+        let engine =
+            CallEngine::linked(kernel).with_lifecycle(lifecycle.clone()).with_policy(CallPolicy {
+                recv_patience: Some(std::time::Duration::from_millis(50)),
+                ..CallPolicy::default()
+            });
+        engine.register_api(API_ADD, true);
+        let out = engine.call(API_ADD, encode_pair(20, 22)).unwrap();
+        let mut d = Decoder::new(&out);
+        assert_eq!(d.get_u64().unwrap(), 42);
+        let stats = engine.stats();
+        assert_eq!(stats.stale_epochs, 1, "the dead incarnation's answer must be fenced");
+        assert_eq!(stats.failed_over, 1);
+        assert_eq!(stats.daemon_restarts, 0);
+        assert_eq!(stats.timeouts, 1, "the crash costs one discovery deadline");
+        assert_eq!(lifecycle.epoch(), 1, "the retry must run under the new incarnation");
+        drop(engine);
+        daemon.join().unwrap();
+    }
+
+    #[test]
+    fn linked_non_idempotent_call_surfaces_daemon_restarted() {
+        let clock = SharedClock::new();
+        let (kernel, user) = Link::pair(Mechanism::Netlink, clock.clone());
+        let lifecycle = ScriptedLifecycle::new(vec![Instant::from_nanos(1)]);
+        let daemon_lc = lifecycle.clone();
+        let daemon = std::thread::spawn(move || {
+            let handler = adder();
+            serve_with_epoch(&user, handler.as_ref(), &daemon_lc.epoch);
+        });
+        let engine = CallEngine::linked(kernel).with_lifecycle(lifecycle.clone());
+        // API_ADD deliberately NOT registered idempotent.
+        let err = engine.call(API_ADD, encode_pair(1, 2)).unwrap_err();
+        assert_eq!(err, RpcError::DaemonRestarted { epoch: 0 });
+        let stats = engine.stats();
+        assert_eq!(stats.daemon_restarts, 1);
+        assert_eq!(stats.stale_epochs, 1);
+        // The next call runs under the restarted incarnation; the serve
+        // loop must re-execute the retried seq instead of replaying the
+        // dead incarnation's cached answer.
+        let out = engine.call(API_ADD, encode_pair(2, 2)).unwrap();
+        let mut d = Decoder::new(&out);
+        assert_eq!(d.get_u64().unwrap(), 4);
+        assert_eq!(lifecycle.epoch(), 1);
+        drop(engine);
+        daemon.join().unwrap();
+    }
+
+    /// Regression (epoch-aware dedup): a retried seq must not be answered
+    /// from a dead incarnation's cache — the new incarnation never ran it.
+    /// Without eviction the caller fences the stale stamp forever and the
+    /// retry wedges.
+    #[test]
+    fn serve_reexecutes_cached_seq_after_an_epoch_bump() {
+        use std::sync::atomic::AtomicUsize;
+        let executions = Arc::new(AtomicUsize::new(0));
+        let execs = executions.clone();
+        let handler = Arc::new(move |_: ApiId, _: &[u8]| -> Result<Bytes, Status> {
+            execs.fetch_add(1, Ordering::SeqCst);
+            Ok(Bytes::from_static(b"done"))
+        });
+        let clock = SharedClock::new();
+        let (kernel, user) = Link::pair(Mechanism::Netlink, clock);
+        let epoch = Arc::new(AtomicU64::new(0));
+        let daemon_epoch = epoch.clone();
+        let daemon =
+            std::thread::spawn(move || serve_with_epoch(&user, handler.as_ref(), &daemon_epoch));
+
+        let cmd = Command { api: ApiId(9), seq: 77, payload: Bytes::new() };
+        kernel.send(cmd.encode()).unwrap();
+        let first = Response::decode(&kernel.recv().unwrap()).unwrap();
+        assert_eq!(first.epoch, 0);
+        // Same seq, same epoch: replayed from cache, not re-executed.
+        kernel.send(cmd.encode()).unwrap();
+        let replay = Response::decode(&kernel.recv().unwrap()).unwrap();
+        assert_eq!(replay.epoch, 0);
+        assert_eq!(executions.load(Ordering::SeqCst), 1);
+        // Epoch bump (supervised restart): the retry must run for real and
+        // carry the live incarnation's stamp.
+        epoch.store(1, Ordering::Relaxed);
+        kernel.send(cmd.encode()).unwrap();
+        let reexec = Response::decode(&kernel.recv().unwrap()).unwrap();
+        assert_eq!(reexec.epoch, 1, "stale cached stamp would wedge the caller");
+        assert_eq!(executions.load(Ordering::SeqCst), 2, "new incarnation must re-execute");
+        drop(kernel);
+        daemon.join().unwrap();
+    }
 }
 
 #[cfg(test)]
@@ -1579,6 +1937,44 @@ mod proptests {
                 }
             }
             prop_assert!(executions.load(Ordering::SeqCst) >= oks);
+        }
+
+        /// Burst encode → daemon decode → per-entry dispatch → response
+        /// decode is a lossless round trip for arbitrary entry counts and
+        /// payload shapes: every entry comes back in order with its own
+        /// payload, regardless of how the batch is sliced into frames.
+        #[test]
+        fn burst_roundtrip_preserves_order_and_payloads(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..96),
+                1..24,
+            ),
+        ) {
+            let engine = CallEngine::in_process(
+                Mechanism::Mmap,
+                SharedClock::new(),
+                Arc::new(|api: ApiId, payload: &[u8]| -> Result<Bytes, Status> {
+                    // Echo payload tagged with the api id so a cross-wired
+                    // entry is detectable.
+                    let mut e = Encoder::new();
+                    e.put_u32(api.0);
+                    e.put_bytes(payload);
+                    Ok(e.finish())
+                }),
+            );
+            let entries: Vec<(ApiId, Bytes)> = payloads
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (ApiId(i as u32 + 1), Bytes::from(p.clone())))
+                .collect();
+            let results = engine.call_burst(entries);
+            prop_assert_eq!(results.len(), payloads.len());
+            for (i, (result, want)) in results.into_iter().zip(&payloads).enumerate() {
+                let got = result.expect("echo entry failed");
+                let mut d = crate::wire::Decoder::new(&got);
+                prop_assert_eq!(d.get_u32().unwrap() as usize, i + 1, "entry cross-wired");
+                prop_assert_eq!(d.get_bytes().unwrap(), &want[..]);
+            }
         }
     }
 }

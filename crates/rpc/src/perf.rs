@@ -60,6 +60,13 @@ impl PerfSnapshot {
             bytes_zero_copied: self.bytes_zero_copied.wrapping_sub(earlier.bytes_zero_copied),
         }
     }
+
+    /// Counter-wise difference against a later snapshot — the measurement
+    /// taken *after* `self`. `a.delta(&b)` reads as "what happened between
+    /// a and b"; equivalent to `b.since(&a)`.
+    pub fn delta(&self, later: &PerfSnapshot) -> PerfSnapshot {
+        later.since(self)
+    }
 }
 
 /// Reads the current counter values.
@@ -70,6 +77,18 @@ pub fn snapshot() -> PerfSnapshot {
         zero_copy_hits: ZERO_COPY_HITS.load(Ordering::Relaxed),
         bytes_zero_copied: BYTES_ZERO_COPIED.load(Ordering::Relaxed),
     }
+}
+
+/// Zeroes every counter — for bench harnesses that want absolute numbers
+/// per run instead of differencing snapshots.
+///
+/// Resets are racy against concurrent traffic by construction (the
+/// counters are process-wide); tests must keep using snapshot deltas.
+pub fn reset() {
+    BYTES_COPIED.store(0, Ordering::Relaxed);
+    COPIES.store(0, Ordering::Relaxed);
+    ZERO_COPY_HITS.store(0, Ordering::Relaxed);
+    BYTES_ZERO_COPIED.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -88,5 +107,26 @@ mod tests {
         assert!(d.copies >= 2);
         assert!(d.zero_copy_hits >= 1);
         assert!(d.bytes_zero_copied >= 4096);
+    }
+
+    #[test]
+    fn delta_is_since_reversed() {
+        let before = snapshot();
+        note_copy(64);
+        let after = snapshot();
+        assert_eq!(before.delta(&after), after.since(&before));
+        assert!(before.delta(&after).bytes_copied >= 64);
+    }
+
+    #[test]
+    fn reset_rebases_the_counters() {
+        note_copy(1);
+        reset();
+        // Concurrent tests may bump the counters between reset() and
+        // snapshot(); all we can assert is that the total dropped to (near)
+        // zero rather than keeping its full history. Generous bound: the
+        // whole suite copies far more than 16 MiB overall.
+        let s = snapshot();
+        assert!(s.bytes_copied < 16 * 1024 * 1024, "reset must rebase, got {s:?}");
     }
 }

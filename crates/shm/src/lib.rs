@@ -32,7 +32,9 @@
 #![warn(missing_docs)]
 
 mod allocator;
+mod carve;
 mod region;
 
 pub use allocator::{AllocStats, BestFitAllocator, OwnerTag};
+pub use carve::ShmCarve;
 pub use region::{ReclaimReport, ShmBuffer, ShmError, ShmRegion};

@@ -1,0 +1,71 @@
+//! Transport-level fault injection, factored out of the channel link so the
+//! same drop / corrupt / delay / duplicate model applies to every link type
+//! (mutex channel and shm ring alike).
+
+use std::sync::Arc;
+
+use lake_sim::{FaultPlan, FrameFault, Instant};
+
+/// What the fault layer decided about one outgoing frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The frame was silently dropped in flight; the sender still paid the
+    /// call time and cannot tell.
+    Dropped,
+    /// Deliver `copies` identical frames (2 models a duplicated frame).
+    Deliver {
+        /// Number of identical frames to enqueue.
+        copies: usize,
+    },
+}
+
+/// Per-link fault injection: an optional seeded [`FaultPlan`] consulted once
+/// per outgoing frame, mutating the payload/arrival the same way for every
+/// transport that carries it.
+#[derive(Debug, Clone, Default)]
+pub struct FaultLayer {
+    plan: Option<Arc<FaultPlan>>,
+}
+
+impl FaultLayer {
+    /// A layer injecting nothing.
+    pub fn none() -> Self {
+        FaultLayer { plan: None }
+    }
+
+    /// A layer driven by `plan` (shared across both directions of a link so
+    /// one seed determines the whole chaos run).
+    pub fn new(plan: Option<Arc<FaultPlan>>) -> Self {
+        FaultLayer { plan }
+    }
+
+    /// The underlying plan, if any.
+    pub fn plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.plan.as_ref()
+    }
+
+    /// Draws the next frame fault and applies it: corruption flips one bit
+    /// of `payload`, delay pushes `arrive_at` later. Returns whether (and
+    /// how many times) the frame should be enqueued.
+    pub fn apply(&self, payload: &mut [u8], arrive_at: &mut Instant) -> Delivery {
+        let Some(plan) = &self.plan else {
+            return Delivery::Deliver { copies: 1 };
+        };
+        match plan.next_frame_fault() {
+            FrameFault::Deliver => Delivery::Deliver { copies: 1 },
+            FrameFault::Drop => Delivery::Dropped,
+            FrameFault::Corrupt { bit } => {
+                if !payload.is_empty() {
+                    let bit = (bit as usize) % (payload.len() * 8);
+                    payload[bit / 8] ^= 1 << (bit % 8);
+                }
+                Delivery::Deliver { copies: 1 }
+            }
+            FrameFault::Delay(extra) => {
+                *arrive_at += extra;
+                Delivery::Deliver { copies: 1 }
+            }
+            FrameFault::Duplicate => Delivery::Deliver { copies: 2 },
+        }
+    }
+}

@@ -26,10 +26,16 @@
 
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod cost;
+pub mod fault;
 pub mod link;
 pub mod mechanism;
+pub mod ring;
 
+pub use channel::Channel;
 pub use cost::CostModel;
+pub use fault::{Delivery, FaultLayer};
 pub use link::{Link, LinkEndpoint, RecvError, SendError};
 pub use mechanism::Mechanism;
+pub use ring::{RingEndpoint, RingLink, RingStats, WaitStrategy, DEFAULT_RING_CAPACITY};

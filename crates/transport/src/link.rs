@@ -11,8 +11,9 @@ use std::fmt;
 use std::sync::Arc;
 
 use crossbeam::channel::{self, Receiver, Sender};
-use lake_sim::{FaultPlan, FrameFault, Instant, SharedClock};
+use lake_sim::{FaultPlan, Instant, SharedClock};
 
+use crate::fault::{Delivery, FaultLayer};
 use crate::mechanism::Mechanism;
 
 /// A message in flight: virtual arrival time plus payload.
@@ -53,7 +54,7 @@ pub struct LinkEndpoint {
     clock: SharedClock,
     tx: Sender<Envelope>,
     rx: Receiver<Envelope>,
-    faults: Option<Arc<FaultPlan>>,
+    faults: FaultLayer,
 }
 
 impl LinkEndpoint {
@@ -73,27 +74,17 @@ impl LinkEndpoint {
         let sent_at = self.clock.advance(self.mechanism.call_time());
         let mut arrive_at = sent_at + self.mechanism.one_way(payload.len());
         let mut payload = payload;
-        let mut copies = 1usize;
-        if let Some(plan) = &self.faults {
-            match plan.next_frame_fault() {
-                FrameFault::Deliver => {}
-                FrameFault::Drop => return Ok(arrive_at),
-                FrameFault::Corrupt { bit } => {
-                    if !payload.is_empty() {
-                        let bit = (bit as usize) % (payload.len() * 8);
-                        payload[bit / 8] ^= 1 << (bit % 8);
-                    }
+        match self.faults.apply(&mut payload, &mut arrive_at) {
+            Delivery::Dropped => Ok(arrive_at),
+            Delivery::Deliver { copies } => {
+                for _ in 0..copies {
+                    self.tx
+                        .send(Envelope { arrive_at, payload: payload.clone() })
+                        .map_err(|e| SendError(e.into_inner().payload))?;
                 }
-                FrameFault::Delay(extra) => arrive_at += extra,
-                FrameFault::Duplicate => copies = 2,
+                Ok(arrive_at)
             }
         }
-        for _ in 0..copies {
-            self.tx
-                .send(Envelope { arrive_at, payload: payload.clone() })
-                .map_err(|e| SendError(e.into_inner().payload))?;
-        }
-        Ok(arrive_at)
     }
 
     /// Blocks until a message arrives, advances this side's clock to the
@@ -149,7 +140,7 @@ impl LinkEndpoint {
 
     /// The fault plan injecting on this endpoint's sends, if any.
     pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
-        self.faults.as_ref()
+        self.faults.plan()
     }
 
     /// The mechanism this link models.
@@ -193,14 +184,15 @@ impl Link {
     ) -> (LinkEndpoint, LinkEndpoint) {
         let (tx_ku, rx_ku) = channel::unbounded();
         let (tx_uk, rx_uk) = channel::unbounded();
+        let layer = FaultLayer::new(faults);
         let kernel = LinkEndpoint {
             mechanism,
             clock: clock.clone(),
             tx: tx_ku,
             rx: rx_uk,
-            faults: faults.clone(),
+            faults: layer.clone(),
         };
-        let user = LinkEndpoint { mechanism, clock, tx: tx_uk, rx: rx_ku, faults };
+        let user = LinkEndpoint { mechanism, clock, tx: tx_uk, rx: rx_ku, faults: layer };
         (kernel, user)
     }
 }

@@ -1,0 +1,1061 @@
+//! Lock-free SPSC ring transport over shared-memory pages.
+//!
+//! Table 2 shows the mmap'd-page channel at ~6 µs doorbell latency versus
+//! Netlink's ~54 µs — the price being "mmap burns a core" polling. This
+//! module builds that channel for real: a pair of single-producer /
+//! single-consumer byte rings carved out of a [`lake_shm::ShmRegion`]
+//! (one per direction), cache-line-padded head/tail atomics, power-of-two
+//! capacity, variable-length records with wrap markers, and an **adaptive
+//! doorbell** that makes the burn-a-core tradeoff tunable:
+//!
+//! * [`WaitStrategy::Spin`] — pure polling (lowest latency, hot core);
+//! * [`WaitStrategy::Adaptive`] — bounded spin, then `yield_now`, then park
+//!   on a condvar the producer only signals after observing the parked flag;
+//! * [`WaitStrategy::Park`] — park immediately (lowest CPU, wake per frame).
+//!
+//! Record layout (offsets always 4-byte aligned):
+//!
+//! ```text
+//! [len: u32 LE][arrive_at_ns: u64 LE][payload bytes][pad to 4]
+//! len == u32::MAX is a wrap marker: the rest of the span to the top of the
+//! ring is dead; the next record starts at offset 0.
+//! ```
+//!
+//! The ring frames carry the same virtual-arrival stamps as the channel
+//! [`crate::Link`], and sends run through the same [`FaultLayer`], so chaos
+//! plans and the cost model behave identically on either transport.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use lake_shm::{ShmCarve, ShmError, ShmRegion};
+use lake_sim::{FaultPlan, Instant, SharedClock};
+
+use crate::channel::Channel;
+use crate::fault::{Delivery, FaultLayer};
+use crate::link::{RecvError, SendError};
+use crate::mechanism::Mechanism;
+
+/// Default per-direction ring capacity in bytes.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+/// Record header: payload length (u32) + virtual arrival nanos (u64).
+const HEADER_BYTES: usize = 12;
+/// Records are padded so every header lands 4-byte aligned.
+const RECORD_ALIGN: u64 = 4;
+/// `len` value marking the rest of the ring span as dead (wrap to 0).
+const WRAP_MARKER: u32 = u32::MAX;
+
+/// Busy-poll iterations before an adaptive consumer starts yielding.
+const SPIN_BUDGET: u32 = 256;
+
+/// Spin budget actually applied, calibrated once per process: busy-polling
+/// only helps when the producer can run *simultaneously*, so hosts without
+/// spare parallelism get a zero budget and consumers escalate straight to
+/// yielding — on a uniprocessor every spin iteration is stolen from the
+/// very thread that would publish the frame.
+fn host_spin_budget() -> u32 {
+    static BUDGET: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => SPIN_BUDGET,
+        _ => 0,
+    })
+}
+/// `yield_now` rounds before an adaptive consumer parks.
+const YIELD_BUDGET: u32 = 32;
+/// Upper bound on one condvar park; re-checks emptiness after, so a lost
+/// doorbell can only cost one slice.
+const PARK_SLICE: std::time::Duration = std::time::Duration::from_micros(500);
+/// Wall-clock bound on waiting for the peer consumer to acknowledge a
+/// requested drain during ring re-creation.
+const DRAIN_PATIENCE: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// How a ring consumer waits for the doorbell (Table 2's latency-vs-CPU
+/// tradeoff as a tunable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WaitStrategy {
+    /// Busy-poll forever: mmap's 6 µs doorbell, one core burned.
+    Spin,
+    /// Spin a bounded budget, then yield, then park on the doorbell
+    /// condvar. The default: near-spin latency on a busy link, near-park
+    /// CPU on an idle one.
+    #[default]
+    Adaptive,
+    /// Park immediately; every frame pays a wake.
+    Park,
+}
+
+impl WaitStrategy {
+    /// All strategies, for matrix sweeps.
+    pub const ALL: [WaitStrategy; 3] =
+        [WaitStrategy::Spin, WaitStrategy::Adaptive, WaitStrategy::Park];
+
+    /// Short lower-case name (`spin` / `adaptive` / `park`).
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitStrategy::Spin => "spin",
+            WaitStrategy::Adaptive => "adaptive",
+            WaitStrategy::Park => "park",
+        }
+    }
+}
+
+impl fmt::Display for WaitStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for WaitStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "spin" => Ok(WaitStrategy::Spin),
+            "adaptive" => Ok(WaitStrategy::Adaptive),
+            "park" => Ok(WaitStrategy::Park),
+            other => Err(format!("unknown wait strategy {other:?} (spin|adaptive|park)")),
+        }
+    }
+}
+
+/// Counter snapshot over both directions of a [`RingLink`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Condvar doorbells the producers actually rang (a signal is only
+    /// sent after observing the consumer's parked flag).
+    pub doorbells: u64,
+    /// Busy-poll iterations consumers spent waiting.
+    pub spins: u64,
+    /// `yield_now` rounds consumers spent waiting.
+    pub yields: u64,
+    /// Times a consumer parked on the doorbell condvar.
+    pub parks: u64,
+    /// Spin→park transitions (adaptive consumers exhausting both budgets).
+    pub spin_to_park: u64,
+    /// Ring re-creations (teardown + drain across daemon restarts).
+    pub recreations: u64,
+    /// Bytes discarded by restart-time drains.
+    pub bytes_drained: u64,
+}
+
+/// One direction of the link: a lock-free SPSC byte ring.
+///
+/// `head`/`tail` are monotonically increasing byte cursors (masked on
+/// access), each alone on its cache line so producer and consumer don't
+/// false-share.
+struct RingCore {
+    carve: Arc<ShmCarve>,
+    capacity: u64,
+    mask: u64,
+    head: CachePadded<AtomicU64>,
+    tail: CachePadded<AtomicU64>,
+    /// Set while the consumer is (about to be) parked; the producer only
+    /// takes the doorbell mutex when it observes this.
+    consumer_parked: AtomicBool,
+    producer_closed: AtomicBool,
+    consumer_closed: AtomicBool,
+    /// Drain request/acknowledge generations for restart-time teardown:
+    /// the producer side bumps `drain_seq`; the consumer discards
+    /// everything queued and echoes it into `drain_ack`.
+    drain_seq: AtomicU64,
+    drain_ack: AtomicU64,
+    doorbell_mutex: Mutex<()>,
+    doorbell: Condvar,
+    doorbells: AtomicU64,
+    spins: AtomicU64,
+    yields: AtomicU64,
+    parks: AtomicU64,
+    spin_to_park: AtomicU64,
+    bytes_drained: AtomicU64,
+}
+
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+impl RingCore {
+    fn new(carve: Arc<ShmCarve>) -> Self {
+        let capacity = carve.len() as u64;
+        assert!(capacity.is_power_of_two() && capacity >= 64, "ring capacity: power of two >= 64");
+        RingCore {
+            carve,
+            capacity,
+            mask: capacity - 1,
+            head: CachePadded(AtomicU64::new(0)),
+            tail: CachePadded(AtomicU64::new(0)),
+            consumer_parked: AtomicBool::new(false),
+            producer_closed: AtomicBool::new(false),
+            consumer_closed: AtomicBool::new(false),
+            drain_seq: AtomicU64::new(0),
+            drain_ack: AtomicU64::new(0),
+            doorbell_mutex: Mutex::new(()),
+            doorbell: Condvar::new(),
+            doorbells: AtomicU64::new(0),
+            spins: AtomicU64::new(0),
+            yields: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            spin_to_park: AtomicU64::new(0),
+            bytes_drained: AtomicU64::new(0),
+        }
+    }
+
+    fn record_len(payload_len: usize) -> u64 {
+        ((HEADER_BYTES + payload_len) as u64 + RECORD_ALIGN - 1) & !(RECORD_ALIGN - 1)
+    }
+
+    /// Publishes one record; busy-waits (with yields) while the ring is
+    /// full. Fails only if the consumer side is gone.
+    ///
+    /// Caller must be the sole producer (the endpoint's send lock).
+    fn push(&self, payload: &[u8], arrive_at_ns: u64) -> Result<(), ()> {
+        let rec = Self::record_len(payload.len());
+        assert!(
+            rec + RECORD_ALIGN < self.capacity,
+            "frame of {} bytes exceeds ring capacity {}",
+            payload.len(),
+            self.capacity
+        );
+        let base = self.carve.as_ptr();
+        loop {
+            if self.consumer_closed.load(Ordering::Acquire) {
+                return Err(());
+            }
+            let tail = self.tail.0.load(Ordering::Relaxed);
+            let head = self.head.0.load(Ordering::Acquire);
+            let off = tail & self.mask;
+            let to_end = self.capacity - off;
+            // A record never wraps mid-bytes: if it doesn't fit contiguously
+            // the span to the top is sacrificed behind a wrap marker.
+            let needed = if to_end < rec { to_end + rec } else { rec };
+            if self.capacity - tail.wrapping_sub(head) < needed {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+                continue;
+            }
+            unsafe {
+                let mut start = tail;
+                if to_end < rec {
+                    // to_end is 4-aligned and > 0, so the marker always fits.
+                    base.add(off as usize).cast::<u32>().write_unaligned(WRAP_MARKER.to_le());
+                    start = tail + to_end;
+                }
+                let o = (start & self.mask) as usize;
+                base.add(o).cast::<u32>().write_unaligned((payload.len() as u32).to_le());
+                base.add(o + 4).cast::<u64>().write_unaligned(arrive_at_ns.to_le());
+                std::ptr::copy_nonoverlapping(
+                    payload.as_ptr(),
+                    base.add(o + HEADER_BYTES),
+                    payload.len(),
+                );
+                self.tail.0.store(start + rec, Ordering::Release);
+            }
+            fence(Ordering::SeqCst);
+            self.ring_doorbell();
+            return Ok(());
+        }
+    }
+
+    /// Signals the doorbell iff the consumer advertised it is parked.
+    fn ring_doorbell(&self) {
+        if self.consumer_parked.swap(false, Ordering::SeqCst) {
+            // Taking the mutex orders this signal after the consumer has
+            // either entered the wait or re-checked under the same lock.
+            drop(self.doorbell_mutex.lock().unwrap());
+            self.doorbell.notify_all();
+            self.doorbells.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Services a pending restart drain, then pops one record if present.
+    ///
+    /// Caller must be the sole consumer (the endpoint's recv lock).
+    fn try_pop(&self) -> Option<(Vec<u8>, u64)> {
+        self.service_drain();
+        let base = self.carve.as_ptr();
+        loop {
+            let head = self.head.0.load(Ordering::Relaxed);
+            let tail = self.tail.0.load(Ordering::Acquire);
+            if head == tail {
+                return None;
+            }
+            let off = (head & self.mask) as usize;
+            let len = u32::from_le(unsafe { base.add(off).cast::<u32>().read_unaligned() });
+            if len == WRAP_MARKER {
+                self.head.0.store(head + (self.capacity - off as u64), Ordering::Release);
+                continue;
+            }
+            let arrive = u64::from_le(unsafe { base.add(off + 4).cast::<u64>().read_unaligned() });
+            let len = len as usize;
+            let mut payload = vec![0u8; len];
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    base.add(off + HEADER_BYTES),
+                    payload.as_mut_ptr(),
+                    len,
+                );
+            }
+            self.head.0.store(head + Self::record_len(len), Ordering::Release);
+            return Some((payload, arrive));
+        }
+    }
+
+    /// If the producer side requested a drain (daemon restart), discard
+    /// everything queued and acknowledge.
+    fn service_drain(&self) {
+        let req = self.drain_seq.load(Ordering::Acquire);
+        if req != self.drain_ack.load(Ordering::Relaxed) {
+            self.discard_all();
+            self.drain_ack.store(req, Ordering::Release);
+        }
+    }
+
+    /// Consumer-side wholesale discard (restart teardown).
+    fn discard_all(&self) {
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let head = self.head.0.load(Ordering::Relaxed);
+        if tail != head {
+            self.bytes_drained.fetch_add(tail.wrapping_sub(head), Ordering::Relaxed);
+            self.head.0.store(tail, Ordering::Release);
+        }
+    }
+
+    /// Producer-side drain request: asks the peer consumer to discard all
+    /// queued frames and waits (bounded) for the acknowledgement. The flag
+    /// persists, so even on patience expiry the drain happens before the
+    /// consumer's next pop.
+    fn request_drain(&self) {
+        let target = self.drain_seq.fetch_add(1, Ordering::AcqRel) + 1;
+        let deadline = std::time::Instant::now() + DRAIN_PATIENCE;
+        while self.drain_ack.load(Ordering::Acquire) < target {
+            if self.consumer_closed.load(Ordering::Acquire) {
+                // No consumer will ever ack; discard on its behalf.
+                self.discard_all();
+                self.drain_ack.store(target, Ordering::Release);
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                break;
+            }
+            self.ring_doorbell();
+            std::thread::yield_now();
+        }
+    }
+
+    fn has_data_or_drain(&self) -> bool {
+        self.head.0.load(Ordering::Relaxed) != self.tail.0.load(Ordering::Acquire)
+            || self.drain_seq.load(Ordering::Acquire) != self.drain_ack.load(Ordering::Relaxed)
+    }
+}
+
+/// The two directions plus link-wide counters, shared by both endpoints.
+struct RingShared {
+    a2b: RingCore,
+    b2a: RingCore,
+    recreations: AtomicU64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    A,
+    B,
+}
+
+/// Closes this side's producer/consumer roles once the *last* clone of the
+/// endpoint drops, waking any parked or polling peer.
+struct SideGuard {
+    shared: Arc<RingShared>,
+    side: Side,
+}
+
+impl Drop for SideGuard {
+    fn drop(&mut self) {
+        let (tx, rx) = match self.side {
+            Side::A => (&self.shared.a2b, &self.shared.b2a),
+            Side::B => (&self.shared.b2a, &self.shared.a2b),
+        };
+        tx.producer_closed.store(true, Ordering::Release);
+        rx.consumer_closed.store(true, Ordering::Release);
+        fence(Ordering::SeqCst);
+        // Wake the peer consumer so a blocking recv observes the close.
+        tx.ring_doorbell();
+        drop(tx.doorbell_mutex.lock().unwrap());
+        tx.doorbell.notify_all();
+    }
+}
+
+/// One side of a [`RingLink`] — a drop-in alternative to
+/// [`crate::LinkEndpoint`] with the same virtual-time and fault semantics.
+///
+/// Cloning shares the same ring (all clones are the one logical side; an
+/// internal send/recv lock serializes them so the SPSC invariant holds).
+/// The link closes when the last clone of a side drops.
+#[derive(Clone)]
+pub struct RingEndpoint {
+    mechanism: Mechanism,
+    clock: SharedClock,
+    shared: Arc<RingShared>,
+    side: Side,
+    strategy: WaitStrategy,
+    faults: FaultLayer,
+    send_lock: Arc<Mutex<()>>,
+    recv_lock: Arc<Mutex<()>>,
+    _guard: Arc<SideGuard>,
+}
+
+impl fmt::Debug for RingEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RingEndpoint")
+            .field("mechanism", &self.mechanism)
+            .field("side", &self.side)
+            .field("strategy", &self.strategy)
+            .finish()
+    }
+}
+
+impl RingEndpoint {
+    fn tx_core(&self) -> &RingCore {
+        match self.side {
+            Side::A => &self.shared.a2b,
+            Side::B => &self.shared.b2a,
+        }
+    }
+
+    fn rx_core(&self) -> &RingCore {
+        match self.side {
+            Side::A => &self.shared.b2a,
+            Side::B => &self.shared.a2b,
+        }
+    }
+
+    /// Sends `payload` to the peer, charging the mechanism call time;
+    /// returns the virtual arrival instant. Same contract (and fault
+    /// behavior) as [`crate::LinkEndpoint::send`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] if the peer side has been dropped.
+    pub fn send(&self, payload: Vec<u8>) -> Result<Instant, SendError> {
+        let _g = self.send_lock.lock().unwrap();
+        let sent_at = self.clock.advance(self.mechanism.call_time());
+        let mut arrive_at = sent_at + self.mechanism.one_way(payload.len());
+        let mut payload = payload;
+        match self.faults.apply(&mut payload, &mut arrive_at) {
+            Delivery::Dropped => Ok(arrive_at),
+            Delivery::Deliver { copies } => {
+                for _ in 0..copies {
+                    if self.tx_core().push(&payload, arrive_at.as_nanos()).is_err() {
+                        return Err(SendError(payload));
+                    }
+                }
+                Ok(arrive_at)
+            }
+        }
+    }
+
+    /// Blocks (per the wait strategy) until a frame arrives; advances the
+    /// clock to its virtual arrival.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the peer is gone and the ring is empty.
+    pub fn recv(&self) -> Result<Vec<u8>, RecvError> {
+        let _g = self.recv_lock.lock().unwrap();
+        match self.wait_recv(None)? {
+            Some((payload, arrive)) => {
+                self.clock.advance_to(Instant::from_nanos(arrive));
+                Ok(payload)
+            }
+            None => unreachable!("unbounded wait_recv only returns with data or an error"),
+        }
+    }
+
+    /// Non-blocking receive; `Ok(None)` when the ring is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the peer is gone and the ring is empty.
+    pub fn try_recv(&self) -> Result<Option<Vec<u8>>, RecvError> {
+        let _g = self.recv_lock.lock().unwrap();
+        if let Some((payload, arrive)) = self.rx_core().try_pop() {
+            self.clock.advance_to(Instant::from_nanos(arrive));
+            return Ok(Some(payload));
+        }
+        if self.rx_core().producer_closed.load(Ordering::Acquire) {
+            // Close raced a publish: one last look.
+            if let Some((payload, arrive)) = self.rx_core().try_pop() {
+                self.clock.advance_to(Instant::from_nanos(arrive));
+                return Ok(Some(payload));
+            }
+            return Err(RecvError);
+        }
+        Ok(None)
+    }
+
+    /// Receive bounded by *wall-clock* `timeout`; `Ok(None)` on silence.
+    /// Virtual time is untouched on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] once the peer is gone and the ring is empty.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Vec<u8>>, RecvError> {
+        let _g = self.recv_lock.lock().unwrap();
+        match self.wait_recv(Some(std::time::Instant::now() + timeout))? {
+            Some((payload, arrive)) => {
+                self.clock.advance_to(Instant::from_nanos(arrive));
+                Ok(Some(payload))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// The wait-strategy state machine. Caller holds the recv lock.
+    fn wait_recv(
+        &self,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Option<(Vec<u8>, u64)>, RecvError> {
+        let core = self.rx_core();
+        let mut spins = 0u32;
+        let mut yields = 0u32;
+        loop {
+            if let Some(rec) = core.try_pop() {
+                return Ok(Some(rec));
+            }
+            if core.producer_closed.load(Ordering::Acquire) {
+                // Close raced a publish: one last look.
+                if let Some(rec) = core.try_pop() {
+                    return Ok(Some(rec));
+                }
+                return Err(RecvError);
+            }
+            if let Some(d) = deadline {
+                if std::time::Instant::now() >= d {
+                    return Ok(None);
+                }
+            }
+            match self.strategy {
+                WaitStrategy::Spin => {
+                    core.spins.fetch_add(1, Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    // Stay scheduler-friendly on oversubscribed hosts while
+                    // still never parking; with a zero host budget every
+                    // iteration yields the core to the producer.
+                    let budget = host_spin_budget().max(1);
+                    if spins % budget == budget - 1 {
+                        std::thread::yield_now();
+                    }
+                    spins = spins.wrapping_add(1);
+                }
+                WaitStrategy::Adaptive => {
+                    if spins < host_spin_budget() {
+                        spins += 1;
+                        core.spins.fetch_add(1, Ordering::Relaxed);
+                        std::hint::spin_loop();
+                    } else if yields < YIELD_BUDGET {
+                        yields += 1;
+                        core.yields.fetch_add(1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                    } else {
+                        core.spin_to_park.fetch_add(1, Ordering::Relaxed);
+                        self.park(core, deadline);
+                        spins = 0;
+                        yields = 0;
+                    }
+                }
+                WaitStrategy::Park => self.park(core, deadline),
+            }
+        }
+    }
+
+    /// Parks on the doorbell condvar. The parked flag is advertised
+    /// *before* the final emptiness check (both under the doorbell mutex
+    /// the producer signals through), so a publish either shows up in the
+    /// check or triggers a doorbell — never neither.
+    fn park(&self, core: &RingCore, deadline: Option<std::time::Instant>) {
+        let slice = match deadline {
+            Some(d) => {
+                let left = d.saturating_duration_since(std::time::Instant::now());
+                if left.is_zero() {
+                    return;
+                }
+                left.min(PARK_SLICE)
+            }
+            None => PARK_SLICE,
+        };
+        let guard = core.doorbell_mutex.lock().unwrap();
+        core.consumer_parked.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if core.has_data_or_drain() || core.producer_closed.load(Ordering::Acquire) {
+            core.consumer_parked.store(false, Ordering::SeqCst);
+            return;
+        }
+        core.parks.fetch_add(1, Ordering::Relaxed);
+        let (_guard, _timed_out) = core.doorbell.wait_timeout(guard, slice).unwrap();
+        core.consumer_parked.store(false, Ordering::SeqCst);
+    }
+
+    /// Tears the ring down across a daemon restart: discards every queued
+    /// frame in *both* directions (stale commands from the dead epoch and
+    /// responses nobody can un-fence) and counts a re-creation. Our
+    /// incoming direction is drained directly as its consumer; the
+    /// outgoing direction is drained cooperatively by the peer's consumer
+    /// via a drain-request generation, waited on bounded.
+    pub fn reset(&self) {
+        {
+            let _g = self.recv_lock.lock().unwrap();
+            self.rx_core().discard_all();
+        }
+        self.tx_core().request_drain();
+        self.shared.recreations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot over both directions.
+    pub fn stats(&self) -> RingStats {
+        let sum = |f: fn(&RingCore) -> &AtomicU64| {
+            f(&self.shared.a2b).load(Ordering::Relaxed)
+                + f(&self.shared.b2a).load(Ordering::Relaxed)
+        };
+        RingStats {
+            doorbells: sum(|c| &c.doorbells),
+            spins: sum(|c| &c.spins),
+            yields: sum(|c| &c.yields),
+            parks: sum(|c| &c.parks),
+            spin_to_park: sum(|c| &c.spin_to_park),
+            recreations: self.shared.recreations.load(Ordering::Relaxed),
+            bytes_drained: sum(|c| &c.bytes_drained),
+        }
+    }
+
+    /// The wait strategy this side's consumer uses.
+    pub fn strategy(&self) -> WaitStrategy {
+        self.strategy
+    }
+
+    /// The fault plan injecting on this side's sends, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.plan()
+    }
+
+    /// The mechanism this link models.
+    pub fn mechanism(&self) -> Mechanism {
+        self.mechanism
+    }
+
+    /// The shared virtual clock this endpoint charges.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+}
+
+impl Channel for RingEndpoint {
+    fn send(&self, payload: Vec<u8>) -> Result<Instant, SendError> {
+        RingEndpoint::send(self, payload)
+    }
+
+    fn recv(&self) -> Result<Vec<u8>, RecvError> {
+        RingEndpoint::recv(self)
+    }
+
+    fn try_recv(&self) -> Result<Option<Vec<u8>>, RecvError> {
+        RingEndpoint::try_recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Vec<u8>>, RecvError> {
+        RingEndpoint::recv_timeout(self, timeout)
+    }
+
+    fn mechanism(&self) -> Mechanism {
+        RingEndpoint::mechanism(self)
+    }
+
+    fn clock(&self) -> &SharedClock {
+        RingEndpoint::clock(self)
+    }
+
+    fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        RingEndpoint::fault_plan(self)
+    }
+}
+
+/// A bidirectional kernel↔user link over two shm rings.
+#[derive(Debug)]
+pub struct RingLink;
+
+impl RingLink {
+    /// Creates a connected pair (kernel side, user side) over rings carved
+    /// from a fresh dedicated region, with [`DEFAULT_RING_CAPACITY`] per
+    /// direction.
+    pub fn pair(
+        mechanism: Mechanism,
+        clock: SharedClock,
+        strategy: WaitStrategy,
+    ) -> (RingEndpoint, RingEndpoint) {
+        Self::pair_with(mechanism, clock, strategy, None)
+    }
+
+    /// Like [`RingLink::pair`], with both directions subjected to `plan`'s
+    /// drop / corrupt / delay / duplicate faults (shared counters, one
+    /// seed per chaos run — identical to [`crate::Link::pair_with_faults`]).
+    pub fn pair_with_faults(
+        mechanism: Mechanism,
+        clock: SharedClock,
+        strategy: WaitStrategy,
+        plan: Arc<FaultPlan>,
+    ) -> (RingEndpoint, RingEndpoint) {
+        Self::pair_with(mechanism, clock, strategy, Some(plan))
+    }
+
+    fn pair_with(
+        mechanism: Mechanism,
+        clock: SharedClock,
+        strategy: WaitStrategy,
+        plan: Option<Arc<FaultPlan>>,
+    ) -> (RingEndpoint, RingEndpoint) {
+        let region = ShmRegion::with_capacity(2 * DEFAULT_RING_CAPACITY + 4096);
+        Self::pair_in(&region, mechanism, clock, DEFAULT_RING_CAPACITY, strategy, plan)
+            .expect("fresh region always fits two default rings")
+    }
+
+    /// Carves both directions (`capacity` bytes each, power of two) out of
+    /// `region` and returns the connected pair (kernel side, user side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::OutOfMemory`] if the region cannot fit the two
+    /// carves.
+    pub fn pair_in(
+        region: &ShmRegion,
+        mechanism: Mechanism,
+        clock: SharedClock,
+        capacity: usize,
+        strategy: WaitStrategy,
+        plan: Option<Arc<FaultPlan>>,
+    ) -> Result<(RingEndpoint, RingEndpoint), ShmError> {
+        let a2b = Arc::new(region.carve(capacity)?);
+        let b2a = Arc::new(region.carve(capacity)?);
+        let shared = Arc::new(RingShared {
+            a2b: RingCore::new(a2b),
+            b2a: RingCore::new(b2a),
+            recreations: AtomicU64::new(0),
+        });
+        let faults = FaultLayer::new(plan);
+        let make = |side: Side| RingEndpoint {
+            mechanism,
+            clock: clock.clone(),
+            shared: shared.clone(),
+            side,
+            strategy,
+            faults: faults.clone(),
+            send_lock: Arc::new(Mutex::new(())),
+            recv_lock: Arc::new(Mutex::new(())),
+            _guard: Arc::new(SideGuard { shared: shared.clone(), side }),
+        };
+        Ok((make(Side::A), make(Side::B)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake_sim::SharedClock;
+
+    fn pair(strategy: WaitStrategy) -> (RingEndpoint, RingEndpoint) {
+        RingLink::pair(Mechanism::Mmap, SharedClock::new(), strategy)
+    }
+
+    #[test]
+    fn send_recv_roundtrip_charges_virtual_time() {
+        let clock = SharedClock::new();
+        let (k, u) = RingLink::pair(Mechanism::Mmap, clock.clone(), WaitStrategy::Adaptive);
+        k.send(b"ping".to_vec()).unwrap();
+        assert_eq!(u.recv().unwrap(), b"ping");
+        u.send(b"pong".to_vec()).unwrap();
+        assert_eq!(k.recv().unwrap(), b"pong");
+        // Two call times elapsed at minimum.
+        assert!(clock.now() >= Instant::EPOCH + Mechanism::Mmap.call_time() * 2);
+    }
+
+    #[test]
+    fn messages_preserve_fifo_order() {
+        let (k, u) = pair(WaitStrategy::Spin);
+        for i in 0..100u8 {
+            k.send(vec![i; (i as usize % 7) + 1]).unwrap();
+        }
+        for i in 0..100u8 {
+            assert_eq!(u.recv().unwrap(), vec![i; (i as usize % 7) + 1]);
+        }
+    }
+
+    #[test]
+    fn wraps_cleanly_past_the_ring_top() {
+        let clock = SharedClock::new();
+        let region = ShmRegion::with_capacity(8192);
+        let (k, u) =
+            RingLink::pair_in(&region, Mechanism::Mmap, clock, 1024, WaitStrategy::Spin, None)
+                .unwrap();
+        // Frames sized to hit every wrap alignment over many laps.
+        let consumer = std::thread::spawn(move || {
+            for i in 0..5000usize {
+                let want = vec![(i % 251) as u8; 1 + (i * 13) % 200];
+                assert_eq!(u.recv().unwrap(), want, "frame {i}");
+            }
+        });
+        for i in 0..5000usize {
+            k.send(vec![(i % 251) as u8; 1 + (i * 13) % 200]).unwrap();
+        }
+        consumer.join().unwrap();
+    }
+
+    #[test]
+    fn try_recv_empty_and_disconnect_semantics() {
+        let (k, u) = pair(WaitStrategy::Adaptive);
+        assert_eq!(u.try_recv().unwrap(), None);
+        k.send(vec![7]).unwrap();
+        assert_eq!(u.try_recv().unwrap(), Some(vec![7]));
+        drop(k);
+        assert_eq!(u.try_recv(), Err(RecvError));
+        assert_eq!(u.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn dropped_consumer_fails_sends() {
+        let (k, u) = pair(WaitStrategy::Adaptive);
+        drop(u);
+        assert!(k.send(vec![1]).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_reports_silence_without_advancing_clock() {
+        for strategy in WaitStrategy::ALL {
+            let clock = SharedClock::new();
+            let (_k, u) = RingLink::pair(Mechanism::Mmap, clock.clone(), strategy);
+            let t0 = clock.now();
+            let got = u.recv_timeout(std::time::Duration::from_millis(3)).unwrap();
+            assert_eq!(got, None);
+            assert_eq!(clock.now(), t0, "timeout must not advance virtual time ({strategy})");
+        }
+    }
+
+    #[test]
+    fn parked_consumer_is_woken_by_doorbell() {
+        let (k, u) = pair(WaitStrategy::Park);
+        let waiter = std::thread::spawn(move || u.recv().unwrap());
+        // Give the consumer time to park, then publish.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        k.send(b"wake".to_vec()).unwrap();
+        assert_eq!(waiter.join().unwrap(), b"wake");
+        let s = k.stats();
+        assert!(s.parks >= 1, "consumer should have parked: {s:?}");
+    }
+
+    #[test]
+    fn adaptive_transitions_spin_to_park_when_idle() {
+        let (k, u) = pair(WaitStrategy::Adaptive);
+        let waiter = std::thread::spawn(move || u.recv().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        k.send(vec![1]).unwrap();
+        waiter.join().unwrap();
+        let s = k.stats();
+        // The busy phase is spins on multicore hosts but pure yields when
+        // the calibrated spin budget is zero (uniprocessor).
+        assert!(
+            s.spins + s.yields > 0 && s.spin_to_park >= 1,
+            "idle adaptive must escalate: {s:?}"
+        );
+    }
+
+    #[test]
+    fn faulty_ring_corrupts_exactly_one_bit() {
+        use lake_sim::{FaultPlan, FaultSpec};
+        let plan =
+            Arc::new(FaultPlan::new(FaultSpec { corrupt_prob: 1.0, ..Default::default() }, 5));
+        let (k, u) = RingLink::pair_with_faults(
+            Mechanism::Mmap,
+            SharedClock::new(),
+            WaitStrategy::Spin,
+            plan,
+        );
+        let original = vec![0xAAu8; 16];
+        k.send(original.clone()).unwrap();
+        let got = u.recv().unwrap();
+        let flipped: u32 = original.iter().zip(&got).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit must differ");
+    }
+
+    #[test]
+    fn faulty_ring_drops_and_duplicates_with_shared_counters() {
+        use lake_sim::{FaultPlan, FaultSpec};
+        let plan = Arc::new(FaultPlan::new(FaultSpec { drop_prob: 0.5, ..Default::default() }, 11));
+        let (k, u) = RingLink::pair_with_faults(
+            Mechanism::Mmap,
+            SharedClock::new(),
+            WaitStrategy::Spin,
+            plan.clone(),
+        );
+        for i in 0..200u8 {
+            k.send(vec![i; 4]).unwrap();
+        }
+        let mut delivered = 0u64;
+        while u.try_recv().unwrap().is_some() {
+            delivered += 1;
+        }
+        let c = plan.counters();
+        assert_eq!(delivered + c.drops, 200);
+        assert!(c.drops > 50, "expected ~100 drops, got {}", c.drops);
+    }
+
+    #[test]
+    fn reset_discards_both_directions_and_counts_recreation() {
+        let (k, u) = pair(WaitStrategy::Adaptive);
+        k.send(vec![1; 64]).unwrap(); // stale command
+        u.send(vec![2; 64]).unwrap(); // stale response
+        k.reset();
+        // Outgoing direction is drained by the peer's consumer on its next
+        // pop even if the bounded wait elapsed first.
+        assert_eq!(u.try_recv().unwrap(), None, "stale command must be gone");
+        assert_eq!(k.try_recv().unwrap(), None, "stale response must be gone");
+        // Post-reset traffic flows normally.
+        k.send(b"fresh".to_vec()).unwrap();
+        assert_eq!(u.recv().unwrap(), b"fresh");
+        let s = k.stats();
+        assert_eq!(s.recreations, 1);
+        assert!(s.bytes_drained > 0);
+    }
+
+    #[test]
+    fn reset_completes_while_peer_consumer_is_parked() {
+        let (k, u) = pair(WaitStrategy::Park);
+        k.send(vec![9; 32]).unwrap();
+        let server = std::thread::spawn(move || {
+            // Consume one frame, then park awaiting more; the drain request
+            // must wake us, be serviced inside recv's wait loop, and leave
+            // the post-reset frame as the next delivery.
+            let first = u.recv().unwrap();
+            let second = u.recv().unwrap();
+            (first, second)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        k.reset(); // handshakes with a parked consumer without deadlocking
+        k.send(b"after".to_vec()).unwrap();
+        let (first, second) = server.join().unwrap();
+        assert_eq!(first, vec![9; 32]);
+        assert_eq!(second, b"after", "post-reset frame must be the next delivery");
+    }
+
+    #[test]
+    fn wait_strategy_parses_from_str() {
+        assert_eq!("spin".parse::<WaitStrategy>().unwrap(), WaitStrategy::Spin);
+        assert_eq!(" Adaptive ".parse::<WaitStrategy>().unwrap(), WaitStrategy::Adaptive);
+        assert_eq!("PARK".parse::<WaitStrategy>().unwrap(), WaitStrategy::Park);
+        assert!("poll".parse::<WaitStrategy>().is_err());
+    }
+
+    #[test]
+    fn clones_share_one_logical_side() {
+        let (k, u) = pair(WaitStrategy::Adaptive);
+        let k2 = k.clone();
+        k2.send(vec![1]).unwrap();
+        drop(k2); // side stays open: k is still alive
+        k.send(vec![2]).unwrap();
+        assert_eq!(u.recv().unwrap(), vec![1]);
+        assert_eq!(u.recv().unwrap(), vec![2]);
+        drop(k); // now the side closes
+        assert_eq!(u.recv(), Err(RecvError));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use lake_sim::SharedClock;
+    use proptest::prelude::*;
+
+    /// Sends every payload in order on a dedicated producer thread while
+    /// the caller consumes with a randomized mix of blocking, polling, and
+    /// timed receives. Returns what the consumer saw, in arrival order.
+    fn pump(
+        capacity: usize,
+        strategy: WaitStrategy,
+        payloads: Vec<Vec<u8>>,
+        ops: Vec<u8>,
+    ) -> Vec<Vec<u8>> {
+        let region = ShmRegion::with_capacity(2 * capacity + 4096);
+        let (tx, rx) = RingLink::pair_in(
+            &region,
+            Mechanism::Mmap,
+            SharedClock::new(),
+            capacity,
+            strategy,
+            None,
+        )
+        .expect("two rings fit");
+        let expected = payloads.len();
+        let producer = std::thread::spawn(move || {
+            for p in payloads {
+                tx.send(p).expect("consumer stays alive");
+            }
+            // Dropping tx closes the side only after everything is queued.
+        });
+        let mut got = Vec::with_capacity(expected);
+        for i in 0..expected {
+            let frame = match ops[i % ops.len()] % 3 {
+                0 => rx.recv().expect("producer queued this frame"),
+                1 => loop {
+                    if let Some(f) = rx.try_recv().expect("ring open or non-empty") {
+                        break f;
+                    }
+                    std::thread::yield_now();
+                },
+                _ => loop {
+                    let patience = std::time::Duration::from_micros(50);
+                    if let Some(f) = rx.recv_timeout(patience).expect("ring open or non-empty") {
+                        break f;
+                    }
+                },
+            };
+            got.push(frame);
+        }
+        producer.join().expect("producer exits cleanly");
+        got
+    }
+
+    /// Distinct, position-stamped payload so any loss, duplication, or
+    /// reorder shows up as an exact-content mismatch.
+    fn stamp(i: usize, len: usize) -> Vec<u8> {
+        (0..len).map(|j| (i.wrapping_mul(31).wrapping_add(j)) as u8).collect()
+    }
+
+    proptest! {
+        /// FIFO order with zero loss and zero duplication under randomized
+        /// producer/consumer interleavings, for every wait strategy.
+        #[test]
+        fn ring_delivers_exactly_once_in_order(
+            lens in proptest::collection::vec(0usize..300, 1..120),
+            ops in proptest::collection::vec(0u8..3, 1..40),
+            strat in 0usize..3,
+        ) {
+            let strategy = WaitStrategy::ALL[strat];
+            let sent: Vec<Vec<u8>> = lens.iter().enumerate().map(|(i, &l)| stamp(i, l)).collect();
+            let got = pump(DEFAULT_RING_CAPACITY, strategy, sent.clone(), ops);
+            prop_assert_eq!(got, sent);
+        }
+
+        /// Same guarantee on a tiny ring where frames straddle the wrap
+        /// marker constantly and the producer backpressures on a full ring.
+        #[test]
+        fn ring_survives_wrap_boundaries(
+            lens in proptest::collection::vec(0usize..400, 1..80),
+            ops in proptest::collection::vec(0u8..3, 1..40),
+            strat in 0usize..3,
+        ) {
+            let strategy = WaitStrategy::ALL[strat];
+            let sent: Vec<Vec<u8>> = lens.iter().enumerate().map(|(i, &l)| stamp(i, l)).collect();
+            // 1 KiB per direction: max record (400B payload + header,
+            // aligned) is well under it, but a handful of frames fill the
+            // ring, so wrap sacrifices and full-ring waits both trigger.
+            let got = pump(1024, strategy, sent.clone(), ops);
+            prop_assert_eq!(got, sent);
+        }
+    }
+}
