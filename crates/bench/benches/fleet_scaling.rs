@@ -1,0 +1,291 @@
+//! Fleet scaling (PR 6 extension): aggregate batched-inference
+//! throughput of a sharded [`DaemonFleet`] as shards (each with its own
+//! device) are added, plus cross-tenant interference under the fleet's
+//! weighted-fair-queueing governor.
+//!
+//! Two gated claims, recorded in `BENCH_PR6.json`:
+//!
+//! * **near-linear scaling** — 4 shards (4 devices total) sustain at
+//!   least 3x the aggregate rows/s of a 1-shard fleet on the same
+//!   2048-client workload;
+//! * **bounded interference** — a flooding tenant throttled by the
+//!   governor raises a well-behaved tenant's p99 op latency by at most
+//!   2x, while the same flood unthrottled inflates it far more.
+
+use criterion::Criterion;
+use lake_bench::{banner, fmt_us, percentiles, quick_criterion, upsert_bench_json};
+use lake_core::{BatchPolicy, Lake, LinkMode, PoolPolicy};
+use lake_fleet::{DaemonFleet, FleetModelId, FleetTicket, HashRing, QosPolicy};
+use lake_ml::{serialize, Activation, Mlp};
+use lake_sim::Duration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const COLS: usize = 256;
+const HIDDEN: usize = 3584;
+const MAX_BATCH: usize = 16;
+/// Total kernel-side clients (one single-row submit each) per topology.
+const CLIENTS: usize = 2048;
+const SHARD_COUNTS: &[usize] = &[1, 2, 4];
+
+/// Victim ops per interference leg; each op is one `MAX_BATCH`-row
+/// batched inference.
+const VICTIM_OPS: usize = 24;
+/// Rows the flooder tries to push per victim op.
+const FLOOD_ROWS: usize = 64;
+const VICTIM: u32 = 1;
+const FLOODER: u32 = 2;
+
+fn model() -> Mlp {
+    let mut rng = StdRng::seed_from_u64(16);
+    Mlp::new(&[COLS, HIDDEN, 2], Activation::Relu, &mut rng)
+}
+
+fn feature_row(i: usize) -> Vec<f32> {
+    (0..COLS).map(|j| ((i * 31 + j * 17) % 97) as f32 / 97.0 - 0.5).collect()
+}
+
+/// One device per shard, device-path placement, fig16's batch policy,
+/// and the production transport: the shm ring link with large payloads
+/// (model blobs) staged zero-copy through lakeShm.
+fn template() -> lake_core::LakeBuilder {
+    Lake::builder()
+        .num_devices(1)
+        .link_mode(LinkMode::Ring)
+        .staging_threshold(64 * 1024)
+        .pool_policy(PoolPolicy { exec_threshold: 100.0, ..Default::default() })
+        .batch_policy(BatchPolicy { max_batch: MAX_BATCH, max_wait: Duration::from_millis(50) })
+}
+
+/// Loads models until every shard is some model's primary, returning one
+/// model handle per shard (so load can be spread exactly evenly).
+fn model_per_shard(fleet: &DaemonFleet, ml: &lake_fleet::FleetMl<'_>) -> Vec<FleetModelId> {
+    let blob = serialize::encode_mlp(&model());
+    let n = fleet.num_shards();
+    let mut per_shard: Vec<Option<FleetModelId>> = vec![None; n];
+    let mut found = 0;
+    for _ in 0..64 * n {
+        if found == n {
+            break;
+        }
+        let id = ml.load_model(&blob).expect("load");
+        let (p, _) = fleet.route_of(id).expect("routed");
+        if per_shard[p].is_none() {
+            per_shard[p] = Some(id);
+            found += 1;
+        }
+    }
+    per_shard.into_iter().map(|m| m.expect("every shard owns a model")).collect()
+}
+
+/// Virtual makespan (µs) of `CLIENTS` single-row submits spread evenly
+/// across an `n`-shard fleet via the batched path, flushed and polled to
+/// completion. Every client is its own tenant, so the governor's
+/// starting credit covers each row and tenant QoS adds no wait.
+fn fleet_makespan_us(n: usize) -> f64 {
+    let fleet = DaemonFleet::deploy(template().shards(n));
+    let ml = fleet.ml();
+    let models = model_per_shard(&fleet, &ml);
+    fleet.clock().advance(Duration::from_millis(6));
+
+    let rows_per_shard = CLIENTS / n;
+    let t0 = fleet.clock().now();
+    let mut tickets: Vec<FleetTicket> = Vec::with_capacity(CLIENTS);
+    for round in 0..rows_per_shard {
+        for (shard, &id) in models.iter().enumerate() {
+            let client = (round * n + shard) as u64;
+            let ticket = ml
+                .infer_submit(client as u32, id, client, COLS, 0, &feature_row(client as usize))
+                .expect("submit");
+            tickets.push(ticket);
+        }
+    }
+    ml.infer_flush().expect("flush");
+    for t in tickets {
+        ml.infer_poll(t).expect("poll").expect("flushed");
+    }
+    (fleet.clock().now() - t0).as_micros_f64()
+}
+
+/// Interference-leg QoS: the victim's weight-4 bucket holds exactly one
+/// 16-row op; the flooder's weight-1 bucket caps a burst at 8 rows and
+/// refills at a quarter of the victim's rate.
+fn interference_qos() -> QosPolicy {
+    QosPolicy {
+        quantum_bytes: 512,
+        refill_interval: Duration::from_micros(20),
+        burst_quanta: 4,
+        queue_deadline: Duration::from_millis(20),
+    }
+}
+
+/// Runs the interference workload on a 1-shard fleet and returns
+/// `(victim p99 µs, flooder rows admitted)`. `flood` enables the
+/// flooding tenant; `flooder_weight` sets how hard the governor holds it
+/// back (1 = throttled, large = effectively unthrottled).
+fn victim_p99_us(flood: bool, flooder_weight: u64) -> (f64, u64) {
+    let fleet = DaemonFleet::deploy_with(
+        template().shards(1),
+        lake_fleet::FleetPolicy { qos: interference_qos(), ..Default::default() },
+        |_, b| b,
+    );
+    fleet.governor().set_weight(VICTIM, 4);
+    fleet.governor().set_weight(FLOODER, flooder_weight);
+    let ml = fleet.ml();
+    let blob = serialize::encode_mlp(&model());
+    let victim_model = ml.load_model(&blob).expect("victim model");
+    let flooder_model = ml.load_model(&blob).expect("flooder model");
+    fleet.clock().advance(Duration::from_millis(6));
+
+    let mut latencies = Vec::with_capacity(VICTIM_OPS);
+    let mut flooded_rows = 0u64;
+    for op in 0..VICTIM_OPS {
+        // The flooder shovels rows in ahead of the victim, as fast as
+        // its tenant bucket allows; rejected rows are shed, which is the
+        // governor's flood-control contract.
+        let mut flood_tickets = Vec::new();
+        if flood {
+            for r in 0..FLOOD_ROWS {
+                let i = op * FLOOD_ROWS + r;
+                let bytes = COLS * std::mem::size_of::<f32>();
+                if fleet.governor().try_admit(FLOODER, bytes) {
+                    let ticket = ml
+                        .infer_submit(
+                            FLOODER,
+                            flooder_model,
+                            9000 + r as u64,
+                            COLS,
+                            0,
+                            &feature_row(i),
+                        )
+                        .expect("flood submit");
+                    flood_tickets.push(ticket);
+                    flooded_rows += 1;
+                }
+            }
+        }
+        let t0 = fleet.clock().now();
+        let tickets: Vec<FleetTicket> = (0..MAX_BATCH)
+            .map(|r| {
+                ml.infer_submit(
+                    VICTIM,
+                    victim_model,
+                    r as u64,
+                    COLS,
+                    0,
+                    &feature_row(op * MAX_BATCH + r),
+                )
+                .expect("victim submit")
+            })
+            .collect();
+        ml.infer_flush().expect("flush");
+        for t in tickets {
+            ml.infer_poll(t).expect("poll").expect("flushed");
+        }
+        latencies.push((fleet.clock().now() - t0).as_micros_f64());
+        for t in flood_tickets {
+            ml.infer_poll(t).expect("flood poll").expect("flushed");
+        }
+    }
+    let (_, p99) = percentiles(&latencies);
+    (p99, flooded_rows)
+}
+
+fn run_and_gate() {
+    banner("Fleet", "sharded serving: aggregate throughput and tenant isolation (PR 6)");
+
+    // Scaling leg.
+    println!("{:>7} {:>12} {:>14} {:>9}", "shards", "makespan", "rows/s", "speedup");
+    let mut json_rows = Vec::new();
+    let mut tputs = Vec::new();
+    for &n in SHARD_COUNTS {
+        let span_us = fleet_makespan_us(n);
+        let rows_per_sec = CLIENTS as f64 / (span_us / 1.0e6);
+        let speedup = if let Some(&(_, base)) = tputs.first() {
+            let _ = base;
+            rows_per_sec / tputs[0].1
+        } else {
+            1.0
+        };
+        println!("{n:>7} {:>12} {rows_per_sec:>14.0} {speedup:>8.2}x", fmt_us(span_us));
+        json_rows.push(format!(
+            "{{\"shards\": {n}, \"rows\": {CLIENTS}, \"makespan_us\": {span_us:.1}, \
+             \"rows_per_sec\": {rows_per_sec:.0}, \"speedup\": {speedup:.2}}}"
+        ));
+        tputs.push((n, rows_per_sec));
+    }
+
+    // Interference leg.
+    let (alone_p99, _) = victim_p99_us(false, 1);
+    let (qos_p99, qos_rows) = victim_p99_us(true, 1);
+    let (wild_p99, wild_rows) = victim_p99_us(true, 64);
+    let qos_ratio = qos_p99 / alone_p99;
+    let wild_ratio = wild_p99 / alone_p99;
+    println!("\ntenant isolation (victim {MAX_BATCH}-row ops vs {FLOOD_ROWS}-row/op flooder):");
+    println!("{:>22} {:>12} {:>9} {:>14}", "scenario", "victim p99", "ratio", "flood rows/op");
+    println!("{:>22} {:>12} {:>9} {:>14}", "alone", fmt_us(alone_p99), "1.00x", "-");
+    println!(
+        "{:>22} {:>12} {:>9} {:>14.1}",
+        "flood, WFQ-throttled",
+        fmt_us(qos_p99),
+        format!("{qos_ratio:.2}x"),
+        qos_rows as f64 / VICTIM_OPS as f64
+    );
+    println!(
+        "{:>22} {:>12} {:>9} {:>14.1}",
+        "flood, unthrottled",
+        fmt_us(wild_p99),
+        format!("{wild_ratio:.2}x"),
+        wild_rows as f64 / VICTIM_OPS as f64
+    );
+
+    // Record results before gating so a failed gate still leaves the
+    // numbers on disk for inspection.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json");
+    upsert_bench_json(&path, "fleet_scaling", &format!("[{}]", json_rows.join(", ")));
+    upsert_bench_json(
+        &path,
+        "tenant_isolation",
+        &format!(
+            "{{\"victim_alone_p99_us\": {alone_p99:.1}, \"victim_qos_p99_us\": {qos_p99:.1}, \
+             \"qos_ratio\": {qos_ratio:.2}, \"victim_unthrottled_p99_us\": {wild_p99:.1}, \
+             \"unthrottled_ratio\": {wild_ratio:.2}, \"flood_rows_admitted_qos\": {qos_rows}, \
+             \"flood_rows_admitted_unthrottled\": {wild_rows}}}"
+        ),
+    );
+
+    // Gates (ISSUE.md PR 6): near-linear scaling and bounded
+    // cross-tenant interference.
+    let t1 = tputs.iter().find(|&&(n, _)| n == 1).expect("1-shard leg").1;
+    let t4 = tputs.iter().find(|&&(n, _)| n == 4).expect("4-shard leg").1;
+    assert!(
+        t4 >= 3.0 * t1,
+        "4-shard aggregate throughput must be >= 3x 1-shard: {t4:.0} vs {t1:.0} rows/s"
+    );
+    assert!(
+        qos_ratio <= 2.0,
+        "WFQ must bound the flooded victim's p99 to 2x its alone p99: {qos_ratio:.2}x"
+    );
+    assert!(
+        wild_ratio > qos_ratio,
+        "the unthrottled flood should hurt more than the throttled one \
+         ({wild_ratio:.2}x vs {qos_ratio:.2}x)"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    // Real (host) cost of the routing layer's hot path.
+    let mut group = c.benchmark_group("fleet_routing");
+    group.bench_function("ring_route_8k", |b| {
+        let ring = HashRing::new(4);
+        b.iter(|| (0..8192u64).map(|k| ring.route_pair(k).0).sum::<usize>())
+    });
+    group.finish();
+}
+
+fn main() {
+    run_and_gate();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

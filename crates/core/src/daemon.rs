@@ -168,6 +168,10 @@ pub struct LakeDaemon {
     /// parks until it closes (a wedged daemon — GC pause, page-in storm).
     stall: Mutex<Option<BurstSchedule>>,
     stall_events: AtomicU64,
+    /// Batched-inference tickets whose rows died with a daemon incarnation
+    /// and were then polled — each one a `SCHED_TICKET_LOST` surfaced to a
+    /// caller. Per-daemon so a multi-shard node can attribute losses.
+    tickets_lost: AtomicU64,
 }
 
 /// Why a device-side inference attempt failed. `Device` failures are
@@ -216,6 +220,7 @@ impl LakeDaemon {
             engine: Arc::new(InferenceEngine::new(workers)),
             stall: Mutex::new(None),
             stall_events: AtomicU64::new(0),
+            tickets_lost: AtomicU64::new(0),
         })
     }
 
@@ -228,6 +233,12 @@ impl LakeDaemon {
     /// How many requests arrived during a stall window and had to wait.
     pub fn stall_events(&self) -> u64 {
         self.stall_events.load(Ordering::Relaxed)
+    }
+
+    /// How many polls surfaced `SCHED_TICKET_LOST` — batched rows that
+    /// died with a crashed incarnation of *this* daemon.
+    pub fn tickets_lost(&self) -> u64 {
+        self.tickets_lost.load(Ordering::Relaxed)
     }
 
     /// Parks the current request until any active stall window closes.
@@ -916,6 +927,7 @@ impl LakeDaemon {
             e.put_u8(1).put_u64(entry.class);
         } else if sched.lost.remove(&ticket) {
             sched.consumed.insert(ticket);
+            self.tickets_lost.fetch_add(1, Ordering::Relaxed);
             return Err(Status::VendorError(code::SCHED_TICKET_LOST));
         } else if ticket == 0 || ticket > sched.issued || sched.consumed.contains(&ticket) {
             return Err(Status::VendorError(code::SCHED_BAD_TICKET));

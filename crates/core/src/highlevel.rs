@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use lake_rpc::{perf, CallEngine, Decoder, Encoder, RpcError};
+use lake_rpc::{CallEngine, Decoder, Encoder, RpcError};
 use lake_sched::AdmissionController;
 use lake_shm::{ShmBuffer, ShmRegion};
 
@@ -95,10 +95,11 @@ impl LakeMl {
                 chunk.copy_from_slice(&x.to_le_bytes());
             }
         })?;
-        perf::note_copy(bytes);
+        let perf = self.engine.perf_counters();
+        perf.note_copy(bytes);
         // The old path assembled an intermediate Vec<u8> and memcpy'd it
         // into shm; that second copy no longer happens.
-        perf::note_zero_copy(bytes);
+        perf.note_zero_copy(bytes);
         Ok(buf)
     }
 

@@ -67,12 +67,12 @@ fn spawn_daemon_thread<C>(
     daemon: Arc<LakeDaemon>,
     epoch: Arc<AtomicU64>,
     staging: Option<ShmRegion>,
+    perf: Arc<lake_rpc::PerfCounters>,
 ) where
     C: Channel + 'static,
 {
-    std::thread::spawn(move || match &staging {
-        Some(region) => lake_rpc::serve_with_staging(&endpoint, daemon.as_ref(), &epoch, region),
-        None => lake_rpc::serve_with_epoch(&endpoint, daemon.as_ref(), &epoch),
+    std::thread::spawn(move || {
+        lake_rpc::serve_engine(&endpoint, daemon.as_ref(), &epoch, staging.as_ref(), &perf)
     });
 }
 
@@ -80,7 +80,11 @@ fn spawn_daemon_thread<C>(
 ///
 /// Defaults match the paper's deployment: Netlink command channel, a
 /// 128 MiB `cma=` shared region, and a single A100-class device.
-#[derive(Debug)]
+///
+/// The builder is `Clone` so it can serve as a *template*: a multi-shard
+/// deployment (`lake-fleet`) clones one configuration per shard via
+/// [`LakeBuilder::build_shards`], sharing a single virtual clock.
+#[derive(Debug, Clone)]
 pub struct LakeBuilder {
     mechanism: Mechanism,
     shm_capacity: usize,
@@ -99,6 +103,8 @@ pub struct LakeBuilder {
     staging_threshold: Option<usize>,
     link_mode: LinkMode,
     wait_strategy: WaitStrategy,
+    shards: usize,
+    shard_id: usize,
 }
 
 impl Default for LakeBuilder {
@@ -121,6 +127,8 @@ impl Default for LakeBuilder {
             staging_threshold: None,
             link_mode: LinkMode::default(),
             wait_strategy: WaitStrategy::default(),
+            shards: 1,
+            shard_id: 0,
         }
     }
 }
@@ -249,6 +257,73 @@ impl LakeBuilder {
         self
     }
 
+    /// Deploys `n` lakeD shards when built through
+    /// [`LakeBuilder::build_shards`] (or `lake-fleet`'s `DaemonFleet`).
+    /// Each shard gets its own transport link, supervisor, incarnation
+    /// epoch, and shm staging region; [`LakeBuilder::build`] itself
+    /// always produces a single instance. The `LAKE_SHARDS` environment
+    /// variable overrides this at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n > 0, "a fleet needs at least one shard");
+        self.shards = n;
+        self
+    }
+
+    /// Stamps this instance with a shard id (purely informational: it
+    /// tags `fault_report()` so multi-shard aggregations stay
+    /// attributable). [`LakeBuilder::build_shards`] sets it per shard.
+    pub fn shard_id(mut self, id: usize) -> Self {
+        self.shard_id = id;
+        self
+    }
+
+    /// The shard count this builder would deploy, after the `LAKE_SHARDS`
+    /// environment override.
+    pub fn shard_count(&self) -> usize {
+        match std::env::var("LAKE_SHARDS") {
+            Ok(s) => {
+                let n: usize = s.trim().parse().expect("LAKE_SHARDS");
+                assert!(n > 0, "LAKE_SHARDS must be at least 1");
+                n
+            }
+            Err(_) => self.shards,
+        }
+    }
+
+    /// Builds one [`Lake`] per shard ([`LakeBuilder::shard_count`] of
+    /// them) from this template, all sharing one virtual clock. Every
+    /// other resource — transport link, daemon, supervisor, epoch
+    /// counter, shm and staging regions, device pool — is per shard, so
+    /// one shard's restarts never fence another's calls.
+    pub fn build_shards(self) -> Vec<Lake> {
+        self.build_shards_with(|_, b| b)
+    }
+
+    /// [`LakeBuilder::build_shards`] with a per-shard customization hook:
+    /// `customize(shard_id, builder)` may rewrite each shard's template
+    /// before it builds — e.g. arm a [`CrashSchedule`] on one shard only,
+    /// or stagger one seeded plan across shards with
+    /// [`CrashSchedule::shifted`].
+    pub fn build_shards_with(
+        self,
+        mut customize: impl FnMut(usize, LakeBuilder) -> LakeBuilder,
+    ) -> Vec<Lake> {
+        let n = self.shard_count();
+        let clock = self.clock.clone().unwrap_or_default();
+        (0..n)
+            .map(|id| {
+                let mut b = self.clone();
+                b.clock = Some(clock.clone());
+                b.shard_id = id;
+                customize(id, b).build()
+            })
+            .collect()
+    }
+
     /// Builds the instance: shared region, device pool, daemon, call
     /// engine, and — in the linked modes — the daemon serve thread.
     pub fn build(self) -> Lake {
@@ -297,6 +372,11 @@ impl LakeBuilder {
         let staging = self
             .staging_threshold
             .map(|threshold| (ShmRegion::with_capacity(self.shm_capacity), threshold));
+        // One counter set per deployment, shared between the stub-side
+        // engine and the daemon serve thread: multi-shard processes must
+        // attribute copies to the shard that performed them (the
+        // process-wide rollup would double-count across shards).
+        let perf = Arc::new(lake_rpc::PerfCounters::new());
         let (mut engine, ring) = match link_mode {
             LinkMode::InProcess => {
                 let mut engine = CallEngine::in_process(
@@ -321,6 +401,7 @@ impl LakeBuilder {
                     Arc::clone(&daemon),
                     supervisor.epoch_counter(),
                     staging.as_ref().map(|(region, _)| region.clone()),
+                    Arc::clone(&perf),
                 );
                 (CallEngine::linked(kernel), None)
             }
@@ -347,10 +428,12 @@ impl LakeBuilder {
                     Arc::clone(&daemon),
                     supervisor.epoch_counter(),
                     staging.as_ref().map(|(region, _)| region.clone()),
+                    Arc::clone(&perf),
                 );
                 (CallEngine::linked(kernel.clone()), Some(kernel))
             }
         };
+        engine = engine.with_perf(Arc::clone(&perf));
         engine =
             engine.with_lifecycle(Arc::clone(&supervisor) as Arc<dyn lake_rpc::DaemonLifecycle>);
         let mut call_policy = self.call_policy.unwrap_or_default();
@@ -378,6 +461,7 @@ impl LakeBuilder {
             admission,
             link_mode,
             ring,
+            shard_id: self.shard_id,
         }
     }
 }
@@ -396,6 +480,7 @@ pub struct Lake {
     admission: Arc<AdmissionController>,
     link_mode: LinkMode,
     ring: Option<RingEndpoint>,
+    shard_id: usize,
 }
 
 /// Everything that can go wrong, in one snapshot: transport faults,
@@ -403,13 +488,21 @@ pub struct Lake {
 /// counters.
 #[derive(Debug, Clone)]
 pub struct FaultReport {
+    /// Which shard this report describes ([`LakeBuilder::shard_id`]; 0
+    /// for single-instance deployments), so fleet aggregations stay
+    /// attributable.
+    pub shard: usize,
     /// Injected transport-fault counters, if a plan was configured.
     pub transport: Option<FaultCounters>,
     /// `lakeShm` allocator stats, including `orphaned_bytes` and the
     /// reclamation counters.
     pub shm: AllocStats,
-    /// Daemon lifecycle counters (crashes, restarts, replay, breaker).
+    /// Daemon lifecycle counters (crashes, restarts, replay, breaker,
+    /// orphan reclamation).
     pub supervisor: SupervisorStats,
+    /// Polls that surfaced `SCHED_TICKET_LOST` on this shard's daemon —
+    /// batched rows that died with a crashed incarnation.
+    pub tickets_lost: u64,
 }
 
 /// The fast path in one snapshot: RPC copy accounting, engine staging
@@ -417,10 +510,15 @@ pub struct FaultReport {
 /// sibling of [`FaultReport`].
 #[derive(Debug, Clone)]
 pub struct PerfReport {
-    /// Process-wide RPC copy counters (bytes memcpy'd, zero-copy
-    /// hand-offs). Difference two reports with
+    /// RPC copy counters (bytes memcpy'd, zero-copy hand-offs) for *this
+    /// instance's* engine and serve thread only — safe to sum across
+    /// shards. Difference two reports with
     /// [`lake_rpc::PerfSnapshot::since`] to scope them to a workload.
     pub rpc: lake_rpc::PerfSnapshot,
+    /// The process-wide rollup (every engine plus engine-less codec
+    /// sites), kept for backward compatibility. In a multi-shard process
+    /// this counts all shards together — do not sum it across reports.
+    pub rpc_process: lake_rpc::PerfSnapshot,
     /// Calls whose payloads travelled as shm handles instead of inline
     /// frames (requires [`LakeBuilder::staging_threshold`]).
     pub staged_calls: u64,
@@ -477,7 +575,7 @@ impl Lake {
         m.shm_reclaimed_allocs = shm.reclaimed_allocs;
         m.shm_reclaimed_bytes = shm.reclaimed_bytes;
         m.daemon_restarts = self.supervisor.stats().restarts;
-        let perf = lake_rpc::perf::snapshot();
+        let perf = self.engine.perf_counters().snapshot();
         m.bytes_copied = perf.bytes_copied;
         m.zero_copy_hits = perf.zero_copy_hits;
         m
@@ -563,20 +661,36 @@ impl Lake {
     /// reclamation stats plus supervisor lifecycle counters.
     pub fn fault_report(&self) -> FaultReport {
         FaultReport {
+            shard: self.shard_id,
             transport: self.fault_counters(),
             shm: self.shm.stats(),
             supervisor: self.supervisor.stats(),
+            tickets_lost: self.daemon.tickets_lost(),
         }
     }
 
-    /// One combined fast-path snapshot: RPC copy counters, staged-call
-    /// count, and the GEMM engine's pool/cache counters.
+    /// One combined fast-path snapshot: RPC copy counters (per-engine
+    /// plus the process rollup), staged-call count, and the GEMM engine's
+    /// pool/cache counters.
     pub fn perf_report(&self) -> PerfReport {
         PerfReport {
-            rpc: lake_rpc::perf::snapshot(),
+            rpc: self.engine.perf_counters().snapshot(),
+            rpc_process: lake_rpc::perf::snapshot(),
             staged_calls: self.engine.stats().staged_calls,
             gemm: self.daemon.gemm_stats(),
         }
+    }
+
+    /// This instance's shard id (0 unless deployed as part of a
+    /// multi-shard fleet).
+    pub fn shard_id(&self) -> usize {
+        self.shard_id
+    }
+
+    /// The call engine (for fleet routing layers that need per-shard
+    /// perf counters or idempotency queries).
+    pub fn engine(&self) -> &Arc<CallEngine> {
+        &self.engine
     }
 }
 

@@ -234,6 +234,19 @@ impl DaemonSupervisor {
         self.state.lock().shadow_models.len()
     }
 
+    /// How long the daemon has been sitting on an unhandled crash: the
+    /// age (at `now`) of the earliest scheduled crash that has struck but
+    /// not yet been restarted past. `None` while the daemon is up.
+    ///
+    /// This *peeks* — unlike `ensure_up` it performs no restart and
+    /// charges no virtual time — so a router can ask "is this shard down
+    /// right now, and for how long?" and divert idempotent traffic to a
+    /// sibling instead of paying the restart on the caller's clock.
+    pub fn pending_crash_age(&self, now: Instant) -> Option<Duration> {
+        let st = self.state.lock();
+        self.schedule.first_crash_in(st.handled, now).map(|crash| now.duration_since(crash))
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> SupervisorStats {
         SupervisorStats {

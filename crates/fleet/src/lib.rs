@@ -1,0 +1,52 @@
+//! # lake-fleet — sharded multi-daemon serving for LAKE
+//!
+//! A single lakeD instance (crate `lake-core`) is one failure domain and
+//! one staging region. This crate runs **N** of them — each with its own
+//! transport link, supervisor, incarnation epoch, and shm region — on
+//! one virtual clock behind a routing layer:
+//!
+//! - [`ring`] — consistent-hash routing of model keys onto shards, so a
+//!   topology change remaps only ~1/N of the keys and every router
+//!   agrees on each key's backup shard without coordination.
+//! - [`qos`] — deficit-round-robin weighted fair queueing of staged
+//!   bytes across *tenants*, one level above the per-client byte quotas
+//!   each shard's admission controller already enforces.
+//! - [`fleet`] — the [`DaemonFleet`] itself: deployment from a
+//!   [`lake_core::LakeBuilder`] template (`shards(n)` / `LAKE_SHARDS`),
+//!   model replication to ring backups, proactive diversion plus
+//!   reactive failover for idempotent calls, and shard-attributable
+//!   fault/perf/ring aggregation.
+//!
+//! ```
+//! use lake_core::Lake;
+//! use lake_fleet::DaemonFleet;
+//! use lake_ml::{serialize, Activation, Mlp};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), lake_core::LakeError> {
+//! let fleet = DaemonFleet::deploy(Lake::builder().shards(3));
+//! fleet.governor().set_weight(1, 4); // tenant 1 gets 4x service share
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mlp = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
+//! let ml = fleet.ml();
+//! let id = ml.load_model(&serialize::encode_mlp(&mlp))?;
+//! let classes = ml.infer_mlp(1, id, 1, 4, &[0.1, -0.2, 0.3, -0.4])?;
+//! assert_eq!(classes.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod qos;
+pub mod ring;
+
+pub use fleet::{
+    DaemonFleet, FleetFaultReport, FleetMl, FleetModelId, FleetPerfReport, FleetPolicy, FleetStats,
+    FleetTicket,
+};
+pub use qos::{QosCounters, QosPolicy, TenantGovernor};
+pub use ring::{HashRing, DEFAULT_VNODES};

@@ -1,0 +1,111 @@
+//! Property tests for the fleet's two routing-layer invariants:
+//!
+//! 1. **Ring stability** — a consistent-hash topology change remaps only
+//!    the minimal key set: a join moves at most ~K/N keys (all of them
+//!    *to* the newcomer), a leave moves exactly the departed shard's
+//!    keys (none of them *between* survivors).
+//! 2. **WFQ fairness** — under saturation the tenant governor serves
+//!    bytes proportionally to tenant weights (1:2:4 within 10%),
+//!    regardless of per-request sizes.
+
+use lake_fleet::{HashRing, QosPolicy, TenantGovernor};
+use lake_sim::SharedClock;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    /// Joining shard N: every remapped key moves TO the newcomer, and
+    /// the remapped count stays near the fair share K/(N+1).
+    #[test]
+    fn join_remaps_at_most_a_fair_share(keys in 128u64..512, n in 2usize..6) {
+        let mut ring = HashRing::new(n);
+        let before: Vec<usize> = (0..keys).map(|k| ring.route(k)).collect();
+        ring.add_shard(n);
+        let mut moved = 0u64;
+        for (k, &was) in before.iter().enumerate() {
+            let now = ring.route(k as u64);
+            if now != was {
+                prop_assert_eq!(now, n, "key {} moved between survivors", k);
+                moved += 1;
+            }
+        }
+        // Fair share after the join plus slack for vnode placement
+        // variance on small key sets.
+        let bound = keys.div_ceil(n as u64 + 1) + keys / 8;
+        prop_assert!(moved <= bound, "join moved {} of {} keys (bound {})", moved, keys, bound);
+    }
+
+    /// Leaving shard: exactly its keys remap, each to a survivor, and it
+    /// owned no more than a fair share to begin with.
+    #[test]
+    fn leave_remaps_only_the_departed_shards_keys(keys in 128u64..512, n in 2usize..6) {
+        let mut ring = HashRing::new(n + 1);
+        let victim = n; // removing the top id keeps survivor ids dense
+        let before: Vec<usize> = (0..keys).map(|k| ring.route(k)).collect();
+        ring.remove_shard(victim);
+        let mut moved = 0u64;
+        for (k, &was) in before.iter().enumerate() {
+            let now = ring.route(k as u64);
+            if was == victim {
+                prop_assert!(now != victim, "key {} still routes to the removed shard", k);
+                moved += 1;
+            } else {
+                prop_assert_eq!(now, was, "survivor-owned key {} moved", k);
+            }
+        }
+        let bound = keys.div_ceil(n as u64 + 1) + keys / 8;
+        prop_assert!(moved <= bound, "leave moved {} of {} keys (bound {})", moved, keys, bound);
+    }
+
+    /// Backup assignment is total, distinct (for >1 shard), and stable
+    /// under re-query.
+    #[test]
+    fn route_pair_is_deterministic_and_distinct(keys in vec(any::<u64>(), 1..64), n in 2usize..6) {
+        let ring = HashRing::new(n);
+        for &k in &keys {
+            let (p, b) = ring.route_pair(k);
+            prop_assert!(p < n && b < n);
+            prop_assert_ne!(p, b);
+            prop_assert_eq!((p, b), ring.route_pair(k));
+        }
+    }
+
+    /// Three saturating tenants with weights 1:2:4 end up with served
+    /// bytes proportional to their weights within 10%, for arbitrary
+    /// request sizes.
+    #[test]
+    fn wfq_serves_in_weight_proportion(
+        req_bytes in vec(64usize..512, 3),
+        ticks in 400u64..1200,
+    ) {
+        let clock = SharedClock::new();
+        let governor = TenantGovernor::new(clock.clone(), QosPolicy::default());
+        let weights = [1u64, 2, 4];
+        for (tenant, &w) in weights.iter().enumerate() {
+            governor.set_weight(tenant as u32, w);
+        }
+        let tick = governor.policy().refill_interval;
+        for _ in 0..ticks {
+            // Saturation: every tenant greedily drains its bucket each
+            // tick, so service is limited by refill rate alone.
+            for (tenant, &bytes) in req_bytes.iter().enumerate() {
+                while governor.try_admit(tenant as u32, bytes) {}
+            }
+            clock.advance(tick);
+        }
+        let per_weight: Vec<f64> = weights
+            .iter()
+            .enumerate()
+            .map(|(t, &w)| governor.served_bytes(t as u32) as f64 / w as f64)
+            .collect();
+        let lo = per_weight.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = per_weight.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(lo > 0.0, "every saturating tenant must be served");
+        prop_assert!(
+            hi / lo <= 1.10,
+            "served-per-weight spread {:.3} exceeds 10% ({:?})",
+            hi / lo,
+            per_weight
+        );
+    }
+}

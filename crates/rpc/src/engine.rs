@@ -43,6 +43,7 @@ use lake_transport::{Channel, Mechanism};
 
 use crate::command::{ApiId, Command, Response, Status, SEQ_UNMATCHED};
 use crate::perf;
+use crate::perf::PerfCounters;
 use crate::wire::{Decoder, Encoder, WireError};
 
 /// Payload size (bytes) at which [`CallEngine::call`] switches from inline
@@ -293,6 +294,11 @@ pub struct CallEngine {
     /// Shm staging for large payloads; `None` keeps every payload inline
     /// (the pre-fast-path behaviour).
     staging: Option<StagingConfig>,
+    /// Copy accounting attributed to this engine. Shared (via
+    /// [`CallEngine::with_perf`]) with the daemon-side serve loop so one
+    /// deployment's stub and daemon copies land in one counter set; every
+    /// bump also feeds the process-wide rollup in [`perf`].
+    perf: Arc<PerfCounters>,
     /// APIs flagged idempotent at registration; only they survive a retry
     /// after the daemon may have executed the command.
     idempotent: Mutex<HashSet<u32>>,
@@ -356,6 +362,7 @@ impl CallEngine {
             faults: None,
             lifecycle: None,
             staging: None,
+            perf: Arc::new(PerfCounters::new()),
             epoch_floor: AtomicU64::new(0),
             idempotent: Mutex::new(HashSet::new()),
             pending: Mutex::new(HashMap::new()),
@@ -409,6 +416,20 @@ impl CallEngine {
     pub fn with_staging(mut self, region: ShmRegion, threshold: usize) -> Self {
         self.staging = Some(StagingConfig { region, threshold });
         self
+    }
+
+    /// Replaces this engine's copy-accounting counters with `counters`,
+    /// typically shared with the daemon thread serving the other end of
+    /// the link ([`serve_engine`]) so both halves of one deployment report
+    /// through a single per-engine set.
+    pub fn with_perf(mut self, counters: Arc<PerfCounters>) -> Self {
+        self.perf = counters;
+        self
+    }
+
+    /// This engine's copy-accounting counters.
+    pub fn perf_counters(&self) -> &Arc<PerfCounters> {
+        &self.perf
     }
 
     /// Registers an API's idempotency flag. Unregistered APIs default to
@@ -470,7 +491,7 @@ impl CallEngine {
             // path pays (at least) encode + retry-clone copies per send.
             let staged = self.try_call_staged(api, n, &|dst: &mut [u8]| {
                 dst.copy_from_slice(&payload);
-                perf::note_copy(n);
+                self.perf.note_copy(n);
             });
             if let Some(result) = staged {
                 return result;
@@ -506,7 +527,7 @@ impl CallEngine {
         }
         let mut buf = vec![0u8; len];
         fill(&mut buf);
-        perf::note_copy(len);
+        self.perf.note_copy(len);
         self.call_inline(api, Bytes::from(buf))
     }
 
@@ -696,6 +717,7 @@ impl CallEngine {
             let result = dispatch(
                 handler.as_ref(),
                 self.staging.as_ref().map(|s| &s.region),
+                Some(&self.perf),
                 cmd.api,
                 &cmd.payload,
             );
@@ -790,7 +812,7 @@ impl CallEngine {
             let sent_at = self.clock.now();
             // The link consumes its frame; each (re)send clones the
             // retry buffer.
-            perf::note_copy(frame.len());
+            self.perf.note_copy(frame.len());
             endpoint.send(frame.clone()).map_err(|_| RpcError::Disconnected)?;
             let mut waited = std::time::Duration::ZERO;
             let resp = loop {
@@ -949,11 +971,12 @@ impl CallEngine {
 fn dispatch(
     handler: &dyn ApiHandler,
     staging: Option<&ShmRegion>,
+    counters: Option<&PerfCounters>,
     api: ApiId,
     payload: &[u8],
 ) -> Result<Bytes, Status> {
     if api.0 & BURST_API_BIT != 0 {
-        return dispatch_burst(handler, staging, payload);
+        return dispatch_burst(handler, staging, counters, payload);
     }
     if api.0 & STAGED_API_BIT == 0 {
         return handler.handle(api, payload);
@@ -977,7 +1000,10 @@ fn dispatch(
     }
     region
         .with_bytes(&buf, |bytes| {
-            perf::note_zero_copy(len);
+            match counters {
+                Some(c) => c.note_zero_copy(len),
+                None => perf::note_zero_copy(len),
+            }
             handler.handle(real, &bytes[..len])
         })
         .unwrap_or(Err(Status::Malformed))
@@ -992,6 +1018,7 @@ fn dispatch(
 fn dispatch_burst(
     handler: &dyn ApiHandler,
     staging: Option<&ShmRegion>,
+    counters: Option<&PerfCounters>,
     payload: &[u8],
 ) -> Result<Bytes, Status> {
     let mut d = Decoder::new(payload);
@@ -1007,7 +1034,7 @@ fn dispatch_burst(
             return Err(Status::Malformed);
         }
         let entry = d.get_bytes().map_err(|_| Status::Malformed)?;
-        let (status, body) = match dispatch(handler, staging, api, entry) {
+        let (status, body) = match dispatch(handler, staging, counters, api, entry) {
             Ok(bytes) => (Status::Ok, bytes),
             Err(status) => (status, Bytes::new()),
         };
@@ -1061,7 +1088,7 @@ const SERVE_DEDUP_WINDOW: usize = 128;
 ///   command is answered from the cache instead of re-executed, giving
 ///   retries at-most-once semantics.
 pub fn serve<C: Channel + ?Sized>(endpoint: &C, handler: &dyn ApiHandler) {
-    serve_loop(endpoint, handler, &AtomicU64::new(0), None);
+    serve_loop(endpoint, handler, &AtomicU64::new(0), None, None);
 }
 
 /// [`serve`] for a supervised daemon: every response is stamped with the
@@ -1073,7 +1100,7 @@ pub fn serve_with_epoch<C: Channel + ?Sized>(
     handler: &dyn ApiHandler,
     epoch: &AtomicU64,
 ) {
-    serve_loop(endpoint, handler, epoch, None);
+    serve_loop(endpoint, handler, epoch, None, None);
 }
 
 /// [`serve_with_epoch`] for a daemon that shares a staging region with its
@@ -1085,7 +1112,23 @@ pub fn serve_with_staging<C: Channel + ?Sized>(
     epoch: &AtomicU64,
     staging: &ShmRegion,
 ) {
-    serve_loop(endpoint, handler, epoch, Some(staging));
+    serve_loop(endpoint, handler, epoch, Some(staging), None);
+}
+
+/// [`serve_with_staging`] with copy accounting attributed to an engine's
+/// [`PerfCounters`] (shared with the stub-side [`CallEngine::with_perf`])
+/// instead of the anonymous process-wide rollup — the entry point for
+/// deployments that run several daemons in one process and must not
+/// double-count each other's traffic. `staging` is optional here so one
+/// signature covers both inline-only and staged daemons.
+pub fn serve_engine<C: Channel + ?Sized>(
+    endpoint: &C,
+    handler: &dyn ApiHandler,
+    epoch: &AtomicU64,
+    staging: Option<&ShmRegion>,
+    counters: &PerfCounters,
+) {
+    serve_loop(endpoint, handler, epoch, staging, Some(counters));
 }
 
 fn serve_loop<C: Channel + ?Sized>(
@@ -1093,6 +1136,7 @@ fn serve_loop<C: Channel + ?Sized>(
     handler: &dyn ApiHandler,
     epoch: &AtomicU64,
     staging: Option<&ShmRegion>,
+    counters: Option<&PerfCounters>,
 ) {
     // Dedup entries remember the epoch they were computed under: a cached
     // answer from a previous incarnation must NOT be replayed — the new
@@ -1115,8 +1159,12 @@ fn serve_loop<C: Channel + ?Sized>(
                 } else {
                     // Borrowed dispatch: the payload stays inside the
                     // received frame (or in shm, for staged commands).
-                    perf::note_zero_copy(cmd.payload.len());
-                    let response = match dispatch(handler, staging, cmd.api, cmd.payload) {
+                    match counters {
+                        Some(c) => c.note_zero_copy(cmd.payload.len()),
+                        None => perf::note_zero_copy(cmd.payload.len()),
+                    }
+                    let response = match dispatch(handler, staging, counters, cmd.api, cmd.payload)
+                    {
                         Ok(payload) => {
                             Response { seq: cmd.seq, epoch: now_epoch, status: Status::Ok, payload }
                         }

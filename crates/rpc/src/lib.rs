@@ -31,9 +31,9 @@ pub mod wire;
 pub use coalesce::{CoalescePolicy, Coalescer, DEFAULT_BURST_MAX, DEFAULT_BURST_WINDOW};
 pub use command::{ApiId, Command, CommandRef, Response, ResponseRef, Status, SEQ_UNMATCHED};
 pub use engine::{
-    serve, serve_with_epoch, serve_with_staging, ApiHandler, CallEngine, CallPolicy, CallStats,
-    DaemonLifecycle, RpcError, StagingConfig, BURST_API_BIT, DEFAULT_INLINE_THRESHOLD,
+    serve, serve_engine, serve_with_epoch, serve_with_staging, ApiHandler, CallEngine, CallPolicy,
+    CallStats, DaemonLifecycle, RpcError, StagingConfig, BURST_API_BIT, DEFAULT_INLINE_THRESHOLD,
     MAX_BURST_ENTRIES, STAGED_API_BIT,
 };
-pub use perf::PerfSnapshot;
+pub use perf::{PerfCounters, PerfSnapshot};
 pub use wire::{checked_slice_len, Decoder, Encoder, WireError};

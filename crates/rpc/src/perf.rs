@@ -2,18 +2,23 @@
 //!
 //! LAKE's Fig 6 argument is that above ~4KB the cost of a remoted call is
 //! dominated by memcpys, so the win of the shm path is best expressed as
-//! *bytes copied per call*. These process-wide counters are bumped at every
+//! *bytes copied per call*. These counters are bumped at every
 //! payload-scale memcpy on the RPC data path (frame assembly, owned decode,
 //! retry-buffer clones, staging writes) and at every hand-off that *avoided*
 //! one (borrowed decode, shm handle-passing), so a bench — or
 //! `Lake::perf_report()` — can difference two snapshots and report exactly
 //! how many bytes moved on behalf of a workload.
 //!
-//! The counters are global atomics rather than per-engine state because the
-//! copies worth counting happen below the engine too (frame codecs, the
-//! daemon's serve loop) where no engine handle is in scope. Tests that
-//! assert on them should compare snapshot *deltas* and tolerate unrelated
-//! traffic from concurrently running tests.
+//! Accounting is two-level. Each [`super::CallEngine`] owns a
+//! [`PerfCounters`] instance so a multi-shard deployment can attribute
+//! copies to the engine that performed them without double-counting, and
+//! every instance bump also rolls up into a process-wide set of atomics
+//! (readable via [`snapshot`]) for backward compatibility with callers
+//! that predate per-engine accounting. Copies recorded below any engine
+//! (frame codecs, standalone serve loops) go through the free functions
+//! [`note_copy`]/[`note_zero_copy`] and land in the rollup only. Tests
+//! that assert on the rollup should compare snapshot *deltas* and
+//! tolerate unrelated traffic from concurrently running tests.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -22,7 +27,8 @@ static COPIES: AtomicU64 = AtomicU64::new(0);
 static ZERO_COPY_HITS: AtomicU64 = AtomicU64::new(0);
 static BYTES_ZERO_COPIED: AtomicU64 = AtomicU64::new(0);
 
-/// Records one memcpy of `bytes` on the RPC data path.
+/// Records one memcpy of `bytes` on the RPC data path (process-wide
+/// rollup only — engine-attributed sites use [`PerfCounters::note_copy`]).
 #[inline]
 pub fn note_copy(bytes: usize) {
     BYTES_COPIED.fetch_add(bytes as u64, Ordering::Relaxed);
@@ -30,11 +36,70 @@ pub fn note_copy(bytes: usize) {
 }
 
 /// Records one payload hand-off of `bytes` that avoided a memcpy
-/// (borrowed decode, shm handle-passing).
+/// (borrowed decode, shm handle-passing). Rollup only.
 #[inline]
 pub fn note_zero_copy(bytes: usize) {
     ZERO_COPY_HITS.fetch_add(1, Ordering::Relaxed);
     BYTES_ZERO_COPIED.fetch_add(bytes as u64, Ordering::Relaxed);
+}
+
+/// Per-engine copy counters. Every bump also feeds the process-wide
+/// rollup, so summing engine snapshots never exceeds [`snapshot`] and a
+/// single-engine process sees identical numbers through either lens.
+#[derive(Debug, Default)]
+pub struct PerfCounters {
+    bytes_copied: AtomicU64,
+    copies: AtomicU64,
+    zero_copy_hits: AtomicU64,
+    bytes_zero_copied: AtomicU64,
+}
+
+impl PerfCounters {
+    /// A fresh, zeroed counter set.
+    pub const fn new() -> Self {
+        PerfCounters {
+            bytes_copied: AtomicU64::new(0),
+            copies: AtomicU64::new(0),
+            zero_copy_hits: AtomicU64::new(0),
+            bytes_zero_copied: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one memcpy of `bytes` against this engine (and the rollup).
+    #[inline]
+    pub fn note_copy(&self, bytes: usize) {
+        self.bytes_copied.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.copies.fetch_add(1, Ordering::Relaxed);
+        note_copy(bytes);
+    }
+
+    /// Records one avoided memcpy of `bytes` against this engine (and the
+    /// rollup).
+    #[inline]
+    pub fn note_zero_copy(&self, bytes: usize) {
+        self.zero_copy_hits.fetch_add(1, Ordering::Relaxed);
+        self.bytes_zero_copied.fetch_add(bytes as u64, Ordering::Relaxed);
+        note_zero_copy(bytes);
+    }
+
+    /// Reads this engine's counters.
+    pub fn snapshot(&self) -> PerfSnapshot {
+        PerfSnapshot {
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+            copies: self.copies.load(Ordering::Relaxed),
+            zero_copy_hits: self.zero_copy_hits.load(Ordering::Relaxed),
+            bytes_zero_copied: self.bytes_zero_copied.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes this engine's counters. The process-wide rollup is left
+    /// untouched: it is a monotonic history, not a sum of live engines.
+    pub fn reset(&self) {
+        self.bytes_copied.store(0, Ordering::Relaxed);
+        self.copies.store(0, Ordering::Relaxed);
+        self.zero_copy_hits.store(0, Ordering::Relaxed);
+        self.bytes_zero_copied.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Point-in-time view of the copy counters.
@@ -67,9 +132,20 @@ impl PerfSnapshot {
     pub fn delta(&self, later: &PerfSnapshot) -> PerfSnapshot {
         later.since(self)
     }
+
+    /// Counter-wise `self + other`, for aggregating per-engine snapshots
+    /// into a fleet total.
+    pub fn merged(&self, other: &PerfSnapshot) -> PerfSnapshot {
+        PerfSnapshot {
+            bytes_copied: self.bytes_copied.wrapping_add(other.bytes_copied),
+            copies: self.copies.wrapping_add(other.copies),
+            zero_copy_hits: self.zero_copy_hits.wrapping_add(other.zero_copy_hits),
+            bytes_zero_copied: self.bytes_zero_copied.wrapping_add(other.bytes_zero_copied),
+        }
+    }
 }
 
-/// Reads the current counter values.
+/// Reads the current process-wide rollup values.
 pub fn snapshot() -> PerfSnapshot {
     PerfSnapshot {
         bytes_copied: BYTES_COPIED.load(Ordering::Relaxed),
@@ -79,8 +155,8 @@ pub fn snapshot() -> PerfSnapshot {
     }
 }
 
-/// Zeroes every counter — for bench harnesses that want absolute numbers
-/// per run instead of differencing snapshots.
+/// Zeroes every rollup counter — for bench harnesses that want absolute
+/// numbers per run instead of differencing snapshots.
 ///
 /// Resets are racy against concurrent traffic by construction (the
 /// counters are process-wide); tests must keep using snapshot deltas.
@@ -128,5 +204,50 @@ mod tests {
         // whole suite copies far more than 16 MiB overall.
         let s = snapshot();
         assert!(s.bytes_copied < 16 * 1024 * 1024, "reset must rebase, got {s:?}");
+    }
+
+    #[test]
+    fn instance_counters_are_isolated_but_roll_up() {
+        let a = PerfCounters::new();
+        let b = PerfCounters::new();
+        let global_before = snapshot();
+        a.note_copy(512);
+        a.note_zero_copy(4096);
+        b.note_copy(8);
+        // Instance views are exact — no cross-talk between engines.
+        let sa = a.snapshot();
+        assert_eq!((sa.bytes_copied, sa.copies), (512, 1));
+        assert_eq!((sa.zero_copy_hits, sa.bytes_zero_copied), (1, 4096));
+        assert_eq!(b.snapshot().bytes_copied, 8);
+        // Both fed the rollup (lower bounds: other tests run concurrently).
+        let d = snapshot().since(&global_before);
+        assert!(d.bytes_copied >= 520);
+        assert!(d.zero_copy_hits >= 1);
+        // Instance reset rebases the instance only.
+        a.reset();
+        assert_eq!(a.snapshot(), PerfSnapshot::default());
+        assert!(snapshot().since(&global_before).bytes_copied >= 520);
+    }
+
+    #[test]
+    fn merged_sums_counterwise() {
+        let a =
+            PerfSnapshot { bytes_copied: 1, copies: 2, zero_copy_hits: 3, bytes_zero_copied: 4 };
+        let b = PerfSnapshot {
+            bytes_copied: 10,
+            copies: 20,
+            zero_copy_hits: 30,
+            bytes_zero_copied: 40,
+        };
+        let m = a.merged(&b);
+        assert_eq!(
+            m,
+            PerfSnapshot {
+                bytes_copied: 11,
+                copies: 22,
+                zero_copy_hits: 33,
+                bytes_zero_copied: 44
+            }
+        );
     }
 }

@@ -289,6 +289,20 @@ impl CrashSchedule {
     pub fn first_crash_in(&self, after: Instant, upto: Instant) -> Option<Instant> {
         self.next_after(after).filter(|&c| c <= upto)
     }
+
+    /// The same schedule delayed by `by`: every crash instant moves later
+    /// by that amount. Multi-daemon chaos runs stagger one seeded plan
+    /// across shards with this, so each shard dies at distinct instants
+    /// while the whole fleet still replays from a single seed.
+    pub fn shifted(&self, by: Duration) -> Self {
+        CrashSchedule {
+            crashes: self
+                .crashes
+                .iter()
+                .map(|c| Instant::from_nanos(c.as_nanos().saturating_add(by.as_nanos())))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -429,5 +443,22 @@ mod tests {
                 t.as_nanos()
             );
         }
+    }
+
+    #[test]
+    fn shifted_delays_every_crash() {
+        let s = CrashSchedule::at(vec![Instant::from_nanos(1_000), Instant::from_nanos(5_000)]);
+        let shifted = s.shifted(Duration::from_nanos(250));
+        assert_eq!(
+            shifted.crashes(),
+            &[Instant::from_nanos(1_250), Instant::from_nanos(5_250)],
+            "every instant moves later by the shift"
+        );
+        assert_eq!(s.shifted(Duration::ZERO), s);
+        // Order (and thus query semantics) survives the shift.
+        assert_eq!(
+            shifted.next_after(Instant::from_nanos(1_250)),
+            Some(Instant::from_nanos(5_250))
+        );
     }
 }

@@ -49,6 +49,9 @@ pub use lake_block as block;
 pub use lake_core as core;
 /// AES-GCM and crypto backends (`lake-crypto`).
 pub use lake_crypto as crypto;
+/// Sharded multi-daemon serving: consistent-hash routing, tenant QoS,
+/// cross-shard failover (`lake-fleet`).
+pub use lake_fleet as fleet;
 /// The eCryptfs-style encrypted volume (`lake-fs`).
 pub use lake_fs as fs;
 /// The simulated CUDA-like accelerator (`lake-gpu`).
