@@ -215,6 +215,20 @@ fn print_gemm_scaling() {
         );
     }
 
+    // Small-batch LSTM floor (PR 7): batches under the pool cutover take
+    // the lean single-row path — no pooling, no ping-pong allocations —
+    // so the engine must never lose to the naive per-row classify it
+    // replaced (PR 4 shipped 0.88-0.99x here).
+    for r in rows.iter().filter(|r| r.model == "lstm" && r.batch <= 8) {
+        let s = r.speedup();
+        assert!(
+            s >= 1.0,
+            "lean LSTM path lost to naive at batch {} with {} workers: {s:.2}x",
+            r.batch,
+            r.workers
+        );
+    }
+
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json");
     let value = format!(
         r#"{{"host_cores": {cores}, "mlp": {}, "lstm": {}}}"#,
@@ -240,6 +254,17 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("engine_mlp_b64_w2", |b| {
         b.iter(|| engine.classify_mlp(MLP_ID, &mlp, &data, 64, MLP_IN));
+    });
+
+    // Small-batch LSTM: the lean path (engine, batch 1) vs the naive
+    // per-row classify it must never lose to.
+    let lstm = LstmClassifier::new(LSTM_FEAT, LSTM_HIDDEN, 1, 4, &mut rng);
+    let lstm_data = features(LSTM_COLS, 9);
+    group.bench_function("naive_lstm_b1", |b| {
+        b.iter(|| naive_lstm(&lstm, &lstm_data, 1));
+    });
+    group.bench_function("lean_lstm_b1", |b| {
+        b.iter(|| engine.classify_lstm(LSTM_ID, &lstm, &lstm_data, 1, LSTM_COLS, LSTM_STEPS));
     });
     group.finish();
 }

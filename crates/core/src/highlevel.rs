@@ -7,10 +7,14 @@
 //! in-daemon ML runtime (`lake-ml`) and the device. Feature batches travel
 //! through `lakeShm`, the "only data copying under its domain".
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use lake_rpc::{CallEngine, Decoder, Encoder, RpcError};
+use bytes::Bytes;
+use lake_rpc::{
+    ApiId, CallEngine, CmdId, Completion, Decoder, Encoder, QueuePair, QueueStats, RpcError,
+};
 use lake_sched::AdmissionController;
 use lake_shm::{ShmBuffer, ShmRegion};
 
@@ -39,6 +43,10 @@ impl std::fmt::Display for Ticket {
     }
 }
 
+/// One queued inference's class vector, or the typed error its frame
+/// surfaced — what the sync path would have returned for the same call.
+pub type InferCompletion = (CmdId, Result<Vec<u32>, LakeError>);
+
 /// Kernel-space handle to the high-level ML APIs.
 #[derive(Clone)]
 pub struct LakeMl {
@@ -50,6 +58,13 @@ pub struct LakeMl {
     supervisor: Option<Arc<DaemonSupervisor>>,
     /// Owner tag for staged buffers (unique per handle, monotonic).
     next_request: Arc<AtomicU64>,
+    /// This handle's SQ/CQ pair over the engine. Always present (the
+    /// async submit/poll API works at any depth); sync calls only route
+    /// through it when the configured depth exceeds 1.
+    queue: Arc<QueuePair>,
+    /// Staging buffers riding with queued (not yet completed) inferences,
+    /// keyed by submission ticket; unstaged at harvest time.
+    staged: Arc<Mutex<HashMap<CmdId, ShmBuffer>>>,
 }
 
 impl std::fmt::Debug for LakeMl {
@@ -64,8 +79,31 @@ impl LakeMl {
         shm: ShmRegion,
         admission: Option<Arc<AdmissionController>>,
         supervisor: Option<Arc<DaemonSupervisor>>,
+        queue_depth: usize,
     ) -> Self {
-        LakeMl { engine, shm, admission, supervisor, next_request: Arc::new(AtomicU64::new(1)) }
+        let queue = Arc::new(QueuePair::new(Arc::clone(&engine), queue_depth));
+        LakeMl {
+            engine,
+            shm,
+            admission,
+            supervisor,
+            next_request: Arc::new(AtomicU64::new(1)),
+            queue,
+            staged: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// One blocking call through the deployment's wire mode: the sync
+    /// frame-per-call path at depth 1, a submit + wait round through the
+    /// queue pair above it — semantically identical (a lone submission is
+    /// a plain frame), but queued so it coalesces with any concurrent
+    /// submissions sharing this handle.
+    fn call(&self, api: ApiId, payload: Bytes) -> Result<Bytes, RpcError> {
+        if self.queue.depth() <= 1 {
+            return self.engine.call(api, payload);
+        }
+        let id = self.queue.submit(api, payload);
+        self.queue.wait(id)
     }
 
     /// Allocates an **owner-tagged** shm buffer (current daemon epoch +
@@ -135,7 +173,7 @@ impl LakeMl {
     pub fn load_model(&self, blob: &[u8]) -> Result<ModelId, LakeError> {
         let mut e = Encoder::new();
         e.put_bytes(blob);
-        let resp = self.engine.call(api::ML_LOAD_MODEL, e.finish())?;
+        let resp = self.call(api::ML_LOAD_MODEL, e.finish())?;
         let mut d = Decoder::new(&resp);
         let id = d.get_u64().map_err(|_| LakeError::BadResponse("model id"))?;
         // Shadow-register the blob so a supervised restart replays it
@@ -154,7 +192,7 @@ impl LakeMl {
     pub fn unload_model(&self, id: ModelId) -> Result<(), LakeError> {
         let mut e = Encoder::new();
         e.put_u64(id.0);
-        self.engine.call(api::ML_UNLOAD_MODEL, e.finish())?;
+        self.call(api::ML_UNLOAD_MODEL, e.finish())?;
         if let Some(sup) = &self.supervisor {
             sup.forget_model(id.0);
         }
@@ -181,7 +219,7 @@ impl LakeMl {
             .put_u64(cols as u64)
             .put_u64(steps as u64)
             .put_u64(buf.offset() as u64);
-        let result = self.engine.call(api, e.finish());
+        let result = self.call(api, e.finish());
         let lost = matches!(result, Err(RpcError::DaemonRestarted { .. }));
         self.unstage(buf, 0, lost)?;
         let resp = result?;
@@ -267,7 +305,7 @@ impl LakeMl {
             .put_f32(learning_rate)
             .put_u64_slice(&label_words)
             .put_u64(buf.offset() as u64);
-        let result = self.engine.call(api::ML_TRAIN_MLP, e.finish());
+        let result = self.call(api::ML_TRAIN_MLP, e.finish());
         let lost = matches!(result, Err(RpcError::DaemonRestarted { .. }));
         self.unstage(buf, 0, lost)?;
         let resp = result?;
@@ -285,7 +323,7 @@ impl LakeMl {
     pub fn export_model(&self, id: ModelId) -> Result<Vec<u8>, LakeError> {
         let mut e = Encoder::new();
         e.put_u64(id.0);
-        let resp = self.engine.call(api::ML_EXPORT_MODEL, e.finish())?;
+        let resp = self.call(api::ML_EXPORT_MODEL, e.finish())?;
         let mut d = Decoder::new(&resp);
         Ok(d.get_bytes().map_err(|_| LakeError::BadResponse("model blob"))?.to_vec())
     }
@@ -322,7 +360,7 @@ impl LakeMl {
             .put_u64(cols as u64)
             .put_u64(steps as u64)
             .put_u64(buf.offset() as u64);
-        let result = self.engine.call(api::ML_INFER_SUBMIT, e.finish());
+        let result = self.call(api::ML_INFER_SUBMIT, e.finish());
         let lost = matches!(result, Err(RpcError::DaemonRestarted { .. }));
         self.unstage(buf, client, lost)?;
         let resp = result?;
@@ -342,7 +380,7 @@ impl LakeMl {
     pub fn infer_poll(&self, ticket: Ticket) -> Result<Option<u32>, LakeError> {
         let mut e = Encoder::new();
         e.put_u64(ticket.0);
-        let resp = self.engine.call(api::ML_INFER_POLL, e.finish())?;
+        let resp = self.call(api::ML_INFER_POLL, e.finish())?;
         let mut d = Decoder::new(&resp);
         let ready = d.get_u8().map_err(|_| LakeError::BadResponse("poll status"))?;
         if ready == 0 {
@@ -359,7 +397,7 @@ impl LakeMl {
     ///
     /// Returns [`LakeError`] if a dispatched batch fails to execute.
     pub fn infer_flush(&self) -> Result<u64, LakeError> {
-        let resp = self.engine.call(api::ML_INFER_FLUSH, bytes::Bytes::new())?;
+        let resp = self.call(api::ML_INFER_FLUSH, bytes::Bytes::new())?;
         let mut d = Decoder::new(&resp);
         d.get_u64().map_err(|_| LakeError::BadResponse("batch count"))
     }
@@ -381,5 +419,122 @@ impl LakeMl {
         features: &[f32],
     ) -> Result<Vec<u32>, LakeError> {
         self.infer(api::ML_INFER_KNN, id, rows, cols, 0, features)
+    }
+
+    /// Stage one batch and enqueue its inference on this handle's SQ
+    /// without blocking. The features stay pinned in lakeShm until the
+    /// completion is harvested by [`LakeMl::poll_completions`] (or
+    /// reclaimed by the supervisor if the daemon dies holding them).
+    fn submit_infer(
+        &self,
+        api: ApiId,
+        id: ModelId,
+        rows: usize,
+        cols: usize,
+        steps: usize,
+        features: &[f32],
+    ) -> Result<CmdId, LakeError> {
+        assert_eq!(features.len(), rows * cols, "feature buffer shape mismatch");
+        let buf = self.stage_f32(features, 0)?;
+
+        let mut e = Encoder::new();
+        e.put_u64(id.0)
+            .put_u64(rows as u64)
+            .put_u64(cols as u64)
+            .put_u64(steps as u64)
+            .put_u64(buf.offset() as u64);
+        let ticket = self.queue.submit(api, e.finish());
+        self.staged.lock().expect("staged map poisoned").insert(ticket, buf);
+        Ok(ticket)
+    }
+
+    /// Queue a batched MLP inference; returns immediately with a ticket.
+    /// The SQ flushes (one doorbell for the whole drain) when it reaches
+    /// the configured queue depth, or eagerly via [`LakeMl::flush`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] if staging the feature batch fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != rows * cols`.
+    pub fn submit_mlp(
+        &self,
+        id: ModelId,
+        rows: usize,
+        cols: usize,
+        features: &[f32],
+    ) -> Result<CmdId, LakeError> {
+        self.submit_infer(api::ML_INFER_MLP, id, rows, cols, 0, features)
+    }
+
+    /// Queue a batched LSTM inference; returns immediately with a ticket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] if staging the feature batch fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flat buffer length does not match the shape.
+    pub fn submit_lstm(
+        &self,
+        id: ModelId,
+        rows: usize,
+        steps: usize,
+        features_per_step: usize,
+        features: &[f32],
+    ) -> Result<CmdId, LakeError> {
+        self.submit_infer(api::ML_INFER_LSTM, id, rows, steps * features_per_step, steps, features)
+    }
+
+    /// Harvest every completion that has arrived, in completion (not
+    /// submission) order. Each entry carries the submission ticket and
+    /// exactly what the sync path would have returned; staging buffers
+    /// are released here — orphaned for supervisor reclaim when the
+    /// daemon died holding them, freed otherwise.
+    ///
+    /// Non-blocking: returns an empty vec when nothing has completed.
+    pub fn poll_completions(&self) -> Vec<InferCompletion> {
+        self.queue.poll().into_iter().map(|c| self.harvest(c)).collect()
+    }
+
+    /// Flush the SQ, then block until every outstanding submission has
+    /// completed, harvesting them all.
+    pub fn drain_completions(&self) -> Vec<InferCompletion> {
+        self.queue.drain().into_iter().map(|c| self.harvest(c)).collect()
+    }
+
+    fn harvest(&self, c: Completion) -> InferCompletion {
+        let buf = self.staged.lock().expect("staged map poisoned").remove(&c.id);
+        let lost = matches!(c.result, Err(RpcError::DaemonRestarted { .. }));
+        let unstaged = match buf {
+            Some(buf) => self.unstage(buf, 0, lost),
+            None => Ok(()),
+        };
+        let result = unstaged.and_then(|()| {
+            let resp = c.result?;
+            let mut d = Decoder::new(&resp);
+            let classes = d.get_u64_slice().map_err(|_| LakeError::BadResponse("class vector"))?;
+            Ok(classes.into_iter().map(|cl| cl as u32).collect())
+        });
+        (c.id, result)
+    }
+
+    /// Force-send everything sitting in the SQ under one doorbell without
+    /// waiting for the queue to fill.
+    pub fn flush(&self) {
+        self.queue.flush();
+    }
+
+    /// Submissions not yet harvested (queued or in flight).
+    pub fn outstanding(&self) -> usize {
+        self.queue.outstanding()
+    }
+
+    /// Counter snapshot for this handle's queue pair.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 }

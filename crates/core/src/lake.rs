@@ -103,6 +103,7 @@ pub struct LakeBuilder {
     staging_threshold: Option<usize>,
     link_mode: LinkMode,
     wait_strategy: WaitStrategy,
+    queue_depth: usize,
     shards: usize,
     shard_id: usize,
 }
@@ -127,6 +128,7 @@ impl Default for LakeBuilder {
             staging_threshold: None,
             link_mode: LinkMode::default(),
             wait_strategy: WaitStrategy::default(),
+            queue_depth: lake_rpc::DEFAULT_QUEUE_DEPTH,
             shards: 1,
             shard_id: 0,
         }
@@ -257,6 +259,25 @@ impl LakeBuilder {
         self
     }
 
+    /// Sets the SQ/CQ queue-pair depth of every kernel-side handle this
+    /// deployment vends (see [`lake_rpc::QueuePair`]). At the default
+    /// depth 1 the sync wire mode is used: every call is its own frame and
+    /// doorbell, exactly the pre-queue behaviour. Depths above 1 route
+    /// calls through a per-handle queue pair — submissions coalesce into
+    /// burst frames, the whole submission-queue drain ships under a single
+    /// doorbell, and the async `submit`/`poll` API becomes worthwhile. The
+    /// `LAKE_QUEUE_DEPTH` environment variable overrides this at build
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be at least 1");
+        self.queue_depth = depth;
+        self
+    }
+
     /// Deploys `n` lakeD shards when built through
     /// [`LakeBuilder::build_shards`] (or `lake-fleet`'s `DaemonFleet`).
     /// Each shard gets its own transport link, supervisor, incarnation
@@ -334,6 +355,14 @@ impl LakeBuilder {
         let wait_strategy = match std::env::var("WAIT_STRATEGY") {
             Ok(s) => s.parse().expect("WAIT_STRATEGY"),
             Err(_) => self.wait_strategy,
+        };
+        let queue_depth = match std::env::var("LAKE_QUEUE_DEPTH") {
+            Ok(s) => {
+                let n: usize = s.trim().parse().expect("LAKE_QUEUE_DEPTH");
+                assert!(n > 0, "LAKE_QUEUE_DEPTH must be at least 1");
+                n
+            }
+            Err(_) => self.queue_depth,
         };
         // The ring *is* the mmap transport: its costs are Table 2's mmap
         // row no matter what the builder asked for.
@@ -461,6 +490,7 @@ impl LakeBuilder {
             admission,
             link_mode,
             ring,
+            queue_depth,
             shard_id: self.shard_id,
         }
     }
@@ -480,6 +510,7 @@ pub struct Lake {
     admission: Arc<AdmissionController>,
     link_mode: LinkMode,
     ring: Option<RingEndpoint>,
+    queue_depth: usize,
     shard_id: usize,
 }
 
@@ -620,6 +651,7 @@ impl Lake {
             self.shm.clone(),
             Some(Arc::clone(&self.admission)),
             Some(Arc::clone(&self.supervisor)),
+            self.queue_depth,
         )
     }
 
@@ -642,6 +674,12 @@ impl Lake {
     /// `LAKE_LINK` override).
     pub fn link_mode(&self) -> LinkMode {
         self.link_mode
+    }
+
+    /// The SQ/CQ depth every [`Lake::ml`] handle gets (after any
+    /// `LAKE_QUEUE_DEPTH` override); 1 means the sync wire mode.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
     }
 
     /// Ring-transport counters (doorbells, spin/park activity, restart
@@ -803,6 +841,110 @@ mod tests {
         assert_eq!(remote, local.iter().map(|&c| c as u32).collect::<Vec<_>>());
         ml.unload_model(id).unwrap();
         assert!(ml.unload_model(id).is_err(), "double unload must fail");
+    }
+
+    #[test]
+    fn async_submit_poll_matches_sync_and_releases_staging() {
+        use lake_ml::{serialize, Activation, Matrix, Mlp};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(17);
+        let model = Mlp::new(&[4, 8, 3], Activation::Relu, &mut rng);
+        let rows: Vec<Vec<f32>> =
+            (0..6).map(|i| (0..4).map(|j| ((i * 4 + j) as f32).sin()).collect()).collect();
+        let x = Matrix::from_rows(&rows);
+
+        let lake = Lake::builder().queue_depth(4).build();
+        assert_eq!(lake.queue_depth(), 4);
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_mlp(&model)).unwrap();
+        let sync = ml.infer_mlp(id, 6, 4, x.data()).unwrap();
+
+        // Two queued batches at depth 4: nothing flushes, nothing
+        // completes until we drain.
+        let t0 = ml.submit_mlp(id, 6, 4, x.data()).unwrap();
+        let t1 = ml.submit_mlp(id, 1, 4, &x.data()[..4]).unwrap();
+        assert_eq!(ml.outstanding(), 2);
+        assert!(ml.poll_completions().is_empty(), "SQ must not auto-flush below depth");
+
+        let mut done = ml.drain_completions();
+        done.sort_by_key(|c| c.0);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].0, t0);
+        assert_eq!(done[0].1.as_ref().unwrap(), &sync);
+        assert_eq!(done[1].0, t1);
+        assert_eq!(done[1].1.as_ref().unwrap(), &sync[..1]);
+        assert_eq!(ml.outstanding(), 0);
+
+        // load_model and the sync infer also rode the queue (depth > 1),
+        // so four submissions total — and every staging buffer came back.
+        let qs = ml.queue_stats();
+        assert_eq!(qs.submitted, 4);
+        assert_eq!(qs.completed, 4);
+        let shm = lake.shm().stats();
+        assert_eq!(shm.free_blocks, 1, "staging buffers leaked: {shm:?}");
+    }
+
+    #[test]
+    fn default_depth_keeps_sync_calls_on_the_plain_wire() {
+        use lake_ml::{serialize, Activation, Matrix, Mlp};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
+        let lake = Lake::builder().build();
+        assert_eq!(lake.queue_depth(), lake_rpc::DEFAULT_QUEUE_DEPTH);
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_mlp(&model)).unwrap();
+        let x = Matrix::from_rows(&[vec![0.5, -0.5, 1.0, 0.0]]);
+        ml.infer_mlp(id, 1, 4, x.data()).unwrap();
+        // At depth 1 the sync path bypasses the queue pair entirely.
+        assert_eq!(ml.queue_stats().submitted, 0);
+        // The async surface still works — a lone submission is a plain
+        // frame that flushes immediately at depth 1.
+        let t = ml.submit_mlp(id, 1, 4, x.data()).unwrap();
+        let done = ml.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, t);
+        assert!(done[0].1.is_ok());
+    }
+
+    #[test]
+    fn linked_queue_drain_coalesces_submissions_into_burst_frames() {
+        use lake_ml::{serialize, Activation, Matrix, Mlp};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(29);
+        let model = Mlp::new(&[4, 8, 3], Activation::Relu, &mut rng);
+        let lake = Lake::builder().link_mode(LinkMode::Channel).queue_depth(8).build();
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_mlp(&model)).unwrap();
+
+        let x = Matrix::from_rows(&[vec![1.0, 0.0, -1.0, 0.5]]);
+        let sync = ml.infer_mlp(id, 1, 4, x.data()).unwrap();
+        let before = lake.call_stats();
+
+        // Eight submissions hit the depth and auto-flush as one burst
+        // frame under a single doorbell.
+        let tickets: Vec<_> = (0..8).map(|_| ml.submit_mlp(id, 1, 4, x.data()).unwrap()).collect();
+        let done = ml.drain_completions();
+        assert_eq!(done.len(), 8);
+        for t in &tickets {
+            let (_, result) = done.iter().find(|(id, _)| id == t).expect("ticket completed");
+            assert_eq!(result.as_ref().unwrap(), &sync);
+        }
+
+        let stats = lake.call_stats();
+        assert_eq!(stats.calls - before.calls, 1, "one burst frame, one call");
+        assert_eq!(stats.burst_frames - before.burst_frames, 1);
+        assert_eq!(stats.coalesced_commands - before.coalesced_commands, 8);
+        // load_model and the sync infer each flushed as a lone plain
+        // frame; the eight submissions shared one burst frame.
+        assert_eq!(ml.queue_stats().frames_sent, 3);
+        assert_eq!(lake.shm().stats().free_blocks, 1);
     }
 
     #[test]

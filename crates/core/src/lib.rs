@@ -55,7 +55,7 @@ pub mod policy;
 pub mod supervisor;
 
 pub use error::LakeError;
-pub use highlevel::{LakeMl, ModelId, Ticket};
+pub use highlevel::{InferCompletion, LakeMl, ModelId, Ticket};
 pub use lake::{FaultReport, Lake, LakeBuilder, LinkMode, PerfReport};
 pub use lakelib::LakeCuda;
 pub use policy::{CuPolicy, Policy, PolicyConfig, Target};

@@ -42,7 +42,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use lake_core::{FaultReport, Lake, LakeBuilder, LakeError, LakeMl, ModelId, PerfReport, Ticket};
-use lake_rpc::{PerfSnapshot, RpcError};
+use lake_rpc::{CmdId, PerfSnapshot, RpcError};
 use lake_sim::{Duration, SharedClock};
 use lake_transport::RingStats;
 use parking_lot::Mutex;
@@ -97,6 +97,30 @@ pub struct FleetTicket {
     pub shard: usize,
     /// The shard-local ticket.
     pub ticket: Ticket,
+}
+
+/// Ticket for a queued inference submitted through
+/// [`FleetMl::submit_mlp`] / [`FleetMl::submit_lstm`]: the shard whose
+/// SQ holds the command plus its shard-local [`CmdId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FleetCmdId {
+    /// Shard the command was submitted to.
+    pub shard: usize,
+    /// The shard-local queue-pair ticket.
+    pub id: CmdId,
+}
+
+/// Everything needed to replay a queued idempotent inference on the
+/// sibling replica if its frame dies with the daemon.
+struct QueuedSubmit {
+    route: ModelRoute,
+    kind: QueuedKind,
+    features: Vec<f32>,
+}
+
+enum QueuedKind {
+    Mlp { rows: usize, cols: usize },
+    Lstm { rows: usize, steps: usize, features_per_step: usize },
 }
 
 /// Where a fleet model lives: its ring-assigned shard pair and the
@@ -253,9 +277,16 @@ impl DaemonFleet {
         &self.governor
     }
 
-    /// A fleet-level ML handle routing through this fleet.
+    /// A fleet-level ML handle routing through this fleet. Each handle
+    /// owns one SQ/CQ queue pair per shard (the per-client pairs of the
+    /// async API), so queued submissions must be harvested through the
+    /// same handle that submitted them.
     pub fn ml(&self) -> FleetMl<'_> {
-        FleetMl { fleet: self, mls: self.shards.iter().map(Lake::ml).collect() }
+        FleetMl {
+            fleet: self,
+            mls: self.shards.iter().map(Lake::ml).collect(),
+            queued: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The `(primary, backup)` shard pair serving `id`, or `None` if the
@@ -355,6 +386,9 @@ fn failover_eligible(err: &LakeError) -> bool {
 pub struct FleetMl<'f> {
     fleet: &'f DaemonFleet,
     mls: Vec<LakeMl>,
+    /// Replay state for queued idempotent inferences, keyed by the
+    /// submitting shard's ticket; removed at harvest.
+    queued: Mutex<HashMap<FleetCmdId, QueuedSubmit>>,
 }
 
 impl FleetMl<'_> {
@@ -607,6 +641,139 @@ impl FleetMl<'_> {
         backup.supervisor().record_model(route.backup_id.0, &blob);
         Ok(())
     }
+
+    /// Queues a batched MLP inference on the serving shard's SQ without
+    /// blocking (proactive diversion applies at submit time, like the
+    /// sync path). Idempotent: if the frame later completes with a
+    /// daemon-death error, harvest replays it on the sibling replica.
+    ///
+    /// # Errors
+    ///
+    /// Tenant admission, then shard-local staging errors.
+    pub fn submit_mlp(
+        &self,
+        tenant: u32,
+        id: FleetModelId,
+        rows: usize,
+        cols: usize,
+        features: &[f32],
+    ) -> Result<FleetCmdId, LakeError> {
+        self.admit(tenant, std::mem::size_of_val(features))?;
+        let route = self.route(id)?;
+        let (shard, mid) = self.fleet.select_shard(&route);
+        let cmd = self.mls[shard].submit_mlp(mid, rows, cols, features)?;
+        let fid = FleetCmdId { shard, id: cmd };
+        self.queued.lock().insert(
+            fid,
+            QueuedSubmit {
+                route,
+                kind: QueuedKind::Mlp { rows, cols },
+                features: features.to_vec(),
+            },
+        );
+        Ok(fid)
+    }
+
+    /// Queues a batched LSTM inference; see [`FleetMl::submit_mlp`].
+    ///
+    /// # Errors
+    ///
+    /// Tenant admission, then shard-local staging errors.
+    pub fn submit_lstm(
+        &self,
+        tenant: u32,
+        id: FleetModelId,
+        rows: usize,
+        steps: usize,
+        features_per_step: usize,
+        features: &[f32],
+    ) -> Result<FleetCmdId, LakeError> {
+        self.admit(tenant, std::mem::size_of_val(features))?;
+        let route = self.route(id)?;
+        let (shard, mid) = self.fleet.select_shard(&route);
+        let cmd = self.mls[shard].submit_lstm(mid, rows, steps, features_per_step, features)?;
+        let fid = FleetCmdId { shard, id: cmd };
+        self.queued.lock().insert(
+            fid,
+            QueuedSubmit {
+                route,
+                kind: QueuedKind::Lstm { rows, steps, features_per_step },
+                features: features.to_vec(),
+            },
+        );
+        Ok(fid)
+    }
+
+    /// Force-sends every shard's SQ under one doorbell apiece.
+    pub fn flush(&self) {
+        for ml in &self.mls {
+            ml.flush();
+        }
+    }
+
+    /// Queued submissions not yet harvested, across all shards.
+    pub fn outstanding(&self) -> usize {
+        self.mls.iter().map(LakeMl::outstanding).sum()
+    }
+
+    /// Harvests every completion that has already arrived on any shard's
+    /// CQ (non-blocking). A completion that died with the daemon is
+    /// replayed synchronously on the sibling replica before being
+    /// returned — the caller sees the sibling's answer under the
+    /// original ticket, and `failover_retries` counts the replay.
+    pub fn poll_completions(&self) -> Vec<(FleetCmdId, Result<Vec<u32>, LakeError>)> {
+        let mut out = Vec::new();
+        for (shard, ml) in self.mls.iter().enumerate() {
+            for (cmd, result) in ml.poll_completions() {
+                out.push(self.settle(FleetCmdId { shard, id: cmd }, result));
+            }
+        }
+        out
+    }
+
+    /// Flushes every shard's SQ, then blocks until all outstanding
+    /// submissions complete, harvesting them with the same failover
+    /// semantics as [`FleetMl::poll_completions`].
+    pub fn drain_completions(&self) -> Vec<(FleetCmdId, Result<Vec<u32>, LakeError>)> {
+        let mut out = Vec::new();
+        for (shard, ml) in self.mls.iter().enumerate() {
+            for (cmd, result) in ml.drain_completions() {
+                out.push(self.settle(FleetCmdId { shard, id: cmd }, result));
+            }
+        }
+        out
+    }
+
+    fn settle(
+        &self,
+        fid: FleetCmdId,
+        result: Result<Vec<u32>, LakeError>,
+    ) -> (FleetCmdId, Result<Vec<u32>, LakeError>) {
+        let queued = self.queued.lock().remove(&fid);
+        match result {
+            Err(e) if failover_eligible(&e) => {
+                let Some(q) = queued else { return (fid, Err(e)) };
+                if q.route.backup == q.route.primary {
+                    return (fid, Err(e));
+                }
+                self.fleet.failover_retries.fetch_add(1, Ordering::Relaxed);
+                let (alt, alt_id) = if fid.shard == q.route.primary {
+                    (q.route.backup, q.route.backup_id)
+                } else {
+                    (q.route.primary, q.route.primary_id)
+                };
+                let retried = match q.kind {
+                    QueuedKind::Mlp { rows, cols } => {
+                        self.mls[alt].infer_mlp(alt_id, rows, cols, &q.features)
+                    }
+                    QueuedKind::Lstm { rows, steps, features_per_step } => self.mls[alt]
+                        .infer_lstm(alt_id, rows, steps, features_per_step, &q.features),
+                };
+                (fid, retried)
+            }
+            r => (fid, r),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -766,6 +933,124 @@ mod tests {
         let by_hand = perf.shards.iter().fold(PerfSnapshot::default(), |acc, r| acc.merged(&r.rpc));
         assert_eq!(perf.rpc_total, by_hand);
         assert!(perf.rpc_total.bytes_copied > 0, "model load + infer copied bytes");
+    }
+
+    #[test]
+    fn perf_totals_stay_exact_across_three_shards_and_add_shard() {
+        let mut fleet = DaemonFleet::deploy(Lake::builder().shards(3));
+        {
+            // Spread traffic until every shard has served at least one
+            // model, so every engine's counters are non-trivial.
+            let ml = fleet.ml();
+            let mut touched = [false; 3];
+            for _ in 0..32 {
+                let id = ml.load_model(&model_blob()).unwrap();
+                let (p, b) = fleet.route_of(id).unwrap();
+                touched[p] = true;
+                touched[b] = true;
+                ml.infer_mlp(0, id, 1, COLS, &row(1)).unwrap();
+                if touched.iter().all(|&t| t) {
+                    break;
+                }
+            }
+            assert!(touched.iter().all(|&t| t), "32 keys never touched some shard");
+        }
+
+        // Per-engine snapshots taken straight off each shard, before any
+        // aggregation — the ground truth the fleet rollup must equal.
+        let pre: Vec<PerfSnapshot> = fleet.shards().iter().map(|s| s.perf_report().rpc).collect();
+        let perf = fleet.perf_report();
+        assert_eq!(perf.shards.len(), 3);
+        for (shard, want) in perf.shards.iter().zip(&pre) {
+            assert_eq!(&shard.rpc, want, "per-shard counters shifted under aggregation");
+        }
+        assert_eq!(perf.rpc_total.bytes_copied, pre.iter().map(|s| s.bytes_copied).sum::<u64>());
+        assert_eq!(perf.rpc_total.copies, pre.iter().map(|s| s.copies).sum::<u64>());
+        assert_eq!(
+            perf.rpc_total.zero_copy_hits,
+            pre.iter().map(|s| s.zero_copy_hits).sum::<u64>()
+        );
+        assert_eq!(
+            perf.rpc_total.bytes_zero_copied,
+            pre.iter().map(|s| s.bytes_zero_copied).sum::<u64>()
+        );
+        assert!(perf.rpc_total.bytes_copied > 0);
+
+        // Growing the fleet must not double-count: the newcomer's engine
+        // joins the fold exactly once, and the old shards' counters are
+        // untouched by `add_shard`.
+        fleet.add_shard();
+        let perf2 = fleet.perf_report();
+        assert_eq!(perf2.shards.len(), 4);
+        for (shard, want) in perf2.shards.iter().take(3).zip(&pre) {
+            assert_eq!(&shard.rpc, want, "add_shard disturbed an existing engine");
+        }
+        let pre2: Vec<PerfSnapshot> = fleet.shards().iter().map(|s| s.perf_report().rpc).collect();
+        assert_eq!(perf2.rpc_total.bytes_copied, pre2.iter().map(|s| s.bytes_copied).sum::<u64>());
+        assert_eq!(perf2.rpc_total.copies, pre2.iter().map(|s| s.copies).sum::<u64>());
+    }
+
+    #[test]
+    fn queued_submissions_complete_and_fail_over_to_the_sibling() {
+        // Discover key 0's primary, then rebuild with that shard armed
+        // to crash — mirrors `pending_crash_diverts_then_primary_recovers`.
+        let probe = DaemonFleet::deploy(Lake::builder().shards(2));
+        let pid = probe.ml().load_model(&model_blob()).unwrap();
+        let (primary, _) = probe.route_of(pid).unwrap();
+        let want = probe.ml().infer_mlp(0, pid, 1, COLS, &row(5)).unwrap();
+        drop(probe);
+
+        // Healthy fleet first: queued submissions land on the primary's
+        // SQ and drain to the same answers as the sync path.
+        let fleet = DaemonFleet::deploy(Lake::builder().shards(2));
+        let ml = fleet.ml();
+        let id = ml.load_model(&model_blob()).unwrap();
+        let t0 = ml.submit_mlp(0, id, 1, COLS, &row(5)).unwrap();
+        let t1 = ml.submit_mlp(0, id, 1, COLS, &row(5)).unwrap();
+        assert_eq!(t0.shard, primary);
+        let done = ml.drain_completions();
+        assert_eq!(done.len(), 2);
+        for t in [t0, t1] {
+            let (_, r) = done.iter().find(|(fid, _)| *fid == t).expect("ticket completed");
+            assert_eq!(r.as_ref().unwrap(), &want);
+        }
+        assert!(fleet.stats().qos.admitted >= 2, "tenant governor gated the submits");
+
+        // Crashy fleet: the primary crashes mid-flight and its engine is
+        // pinned to a single attempt, so the queued frame completes with
+        // a typed `DaemonRestarted` instead of recovering shard-locally —
+        // harvest must replay the command on the backup replica.
+        let one_shot = lake_rpc::CallPolicy { max_attempts: 1, ..Default::default() };
+        let fleet = DaemonFleet::deploy_with(
+            Lake::builder().shards(2),
+            FleetPolicy::default(),
+            |sid, b| {
+                if sid == primary {
+                    b.crash_schedule(CrashSchedule::at(vec![
+                        Instant::EPOCH + Duration::from_micros(500),
+                    ]))
+                    .call_policy(one_shot)
+                } else {
+                    b
+                }
+            },
+        );
+        let ml = fleet.ml();
+        let id = ml.load_model(&model_blob()).unwrap();
+        // Park just shy of the first crash so the queued frame's
+        // in-flight window spans it (the submit itself still routes the
+        // primary: the crash has not surfaced yet).
+        fleet.clock().advance_to(Instant::from_nanos(500 * 1_000 - 100));
+        let t = ml.submit_mlp(0, id, 1, COLS, &row(5)).unwrap();
+        assert_eq!(t.shard, primary, "crash not yet surfaced, primary routed");
+        let done = ml.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, t);
+        assert_eq!(done[0].1.as_ref().expect("failover answered under the original ticket"), &want);
+        assert!(
+            fleet.stats().failover_retries >= 1,
+            "daemon-death completion must count a failover replay"
+        );
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub mod qos;
 pub mod ring;
 
 pub use fleet::{
-    DaemonFleet, FleetFaultReport, FleetMl, FleetModelId, FleetPerfReport, FleetPolicy, FleetStats,
-    FleetTicket,
+    DaemonFleet, FleetCmdId, FleetFaultReport, FleetMl, FleetModelId, FleetPerfReport, FleetPolicy,
+    FleetStats, FleetTicket,
 };
 pub use qos::{QosCounters, QosPolicy, TenantGovernor};
 pub use ring::{HashRing, DEFAULT_VNODES};

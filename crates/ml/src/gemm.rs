@@ -537,14 +537,31 @@ impl PackedCell {
                 *zj += hv * wj;
             }
         }
-        for j in 0..hd {
-            let i = sigmoid(z[j]);
-            let f = sigmoid(z[hd + j]);
-            let g = z[2 * hd + j].tanh();
-            let o = sigmoid(z[3 * hd + j]);
-            let cn = f * c[j] + i * g;
-            c[j] = cn;
-            h[j] = o * cn.tanh();
+        // Gate epilogue over the four hd-wide bands of `z`, in place and
+        // bounds-check-free (each band is one tight loop, the c/h update a
+        // single zip). Every output element sees the exact op sequence of
+        // `LstmCell::step` — the bands are independent per j, so splitting
+        // the fused loop only reorders *between* elements, never within one.
+        let (zi, rest) = z.split_at_mut(hd);
+        let (zf, rest) = rest.split_at_mut(hd);
+        let (zg, zo) = rest.split_at_mut(hd);
+        for v in zi.iter_mut() {
+            *v = sigmoid(*v);
+        }
+        for v in zf.iter_mut() {
+            *v = sigmoid(*v);
+        }
+        for v in zg.iter_mut() {
+            *v = v.tanh();
+        }
+        for v in zo.iter_mut() {
+            *v = sigmoid(*v);
+        }
+        let gates = zi.iter().zip(zf.iter()).zip(zg.iter().zip(zo.iter()));
+        for ((cj, hj), ((&i, &f), (&g, &o))) in c.iter_mut().zip(h.iter_mut()).zip(gates) {
+            let cn = f * *cj + i * g;
+            *cj = cn;
+            *hj = o * cn.tanh();
         }
     }
 }
@@ -625,34 +642,91 @@ impl PackedLstm {
             layer_input = layer_out;
             width = hd;
         }
-        // Head: logits seeded with the bias then accumulated by k-outer
-        // saxpy with no zero skip, exactly as `LstmClassifier::forward`;
-        // argmax keeps the *last* maximal index, matching
-        // `max_by(partial_cmp)`.
+        // Head: see `head_argmax` — identical math to the naive forward.
         let mut logits = vec![0.0f32; self.head_b.len()];
         for (r, slot) in out.iter_mut().enumerate() {
             let last_h = &layer_input
                 [(r * steps + steps - 1) * top_hidden..(r * steps + steps) * top_hidden];
-            logits.copy_from_slice(&self.head_b);
-            for (k, &hv) in last_h.iter().enumerate() {
-                let row = self.head_w.row(k);
-                for (lj, &wj) in logits.iter_mut().zip(row) {
-                    *lj += hv * wj;
-                }
-            }
-            let mut best = 0usize;
-            let mut best_v = logits[0];
-            for (j, &v) in logits.iter().enumerate().skip(1) {
-                match v.partial_cmp(&best_v).expect("no NaN logits") {
-                    std::cmp::Ordering::Less => {}
-                    _ => {
-                        best = j;
-                        best_v = v;
-                    }
-                }
-            }
-            *slot = best;
+            *slot = self.head_argmax(last_h, &mut logits);
         }
+    }
+
+    /// Small-batch path: one row at a time through *all* layers, every
+    /// scratch buffer reused across rows. The batched `classify_rows`
+    /// re-lays the batch out per layer (`layer_input` copy plus fresh
+    /// `layer_out`/`h`/`c` allocations) to stream the packed weights once
+    /// per timestep — a win that needs a few dozen rows to amortize. Below
+    /// [`DEFAULT_POOL_MIN_ROWS`] those allocations were the whole
+    /// regression: at batch ≤ 8 the packed path lost to the naive loop
+    /// (0.88–0.99×) while doing strictly less arithmetic. Rows never share
+    /// state and the per-row op order (layer → timestep → `step`) is the
+    /// same in both paths, so the outputs are bit-identical.
+    fn classify_rows_lean(
+        &self,
+        data: &[f32],
+        cols: usize,
+        steps: usize,
+        rows: Range<usize>,
+        out: &mut [usize],
+    ) {
+        let feat = cols / steps;
+        let top_hidden = self.cells.last().expect("non-empty lstm").hidden;
+        let max_hidden = self.cells.iter().map(|c| c.hidden).max().expect("non-empty lstm");
+        // Ping-pong sequence buffers sized for the widest layer; `cur`
+        // holds the current layer's per-timestep inputs for the one row in
+        // flight, exactly as `layer_input` does per batch above.
+        // Both sized for the widest layer: swaps across rows mean either
+        // buffer can end up holding the raw `feat`-wide features next.
+        let mut cur = vec![0.0f32; steps * feat.max(max_hidden)];
+        let mut next = vec![0.0f32; steps * feat.max(max_hidden)];
+        let mut h = vec![0.0f32; max_hidden];
+        let mut c = vec![0.0f32; max_hidden];
+        let mut z = vec![0.0f32; 4 * max_hidden];
+        let mut logits = vec![0.0f32; self.head_b.len()];
+        for (slot, i) in out.iter_mut().zip(rows) {
+            cur[..cols].copy_from_slice(&data[i * cols..(i + 1) * cols]);
+            let mut width = feat;
+            for cell in &self.cells {
+                let hd = cell.hidden;
+                h[..hd].fill(0.0);
+                c[..hd].fill(0.0);
+                for t in 0..steps {
+                    let (x, rest) = (&cur[t * width..], &mut next[t * hd..]);
+                    cell.step(&x[..width], &mut h[..hd], &mut c[..hd], &mut z[..4 * hd]);
+                    rest[..hd].copy_from_slice(&h[..hd]);
+                }
+                std::mem::swap(&mut cur, &mut next);
+                width = hd;
+            }
+            *slot =
+                self.head_argmax(&cur[(steps - 1) * top_hidden..steps * top_hidden], &mut logits);
+        }
+    }
+
+    /// Head logits + argmax for one row: logits seeded with the bias then
+    /// accumulated by k-outer saxpy with no zero skip, exactly as
+    /// `LstmClassifier::forward`; argmax keeps the *last* maximal index,
+    /// matching `max_by(partial_cmp)`.
+    fn head_argmax(&self, last_h: &[f32], logits: &mut [f32]) -> usize {
+        logits.copy_from_slice(&self.head_b);
+        for (k, &hv) in last_h.iter().enumerate() {
+            let row = self.head_w.row(k);
+            for (lj, &wj) in logits.iter_mut().zip(row) {
+                *lj += hv * wj;
+            }
+        }
+        let mut best = 0usize;
+        let mut best_v = logits[0];
+        for (j, &v) in logits.iter().enumerate().skip(1) {
+            match v.partial_cmp(&best_v).expect("no NaN logits") {
+                std::cmp::Ordering::Less => {}
+                _ => {
+                    best = j;
+                    best_v = v;
+                }
+            }
+        }
+        best
     }
 
     /// Argmax classes for a batch of flattened sequences; bit-identical to
@@ -679,6 +753,13 @@ impl PackedLstm {
             _ => None,
         };
         match parallel {
+            // Inline batches under the pool work-size floor also skip the
+            // batched re-layout: the same threshold that says "fan-out
+            // costs more than it buys" marks where the per-layer batch
+            // allocations cost more than the weight-streaming they enable.
+            None if rows < DEFAULT_POOL_MIN_ROWS => {
+                self.classify_rows_lean(data, cols, steps, 0..rows, &mut out)
+            }
             None => self.classify_rows(data, cols, steps, 0..rows, &mut out),
             Some(pool) => {
                 let ranges = partition(rows, pool.workers());
@@ -1049,6 +1130,30 @@ mod tests {
         let pool = WorkerPool::new(3);
         assert_eq!(want, packed.classify(x.data(), rows, cols, steps, None));
         assert_eq!(want, packed.classify(x.data(), rows, cols, steps, Some(&pool)));
+    }
+
+    /// Regression (small-batch LSTM, BENCH_PR4): batches under the pool
+    /// floor take the per-row lean path — it must stay bit-identical to
+    /// the naive loop on both sides of the `DEFAULT_POOL_MIN_ROWS`
+    /// cutover, including batch 1.
+    #[test]
+    fn lean_lstm_path_matches_naive_bitwise_across_the_cutover() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = LstmClassifier::new(5, 9, 2, 4, &mut rng);
+        let (steps, feat) = (3, 5);
+        let cols = steps * feat;
+        let packed = PackedLstm::pack(&m);
+        for rows in [1, 2, 8, DEFAULT_POOL_MIN_ROWS - 1, DEFAULT_POOL_MIN_ROWS] {
+            let x = rand_matrix(&mut rng, rows, cols, true);
+            let want: Vec<usize> = (0..rows)
+                .map(|r| {
+                    let seq: Vec<Vec<f32>> =
+                        (0..steps).map(|t| x.row(r)[t * feat..(t + 1) * feat].to_vec()).collect();
+                    m.classify(&seq)
+                })
+                .collect();
+            assert_eq!(want, packed.classify(x.data(), rows, cols, steps, None), "rows={rows}");
+        }
     }
 
     #[test]

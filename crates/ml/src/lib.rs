@@ -46,8 +46,8 @@ pub mod tensor;
 
 pub use cost::CpuCostModel;
 pub use gemm::{
-    EngineStats, InferenceEngine, PackedMatrix, PackedMlp, PackedModelCache, WorkerPool,
-    DEFAULT_POOL_MIN_ROWS,
+    EngineStats, InferenceEngine, PackedLstm, PackedMatrix, PackedMlp, PackedModelCache,
+    WorkerPool, DEFAULT_POOL_MIN_ROWS,
 };
 pub use knn::Knn;
 pub use lstm::{LstmCell, LstmClassifier};

@@ -245,6 +245,15 @@ pub struct CallStats {
     /// Commands that rode inside burst frames instead of paying their own
     /// frame + doorbell.
     pub coalesced_commands: u64,
+    /// High-water mark of the seq-routed pending table: the most responses
+    /// ever parked for other callers at once. Bounded by the number of
+    /// concurrently waiting callers — growth past that is exactly the leak
+    /// this stat exists to catch.
+    pub pending_high_water: u64,
+    /// Routed responses dropped or swept because no caller was registered
+    /// as waiting on their seq (late answers to abandoned attempts).
+    /// Before the sweep these accumulated in the pending table forever.
+    pub pending_expired: u64,
 }
 
 /// Shm staging attached to a [`CallEngine`]: payloads at least `threshold`
@@ -259,7 +268,7 @@ pub struct StagingConfig {
     pub threshold: usize,
 }
 
-enum Mode {
+pub(crate) enum Mode {
     InProcess(Arc<dyn ApiHandler>),
     Linked(Box<dyn Channel>),
 }
@@ -275,22 +284,22 @@ impl fmt::Debug for Mode {
 
 /// How often a waiting linked-mode caller re-checks the shared routing
 /// table for a response another caller received on its behalf.
-const ROUTE_POLL: std::time::Duration = std::time::Duration::from_millis(1);
+pub(crate) const ROUTE_POLL: std::time::Duration = std::time::Duration::from_millis(1);
 
 /// The stub side of LAKE's remoting: serialize, transmit, wait (§4.1).
 pub struct CallEngine {
     mechanism: Mechanism,
-    clock: SharedClock,
-    mode: Mode,
-    policy: CallPolicy,
+    pub(crate) clock: SharedClock,
+    pub(crate) mode: Mode,
+    pub(crate) policy: CallPolicy,
     faults: Option<Arc<FaultPlan>>,
     /// Supervisor hook: crash detection and supervised restart. `None`
     /// models an unsupervised daemon that never dies (the pre-PR-3 world).
-    lifecycle: Option<Arc<dyn DaemonLifecycle>>,
+    pub(crate) lifecycle: Option<Arc<dyn DaemonLifecycle>>,
     /// Epoch high-water mark: once a response from epoch N is accepted, any
     /// response stamped with an epoch < N is a stale incarnation's answer
     /// and is discarded instead of delivered.
-    epoch_floor: AtomicU64,
+    pub(crate) epoch_floor: AtomicU64,
     /// Shm staging for large payloads; `None` keeps every payload inline
     /// (the pre-fast-path behaviour).
     staging: Option<StagingConfig>,
@@ -298,26 +307,34 @@ pub struct CallEngine {
     /// [`CallEngine::with_perf`]) with the daemon-side serve loop so one
     /// deployment's stub and daemon copies land in one counter set; every
     /// bump also feeds the process-wide rollup in [`perf`].
-    perf: Arc<PerfCounters>,
+    pub(crate) perf: Arc<PerfCounters>,
     /// APIs flagged idempotent at registration; only they survive a retry
     /// after the daemon may have executed the command.
     idempotent: Mutex<HashSet<u32>>,
     /// Responses received by one caller on behalf of another (seq-routed).
+    /// Entries exist only for seqs registered in `waiters`; see
+    /// [`CallEngine::route_response`].
     pending: Mutex<HashMap<u64, Response>>,
-    next_seq: AtomicU64,
-    calls: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
-    failures: AtomicU64,
+    /// Seqs with a live caller (sync waiter or queue-pair in-flight frame).
+    /// Responses routed to any other seq are expired, not stashed — the
+    /// pending-table leak fix.
+    waiters: Mutex<HashSet<u64>>,
+    pub(crate) next_seq: AtomicU64,
+    pub(crate) calls: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
+    pub(crate) bytes_received: AtomicU64,
+    pub(crate) failures: AtomicU64,
     retries: AtomicU64,
-    timeouts: AtomicU64,
-    corrupt_frames: AtomicU64,
-    stale_epochs: AtomicU64,
-    failed_over: AtomicU64,
-    daemon_restarts: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+    pub(crate) corrupt_frames: AtomicU64,
+    pub(crate) stale_epochs: AtomicU64,
+    pub(crate) failed_over: AtomicU64,
+    pub(crate) daemon_restarts: AtomicU64,
     staged_calls: AtomicU64,
-    burst_frames: AtomicU64,
-    coalesced_commands: AtomicU64,
+    pub(crate) burst_frames: AtomicU64,
+    pub(crate) coalesced_commands: AtomicU64,
+    pending_high_water: AtomicU64,
+    pending_expired: AtomicU64,
 }
 
 impl fmt::Debug for CallEngine {
@@ -366,6 +383,7 @@ impl CallEngine {
             epoch_floor: AtomicU64::new(0),
             idempotent: Mutex::new(HashSet::new()),
             pending: Mutex::new(HashMap::new()),
+            waiters: Mutex::new(HashSet::new()),
             next_seq: AtomicU64::new(1),
             calls: AtomicU64::new(0),
             bytes_sent: AtomicU64::new(0),
@@ -380,6 +398,8 @@ impl CallEngine {
             staged_calls: AtomicU64::new(0),
             burst_frames: AtomicU64::new(0),
             coalesced_commands: AtomicU64::new(0),
+            pending_high_water: AtomicU64::new(0),
+            pending_expired: AtomicU64::new(0),
         }
     }
 
@@ -593,7 +613,12 @@ impl CallEngine {
         self.call_framed(api, payload, self.is_idempotent(api))
     }
 
-    fn call_framed(&self, api: ApiId, payload: Bytes, idempotent: bool) -> Result<Bytes, RpcError> {
+    pub(crate) fn call_framed(
+        &self,
+        api: ApiId,
+        payload: Bytes,
+        idempotent: bool,
+    ) -> Result<Bytes, RpcError> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let cmd = Command { api, seq, payload };
         self.calls.fetch_add(1, Ordering::Relaxed);
@@ -798,6 +823,9 @@ impl CallEngine {
     ) -> Result<Bytes, RpcError> {
         let frame = cmd.encode();
         let seq = cmd.seq;
+        // Registered for the whole call (across retries — they reuse the
+        // seq); dropping the guard expires any unclaimed stashed response.
+        let _waiter = SeqWaiter::register(self, seq);
         let mut attempt = 0u32;
         'attempts: loop {
             attempt += 1;
@@ -818,9 +846,7 @@ impl CallEngine {
             let resp = loop {
                 // A response for us may have been received (and stashed)
                 // by another in-flight caller.
-                if let Some(resp) =
-                    self.pending.lock().expect("response router poisoned").remove(&seq)
-                {
+                if let Some(resp) = self.take_routed(seq) {
                     if self.is_stale_epoch(&resp) {
                         // Fenced: a dead incarnation's answer surfaced from
                         // the routing table. Keep waiting for a live one.
@@ -838,9 +864,11 @@ impl CallEngine {
                             continue;
                         }
                         // Real-time silence: the attempt is lost. Charge
-                        // the virtual deadline and retry if safe.
+                        // the virtual deadline, expire orphaned stashes,
+                        // and retry if safe.
                         self.timeouts.fetch_add(1, Ordering::Relaxed);
                         self.clock.advance(self.policy.deadline);
+                        self.sweep_pending();
                         if idempotent && attempt < self.policy.max_attempts {
                             self.retry_backoff(attempt);
                             continue 'attempts;
@@ -882,11 +910,10 @@ impl CallEngine {
                             self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
                         }
                         Ok(resp) => {
-                            // Another caller's response: route, don't drop.
-                            self.pending
-                                .lock()
-                                .expect("response router poisoned")
-                                .insert(resp.seq, resp);
+                            // Another caller's response: route it — unless
+                            // its caller already gave up, in which case
+                            // stashing it would be the leak.
+                            self.route_response(resp);
                         }
                     },
                 }
@@ -917,17 +944,76 @@ impl CallEngine {
         }
     }
 
+    /// Registers `seq` as having a live caller: only registered seqs may
+    /// have responses stashed for them in the pending table.
+    pub(crate) fn register_waiter(&self, seq: u64) {
+        self.waiters.lock().expect("waiter registry poisoned").insert(seq);
+    }
+
+    /// Deregisters `seq` and expires any response still stashed for it —
+    /// the caller is gone (answered, gave up, or failed over), so keeping
+    /// the entry would be the leak.
+    pub(crate) fn deregister_waiter(&self, seq: u64) {
+        self.waiters.lock().expect("waiter registry poisoned").remove(&seq);
+        if self.pending.lock().expect("response router poisoned").remove(&seq).is_some() {
+            self.pending_expired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Stashes a response received on behalf of another caller — but only
+    /// when that caller is still registered as waiting. Late answers to
+    /// abandoned seqs (the caller timed out, failed over, or was already
+    /// satisfied by a retry) are counted and dropped instead of
+    /// accumulating forever; with [`CallEngine::deregister_waiter`]'s
+    /// drop-time expiry this bounds the table by the number of concurrent
+    /// callers, which `pending_high_water` makes observable.
+    pub(crate) fn route_response(&self, resp: Response) {
+        let waiting = self.waiters.lock().expect("waiter registry poisoned").contains(&resp.seq);
+        if !waiting {
+            self.pending_expired.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut pending = self.pending.lock().expect("response router poisoned");
+        pending.insert(resp.seq, resp);
+        self.pending_high_water.fetch_max(pending.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Takes the response another caller stashed for `seq`, if any.
+    pub(crate) fn take_routed(&self, seq: u64) -> Option<Response> {
+        self.pending.lock().expect("response router poisoned").remove(&seq)
+    }
+
+    /// Responses currently parked in the pending table (test hook: the
+    /// live gauge behind the `pending_high_water` stat).
+    #[cfg(test)]
+    pub(crate) fn pending_len(&self) -> usize {
+        self.pending.lock().expect("response router poisoned").len()
+    }
+
+    /// Expires every stashed response whose waiter has deregistered.
+    /// Called on the deadline-expiry paths — the moment a caller discovers
+    /// silence is when the table is most likely to hold orphans (the
+    /// waiter-gating in [`CallEngine::route_response`] makes this a
+    /// belt-and-braces sweep rather than the only defense).
+    pub(crate) fn sweep_pending(&self) {
+        let waiters = self.waiters.lock().expect("waiter registry poisoned");
+        let mut pending = self.pending.lock().expect("response router poisoned");
+        let before = pending.len();
+        pending.retain(|seq, _| waiters.contains(seq));
+        self.pending_expired.fetch_add((before - pending.len()) as u64, Ordering::Relaxed);
+    }
+
     /// Whether `resp` was stamped by an incarnation older than the newest
     /// one this engine has heard from (or the supervisor's current epoch,
     /// when a lifecycle hook is attached).
-    fn is_stale_epoch(&self, resp: &Response) -> bool {
+    pub(crate) fn is_stale_epoch(&self, resp: &Response) -> bool {
         if let Some(l) = &self.lifecycle {
             self.epoch_floor.fetch_max(l.epoch(), Ordering::Relaxed);
         }
         resp.epoch < self.epoch_floor.load(Ordering::Relaxed)
     }
 
-    fn finish_response(&self, response: Response) -> Result<Bytes, RpcError> {
+    pub(crate) fn finish_response(&self, response: Response) -> Result<Bytes, RpcError> {
         self.epoch_floor.fetch_max(response.epoch, Ordering::Relaxed);
         self.bytes_received.fetch_add(response.encoded_len() as u64, Ordering::Relaxed);
         if response.status.is_ok() {
@@ -938,7 +1024,7 @@ impl CallEngine {
         }
     }
 
-    fn retry_backoff(&self, attempt: u32) {
+    pub(crate) fn retry_backoff(&self, attempt: u32) {
         self.retries.fetch_add(1, Ordering::Relaxed);
         self.clock.advance(self.policy.backoff_for(attempt));
     }
@@ -959,7 +1045,33 @@ impl CallEngine {
             staged_calls: self.staged_calls.load(Ordering::Relaxed),
             burst_frames: self.burst_frames.load(Ordering::Relaxed),
             coalesced_commands: self.coalesced_commands.load(Ordering::Relaxed),
+            pending_high_water: self.pending_high_water.load(Ordering::Relaxed),
+            pending_expired: self.pending_expired.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// RAII registration of a caller actively waiting on a seq: responses are
+/// only stashed for registered waiters, and deregistration (drop) expires
+/// any unclaimed stash — together the two halves of the pending-table leak
+/// fix. Queue pairs, whose in-flight seqs outlive any single stack frame,
+/// use [`CallEngine::register_waiter`]/[`CallEngine::deregister_waiter`]
+/// directly.
+struct SeqWaiter<'a> {
+    engine: &'a CallEngine,
+    seq: u64,
+}
+
+impl<'a> SeqWaiter<'a> {
+    fn register(engine: &'a CallEngine, seq: u64) -> Self {
+        engine.register_waiter(seq);
+        SeqWaiter { engine, seq }
+    }
+}
+
+impl Drop for SeqWaiter<'_> {
+    fn drop(&mut self) {
+        self.engine.deregister_waiter(self.seq);
     }
 }
 
@@ -1051,7 +1163,7 @@ fn dispatch_burst(
 ///
 /// Returns [`RpcError::Wire`] when the body does not decode as a burst of
 /// exactly `expected` entries.
-fn decode_burst_response(
+pub(crate) fn decode_burst_response(
     body: &[u8],
     expected: usize,
 ) -> Result<Vec<Result<Bytes, Status>>, RpcError> {
@@ -1894,6 +2006,46 @@ mod tests {
         assert_eq!(executions.load(Ordering::SeqCst), 2, "new incarnation must re-execute");
         drop(kernel);
         daemon.join().unwrap();
+    }
+
+    /// Regression (pending-table leak): before the waiter registry, every
+    /// response routed for a seq nobody was waiting on — late answers to
+    /// timed-out or failed-over attempts — was stashed forever.
+    #[test]
+    fn unclaimed_routed_responses_expire_instead_of_leaking() {
+        let engine = CallEngine::in_process(Mechanism::Netlink, SharedClock::new(), adder());
+        let orphan =
+            |seq: u64| Response { seq, epoch: 0, status: Status::Ok, payload: Bytes::new() };
+
+        // No registered waiter: the stash is refused and counted.
+        engine.route_response(orphan(99));
+        assert_eq!(engine.pending_len(), 0, "orphan response must not be stashed");
+        assert_eq!(engine.stats().pending_expired, 1);
+
+        // A registered waiter's response parks and is claimable once.
+        engine.register_waiter(7);
+        engine.route_response(orphan(7));
+        assert_eq!(engine.pending_len(), 1);
+        assert_eq!(engine.stats().pending_high_water, 1);
+        assert!(engine.take_routed(7).is_some());
+        engine.deregister_waiter(7);
+
+        // Deregistering expires a stash the caller never claimed (it gave
+        // up and left) — the exact shape of the leak.
+        engine.register_waiter(8);
+        engine.route_response(orphan(8));
+        engine.deregister_waiter(8);
+        assert_eq!(engine.pending_len(), 0, "abandoned stash must be expired");
+        assert!(engine.take_routed(8).is_none());
+        assert_eq!(engine.stats().pending_expired, 2);
+
+        // And the deadline-path sweep catches anything the gates missed.
+        engine.register_waiter(9);
+        engine.route_response(orphan(9));
+        engine.waiters.lock().unwrap().remove(&9); // waiter vanishes without expiry
+        engine.sweep_pending();
+        assert_eq!(engine.pending_len(), 0, "sweep must clear orphaned stashes");
+        assert_eq!(engine.stats().pending_expired, 3);
     }
 }
 

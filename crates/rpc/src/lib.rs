@@ -26,6 +26,7 @@ pub mod coalesce;
 pub mod command;
 pub mod engine;
 pub mod perf;
+pub mod queue;
 pub mod wire;
 
 pub use coalesce::{CoalescePolicy, Coalescer, DEFAULT_BURST_MAX, DEFAULT_BURST_WINDOW};
@@ -36,4 +37,5 @@ pub use engine::{
     MAX_BURST_ENTRIES, STAGED_API_BIT,
 };
 pub use perf::{PerfCounters, PerfSnapshot};
+pub use queue::{CmdId, Completion, QueuePair, QueueStats, DEFAULT_QUEUE_DEPTH};
 pub use wire::{checked_slice_len, Decoder, Encoder, WireError};

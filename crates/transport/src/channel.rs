@@ -25,6 +25,25 @@ pub trait Channel: Send + Sync {
     /// been dropped.
     fn send(&self, payload: Vec<u8>) -> Result<Instant, SendError>;
 
+    /// Sends a batch of frames as one transmission: implementations that
+    /// pay a per-send wakeup (the ring doorbell, a syscall on a real
+    /// Netlink socket) amortize it across the whole batch — the SQ-drain
+    /// wire mode. The default is a per-frame loop, which is semantically
+    /// identical but pays the wakeup every time. Frames are delivered in
+    /// order; on error, frames before the failing one may have been
+    /// delivered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] carrying the failing payload back if the peer
+    /// side has been dropped.
+    fn send_batch(&self, frames: Vec<Vec<u8>>) -> Result<(), SendError> {
+        for frame in frames {
+            self.send(frame)?;
+        }
+        Ok(())
+    }
+
     /// Blocks until a frame arrives; advances the clock to its arrival.
     ///
     /// # Errors

@@ -135,6 +135,11 @@ pub struct RingStats {
     pub parks: u64,
     /// Spin→park transitions (adaptive consumers exhausting both budgets).
     pub spin_to_park: u64,
+    /// Parks aborted at the last instant because a producer published (and
+    /// consumed the parked flag) between the occupancy check and the
+    /// condvar wait — each one is a ~scheduling-round-trip p99 outlier
+    /// avoided.
+    pub park_aborts: u64,
     /// Ring re-creations (teardown + drain across daemon restarts).
     pub recreations: u64,
     /// Bytes discarded by restart-time drains.
@@ -169,6 +174,7 @@ struct RingCore {
     yields: AtomicU64,
     parks: AtomicU64,
     spin_to_park: AtomicU64,
+    park_aborts: AtomicU64,
     bytes_drained: AtomicU64,
 }
 
@@ -197,6 +203,7 @@ impl RingCore {
             yields: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             spin_to_park: AtomicU64::new(0),
+            park_aborts: AtomicU64::new(0),
             bytes_drained: AtomicU64::new(0),
         }
     }
@@ -210,6 +217,22 @@ impl RingCore {
     ///
     /// Caller must be the sole producer (the endpoint's send lock).
     fn push(&self, payload: &[u8], arrive_at_ns: u64) -> Result<(), ()> {
+        self.push_with_doorbell(payload, arrive_at_ns, true)
+    }
+
+    /// [`RingCore::push`] without the doorbell: the batch send path
+    /// publishes a whole SQ drain quietly and rings once at the end, so a
+    /// parked consumer pays one wake per drain instead of one per frame.
+    fn push_quiet(&self, payload: &[u8], arrive_at_ns: u64) -> Result<(), ()> {
+        self.push_with_doorbell(payload, arrive_at_ns, false)
+    }
+
+    fn push_with_doorbell(
+        &self,
+        payload: &[u8],
+        arrive_at_ns: u64,
+        doorbell: bool,
+    ) -> Result<(), ()> {
         let rec = Self::record_len(payload.len());
         assert!(
             rec + RECORD_ALIGN < self.capacity,
@@ -252,7 +275,9 @@ impl RingCore {
                 self.tail.0.store(start + rec, Ordering::Release);
             }
             fence(Ordering::SeqCst);
-            self.ring_doorbell();
+            if doorbell {
+                self.ring_doorbell();
+            }
             return Ok(());
         }
     }
@@ -454,6 +479,45 @@ impl RingEndpoint {
         }
     }
 
+    /// Sends a whole SQ drain as one transmission: the mechanism call time
+    /// (the doorbell/syscall cost) is charged **once** for the batch, each
+    /// frame still pays its own per-byte transfer time, every record is
+    /// published quietly, and the consumer's doorbell rings once at the
+    /// end — one wake per drain instead of one per frame. Faults apply per
+    /// frame, exactly as on the single-send path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] carrying the failing payload back if the peer
+    /// side has been dropped; earlier frames of the batch may have been
+    /// delivered.
+    pub fn send_batch(&self, frames: Vec<Vec<u8>>) -> Result<(), SendError> {
+        if frames.is_empty() {
+            return Ok(());
+        }
+        let _g = self.send_lock.lock().unwrap();
+        let core = self.tx_core();
+        self.clock.advance(self.mechanism.call_time());
+        for payload in frames {
+            let sent_at = self.clock.now();
+            let mut arrive_at = sent_at + self.mechanism.one_way(payload.len());
+            let mut payload = payload;
+            match self.faults.apply(&mut payload, &mut arrive_at) {
+                Delivery::Dropped => {}
+                Delivery::Deliver { copies } => {
+                    for _ in 0..copies {
+                        if core.push_quiet(&payload, arrive_at.as_nanos()).is_err() {
+                            core.ring_doorbell();
+                            return Err(SendError(payload));
+                        }
+                    }
+                }
+            }
+        }
+        core.ring_doorbell();
+        Ok(())
+    }
+
     /// Blocks (per the wait strategy) until a frame arrives; advances the
     /// clock to its virtual arrival.
     ///
@@ -590,6 +654,18 @@ impl RingEndpoint {
             core.consumer_parked.store(false, Ordering::SeqCst);
             return;
         }
+        // Last-instant re-check: a producer that published between the
+        // check above and this point has already consumed our parked flag
+        // (its tail store happens-before the flag swap) and is now blocked
+        // on the doorbell mutex we hold. Sleeping here would absorb its
+        // doorbell into a mutex-handoff scheduling round trip — the old
+        // p99 outlier. Seeing either the new data or the cleared flag,
+        // bail back to the pop loop instead of committing to the wait.
+        if core.has_data_or_drain() || !core.consumer_parked.load(Ordering::SeqCst) {
+            core.consumer_parked.store(false, Ordering::SeqCst);
+            core.park_aborts.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         core.parks.fetch_add(1, Ordering::Relaxed);
         let (_guard, _timed_out) = core.doorbell.wait_timeout(guard, slice).unwrap();
         core.consumer_parked.store(false, Ordering::SeqCst);
@@ -622,6 +698,7 @@ impl RingEndpoint {
             yields: sum(|c| &c.yields),
             parks: sum(|c| &c.parks),
             spin_to_park: sum(|c| &c.spin_to_park),
+            park_aborts: sum(|c| &c.park_aborts),
             recreations: self.shared.recreations.load(Ordering::Relaxed),
             bytes_drained: sum(|c| &c.bytes_drained),
         }
@@ -651,6 +728,10 @@ impl RingEndpoint {
 impl Channel for RingEndpoint {
     fn send(&self, payload: Vec<u8>) -> Result<Instant, SendError> {
         RingEndpoint::send(self, payload)
+    }
+
+    fn send_batch(&self, frames: Vec<Vec<u8>>) -> Result<(), SendError> {
+        RingEndpoint::send_batch(self, frames)
     }
 
     fn recv(&self) -> Result<Vec<u8>, RecvError> {

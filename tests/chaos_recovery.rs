@@ -173,6 +173,16 @@ fn linnos_workload_survives_chaos_with_bounded_inflation() {
     // The engine visibly retried through it.
     assert!(stats.retries > 0, "chaos should force retries: {stats:?}");
 
+    // Pending-table leak regression (PR 7): late and duplicated responses
+    // are stashed only while a caller is actually waiting on that seq, so
+    // the table's high-water mark is bounded by the concurrent-caller
+    // count (one workload thread here — in queue mode a whole burst rides
+    // one seq) no matter how many frames chaos replays.
+    assert!(
+        stats.pending_high_water <= 2,
+        "pending table grew past the caller count under chaos: {stats:?}"
+    );
+
     // Device health tracking saw the bursts: faults evicted a device,
     // probes brought one back, and faulted work recovered on the CPU.
     assert!(m.device_evictions >= 1, "no evictions recorded: {m:?}");
@@ -287,6 +297,13 @@ fn linnos_workload_survives_daemon_crashes_mid_batch() {
         "unaccounted stale responses: {stats:?}"
     );
     assert_eq!(stats.daemon_restarts, typed, "typed errors match the engine's count");
+
+    // Pending-table leak regression (PR 7): epoch fencing and restarts
+    // must not strand stale-epoch responses in the table either.
+    assert!(
+        stats.pending_high_water <= 2,
+        "pending table grew past the caller count across restarts: {stats:?}"
+    );
 
     // Bounded recovery: no request hangs, even the ones that rode
     // through a restart (lease + backoff + restart cost).
