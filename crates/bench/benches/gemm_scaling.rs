@@ -116,7 +116,7 @@ fn run_scaling() -> Vec<Row> {
 
         for (w, engine) in &engines {
             let (mlp_us, mlp_samples, mlp_got) =
-                time_best(|| engine.classify_mlp(MLP_ID, &mlp, &mlp_data, batch, MLP_IN));
+                time_best(|| engine.classify_mlp(MLP_ID, 1, &mlp, &mlp_data, batch, MLP_IN));
             assert_eq!(mlp_got, mlp_expected, "packed MLP diverged at batch {batch}, {w} workers");
             rows.push(Row {
                 model: "mlp",
@@ -128,7 +128,7 @@ fn run_scaling() -> Vec<Row> {
             });
 
             let (lstm_us, lstm_samples, lstm_got) = time_best(|| {
-                engine.classify_lstm(LSTM_ID, &lstm, &lstm_data, batch, LSTM_COLS, LSTM_STEPS)
+                engine.classify_lstm(LSTM_ID, 1, &lstm, &lstm_data, batch, LSTM_COLS, LSTM_STEPS)
             });
             assert_eq!(
                 lstm_got, lstm_expected,
@@ -253,7 +253,7 @@ fn bench(c: &mut Criterion) {
         });
     });
     group.bench_function("engine_mlp_b64_w2", |b| {
-        b.iter(|| engine.classify_mlp(MLP_ID, &mlp, &data, 64, MLP_IN));
+        b.iter(|| engine.classify_mlp(MLP_ID, 1, &mlp, &data, 64, MLP_IN));
     });
 
     // Small-batch LSTM: the lean path (engine, batch 1) vs the naive
@@ -264,7 +264,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| naive_lstm(&lstm, &lstm_data, 1));
     });
     group.bench_function("lean_lstm_b1", |b| {
-        b.iter(|| engine.classify_lstm(LSTM_ID, &lstm, &lstm_data, 1, LSTM_COLS, LSTM_STEPS));
+        b.iter(|| engine.classify_lstm(LSTM_ID, 1, &lstm, &lstm_data, 1, LSTM_COLS, LSTM_STEPS));
     });
     group.finish();
 }

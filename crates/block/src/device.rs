@@ -265,6 +265,13 @@ impl NvmeDevice {
         (self.ios, self.cache_hits, self.gc_reads)
     }
 
+    /// Submits a cache-eligible read arriving at `at` and returns just its
+    /// device-observed latency — the one-call reload path a cold-missing
+    /// model store uses to charge a weight fault in virtual time.
+    pub fn read_latency(&mut self, at: Instant, size: usize) -> Duration {
+        self.submit(at, IoKind::Read, size).latency(at)
+    }
+
     /// Current write-buffer dirty bytes (after draining to `now`).
     pub fn dirty_bytes(&mut self, now: Instant) -> f64 {
         self.drain_dirty(now);
@@ -293,6 +300,17 @@ mod tests {
         }
         let rate = hits as f64 / 1000.0;
         assert!((rate - 0.85).abs() < 0.05, "hit rate {rate}");
+    }
+
+    #[test]
+    fn read_latency_matches_submit() {
+        let mut a = device();
+        let mut b = device();
+        for i in 0..50u64 {
+            let t = Instant::from_nanos(i * 10_000_000);
+            let want = a.submit(t, IoKind::Read, 8192).latency(t);
+            assert_eq!(b.read_latency(t, 8192), want, "same seed, same stream");
+        }
     }
 
     #[test]

@@ -72,6 +72,11 @@ pub const ML_INFER_POLL: ApiId = ApiId(0x309);
 /// `tfInferFlush() -> batches dispatched` — force-dispatch every pending
 /// batch.
 pub const ML_INFER_FLUSH: ApiId = ApiId(0x30A);
+/// `tfSwapModel(model id, blob) -> version` — versioned hot-swap: the
+/// daemon installs the blob as the model's next version, drains pending
+/// batches onto the old weights first, and answers with the version it
+/// assigned. In-flight pins finish on the old version's page.
+pub const ML_SWAP_MODEL: ApiId = ApiId(0x30B);
 
 /// Whether `api` is safe to re-execute after a lost response: re-running
 /// it observably changes nothing (pure reads, level-triggered writes of
@@ -104,7 +109,7 @@ pub fn register_idempotency(engine: &lake_rpc::CallEngine) {
 }
 
 /// Every API identifier this module defines.
-pub const ALL_APIS: [ApiId; 24] = [
+pub const ALL_APIS: [ApiId; 25] = [
     CU_MEM_ALLOC,
     CU_MEM_FREE,
     CU_MEMCPY_HTOD,
@@ -129,6 +134,7 @@ pub const ALL_APIS: [ApiId; 24] = [
     ML_INFER_SUBMIT,
     ML_INFER_POLL,
     ML_INFER_FLUSH,
+    ML_SWAP_MODEL,
 ];
 
 /// Human-readable name for diagnostics.
@@ -158,6 +164,7 @@ pub fn api_name(api: ApiId) -> &'static str {
         ML_INFER_SUBMIT => "tfInferSubmit",
         ML_INFER_POLL => "tfInferPoll",
         ML_INFER_FLUSH => "tfInferFlush",
+        ML_SWAP_MODEL => "tfSwapModel",
         _ => "unknown",
     }
 }
@@ -193,6 +200,7 @@ mod tests {
             ML_INFER_SUBMIT,
             ML_INFER_POLL,
             ML_INFER_FLUSH,
+            ML_SWAP_MODEL,
         ];
         for (i, a) in ids.iter().enumerate() {
             for b in &ids[i + 1..] {
@@ -213,6 +221,9 @@ mod tests {
         assert!(!is_idempotent(CU_LAUNCH_KERNEL));
         assert!(!is_idempotent(ML_TRAIN_MLP));
         assert!(!is_idempotent(ML_INFER_SUBMIT));
+        // A swap assigns the next version server-side: retrying one that
+        // already landed would install yet another version.
+        assert!(!is_idempotent(ML_SWAP_MODEL));
         // Poll consumes the ticket's result on pickup: a retry after a
         // delivered-but-lost response would see SCHED_BAD_TICKET.
         assert!(!is_idempotent(ML_INFER_POLL));
@@ -222,7 +233,7 @@ mod tests {
 
     #[test]
     fn all_apis_is_exhaustive_and_named() {
-        assert_eq!(ALL_APIS.len(), 24);
+        assert_eq!(ALL_APIS.len(), 25);
         for api in ALL_APIS {
             assert_ne!(api_name(api), "unknown", "{api} missing from api_name");
         }

@@ -18,15 +18,19 @@ use parking_lot::Mutex;
 use lake_gpu::{DevicePtr, GpuDevice, GpuError, KernelArg};
 use lake_ml::{
     serialize, CpuCostModel, EngineStats, InferenceEngine, Knn, LstmClassifier, Matrix, Mlp,
-    ModelKind,
+    ModelKind, ModelPin, ModelStore, StoreError, StoreStats,
 };
 use lake_rpc::{ApiHandler, ApiId, Decoder, Encoder, Status};
 use lake_sched::{Batch, BatchPolicy, Batcher, DevicePool, Placement, PoolPolicy, SchedMetrics};
 use lake_shm::{ShmBuffer, ShmRegion};
-use lake_sim::BurstSchedule;
+use lake_sim::{BurstSchedule, PressurePlan};
 
 use crate::api;
 use crate::error::code;
+
+/// Default capacity of the dedicated model-page region backing an
+/// unbounded store (every model resident, the paper's behaviour).
+const DEFAULT_MODEL_PAGE_CAPACITY: usize = 8 << 20;
 
 fn gpu_status(e: GpuError) -> Status {
     Status::VendorError(match e {
@@ -35,6 +39,15 @@ fn gpu_status(e: GpuError) -> Status {
         GpuError::OutOfBounds { .. } => code::GPU_OOB,
         GpuError::UnknownKernel(_) => code::GPU_UNKNOWN_KERNEL,
         GpuError::KernelFault(_) => code::GPU_KERNEL_FAULT,
+    })
+}
+
+fn store_status(e: StoreError) -> Status {
+    Status::VendorError(match e {
+        StoreError::UnknownModel { .. } => code::ML_UNKNOWN_MODEL,
+        StoreError::Decode { .. } => code::ML_BAD_MODEL,
+        StoreError::BudgetExhausted { .. } => code::ML_STORE_FULL,
+        StoreError::StaleVersion { .. } => code::ML_STALE_VERSION,
     })
 }
 
@@ -47,14 +60,6 @@ enum LoadedModel {
 }
 
 impl LoadedModel {
-    fn clone_ref(&self) -> LoadedModel {
-        match self {
-            LoadedModel::Mlp(m) => LoadedModel::Mlp(Arc::clone(m)),
-            LoadedModel::Lstm(m) => LoadedModel::Lstm(Arc::clone(m)),
-            LoadedModel::Knn(m) => LoadedModel::Knn(Arc::clone(m)),
-        }
-    }
-
     /// Kernel name base, launch work items, and per-item FLOPs for a
     /// `rows` × `cols` batch, validating the shape against the model.
     fn launch_shape(
@@ -85,13 +90,16 @@ impl LoadedModel {
     /// buffer — the shared body of both the device kernels and the CPU
     /// fallback path, so results are bit-identical wherever a batch is
     /// placed. MLP and LSTM batches go through the packed parallel GEMM
-    /// engine (cached under the daemon-side model `id`), which is
+    /// engine (cached under the daemon-side model `(id, version)` so a
+    /// hot-swap can never serve stale packed weights), which is
     /// bit-identical to the naive per-row path; k-NN stays on the naive
     /// path (distance scans don't benefit from weight packing).
+    #[allow(clippy::too_many_arguments)] // mirrors the wire command shape
     fn classify_host(
         &self,
         engine: &InferenceEngine,
         id: u64,
+        version: u64,
         rows: usize,
         cols: usize,
         steps: usize,
@@ -102,7 +110,7 @@ impl LoadedModel {
         }
         match self {
             LoadedModel::Mlp(m) => Ok(engine
-                .classify_mlp(id, m, &data[..rows * cols], rows, cols)
+                .classify_mlp(id, version, m, &data[..rows * cols], rows, cols)
                 .into_iter()
                 .map(|c| c as f32)
                 .collect()),
@@ -113,7 +121,7 @@ impl LoadedModel {
                     return Err(GpuError::KernelFault("bad sequence shape".to_owned()));
                 }
                 Ok(engine
-                    .classify_lstm(id, m, &data[..rows * cols], rows, cols, steps)
+                    .classify_lstm(id, version, m, &data[..rows * cols], rows, cols, steps)
                     .into_iter()
                     .map(|c| c as f32)
                     .collect())
@@ -124,11 +132,6 @@ impl LoadedModel {
             }
         }
     }
-}
-
-struct HighLevelState {
-    models: HashMap<u64, LoadedModel>,
-    next_id: u64,
 }
 
 /// One completed batched-inference row awaiting pickup.
@@ -149,6 +152,10 @@ struct SchedState {
     /// Tickets whose queued rows (or unpicked results) died with a
     /// daemon incarnation; polling them fails typed instead of hanging.
     lost: HashSet<u64>,
+    /// Store pins held per queued ticket from submit until its batch is
+    /// filed ready: a queued row's weights can never be evicted out from
+    /// under it, no matter how oversubscribed the store is.
+    pins: HashMap<u64, ModelPin<LoadedModel>>,
 }
 
 /// The daemon: implements [`ApiHandler`] over the simulated CUDA library.
@@ -158,7 +165,11 @@ pub struct LakeDaemon {
     gpu: Arc<GpuDevice>,
     pool: Arc<DevicePool>,
     shm: ShmRegion,
-    hl: Arc<Mutex<HighLevelState>>,
+    /// The paged model store: weight blobs live in page-granular shm
+    /// allocations under a hard byte budget with clock eviction, pinned
+    /// for the duration of every call that uses them.
+    store: ModelStore<LoadedModel>,
+    next_model_id: AtomicU64,
     sched: Mutex<SchedState>,
     cpu: CpuCostModel,
     /// Packed parallel GEMM engine backing every host-side MLP/LSTM
@@ -192,19 +203,40 @@ impl LakeDaemon {
     }
 
     /// Creates a daemon that schedules high-level inference across a
-    /// device pool, batching requests under `batch_policy`.
+    /// device pool, batching requests under `batch_policy`. The model
+    /// store is unbounded (every model stays resident, the paper's
+    /// behaviour) over a default-sized page region.
     pub fn with_pool(
         pool: Arc<DevicePool>,
         shm: ShmRegion,
         batch_policy: BatchPolicy,
     ) -> Arc<Self> {
-        let hl = Arc::new(Mutex::new(HighLevelState { models: HashMap::new(), next_id: 1 }));
+        let pages = ShmRegion::with_capacity(DEFAULT_MODEL_PAGE_CAPACITY);
+        Self::with_model_store(pool, shm, batch_policy, pages, None)
+    }
+
+    /// Creates a daemon whose model weights live in `model_pages` under
+    /// `model_budget` bytes (`None` = unbounded): the paged-model-store
+    /// entry point [`LakeBuilder::model_budget_bytes`] plumbs through.
+    ///
+    /// [`LakeBuilder::model_budget_bytes`]: crate::LakeBuilder::model_budget_bytes
+    pub fn with_model_store(
+        pool: Arc<DevicePool>,
+        shm: ShmRegion,
+        batch_policy: BatchPolicy,
+        model_pages: ShmRegion,
+        model_budget: Option<usize>,
+    ) -> Arc<Self> {
+        let store = ModelStore::new(pool.clock().clone(), model_pages, model_budget, |blob| {
+            Self::decode_model_blob(blob).ok().map(|(m, _, _, _)| m)
+        });
         let sched = Mutex::new(SchedState {
             batcher: Batcher::new(batch_policy),
             ready: HashMap::new(),
             consumed: HashSet::new(),
             issued: 0,
             lost: HashSet::new(),
+            pins: HashMap::new(),
         });
         // Size the GEMM pool to the host, capped: inference batches are
         // latency-sensitive and small enough that more workers only add
@@ -214,7 +246,8 @@ impl LakeDaemon {
             gpu: Arc::clone(pool.primary()),
             pool,
             shm,
-            hl,
+            store,
+            next_model_id: AtomicU64::new(1),
             sched,
             cpu: CpuCostModel::default(),
             engine: Arc::new(InferenceEngine::new(workers)),
@@ -276,13 +309,39 @@ impl LakeDaemon {
         self.engine.stats()
     }
 
-    fn model(&self, id: u64) -> Result<LoadedModel, Status> {
-        self.hl
-            .lock()
-            .models
-            .get(&id)
-            .map(LoadedModel::clone_ref)
-            .ok_or(Status::VendorError(code::ML_UNKNOWN_MODEL))
+    /// Pins the current version of model `id` for the duration of a call;
+    /// a cold miss faults the weights back in through the store's NVMe,
+    /// charging the reload to the virtual clock.
+    fn model(&self, id: u64) -> Result<ModelPin<LoadedModel>, Status> {
+        self.store.acquire(id).map_err(store_status)
+    }
+
+    /// The installed version of `id`, if the model exists.
+    pub fn model_version(&self, id: u64) -> Option<u64> {
+        self.store.version_of(id)
+    }
+
+    /// Whether `id`'s weights are resident in the page cache right now —
+    /// the residency hint replica sync ships alongside versions.
+    pub fn model_resident(&self, id: u64) -> bool {
+        self.store.is_resident(id)
+    }
+
+    /// Counter snapshot of the paged model store (hits, misses,
+    /// evictions, resident/pinned bytes, fault time).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Installs (or clears) an eviction-storm plan on the model store:
+    /// inside storm windows the effective budget tightens.
+    pub fn set_store_pressure(&self, plan: Option<PressurePlan>) {
+        self.store.set_pressure(plan);
+    }
+
+    /// Cold-miss fault latencies observed by the store, microseconds.
+    pub fn store_fault_latencies_us(&self) -> Vec<f64> {
+        self.store.fault_latencies_us()
     }
 
     fn cu_mem_alloc(&self, payload: &[u8]) -> Result<Bytes, Status> {
@@ -481,22 +540,12 @@ impl LakeDaemon {
         })
     }
 
-    fn ml_load_model(&self, payload: &[u8]) -> Result<Bytes, Status> {
-        let mut d = Decoder::new(payload);
-        let blob = d.get_bytes().map_err(|_| Status::Malformed)?;
-        let (model, weight_bytes, kernel_name, flops_per_item) = Self::decode_model_blob(blob)?;
-
-        let mut hl = self.hl.lock();
-        let id = hl.next_id;
-        hl.next_id += 1;
-        hl.models.insert(id, model);
-        drop(hl);
-
-        // Upload the weights once per pool device — the recurring
-        // inference calls then only move features/results, the way the
-        // paper keeps models "in memory ... critical to performance"
-        // (§5.1). Replication is what lets the scheduler place a batch
-        // on any device.
+    /// Uploads `weight_bytes` of device weights once per pool device —
+    /// the recurring inference calls then only move features/results, the
+    /// way the paper keeps models "in memory ... critical to performance"
+    /// (§5.1). Replication is what lets the scheduler place a batch on
+    /// any device. Returns the primary device's weight pointer.
+    fn upload_weights(&self, weight_bytes: usize) -> Result<DevicePtr, Status> {
         let mut primary_weights = DevicePtr(0);
         for idx in 0..self.pool.len() {
             let dev = self.pool.device(idx);
@@ -506,6 +555,19 @@ impl LakeDaemon {
                 primary_weights = weights;
             }
         }
+        Ok(primary_weights)
+    }
+
+    fn ml_load_model(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let blob = d.get_bytes().map_err(|_| Status::Malformed)?;
+        let (_, weight_bytes, kernel_name, flops_per_item) = Self::decode_model_blob(blob)?;
+
+        let id = self.next_model_id.fetch_add(1, Ordering::Relaxed);
+        // A fresh load is version 1; trains and hot-swaps move it forward.
+        self.store.install(id, 1, blob).map_err(store_status)?;
+
+        let primary_weights = self.upload_weights(weight_bytes)?;
         self.register_model_kernel(id, kernel_name, flops_per_item);
 
         let mut e = Encoder::new();
@@ -517,7 +579,7 @@ impl LakeDaemon {
     /// Registers the per-model device kernel that actually executes the
     /// model math over a device input buffer, on every pool device.
     fn register_model_kernel(&self, id: u64, base: &str, flops_per_item: f64) {
-        let hl = Arc::clone(&self.hl);
+        let store = self.store.clone();
         let engine = Arc::clone(&self.engine);
         let name = format!("{base}_{id}");
         self.pool.register_kernel(&name, flops_per_item, move |ctx, args| {
@@ -543,14 +605,14 @@ impl LakeDaemon {
                 as usize;
 
             let data = ctx.read_f32(input)?;
-            let model = {
-                let st = hl.lock();
-                match st.models.get(&id) {
-                    Some(m) => m.clone_ref(),
-                    None => return Err(GpuError::KernelFault("model unloaded".to_owned())),
-                }
-            };
-            let classes = model.classify_host(&engine, id, rows, cols, steps, &data)?;
+            // The pin keeps this version's page alive for the kernel's
+            // duration; a cold acquire faults the weights in, charging
+            // the NVMe reload before the launch computes.
+            let pin = store
+                .acquire(id)
+                .map_err(|_| GpuError::KernelFault("model unloaded".to_owned()))?;
+            let classes =
+                pin.classify_host(&engine, id, pin.version(), rows, cols, steps, &data)?;
             ctx.write_f32(output, &classes)
         });
     }
@@ -558,15 +620,16 @@ impl LakeDaemon {
     fn ml_unload_model(&self, payload: &[u8]) -> Result<Bytes, Status> {
         let mut d = Decoder::new(payload);
         let id = d.get_u64().map_err(|_| Status::Malformed)?;
-        let removed = self.hl.lock().models.remove(&id).is_some();
-        if removed {
-            // Drop the packed weight cache with the model; a future model
-            // reusing the id must repack.
-            self.engine.invalidate(id);
-            Ok(Bytes::new())
-        } else {
-            Err(Status::VendorError(code::ML_UNKNOWN_MODEL))
+        if self.store.version_of(id).is_none() {
+            return Err(Status::VendorError(code::ML_UNKNOWN_MODEL));
         }
+        // A pinned resident is retired (page freed on the last unpin);
+        // an unpinned one is freed immediately.
+        self.store.remove(id);
+        // Drop the packed weight cache with the model; a future model
+        // reusing the id must repack.
+        self.engine.invalidate(id);
+        Ok(Bytes::new())
     }
 
     /// Common body for the three high-level inference calls.
@@ -581,9 +644,11 @@ impl LakeDaemon {
             return Err(Status::VendorError(code::ML_BAD_SHAPE));
         }
 
+        // Pin the model for the whole call: the weights cannot be evicted
+        // mid-inference no matter what the budget does.
         let model = self.model(id)?;
         let kind_matches = matches!(
-            (&model, kind),
+            (&*model, kind),
             (LoadedModel::Mlp(_), ModelKind::Mlp)
                 | (LoadedModel::Lstm(_), ModelKind::Lstm)
                 | (LoadedModel::Knn(_), ModelKind::Knn)
@@ -718,7 +783,7 @@ impl LakeDaemon {
     /// charging the CPU cost model for the sequential pass.
     fn classify_on_cpu(
         &self,
-        model: &LoadedModel,
+        model: &ModelPin<LoadedModel>,
         id: u64,
         (rows, cols, steps): (usize, usize, usize),
         shm_buf: &ShmBuffer,
@@ -737,8 +802,9 @@ impl LakeDaemon {
                     .collect())
             })
             .map_err(|_| Status::VendorError(code::SHM_BAD_HANDLE))??;
-        let classes =
-            model.classify_host(&self.engine, id, rows, cols, steps, &feats).map_err(gpu_status)?;
+        let classes = model
+            .classify_host(&self.engine, id, model.version(), rows, cols, steps, &feats)
+            .map_err(gpu_status)?;
         self.pool.clock().advance(self.cpu.time_for_flops(flops));
         Ok(classes.into_iter().map(|c| c as u64).collect())
     }
@@ -752,6 +818,7 @@ impl LakeDaemon {
     fn execute_batch(&self, sched: &mut SchedState, batch: Batch) -> Result<(), Status> {
         let rows = batch.rows();
         let model = self.model(batch.model)?;
+        let version = model.version();
         let (kernel_base, items, flops_per_item) =
             model.launch_shape(rows, batch.cols, batch.steps)?;
         let feats = batch.features();
@@ -769,6 +836,7 @@ impl LakeDaemon {
                             .classify_host(
                                 &self.engine,
                                 batch.model,
+                                version,
                                 rows,
                                 batch.cols,
                                 batch.steps,
@@ -785,7 +853,15 @@ impl LakeDaemon {
             }
             Placement::CpuFallback => {
                 let classes = model
-                    .classify_host(&self.engine, batch.model, rows, batch.cols, batch.steps, feats)
+                    .classify_host(
+                        &self.engine,
+                        batch.model,
+                        version,
+                        rows,
+                        batch.cols,
+                        batch.steps,
+                        feats,
+                    )
                     .map_err(gpu_status)?;
                 self.pool.clock().advance(self.cpu.time_for_flops(flops_per_item * items as f64));
                 self.pool.note_fallback(rows);
@@ -795,6 +871,9 @@ impl LakeDaemon {
 
         for (req, class) in batch.requests.iter().zip(classes) {
             sched.ready.insert(req.ticket, ReadyEntry { class, sync });
+            // The submit-time pin has done its job: the row executed, so
+            // the weights may be evicted again.
+            sched.pins.remove(&req.ticket);
         }
         Ok(())
     }
@@ -891,6 +970,9 @@ impl LakeDaemon {
         let mut sched = self.sched.lock();
         let (ticket, full) = sched.batcher.submit(client, id, cols, steps, &feats, now);
         sched.issued = ticket;
+        // Hold the submit-time pin until the ticket's batch executes: a
+        // queued row can never have its weights evicted out from under it.
+        sched.pins.insert(ticket, model);
         if let Some(batch) = full {
             self.execute_batch(&mut sched, batch)?;
         }
@@ -946,7 +1028,11 @@ impl LakeDaemon {
     /// typed ([`code::SCHED_TICKET_LOST`]) instead of hanging, and fresh
     /// tickets stay monotonic across incarnations.
     pub fn crash_reset(&self, _new_epoch: u64) {
-        self.hl.lock().models.clear();
+        // Wipe the model store first: the serial bump turns every
+        // outstanding pin of the dead incarnation into a no-op, so
+        // dropping the queued tickets' pins below cannot double-free
+        // pages the reset already swept.
+        self.store.crash_reset();
         // The packed weight caches died with the incarnation's models.
         self.engine.clear_cache();
         let mut sched = self.sched.lock();
@@ -958,32 +1044,64 @@ impl LakeDaemon {
         let unpicked: Vec<u64> = sched.ready.keys().copied().collect();
         sched.lost.extend(unpicked);
         sched.ready.clear();
+        sched.pins.clear();
     }
 
     /// Replays one shadow-table model into a fresh incarnation **under
-    /// its original id**, re-uploading weights to every pool device and
-    /// re-registering the per-model kernel. In-flight retries that
-    /// reference the id stay valid across the restart.
+    /// its original id and version**, re-uploading weights to every pool
+    /// device and re-registering the per-model kernel. In-flight retries
+    /// that reference the id stay valid across the restart, and a
+    /// crash-interrupted hot-swap replays exactly the version the shadow
+    /// table last recorded — never half of each.
     ///
     /// # Errors
     ///
     /// Returns the same statuses as `ml_load_model` for undecodable
-    /// blobs or device upload failures.
-    pub fn restore_model(&self, id: u64, blob: &[u8]) -> Result<(), Status> {
-        let (model, weight_bytes, kernel_name, flops_per_item) = Self::decode_model_blob(blob)?;
-        {
-            let mut hl = self.hl.lock();
-            hl.models.insert(id, model);
-            hl.next_id = hl.next_id.max(id + 1);
-        }
+    /// blobs, version regressions, or device upload failures.
+    pub fn restore_model(&self, id: u64, version: u64, blob: &[u8]) -> Result<(), Status> {
+        let (_, weight_bytes, kernel_name, flops_per_item) = Self::decode_model_blob(blob)?;
+        self.store.install(id, version, blob).map_err(store_status)?;
+        self.next_model_id.fetch_max(id + 1, Ordering::Relaxed);
         self.engine.invalidate(id);
-        for idx in 0..self.pool.len() {
-            let dev = self.pool.device(idx);
-            let weights = dev.mem_alloc(weight_bytes.max(4)).map_err(gpu_status)?;
-            dev.memcpy_htod(weights, &vec![0u8; weight_bytes.max(4)]).map_err(gpu_status)?;
-        }
+        self.upload_weights(weight_bytes)?;
         self.register_model_kernel(id, kernel_name, flops_per_item);
         Ok(())
+    }
+
+    /// `tfSwapModel`: versioned hot-swap. Pending batches are drained
+    /// onto the old weights first (no queued ticket straddles the version
+    /// boundary), then the blob installs as `v+1`: new requests see the
+    /// new version immediately while in-flight pins finish on the old
+    /// page. The daemon assigns the version, so a client retrying a swap
+    /// whose response died with a crash lands a fresh `v+1` instead of
+    /// double-installing.
+    fn ml_swap_model(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let id = d.get_u64().map_err(|_| Status::Malformed)?;
+        let blob = d.get_bytes().map_err(|_| Status::Malformed)?;
+        // Validate the blob before touching any queue or store state.
+        let (_, weight_bytes, kernel_name, flops_per_item) = Self::decode_model_blob(blob)?;
+        let current =
+            self.store.version_of(id).ok_or(Status::VendorError(code::ML_UNKNOWN_MODEL))?;
+
+        // Barrier-flush under the sched lock: every queued row executes
+        // on the version it was submitted against.
+        let mut sched = self.sched.lock();
+        let batches = sched.batcher.flush_all();
+        for batch in batches {
+            self.execute_batch(&mut sched, batch)?;
+        }
+        let version = current + 1;
+        self.store.install(id, version, blob).map_err(store_status)?;
+        drop(sched);
+
+        self.engine.invalidate(id);
+        self.upload_weights(weight_bytes)?;
+        self.register_model_kernel(id, kernel_name, flops_per_item);
+
+        let mut e = Encoder::new();
+        e.put_u64(version);
+        Ok(e.finish())
     }
 
     /// `tfInferFlush`: force-dispatch every pending queue.
@@ -1023,12 +1141,11 @@ impl LakeDaemon {
             return Err(Status::VendorError(code::ML_BAD_SHAPE));
         }
 
-        let model = {
-            let hl = self.hl.lock();
-            match hl.models.get(&id) {
-                Some(LoadedModel::Mlp(m)) => Mlp::clone(m),
-                Some(_) => return Err(Status::VendorError(code::ML_BAD_SHAPE)),
-                None => return Err(Status::VendorError(code::ML_UNKNOWN_MODEL)),
+        let (model, old_version) = {
+            let pin = self.model(id)?;
+            match &*pin {
+                LoadedModel::Mlp(m) => (Mlp::clone(m), pin.version()),
+                _ => return Err(Status::VendorError(code::ML_BAD_SHAPE)),
             }
         };
         if model.layer_sizes()[0] != cols {
@@ -1072,17 +1189,24 @@ impl LakeDaemon {
         self.gpu.launch_kernel(&kernel, train_flops as u64, &[]).map_err(gpu_status)?;
 
         let flops = model.flops_per_input();
-        {
-            let mut hl = self.hl.lock();
-            hl.models.insert(id, LoadedModel::Mlp(Arc::new(model)));
-        }
+        // The updated weights install as the next version — a hot-swap in
+        // place, so any still-pinned old-version page finishes its
+        // in-flight work before being freed.
+        let new_version = old_version + 1;
+        let new_blob = serialize::encode_mlp(&model);
+        self.store.install(id, new_version, &new_blob).map_err(store_status)?;
         // The weights changed under the id: drop the stale packed cache
         // and refresh the inference kernel so its FLOPs stay accurate.
         self.engine.invalidate(id);
         self.register_model_kernel(id, "hl_mlp", flops);
 
+        // Loss first (older decoders stop there), then the version and
+        // blob so the kernel side can refresh its shadow table — the
+        // supervisor must replay *these* weights after a crash.
         let mut e = Encoder::new();
         e.put_f32(loss);
+        e.put_u64(new_version);
+        e.put_bytes(&new_blob);
         Ok(e.finish())
     }
 
@@ -1091,13 +1215,10 @@ impl LakeDaemon {
     fn ml_export_model(&self, payload: &[u8]) -> Result<Bytes, Status> {
         let mut d = Decoder::new(payload);
         let id = d.get_u64().map_err(|_| Status::Malformed)?;
-        let hl = self.hl.lock();
-        let blob = match hl.models.get(&id) {
-            Some(LoadedModel::Mlp(m)) => serialize::encode_mlp(m),
-            Some(LoadedModel::Lstm(m)) => serialize::encode_lstm(m),
-            Some(LoadedModel::Knn(m)) => serialize::encode_knn(m),
-            None => return Err(Status::VendorError(code::ML_UNKNOWN_MODEL)),
-        };
+        // The store keeps the canonical blob of the current version —
+        // exports are byte-exact without re-encoding, and never fault a
+        // non-resident model's page in.
+        let blob = self.store.blob_of(id).ok_or(Status::VendorError(code::ML_UNKNOWN_MODEL))?;
         let mut e = Encoder::new();
         e.put_bytes(&blob);
         Ok(e.finish())
@@ -1132,6 +1253,7 @@ impl ApiHandler for LakeDaemon {
             api::ML_INFER_SUBMIT => self.ml_infer_submit(payload),
             api::ML_INFER_POLL => self.ml_infer_poll(payload),
             api::ML_INFER_FLUSH => self.ml_infer_flush(payload),
+            api::ML_SWAP_MODEL => self.ml_swap_model(payload),
             _ => Err(Status::UnknownApi),
         }
     }

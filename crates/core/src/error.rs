@@ -30,6 +30,13 @@ pub mod code {
     pub const ML_BAD_MODEL: u32 = 33;
     /// Input shape does not match the model.
     pub const ML_BAD_SHAPE: u32 = 34;
+    /// The model store's byte budget cannot fit the weights even after
+    /// evicting every unpinned resident (pinned in-flight weights hold
+    /// the rest, or the blob alone exceeds the budget).
+    pub const ML_STORE_FULL: u32 = 35;
+    /// A hot-swap offered a version at or below the installed one; the
+    /// store only moves forward.
+    pub const ML_STALE_VERSION: u32 = 36;
     /// Unknown (never issued or already consumed) batched-inference
     /// ticket.
     pub const SCHED_BAD_TICKET: u32 = 48;

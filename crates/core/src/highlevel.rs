@@ -177,9 +177,10 @@ impl LakeMl {
         let mut d = Decoder::new(&resp);
         let id = d.get_u64().map_err(|_| LakeError::BadResponse("model id"))?;
         // Shadow-register the blob so a supervised restart replays it
-        // into the new incarnation under the same id.
+        // into the new incarnation under the same id. Fresh loads always
+        // install at version 1.
         if let Some(sup) = &self.supervisor {
-            sup.record_model(id, blob);
+            sup.record_model(id, 1, blob);
         }
         Ok(ModelId(id))
     }
@@ -310,7 +311,44 @@ impl LakeMl {
         self.unstage(buf, 0, lost)?;
         let resp = result?;
         let mut d = Decoder::new(&resp);
-        d.get_f32().map_err(|_| LakeError::BadResponse("training loss"))
+        let loss = d.get_f32().map_err(|_| LakeError::BadResponse("training loss"))?;
+        let version = d.get_u64().map_err(|_| LakeError::BadResponse("trained version"))?;
+        let blob = d.get_bytes().map_err(|_| LakeError::BadResponse("trained blob"))?;
+        // Refresh the shadow registration so a supervised restart replays
+        // the *trained* weights at their bumped version, not the stale
+        // originals.
+        if let Some(sup) = &self.supervisor {
+            sup.record_model(id.0, version, blob);
+        }
+        Ok(loss)
+    }
+
+    /// `tfSwapModel`: hot-swap a model's weights in place. The daemon
+    /// drains every pending batch against the old version first (epoch
+    /// semantics: in-flight work finishes on the version it started on),
+    /// then installs the blob at the next version and returns it. New
+    /// requests observe the swapped weights immediately.
+    ///
+    /// The shadow registration is refreshed **only after** the daemon
+    /// acknowledges the install, so a crash landing inside the swap
+    /// window replays exactly one winning version: the old one if the
+    /// install never committed, the new one if it did.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for unknown ids, undecodable blobs, or a
+    /// store budget that cannot fit the new weights.
+    pub fn swap_model(&self, id: ModelId, blob: &[u8]) -> Result<u64, LakeError> {
+        let mut e = Encoder::new();
+        e.put_u64(id.0);
+        e.put_bytes(blob);
+        let resp = self.call(api::ML_SWAP_MODEL, e.finish())?;
+        let mut d = Decoder::new(&resp);
+        let version = d.get_u64().map_err(|_| LakeError::BadResponse("swapped version"))?;
+        if let Some(sup) = &self.supervisor {
+            sup.record_model(id.0, version, blob);
+        }
+        Ok(version)
     }
 
     /// `tfExportModel`: retrieve the serialized (possibly retrained)
@@ -513,6 +551,15 @@ impl LakeMl {
             Some(buf) => self.unstage(buf, 0, lost),
             None => Ok(()),
         };
+        // A queued ticket died with the daemon: its staging buffer was
+        // just disowned above. Harvest time is idle time on this handle,
+        // so sweep orphans from dead incarnations back to the free list
+        // now instead of waiting for an explicit reclaim call.
+        if lost {
+            if let Some(sup) = &self.supervisor {
+                sup.sweep_idle_orphans();
+            }
+        }
         let result = unstaged.and_then(|()| {
             let resp = c.result?;
             let mut d = Decoder::new(&resp);

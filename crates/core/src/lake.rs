@@ -106,6 +106,7 @@ pub struct LakeBuilder {
     queue_depth: usize,
     shards: usize,
     shard_id: usize,
+    model_budget: Option<usize>,
 }
 
 impl Default for LakeBuilder {
@@ -131,6 +132,7 @@ impl Default for LakeBuilder {
             queue_depth: lake_rpc::DEFAULT_QUEUE_DEPTH,
             shards: 1,
             shard_id: 0,
+            model_budget: None,
         }
     }
 }
@@ -278,6 +280,18 @@ impl LakeBuilder {
         self
     }
 
+    /// Caps the daemon's paged model store at `bytes` of resident weight
+    /// pages. Models past the budget are evicted second-chance (never
+    /// while pinned by an in-flight inference) and fault back in through
+    /// the simulated NVMe on next use, charging reload latency to the
+    /// virtual clock. Unbounded by default. The `LAKE_MODEL_BUDGET`
+    /// environment variable overrides this at build time (a byte count;
+    /// the empty string means unbounded).
+    pub fn model_budget_bytes(mut self, bytes: usize) -> Self {
+        self.model_budget = Some(bytes);
+        self
+    }
+
     /// Deploys `n` lakeD shards when built through
     /// [`LakeBuilder::build_shards`] (or `lake-fleet`'s `DaemonFleet`).
     /// Each shard gets its own transport link, supervisor, incarnation
@@ -364,6 +378,11 @@ impl LakeBuilder {
             }
             Err(_) => self.queue_depth,
         };
+        let model_budget = match std::env::var("LAKE_MODEL_BUDGET") {
+            Ok(s) if s.trim().is_empty() => None,
+            Ok(s) => Some(s.trim().parse::<usize>().expect("LAKE_MODEL_BUDGET")),
+            Err(_) => self.model_budget,
+        };
         // The ring *is* the mmap transport: its costs are Table 2's mmap
         // row no matter what the builder asked for.
         let mechanism = if link_mode == LinkMode::Ring { Mechanism::Mmap } else { self.mechanism };
@@ -378,7 +397,23 @@ impl LakeBuilder {
             pool.device(idx).set_fault_config(config);
         }
         let gpu = Arc::clone(pool.primary());
-        let daemon = LakeDaemon::with_pool(Arc::clone(&pool), shm.clone(), self.batch_policy);
+        // The model store pages live in their own dedicated region — the
+        // kernel-visible lakeShm's accounting (orphan sweeps, `in_use ==
+        // 0` invariants) belongs to callers staging buffers explicitly.
+        // A bounded budget sizes the region to 2x the budget (eviction
+        // headroom during swaps); unbounded deployments get 8 MiB.
+        let page_capacity = match model_budget {
+            Some(b) => (b.max(4096) * 2).max(1 << 20),
+            None => 8 << 20,
+        };
+        let model_pages = ShmRegion::with_capacity(page_capacity);
+        let daemon = LakeDaemon::with_model_store(
+            Arc::clone(&pool),
+            shm.clone(),
+            self.batch_policy,
+            model_pages,
+            model_budget,
+        );
         daemon.set_stall_schedule(self.stall_schedule);
         // The supervisor is always wired (an empty crash schedule is a
         // no-op lease), so the engine's per-call lifecycle hook and the
@@ -556,6 +591,9 @@ pub struct PerfReport {
     /// Packed GEMM engine counters: worker-pool runs vs direct runs and
     /// packed-weight cache hits/misses.
     pub gemm: lake_ml::EngineStats,
+    /// Paged model-store counters: budget/resident/pinned bytes, weight
+    /// hits vs cold-miss faults, evictions, installs, and retired swaps.
+    pub store: lake_ml::StoreStats,
 }
 
 impl std::fmt::Debug for Lake {
@@ -716,7 +754,27 @@ impl Lake {
             rpc_process: lake_rpc::perf::snapshot(),
             staged_calls: self.engine.stats().staged_calls,
             gemm: self.daemon.gemm_stats(),
+            store: self.daemon.store_stats(),
         }
+    }
+
+    /// Paged model-store counters (budget, residency, hit/miss/eviction,
+    /// pinned bytes) for this instance's daemon.
+    pub fn model_store_stats(&self) -> lake_ml::StoreStats {
+        self.daemon.store_stats()
+    }
+
+    /// Arms (or clears) a memory-pressure plan on the model store: while
+    /// a burst is active the effective byte budget shrinks by the plan's
+    /// divisor, forcing eviction storms (`lake-sim` chaos harnesses).
+    pub fn set_model_pressure(&self, plan: Option<lake_sim::PressurePlan>) {
+        self.daemon.set_store_pressure(plan);
+    }
+
+    /// Per-fault cold-miss reload latencies (µs of virtual time) the
+    /// model store has charged so far, in fault order.
+    pub fn model_fault_latencies_us(&self) -> Vec<f64> {
+        self.daemon.store_fault_latencies_us()
     }
 
     /// This instance's shard id (0 unless deployed as part of a

@@ -94,10 +94,15 @@ pub struct SupervisorStats {
     pub schemas_replayed: u64,
     /// Times the restart-storm breaker latched forced CPU fallback.
     pub breaker_trips: u64,
-    /// Orphaned shm allocations freed by automatic restart sweeps.
+    /// Orphaned shm allocations freed by automatic sweeps (restart
+    /// sweeps plus idle-time sweeps).
     pub orphans_reclaimed: u64,
     /// Bytes those sweeps returned to the free list.
     pub orphan_bytes_reclaimed: usize,
+    /// Idle-time orphan sweeps that actually reclaimed something —
+    /// disowned staging buffers collected *between* restarts instead of
+    /// lingering until the next one.
+    pub idle_sweeps: u64,
 }
 
 struct SupState {
@@ -107,8 +112,12 @@ struct SupState {
     recent: Vec<Instant>,
     /// While set, the breaker holds the pool in forced fallback.
     breaker_until: Option<Instant>,
-    /// Kernel-side shadow of loaded models: id -> serialized blob.
-    shadow_models: BTreeMap<u64, Vec<u8>>,
+    /// Kernel-side shadow of loaded models: id -> (version, blob). The
+    /// version rides along so replay restores exactly the version set
+    /// that was current — a crash landing inside a hot-swap window
+    /// replays whichever version the swap had (or had not yet)
+    /// acknowledged, never both.
+    shadow_models: BTreeMap<u64, (u64, Vec<u8>)>,
     /// Kernel-side shadow of registered `lake-registry` schemas.
     shadow_schemas: Vec<(String, String)>,
     orphan_bytes_reclaimed: usize,
@@ -138,6 +147,7 @@ pub struct DaemonSupervisor {
     schemas_replayed: AtomicU64,
     breaker_trips: AtomicU64,
     orphans_reclaimed: AtomicU64,
+    idle_sweeps: AtomicU64,
 }
 
 impl std::fmt::Debug for DaemonSupervisor {
@@ -182,6 +192,7 @@ impl DaemonSupervisor {
             schemas_replayed: AtomicU64::new(0),
             breaker_trips: AtomicU64::new(0),
             orphans_reclaimed: AtomicU64::new(0),
+            idle_sweeps: AtomicU64::new(0),
         })
     }
 
@@ -206,12 +217,13 @@ impl DaemonSupervisor {
         *self.on_restart.lock() = Some(Box::new(hook));
     }
 
-    /// Records a loaded model in the shadow registration table; replayed
-    /// under the same id into every new incarnation. The blob is the one
-    /// recorded here — refresh it (e.g. from `export_model`) if daemon-
-    /// side training changed the weights.
-    pub fn record_model(&self, id: u64, blob: &[u8]) {
-        self.state.lock().shadow_models.insert(id, blob.to_vec());
+    /// Records a loaded model version in the shadow registration table;
+    /// replayed under the same id *and version* into every new
+    /// incarnation. The blob is the one recorded here — refresh it (the
+    /// train/swap responses carry the new version and weights) whenever
+    /// daemon-side state moves forward.
+    pub fn record_model(&self, id: u64, version: u64, blob: &[u8]) {
+        self.state.lock().shadow_models.insert(id, (version, blob.to_vec()));
     }
 
     /// Drops a model from the shadow table (paired with `unload_model`).
@@ -258,6 +270,24 @@ impl DaemonSupervisor {
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             orphans_reclaimed: self.orphans_reclaimed.load(Ordering::Relaxed),
             orphan_bytes_reclaimed: self.state.lock().orphan_bytes_reclaimed,
+            idle_sweeps: self.idle_sweeps.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Idle-time orphan sweep: collects staging buffers the kernel side
+    /// has already disowned (marked orphaned when their request died with
+    /// a past incarnation) without waiting for the *next* restart. Safe
+    /// whenever the caller knows the disowning side has quiesced — the
+    /// async harvest path calls it right after unstaging a
+    /// `DaemonRestarted` ticket, at which point the supervised restart
+    /// that killed the ticket has already completed. Counts into the same
+    /// reclamation totals as restart sweeps.
+    pub fn sweep_idle_orphans(&self) {
+        let report = self.shm.reclaim_orphans();
+        if report.reclaimed_allocs > 0 {
+            self.orphans_reclaimed.fetch_add(report.reclaimed_allocs, Ordering::Relaxed);
+            self.state.lock().orphan_bytes_reclaimed += report.reclaimed_bytes;
+            self.idle_sweeps.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -295,9 +325,10 @@ impl DaemonSupervisor {
         self.daemon.crash_reset(new_epoch);
 
         // Replay the shadow registration table: models under their
-        // original ids, then the registry schema announcements.
-        for (&id, blob) in &st.shadow_models {
-            if self.daemon.restore_model(id, blob).is_ok() {
+        // original ids and versions, then the registry schema
+        // announcements.
+        for (&id, (version, blob)) in &st.shadow_models {
+            if self.daemon.restore_model(id, *version, blob).is_ok() {
                 self.models_replayed.fetch_add(1, Ordering::Relaxed);
             }
         }

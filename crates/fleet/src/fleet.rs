@@ -149,6 +149,7 @@ pub struct DaemonFleet {
     routed_primary: AtomicU64,
     diverted: AtomicU64,
     failover_retries: AtomicU64,
+    replica_sync_skipped: AtomicU64,
 }
 
 impl std::fmt::Debug for DaemonFleet {
@@ -173,6 +174,9 @@ pub struct FleetStats {
     /// Calls retried on the sibling shard after the first attempt died
     /// with `DaemonRestarted`/`TimedOut`.
     pub failover_retries: u64,
+    /// [`FleetMl::sync_replica`] calls that found the backup already at
+    /// the primary's model version and skipped the transfer.
+    pub replica_sync_skipped: u64,
     /// Tenant-governor admission counters.
     pub qos: QosCounters,
 }
@@ -239,6 +243,7 @@ impl DaemonFleet {
             routed_primary: AtomicU64::new(0),
             diverted: AtomicU64::new(0),
             failover_retries: AtomicU64::new(0),
+            replica_sync_skipped: AtomicU64::new(0),
         }
     }
 
@@ -315,6 +320,7 @@ impl DaemonFleet {
             routed_primary: self.routed_primary.load(Ordering::Relaxed),
             diverted: self.diverted.load(Ordering::Relaxed),
             failover_retries: self.failover_retries.load(Ordering::Relaxed),
+            replica_sync_skipped: self.replica_sync_skipped.load(Ordering::Relaxed),
             qos: self.governor.counters(),
         }
     }
@@ -619,10 +625,16 @@ impl FleetMl<'_> {
         self.with_failover(route, |ml, mid| ml.export_model(mid))
     }
 
-    /// Re-replicates `id`: exports the primary's current weights and
-    /// installs them on the backup under its local id, updating the
-    /// backup supervisor's shadow copy so post-crash replay restores the
-    /// fresh weights. No-op on a single-shard fleet.
+    /// Re-replicates `id`, keyed by `(model id, version)`: when the
+    /// backup already holds the primary's current version the transfer
+    /// is skipped entirely (counted in
+    /// [`FleetStats::replica_sync_skipped`]). Otherwise the primary's
+    /// weights are exported and installed on the backup *at the
+    /// primary's version*, updating the backup supervisor's shadow copy
+    /// so post-crash replay restores the fresh weights at the right
+    /// version. Residency rides the install: the backup store admits the
+    /// pages eagerly when its budget allows, so a failover target is
+    /// warm without a cold-miss fault. No-op on a single-shard fleet.
     ///
     /// # Errors
     ///
@@ -632,13 +644,27 @@ impl FleetMl<'_> {
         if route.backup == route.primary {
             return Ok(());
         }
-        let blob = self.mls[route.primary].export_model(route.primary_id)?;
         let backup = self.fleet.shard(route.backup);
+        let primary_version =
+            self.fleet.shard(route.primary).daemon().model_version(route.primary_id.0);
+        if let Some(version) = primary_version {
+            if backup.daemon().model_version(route.backup_id.0) == Some(version) {
+                self.fleet.replica_sync_skipped.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+        let blob = self.mls[route.primary].export_model(route.primary_id)?;
+        // Re-read through the failover-safe path: export may have served
+        // from the backup replica if the primary was mid-restart, but the
+        // version we install must be the blob's origin version.
+        let version = primary_version
+            .or_else(|| backup.daemon().model_version(route.backup_id.0).map(|v| v + 1))
+            .unwrap_or(1);
         backup
             .daemon()
-            .restore_model(route.backup_id.0, &blob)
+            .restore_model(route.backup_id.0, version, &blob)
             .map_err(|status| LakeError::Rpc(RpcError::Remote(status)))?;
-        backup.supervisor().record_model(route.backup_id.0, &blob);
+        backup.supervisor().record_model(route.backup_id.0, version, &blob);
         Ok(())
     }
 
@@ -1070,5 +1096,34 @@ mod tests {
         let on_primary = fleet.shard(p).ml().infer_mlp(route.primary_id, 1, COLS, &row(4)).unwrap();
         let on_backup = fleet.shard(b).ml().infer_mlp(route.backup_id, 1, COLS, &row(4)).unwrap();
         assert_eq!(on_primary, on_backup, "replicas identical after sync");
+    }
+
+    #[test]
+    fn replica_sync_skips_when_versions_match() {
+        let fleet = DaemonFleet::deploy(Lake::builder().shards(2));
+        let ml = fleet.ml();
+        let id = ml.load_model(&model_blob()).unwrap();
+        let route = fleet.routes.lock().get(&id.0).copied().unwrap();
+
+        // Fresh load replicated both sides at version 1: a sync finds
+        // nothing to move.
+        ml.sync_replica(id).unwrap();
+        assert_eq!(fleet.stats().replica_sync_skipped, 1, "same version, no transfer");
+
+        // Training bumps the primary to version 2; the next sync must
+        // actually transfer, and the one after is a no-op again.
+        let feats = [row(0), row(1)].concat();
+        ml.train_mlp(0, id, 2, COLS, &feats, &[0, 1], 1, 0.05).unwrap();
+        let p_ver = fleet.shard(route.primary).daemon().model_version(route.primary_id.0);
+        assert_eq!(p_ver, Some(2));
+        ml.sync_replica(id).unwrap();
+        assert_eq!(fleet.stats().replica_sync_skipped, 1, "stale backup forces a transfer");
+        assert_eq!(
+            fleet.shard(route.backup).daemon().model_version(route.backup_id.0),
+            Some(2),
+            "backup caught up to the primary's version"
+        );
+        ml.sync_replica(id).unwrap();
+        assert_eq!(fleet.stats().replica_sync_skipped, 2, "caught-up backup skips again");
     }
 }

@@ -796,13 +796,15 @@ pub enum PackedModel {
 // Cache + engine
 // ---------------------------------------------------------------------------
 
-/// Per-model cache of packed weights, keyed by model id.
+/// Per-model cache of packed weights, keyed by (model id, version).
 ///
-/// Packing is paid once per (load, train, restore) generation; the daemon
-/// invalidates the entry whenever the model's weights change.
+/// Packing is paid once per installed version; versioned keys mean an
+/// in-flight call pinned to version `v` and new calls on `v+1` each hit
+/// their own packed form during a hot-swap window. The daemon drops all
+/// of an id's versions when the model is unloaded.
 #[derive(Debug, Default)]
 pub struct PackedModelCache {
-    entries: Mutex<HashMap<u64, Arc<PackedModel>>>,
+    entries: Mutex<HashMap<(u64, u64), Arc<PackedModel>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -813,16 +815,18 @@ impl PackedModelCache {
         Self::default()
     }
 
-    /// Cached packed form of `id`, packing via `pack` on miss. `is_kind`
-    /// guards against an id being reused by a different model family.
+    /// Cached packed form of `(id, version)`, packing via `pack` on miss.
+    /// `is_kind` guards against an id being reused by a different model
+    /// family.
     fn get_or_pack(
         &self,
         id: u64,
+        version: u64,
         is_kind: impl Fn(&PackedModel) -> bool,
         pack: impl FnOnce() -> PackedModel,
     ) -> Arc<PackedModel> {
         let mut entries = self.entries.lock().expect("packed cache poisoned");
-        if let Some(hit) = entries.get(&id) {
+        if let Some(hit) = entries.get(&(id, version)) {
             if is_kind(hit) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(hit);
@@ -830,13 +834,14 @@ impl PackedModelCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let packed = Arc::new(pack());
-        entries.insert(id, Arc::clone(&packed));
+        entries.insert((id, version), Arc::clone(&packed));
         packed
     }
 
-    /// Drops the packed entry for `id` (weights changed or model unloaded).
+    /// Drops every version's packed entry for `id` (model unloaded or its
+    /// weights were replaced outside the versioned install path).
     pub fn invalidate(&self, id: u64) {
-        self.entries.lock().expect("packed cache poisoned").remove(&id);
+        self.entries.lock().expect("packed cache poisoned").retain(|&(k, _), _| k != id);
     }
 
     /// Drops every entry (daemon crash wipes model state).
@@ -962,9 +967,12 @@ impl InferenceEngine {
     }
 
     /// Classifies a row-major MLP batch through the packed fast path.
+    /// `version` keys the packed cache so hot-swapped weights never serve
+    /// a call pinned to the previous version.
     pub fn classify_mlp(
         &self,
         id: u64,
+        version: u64,
         model: &Mlp,
         data: &[f32],
         rows: usize,
@@ -972,6 +980,7 @@ impl InferenceEngine {
     ) -> Vec<usize> {
         let packed = self.cache.get_or_pack(
             id,
+            version,
             |m| matches!(m, PackedModel::Mlp(_)),
             || PackedModel::Mlp(PackedMlp::pack(model)),
         );
@@ -981,10 +990,13 @@ impl InferenceEngine {
     }
 
     /// Classifies a batch of flattened LSTM sequences through the packed
-    /// fast path.
+    /// fast path. `version` keys the packed cache so hot-swapped weights
+    /// never serve a call pinned to the previous version.
+    #[allow(clippy::too_many_arguments)] // id+version key the packed cache
     pub fn classify_lstm(
         &self,
         id: u64,
+        version: u64,
         model: &LstmClassifier,
         data: &[f32],
         rows: usize,
@@ -993,6 +1005,7 @@ impl InferenceEngine {
     ) -> Vec<usize> {
         let packed = self.cache.get_or_pack(
             id,
+            version,
             |m| matches!(m, PackedModel::Lstm(_)),
             || PackedModel::Lstm(PackedLstm::pack(model)),
         );
@@ -1188,8 +1201,8 @@ mod tests {
         let m = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
         let engine = InferenceEngine::new(2).with_pool_threshold(2);
         let x = rand_matrix(&mut rng, 8, 4, false);
-        let a = engine.classify_mlp(7, &m, x.data(), 8, 4);
-        let b = engine.classify_mlp(7, &m, x.data(), 8, 4);
+        let a = engine.classify_mlp(7, 1, &m, x.data(), 8, 4);
+        let b = engine.classify_mlp(7, 1, &m, x.data(), 8, 4);
         assert_eq!(a, b);
         let stats = engine.stats();
         assert_eq!(stats.cache_misses, 1);
@@ -1199,7 +1212,7 @@ mod tests {
         assert!(stats.pool_utilization() > 0.9, "{stats:?}");
 
         engine.invalidate(7);
-        engine.classify_mlp(7, &m, x.data(), 8, 4);
+        engine.classify_mlp(7, 1, &m, x.data(), 8, 4);
         assert_eq!(engine.stats().cache_misses, 2);
     }
 
@@ -1209,7 +1222,7 @@ mod tests {
         let m = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
         let engine = InferenceEngine::new(4);
         let x = rand_matrix(&mut rng, 1, 4, false);
-        assert_eq!(engine.classify_mlp(1, &m, x.data(), 1, 4), m.classify(&x));
+        assert_eq!(engine.classify_mlp(1, 1, &m, x.data(), 1, 4), m.classify(&x));
         let stats = engine.stats();
         assert_eq!(stats.pool_runs, 0);
         assert_eq!(stats.direct_runs, 1);
@@ -1224,7 +1237,7 @@ mod tests {
         let engine = InferenceEngine::new(4);
         assert_eq!(engine.pool_threshold(), DEFAULT_POOL_MIN_ROWS);
         let small = rand_matrix(&mut rng, 8, 4, false);
-        assert_eq!(engine.classify_mlp(3, &m, small.data(), 8, 4), m.classify(&small));
+        assert_eq!(engine.classify_mlp(3, 1, &m, small.data(), 8, 4), m.classify(&small));
         let stats = engine.stats();
         assert_eq!(stats.pool_runs, 0);
         assert_eq!(stats.direct_runs, 1);
@@ -1233,7 +1246,7 @@ mod tests {
         // At the threshold the pool engages again, with identical output.
         let big = rand_matrix(&mut rng, DEFAULT_POOL_MIN_ROWS, 4, false);
         assert_eq!(
-            engine.classify_mlp(3, &m, big.data(), DEFAULT_POOL_MIN_ROWS, 4),
+            engine.classify_mlp(3, 1, &m, big.data(), DEFAULT_POOL_MIN_ROWS, 4),
             m.classify(&big)
         );
         let stats = engine.stats();
@@ -1243,7 +1256,7 @@ mod tests {
         // Single-row batches are direct but NOT counted as bypassed: the
         // pool was never a candidate for them.
         let one = rand_matrix(&mut rng, 1, 4, false);
-        engine.classify_mlp(3, &m, one.data(), 1, 4);
+        engine.classify_mlp(3, 1, &m, one.data(), 1, 4);
         let stats = engine.stats();
         assert_eq!(stats.direct_runs, 2);
         assert_eq!(stats.pool_bypassed, 1);

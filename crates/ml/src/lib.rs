@@ -42,6 +42,7 @@ pub mod knn;
 pub mod lstm;
 pub mod mlp;
 pub mod serialize;
+pub mod store;
 pub mod tensor;
 
 pub use cost::CpuCostModel;
@@ -53,4 +54,5 @@ pub use knn::Knn;
 pub use lstm::{LstmCell, LstmClassifier};
 pub use mlp::{Activation, Mlp, SgdConfig};
 pub use serialize::{ModelCodecError, ModelKind};
+pub use store::{ModelPin, ModelStore, StoreError, StoreStats, MODEL_PAGE_SIZE};
 pub use tensor::Matrix;

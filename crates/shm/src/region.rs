@@ -187,6 +187,32 @@ impl ShmRegion {
         self.alloc_with_owner(size, Some(OwnerTag { epoch, request_id }))
     }
 
+    /// Allocates a request-owned buffer carved as a whole number of
+    /// `page`-byte pages: the requested size is rounded up to the next
+    /// page multiple before allocation. Page-granular carving is what the
+    /// model store uses for weight blobs, so eviction and dead-version
+    /// reclamation return whole pages to the free list and the region
+    /// converges instead of fragmenting around odd blob sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShmError::OutOfMemory`] if no free block fits the rounded
+    /// size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is zero.
+    pub fn alloc_owned_paged(
+        &self,
+        size: usize,
+        page: usize,
+        request_id: u64,
+    ) -> Result<ShmBuffer, ShmError> {
+        assert!(page > 0, "page size must be non-zero");
+        let rounded = size.max(1).div_ceil(page) * page;
+        self.alloc_owned(rounded, request_id)
+    }
+
     fn alloc_with_owner(
         &self,
         size: usize,
@@ -461,6 +487,21 @@ mod tests {
         assert_eq!(s.in_use, 0);
         assert_eq!(s.orphaned_bytes, 0);
         assert_eq!(s.free_blocks, 1, "region must converge back to one coalesced block");
+    }
+
+    #[test]
+    fn paged_alloc_rounds_to_whole_pages_and_reclaims_cleanly() {
+        let shm = ShmRegion::with_capacity(64 * 1024);
+        let a = shm.alloc_owned_paged(5, 4096, 1).unwrap();
+        assert_eq!(a.len(), 4096);
+        let b = shm.alloc_owned_paged(4097, 4096, 2).unwrap();
+        assert_eq!(b.len(), 8192);
+        // Dead-incarnation pages sweep back to one coalesced block.
+        shm.set_epoch(1);
+        let report = shm.reclaim_before(1);
+        assert_eq!(report.reclaimed_allocs, 2);
+        assert_eq!(report.reclaimed_bytes, 4096 + 8192);
+        assert_eq!(shm.stats().free_blocks, 1);
     }
 
     #[test]

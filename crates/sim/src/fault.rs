@@ -217,6 +217,44 @@ impl BurstSchedule {
     }
 }
 
+/// Virtual-time memory-pressure windows ("eviction storms") for budgeted
+/// caches.
+///
+/// While the underlying [`BurstSchedule`] window is active, a cache that
+/// consults the plan sees its byte budget divided by `divisor`, forcing an
+/// eviction churn without changing the configured hard ceiling. Like
+/// [`BurstSchedule`], the plan is a pure function of the virtual clock, so
+/// storms compose deterministically with any workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PressurePlan {
+    /// Windows during which the pressure applies.
+    pub schedule: BurstSchedule,
+    /// Budget divisor while a window is active (clamped to ≥ 1).
+    pub divisor: u32,
+}
+
+impl PressurePlan {
+    /// A plan tightening the budget by `divisor` inside `schedule` windows.
+    pub fn new(schedule: BurstSchedule, divisor: u32) -> Self {
+        PressurePlan { schedule, divisor: divisor.max(1) }
+    }
+
+    /// The budget in force at `t`: `budget` outside storm windows,
+    /// `budget / divisor` (at least 1 byte) inside them.
+    pub fn effective_budget(&self, budget: usize, t: Instant) -> usize {
+        if self.schedule.active_at(t) {
+            (budget / self.divisor.max(1) as usize).max(1)
+        } else {
+            budget
+        }
+    }
+
+    /// Whether a storm window covers `t`.
+    pub fn active_at(&self, t: Instant) -> bool {
+        self.schedule.active_at(t)
+    }
+}
+
 /// A seeded schedule of daemon crash instants in virtual time.
 ///
 /// Where [`BurstSchedule`] models *windows* (a device misbehaving for a
@@ -400,6 +438,27 @@ mod tests {
         assert!(!never.active_at(Instant::from_nanos(12345)));
         let never = BurstSchedule::new(Duration::ZERO, Duration::from_millis(1), Duration::ZERO);
         assert!(!never.active_at(Instant::from_nanos(12345)));
+    }
+
+    #[test]
+    fn pressure_plan_tightens_budget_only_inside_windows() {
+        let plan = PressurePlan::new(
+            BurstSchedule::new(
+                Duration::from_millis(1),
+                Duration::from_millis(10),
+                Duration::from_millis(2),
+            ),
+            4,
+        );
+        let outside = Instant::EPOCH + Duration::from_millis(5);
+        let inside = Instant::EPOCH + Duration::from_millis(1);
+        assert_eq!(plan.effective_budget(1 << 20, outside), 1 << 20);
+        assert_eq!(plan.effective_budget(1 << 20, inside), 1 << 18);
+        assert!(plan.active_at(inside) && !plan.active_at(outside));
+        // Divisor is clamped: never a zero budget.
+        let harsh = PressurePlan::new(plan.schedule, u32::MAX);
+        assert!(harsh.effective_budget(2, inside) >= 1);
+        assert_eq!(PressurePlan::new(plan.schedule, 0).divisor, 1);
     }
 
     #[test]

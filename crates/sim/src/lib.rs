@@ -39,7 +39,9 @@ pub mod rng;
 
 pub use clock::{Clock, Duration, Instant, SharedClock};
 pub use event::{schedule_periodic, EventId, Simulation};
-pub use fault::{BurstSchedule, CrashSchedule, FaultCounters, FaultPlan, FaultSpec, FrameFault};
+pub use fault::{
+    BurstSchedule, CrashSchedule, FaultCounters, FaultPlan, FaultSpec, FrameFault, PressurePlan,
+};
 pub use metrics::{Histogram, MovingAverage, TimeSeries, UtilizationMeter, ValueStats};
 pub use resource::{FifoResource, Grant};
 pub use rng::SimRng;
