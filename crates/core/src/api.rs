@@ -77,6 +77,14 @@ pub const ML_INFER_FLUSH: ApiId = ApiId(0x30A);
 /// batches onto the old weights first, and answers with the version it
 /// assigned. In-flight pins finish on the old version's page.
 pub const ML_SWAP_MODEL: ApiId = ApiId(0x30B);
+/// `tfQuantizeModel(model id) -> (new model id, version, blob)` — the
+/// daemon quantizes a resident f32 MLP/LSTM to int8 (per-column symmetric
+/// weight scales), installs the result as a *new* model id in the
+/// quantized format family, and returns the encoded blob so the client
+/// can shadow-register it for crash replay. The f32 original stays
+/// loaded as the correctness oracle. Not idempotent: each call mints a
+/// fresh model id.
+pub const ML_QUANTIZE_MODEL: ApiId = ApiId(0x30C);
 
 /// Whether `api` is safe to re-execute after a lost response: re-running
 /// it observably changes nothing (pure reads, level-triggered writes of
@@ -109,7 +117,7 @@ pub fn register_idempotency(engine: &lake_rpc::CallEngine) {
 }
 
 /// Every API identifier this module defines.
-pub const ALL_APIS: [ApiId; 25] = [
+pub const ALL_APIS: [ApiId; 26] = [
     CU_MEM_ALLOC,
     CU_MEM_FREE,
     CU_MEMCPY_HTOD,
@@ -135,6 +143,7 @@ pub const ALL_APIS: [ApiId; 25] = [
     ML_INFER_POLL,
     ML_INFER_FLUSH,
     ML_SWAP_MODEL,
+    ML_QUANTIZE_MODEL,
 ];
 
 /// Human-readable name for diagnostics.
@@ -165,6 +174,7 @@ pub fn api_name(api: ApiId) -> &'static str {
         ML_INFER_POLL => "tfInferPoll",
         ML_INFER_FLUSH => "tfInferFlush",
         ML_SWAP_MODEL => "tfSwapModel",
+        ML_QUANTIZE_MODEL => "tfQuantizeModel",
         _ => "unknown",
     }
 }
@@ -201,6 +211,7 @@ mod tests {
             ML_INFER_POLL,
             ML_INFER_FLUSH,
             ML_SWAP_MODEL,
+            ML_QUANTIZE_MODEL,
         ];
         for (i, a) in ids.iter().enumerate() {
             for b in &ids[i + 1..] {
@@ -224,6 +235,7 @@ mod tests {
         // A swap assigns the next version server-side: retrying one that
         // already landed would install yet another version.
         assert!(!is_idempotent(ML_SWAP_MODEL));
+        assert!(!is_idempotent(ML_QUANTIZE_MODEL));
         // Poll consumes the ticket's result on pickup: a retry after a
         // delivered-but-lost response would see SCHED_BAD_TICKET.
         assert!(!is_idempotent(ML_INFER_POLL));
@@ -233,7 +245,7 @@ mod tests {
 
     #[test]
     fn all_apis_is_exhaustive_and_named() {
-        assert_eq!(ALL_APIS.len(), 25);
+        assert_eq!(ALL_APIS.len(), 26);
         for api in ALL_APIS {
             assert_ne!(api_name(api), "unknown", "{api} missing from api_name");
         }

@@ -17,8 +17,8 @@ use parking_lot::Mutex;
 
 use lake_gpu::{DevicePtr, GpuDevice, GpuError, KernelArg};
 use lake_ml::{
-    serialize, CpuCostModel, EngineStats, InferenceEngine, Knn, LstmClassifier, Matrix, Mlp,
-    ModelKind, ModelPin, ModelStore, StoreError, StoreStats,
+    serialize, CpuCostModel, EngineStats, InferenceEngine, Kernel, Knn, LstmClassifier, Matrix,
+    Mlp, ModelKind, ModelPin, ModelStore, QuantizedLstm, QuantizedMlp, StoreError, StoreStats,
 };
 use lake_rpc::{ApiHandler, ApiId, Decoder, Encoder, Status};
 use lake_sched::{Batch, BatchPolicy, Batcher, DevicePool, Placement, PoolPolicy, SchedMetrics};
@@ -57,6 +57,11 @@ enum LoadedModel {
     Mlp(Arc<Mlp>),
     Lstm(Arc<LstmClassifier>),
     Knn(Arc<Knn>),
+    /// Int8 MLP — a separate model family; the f32 original (if loaded)
+    /// stays resident as the correctness oracle.
+    QuantMlp(Arc<QuantizedMlp>),
+    /// Int8 LSTM (f32 head).
+    QuantLstm(Arc<QuantizedLstm>),
 }
 
 impl LoadedModel {
@@ -82,6 +87,13 @@ impl LoadedModel {
                     return Err(Status::VendorError(code::ML_BAD_SHAPE));
                 }
                 Ok(("hl_knn", (rows * m.num_refs()) as u64, 3.0 * m.dims() as f64))
+            }
+            LoadedModel::QuantMlp(m) => Ok(("hl_qmlp", rows as u64, m.flops_per_input())),
+            LoadedModel::QuantLstm(m) => {
+                if steps == 0 || !cols.is_multiple_of(steps) {
+                    return Err(Status::VendorError(code::ML_BAD_SHAPE));
+                }
+                Ok(("hl_qlstm", (rows * steps) as u64, m.flops_per_step()))
             }
         }
     }
@@ -129,6 +141,21 @@ impl LoadedModel {
             LoadedModel::Knn(m) => {
                 let x = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
                 Ok(m.classify_batch(&x).into_iter().map(|c| c as f32).collect())
+            }
+            LoadedModel::QuantMlp(m) => Ok(engine
+                .classify_quant_mlp(id, version, m, &data[..rows * cols], rows, cols)
+                .into_iter()
+                .map(|c| c as f32)
+                .collect()),
+            LoadedModel::QuantLstm(m) => {
+                if steps == 0 || !cols.is_multiple_of(steps) {
+                    return Err(GpuError::KernelFault("bad sequence shape".to_owned()));
+                }
+                Ok(engine
+                    .classify_quant_lstm(id, version, m, &data[..rows * cols], rows, cols, steps)
+                    .into_iter()
+                    .map(|c| c as f32)
+                    .collect())
             }
         }
     }
@@ -212,7 +239,7 @@ impl LakeDaemon {
         batch_policy: BatchPolicy,
     ) -> Arc<Self> {
         let pages = ShmRegion::with_capacity(DEFAULT_MODEL_PAGE_CAPACITY);
-        Self::with_model_store(pool, shm, batch_policy, pages, None)
+        Self::with_model_store(pool, shm, batch_policy, pages, None, None)
     }
 
     /// Creates a daemon whose model weights live in `model_pages` under
@@ -220,12 +247,19 @@ impl LakeDaemon {
     /// entry point [`LakeBuilder::model_budget_bytes`] plumbs through.
     ///
     /// [`LakeBuilder::model_budget_bytes`]: crate::LakeBuilder::model_budget_bytes
+    ///
+    /// `simd` overrides the GEMM engine's microkernel family (`None` =
+    /// honour `LAKE_SIMD` / auto-detect) — the [`LakeBuilder::simd`]
+    /// plumbing.
+    ///
+    /// [`LakeBuilder::simd`]: crate::LakeBuilder::simd
     pub fn with_model_store(
         pool: Arc<DevicePool>,
         shm: ShmRegion,
         batch_policy: BatchPolicy,
         model_pages: ShmRegion,
         model_budget: Option<usize>,
+        simd: Option<Kernel>,
     ) -> Arc<Self> {
         let store = ModelStore::new(pool.clock().clone(), model_pages, model_budget, |blob| {
             Self::decode_model_blob(blob).ok().map(|(m, _, _, _)| m)
@@ -242,6 +276,10 @@ impl LakeDaemon {
         // latency-sensitive and small enough that more workers only add
         // hand-off overhead.
         let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(4);
+        let mut engine = InferenceEngine::new(workers);
+        if let Some(kernel) = simd {
+            engine = engine.with_kernel(kernel);
+        }
         Arc::new(LakeDaemon {
             gpu: Arc::clone(pool.primary()),
             pool,
@@ -250,7 +288,7 @@ impl LakeDaemon {
             next_model_id: AtomicU64::new(1),
             sched,
             cpu: CpuCostModel::default(),
-            engine: Arc::new(InferenceEngine::new(workers)),
+            engine: Arc::new(engine),
             stall: Mutex::new(None),
             stall_events: AtomicU64::new(0),
             tickets_lost: AtomicU64::new(0),
@@ -300,6 +338,7 @@ impl LakeDaemon {
         let sched = self.sched.lock();
         let mut m = SchedMetrics::collect(&self.pool, &sched.batcher);
         m.gemm_pool_utilization = self.engine.stats().pool_utilization();
+        m.simd_kernel = self.engine.kernel().name();
         m
     }
 
@@ -537,6 +576,22 @@ impl LakeDaemon {
                 let flops = 3.0 * m.dims() as f64;
                 (LoadedModel::Knn(Arc::new(m)), bytes, "hl_knn", flops)
             }
+            ModelKind::QuantMlp => {
+                let m = serialize::decode_quant_mlp(blob)
+                    .map_err(|_| Status::VendorError(code::ML_BAD_MODEL))?;
+                // i8 weights: the device footprint is ≈ 4× smaller than
+                // the f32 form's — the ModelStore page win.
+                let bytes = m.weight_bytes();
+                let flops = m.flops_per_input();
+                (LoadedModel::QuantMlp(Arc::new(m)), bytes, "hl_qmlp", flops)
+            }
+            ModelKind::QuantLstm => {
+                let m = serialize::decode_quant_lstm(blob)
+                    .map_err(|_| Status::VendorError(code::ML_BAD_MODEL))?;
+                let bytes = m.weight_bytes();
+                let flops = m.flops_per_step();
+                (LoadedModel::QuantLstm(Arc::new(m)), bytes, "hl_qlstm", flops)
+            }
         })
     }
 
@@ -647,11 +702,15 @@ impl LakeDaemon {
         // Pin the model for the whole call: the weights cannot be evicted
         // mid-inference no matter what the budget does.
         let model = self.model(id)?;
+        // Quantized models answer the same infer APIs as their f32
+        // family: tfInfer against a QuantMlp id runs the int8 path.
         let kind_matches = matches!(
             (&*model, kind),
             (LoadedModel::Mlp(_), ModelKind::Mlp)
                 | (LoadedModel::Lstm(_), ModelKind::Lstm)
                 | (LoadedModel::Knn(_), ModelKind::Knn)
+                | (LoadedModel::QuantMlp(_), ModelKind::Mlp)
+                | (LoadedModel::QuantLstm(_), ModelKind::Lstm)
         );
         if !kind_matches {
             return Err(Status::VendorError(code::ML_BAD_SHAPE));
@@ -1223,6 +1282,40 @@ impl LakeDaemon {
         e.put_bytes(&blob);
         Ok(e.finish())
     }
+
+    /// `tfQuantizeModel`: quantize a resident f32 MLP/LSTM to int8 and
+    /// install the result under a **fresh model id** in the quantized
+    /// format family. The f32 original stays loaded untouched — it is the
+    /// correctness oracle the quantized model's accuracy delta is gated
+    /// against. Responds with the new id, its version (1), and the
+    /// encoded blob so the client can shadow-register it for crash
+    /// replay.
+    fn ml_quantize_model(&self, payload: &[u8]) -> Result<Bytes, Status> {
+        let mut d = Decoder::new(payload);
+        let id = d.get_u64().map_err(|_| Status::Malformed)?;
+        let qblob = {
+            let pin = self.model(id)?;
+            match &*pin {
+                LoadedModel::Mlp(m) => serialize::encode_quant_mlp(&QuantizedMlp::quantize(m)),
+                LoadedModel::Lstm(m) => serialize::encode_quant_lstm(&QuantizedLstm::quantize(m)),
+                // Already-quantized and k-NN models have nothing to
+                // quantize.
+                _ => return Err(Status::VendorError(code::ML_BAD_SHAPE)),
+            }
+        };
+        let (_, weight_bytes, kernel_name, flops_per_item) = Self::decode_model_blob(&qblob)?;
+
+        let new_id = self.next_model_id.fetch_add(1, Ordering::Relaxed);
+        self.store.install(new_id, 1, &qblob).map_err(store_status)?;
+        self.upload_weights(weight_bytes)?;
+        self.register_model_kernel(new_id, kernel_name, flops_per_item);
+
+        let mut e = Encoder::new();
+        e.put_u64(new_id);
+        e.put_u64(1);
+        e.put_bytes(&qblob);
+        Ok(e.finish())
+    }
 }
 
 impl ApiHandler for LakeDaemon {
@@ -1254,6 +1347,7 @@ impl ApiHandler for LakeDaemon {
             api::ML_INFER_POLL => self.ml_infer_poll(payload),
             api::ML_INFER_FLUSH => self.ml_infer_flush(payload),
             api::ML_SWAP_MODEL => self.ml_swap_model(payload),
+            api::ML_QUANTIZE_MODEL => self.ml_quantize_model(payload),
             _ => Err(Status::UnknownApi),
         }
     }

@@ -351,6 +351,31 @@ impl LakeMl {
         Ok(version)
     }
 
+    /// `tfQuantizeModel`: ask the daemon to quantize a resident f32
+    /// MLP/LSTM to int8. The quantized model installs under a **new**
+    /// model id (returned here); the f32 original stays loaded as the
+    /// correctness oracle. The daemon sends back the encoded quantized
+    /// blob, which is shadow-registered so a supervised restart replays
+    /// the quantized model too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LakeError`] for unknown ids or models with no quantized
+    /// form (k-NN, already-quantized).
+    pub fn quantize_model(&self, id: ModelId) -> Result<ModelId, LakeError> {
+        let mut e = Encoder::new();
+        e.put_u64(id.0);
+        let resp = self.call(api::ML_QUANTIZE_MODEL, e.finish())?;
+        let mut d = Decoder::new(&resp);
+        let new_id = d.get_u64().map_err(|_| LakeError::BadResponse("quantized model id"))?;
+        let version = d.get_u64().map_err(|_| LakeError::BadResponse("quantized version"))?;
+        let blob = d.get_bytes().map_err(|_| LakeError::BadResponse("quantized blob"))?;
+        if let Some(sup) = &self.supervisor {
+            sup.record_model(new_id, version, blob);
+        }
+        Ok(ModelId(new_id))
+    }
+
     /// `tfExportModel`: retrieve the serialized (possibly retrained)
     /// model blob, e.g. to persist it through the feature registry's
     /// `update_model`.

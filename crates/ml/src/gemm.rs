@@ -31,6 +31,16 @@
 //!   rows of a timestep stream the packed `Wx`/`Wh` once) while keeping the
 //!   per-row accumulation order of `LstmCell::step`.
 //!
+//! Single-thread speed comes from a [`Kernel`] dispatch layer: runtime-
+//! detected AVX2 / SSE4.1 microkernels (register-blocked, 4 vector
+//! accumulators resident across the whole reduction loop) plus MC/KC/NC
+//! cache tiling, selectable via `LAKE_SIMD={auto,avx2,sse,scalar}`. The
+//! SIMD kernels stay bit-identical to the scalar oracle because they only
+//! widen across *independent* output columns: each element still sees
+//! ascending-k accumulation, the `== 0.0` skip, and a separate multiply
+//! then add (FMA is deliberately not used — its single rounding would
+//! change bits).
+//!
 //! [`PackedModelCache`] memoizes the packed form per model id so packing is
 //! paid once per load, and [`InferenceEngine`] bundles pool + cache with the
 //! utilization counters surfaced through `SchedMetrics`.
@@ -48,6 +58,161 @@ use crate::tensor::Matrix;
 
 /// Packed row stride granularity: 16 f32 = one 64-byte cache line.
 pub const PACK_LANE: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Kernel dispatch
+// ---------------------------------------------------------------------------
+
+/// Which microkernel family executes the GEMM inner loops.
+///
+/// All f32 kernels are **bit-identical**: per output element they perform
+/// the exact op sequence of the scalar oracle (ascending-k accumulation,
+/// the `a == 0.0` skip, separate multiply then add). SIMD only widens
+/// across independent output columns. The int8 kernels accumulate in i32,
+/// which is exact, so they too agree across kernels to the last bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Portable scalar loops — the chaos-invariant oracle.
+    Scalar,
+    /// SSE4.1 128-bit lanes (4 f32 / 8 i16 per op).
+    Sse,
+    /// AVX2 256-bit lanes (8 f32 / 16 i16 per op).
+    Avx2,
+}
+
+/// Runtime CPU probe via CPUID, cached after the first call. AVX2 also
+/// requires OS support for saving ymm state (OSXSAVE + XCR0 bits 1–2) —
+/// checking the feature bit alone would fault on kernels that disable AVX.
+#[cfg(target_arch = "x86_64")]
+fn detect_cpu() -> Kernel {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static CACHED: AtomicU8 = AtomicU8::new(u8::MAX);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != u8::MAX {
+        return match cached {
+            2 => Kernel::Avx2,
+            1 => Kernel::Sse,
+            _ => Kernel::Scalar,
+        };
+    }
+    // SAFETY: CPUID exists on every x86_64 CPU; _xgetbv is gated on the
+    // OSXSAVE bit which guarantees the instruction is enabled.
+    let best = unsafe {
+        use std::arch::x86_64::{__cpuid, __cpuid_count, _xgetbv};
+        let f1 = __cpuid(1);
+        let sse41 = f1.ecx & (1 << 19) != 0;
+        let osxsave = f1.ecx & (1 << 27) != 0;
+        let ymm_enabled = osxsave && (_xgetbv(0) & 0x6) == 0x6;
+        let avx2 = __cpuid_count(7, 0).ebx & (1 << 5) != 0;
+        if avx2 && ymm_enabled {
+            Kernel::Avx2
+        } else if sse41 {
+            Kernel::Sse
+        } else {
+            Kernel::Scalar
+        }
+    };
+    CACHED.store(
+        match best {
+            Kernel::Avx2 => 2,
+            Kernel::Sse => 1,
+            Kernel::Scalar => 0,
+        },
+        Ordering::Relaxed,
+    );
+    best
+}
+
+impl Kernel {
+    /// Best kernel the running CPU supports.
+    pub fn detect() -> Kernel {
+        #[cfg(target_arch = "x86_64")]
+        {
+            detect_cpu()
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Kernel::Scalar
+        }
+    }
+
+    /// Whether this kernel can run on the current CPU.
+    pub fn available(self) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            matches!(
+                (self, detect_cpu()),
+                (Kernel::Scalar, _)
+                    | (Kernel::Sse, Kernel::Sse | Kernel::Avx2)
+                    | (Kernel::Avx2, Kernel::Avx2)
+            )
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            matches!(self, Kernel::Scalar)
+        }
+    }
+
+    /// Clamps a requested kernel down to the best one actually available.
+    /// Identity for any available kernel; every public dispatch entry runs
+    /// requests through this, so the `unsafe` target-feature kernels can
+    /// never execute on a CPU that lacks them (the check is one relaxed
+    /// atomic load, amortized over a whole tile of work).
+    pub(crate) fn clamped(self) -> Kernel {
+        match self {
+            Kernel::Avx2 if Kernel::Avx2.available() => Kernel::Avx2,
+            Kernel::Avx2 | Kernel::Sse if Kernel::Sse.available() => Kernel::Sse,
+            Kernel::Scalar | Kernel::Sse | Kernel::Avx2 => Kernel::Scalar,
+        }
+    }
+
+    /// Parses a `LAKE_SIMD` value. `auto` (or empty) detects the best
+    /// kernel; explicit requests clamp down to what the CPU supports, so
+    /// asking for `avx2` on an SSE-only host degrades instead of crashing.
+    pub fn from_name(s: &str) -> Option<Kernel> {
+        match s.to_ascii_lowercase().as_str() {
+            "" | "auto" => Some(Kernel::detect()),
+            "avx2" => Some(Kernel::Avx2.clamped()),
+            "sse" | "sse4.1" | "sse41" => Some(Kernel::Sse.clamped()),
+            "scalar" => Some(Kernel::Scalar),
+            _ => None,
+        }
+    }
+
+    /// Kernel selected by the `LAKE_SIMD` environment variable
+    /// (`auto|avx2|sse|scalar`), defaulting to [`Kernel::detect`] when
+    /// unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized `LAKE_SIMD` value.
+    pub fn from_env() -> Kernel {
+        match std::env::var("LAKE_SIMD") {
+            Ok(v) => Kernel::from_name(&v)
+                .unwrap_or_else(|| panic!("LAKE_SIMD must be auto|avx2|sse|scalar, got {v:?}")),
+            Err(_) => Kernel::detect(),
+        }
+    }
+
+    /// Short name for metrics and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Sse => "sse4.1",
+            Kernel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Numeric format of a packed model; part of the packed-cache key so an f32
+/// oracle and its int8 quantized sibling never collide under one model id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFormat {
+    /// Full-precision f32 weights (the correctness oracle).
+    F32,
+    /// Symmetric int8 weights with per-column scales.
+    Int8,
+}
 
 // ---------------------------------------------------------------------------
 // Packed weights
@@ -84,16 +249,31 @@ impl PackedMatrix {
         let (k, n) = (b.rows(), b.cols());
         let stride = n.div_ceil(PACK_LANE) * PACK_LANE;
         let mut data = vec![0.0f32; k * stride + PACK_LANE - 1];
-        let off = data.as_ptr().align_offset(64);
-        // align_offset is allowed to fail (returns usize::MAX); fall back to
-        // an unaligned base — correctness does not depend on alignment.
-        let base = if off < PACK_LANE { off } else { 0 };
+        // Computed directly from the address instead of `align_offset`
+        // (which is allowed to fail spuriously): a Vec<f32> base is always
+        // 4-byte aligned, so at most 15 elements reach the next 64-byte
+        // boundary and the slack above always covers it.
+        let addr = data.as_ptr() as usize;
+        let base = (addr.next_multiple_of(64) - addr) / std::mem::size_of::<f32>();
+        debug_assert!(base < PACK_LANE, "alignment slack exceeded");
         let src = b.data();
         for kk in 0..k {
             data[base + kk * stride..base + kk * stride + n]
                 .copy_from_slice(&src[kk * n..(kk + 1) * n]);
         }
-        PackedMatrix { k, n, stride, base, data }
+        let pm = PackedMatrix { k, n, stride, base, data };
+        debug_assert!(pm.base_aligned(), "packed base must be 64-byte aligned");
+        pm
+    }
+
+    /// Whether every packed row starts on a 64-byte boundary (the base is
+    /// aligned and the stride is a whole number of cache lines). SIMD
+    /// kernels rely on rows never straddling a line start; this is asserted
+    /// after every pack in debug builds and exposed for the alignment audit
+    /// test.
+    pub fn base_aligned(&self) -> bool {
+        let base_ptr = self.data[self.base..].as_ptr() as usize;
+        base_ptr.is_multiple_of(64) && (self.stride * std::mem::size_of::<f32>()).is_multiple_of(64)
     }
 
     /// Reduction dimension (rows of the original matrix).
@@ -124,19 +304,213 @@ impl PackedMatrix {
     }
 }
 
-/// Scalar replica of `Activation::apply`'s per-element formulas.
+// ---------------------------------------------------------------------------
+// f32 microkernels
+// ---------------------------------------------------------------------------
+
+/// `out[j] += Σ_i a[i] * B[k0 + i][j0 + j]` — the one accumulation
+/// primitive every f32 path uses.
+///
+/// Accumulators are loaded from and stored back to `out`, so callers may
+/// seed `out` (LSTM bias) or tile the reduction dimension across several
+/// calls without changing any per-element f32 op sequence: loads and
+/// stores do not round. Ascending `i`, the scalar `a[i] == 0.0` skip, and
+/// separate multiply-then-add are preserved by every kernel, so all three
+/// are bit-identical.
+///
+/// The skip is hoisted out of the hot loops: a branchless scan compacts
+/// the nonzero `(index, value)` pairs up front and every kernel walks the
+/// compacted list with no data-dependent branch. ReLU activations are
+/// ~half exact zeros in a random pattern, so the naive per-element
+/// `if av == 0.0` test mispredicts constantly — on such layers the
+/// misprediction stalls cost more than the arithmetic itself. Compaction
+/// keeps the identical elements in identical ascending order, so the f32
+/// op sequence (and therefore the bit pattern) is unchanged.
 #[inline]
-fn apply_act(act: Activation, x: f32) -> f32 {
-    match act {
-        Activation::Relu => x.max(0.0),
-        Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
-        Activation::Tanh => x.tanh(),
+pub(crate) fn accumulate(
+    kernel: Kernel,
+    a: &[f32],
+    pb: &PackedMatrix,
+    k0: usize,
+    j0: usize,
+    out: &mut [f32],
+) {
+    debug_assert!(k0 + a.len() <= pb.k, "accumulate k range out of bounds");
+    debug_assert!(j0 + out.len() <= pb.n, "accumulate j range out of bounds");
+    let mut idx = [0u32; TILE_KC];
+    let mut val = [0f32; TILE_KC];
+    for (c, chunk) in a.chunks(TILE_KC).enumerate() {
+        let first = c * TILE_KC;
+        // Unconditional stores + conditional increment: compiles to
+        // setcc/add, never a branch, regardless of the zero pattern.
+        let mut nz = 0usize;
+        for (i, &av) in chunk.iter().enumerate() {
+            idx[nz] = (first + i) as u32;
+            val[nz] = av;
+            nz += usize::from(av != 0.0);
+        }
+        if nz == 0 {
+            continue;
+        }
+        let (idx, val) = (&idx[..nz], &val[..nz]);
+        match kernel {
+            Kernel::Scalar => accumulate_scalar(idx, val, pb, k0, j0, out),
+            // SAFETY: every public dispatch entry normalizes its kernel via
+            // `Kernel::clamped`, so a non-scalar kernel only reaches here
+            // when the CPU reports the required target features.
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Sse => unsafe { accumulate_sse(idx, val, pb, k0, j0, out) },
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 => unsafe { accumulate_avx2(idx, val, pb, k0, j0, out) },
+            #[cfg(not(target_arch = "x86_64"))]
+            Kernel::Sse | Kernel::Avx2 => accumulate_scalar(idx, val, pb, k0, j0, out),
+        }
     }
 }
 
+fn accumulate_scalar(
+    idx: &[u32],
+    val: &[f32],
+    pb: &PackedMatrix,
+    k0: usize,
+    j0: usize,
+    out: &mut [f32],
+) {
+    for (&i, &av) in idx.iter().zip(val) {
+        let row = &pb.row(k0 + i as usize)[j0..j0 + out.len()];
+        for (o, &b) in out.iter_mut().zip(row) {
+            *o += av * b;
+        }
+    }
+}
+
+/// AVX2: 32-column register block — 4 ymm accumulators stay resident
+/// across the whole reduction loop; each non-zero `a[i]` costs one
+/// broadcast, 4 multiplies and 4 adds, and the compacted `(idx, val)`
+/// walk makes the loop branch-free. `mul + add`, **not** `fmadd`: a
+/// fused multiply-add rounds once where the scalar oracle rounds twice,
+/// which would change bits.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_avx2(
+    idx: &[u32],
+    val: &[f32],
+    pb: &PackedMatrix,
+    k0: usize,
+    j0: usize,
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let jn = out.len();
+    let op = out.as_mut_ptr();
+    let stride = pb.stride;
+    // Base of column j0 in packed row k0; row i is `i * stride` further on.
+    // Every load below stays inside the packed buffer: j0 + j + 8 ≤ n ≤
+    // stride, so even the last row's widest load ends before the pad does.
+    let bbase = pb.data.as_ptr().add(pb.base + k0 * stride + j0);
+    let mut j = 0;
+    while j + 32 <= jn {
+        let mut acc0 = _mm256_loadu_ps(op.add(j));
+        let mut acc1 = _mm256_loadu_ps(op.add(j + 8));
+        let mut acc2 = _mm256_loadu_ps(op.add(j + 16));
+        let mut acc3 = _mm256_loadu_ps(op.add(j + 24));
+        for (&i, &av) in idx.iter().zip(val) {
+            let bp = bbase.add(i as usize * stride + j);
+            let va = _mm256_set1_ps(av);
+            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(va, _mm256_loadu_ps(bp)));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(va, _mm256_loadu_ps(bp.add(8))));
+            acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(va, _mm256_loadu_ps(bp.add(16))));
+            acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(va, _mm256_loadu_ps(bp.add(24))));
+        }
+        _mm256_storeu_ps(op.add(j), acc0);
+        _mm256_storeu_ps(op.add(j + 8), acc1);
+        _mm256_storeu_ps(op.add(j + 16), acc2);
+        _mm256_storeu_ps(op.add(j + 24), acc3);
+        j += 32;
+    }
+    while j + 8 <= jn {
+        let mut acc = _mm256_loadu_ps(op.add(j));
+        for (&i, &av) in idx.iter().zip(val) {
+            let bp = bbase.add(i as usize * stride + j);
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(av), _mm256_loadu_ps(bp)));
+        }
+        _mm256_storeu_ps(op.add(j), acc);
+        j += 8;
+    }
+    if j < jn {
+        accumulate_scalar(idx, val, pb, k0, j0 + j, &mut out[j..]);
+    }
+}
+
+/// SSE4.1: 16-column register block with 4 xmm accumulators; same op
+/// sequence as the scalar oracle, 4 columns per lane.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.1")]
+unsafe fn accumulate_sse(
+    idx: &[u32],
+    val: &[f32],
+    pb: &PackedMatrix,
+    k0: usize,
+    j0: usize,
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let jn = out.len();
+    let op = out.as_mut_ptr();
+    let stride = pb.stride;
+    let bbase = pb.data.as_ptr().add(pb.base + k0 * stride + j0);
+    let mut j = 0;
+    while j + 16 <= jn {
+        let mut acc0 = _mm_loadu_ps(op.add(j));
+        let mut acc1 = _mm_loadu_ps(op.add(j + 4));
+        let mut acc2 = _mm_loadu_ps(op.add(j + 8));
+        let mut acc3 = _mm_loadu_ps(op.add(j + 12));
+        for (&i, &av) in idx.iter().zip(val) {
+            let bp = bbase.add(i as usize * stride + j);
+            let va = _mm_set1_ps(av);
+            acc0 = _mm_add_ps(acc0, _mm_mul_ps(va, _mm_loadu_ps(bp)));
+            acc1 = _mm_add_ps(acc1, _mm_mul_ps(va, _mm_loadu_ps(bp.add(4))));
+            acc2 = _mm_add_ps(acc2, _mm_mul_ps(va, _mm_loadu_ps(bp.add(8))));
+            acc3 = _mm_add_ps(acc3, _mm_mul_ps(va, _mm_loadu_ps(bp.add(12))));
+        }
+        _mm_storeu_ps(op.add(j), acc0);
+        _mm_storeu_ps(op.add(j + 4), acc1);
+        _mm_storeu_ps(op.add(j + 8), acc2);
+        _mm_storeu_ps(op.add(j + 12), acc3);
+        j += 16;
+    }
+    while j + 4 <= jn {
+        let mut acc = _mm_loadu_ps(op.add(j));
+        for (&i, &av) in idx.iter().zip(val) {
+            let bp = bbase.add(i as usize * stride + j);
+            acc = _mm_add_ps(acc, _mm_mul_ps(_mm_set1_ps(av), _mm_loadu_ps(bp)));
+        }
+        _mm_storeu_ps(op.add(j), acc);
+        j += 4;
+    }
+    if j < jn {
+        accumulate_scalar(idx, val, pb, k0, j0 + j, &mut out[j..]);
+    }
+}
+
+/// Reduction-dimension tile: a 256-element slice of one input row is 1 KB,
+/// comfortably L1-resident alongside the accumulator block.
+const TILE_KC: usize = 256;
+
+/// Output-column tile: with [`TILE_KC`] this caps one packed weight panel
+/// at 256 KB so it stays L2-resident while every row of a batch reuses it.
+const TILE_NC: usize = 256;
+
+/// Scalar replica of `Activation::apply`'s per-element formulas (both
+/// route through the shared `fastmath` activations, so the engine and the
+/// naive `Mlp` forward stay bit-identical).
 #[inline]
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
+pub(crate) fn apply_act(act: Activation, x: f32) -> f32 {
+    match act {
+        Activation::Relu => x.max(0.0),
+        Activation::Sigmoid => crate::fastmath::sigmoid(x),
+        Activation::Tanh => crate::fastmath::tanh(x),
+    }
 }
 
 /// Packed GEMM for one contiguous row range of the output.
@@ -150,10 +524,15 @@ fn sigmoid(x: f32) -> f32 {
 /// Per output element this performs the identical sequence of f32
 /// operations as [`Matrix::matmul`]'s i-k-j loop: one accumulator starting
 /// at `0.0`, adding `a[k] * b[k][j]` for ascending `k` where
-/// `a[k] != 0.0`. The k-outer saxpy shape keeps the inner loop's `n`
-/// accumulators independent, so it vectorizes; the epilogue then runs in
-/// the same pass instead of re-walking the batch.
+/// `a[k] != 0.0`. The MC/KC/NC tiling below only reorders *between*
+/// elements — for each column panel every KC block is visited in ascending
+/// order and the accumulator round-trips through `out` (loads and stores
+/// don't round), so the bit pattern is tiling-invariant. The win is reuse:
+/// one L2-resident weight panel streams once while every row of the range
+/// consumes it.
+#[allow(clippy::too_many_arguments)] // internal driver: shape + fused epilogue
 fn gemm_rows(
+    kernel: Kernel,
     a: &[f32],
     a_cols: usize,
     rows: Range<usize>,
@@ -165,19 +544,20 @@ fn gemm_rows(
     assert_eq!(a_cols, pb.k, "gemm reduction dim mismatch");
     let n = pb.n;
     assert_eq!(out.len(), rows.len() * n, "gemm output size mismatch");
-    for (li, i) in rows.enumerate() {
-        let a_row = &a[i * a_cols..(i + 1) * a_cols];
-        let out_row = &mut out[li * n..(li + 1) * n];
-        out_row.fill(0.0);
-        for (k, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = pb.row(k);
-            for (o, &b) in out_row.iter_mut().zip(b_row) {
-                *o += av * b;
+    out.fill(0.0);
+    for jc in (0..n).step_by(TILE_NC) {
+        let jw = TILE_NC.min(n - jc);
+        for kc in (0..a_cols).step_by(TILE_KC) {
+            let kw = TILE_KC.min(a_cols - kc);
+            for (li, i) in rows.clone().enumerate() {
+                let a_row = &a[i * a_cols + kc..i * a_cols + kc + kw];
+                let out_row = &mut out[li * n + jc..li * n + jc + jw];
+                accumulate(kernel, a_row, pb, kc, jc, out_row);
             }
         }
+    }
+    for li in 0..rows.len() {
+        let out_row = &mut out[li * n..(li + 1) * n];
         match (bias, act) {
             (Some(bs), Some(act)) => {
                 for (o, &b) in out_row.iter_mut().zip(bs) {
@@ -318,7 +698,7 @@ impl Drop for WorkerPool {
 }
 
 /// Splits `rows` into at most `parts` contiguous, disjoint ranges.
-fn partition(rows: usize, parts: usize) -> Vec<Range<usize>> {
+pub(crate) fn partition(rows: usize, parts: usize) -> Vec<Range<usize>> {
     let parts = parts.max(1);
     let per = rows.div_ceil(parts).max(1);
     let mut out = Vec::new();
@@ -339,10 +719,22 @@ fn partition(rows: usize, parts: usize) -> Vec<Range<usize>> {
 /// the per-element reduction order — and therefore every output bit — is
 /// independent of the worker count).
 pub fn matmul_packed(a: &Matrix, pb: &PackedMatrix, pool: Option<&WorkerPool>) -> Matrix {
+    matmul_packed_with(a, pb, pool, Kernel::from_env())
+}
+
+/// [`matmul_packed`] with an explicit microkernel (bit-identical for every
+/// choice; see [`Kernel`]).
+pub fn matmul_packed_with(
+    a: &Matrix,
+    pb: &PackedMatrix,
+    pool: Option<&WorkerPool>,
+    kernel: Kernel,
+) -> Matrix {
+    let kernel = kernel.clamped();
     let rows = a.rows();
     let mut out = Matrix::zeros(rows, pb.n);
     run_partitioned(pool, rows, pb.n, out.data_mut(), |range, chunk| {
-        gemm_rows(a.data(), a.cols(), range, pb, None, None, chunk);
+        gemm_rows(kernel, a.data(), a.cols(), range, pb, None, None, chunk);
     });
     out
 }
@@ -350,7 +742,7 @@ pub fn matmul_packed(a: &Matrix, pb: &PackedMatrix, pool: Option<&WorkerPool>) -
 /// Partitions `rows` across the pool and hands each worker its disjoint
 /// chunk of `out` (`row_width` floats per row). Falls back to inline
 /// execution for tiny batches or a single worker.
-fn run_partitioned(
+pub(crate) fn run_partitioned(
     pool: Option<&WorkerPool>,
     rows: usize,
     row_width: usize,
@@ -419,7 +811,14 @@ impl PackedMlp {
 
     /// Logits for a row range of the batch, written into `out`
     /// (`rows.len() * classes` floats). Bit-identical to `Mlp::forward`.
-    fn forward_rows(&self, data: &[f32], cols: usize, rows: Range<usize>, out: &mut [f32]) {
+    fn forward_rows(
+        &self,
+        kernel: Kernel,
+        data: &[f32],
+        cols: usize,
+        rows: Range<usize>,
+        out: &mut [f32],
+    ) {
         let n_layers = self.layers.len();
         let local = rows.len();
         // First layer reads straight from the caller's (possibly shm-backed)
@@ -430,26 +829,19 @@ impl PackedMlp {
             let last = li + 1 == n_layers;
             let act = if last { None } else { Some(self.hidden_activation) };
             let n = layer.w.n;
+            let b = Some(layer.b.as_slice());
             if last {
                 if li == 0 {
-                    gemm_rows(data, cur_cols, rows.clone(), &layer.w, Some(&layer.b), act, out);
+                    gemm_rows(kernel, data, cur_cols, rows.clone(), &layer.w, b, act, out);
                 } else {
-                    gemm_rows(&cur, cur_cols, 0..local, &layer.w, Some(&layer.b), act, out);
+                    gemm_rows(kernel, &cur, cur_cols, 0..local, &layer.w, b, act, out);
                 }
             } else {
                 let mut next = vec![0.0f32; local * n];
                 if li == 0 {
-                    gemm_rows(
-                        data,
-                        cur_cols,
-                        rows.clone(),
-                        &layer.w,
-                        Some(&layer.b),
-                        act,
-                        &mut next,
-                    );
+                    gemm_rows(kernel, data, cur_cols, rows.clone(), &layer.w, b, act, &mut next);
                 } else {
-                    gemm_rows(&cur, cur_cols, 0..local, &layer.w, Some(&layer.b), act, &mut next);
+                    gemm_rows(kernel, &cur, cur_cols, 0..local, &layer.w, b, act, &mut next);
                 }
                 cur = next;
                 cur_cols = n;
@@ -458,7 +850,8 @@ impl PackedMlp {
     }
 
     /// Batch logits, partitioned across `pool`. Bit-identical to
-    /// `Mlp::forward` on the same batch.
+    /// `Mlp::forward` on the same batch. Kernel comes from `LAKE_SIMD` /
+    /// CPU detection; see [`PackedMlp::forward_with`].
     pub fn forward(
         &self,
         data: &[f32],
@@ -466,6 +859,20 @@ impl PackedMlp {
         cols: usize,
         pool: Option<&WorkerPool>,
     ) -> Matrix {
+        self.forward_with(data, rows, cols, pool, Kernel::from_env())
+    }
+
+    /// [`PackedMlp::forward`] with an explicit microkernel (bit-identical
+    /// for every choice).
+    pub fn forward_with(
+        &self,
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+        pool: Option<&WorkerPool>,
+        kernel: Kernel,
+    ) -> Matrix {
+        let kernel = kernel.clamped();
         assert_eq!(cols, self.input_size(), "mlp input width mismatch");
         assert!(data.len() >= rows * cols, "mlp batch buffer too short");
         let classes = self.layers.last().expect("non-empty mlp").w.n;
@@ -474,7 +881,7 @@ impl PackedMlp {
             return out;
         }
         run_partitioned(pool, rows, classes, out.data_mut(), |range, chunk| {
-            self.forward_rows(data, cols, range, chunk);
+            self.forward_rows(kernel, data, cols, range, chunk);
         });
         out
     }
@@ -488,7 +895,19 @@ impl PackedMlp {
         cols: usize,
         pool: Option<&WorkerPool>,
     ) -> Vec<usize> {
-        let logits = self.forward(data, rows, cols, pool);
+        self.classify_with(data, rows, cols, pool, Kernel::from_env())
+    }
+
+    /// [`PackedMlp::classify`] with an explicit microkernel.
+    pub fn classify_with(
+        &self,
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+        pool: Option<&WorkerPool>,
+        kernel: Kernel,
+    ) -> Vec<usize> {
+        let logits = self.forward_with(data, rows, cols, pool, kernel);
         if rows == 0 {
             return Vec::new();
         }
@@ -508,61 +927,105 @@ struct PackedCell {
     b: Vec<f32>,
 }
 
+/// Gate epilogue shared by every LSTM path (f32 and int8): sigmoid /
+/// sigmoid / tanh / sigmoid over the four `hd`-wide `[i, f, g, o]` bands
+/// of `z`, then `c = f*c_prev + i*g`, `h = o*tanh(c)`. Kernel-dispatched:
+/// the SIMD paths evaluate the shared `fastmath` activations 8 (AVX2) or
+/// 4 (SSE) lanes at a time with the identical per-element op sequence, so
+/// `h` and `c` match the scalar oracle bit for bit. Elements are
+/// independent per `j`, so lane-blocking only reorders *between*
+/// elements, never within one.
+pub(crate) fn lstm_gate_epilogue(kernel: Kernel, z: &[f32], h: &mut [f32], c: &mut [f32]) {
+    match kernel {
+        Kernel::Scalar => lstm_gate_epilogue_range(z, h, c, 0),
+        // SAFETY: kernels are clamped at every public entry (see
+        // `accumulate`), so the target features are present here.
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Sse => unsafe { lstm_gate_epilogue_sse(z, h, c) },
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2 => unsafe { lstm_gate_epilogue_avx2(z, h, c) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Kernel::Sse | Kernel::Avx2 => lstm_gate_epilogue_range(z, h, c, 0),
+    }
+}
+
+/// Scalar gate epilogue over `from..h.len()` — the oracle sequence the
+/// SIMD versions replicate lane-for-lane, and their shared tail handler.
+fn lstm_gate_epilogue_range(z: &[f32], h: &mut [f32], c: &mut [f32], from: usize) {
+    let hd = h.len();
+    for j in from..hd {
+        let i = crate::fastmath::sigmoid(z[j]);
+        let f = crate::fastmath::sigmoid(z[hd + j]);
+        let g = crate::fastmath::tanh(z[2 * hd + j]);
+        let o = crate::fastmath::sigmoid(z[3 * hd + j]);
+        let cn = f * c[j] + i * g;
+        c[j] = cn;
+        h[j] = o * crate::fastmath::tanh(cn);
+    }
+}
+
+/// AVX2 gate epilogue: four activations and the cell update, 8 lanes at a
+/// time. The `fastmath` SIMD activations are bit-identical to their
+/// scalar forms, and `f*c + i*g` / `o*tanh(c)` keep the same separate
+/// mul/add sequence, so `h` and `c` match the scalar oracle exactly.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn lstm_gate_epilogue_avx2(z: &[f32], h: &mut [f32], c: &mut [f32]) {
+    use crate::fastmath::avx2::{sigmoid8, tanh8};
+    use std::arch::x86_64::*;
+    let hd = h.len();
+    let zp = z.as_ptr();
+    let mut j = 0;
+    while j + 8 <= hd {
+        let vi = sigmoid8(_mm256_loadu_ps(zp.add(j)));
+        let vf = sigmoid8(_mm256_loadu_ps(zp.add(hd + j)));
+        let vg = tanh8(_mm256_loadu_ps(zp.add(2 * hd + j)));
+        let vo = sigmoid8(_mm256_loadu_ps(zp.add(3 * hd + j)));
+        let vc = _mm256_loadu_ps(c.as_ptr().add(j));
+        let cn = _mm256_add_ps(_mm256_mul_ps(vf, vc), _mm256_mul_ps(vi, vg));
+        _mm256_storeu_ps(c.as_mut_ptr().add(j), cn);
+        _mm256_storeu_ps(h.as_mut_ptr().add(j), _mm256_mul_ps(vo, tanh8(cn)));
+        j += 8;
+    }
+    lstm_gate_epilogue_range(z, h, c, j);
+}
+
+/// SSE4.1 gate epilogue: same as AVX2, 4 lanes at a time.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.1")]
+unsafe fn lstm_gate_epilogue_sse(z: &[f32], h: &mut [f32], c: &mut [f32]) {
+    use crate::fastmath::sse::{sigmoid4, tanh4};
+    use std::arch::x86_64::*;
+    let hd = h.len();
+    let zp = z.as_ptr();
+    let mut j = 0;
+    while j + 4 <= hd {
+        let vi = sigmoid4(_mm_loadu_ps(zp.add(j)));
+        let vf = sigmoid4(_mm_loadu_ps(zp.add(hd + j)));
+        let vg = tanh4(_mm_loadu_ps(zp.add(2 * hd + j)));
+        let vo = sigmoid4(_mm_loadu_ps(zp.add(3 * hd + j)));
+        let vc = _mm_loadu_ps(c.as_ptr().add(j));
+        let cn = _mm_add_ps(_mm_mul_ps(vf, vc), _mm_mul_ps(vi, vg));
+        _mm_storeu_ps(c.as_mut_ptr().add(j), cn);
+        _mm_storeu_ps(h.as_mut_ptr().add(j), _mm_mul_ps(vo, tanh4(cn)));
+        j += 4;
+    }
+    lstm_gate_epilogue_range(z, h, c, j);
+}
+
 impl PackedCell {
     /// One timestep for one row; replicates `LstmCell::step` exactly:
     /// `z = b + x·Wx + h·Wh` with the `== 0.0` skip on `x` and `h`, gates
     /// in `[i, f, g, o]` order, `c = f*c_prev + i*g`, `h = o*tanh(c)`.
-    fn step(&self, x: &[f32], h: &mut [f32], c: &mut [f32], z: &mut [f32]) {
-        let hd = self.hidden;
+    fn step(&self, kernel: Kernel, x: &[f32], h: &mut [f32], c: &mut [f32], z: &mut [f32]) {
         // Accumulators seeded with the bias, then x-products for ascending
         // k (skipping x[k] == 0.0), then h-products — the same k-outer
         // saxpy loops (and therefore the same per-element f32 sequence)
         // as `LstmCell::step`, minus its per-step allocations.
         z.copy_from_slice(&self.b);
-        for (k, &xv) in x.iter().enumerate() {
-            if xv == 0.0 {
-                continue;
-            }
-            let row = self.wx.row(k);
-            for (zj, &wj) in z.iter_mut().zip(row) {
-                *zj += xv * wj;
-            }
-        }
-        for (k, &hv) in h.iter().enumerate() {
-            if hv == 0.0 {
-                continue;
-            }
-            let row = self.wh.row(k);
-            for (zj, &wj) in z.iter_mut().zip(row) {
-                *zj += hv * wj;
-            }
-        }
-        // Gate epilogue over the four hd-wide bands of `z`, in place and
-        // bounds-check-free (each band is one tight loop, the c/h update a
-        // single zip). Every output element sees the exact op sequence of
-        // `LstmCell::step` — the bands are independent per j, so splitting
-        // the fused loop only reorders *between* elements, never within one.
-        let (zi, rest) = z.split_at_mut(hd);
-        let (zf, rest) = rest.split_at_mut(hd);
-        let (zg, zo) = rest.split_at_mut(hd);
-        for v in zi.iter_mut() {
-            *v = sigmoid(*v);
-        }
-        for v in zf.iter_mut() {
-            *v = sigmoid(*v);
-        }
-        for v in zg.iter_mut() {
-            *v = v.tanh();
-        }
-        for v in zo.iter_mut() {
-            *v = sigmoid(*v);
-        }
-        let gates = zi.iter().zip(zf.iter()).zip(zg.iter().zip(zo.iter()));
-        for ((cj, hj), ((&i, &f), (&g, &o))) in c.iter_mut().zip(h.iter_mut()).zip(gates) {
-            let cn = f * *cj + i * g;
-            *cj = cn;
-            *hj = o * cn.tanh();
-        }
+        accumulate(kernel, x, &self.wx, 0, 0, z);
+        accumulate(kernel, h, &self.wh, 0, 0, z);
+        lstm_gate_epilogue(kernel, z, h, c);
     }
 }
 
@@ -604,6 +1067,7 @@ impl PackedLstm {
     /// timesteps of `cols / steps` features, flattened row-major.
     fn classify_rows(
         &self,
+        kernel: Kernel,
         data: &[f32],
         cols: usize,
         steps: usize,
@@ -622,20 +1086,43 @@ impl PackedLstm {
         let mut width = feat;
         for cell in &self.cells {
             let hd = cell.hidden;
+            let zw = 4 * hd;
             let mut layer_out = vec![0.0f32; local * steps * hd];
             let mut h = vec![0.0f32; local * hd];
             let mut c = vec![0.0f32; local * hd];
-            let mut z = vec![0.0f32; 4 * hd];
-            // Batched gate computation: every row of the batch advances
-            // through timestep t before any row starts t+1, so the packed
-            // Wx/Wh stream through cache once per timestep instead of once
-            // per row. Rows never share state, so per-row math is untouched.
+            // One gate-accumulator row per batch row so the gate GEMM can
+            // be KC-blocked *across* the batch below.
+            let mut z = vec![0.0f32; local * zw];
+            // Batched, cache-blocked gate GEMM: every row of the batch
+            // advances through timestep t before any row starts t+1, and
+            // within the timestep each KC slice of the packed Wx/Wh panel
+            // streams through cache once while all rows consume it. Rows
+            // never share state and each z element still sees bias, then
+            // ascending-k x products, then ascending-k h products — the
+            // exact per-element order of `LstmCell::step`.
             for t in 0..steps {
                 for r in 0..local {
-                    let x = &layer_input[(r * steps + t) * width..(r * steps + t) * width + width];
+                    z[r * zw..(r + 1) * zw].copy_from_slice(&cell.b);
+                }
+                for kc in (0..width).step_by(TILE_KC) {
+                    let kw = TILE_KC.min(width - kc);
+                    for r in 0..local {
+                        let x0 = (r * steps + t) * width + kc;
+                        let x = &layer_input[x0..x0 + kw];
+                        accumulate(kernel, x, &cell.wx, kc, 0, &mut z[r * zw..(r + 1) * zw]);
+                    }
+                }
+                for kc in (0..hd).step_by(TILE_KC) {
+                    let kw = TILE_KC.min(hd - kc);
+                    for r in 0..local {
+                        let hr = &h[r * hd + kc..r * hd + kc + kw];
+                        accumulate(kernel, hr, &cell.wh, kc, 0, &mut z[r * zw..(r + 1) * zw]);
+                    }
+                }
+                for r in 0..local {
                     let hr = &mut h[r * hd..(r + 1) * hd];
                     let cr = &mut c[r * hd..(r + 1) * hd];
-                    cell.step(x, hr, cr, &mut z);
+                    lstm_gate_epilogue(kernel, &z[r * zw..(r + 1) * zw], hr, cr);
                     layer_out[(r * steps + t) * hd..(r * steps + t) * hd + hd].copy_from_slice(hr);
                 }
             }
@@ -647,7 +1134,7 @@ impl PackedLstm {
         for (r, slot) in out.iter_mut().enumerate() {
             let last_h = &layer_input
                 [(r * steps + steps - 1) * top_hidden..(r * steps + steps) * top_hidden];
-            *slot = self.head_argmax(last_h, &mut logits);
+            *slot = head_argmax(&self.head_w, &self.head_b, last_h, &mut logits);
         }
     }
 
@@ -663,6 +1150,7 @@ impl PackedLstm {
     /// same in both paths, so the outputs are bit-identical.
     fn classify_rows_lean(
         &self,
+        kernel: Kernel,
         data: &[f32],
         cols: usize,
         steps: usize,
@@ -692,45 +1180,24 @@ impl PackedLstm {
                 c[..hd].fill(0.0);
                 for t in 0..steps {
                     let (x, rest) = (&cur[t * width..], &mut next[t * hd..]);
-                    cell.step(&x[..width], &mut h[..hd], &mut c[..hd], &mut z[..4 * hd]);
+                    cell.step(kernel, &x[..width], &mut h[..hd], &mut c[..hd], &mut z[..4 * hd]);
                     rest[..hd].copy_from_slice(&h[..hd]);
                 }
                 std::mem::swap(&mut cur, &mut next);
                 width = hd;
             }
-            *slot =
-                self.head_argmax(&cur[(steps - 1) * top_hidden..steps * top_hidden], &mut logits);
+            *slot = head_argmax(
+                &self.head_w,
+                &self.head_b,
+                &cur[(steps - 1) * top_hidden..steps * top_hidden],
+                &mut logits,
+            );
         }
-    }
-
-    /// Head logits + argmax for one row: logits seeded with the bias then
-    /// accumulated by k-outer saxpy with no zero skip, exactly as
-    /// `LstmClassifier::forward`; argmax keeps the *last* maximal index,
-    /// matching `max_by(partial_cmp)`.
-    fn head_argmax(&self, last_h: &[f32], logits: &mut [f32]) -> usize {
-        logits.copy_from_slice(&self.head_b);
-        for (k, &hv) in last_h.iter().enumerate() {
-            let row = self.head_w.row(k);
-            for (lj, &wj) in logits.iter_mut().zip(row) {
-                *lj += hv * wj;
-            }
-        }
-        let mut best = 0usize;
-        let mut best_v = logits[0];
-        for (j, &v) in logits.iter().enumerate().skip(1) {
-            match v.partial_cmp(&best_v).expect("no NaN logits") {
-                std::cmp::Ordering::Less => {}
-                _ => {
-                    best = j;
-                    best_v = v;
-                }
-            }
-        }
-        best
     }
 
     /// Argmax classes for a batch of flattened sequences; bit-identical to
-    /// looping `LstmClassifier::classify` row by row.
+    /// looping `LstmClassifier::classify` row by row. Kernel comes from
+    /// `LAKE_SIMD` / CPU detection; see [`PackedLstm::classify_with`].
     pub fn classify(
         &self,
         data: &[f32],
@@ -739,6 +1206,21 @@ impl PackedLstm {
         steps: usize,
         pool: Option<&WorkerPool>,
     ) -> Vec<usize> {
+        self.classify_with(data, rows, cols, steps, pool, Kernel::from_env())
+    }
+
+    /// [`PackedLstm::classify`] with an explicit microkernel (bit-identical
+    /// for every choice).
+    pub fn classify_with(
+        &self,
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+        steps: usize,
+        pool: Option<&WorkerPool>,
+        kernel: Kernel,
+    ) -> Vec<usize> {
+        let kernel = kernel.clamped();
         assert!(steps > 0 && cols.is_multiple_of(steps), "bad sequence shape");
         assert_eq!(cols / steps, self.input_size(), "lstm feature width mismatch");
         assert!(data.len() >= rows * cols, "lstm batch buffer too short");
@@ -758,9 +1240,9 @@ impl PackedLstm {
             // costs more than it buys" marks where the per-layer batch
             // allocations cost more than the weight-streaming they enable.
             None if rows < DEFAULT_POOL_MIN_ROWS => {
-                self.classify_rows_lean(data, cols, steps, 0..rows, &mut out)
+                self.classify_rows_lean(kernel, data, cols, steps, 0..rows, &mut out)
             }
-            None => self.classify_rows(data, cols, steps, 0..rows, &mut out),
+            None => self.classify_rows(kernel, data, cols, steps, 0..rows, &mut out),
             Some(pool) => {
                 let ranges = partition(rows, pool.workers());
                 let per = ranges[0].len();
@@ -773,7 +1255,7 @@ impl PackedLstm {
                     if let Some(slot) = chunks.get(w) {
                         let mut guard = slot.lock().expect("gemm chunk poisoned");
                         let (range, chunk) = &mut *guard;
-                        self.classify_rows(data, cols, steps, range.clone(), chunk);
+                        self.classify_rows(kernel, data, cols, steps, range.clone(), chunk);
                     }
                 };
                 pool.run(&job);
@@ -783,6 +1265,38 @@ impl PackedLstm {
     }
 }
 
+/// Head logits + argmax for one row: logits seeded with the bias then
+/// accumulated by k-outer saxpy with no zero skip, exactly as
+/// `LstmClassifier::forward`; argmax keeps the *last* maximal index,
+/// matching `max_by(partial_cmp)`. Shared by the f32 and int8 LSTM paths
+/// (the int8 format keeps its head in f32 — it is a few dozen floats).
+pub(crate) fn head_argmax(
+    head_w: &PackedMatrix,
+    head_b: &[f32],
+    last_h: &[f32],
+    logits: &mut [f32],
+) -> usize {
+    logits.copy_from_slice(head_b);
+    for (k, &hv) in last_h.iter().enumerate() {
+        let row = head_w.row(k);
+        for (lj, &wj) in logits.iter_mut().zip(row) {
+            *lj += hv * wj;
+        }
+    }
+    let mut best = 0usize;
+    let mut best_v = logits[0];
+    for (j, &v) in logits.iter().enumerate().skip(1) {
+        match v.partial_cmp(&best_v).expect("no NaN logits") {
+            std::cmp::Ordering::Less => {}
+            _ => {
+                best = j;
+                best_v = v;
+            }
+        }
+    }
+    best
+}
+
 /// A packed model, keyed in the cache by model id.
 #[derive(Debug)]
 pub enum PackedModel {
@@ -790,21 +1304,27 @@ pub enum PackedModel {
     Mlp(PackedMlp),
     /// Packed LSTM classifier.
     Lstm(PackedLstm),
+    /// Packed int8 MLP.
+    QuantMlp(crate::quant::PackedQuantMlp),
+    /// Packed int8 LSTM classifier.
+    QuantLstm(crate::quant::PackedQuantLstm),
 }
 
 // ---------------------------------------------------------------------------
 // Cache + engine
 // ---------------------------------------------------------------------------
 
-/// Per-model cache of packed weights, keyed by (model id, version).
+/// Per-model cache of packed weights, keyed by (model id, version,
+/// [`ModelFormat`]).
 ///
 /// Packing is paid once per installed version; versioned keys mean an
 /// in-flight call pinned to version `v` and new calls on `v+1` each hit
-/// their own packed form during a hot-swap window. The daemon drops all
+/// their own packed form during a hot-swap window, and the format key
+/// keeps an f32 oracle and an int8 sibling distinct. The daemon drops all
 /// of an id's versions when the model is unloaded.
 #[derive(Debug, Default)]
 pub struct PackedModelCache {
-    entries: Mutex<HashMap<(u64, u64), Arc<PackedModel>>>,
+    entries: Mutex<HashMap<(u64, u64, ModelFormat), Arc<PackedModel>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -815,18 +1335,19 @@ impl PackedModelCache {
         Self::default()
     }
 
-    /// Cached packed form of `(id, version)`, packing via `pack` on miss.
-    /// `is_kind` guards against an id being reused by a different model
-    /// family.
+    /// Cached packed form of `(id, version, format)`, packing via `pack`
+    /// on miss. `is_kind` guards against an id being reused by a different
+    /// model family.
     fn get_or_pack(
         &self,
         id: u64,
         version: u64,
+        format: ModelFormat,
         is_kind: impl Fn(&PackedModel) -> bool,
         pack: impl FnOnce() -> PackedModel,
     ) -> Arc<PackedModel> {
         let mut entries = self.entries.lock().expect("packed cache poisoned");
-        if let Some(hit) = entries.get(&(id, version)) {
+        if let Some(hit) = entries.get(&(id, version, format)) {
             if is_kind(hit) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(hit);
@@ -834,14 +1355,14 @@ impl PackedModelCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let packed = Arc::new(pack());
-        entries.insert((id, version), Arc::clone(&packed));
+        entries.insert((id, version, format), Arc::clone(&packed));
         packed
     }
 
     /// Drops every version's packed entry for `id` (model unloaded or its
     /// weights were replaced outside the versioned install path).
     pub fn invalidate(&self, id: u64) {
-        self.entries.lock().expect("packed cache poisoned").retain(|&(k, _), _| k != id);
+        self.entries.lock().expect("packed cache poisoned").retain(|&(k, _, _), _| k != id);
     }
 
     /// Drops every entry (daemon crash wipes model state).
@@ -858,8 +1379,12 @@ impl PackedModelCache {
 /// Point-in-time counters for the fast path.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EngineStats {
-    /// Worker threads in the pool.
+    /// Worker threads in the pool (after the host-core clamp).
     pub workers: usize,
+    /// Worker threads originally requested, before clamping to host cores.
+    pub workers_requested: usize,
+    /// Name of the active microkernel (`avx2`, `sse4.1`, `scalar`).
+    pub simd: &'static str,
     /// Pool jobs dispatched (each fans out to every worker).
     pub pool_runs: u64,
     /// Worker-slots that received a non-empty row range.
@@ -904,19 +1429,34 @@ pub struct InferenceEngine {
     pool: WorkerPool,
     cache: PackedModelCache,
     pool_min_rows: usize,
+    workers_requested: usize,
+    kernel: Kernel,
     tasks: AtomicU64,
     direct: AtomicU64,
     bypassed: AtomicU64,
 }
 
 impl InferenceEngine {
-    /// Engine with a fixed pool of `workers` threads and the default
-    /// work-size threshold ([`DEFAULT_POOL_MIN_ROWS`]).
+    /// Engine with a pool of `workers` threads (clamped to the host's
+    /// available cores — an oversubscribed pool only buys context-switch
+    /// latency, the BENCH_PR4 p99 blowup), the default work-size threshold
+    /// ([`DEFAULT_POOL_MIN_ROWS`]), and the `LAKE_SIMD`-selected kernel.
     pub fn new(workers: usize) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_host_cores(workers, cores)
+    }
+
+    /// [`InferenceEngine::new`] with an explicit host core count, for
+    /// tests and benches that need a deterministic clamp regardless of the
+    /// machine they run on.
+    pub fn with_host_cores(workers: usize, host_cores: usize) -> Self {
+        let effective = workers.clamp(1, host_cores.max(1));
         InferenceEngine {
-            pool: WorkerPool::new(workers),
+            pool: WorkerPool::new(effective),
             cache: PackedModelCache::new(),
             pool_min_rows: DEFAULT_POOL_MIN_ROWS,
+            workers_requested: workers,
+            kernel: Kernel::from_env(),
             tasks: AtomicU64::new(0),
             direct: AtomicU64::new(0),
             bypassed: AtomicU64::new(0),
@@ -930,6 +1470,18 @@ impl InferenceEngine {
     pub fn with_pool_threshold(mut self, min_rows: usize) -> Self {
         self.pool_min_rows = min_rows;
         self
+    }
+
+    /// Overrides the microkernel (default: `LAKE_SIMD` / CPU detection).
+    /// Requests the CPU cannot honor clamp down to the best available.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel.clamped();
+        self
+    }
+
+    /// The microkernel this engine dispatches to.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 
     /// The active pool work-size threshold.
@@ -981,12 +1533,64 @@ impl InferenceEngine {
         let packed = self.cache.get_or_pack(
             id,
             version,
+            ModelFormat::F32,
             |m| matches!(m, PackedModel::Mlp(_)),
             || PackedModel::Mlp(PackedMlp::pack(model)),
         );
         let PackedModel::Mlp(packed) = &*packed else { unreachable!("kind-guarded") };
         let pool = self.account(rows);
-        packed.classify(data, rows, cols, pool)
+        packed.classify_with(data, rows, cols, pool, self.kernel)
+    }
+
+    /// Classifies a row-major batch through an int8 quantized MLP. Same
+    /// cache/pool behaviour as [`InferenceEngine::classify_mlp`]; the
+    /// packed entry is keyed [`ModelFormat::Int8`] so an f32 oracle under
+    /// the same id never collides.
+    pub fn classify_quant_mlp(
+        &self,
+        id: u64,
+        version: u64,
+        model: &crate::quant::QuantizedMlp,
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+    ) -> Vec<usize> {
+        let packed = self.cache.get_or_pack(
+            id,
+            version,
+            ModelFormat::Int8,
+            |m| matches!(m, PackedModel::QuantMlp(_)),
+            || PackedModel::QuantMlp(crate::quant::PackedQuantMlp::pack(model)),
+        );
+        let PackedModel::QuantMlp(packed) = &*packed else { unreachable!("kind-guarded") };
+        let pool = self.account(rows);
+        packed.classify_with(data, rows, cols, pool, self.kernel)
+    }
+
+    /// Classifies a batch of flattened sequences through an int8 quantized
+    /// LSTM. Same cache/pool behaviour as
+    /// [`InferenceEngine::classify_lstm`].
+    #[allow(clippy::too_many_arguments)] // id+version key the packed cache
+    pub fn classify_quant_lstm(
+        &self,
+        id: u64,
+        version: u64,
+        model: &crate::quant::QuantizedLstm,
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+        steps: usize,
+    ) -> Vec<usize> {
+        let packed = self.cache.get_or_pack(
+            id,
+            version,
+            ModelFormat::Int8,
+            |m| matches!(m, PackedModel::QuantLstm(_)),
+            || PackedModel::QuantLstm(crate::quant::PackedQuantLstm::pack(model)),
+        );
+        let PackedModel::QuantLstm(packed) = &*packed else { unreachable!("kind-guarded") };
+        let pool = self.account(rows);
+        packed.classify_with(data, rows, cols, steps, pool, self.kernel)
     }
 
     /// Classifies a batch of flattened LSTM sequences through the packed
@@ -1006,12 +1610,13 @@ impl InferenceEngine {
         let packed = self.cache.get_or_pack(
             id,
             version,
+            ModelFormat::F32,
             |m| matches!(m, PackedModel::Lstm(_)),
             || PackedModel::Lstm(PackedLstm::pack(model)),
         );
         let PackedModel::Lstm(packed) = &*packed else { unreachable!("kind-guarded") };
         let pool = self.account(rows);
-        packed.classify(data, rows, cols, steps, pool)
+        packed.classify_with(data, rows, cols, steps, pool, self.kernel)
     }
 
     /// Drops the packed entry for `id`.
@@ -1029,6 +1634,8 @@ impl InferenceEngine {
         let (cache_hits, cache_misses) = self.cache.stats();
         EngineStats {
             workers: self.pool.workers(),
+            workers_requested: self.workers_requested,
+            simd: self.kernel.name(),
             pool_runs: self.pool.runs(),
             pool_tasks: self.tasks.load(Ordering::Relaxed),
             direct_runs: self.direct.load(Ordering::Relaxed),
@@ -1074,6 +1681,72 @@ mod tests {
         assert_eq!(pb.stride() % PACK_LANE, 0);
         assert_eq!(pb.row(0), &[1.0, 2.0, 3.0]);
         assert_eq!(pb.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    /// Alignment audit: every packed row must start on a 64-byte boundary
+    /// — SIMD kernels assume rows never straddle a cache-line start. The
+    /// input `Matrix` carries no alignment guarantee (kernels only
+    /// broadcast single elements from it), so the packed side is the one
+    /// that has to hold.
+    #[test]
+    fn packed_rows_are_64_byte_aligned_for_all_shapes() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for &(k, n) in &[(1, 1), (2, 3), (7, 15), (16, 16), (17, 31), (64, 256), (3, 100)] {
+            let pb = PackedMatrix::pack(&rand_matrix(&mut rng, k, n, false));
+            assert!(pb.base_aligned(), "({k},{n}) base not aligned");
+            for kk in 0..k {
+                assert_eq!(pb.row(kk).as_ptr() as usize % 64, 0, "({k},{n}) row {kk}");
+            }
+        }
+    }
+
+    /// Every available kernel must agree with the scalar oracle to the
+    /// bit, across shapes that exercise the 32/16-column register blocks,
+    /// the narrow-vector loops, the scalar tails, and the KC/NC tiling
+    /// boundaries.
+    #[test]
+    fn simd_kernels_are_bit_identical_to_scalar() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 7, 5),
+            (4, 31, 33),
+            (2, 300, 40), // k spans two KC tiles
+            (5, 64, 300), // n spans two NC tiles
+            (2, 257, 260),
+            (64, 256, 31),
+        ] {
+            let a = rand_matrix(&mut rng, m, k, true);
+            let b = rand_matrix(&mut rng, k, n, false);
+            let pb = PackedMatrix::pack(&b);
+            let want = a.matmul(&b);
+            for kernel in [Kernel::Scalar, Kernel::Sse, Kernel::Avx2] {
+                if !kernel.available() {
+                    continue;
+                }
+                let got = matmul_packed_with(&a, &pb, None, kernel);
+                for (x, y) in want.data().iter().zip(got.data()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{} ({m},{k},{n})", kernel.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_requests_clamp_to_available() {
+        // `auto` resolves to the detected best; explicit requests at or
+        // below the detected level are honored exactly.
+        let best = Kernel::detect();
+        assert_eq!(Kernel::from_name("auto"), Some(best));
+        assert_eq!(Kernel::from_name("scalar"), Some(Kernel::Scalar));
+        assert_eq!(Kernel::from_name("nope"), None);
+        for req in [Kernel::Sse, Kernel::Avx2] {
+            let got = Kernel::from_name(req.name()).unwrap();
+            assert!(got.available());
+            if req.available() {
+                assert_eq!(got, req);
+            }
+        }
     }
 
     #[test]
@@ -1199,7 +1872,9 @@ mod tests {
     fn engine_caches_packing_and_counts_utilization() {
         let mut rng = StdRng::seed_from_u64(4);
         let m = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
-        let engine = InferenceEngine::new(2).with_pool_threshold(2);
+        // Explicit host-core override: the CI host may have a single core,
+        // which would clamp the pool to one worker and bypass it entirely.
+        let engine = InferenceEngine::with_host_cores(2, 2).with_pool_threshold(2);
         let x = rand_matrix(&mut rng, 8, 4, false);
         let a = engine.classify_mlp(7, 1, &m, x.data(), 8, 4);
         let b = engine.classify_mlp(7, 1, &m, x.data(), 8, 4);
@@ -1220,7 +1895,7 @@ mod tests {
     fn single_row_batches_run_inline() {
         let mut rng = StdRng::seed_from_u64(6);
         let m = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
-        let engine = InferenceEngine::new(4);
+        let engine = InferenceEngine::with_host_cores(4, 4);
         let x = rand_matrix(&mut rng, 1, 4, false);
         assert_eq!(engine.classify_mlp(1, 1, &m, x.data(), 1, 4), m.classify(&x));
         let stats = engine.stats();
@@ -1234,7 +1909,7 @@ mod tests {
         let m = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
         // 4 workers, default threshold (32): an 8-row batch is exactly the
         // regressing shape from the PR 4 scaling run and must stay inline.
-        let engine = InferenceEngine::new(4);
+        let engine = InferenceEngine::with_host_cores(4, 4);
         assert_eq!(engine.pool_threshold(), DEFAULT_POOL_MIN_ROWS);
         let small = rand_matrix(&mut rng, 8, 4, false);
         assert_eq!(engine.classify_mlp(3, 1, &m, small.data(), 8, 4), m.classify(&small));
@@ -1260,6 +1935,39 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.direct_runs, 2);
         assert_eq!(stats.pool_bypassed, 1);
+    }
+
+    /// Regression (BENCH_PR4 oversubscription): a 2-worker pool on a
+    /// 1-core host showed a 4.5× p99 blowup at batch 1 — two threads
+    /// context-switching over one core buy nothing and cost latency. The
+    /// engine now clamps effective workers to the host core count, so on
+    /// an oversubscribed host every batch runs inline (the direct/bypass
+    /// floor covers what the pool used to thrash on).
+    #[test]
+    fn oversubscribed_workers_clamp_to_host_cores() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let m = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
+        let engine = InferenceEngine::with_host_cores(4, 1);
+        let stats = engine.stats();
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.workers_requested, 4);
+
+        // A batch far above the pool threshold still runs inline: with one
+        // effective worker the pool is never a candidate.
+        let big = rand_matrix(&mut rng, 2 * DEFAULT_POOL_MIN_ROWS, 4, false);
+        assert_eq!(
+            engine.classify_mlp(5, 1, &m, big.data(), 2 * DEFAULT_POOL_MIN_ROWS, 4),
+            m.classify(&big)
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.pool_runs, 0);
+        assert_eq!(stats.direct_runs, 1);
+
+        // The default constructor also clamps to the real host.
+        let auto = InferenceEngine::new(64);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert!(auto.stats().workers <= cores);
+        assert_eq!(auto.stats().workers_requested, 64);
     }
 
     #[test]
@@ -1316,6 +2024,31 @@ mod proptests {
             for ((x, y), z) in want.data().iter().zip(serial.data()).zip(parallel.data()) {
                 prop_assert_eq!(x.to_bits(), y.to_bits());
                 prop_assert_eq!(x.to_bits(), z.to_bits());
+            }
+        }
+
+        /// Kernel-dispatch equivalence: every kernel the host supports
+        /// (scalar always, SSE/AVX2 when detected) produces bit-identical
+        /// output for arbitrary shapes and sparsity — the scalar oracle
+        /// transfers its chaos-invariant guarantee to the SIMD paths.
+        #[test]
+        fn kernel_dispatch_bit_identical(
+            (m, k, n) in (1usize..12, 1usize..80, 1usize..80),
+            a_data in proptest::collection::vec(sparse_f32(), 12 * 80),
+            b_data in proptest::collection::vec(sparse_f32(), 80 * 80),
+        ) {
+            let a = Matrix::from_vec(m, k, a_data[..m * k].to_vec());
+            let b = Matrix::from_vec(k, n, b_data[..k * n].to_vec());
+            let pb = PackedMatrix::pack(&b);
+            let want = matmul_packed_with(&a, &pb, None, Kernel::Scalar);
+            for kernel in [Kernel::Sse, Kernel::Avx2] {
+                if !kernel.available() {
+                    continue;
+                }
+                let got = matmul_packed_with(&a, &pb, None, kernel);
+                for (x, y) in want.data().iter().zip(got.data()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
             }
         }
 
@@ -1377,6 +2110,32 @@ mod proptests {
             let pool = WorkerPool::new(workers);
             prop_assert_eq!(&want, &packed.classify(data, rows, cols, steps, None));
             prop_assert_eq!(&want, &packed.classify(data, rows, cols, steps, Some(&pool)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod perf_probe {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn epilogue_share() {
+        let hd = 64usize;
+        let mut z = vec![0.3f32; 4 * hd];
+        let mut h = vec![0.1f32; hd];
+        let mut c = vec![0.2f32; hd];
+        let reps = 256 * 8 * 10; // rows x steps x 10
+        for kernel in [Kernel::Scalar, Kernel::detect()] {
+            let t = std::time::Instant::now();
+            for _ in 0..reps {
+                for (i, v) in z.iter_mut().enumerate() {
+                    *v = 0.3 + (i as f32) * 1e-3;
+                }
+                lstm_gate_epilogue(kernel, &z, &mut h, &mut c);
+            }
+            let e = t.elapsed().as_secs_f64() * 1e6 / 10.0;
+            println!("{} epilogue for 256 rows x 8 steps: {e:.0}us", kernel.name());
         }
     }
 }

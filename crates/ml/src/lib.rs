@@ -37,22 +37,25 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+mod fastmath;
 pub mod gemm;
 pub mod knn;
 pub mod lstm;
 pub mod mlp;
+pub mod quant;
 pub mod serialize;
 pub mod store;
 pub mod tensor;
 
 pub use cost::CpuCostModel;
 pub use gemm::{
-    EngineStats, InferenceEngine, PackedLstm, PackedMatrix, PackedMlp, PackedModelCache,
-    WorkerPool, DEFAULT_POOL_MIN_ROWS,
+    EngineStats, InferenceEngine, Kernel, ModelFormat, PackedLstm, PackedMatrix, PackedMlp,
+    PackedModelCache, WorkerPool, DEFAULT_POOL_MIN_ROWS,
 };
 pub use knn::Knn;
 pub use lstm::{LstmCell, LstmClassifier};
 pub use mlp::{Activation, Mlp, SgdConfig};
+pub use quant::{PackedQuantLstm, PackedQuantMatrix, PackedQuantMlp, QuantizedLstm, QuantizedMlp};
 pub use serialize::{ModelCodecError, ModelKind};
 pub use store::{ModelPin, ModelStore, StoreError, StoreStats, MODEL_PAGE_SIZE};
 pub use tensor::Matrix;

@@ -50,7 +50,7 @@ struct CellGrads {
 }
 
 fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
+    crate::fastmath::sigmoid(x)
 }
 
 impl LstmCell {
@@ -146,10 +146,10 @@ impl LstmCell {
         }
         let i: Vec<f32> = z[..hd].iter().map(|&v| sigmoid(v)).collect();
         let f: Vec<f32> = z[hd..2 * hd].iter().map(|&v| sigmoid(v)).collect();
-        let g: Vec<f32> = z[2 * hd..3 * hd].iter().map(|&v| v.tanh()).collect();
+        let g: Vec<f32> = z[2 * hd..3 * hd].iter().map(|&v| crate::fastmath::tanh(v)).collect();
         let o: Vec<f32> = z[3 * hd..].iter().map(|&v| sigmoid(v)).collect();
         let c: Vec<f32> = (0..hd).map(|j| f[j] * c_prev[j] + i[j] * g[j]).collect();
-        let tanh_c: Vec<f32> = c.iter().map(|&v| v.tanh()).collect();
+        let tanh_c: Vec<f32> = c.iter().map(|&v| crate::fastmath::tanh(v)).collect();
         let h: Vec<f32> = (0..hd).map(|j| o[j] * tanh_c[j]).collect();
         let cache = StepCache {
             x: x.to_vec(),

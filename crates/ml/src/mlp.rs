@@ -26,8 +26,8 @@ impl Activation {
     fn apply(self, m: &mut Matrix) {
         match self {
             Activation::Relu => m.map_inplace(|x| x.max(0.0)),
-            Activation::Sigmoid => m.map_inplace(|x| 1.0 / (1.0 + (-x).exp())),
-            Activation::Tanh => m.map_inplace(f32::tanh),
+            Activation::Sigmoid => m.map_inplace(crate::fastmath::sigmoid),
+            Activation::Tanh => m.map_inplace(crate::fastmath::tanh),
         }
     }
 

@@ -14,6 +14,7 @@ use std::path::Path;
 use crate::knn::Knn;
 use crate::lstm::{LstmCell, LstmClassifier};
 use crate::mlp::{Activation, Mlp};
+use crate::quant::{QuantizedCell, QuantizedDense, QuantizedLstm, QuantizedMlp};
 use crate::tensor::Matrix;
 
 const MAGIC: &[u8; 8] = b"LAKEML01";
@@ -27,6 +28,11 @@ pub enum ModelKind {
     Lstm,
     /// A k-NN database ([`Knn`]).
     Knn,
+    /// An int8-quantized MLP ([`QuantizedMlp`]) — a separate model family
+    /// from [`ModelKind::Mlp`], never a transparent replacement.
+    QuantMlp,
+    /// An int8-quantized LSTM ([`QuantizedLstm`]).
+    QuantLstm,
 }
 
 impl ModelKind {
@@ -35,6 +41,8 @@ impl ModelKind {
             ModelKind::Mlp => 1,
             ModelKind::Lstm => 2,
             ModelKind::Knn => 3,
+            ModelKind::QuantMlp => 4,
+            ModelKind::QuantLstm => 5,
         }
     }
 
@@ -43,6 +51,8 @@ impl ModelKind {
             1 => Some(ModelKind::Mlp),
             2 => Some(ModelKind::Lstm),
             3 => Some(ModelKind::Knn),
+            4 => Some(ModelKind::QuantMlp),
+            5 => Some(ModelKind::QuantLstm),
             _ => None,
         }
     }
@@ -134,6 +144,13 @@ impl Writer {
         }
     }
 
+    fn i8s(&mut self, vals: &[i8]) {
+        self.u32(vals.len() as u32);
+        for &x in vals {
+            self.0.push(x as u8);
+        }
+    }
+
     fn matrix(&mut self, m: &Matrix) {
         self.u32(m.rows() as u32);
         self.u32(m.cols() as u32);
@@ -179,6 +196,11 @@ impl<'a> Reader<'a> {
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect())
+    }
+
+    fn i8s(&mut self) -> Result<Vec<i8>, ModelCodecError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.iter().map(|&b| b as i8).collect())
     }
 
     fn matrix(&mut self) -> Result<Matrix, ModelCodecError> {
@@ -357,6 +379,126 @@ pub fn decode_knn(blob: &[u8]) -> Result<Knn, ModelCodecError> {
     Ok(Knn::new(refs, labels, k))
 }
 
+// -- quantized models ------------------------------------------------------
+
+fn encode_quant_dense(w: &mut Writer, layer: &QuantizedDense) {
+    w.u32(layer.k as u32);
+    w.u32(layer.n as u32);
+    w.i8s(&layer.w);
+    w.f32s(&layer.scale);
+    w.f32s(&layer.b);
+}
+
+fn decode_quant_dense(r: &mut Reader<'_>) -> Result<QuantizedDense, ModelCodecError> {
+    let k = r.u32()? as usize;
+    let n = r.u32()? as usize;
+    let w = r.i8s()?;
+    let scale = r.f32s()?;
+    let b = r.f32s()?;
+    if k == 0 || n == 0 || w.len() != k * n || scale.len() != n || b.len() != n {
+        return Err(ModelCodecError::Corrupt("quant layer shape mismatch"));
+    }
+    Ok(QuantizedDense::from_parts(k, n, w, scale, b))
+}
+
+/// Encodes a [`QuantizedMlp`] into a model blob (i8 weight payload —
+/// ≈ 4× smaller than the f32 original's).
+pub fn encode_quant_mlp(model: &QuantizedMlp) -> Vec<u8> {
+    let mut w = Writer::new(ModelKind::QuantMlp);
+    w.u8(activation_to_u8(model.hidden_activation()));
+    let layers = model.layers();
+    w.u32(layers.len() as u32);
+    for layer in layers {
+        encode_quant_dense(&mut w, layer);
+    }
+    w.0
+}
+
+/// Decodes a [`QuantizedMlp`] from a model blob.
+///
+/// # Errors
+///
+/// Returns [`ModelCodecError`] for malformed blobs.
+pub fn decode_quant_mlp(blob: &[u8]) -> Result<QuantizedMlp, ModelCodecError> {
+    let mut r = body_reader(blob, ModelKind::QuantMlp)?;
+    let act = activation_from_u8(r.u8()?)?;
+    let n = r.u32()? as usize;
+    if n == 0 {
+        return Err(ModelCodecError::Corrupt("quant mlp with zero layers"));
+    }
+    let mut layers = Vec::with_capacity(n);
+    for _ in 0..n {
+        layers.push(decode_quant_dense(&mut r)?);
+    }
+    for pair in layers.windows(2) {
+        if pair[0].cols() != pair[1].rows() {
+            return Err(ModelCodecError::Corrupt("quant mlp layers do not chain"));
+        }
+    }
+    r.done()?;
+    Ok(QuantizedMlp::from_parts(layers, act))
+}
+
+/// Encodes a [`QuantizedLstm`] into a model blob.
+pub fn encode_quant_lstm(model: &QuantizedLstm) -> Vec<u8> {
+    let mut w = Writer::new(ModelKind::QuantLstm);
+    let cells = model.quant_cells();
+    w.u32(cells.len() as u32);
+    for cell in cells {
+        w.u32(cell.input_size() as u32);
+        w.u32(cell.hidden_size() as u32);
+        encode_quant_dense(&mut w, cell.wx());
+        encode_quant_dense(&mut w, cell.wh());
+    }
+    let (head_w, head_b) = model.head();
+    w.matrix(head_w);
+    w.f32s(head_b);
+    w.0
+}
+
+/// Decodes a [`QuantizedLstm`] from a model blob.
+///
+/// # Errors
+///
+/// Returns [`ModelCodecError`] for malformed blobs.
+pub fn decode_quant_lstm(blob: &[u8]) -> Result<QuantizedLstm, ModelCodecError> {
+    let mut r = body_reader(blob, ModelKind::QuantLstm)?;
+    let n = r.u32()? as usize;
+    if n == 0 {
+        return Err(ModelCodecError::Corrupt("quant lstm with zero layers"));
+    }
+    let mut cells = Vec::with_capacity(n);
+    for _ in 0..n {
+        let input = r.u32()? as usize;
+        let hidden = r.u32()? as usize;
+        let wx = decode_quant_dense(&mut r)?;
+        let wh = decode_quant_dense(&mut r)?;
+        if hidden == 0
+            || wx.rows() != input
+            || wx.cols() != 4 * hidden
+            || wh.rows() != hidden
+            || wh.cols() != 4 * hidden
+        {
+            return Err(ModelCodecError::Corrupt("quant lstm cell shape mismatch"));
+        }
+        cells.push(QuantizedCell::from_parts(input, hidden, wx, wh));
+    }
+    for pair in cells.windows(2) {
+        if pair[0].hidden_size() != pair[1].input_size() {
+            return Err(ModelCodecError::Corrupt("quant lstm layer sizes do not chain"));
+        }
+    }
+    let head_w = r.matrix()?;
+    let head_b = r.f32s()?;
+    if head_b.len() != head_w.cols()
+        || head_w.rows() != cells.last().expect("non-empty").hidden_size()
+    {
+        return Err(ModelCodecError::Corrupt("quant lstm head shape mismatch"));
+    }
+    r.done()?;
+    Ok(QuantizedLstm::from_parts(cells, head_w, head_b))
+}
+
 // -- file helpers ----------------------------------------------------------
 
 /// Persists a model blob to a path (the registry's `update_model`).
@@ -421,6 +563,54 @@ mod tests {
         let back = decode_knn(&blob).unwrap();
         assert_eq!(back.classify(&[4.9, 5.0]), model.classify(&[4.9, 5.0]));
         assert_eq!(back.k(), 3);
+    }
+
+    #[test]
+    fn quant_mlp_roundtrip_preserves_outputs_and_shrinks_blob() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = Mlp::new(&[64, 128, 8], Activation::Relu, &mut rng);
+        let q = QuantizedMlp::quantize(&model);
+        let blob = encode_quant_mlp(&q);
+        assert_eq!(ModelKind::detect(&blob).unwrap(), ModelKind::QuantMlp);
+        let back = decode_quant_mlp(&blob).unwrap();
+        let x = Matrix::from_rows(&[(0..64).map(|i| (i as f32) * 0.03 - 0.8).collect::<Vec<_>>()]);
+        assert_eq!(q.classify(&x), back.classify(&x));
+        // The int8 payload beats the f32 blob by roughly 4× (scales,
+        // biases and framing eat a little of the win).
+        let f32_blob = encode_mlp(&model);
+        assert!(
+            blob.len() * 3 < f32_blob.len(),
+            "quant blob {} vs f32 blob {}",
+            blob.len(),
+            f32_blob.len()
+        );
+    }
+
+    #[test]
+    fn quant_lstm_roundtrip_preserves_outputs() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = LstmClassifier::new(8, 32, 2, 4, &mut rng);
+        let q = QuantizedLstm::quantize(&model);
+        let blob = encode_quant_lstm(&q);
+        assert_eq!(ModelKind::detect(&blob).unwrap(), ModelKind::QuantLstm);
+        let back = decode_quant_lstm(&blob).unwrap();
+        let seq = vec![vec![0.5, -0.5, 0.25, 0.1, -0.7, 0.9, 0.0, 0.3]; 5];
+        assert_eq!(q.classify(&seq), back.classify(&seq));
+        let f32_blob = encode_lstm(&model);
+        assert!(blob.len() * 2 < f32_blob.len(), "quant lstm blob not smaller");
+    }
+
+    #[test]
+    fn quant_truncation_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = Mlp::new(&[4, 8, 2], Activation::Relu, &mut rng);
+        let blob = encode_quant_mlp(&QuantizedMlp::quantize(&model));
+        for cut in [9, blob.len() / 2, blob.len() - 1] {
+            assert!(decode_quant_mlp(&blob[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        let mut extended = blob.clone();
+        extended.push(0);
+        assert!(decode_quant_mlp(&extended).is_err());
     }
 
     #[test]

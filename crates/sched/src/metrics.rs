@@ -96,6 +96,10 @@ pub struct SchedMetrics {
     /// pool rather than the single-threaded path. Populated by the
     /// stack owner from the daemon's `InferenceEngine` stats.
     pub gemm_pool_utilization: f64,
+    /// Name of the GEMM microkernel family the daemon's inference engine
+    /// dispatches to (`"scalar"`, `"sse4.1"`, `"avx2"`). Populated by the
+    /// stack owner; empty when collected below that layer.
+    pub simd_kernel: &'static str,
 }
 
 impl SchedMetrics {
@@ -157,6 +161,7 @@ impl SchedMetrics {
             bytes_copied: 0,
             zero_copy_hits: 0,
             gemm_pool_utilization: 0.0,
+            simd_kernel: "",
         }
     }
 

@@ -188,6 +188,55 @@ mod tests {
     }
 
     #[test]
+    fn int8_quantized_warmth_accuracy_within_gate() {
+        // The int8 LSTM is a separate model format gated on accuracy
+        // delta (≤ 0.5% top-1 against the f32 oracle), not bit-identity.
+        let cfg = KleioConfig::small();
+        let mut rng = SimRng::seed(4);
+        let train_pages = generate_pages(&cfg, 120, &mut rng);
+        let test_pages = generate_pages(&cfg, 200, &mut rng);
+        let model = train(&cfg, &train_pages, 8);
+        let quant = lake_ml::QuantizedLstm::quantize(&model);
+        let data: Vec<(Vec<Vec<f32>>, usize)> =
+            test_pages.iter().map(|p| (p.to_sequence(), usize::from(p.hot))).collect();
+        let f32_acc = model.accuracy(&data);
+        let q_acc = quant.accuracy(&data);
+        assert!(
+            (f32_acc - q_acc).abs() <= 0.005,
+            "kleio int8 accuracy delta too large: f32 {f32_acc} vs int8 {q_acc}"
+        );
+    }
+
+    #[test]
+    fn remoted_quantized_lstm_serves_inference() {
+        // End-to-end: load the f32 model, quantize it daemon-side into a
+        // fresh id, and serve LSTM inference from the quantized format.
+        let cfg = KleioConfig::small();
+        let mut rng = SimRng::seed(5);
+        let pages = generate_pages(&cfg, 40, &mut rng);
+        let model = train(&cfg, &pages, 6);
+
+        let lake = Lake::builder().build();
+        let ml = lake.ml();
+        let id = ml.load_model(&serialize::encode_lstm(&model)).unwrap();
+        let qid = ml.quantize_model(id).unwrap();
+        assert_ne!(id, qid, "quantized model must install under a fresh id");
+
+        let quant = lake_ml::QuantizedLstm::quantize(&model);
+        let flat: Vec<f32> =
+            pages.iter().take(8).flat_map(|p| p.accesses.iter().copied()).collect();
+        let remote = ml.infer_lstm(qid, 8, cfg.history_epochs, 1, &flat).unwrap();
+        let local: Vec<u32> =
+            pages.iter().take(8).map(|p| quant.classify(&p.to_sequence()) as u32).collect();
+        assert_eq!(remote, local, "remoted int8 inference must match the local int8 path");
+        // The f32 oracle stays loaded and serving.
+        let f32_remote = ml.infer_lstm(id, 8, cfg.history_epochs, 1, &flat).unwrap();
+        let f32_local: Vec<u32> =
+            pages.iter().take(8).map(|p| model.classify(&p.to_sequence()) as u32).collect();
+        assert_eq!(f32_remote, f32_local);
+    }
+
+    #[test]
     fn remoted_lstm_classification_matches_local() {
         let cfg = KleioConfig::small();
         let mut rng = SimRng::seed(5);

@@ -388,6 +388,26 @@ mod tests {
     }
 
     #[test]
+    fn int8_quantized_latency_prediction_within_gate() {
+        // Accuracy-delta gate for the int8 format against the f32 oracle
+        // on held-out replay samples: ≤ 0.5% top-1.
+        let samples = collect_samples(1);
+        let model = train(&samples, &LinnosConfig::default());
+        let quant = lake_ml::QuantizedMlp::quantize(&model.mlp);
+        let holdout = collect_samples(9);
+        let rows: Vec<Vec<f32>> = holdout.iter().map(|s| digitize(&s.features)).collect();
+        let labels: Vec<usize> =
+            holdout.iter().map(|s| usize::from(s.latency > model.slow_threshold)).collect();
+        let x = Matrix::from_rows(&rows);
+        let f32_acc = model.mlp.accuracy(&x, &labels);
+        let q_acc = quant.accuracy(&x, &labels);
+        assert!(
+            (f32_acc - q_acc).abs() <= 0.005,
+            "LinnOS int8 accuracy delta too large: f32 {f32_acc} vs int8 {q_acc}"
+        );
+    }
+
+    #[test]
     fn cpu_predictor_charges_about_15us() {
         let samples = collect_samples(2);
         let model = train(&samples, &LinnosConfig::default());

@@ -224,6 +224,31 @@ mod tests {
     }
 
     #[test]
+    fn int8_quantized_migration_accuracy_within_gate() {
+        // Accuracy-delta gate for the quantized format: ≤ 0.5% top-1
+        // against the f32 oracle on a fresh holdout.
+        let (model, _) = train(3, 60, 400);
+        let quant = lake_ml::QuantizedMlp::quantize(&model);
+        let mut rng = SimRng::seed(77);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..40 {
+            let sc = generate_scenario(8, 16, &mut rng);
+            for cand in &sc.candidates {
+                rows.push(featurize(&sc, cand));
+                labels.push(usize::from(heuristic_should_migrate(&sc, cand)));
+            }
+        }
+        let x = Matrix::from_rows(&rows);
+        let f32_acc = model.accuracy(&x, &labels);
+        let q_acc = quant.accuracy(&x, &labels);
+        assert!(
+            (f32_acc - q_acc).abs() <= 0.005,
+            "MLLB int8 accuracy delta too large: f32 {f32_acc} vs int8 {q_acc}"
+        );
+    }
+
+    #[test]
     fn fig10_crossover_in_paper_range() {
         let lake = Lake::builder().build();
         let batches = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
