@@ -1,0 +1,247 @@
+//! Daemon-executor scaling (PR 10): wall-clock serve throughput of the
+//! parallel executor as the worker pool widens.
+//!
+//! The virtual clock cannot show this speedup — handler costs charged to
+//! the shared clock serialize no matter how many workers run — so this
+//! bench measures *wall* time through a CPU-burning keyed handler served
+//! by [`lake_rpc::serve_executor`] over a real [`Link`]. Commands
+//! round-robin over 16 independent keys, so at queue depth 64 the
+//! acceptor keeps every worker fed; at depth 1 the client is sync and
+//! the executor can never overlap anything (the pool's upper bound is
+//! the offered concurrency, not its own width).
+//!
+//! Recorded in `BENCH_PR10.json`: served ops/s plus per-op p50/p99 wall
+//! latency at workers {1, 2, 4} x queue depth {1, 64}, and the host's
+//! core count. Gate: on hosts with >= 4 cores, 4 workers at depth 64
+//! must serve >= 2.5x the 1-worker rate. On smaller hosts the speedup is
+//! physically unavailable, so the gate reports instead of failing. Every
+//! leg's answers must be bit-identical regardless of worker count.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use criterion::Criterion;
+use lake_bench::{banner, percentiles, quick_criterion, upsert_bench_json};
+use lake_rpc::{
+    serve_executor, ApiHandler, ApiId, CallEngine, CommandClass, Decoder, Encoder, ExecutorStats,
+    PerfCounters, QueuePair, Status,
+};
+use lake_sim::SharedClock;
+use lake_transport::{Link, Mechanism};
+
+const API_HASH: ApiId = ApiId(1);
+/// Independent ordering keys the commands round-robin over; with 16 keys
+/// live a 4-worker pool is never starved by the keyed-ordering rule.
+const KEYS: u64 = 16;
+/// CPU-burn iterations per command — large enough that handler compute
+/// dominates wire cost, so worker parallelism is what the wall clock sees.
+const SPIN: u64 = 6_000;
+const CALLS: usize = 512;
+const WORKER_COUNTS: &[usize] = &[1, 2, 4];
+const DEPTHS: &[usize] = &[1, 64];
+
+/// Deterministic CPU burner: the answer depends only on the request, so
+/// any two legs' outputs are comparable byte-for-byte.
+fn spin_hash(key: u64, seed: u64) -> u64 {
+    let mut h = seed ^ key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for i in 0..SPIN {
+        h = h.wrapping_mul(0x0000_0100_0000_01b3).rotate_left(13) ^ (key.wrapping_add(i));
+    }
+    h
+}
+
+/// A keyed CPU-burning API: payload is `(key, seed)`, response is the
+/// 64-bit spin hash. Classified [`CommandClass::Keyed`] on the leading
+/// `u64`, the same prefix contract the daemon's ML surface uses.
+struct HashHandler;
+
+impl ApiHandler for HashHandler {
+    fn handle(&self, api: ApiId, payload: &[u8]) -> Result<Bytes, Status> {
+        match api {
+            API_HASH => {
+                let mut d = Decoder::new(payload);
+                let key = d.get_u64().map_err(|_| Status::Malformed)?;
+                let seed = d.get_u64().map_err(|_| Status::Malformed)?;
+                let mut e = Encoder::new();
+                e.put_u64(spin_hash(key, seed));
+                Ok(e.finish())
+            }
+            _ => Err(Status::UnknownApi),
+        }
+    }
+
+    fn classify(&self, api: ApiId, payload: &[u8]) -> CommandClass {
+        match (api, payload.get(..8)) {
+            (API_HASH, Some(prefix)) => {
+                CommandClass::Keyed(u64::from_le_bytes(prefix.try_into().expect("8-byte prefix")))
+            }
+            _ => CommandClass::Exclusive,
+        }
+    }
+}
+
+fn encode_req(i: usize) -> Bytes {
+    let mut e = Encoder::new();
+    e.put_u64(i as u64 % KEYS).put_u64(i as u64);
+    e.finish()
+}
+
+/// One leg: `CALLS` hash commands at `depth` in-flight against a
+/// `workers`-wide executor. Returns (ops/s, p50 µs, p99 µs, answers in
+/// submission order).
+fn run_leg(workers: usize, depth: usize) -> (f64, f64, f64, Vec<u64>) {
+    let clock = SharedClock::new();
+    let (kernel, user) = Link::pair(Mechanism::Mmap, clock.clone());
+    let daemon = std::thread::spawn(move || {
+        let epoch = AtomicU64::new(1);
+        let counters = PerfCounters::new();
+        let stats = ExecutorStats::default();
+        serve_executor(&user, &HashHandler, &epoch, None, &counters, workers, &stats);
+    });
+    let engine = Arc::new(CallEngine::linked(kernel));
+    engine.register_api(API_HASH, true);
+
+    let mut answers = vec![0u64; CALLS];
+    let mut samples = Vec::new();
+    let wall0 = Instant::now();
+    if depth <= 1 {
+        for (i, answer) in answers.iter_mut().enumerate() {
+            let t = Instant::now();
+            let out = engine.call(API_HASH, encode_req(i)).expect("sync call");
+            samples.push(t.elapsed().as_secs_f64() * 1.0e6);
+            *answer = Decoder::new(&out).get_u64().expect("response");
+        }
+    } else {
+        // Flush each submission as its own frame: coalescing a whole SQ
+        // drain into one burst frame would hand the executor one job,
+        // and queue depth measures offered *concurrency* here.
+        let qp = QueuePair::new(Arc::clone(&engine), depth);
+        let mut next = 0usize;
+        while next < CALLS {
+            let cycle = depth.min(CALLS - next);
+            let t = Instant::now();
+            let mut tickets = HashMap::with_capacity(cycle);
+            for k in 0..cycle {
+                let id = qp.submit(API_HASH, encode_req(next + k));
+                qp.flush();
+                tickets.insert(id, next + k);
+            }
+            let mut harvested = 0usize;
+            while harvested < cycle {
+                for c in qp.drain() {
+                    let i = tickets.remove(&c.id).expect("unknown completion");
+                    let out = c.result.expect("queued call");
+                    answers[i] = Decoder::new(&out).get_u64().expect("response");
+                    harvested += 1;
+                }
+            }
+            let per_op_us = t.elapsed().as_secs_f64() * 1.0e6 / cycle as f64;
+            samples.extend(std::iter::repeat_n(per_op_us, cycle));
+            next += cycle;
+        }
+    }
+    let wall = wall0.elapsed().as_secs_f64();
+    drop(engine);
+    daemon.join().expect("serve thread");
+
+    let (p50, p99) = percentiles(&samples);
+    (CALLS as f64 / wall, p50, p99, answers)
+}
+
+fn run_and_gate() {
+    banner("EXEC", "daemon-executor scaling: workers x queue depth (PR 10)");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host cores: {cores}\n");
+    println!(
+        "{:>8} {:>6} {:>12} {:>10} {:>10} {:>9}",
+        "workers", "depth", "ops/s", "p50_us", "p99_us", "speedup"
+    );
+
+    let mut json_rows = Vec::new();
+    let mut rates: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut oracle: Option<Vec<u64>> = None;
+    for &depth in DEPTHS {
+        for &workers in WORKER_COUNTS {
+            let (rate, p50, p99, answers) = run_leg(workers, depth);
+            // Bit-identity across executor widths: same workload, same
+            // answers, whatever the interleaving.
+            match &oracle {
+                None => oracle = Some(answers),
+                Some(expected) => assert_eq!(
+                    expected, &answers,
+                    "answers must not depend on workers={workers} depth={depth}"
+                ),
+            }
+            let base = rates.get(&(1, depth)).copied().unwrap_or(rate);
+            let speedup = rate / base;
+            println!(
+                "{workers:>8} {depth:>6} {rate:>12.0} {p50:>10.1} {p99:>10.1} {speedup:>8.2}x"
+            );
+            json_rows.push(format!(
+                "{{\"workers\": {workers}, \"depth\": {depth}, \"calls\": {CALLS}, \
+                 \"ops_per_sec\": {rate:.0}, \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}, \
+                 \"speedup_vs_1w\": {speedup:.2}, \"num_cpus\": {cores}}}"
+            ));
+            rates.insert((workers, depth), rate);
+        }
+    }
+
+    // Record before gating so a red gate still leaves numbers on disk.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR10.json");
+    upsert_bench_json(&path, "daemon_scaling", &format!("[{}]", json_rows.join(", ")));
+
+    // Gate (ISSUE.md PR 10): >= 2.5x served ops/s with 4 workers at
+    // depth 64 — but only where the host has the cores to show it; a
+    // 1- or 2-core runner physically cannot, so report instead of fail.
+    let base = rates[&(1, 64)];
+    let wide = rates[&(4, 64)];
+    let speedup = wide / base;
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.5,
+            "4 workers at depth 64 must serve >= 2.5x the serial rate on a \
+             {cores}-core host: {wide:.0} vs {base:.0} ops/s ({speedup:.2}x)"
+        );
+    } else {
+        println!(
+            "\n[report-only] {cores}-core host: 4-worker speedup at depth 64 was \
+             {speedup:.2}x (gate needs >= 4 cores)"
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Host cost of one executor round-trip at width 4 (sync client, so
+    // this times the acceptor/worker/responder hand-off, not overlap).
+    let mut group = c.benchmark_group("daemon_executor");
+    group.bench_function("keyed_roundtrip_4w", |b| {
+        let clock = SharedClock::new();
+        let (kernel, user) = Link::pair(Mechanism::Mmap, clock.clone());
+        let daemon = std::thread::spawn(move || {
+            let epoch = AtomicU64::new(1);
+            let counters = PerfCounters::new();
+            let stats = ExecutorStats::default();
+            serve_executor(&user, &HashHandler, &epoch, None, &counters, 4, &stats);
+        });
+        let engine = Arc::new(CallEngine::linked(kernel));
+        engine.register_api(API_HASH, true);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            engine.call(API_HASH, encode_req(i)).expect("call")
+        });
+        drop(engine);
+        daemon.join().expect("serve thread");
+    });
+    group.finish();
+}
+
+fn main() {
+    run_and_gate();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

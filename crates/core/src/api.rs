@@ -116,6 +116,56 @@ pub fn register_idempotency(engine: &lake_rpc::CallEngine) {
     }
 }
 
+/// Ordering constraint `api` places on the parallel daemon executor
+/// (`LAKE_DAEMON_WORKERS` > 1); the serial loop ignores it.
+///
+/// * CUDA and NVML calls are `Concurrent`: the daemon's device tables are
+///   thread-safe, and a caller that needs happens-before between its own
+///   calls gets it from the synchronous wait per call.
+/// * Direct inference and export are `Keyed` by the model id they lead
+///   with — concurrent with each other, ordered against mutations of the
+///   same model.
+/// * Model mutations (swap, train, unload, quantize) are `KeyedBarrier`s
+///   on their model id: they drain in-flight work on that model and hold
+///   back later work until done, preserving the hot-swap versioning
+///   contract ("in-flight rows finish on v, post-ack requests see v+1").
+/// * Load (which allocates a fresh id, so there is no key to order on)
+///   and the batcher pipeline (submit/poll/flush are one ordered stream;
+///   poll's leading u64 is a *ticket*, not a model id) stay `Exclusive`.
+///
+/// `payload` may be truncated to its first 8 bytes (the executor peeks
+/// only the leading model id for staged commands).
+pub fn command_class(api: ApiId, payload: &[u8]) -> lake_rpc::CommandClass {
+    use lake_rpc::CommandClass;
+    let model_key =
+        || payload.get(..8).map(|b| u64::from_le_bytes(b.try_into().expect("sliced to 8 bytes")));
+    match api {
+        CU_MEM_ALLOC
+        | CU_MEM_FREE
+        | CU_MEMCPY_HTOD
+        | CU_MEMCPY_HTOD_SHM
+        | CU_MEMCPY_DTOH
+        | CU_MEMCPY_DTOH_SHM
+        | CU_LAUNCH_KERNEL
+        | CU_STREAM_CREATE
+        | CU_STREAM_DESTROY
+        | CU_MEMCPY_HTOD_ASYNC_SHM
+        | CU_LAUNCH_KERNEL_ASYNC
+        | CU_MEMCPY_DTOH_ASYNC_SHM
+        | CU_STREAM_SYNCHRONIZE
+        | NVML_GET_UTILIZATION => CommandClass::Concurrent,
+        ML_INFER_MLP | ML_INFER_LSTM | ML_INFER_KNN | ML_EXPORT_MODEL => match model_key() {
+            Some(id) => CommandClass::Keyed(id),
+            None => CommandClass::Exclusive,
+        },
+        ML_SWAP_MODEL | ML_TRAIN_MLP | ML_UNLOAD_MODEL | ML_QUANTIZE_MODEL => match model_key() {
+            Some(id) => CommandClass::KeyedBarrier(id),
+            None => CommandClass::Exclusive,
+        },
+        _ => CommandClass::Exclusive,
+    }
+}
+
 /// Every API identifier this module defines.
 pub const ALL_APIS: [ApiId; 26] = [
     CU_MEM_ALLOC,

@@ -261,6 +261,25 @@ impl LakeDaemon {
         model_budget: Option<usize>,
         simd: Option<Kernel>,
     ) -> Arc<Self> {
+        Self::with_executor_budget(pool, shm, batch_policy, model_pages, model_budget, simd, 1)
+    }
+
+    /// [`LakeDaemon::with_model_store`] for a daemon running under a
+    /// parallel executor with `executor_workers` threads: the GEMM worker
+    /// pool is budgeted against the executor so the *combined*
+    /// `executor_workers × pool_threads` never oversubscribes the host's
+    /// cores (the PR 4 caveat — oversubscription used to be silent).
+    /// `executor_workers = 1` reproduces [`LakeDaemon::with_model_store`]
+    /// exactly.
+    pub fn with_executor_budget(
+        pool: Arc<DevicePool>,
+        shm: ShmRegion,
+        batch_policy: BatchPolicy,
+        model_pages: ShmRegion,
+        model_budget: Option<usize>,
+        simd: Option<Kernel>,
+        executor_workers: usize,
+    ) -> Arc<Self> {
         let store = ModelStore::new(pool.clock().clone(), model_pages, model_budget, |blob| {
             Self::decode_model_blob(blob).ok().map(|(m, _, _, _)| m)
         });
@@ -274,9 +293,13 @@ impl LakeDaemon {
         });
         // Size the GEMM pool to the host, capped: inference batches are
         // latency-sensitive and small enough that more workers only add
-        // hand-off overhead.
-        let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(4);
-        let mut engine = InferenceEngine::new(workers);
+        // hand-off overhead. Executor workers each run their own handler
+        // calls, so the per-call pool budget is the host's cores divided
+        // among them — combined threads never exceed the host.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let requested = cores.min(4);
+        let pool_budget = (cores / executor_workers.max(1)).max(1);
+        let mut engine = InferenceEngine::with_host_cores(requested, pool_budget);
         if let Some(kernel) = simd {
             engine = engine.with_kernel(kernel);
         }
@@ -1350,5 +1373,9 @@ impl ApiHandler for LakeDaemon {
             api::ML_QUANTIZE_MODEL => self.ml_quantize_model(payload),
             _ => Err(Status::UnknownApi),
         }
+    }
+
+    fn classify(&self, api: ApiId, payload: &[u8]) -> lake_rpc::CommandClass {
+        api::command_class(api, payload)
     }
 }

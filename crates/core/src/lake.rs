@@ -68,11 +68,21 @@ fn spawn_daemon_thread<C>(
     epoch: Arc<AtomicU64>,
     staging: Option<ShmRegion>,
     perf: Arc<lake_rpc::PerfCounters>,
+    workers: usize,
+    exec_stats: Arc<lake_rpc::ExecutorStats>,
 ) where
     C: Channel + 'static,
 {
     std::thread::spawn(move || {
-        lake_rpc::serve_engine(&endpoint, daemon.as_ref(), &epoch, staging.as_ref(), &perf)
+        lake_rpc::serve_executor(
+            &endpoint,
+            daemon.as_ref(),
+            &epoch,
+            staging.as_ref(),
+            &perf,
+            workers,
+            &exec_stats,
+        )
     });
 }
 
@@ -108,6 +118,7 @@ pub struct LakeBuilder {
     shard_id: usize,
     model_budget: Option<usize>,
     simd: Option<lake_ml::Kernel>,
+    daemon_workers: usize,
 }
 
 impl Default for LakeBuilder {
@@ -135,6 +146,7 @@ impl Default for LakeBuilder {
             shard_id: 0,
             model_budget: None,
             simd: None,
+            daemon_workers: 1,
         }
     }
 }
@@ -282,6 +294,30 @@ impl LakeBuilder {
         self
     }
 
+    /// Sizes the daemon executor's worker pool. At the default of 1 the
+    /// serve loop runs the classic serial path — decode, dispatch,
+    /// respond, one frame at a time — bit-identical to builds that
+    /// predate the executor. Above 1 the linked modes
+    /// ([`LinkMode::Channel`], [`LinkMode::Ring`]) decode frames on the
+    /// acceptor thread, dispatch independent commands to `workers` fixed
+    /// worker threads, and return completions out of order through a
+    /// completion mux (one responder per link keeps the SPSC ring
+    /// invariant). Non-idempotent commands (`ml.swap_model`, `train`,
+    /// load) take a per-model ordering barrier, and the GEMM worker
+    /// pool's core budget is divided by the executor width so the two
+    /// pools never oversubscribe the host. [`LinkMode::InProcess`] has
+    /// no serve thread and ignores this. The `LAKE_DAEMON_WORKERS`
+    /// environment variable overrides this at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn daemon_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "daemon_workers must be at least 1");
+        self.daemon_workers = workers;
+        self
+    }
+
     /// Caps the daemon's paged model store at `bytes` of resident weight
     /// pages. Models past the budget are evicted second-chance (never
     /// while pinned by an in-flight inference) and fault back in through
@@ -396,6 +432,14 @@ impl LakeBuilder {
             Ok(s) => Some(s.trim().parse::<usize>().expect("LAKE_MODEL_BUDGET")),
             Err(_) => self.model_budget,
         };
+        let daemon_workers = match std::env::var("LAKE_DAEMON_WORKERS") {
+            Ok(s) => {
+                let n: usize = s.trim().parse().expect("LAKE_DAEMON_WORKERS");
+                assert!(n > 0, "LAKE_DAEMON_WORKERS must be at least 1");
+                n
+            }
+            Err(_) => self.daemon_workers,
+        };
         let simd = match std::env::var("LAKE_SIMD") {
             Ok(s) => Some(
                 lake_ml::Kernel::from_name(s.trim())
@@ -427,13 +471,18 @@ impl LakeBuilder {
             None => 8 << 20,
         };
         let model_pages = ShmRegion::with_capacity(page_capacity);
-        let daemon = LakeDaemon::with_model_store(
+        // The executor only exists in the linked modes (it *is* the
+        // serve thread's worker pool); in-process calls dispatch on the
+        // caller's thread, so the GEMM pool keeps its full core budget.
+        let exec_workers = if link_mode == LinkMode::InProcess { 1 } else { daemon_workers };
+        let daemon = LakeDaemon::with_executor_budget(
             Arc::clone(&pool),
             shm.clone(),
             self.batch_policy,
             model_pages,
             model_budget,
             simd,
+            exec_workers,
         );
         daemon.set_stall_schedule(self.stall_schedule);
         // The supervisor is always wired (an empty crash schedule is a
@@ -462,6 +511,7 @@ impl LakeBuilder {
         // attribute copies to the shard that performed them (the
         // process-wide rollup would double-count across shards).
         let perf = Arc::new(lake_rpc::PerfCounters::new());
+        let exec_stats = Arc::new(lake_rpc::ExecutorStats::default());
         let (mut engine, ring) = match link_mode {
             LinkMode::InProcess => {
                 let mut engine = CallEngine::in_process(
@@ -487,6 +537,8 @@ impl LakeBuilder {
                     supervisor.epoch_counter(),
                     staging.as_ref().map(|(region, _)| region.clone()),
                     Arc::clone(&perf),
+                    exec_workers,
+                    Arc::clone(&exec_stats),
                 );
                 (CallEngine::linked(kernel), None)
             }
@@ -514,6 +566,8 @@ impl LakeBuilder {
                     supervisor.epoch_counter(),
                     staging.as_ref().map(|(region, _)| region.clone()),
                     Arc::clone(&perf),
+                    exec_workers,
+                    Arc::clone(&exec_stats),
                 );
                 (CallEngine::linked(kernel.clone()), Some(kernel))
             }
@@ -547,6 +601,8 @@ impl LakeBuilder {
             link_mode,
             ring,
             queue_depth,
+            daemon_workers: exec_workers,
+            exec_stats,
             shard_id: self.shard_id,
         }
     }
@@ -567,6 +623,8 @@ pub struct Lake {
     link_mode: LinkMode,
     ring: Option<RingEndpoint>,
     queue_depth: usize,
+    daemon_workers: usize,
+    exec_stats: Arc<lake_rpc::ExecutorStats>,
     shard_id: usize,
 }
 
@@ -615,6 +673,16 @@ pub struct PerfReport {
     /// Paged model-store counters: budget/resident/pinned bytes, weight
     /// hits vs cold-miss faults, evictions, installs, and retired swaps.
     pub store: lake_ml::StoreStats,
+    /// Daemon-executor counters: frames accepted, commands executed vs
+    /// replayed, dedup evictions, out-of-order completions, ordering
+    /// barriers taken, and the in-flight/deferred high-water marks. All
+    /// zero in [`LinkMode::InProcess`] deployments (no serve thread) and
+    /// on the serial path's mux-specific fields.
+    pub executor: lake_rpc::ExecutorSnapshot,
+    /// The GEMM worker-pool width actually deployed after the shared
+    /// core budget split `host_cores / daemon_workers` — the satellite
+    /// guard that executor×pool threads never oversubscribe the host.
+    pub effective_pool_threads: usize,
 }
 
 impl std::fmt::Debug for Lake {
@@ -770,13 +838,30 @@ impl Lake {
     /// plus the process rollup), staged-call count, and the GEMM engine's
     /// pool/cache counters.
     pub fn perf_report(&self) -> PerfReport {
+        let gemm = self.daemon.gemm_stats();
+        let effective_pool_threads = gemm.workers;
         PerfReport {
             rpc: self.engine.perf_counters().snapshot(),
             rpc_process: lake_rpc::perf::snapshot(),
             staged_calls: self.engine.stats().staged_calls,
-            gemm: self.daemon.gemm_stats(),
+            gemm,
             store: self.daemon.store_stats(),
+            executor: self.exec_stats.snapshot(),
+            effective_pool_threads,
         }
+    }
+
+    /// The executor worker-pool width this deployment serves with (1 =
+    /// the classic serial loop; [`LinkMode::InProcess`] always reports
+    /// 1 since it has no serve thread).
+    pub fn daemon_workers(&self) -> usize {
+        self.daemon_workers
+    }
+
+    /// Daemon-executor counters alone (also folded into
+    /// [`Lake::perf_report`]).
+    pub fn executor_stats(&self) -> lake_rpc::ExecutorSnapshot {
+        self.exec_stats.snapshot()
     }
 
     /// Paged model-store counters (budget, residency, hit/miss/eviction,

@@ -31,7 +31,7 @@
 //!   Non-idempotent calls are never retried after the daemon may have
 //!   executed them.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -42,6 +42,7 @@ use lake_sim::{Duration, FaultPlan, FrameFault, Instant, SharedClock};
 use lake_transport::{Channel, Mechanism};
 
 use crate::command::{ApiId, Command, Response, Status, SEQ_UNMATCHED};
+use crate::executor::{CommandClass, DedupTable, ExecutorStats};
 use crate::perf;
 use crate::perf::PerfCounters;
 use crate::wire::{Decoder, Encoder, WireError};
@@ -161,6 +162,18 @@ pub trait ApiHandler: Send + Sync {
     /// Return a non-[`Status::Ok`] status to signal vendor-library failure;
     /// it is forwarded verbatim to the kernel caller.
     fn handle(&self, api: ApiId, payload: &[u8]) -> Result<Bytes, Status>;
+
+    /// Ordering constraint `api` places on the parallel executor
+    /// ([`crate::serve_executor`]). `payload` may be truncated to its
+    /// first 8 bytes for staged commands, so implementations must only
+    /// inspect a fixed-size prefix (the keyed APIs lead with their `u64`
+    /// resource id). The default is [`CommandClass::Exclusive`]: a
+    /// handler that doesn't classify runs serially even under a worker
+    /// pool — degraded parallelism, never a data race.
+    fn classify(&self, api: ApiId, payload: &[u8]) -> CommandClass {
+        let _ = (api, payload);
+        CommandClass::Exclusive
+    }
 }
 
 impl<F> ApiHandler for F
@@ -1080,7 +1093,7 @@ impl Drop for SeqWaiter<'_> {
 /// descriptor into `staging`, and the handler executes against a borrowed
 /// view of the staged bytes — the payload itself never crossed the link
 /// and is not copied here either.
-fn dispatch(
+pub(crate) fn dispatch(
     handler: &dyn ApiHandler,
     staging: Option<&ShmRegion>,
     counters: Option<&PerfCounters>,
@@ -1183,7 +1196,7 @@ pub(crate) fn decode_burst_response(
 }
 
 /// Responses remembered by [`serve`] for at-most-once execution.
-const SERVE_DEDUP_WINDOW: usize = 128;
+pub(crate) const SERVE_DEDUP_WINDOW: usize = 128;
 
 /// Runs the daemon dispatch loop over `endpoint` until the peer
 /// disconnects: receive command, decode, execute, respond. This is
@@ -1250,23 +1263,37 @@ fn serve_loop<C: Channel + ?Sized>(
     staging: Option<&ShmRegion>,
     counters: Option<&PerfCounters>,
 ) {
+    serve_serial(endpoint, handler, epoch, staging, counters, None);
+}
+
+pub(crate) fn serve_serial<C: Channel + ?Sized>(
+    endpoint: &C,
+    handler: &dyn ApiHandler,
+    epoch: &AtomicU64,
+    staging: Option<&ShmRegion>,
+    counters: Option<&PerfCounters>,
+    stats: Option<&ExecutorStats>,
+) {
     // Dedup entries remember the epoch they were computed under: a cached
     // answer from a previous incarnation must NOT be replayed — the new
     // incarnation never ran that command (crash_reset wiped its state), and
     // the caller would fence the stale stamp forever, wedging the retry.
-    let mut dedup: HashMap<u64, (u64, Response)> = HashMap::new();
-    let mut dedup_order: VecDeque<u64> = VecDeque::new();
+    // The table is the same seq-sharded window the parallel executor uses,
+    // sized to the historical SERVE_DEDUP_WINDOW.
+    let dedup = DedupTable::new();
     while let Ok(frame) = endpoint.recv() {
+        if let Some(s) = stats {
+            s.note_frame();
+        }
         let now_epoch = epoch.load(Ordering::Relaxed);
         let response = match Command::decode_borrowed(&frame) {
             Ok(cmd) => {
-                let cached = dedup
-                    .get(&cmd.seq)
-                    .filter(|(cached_epoch, _)| *cached_epoch == now_epoch)
-                    .map(|(_, prior)| prior.clone());
-                if let Some(prior) = cached {
+                if let Some(prior) = dedup.replay(cmd.seq, now_epoch) {
                     // Retried or duplicated command, same incarnation:
                     // replay, don't re-run.
+                    if let Some(s) = stats {
+                        s.note_replay();
+                    }
                     prior
                 } else {
                     // Borrowed dispatch: the payload stays inside the
@@ -1287,24 +1314,30 @@ fn serve_loop<C: Channel + ?Sized>(
                             payload: Bytes::new(),
                         },
                     };
-                    dedup.insert(cmd.seq, (now_epoch, response.clone()));
-                    dedup_order.push_back(cmd.seq);
-                    if dedup_order.len() > SERVE_DEDUP_WINDOW {
-                        if let Some(old) = dedup_order.pop_front() {
-                            dedup.remove(&old);
+                    if dedup.record(cmd.seq, now_epoch, &response) {
+                        if let Some(s) = stats {
+                            s.note_eviction();
                         }
+                    }
+                    if let Some(s) = stats {
+                        s.note_executed();
                     }
                     response
                 }
             }
             // Never executed, so never cached: a retry of the same seq with
             // an intact frame must run for real.
-            Err(_) => Response {
-                seq: Command::peek_seq(&frame).unwrap_or(SEQ_UNMATCHED),
-                epoch: now_epoch,
-                status: Status::Malformed,
-                payload: Bytes::new(),
-            },
+            Err(_) => {
+                if let Some(s) = stats {
+                    s.note_malformed();
+                }
+                Response {
+                    seq: Command::peek_seq(&frame).unwrap_or(SEQ_UNMATCHED),
+                    epoch: now_epoch,
+                    status: Status::Malformed,
+                    payload: Bytes::new(),
+                }
+            }
         };
         if endpoint.send(response.encode()).is_err() {
             break;

@@ -25,6 +25,7 @@
 pub mod coalesce;
 pub mod command;
 pub mod engine;
+pub mod executor;
 pub mod perf;
 pub mod queue;
 pub mod wire;
@@ -36,6 +37,7 @@ pub use engine::{
     CallStats, DaemonLifecycle, RpcError, StagingConfig, BURST_API_BIT, DEFAULT_INLINE_THRESHOLD,
     MAX_BURST_ENTRIES, STAGED_API_BIT,
 };
+pub use executor::{serve_executor, CommandClass, ExecutorSnapshot, ExecutorStats};
 pub use perf::{PerfCounters, PerfSnapshot};
 pub use queue::{CmdId, Completion, QueuePair, QueueStats, DEFAULT_QUEUE_DEPTH};
 pub use wire::{checked_slice_len, Decoder, Encoder, WireError};

@@ -34,6 +34,7 @@ pub mod dist;
 pub mod event;
 pub mod fault;
 pub mod metrics;
+pub mod park;
 pub mod resource;
 pub mod rng;
 
@@ -43,5 +44,6 @@ pub use fault::{
     BurstSchedule, CrashSchedule, FaultCounters, FaultPlan, FaultSpec, FrameFault, PressurePlan,
 };
 pub use metrics::{Histogram, MovingAverage, TimeSeries, UtilizationMeter, ValueStats};
+pub use park::{ParkMeter, ParkStats, Parked};
 pub use resource::{FifoResource, Grant};
 pub use rng::SimRng;

@@ -1,0 +1,117 @@
+//! Virtual-time park/wake accounting for worker threads.
+//!
+//! The daemon executor's workers block on a real OS queue while idle, but
+//! the simulation reasons in virtual time: how much *simulated* time did a
+//! worker spend parked while its siblings advanced the shared clock?
+//! [`ParkMeter`] answers that without owning any wait primitive of its own
+//! — workers bracket their blocking wait with [`ParkMeter::park`], and the
+//! returned guard samples the virtual clock on entry and exit. The delta
+//! is idle virtual time: time the simulation moved forward while this
+//! worker had nothing to execute.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::clock::{Duration, SharedClock};
+
+/// Aggregate park/wake accounting across all workers sharing a meter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParkStats {
+    /// Total park episodes (one per blocking wait).
+    pub parks: u64,
+    /// Virtual nanoseconds the workers spent parked, summed over
+    /// episodes. Divide by `parks` for the mean idle gap.
+    pub idle_ns: u64,
+    /// Most workers ever parked simultaneously.
+    pub parked_high_water: u64,
+}
+
+/// Shared park/wake meter for a pool of worker threads.
+#[derive(Debug, Default)]
+pub struct ParkMeter {
+    parks: AtomicU64,
+    idle_ns: AtomicU64,
+    parked_now: AtomicU64,
+    parked_high_water: AtomicU64,
+}
+
+impl ParkMeter {
+    /// Creates a meter with all counters zeroed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the start of a park episode; the returned guard records the
+    /// wake (and the idle virtual-time delta) when dropped. Call
+    /// immediately before a blocking wait and drop immediately after it
+    /// returns.
+    pub fn park<'a>(&'a self, clock: &'a SharedClock) -> Parked<'a> {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        let now_parked = self.parked_now.fetch_add(1, Ordering::Relaxed) + 1;
+        self.parked_high_water.fetch_max(now_parked, Ordering::Relaxed);
+        Parked { meter: self, clock, entered_at_ns: clock.now().as_nanos() }
+    }
+
+    /// Snapshot of the accumulated park accounting.
+    pub fn stats(&self) -> ParkStats {
+        ParkStats {
+            parks: self.parks.load(Ordering::Relaxed),
+            idle_ns: self.idle_ns.load(Ordering::Relaxed),
+            parked_high_water: self.parked_high_water.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Guard for one park episode; dropping it records the wake.
+pub struct Parked<'a> {
+    meter: &'a ParkMeter,
+    clock: &'a SharedClock,
+    entered_at_ns: u64,
+}
+
+impl Drop for Parked<'_> {
+    fn drop(&mut self) {
+        let woke_at = self.clock.now().as_nanos();
+        self.meter.idle_ns.fetch_add(woke_at.saturating_sub(self.entered_at_ns), Ordering::Relaxed);
+        self.meter.parked_now.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl ParkStats {
+    /// Idle virtual time as a [`Duration`].
+    pub fn idle(&self) -> Duration {
+        Duration::from_nanos(self.idle_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_time_is_clock_delta_across_park() {
+        let clock = SharedClock::new();
+        let meter = ParkMeter::new();
+        {
+            let _guard = meter.park(&clock);
+            clock.advance(Duration::from_micros(5));
+        }
+        let stats = meter.stats();
+        assert_eq!(stats.parks, 1);
+        assert_eq!(stats.idle_ns, 5_000);
+        assert_eq!(stats.parked_high_water, 1);
+    }
+
+    #[test]
+    fn high_water_tracks_concurrent_parks() {
+        let clock = SharedClock::new();
+        let meter = ParkMeter::new();
+        let a = meter.park(&clock);
+        let b = meter.park(&clock);
+        drop(a);
+        drop(b);
+        let c = meter.park(&clock);
+        drop(c);
+        assert_eq!(meter.stats().parks, 3);
+        assert_eq!(meter.stats().parked_high_water, 2);
+    }
+}

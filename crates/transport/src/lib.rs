@@ -31,6 +31,7 @@ pub mod cost;
 pub mod fault;
 pub mod link;
 pub mod mechanism;
+pub mod mux;
 pub mod ring;
 
 pub use channel::Channel;
@@ -38,4 +39,5 @@ pub use cost::CostModel;
 pub use fault::{Delivery, FaultLayer};
 pub use link::{Link, LinkEndpoint, RecvError, SendError};
 pub use mechanism::Mechanism;
+pub use mux::{completion_queue, MuxReceiver, MuxSender, MuxStats};
 pub use ring::{RingEndpoint, RingLink, RingStats, WaitStrategy, DEFAULT_RING_CAPACITY};

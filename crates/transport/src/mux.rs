@@ -1,0 +1,230 @@
+//! MPSC completion mux: many producers, one consumer, one doorbell.
+//!
+//! The parallel daemon executor lets N workers finish commands out of
+//! order, but the shm ring transport is strictly SPSC — exactly one
+//! thread may produce response frames per link. [`completion_queue`]
+//! bridges the two: workers enqueue completions from any thread, and a
+//! single responder drains them in arrival order and owns the link's
+//! send side. The doorbell (a condvar wake) only fires when the consumer
+//! is actually parked, so a busy responder absorbs whole bursts of
+//! completions under a single wake — the daemon-side mirror of the
+//! client's burst-coalesced submission path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Counters describing the traffic through a completion queue.
+///
+/// `doorbells` vs `doorbells_suppressed` is the interesting ratio: every
+/// suppressed doorbell is a condvar wake (and, downstream, a response
+/// doorbell on the link) that coalescing saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MuxStats {
+    /// Items enqueued by producers.
+    pub enqueued: u64,
+    /// Condvar wakes actually delivered to a parked consumer.
+    pub doorbells: u64,
+    /// Enqueues that skipped the wake because the consumer was running.
+    pub doorbells_suppressed: u64,
+    /// Drain calls that returned at least one item.
+    pub drains: u64,
+    /// Largest batch returned by a single drain.
+    pub max_drain: u64,
+}
+
+#[derive(Default)]
+struct MuxState<T> {
+    items: VecDeque<T>,
+    producers: usize,
+    consumer_parked: bool,
+}
+
+struct MuxShared<T> {
+    state: Mutex<MuxState<T>>,
+    doorbell: Condvar,
+    enqueued: AtomicU64,
+    doorbells: AtomicU64,
+    doorbells_suppressed: AtomicU64,
+    drains: AtomicU64,
+    max_drain: AtomicU64,
+}
+
+/// Producer handle for a [`completion_queue`]. Clone one per worker;
+/// dropping the last clone lets the consumer's drain return `None`.
+pub struct MuxSender<T> {
+    shared: Arc<MuxShared<T>>,
+}
+
+/// Single-consumer handle for a [`completion_queue`]: the one thread
+/// allowed to drain completions (and therefore the one thread allowed to
+/// touch the link's send side).
+pub struct MuxReceiver<T> {
+    shared: Arc<MuxShared<T>>,
+}
+
+/// Creates an unbounded MPSC completion queue with doorbell suppression.
+pub fn completion_queue<T>() -> (MuxSender<T>, MuxReceiver<T>) {
+    let shared = Arc::new(MuxShared {
+        state: Mutex::new(MuxState {
+            items: VecDeque::new(),
+            producers: 1,
+            consumer_parked: false,
+        }),
+        doorbell: Condvar::new(),
+        enqueued: AtomicU64::new(0),
+        doorbells: AtomicU64::new(0),
+        doorbells_suppressed: AtomicU64::new(0),
+        drains: AtomicU64::new(0),
+        max_drain: AtomicU64::new(0),
+    });
+    (MuxSender { shared: Arc::clone(&shared) }, MuxReceiver { shared })
+}
+
+impl<T> Clone for MuxSender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().expect("mux poisoned").producers += 1;
+        MuxSender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for MuxSender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().expect("mux poisoned");
+        st.producers -= 1;
+        // The last producer leaving is itself a doorbell: a parked
+        // consumer must wake to observe the disconnect and exit.
+        if st.producers == 0 && st.consumer_parked {
+            self.shared.doorbell.notify_one();
+        }
+    }
+}
+
+impl<T> MuxSender<T> {
+    /// Enqueues one completion, ringing the doorbell only if the consumer
+    /// is parked.
+    pub fn push(&self, item: T) {
+        let mut st = self.shared.state.lock().expect("mux poisoned");
+        st.items.push_back(item);
+        self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
+        if st.consumer_parked {
+            self.shared.doorbells.fetch_add(1, Ordering::Relaxed);
+            self.shared.doorbell.notify_one();
+        } else {
+            self.shared.doorbells_suppressed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<T> MuxReceiver<T> {
+    /// Drains every queued completion, parking until at least one arrives.
+    ///
+    /// Returns `None` once the queue is empty *and* every producer handle
+    /// has been dropped — the executor's shutdown signal.
+    pub fn drain_wait(&self) -> Option<Vec<T>> {
+        let mut st = self.shared.state.lock().expect("mux poisoned");
+        loop {
+            if !st.items.is_empty() {
+                let batch: Vec<T> = st.items.drain(..).collect();
+                self.shared.drains.fetch_add(1, Ordering::Relaxed);
+                self.shared.max_drain.fetch_max(batch.len() as u64, Ordering::Relaxed);
+                return Some(batch);
+            }
+            if st.producers == 0 {
+                return None;
+            }
+            st.consumer_parked = true;
+            st = self.shared.doorbell.wait(st).expect("mux poisoned");
+            st.consumer_parked = false;
+        }
+    }
+
+    /// Drains without parking; `None` means "currently empty" (producers
+    /// may still be live — this is a non-blocking peek, not shutdown).
+    pub fn try_drain(&self) -> Option<Vec<T>> {
+        let mut st = self.shared.state.lock().expect("mux poisoned");
+        if st.items.is_empty() {
+            return None;
+        }
+        let batch: Vec<T> = st.items.drain(..).collect();
+        self.shared.drains.fetch_add(1, Ordering::Relaxed);
+        self.shared.max_drain.fetch_max(batch.len() as u64, Ordering::Relaxed);
+        Some(batch)
+    }
+
+    /// Snapshot of the queue's traffic counters.
+    pub fn stats(&self) -> MuxStats {
+        MuxStats {
+            enqueued: self.shared.enqueued.load(Ordering::Relaxed),
+            doorbells: self.shared.doorbells.load(Ordering::Relaxed),
+            doorbells_suppressed: self.shared.doorbells_suppressed.load(Ordering::Relaxed),
+            drains: self.shared.drains.load(Ordering::Relaxed),
+            max_drain: self.shared.max_drain.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_single_producer() {
+        let (tx, rx) = completion_queue();
+        for i in 0..10u32 {
+            tx.push(i);
+        }
+        drop(tx);
+        let got = rx.drain_wait().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(rx.drain_wait().is_none());
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let (tx, rx) = completion_queue();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..250u64 {
+                        tx.push(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got = Vec::new();
+        while let Some(batch) = rx.drain_wait() {
+            got.extend(batch);
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        got.sort_unstable();
+        let mut want: Vec<u64> = (0..4).flat_map(|t| (0..250).map(move |i| t * 1000 + i)).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        let stats = rx.stats();
+        assert_eq!(stats.enqueued, 1000);
+        assert_eq!(stats.doorbells + stats.doorbells_suppressed, 1000);
+    }
+
+    #[test]
+    fn drain_wait_parks_until_item_arrives() {
+        let (tx, rx) = completion_queue();
+        let waiter = thread::spawn(move || rx.drain_wait());
+        thread::sleep(std::time::Duration::from_millis(20));
+        tx.push(7u32);
+        assert_eq!(waiter.join().unwrap(), Some(vec![7]));
+    }
+
+    #[test]
+    fn try_drain_never_blocks() {
+        let (tx, rx) = completion_queue::<u32>();
+        assert!(rx.try_drain().is_none());
+        tx.push(1);
+        assert_eq!(rx.try_drain(), Some(vec![1]));
+    }
+}
